@@ -1,0 +1,198 @@
+// Command experiments regenerates every table and figure of the paper's
+// reproduction (see DESIGN.md's experiment index and EXPERIMENTS.md for the
+// recorded outcomes).
+//
+// Usage:
+//
+//	experiments -exp table1|rate|mixture|tenancy|tunnel|shapes|fig2|all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"benchpress/internal/experiments"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment: table1 | rate | mixture | tenancy | tunnel | shapes | fig2 | all")
+		quick     = flag.Bool("quick", false, "use fast low-fidelity settings")
+		scale     = flag.Float64("scale", 0, "override scale factor")
+		terminals = flag.Int("terminals", 0, "override worker count")
+		seconds   = flag.Float64("time", 0, "override per-cell duration in seconds")
+	)
+	flag.Parse()
+
+	opts := experiments.DefaultOptions()
+	if *quick {
+		opts = experiments.QuickOptions()
+	}
+	if *scale > 0 {
+		opts.Scale = *scale
+	}
+	if *terminals > 0 {
+		opts.Terminals = *terminals
+	}
+	if *seconds > 0 {
+		opts.Duration = time.Duration(*seconds * float64(time.Second))
+	}
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Printf("\n===== %s =====\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("table1", func() error { return table1(opts) })
+	run("rate", func() error { return rate(opts) })
+	run("mixture", func() error { return mixture(opts) })
+	run("tenancy", func() error { return tenancy(opts) })
+	run("tunnel", func() error { return tunnel(opts) })
+	run("shapes", func() error { return shapes(opts) })
+	run("fig2", func() error { return fig2(opts) })
+}
+
+// table1 reproduces Table 1 as a living inventory: every benchmark loaded
+// and run on every engine.
+func table1(opts experiments.Options) error {
+	rows, err := experiments.Table1(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-16s %-17s %-9s %10s %9s %9s %7s\n",
+		"Class", "Benchmark", "Engine", "tps", "avg ms", "p99 ms", "aborts")
+	for _, r := range rows {
+		fmt.Printf("%-16s %-17s %-9s %10.0f %9.2f %9.2f %7d\n",
+			r.Class, r.Benchmark, r.Engine, r.TPS, r.AvgLatMS, r.P99LatMS, r.Aborts)
+	}
+	return nil
+}
+
+// rate reproduces Section 2.2.1: target vs measured throughput, uniform and
+// exponential arrivals, with the never-exceed check.
+func rate(opts experiments.Options) error {
+	pts, err := experiments.RateControl(opts, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %10s %12s %10s %14s\n", "arrival", "target", "measured", "postponed", "never-exceeded")
+	for _, p := range pts {
+		arr := "uniform"
+		if p.Exponential {
+			arr = "exponential"
+		}
+		fmt.Printf("%-12s %10.0f %12.1f %10d %14v\n", arr, p.Target, p.MeasuredTPS, p.Postponed, p.NeverExceeded)
+	}
+	return nil
+}
+
+// mixture reproduces Section 2.2.2 / 4.1.2: the read-heavy boost.
+func mixture(opts experiments.Options) error {
+	for _, engine := range experiments.Engines {
+		res, err := experiments.MixtureFlip(opts, engine)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("engine %s:\n", engine)
+		for _, r := range res {
+			fmt.Printf("  %-12s %10.0f tps %8.0f aborts/s\n", r.Phase, r.TPS, r.AbortsPS)
+		}
+	}
+	return nil
+}
+
+// tenancy reproduces Section 2.2.3: co-tenant interference.
+func tenancy(opts experiments.Options) error {
+	for _, engine := range experiments.Engines {
+		res, err := experiments.MultiTenancy(opts, engine)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("engine %s:\n", engine)
+		for _, r := range res {
+			fmt.Printf("  %-10s quiet-half %8.0f tps   burst-half %8.0f tps   degradation %5.1f%%\n",
+				r.Tenant, r.TPSAlonePhase, r.TPSContended, r.DegradationPct)
+		}
+	}
+	return nil
+}
+
+// tunnel reproduces the Section 4.3 takeaway: which engines hold a tight
+// constant rate.
+func tunnel(opts experiments.Options) error {
+	res, err := experiments.TunnelJitter(opts, 0, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %8s %10s %10s %8s %12s\n", "engine", "target", "mean tps", "jitter cv", "passed", "worst window")
+	for _, r := range res {
+		fmt.Printf("%-10s %8.0f %10.1f %10.3f %8v %12.1f\n",
+			r.Engine, r.Target, r.MeanTPS, r.JitterCV, r.Passed, r.WorstWindow)
+	}
+	return nil
+}
+
+// shapes reproduces Section 4.1.1: the four challenge shapes, autopilot on
+// each engine, printing the target-vs-delivered series.
+func shapes(opts experiments.Options) error {
+	// Base of 4000 tps sits above goserial's capacity under this mixture
+	// (~2k tps) and within golock/gomvcc's, so the staircase exposes who
+	// saturates where. The course runs much longer than one measurement
+	// cell so that the warm-up grace period is a small fraction of the run.
+	base := 4000.0
+	opts.Duration *= 6
+	for _, shape := range experiments.ShapeNames {
+		for _, engine := range experiments.Engines {
+			res, err := experiments.PlayShape(shape, engine, base, opts)
+			if err != nil {
+				return err
+			}
+			outcome := "CLEARED"
+			if !res.Survived {
+				outcome = fmt.Sprintf("CRASH@t%d", res.Ticks-1)
+			}
+			fmt.Printf("%-11s %-9s %-10s score=%-4d series target/measured: %s\n",
+				shape, engine, outcome, res.Score, seriesString(res.Targets, res.Measured, 8))
+		}
+	}
+	return nil
+}
+
+// fig2 reproduces the Figure 2 demo flow headlessly.
+func fig2(opts experiments.Options) error {
+	opts.Duration *= 4
+	steps, res, err := experiments.Fig2Session("ycsb", "gomvcc", opts)
+	if err != nil {
+		return err
+	}
+	for _, s := range steps {
+		fmt.Printf("  [%s] %s\n", s.Step, s.Detail)
+	}
+	fmt.Printf("  trajectory: %s\n", seriesString(res.Targets, res.Measured, 10))
+	return nil
+}
+
+// seriesString compacts two parallel series for terminal output.
+func seriesString(targets, measured []float64, n int) string {
+	if len(targets) == 0 {
+		return "(empty)"
+	}
+	step := len(targets) / n
+	if step < 1 {
+		step = 1
+	}
+	var parts []string
+	for i := 0; i < len(targets); i += step {
+		parts = append(parts, fmt.Sprintf("%.0f/%.0f", targets[i], measured[i]))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,42 @@
+// Game_autopilot: the BenchPress autopilot plays the Steps course against
+// all three engine personalities at the same course difficulty, showing how
+// the same challenge separates the engines (the demo's "different stages
+// with varying environment conditions").
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	_ "benchpress/internal/benchmarks/all"
+	"benchpress/internal/experiments"
+)
+
+func main() {
+	opts := experiments.Options{Scale: 0.2, Terminals: 8, Duration: 15 * time.Second, Seed: 3}
+	const base = 4000 // above goserial's capacity (~2k here), within golock/gomvcc's
+
+	fmt.Printf("course: steps ramping %0.f -> %0.f tps\n\n", base/2.0, base/2.0+4*base/4.0)
+	for _, engine := range experiments.Engines {
+		res, err := experiments.PlayShape("steps", engine, base, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		outcome := "CLEARED the course"
+		if !res.Survived {
+			outcome = fmt.Sprintf("CRASHED after %d ticks", res.Ticks)
+		}
+		fmt.Printf("%-10s %s (score %d)\n", engine, outcome, res.Score)
+		// Print the flight recorder: corridor target vs delivered tps.
+		n := len(res.Targets)
+		step := n / 10
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < n; i += step {
+			fmt.Printf("   tick %3d  target %6.0f  delivered %7.1f\n", i, res.Targets[i], res.Measured[i])
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,80 @@
+// Multitenant: run TPC-C and YCSB concurrently against one engine instance
+// (the paper's Section 2.2.3 multi-tenancy feature) and report how each
+// tenant's throughput evolves as the co-tenant's load changes.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	_ "benchpress/internal/benchmarks/all"
+	"benchpress/internal/core"
+	"benchpress/internal/dbdriver"
+)
+
+func main() {
+	// One shared database instance hosts both tenants.
+	db, err := dbdriver.Open("golock")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	tpcc, err := core.NewBenchmark("tpcc", 0.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := core.Prepare(tpcc, db, 1); err != nil {
+		log.Fatal(err)
+	}
+	ycsb, err := core.NewBenchmark("ycsb", 0.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := core.Prepare(ycsb, db, 2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d rows total into one %s instance\n",
+		db.Engine().RowCount(), db.Personality().Name)
+
+	// Tenant A: steady TPC-C at 300 tps for 9 seconds.
+	tenantA := core.NewManager(tpcc, db, []core.Phase{
+		{Duration: 9 * time.Second, Rate: 300},
+	}, core.Options{Terminals: 4, Name: "tpcc-tenant"})
+
+	// Tenant B: quiet YCSB, then a 3-second open-loop write burst, then
+	// quiet again.
+	writeBurst := []float64{0, 10, 0, 80, 0, 10}
+	tenantB := core.NewManager(ycsb, db, []core.Phase{
+		{Duration: 3 * time.Second, Rate: 50},
+		{Duration: 3 * time.Second, Rate: 0, Mix: writeBurst},
+		{Duration: 3 * time.Second, Rate: 50},
+	}, core.Options{Terminals: 4, Name: "ycsb-tenant"})
+
+	if err := core.RunAll(context.Background(), tenantA, tenantB); err != nil {
+		log.Fatal(err)
+	}
+
+	// Per-second interference report.
+	fmt.Println("\nsec   tpcc tps   ycsb tps")
+	wa := tenantA.Collector().Windows()
+	wb := tenantB.Collector().Windows()
+	for i := 0; i < len(wa) || i < len(wb); i++ {
+		var a, b int64
+		if i < len(wa) {
+			a = wa[i].Committed
+		}
+		if i < len(wb) {
+			b = wb[i].Committed
+		}
+		marker := ""
+		if i >= 3 && i < 6 {
+			marker = "   <- tenant B write burst"
+		}
+		fmt.Printf("%3d %10d %10d%s\n", i, a, b, marker)
+	}
+	fmt.Printf("\ntpcc committed %d, ycsb committed %d\n",
+		tenantA.Collector().Committed(), tenantB.Collector().Committed())
+}

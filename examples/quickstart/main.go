@@ -1,0 +1,58 @@
+// Quickstart: load YCSB into the embedded MVCC engine, run it for five
+// seconds at a throttled rate, and print the summary. This is the smallest
+// complete use of the public workflow: benchmark registry -> driver ->
+// prepare -> workload manager -> statistics.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	_ "benchpress/internal/benchmarks/all" // register the 15 benchmarks
+	"benchpress/internal/core"
+	"benchpress/internal/dbdriver"
+)
+
+func main() {
+	// 1. Instantiate a benchmark at a scale factor.
+	bench, err := core.NewBenchmark("ycsb", 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Open a target DBMS personality and load the data.
+	db, err := dbdriver.Open("gomvcc")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	if err := core.Prepare(bench, db, 42); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d rows into %s\n", db.Engine().RowCount(), db.Personality().Name)
+
+	// 3. Describe the execution: one phase, 2000 tps, exponential arrivals.
+	phases := []core.Phase{{
+		Duration:    5 * time.Second,
+		Rate:        2000,
+		Exponential: true,
+	}}
+
+	// 4. Run it.
+	m := core.NewManager(bench, db, phases, core.Options{Terminals: 8})
+	if err := m.Run(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Read the results.
+	c := m.Collector()
+	fmt.Printf("committed %d transactions (%.0f tps), %s\n",
+		c.Committed(), float64(c.Committed())/5, c.Global().Snapshot())
+	snap := c.Snapshot()
+	for i, name := range snap.TypeNames {
+		fmt.Printf("  %-18s %8d txns  avg %6.2f ms\n",
+			name, snap.TypeCounts[i], float64(snap.TypeLatency[i].Microseconds())/1000)
+	}
+}

@@ -1,0 +1,3 @@
+module benchpress
+
+go 1.22

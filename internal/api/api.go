@@ -1,0 +1,420 @@
+// Package api implements the RESTful control API the paper's Section 2.2.4
+// describes: programmatic runtime control of a running OLTP-Bench execution
+// (throttle the throughput, change the workload mixture, pause/resume, and
+// start additional benchmarks on the fly) plus instantaneous feedback about
+// the current throughput and average latency per transaction type. BenchPress
+// drives the game through exactly this interface.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"benchpress/internal/core"
+	"benchpress/internal/monitor"
+)
+
+// Server exposes a set of running workloads over HTTP.
+type Server struct {
+	mu        sync.RWMutex
+	workloads map[string]*core.Manager
+	monitor   *monitor.Monitor
+	// StartWorkload, when set, handles POST /benchmark: it prepares and
+	// launches an additional workload and returns its manager.
+	StartWorkload func(req StartRequest) (*core.Manager, error)
+}
+
+// NewServer wraps the given workloads (more may be added at runtime).
+func NewServer(mon *monitor.Monitor, managers ...*core.Manager) *Server {
+	s := &Server{workloads: map[string]*core.Manager{}, monitor: mon}
+	for _, m := range managers {
+		s.Add(m)
+	}
+	return s
+}
+
+// Add registers a running workload with the API.
+func (s *Server) Add(m *core.Manager) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.workloads[strings.ToLower(m.Name())] = m
+}
+
+// Managers lists registered workloads sorted by name.
+func (s *Server) Managers() []*core.Manager {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.workloads))
+	for n := range s.workloads {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*core.Manager, len(names))
+	for i, n := range names {
+		out[i] = s.workloads[n]
+	}
+	return out
+}
+
+// lookup resolves a workload by name; an empty name resolves when exactly
+// one workload is registered.
+func (s *Server) lookup(name string) (*core.Manager, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if name == "" {
+		if len(s.workloads) == 1 {
+			for _, m := range s.workloads {
+				return m, nil
+			}
+		}
+		return nil, fmt.Errorf("api: workload name required (registered: %d)", len(s.workloads))
+	}
+	m, ok := s.workloads[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("api: unknown workload %q", name)
+	}
+	return m, nil
+}
+
+// StatusResponse is the GET /status payload.
+type StatusResponse struct {
+	Name       string             `json:"name"`
+	Benchmark  string             `json:"benchmark"`
+	DBMS       string             `json:"dbms"`
+	Phase      int                `json:"phase"`
+	Rate       float64            `json:"rate"`
+	Unlimited  bool               `json:"unlimited"`
+	Paused     bool               `json:"paused"`
+	Mix        []float64          `json:"mix"`
+	TPS        float64            `json:"tps"`
+	AvgLatMS   float64            `json:"avg_latency_ms"`
+	AbortsPS   float64            `json:"aborts_per_sec"`
+	Committed  int64              `json:"committed"`
+	Aborted    int64              `json:"aborted"`
+	Errors     int64              `json:"errors"`
+	Retries    int64              `json:"retries"`
+	Postponed  int64              `json:"postponed"`
+	TypeStats  []TypeStat         `json:"types"`
+	ElapsedSec float64            `json:"elapsed_sec"`
+	Resources  *ResourcesResponse `json:"resources,omitempty"`
+}
+
+// TypeStat is per-transaction-type feedback.
+type TypeStat struct {
+	Name     string  `json:"name"`
+	Count    int64   `json:"count"`
+	AvgLatMS float64 `json:"avg_latency_ms"`
+}
+
+// ResourcesResponse mirrors the monitoring tool's latest sample.
+type ResourcesResponse struct {
+	CPUUserPct   float64 `json:"cpu_user_pct"`
+	CPUSystemPct float64 `json:"cpu_system_pct"`
+	MemUsedPct   float64 `json:"mem_used_pct"`
+	HeapMB       float64 `json:"heap_mb"`
+	Goroutines   int     `json:"goroutines"`
+	HostStats    bool    `json:"host_stats"`
+}
+
+// StartRequest is the POST /benchmark payload.
+type StartRequest struct {
+	Name        string    `json:"name"` // workload label (defaults to benchmark)
+	Benchmark   string    `json:"benchmark"`
+	DBMS        string    `json:"dbms"`
+	Scale       float64   `json:"scale"`
+	Terminals   int       `json:"terminals"`
+	DurationSec float64   `json:"duration_sec"`
+	Rate        float64   `json:"rate"`
+	Mix         []float64 `json:"mix"`
+}
+
+// snapshotToResponse builds the status payload for one manager.
+func (s *Server) snapshotToResponse(m *core.Manager) StatusResponse {
+	st := m.Status()
+	resp := StatusResponse{
+		Name:       st.Name,
+		Benchmark:  st.Benchmark,
+		DBMS:       st.DBMS,
+		Phase:      st.Phase,
+		Rate:       st.Rate,
+		Unlimited:  st.Unlimited,
+		Paused:     st.Paused,
+		Mix:        st.Mix,
+		TPS:        st.Snapshot.TPS,
+		AvgLatMS:   msOf(st.Snapshot.AvgLatency),
+		AbortsPS:   st.Snapshot.AbortsPerSec,
+		Committed:  st.Snapshot.Committed,
+		Aborted:    st.Snapshot.Aborted,
+		Errors:     st.Snapshot.Errors,
+		Retries:    st.Snapshot.Retries,
+		Postponed:  st.Postponed,
+		ElapsedSec: st.Snapshot.Elapsed.Seconds(),
+	}
+	for i, name := range st.Snapshot.TypeNames {
+		resp.TypeStats = append(resp.TypeStats, TypeStat{
+			Name:     name,
+			Count:    st.Snapshot.TypeCounts[i],
+			AvgLatMS: msOf(st.Snapshot.TypeLatency[i]),
+		})
+	}
+	if s.monitor != nil {
+		r := s.monitor.Latest()
+		resp.Resources = &ResourcesResponse{
+			CPUUserPct:   r.CPUUserPct,
+			CPUSystemPct: r.CPUSystemPct,
+			MemUsedPct:   r.MemUsedPct,
+			HeapMB:       r.HeapMB,
+			Goroutines:   r.Goroutines,
+			HostStats:    r.HostStats,
+		}
+	}
+	return resp
+}
+
+func msOf(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// Handler returns the HTTP mux implementing the API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /status", s.handleStatus)
+	mux.HandleFunc("GET /workloads", s.handleWorkloads)
+	mux.HandleFunc("GET /windows", s.handleWindows)
+	mux.HandleFunc("POST /rate", s.handleRate)
+	mux.HandleFunc("POST /mixture", s.handleMixture)
+	mux.HandleFunc("POST /pause", s.handlePause)
+	mux.HandleFunc("POST /resume", s.handleResume)
+	mux.HandleFunc("POST /benchmark", s.handleStartBenchmark)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	w.WriteHeader(code)
+	writeJSON(w, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	m, err := s.lookup(r.URL.Query().Get("workload"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, s.snapshotToResponse(m))
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	var out []StatusResponse
+	for _, m := range s.Managers() {
+		out = append(out, s.snapshotToResponse(m))
+	}
+	writeJSON(w, out)
+}
+
+// WindowPoint is one per-second throughput observation for plotting.
+type WindowPoint struct {
+	Second    int     `json:"second"`
+	TPS       float64 `json:"tps"`
+	AvgLatMS  float64 `json:"avg_latency_ms"`
+	Aborted   int64   `json:"aborted"`
+	Committed int64   `json:"committed"`
+}
+
+func (s *Server) handleWindows(w http.ResponseWriter, r *http.Request) {
+	m, err := s.lookup(r.URL.Query().Get("workload"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	windows := m.Collector().Windows()
+	dur := m.Collector().WindowDuration()
+	out := make([]WindowPoint, 0, len(windows))
+	for _, win := range windows {
+		out = append(out, WindowPoint{
+			Second:    win.Index,
+			TPS:       win.TPS(dur),
+			AvgLatMS:  msOf(win.AvgLatency()),
+			Aborted:   win.Aborted,
+			Committed: win.Committed,
+		})
+	}
+	writeJSON(w, out)
+}
+
+// rateRequest is the POST /rate payload.
+type rateRequest struct {
+	Workload  string  `json:"workload"`
+	TPS       float64 `json:"tps"`
+	Unlimited bool    `json:"unlimited"`
+}
+
+func (s *Server) handleRate(w http.ResponseWriter, r *http.Request) {
+	var req rateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	m, err := s.lookup(req.Workload)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	if req.Unlimited {
+		m.SetRate(0)
+	} else {
+		m.SetRate(req.TPS)
+	}
+	writeJSON(w, s.snapshotToResponse(m))
+}
+
+// mixtureRequest is the POST /mixture payload: explicit weights or a named
+// preset ("default", "readonly", "writeheavy").
+type mixtureRequest struct {
+	Workload string    `json:"workload"`
+	Weights  []float64 `json:"weights"`
+	Preset   string    `json:"preset"`
+}
+
+// PresetMixer is implemented by benchmarks that provide the game's preset
+// mixtures.
+type PresetMixer interface {
+	ReadOnlyMix() []float64
+	WriteHeavyMix() []float64
+}
+
+func (s *Server) handleMixture(w http.ResponseWriter, r *http.Request) {
+	var req mixtureRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	m, err := s.lookup(req.Workload)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	switch strings.ToLower(req.Preset) {
+	case "", "custom":
+		if req.Weights == nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("api: weights required without a preset"))
+			return
+		}
+		m.SetMix(req.Weights)
+	case "default":
+		m.SetMix(nil)
+	case "readonly", "read-only":
+		mix, err := presetOf(m, true)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		m.SetMix(mix)
+	case "writeheavy", "super-writes", "write-heavy":
+		mix, err := presetOf(m, false)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		m.SetMix(mix)
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("api: unknown preset %q", req.Preset))
+		return
+	}
+	writeJSON(w, s.snapshotToResponse(m))
+}
+
+// presetOf resolves a benchmark's preset mixture, deriving one from the
+// procedure read-only flags when the benchmark does not provide its own.
+func presetOf(m *core.Manager, readonly bool) ([]float64, error) {
+	if pm, ok := m.Benchmark().(PresetMixer); ok {
+		if readonly {
+			return pm.ReadOnlyMix(), nil
+		}
+		return pm.WriteHeavyMix(), nil
+	}
+	procs := m.Benchmark().Procedures()
+	defaults := m.Benchmark().DefaultMix()
+	mix := make([]float64, len(procs))
+	any := false
+	for i, p := range procs {
+		if p.ReadOnly == readonly {
+			mix[i] = defaults[i]
+			if defaults[i] > 0 {
+				any = true
+			}
+		}
+	}
+	if !any {
+		return nil, fmt.Errorf("api: %s has no %s transactions with default weight",
+			m.Benchmark().Name(), presetName(readonly))
+	}
+	return mix, nil
+}
+
+func presetName(readonly bool) string {
+	if readonly {
+		return "read-only"
+	}
+	return "write-heavy"
+}
+
+type workloadRequest struct {
+	Workload string `json:"workload"`
+}
+
+func (s *Server) handlePause(w http.ResponseWriter, r *http.Request) {
+	var req workloadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	m, err := s.lookup(req.Workload)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	m.Pause()
+	writeJSON(w, s.snapshotToResponse(m))
+}
+
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	var req workloadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	m, err := s.lookup(req.Workload)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	m.Resume()
+	writeJSON(w, s.snapshotToResponse(m))
+}
+
+func (s *Server) handleStartBenchmark(w http.ResponseWriter, r *http.Request) {
+	if s.StartWorkload == nil {
+		writeErr(w, http.StatusNotImplemented, fmt.Errorf("api: dynamic workload start not enabled"))
+		return
+	}
+	var req StartRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	m, err := s.StartWorkload(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.Add(m)
+	writeJSON(w, s.snapshotToResponse(m))
+}

@@ -1,0 +1,251 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"benchpress/internal/core"
+	"benchpress/internal/dbdriver"
+)
+
+// apiBench is a two-type benchmark for API tests.
+type apiBench struct{}
+
+func (b *apiBench) Name() string { return "apibench" }
+func (b *apiBench) Procedures() []core.Procedure {
+	return []core.Procedure{
+		{Name: "R", ReadOnly: true, Fn: func(conn *dbdriver.Conn, rng *rand.Rand) error {
+			_, err := conn.QueryRow("SELECT v FROM kv WHERE k = ?", rng.Intn(10))
+			return err
+		}},
+		{Name: "W", Fn: func(conn *dbdriver.Conn, rng *rand.Rand) error {
+			_, err := conn.Exec("UPDATE kv SET v = v + 1 WHERE k = ?", rng.Intn(10))
+			return err
+		}},
+	}
+}
+func (b *apiBench) DefaultMix() []float64 { return []float64{50, 50} }
+func (b *apiBench) CreateSchema(conn *dbdriver.Conn) error {
+	_, err := conn.Exec("CREATE TABLE kv (k INT NOT NULL, v INT, PRIMARY KEY (k))")
+	return err
+}
+func (b *apiBench) Load(db *dbdriver.DB, rng *rand.Rand) error {
+	conn := db.Connect()
+	defer conn.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := conn.Exec("INSERT INTO kv (k, v) VALUES (?, 0)", i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// startTestServer launches a workload and the API around it.
+func startTestServer(t *testing.T) (*httptest.Server, *core.Manager, context.CancelFunc) {
+	t.Helper()
+	db, err := dbdriver.Open("gomvcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(db.Close)
+	b := &apiBench{}
+	if err := core.Prepare(b, db, 1); err != nil {
+		t.Fatal(err)
+	}
+	m := core.NewManager(b, db, []core.Phase{{Duration: time.Hour, Rate: 300}}, core.Options{Terminals: 2, Name: "w1"})
+	ctx, cancel := context.WithCancel(context.Background())
+	go m.Run(ctx)
+	srv := NewServer(nil, m)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, m, cancel
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func postJSON(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	buf, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == 200 {
+		json.NewDecoder(resp.Body).Decode(out)
+	}
+	return resp.StatusCode
+}
+
+func TestStatusEndpoint(t *testing.T) {
+	ts, _, cancel := startTestServer(t)
+	defer cancel()
+	time.Sleep(1200 * time.Millisecond) // let a stats window complete
+	var st StatusResponse
+	getJSON(t, ts.URL+"/status", &st)
+	if st.Name != "w1" || st.Benchmark != "apibench" || st.DBMS != "gomvcc" {
+		t.Fatalf("identity: %+v", st)
+	}
+	if st.TPS <= 0 {
+		t.Fatalf("tps = %v", st.TPS)
+	}
+	if len(st.TypeStats) != 2 {
+		t.Fatalf("types = %v", st.TypeStats)
+	}
+	if st.Rate != 300 {
+		t.Fatalf("rate = %v", st.Rate)
+	}
+}
+
+func TestRateControlEndpoint(t *testing.T) {
+	ts, m, cancel := startTestServer(t)
+	defer cancel()
+	var st StatusResponse
+	if code := postJSON(t, ts.URL+"/rate", map[string]any{"tps": 42.0}, &st); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if m.Rate() != 42 {
+		t.Fatalf("manager rate = %v", m.Rate())
+	}
+	postJSON(t, ts.URL+"/rate", map[string]any{"unlimited": true}, &st)
+	if m.Rate() != 0 || !st.Unlimited {
+		t.Fatalf("unlimited: rate=%v st=%+v", m.Rate(), st)
+	}
+}
+
+func TestMixtureEndpoint(t *testing.T) {
+	ts, m, cancel := startTestServer(t)
+	defer cancel()
+	// Explicit weights.
+	if code := postJSON(t, ts.URL+"/mixture", map[string]any{"weights": []float64{100, 0}}, nil); code != 200 {
+		t.Fatalf("weights: %d", code)
+	}
+	if mix := m.Mix(); mix[0] != 100 || mix[1] != 0 {
+		t.Fatalf("mix = %v", mix)
+	}
+	// Preset derived from read-only flags.
+	if code := postJSON(t, ts.URL+"/mixture", map[string]any{"preset": "readonly"}, nil); code != 200 {
+		t.Fatalf("readonly preset: %d", code)
+	}
+	if mix := m.Mix(); mix[0] == 0 || mix[1] != 0 {
+		t.Fatalf("readonly mix = %v", mix)
+	}
+	if code := postJSON(t, ts.URL+"/mixture", map[string]any{"preset": "writeheavy"}, nil); code != 200 {
+		t.Fatalf("writeheavy preset: %d", code)
+	}
+	if mix := m.Mix(); mix[0] != 0 || mix[1] == 0 {
+		t.Fatalf("writeheavy mix = %v", mix)
+	}
+	// Back to default.
+	postJSON(t, ts.URL+"/mixture", map[string]any{"preset": "default"}, nil)
+	if mix := m.Mix(); mix[0] != 50 || mix[1] != 50 {
+		t.Fatalf("default mix = %v", mix)
+	}
+	// Bad requests.
+	if code := postJSON(t, ts.URL+"/mixture", map[string]any{"preset": "bogus"}, nil); code != 400 {
+		t.Fatalf("bogus preset: %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/mixture", map[string]any{}, nil); code != 400 {
+		t.Fatalf("empty mixture: %d", code)
+	}
+}
+
+func TestPauseResumeEndpoints(t *testing.T) {
+	ts, m, cancel := startTestServer(t)
+	defer cancel()
+	postJSON(t, ts.URL+"/pause", map[string]any{}, nil)
+	if !m.Paused() {
+		t.Fatal("not paused")
+	}
+	postJSON(t, ts.URL+"/resume", map[string]any{}, nil)
+	if m.Paused() {
+		t.Fatal("still paused")
+	}
+}
+
+func TestWindowsEndpoint(t *testing.T) {
+	ts, _, cancel := startTestServer(t)
+	defer cancel()
+	time.Sleep(1200 * time.Millisecond)
+	var pts []WindowPoint
+	getJSON(t, ts.URL+"/windows", &pts)
+	if len(pts) == 0 {
+		t.Fatal("no window points")
+	}
+	if pts[0].TPS <= 0 && len(pts) > 1 && pts[1].TPS <= 0 {
+		t.Fatalf("windows look empty: %+v", pts)
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	ts, _, cancel := startTestServer(t)
+	defer cancel()
+	resp, err := http.Get(ts.URL + "/status?workload=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestStartBenchmarkEndpoint(t *testing.T) {
+	ts, _, cancel := startTestServer(t)
+	defer cancel()
+	// Without a StartWorkload hook, POST /benchmark is 501.
+	if code := postJSON(t, ts.URL+"/benchmark", map[string]any{"benchmark": "x"}, nil); code != 501 {
+		t.Fatalf("status = %d", code)
+	}
+}
+
+func TestStartWorkloadHook(t *testing.T) {
+	db, _ := dbdriver.Open("gomvcc")
+	defer db.Close()
+	b := &apiBench{}
+	core.Prepare(b, db, 1)
+	srv := NewServer(nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv.StartWorkload = func(req StartRequest) (*core.Manager, error) {
+		m := core.NewManager(b, db, []core.Phase{{Duration: time.Hour, Rate: req.Rate}},
+			core.Options{Name: req.Name})
+		go m.Run(ctx)
+		return m, nil
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	var st StatusResponse
+	if code := postJSON(t, ts.URL+"/benchmark",
+		map[string]any{"name": "tenant2", "benchmark": "apibench", "rate": 10.0}, &st); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if st.Name != "tenant2" {
+		t.Fatalf("started workload: %+v", st)
+	}
+	// It must now be visible in /workloads.
+	var all []StatusResponse
+	getJSON(t, ts.URL+"/workloads", &all)
+	if len(all) != 1 || all[0].Name != "tenant2" {
+		t.Fatalf("workloads = %+v", all)
+	}
+}

@@ -1,0 +1,22 @@
+// Package all links every benchmark port into a binary: importing it
+// registers the full Table 1 suite with the core registry.
+package all
+
+import (
+	// Each import registers one benchmark via its init function.
+	_ "benchpress/internal/benchmarks/auctionmark"
+	_ "benchpress/internal/benchmarks/chbenchmark"
+	_ "benchpress/internal/benchmarks/epinions"
+	_ "benchpress/internal/benchmarks/jpab"
+	_ "benchpress/internal/benchmarks/linkbench"
+	_ "benchpress/internal/benchmarks/resourcestresser"
+	_ "benchpress/internal/benchmarks/seats"
+	_ "benchpress/internal/benchmarks/sibench"
+	_ "benchpress/internal/benchmarks/smallbank"
+	_ "benchpress/internal/benchmarks/tatp"
+	_ "benchpress/internal/benchmarks/tpcc"
+	_ "benchpress/internal/benchmarks/twitter"
+	_ "benchpress/internal/benchmarks/voter"
+	_ "benchpress/internal/benchmarks/wikipedia"
+	_ "benchpress/internal/benchmarks/ycsb"
+)

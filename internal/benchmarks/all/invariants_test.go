@@ -1,0 +1,207 @@
+package all
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"benchpress/internal/benchmarks/seats"
+	"benchpress/internal/benchmarks/smallbank"
+	"benchpress/internal/benchmarks/tpcc"
+	"benchpress/internal/benchmarks/voter"
+	"benchpress/internal/core"
+	"benchpress/internal/dbdriver"
+)
+
+// runMixed prepares a benchmark and hammers it open-loop with the given mix.
+func runMixed(t *testing.T, b core.Benchmark, engine string, mix []float64, d time.Duration, workers int) *dbdriver.DB {
+	t.Helper()
+	db, err := dbdriver.Open(engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(db.Close)
+	if err := core.Prepare(b, db, 99); err != nil {
+		t.Fatal(err)
+	}
+	m := core.NewManager(b, db, []core.Phase{{Duration: d, Rate: 0, Mix: mix}},
+		core.Options{Terminals: workers, Seed: 5})
+	if err := m.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if m.Collector().Errors() > 0 {
+		t.Fatalf("%d errors during run", m.Collector().Errors())
+	}
+	return db
+}
+
+// TPC-C consistency condition 1 (adapted): for every district,
+// d_next_o_id - 1 equals the maximum order id, and every undelivered order
+// in new_order exists in oorder. Checked after a concurrent default-mix run
+// on every engine.
+func TestTPCCConsistency(t *testing.T) {
+	for _, engine := range []string{"goserial", "golock", "gomvcc"} {
+		t.Run(engine, func(t *testing.T) {
+			b := tpcc.New(0.02)
+			db := runMixed(t, b, engine, nil, 500*time.Millisecond, 4)
+			c := db.Connect()
+			defer c.Close()
+			rows, err := c.Query("SELECT d_w_id, d_id, d_next_o_id FROM district")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range rows.Rows {
+				w, did, next := d[0].Int(), d[1].Int(), d[2].Int()
+				maxO, err := c.QueryRow(
+					"SELECT MAX(o_id) FROM oorder WHERE o_w_id = ? AND o_d_id = ?", w, did)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if maxO[0].Int() != next-1 {
+					t.Errorf("w=%d d=%d: max(o_id)=%d, d_next_o_id=%d", w, did, maxO[0].Int(), next)
+				}
+				// Every new_order has a matching order row.
+				missing, err := c.QueryRow(`SELECT COUNT(*) FROM new_order no
+					LEFT JOIN oorder o ON o.o_w_id = no.no_w_id AND o.o_d_id = no.no_d_id AND o.o_id = no.no_o_id
+					WHERE no.no_w_id = ? AND no.no_d_id = ? AND o.o_id IS NULL`, w, did)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if missing[0].Int() != 0 {
+					t.Errorf("w=%d d=%d: %d orphan new_order rows", w, did, missing[0].Int())
+				}
+			}
+			// Order lines exist for every order created by NewOrder.
+			cnt, err := c.QueryRow(`SELECT COUNT(*) FROM oorder o
+				LEFT JOIN order_line ol ON ol.ol_w_id = o.o_w_id AND ol.ol_d_id = o.o_d_id
+					AND ol.ol_o_id = o.o_id AND ol.ol_number = 1
+				WHERE ol.ol_o_id IS NULL`)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cnt[0].Int() != 0 {
+				t.Errorf("%d orders without a first order line", cnt[0].Int())
+			}
+		})
+	}
+}
+
+// SmallBank: SendPayment and Amalgamate only move money; run a mix of just
+// those two and assert the total balance is conserved exactly.
+func TestSmallBankMoneyConservation(t *testing.T) {
+	for _, engine := range []string{"goserial", "golock", "gomvcc"} {
+		t.Run(engine, func(t *testing.T) {
+			b := smallbank.New(0.02)
+			// Mix: Amalgamate, Balance, DepositChecking, SendPayment,
+			// TransactSavings, WriteCheck — only the pure-transfer ones.
+			mix := []float64{30, 20, 0, 50, 0, 0}
+			db := runMixed(t, b, engine, mix, 500*time.Millisecond, 4)
+			c := db.Connect()
+			defer c.Close()
+			total, err := c.QueryRow(`SELECT SUM(s.bal) + SUM(c.bal) FROM savings s, checking c
+				WHERE s.custid = c.custid`)
+			if err != nil {
+				t.Fatal(err)
+			}
+			accounts, _ := c.QueryRow("SELECT COUNT(*) FROM accounts")
+			want := float64(accounts[0].Int()) * 2 * 10000
+			if got := total[0].Float(); got < want-0.01 || got > want+0.01 {
+				t.Errorf("total balance %.2f, want %.2f", got, want)
+			}
+		})
+	}
+}
+
+// Voter: the per-phone vote cap must hold even under concurrency.
+func TestVoterVoteCap(t *testing.T) {
+	b := voter.New(0.001) // tiny phone space: forces the cap to bind
+	db := runMixed(t, b, "golock", nil, 500*time.Millisecond, 4)
+	c := db.Connect()
+	defer c.Close()
+	rows, err := c.Query("SELECT phone_number, COUNT(*) AS n FROM votes GROUP BY phone_number ORDER BY n DESC LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Rows) == 0 {
+		t.Fatal("no votes recorded")
+	}
+	// The cap is checked-then-inserted without predicate locks, so allow a
+	// small concurrency overshoot but catch gross violations.
+	if n := rows.Rows[0][1].Int(); n > 10+4 {
+		t.Errorf("phone %d has %d votes, cap is 10 (+worker slack)", rows.Rows[0][0].Int(), n)
+	}
+}
+
+// SEATS: seat uniqueness per flight (the unique index must hold), and the
+// seats_left counter must agree with the reservation count.
+func TestSEATSSeatInvariants(t *testing.T) {
+	b := seats.New(0.02)
+	db := runMixed(t, b, "gomvcc", nil, 500*time.Millisecond, 4)
+	c := db.Connect()
+	defer c.Close()
+	dup, err := c.QueryRow(`SELECT COUNT(*) - COUNT(DISTINCT r_f_id * 1000 + r_seat) FROM reservation`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup[0].Int() != 0 {
+		t.Errorf("%d duplicate (flight,seat) pairs", dup[0].Int())
+	}
+	// Per-flight conservation: f_seats_left + count(reservations) == 150.
+	flights, err := c.Query("SELECT f_id, f_seats_left FROM flight LIMIT 20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range flights.Rows {
+		cnt, err := c.QueryRow("SELECT COUNT(*) FROM reservation WHERE r_f_id = ?", f[0].Int())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := f[1].Int() + cnt[0].Int(); got != 150 {
+			t.Errorf("flight %d: seats_left(%d) + reservations(%d) = %d, want 150",
+				f[0].Int(), f[1].Int(), cnt[0].Int(), got)
+		}
+	}
+}
+
+// SIBench under the serial engine must never observe a stale minimum: the
+// minimum only grows as updates increment values. (Under snapshot isolation
+// the read skew the benchmark probes for is permitted.)
+func TestSIBenchMinMonotoneUnderSerial(t *testing.T) {
+	b, err := core.NewBenchmark("sibench", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := dbdriver.Open("goserial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := core.Prepare(b, db, 3); err != nil {
+		t.Fatal(err)
+	}
+	m := core.NewManager(b, db, []core.Phase{{Duration: 400 * time.Millisecond, Rate: 0}},
+		core.Options{Terminals: 4})
+	done := make(chan struct{})
+	go func() { m.Run(context.Background()); close(done) }()
+	c := db.Connect()
+	defer c.Close()
+	prev := int64(-1)
+	for {
+		select {
+		case <-done:
+			if prev < 0 {
+				t.Fatal("never observed a minimum")
+			}
+			return
+		default:
+		}
+		row, err := c.QueryRow("SELECT MIN(value) FROM sitest")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row[0].Int() < prev {
+			t.Fatalf("minimum went backwards: %d -> %d", prev, row[0].Int())
+		}
+		prev = row[0].Int()
+	}
+}

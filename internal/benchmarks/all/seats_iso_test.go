@@ -1,0 +1,68 @@
+// Engine/mix sweep for the SEATS seat-accounting invariant: this test
+// pinned down the stale-index-entry duplicate-row bug (see
+// TestUpdatedIndexEntryNotDuplicated in internal/sqldb) and stays as a
+// regression net across engines and transaction mixes.
+package all
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"benchpress/internal/benchmarks/seats"
+	"benchpress/internal/core"
+	"benchpress/internal/dbdriver"
+)
+
+func checkSeats(t *testing.T, db *dbdriver.DB) (bad int) {
+	c := db.Connect()
+	defer c.Close()
+	flights, _ := c.Query("SELECT f_id, f_seats_left FROM flight")
+	for _, f := range flights.Rows {
+		cnt, _ := c.QueryRow("SELECT COUNT(*) FROM reservation WHERE r_f_id = ?", f[0].Int())
+		if f[1].Int()+cnt[0].Int() != 150 {
+			bad++
+		}
+	}
+	return bad
+}
+
+func runSeats(t *testing.T, engine string, workers int, mix []float64) int {
+	b := seats.New(0.02)
+	db, _ := dbdriver.Open(engine)
+	defer db.Close()
+	if err := core.Prepare(b, db, 99); err != nil {
+		t.Fatal(err)
+	}
+	m := core.NewManager(b, db, []core.Phase{{Duration: 600 * time.Millisecond, Rate: 0, Mix: mix}},
+		core.Options{Terminals: workers, Seed: 5})
+	if err := m.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s w=%d committed=%d aborted=%d errors=%d", engine, workers, m.Collector().Committed(), m.Collector().Aborted(), m.Collector().Errors())
+	return checkSeats(t, db)
+}
+
+func TestSeatsIsolate(t *testing.T) {
+	// DeleteReservation, FindFlights, FindOpenSeats, NewReservation, UpdateCustomer, UpdateReservation
+	onlyNewDel := []float64{50, 0, 0, 50, 0, 0}
+	for _, tc := range []struct {
+		engine  string
+		workers int
+		mix     []float64
+		label   string
+	}{
+		{"gomvcc", 1, onlyNewDel, "mvcc-1w-newdel"},
+		{"gomvcc", 4, onlyNewDel, "mvcc-4w-newdel"},
+		{"goserial", 4, onlyNewDel, "serial-4w-newdel"},
+		{"golock", 4, onlyNewDel, "lock-4w-newdel"},
+		{"gomvcc", 4, []float64{0, 0, 0, 100, 0, 0}, "mvcc-4w-newonly"},
+		{"gomvcc", 4, []float64{100, 0, 0, 0, 0, 0}, "mvcc-4w-delonly"},
+		{"gomvcc", 4, []float64{0, 0, 0, 50, 0, 50}, "mvcc-4w-new+upd"},
+		{"gomvcc", 4, []float64{34, 0, 0, 33, 0, 33}, "mvcc-4w-new+del+upd"},
+		{"gomvcc", 4, []float64{25, 0, 0, 25, 50, 0}, "mvcc-4w-new+del+cust"},
+	} {
+		bad := runSeats(t, tc.engine, tc.workers, tc.mix)
+		t.Logf("%s: %d bad flights", tc.label, bad)
+	}
+}

@@ -1,0 +1,292 @@
+// Package auctionmark ports the AuctionMark benchmark (Table 1: "On-line
+// Auctions"): an eBay-style auction site. This port implements the six core
+// transactions of the full fourteen-transaction benchmark (item browsing,
+// bidding, listing, commenting, and seller updates), which carry the bulk of
+// the default mixture's weight.
+package auctionmark
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"benchpress/internal/benchmarks/common"
+	"benchpress/internal/core"
+	"benchpress/internal/dbdriver"
+)
+
+// Cardinalities at scale 1.
+const (
+	baseUsers      = 2000
+	baseItems      = 5000
+	baseCategories = 20
+	bidsPerItem    = 3
+)
+
+// Item status values.
+const (
+	statusOpen   = 0
+	statusClosed = 2
+)
+
+// Benchmark is the AuctionMark workload instance.
+type Benchmark struct {
+	users      int64
+	items      atomic.Int64
+	initItems  int64
+	categories int64
+	userChoose *common.ScrambledZipfian
+	itemChoose *common.ScrambledZipfian
+}
+
+// New builds the benchmark at a scale factor.
+func New(scale float64) *Benchmark {
+	users := int64(common.ScaleCount(baseUsers, scale, 100))
+	items := int64(common.ScaleCount(baseItems, scale, 200))
+	b := &Benchmark{
+		users:      users,
+		initItems:  items,
+		categories: int64(common.ScaleCount(baseCategories, scale, 5)),
+		userChoose: common.NewScrambledZipfian(users),
+		itemChoose: common.NewScrambledZipfian(items),
+	}
+	b.items.Store(items)
+	return b
+}
+
+// Name implements core.Benchmark.
+func (b *Benchmark) Name() string { return "auctionmark" }
+
+// DefaultMix implements core.Benchmark.
+func (b *Benchmark) DefaultMix() []float64 {
+	// CloseAuctions, GetItem, GetUserInfo, NewBid, NewComment, NewItem, UpdateItem
+	return []float64{2, 35, 20, 24, 5, 9, 5}
+}
+
+// CreateSchema implements core.Benchmark.
+func (b *Benchmark) CreateSchema(conn *dbdriver.Conn) error {
+	ddls := []string{
+		`CREATE TABLE useracct (
+			u_id INT NOT NULL,
+			u_rating INT NOT NULL,
+			u_balance DOUBLE NOT NULL,
+			u_created TIMESTAMP,
+			PRIMARY KEY (u_id))`,
+		`CREATE TABLE category (
+			c_id INT NOT NULL,
+			c_name VARCHAR(64),
+			c_parent_id INT,
+			PRIMARY KEY (c_id))`,
+		`CREATE TABLE item (
+			i_id BIGINT NOT NULL,
+			i_u_id INT NOT NULL,
+			i_c_id INT NOT NULL,
+			i_name VARCHAR(128),
+			i_description VARCHAR(255),
+			i_initial_price DOUBLE NOT NULL,
+			i_current_price DOUBLE NOT NULL,
+			i_num_bids INT NOT NULL,
+			i_end_date BIGINT NOT NULL,
+			i_status INT NOT NULL,
+			PRIMARY KEY (i_id))`,
+		"CREATE INDEX idx_item_seller ON item (i_u_id)",
+		"CREATE INDEX idx_item_category ON item (i_c_id)",
+		`CREATE TABLE item_bid (
+			ib_id BIGINT NOT NULL AUTO_INCREMENT,
+			ib_i_id BIGINT NOT NULL,
+			ib_buyer_id INT NOT NULL,
+			ib_bid DOUBLE NOT NULL,
+			ib_max_bid DOUBLE NOT NULL,
+			ib_created TIMESTAMP,
+			PRIMARY KEY (ib_id))`,
+		"CREATE INDEX idx_bid_item ON item_bid (ib_i_id)",
+		"CREATE INDEX idx_bid_buyer ON item_bid (ib_buyer_id)",
+		`CREATE TABLE item_comment (
+			ic_id BIGINT NOT NULL AUTO_INCREMENT,
+			ic_i_id BIGINT NOT NULL,
+			ic_buyer_id INT NOT NULL,
+			ic_question VARCHAR(128),
+			ic_created TIMESTAMP,
+			PRIMARY KEY (ic_id))`,
+		"CREATE INDEX idx_comment_item ON item_comment (ic_i_id)",
+	}
+	for _, ddl := range ddls {
+		if _, err := conn.Exec(ddl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load implements core.Benchmark.
+func (b *Benchmark) Load(db *dbdriver.DB, rng *rand.Rand) error {
+	l, err := common.NewLoader(db, 2000)
+	if err != nil {
+		return err
+	}
+	for c := int64(0); c < b.categories; c++ {
+		if err := l.Exec("INSERT INTO category VALUES (?, ?, NULL)",
+			c, common.Text(rng, 2)); err != nil {
+			return err
+		}
+	}
+	for u := int64(0); u < b.users; u++ {
+		if err := l.Exec("INSERT INTO useracct VALUES (?, ?, ?, NOW())",
+			u, rng.Intn(10000), rng.Float64()*1000); err != nil {
+			return err
+		}
+	}
+	for i := int64(0); i < b.initItems; i++ {
+		price := 1 + rng.Float64()*999
+		status := statusOpen
+		if common.FlipCoin(rng, 0.3) {
+			status = statusClosed
+		}
+		if err := l.Exec("INSERT INTO item VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+			i, b.userChoose.Next(rng), rng.Int63n(b.categories),
+			common.Text(rng, 4), common.Text(rng, 20),
+			price, price*(1+rng.Float64()), bidsPerItem, rng.Int63n(365*24), status); err != nil {
+			return err
+		}
+		for bd := 0; bd < bidsPerItem; bd++ {
+			bid := price * (1 + rng.Float64())
+			if err := l.Exec(
+				"INSERT INTO item_bid (ib_i_id, ib_buyer_id, ib_bid, ib_max_bid, ib_created) VALUES (?, ?, ?, ?, NOW())",
+				i, b.userChoose.Next(rng), bid, bid*1.1); err != nil {
+				return err
+			}
+		}
+	}
+	return l.Close()
+}
+
+// Procedures implements core.Benchmark.
+func (b *Benchmark) Procedures() []core.Procedure {
+	return []core.Procedure{
+		{Name: "CloseAuctions", Fn: b.closeAuctions},
+		{Name: "GetItem", ReadOnly: true, Fn: b.getItem},
+		{Name: "GetUserInfo", ReadOnly: true, Fn: b.getUserInfo},
+		{Name: "NewBid", Fn: b.newBid},
+		{Name: "NewComment", Fn: b.newComment},
+		{Name: "NewItem", Fn: b.newItem},
+		{Name: "UpdateItem", Fn: b.updateItem},
+	}
+}
+
+func (b *Benchmark) randItem(rng *rand.Rand) int64 { return b.itemChoose.Next(rng) }
+
+// closeAuctions is AuctionMark's background sweep: retire a batch of open
+// auctions whose end date has passed, recording the winning (highest) bid as
+// the final price.
+func (b *Benchmark) closeAuctions(conn *dbdriver.Conn, rng *rand.Rand) error {
+	horizon := rng.Int63n(365 * 24)
+	expired, err := conn.Query(
+		"SELECT i_id FROM item WHERE i_status = ? AND i_end_date < ? LIMIT 5 FOR UPDATE",
+		statusOpen, horizon)
+	if err != nil {
+		return err
+	}
+	for _, row := range expired.Rows {
+		id := row[0].Int()
+		top, err := conn.QueryRow(
+			"SELECT MAX(ib_bid) FROM item_bid WHERE ib_i_id = ?", id)
+		if err != nil {
+			return err
+		}
+		if top != nil && !top[0].IsNull() {
+			if _, err := conn.Exec(
+				"UPDATE item SET i_status = ?, i_current_price = ? WHERE i_id = ?",
+				statusClosed, top[0].Float(), id); err != nil {
+				return err
+			}
+		} else if _, err := conn.Exec(
+			"UPDATE item SET i_status = ? WHERE i_id = ?", statusClosed, id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *Benchmark) getItem(conn *dbdriver.Conn, rng *rand.Rand) error {
+	i := b.randItem(rng)
+	row, err := conn.QueryRow("SELECT * FROM item WHERE i_id = ?", i)
+	if err != nil || row == nil {
+		return err
+	}
+	_, err = conn.QueryRow("SELECT u_id, u_rating FROM useracct WHERE u_id = ?", row[1].Int())
+	return err
+}
+
+func (b *Benchmark) getUserInfo(conn *dbdriver.Conn, rng *rand.Rand) error {
+	u := b.userChoose.Next(rng)
+	if _, err := conn.QueryRow("SELECT * FROM useracct WHERE u_id = ?", u); err != nil {
+		return err
+	}
+	if _, err := conn.Query(
+		"SELECT i_id, i_name, i_current_price FROM item WHERE i_u_id = ? LIMIT 10", u); err != nil {
+		return err
+	}
+	_, err := conn.Query(
+		"SELECT ib_i_id, ib_bid FROM item_bid WHERE ib_buyer_id = ? ORDER BY ib_id DESC LIMIT 10", u)
+	return err
+}
+
+// newBid validates the item is open and the bid beats the current price,
+// then records it.
+func (b *Benchmark) newBid(conn *dbdriver.Conn, rng *rand.Rand) error {
+	i := b.randItem(rng)
+	buyer := b.userChoose.Next(rng)
+	row, err := conn.QueryRow(
+		"SELECT i_current_price, i_status FROM item WHERE i_id = ? FOR UPDATE", i)
+	if err != nil {
+		return err
+	}
+	if row == nil || row[1].Int() != statusOpen {
+		return core.ErrExpectedAbort // auction gone or closed
+	}
+	bid := row[0].Float() * (1 + rng.Float64()*0.1)
+	if _, err := conn.Exec(
+		"INSERT INTO item_bid (ib_i_id, ib_buyer_id, ib_bid, ib_max_bid, ib_created) VALUES (?, ?, ?, ?, NOW())",
+		i, buyer, bid, bid*1.1); err != nil {
+		return err
+	}
+	_, err = conn.Exec(
+		"UPDATE item SET i_current_price = ?, i_num_bids = i_num_bids + 1 WHERE i_id = ?", bid, i)
+	return err
+}
+
+func (b *Benchmark) newComment(conn *dbdriver.Conn, rng *rand.Rand) error {
+	_, err := conn.Exec(
+		"INSERT INTO item_comment (ic_i_id, ic_buyer_id, ic_question, ic_created) VALUES (?, ?, ?, NOW())",
+		b.randItem(rng), b.userChoose.Next(rng), common.Text(rng, 10))
+	return err
+}
+
+func (b *Benchmark) newItem(conn *dbdriver.Conn, rng *rand.Rand) error {
+	id := b.items.Add(1) - 1
+	price := 1 + rng.Float64()*999
+	_, err := conn.Exec("INSERT INTO item VALUES (?, ?, ?, ?, ?, ?, ?, 0, ?, ?)",
+		id, b.userChoose.Next(rng), rng.Int63n(b.categories),
+		common.Text(rng, 4), common.Text(rng, 20), price, price,
+		rng.Int63n(365*24), statusOpen)
+	if err != nil {
+		return fmt.Errorf("auctionmark: new item collision: %v: %w", err, core.ErrExpectedAbort)
+	}
+	return nil
+}
+
+func (b *Benchmark) updateItem(conn *dbdriver.Conn, rng *rand.Rand) error {
+	res, err := conn.Exec("UPDATE item SET i_description = ? WHERE i_id = ?",
+		common.Text(rng, 20), b.randItem(rng))
+	if err != nil {
+		return err
+	}
+	if res.RowsAffected == 0 {
+		return core.ErrExpectedAbort
+	}
+	return nil
+}
+
+func init() {
+	core.RegisterBenchmark("auctionmark", func(scale float64) core.Benchmark { return New(scale) })
+}

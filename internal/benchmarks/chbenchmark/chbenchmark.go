@@ -1,0 +1,126 @@
+// Package chbenchmark ports the CH-benCHmark (Table 1: "Mixture of OLTP and
+// OLAP"): the TPC-C transactional workload running concurrently with
+// TPC-H-derived analytic queries over the same (extended) schema. This port
+// includes four representative members of the 22-query suite - Q1 (pricing
+// summary), Q6 (revenue change), Q12 (shipping modes), Q14 (promotion
+// effect) - adapted to the shared TPC-C tables exactly as CH-benCHmark does.
+package chbenchmark
+
+import (
+	"math/rand"
+	"time"
+
+	"benchpress/internal/benchmarks/tpcc"
+	"benchpress/internal/core"
+	"benchpress/internal/dbdriver"
+)
+
+// Benchmark layers analytic queries over an embedded TPC-C instance.
+type Benchmark struct {
+	*tpcc.Benchmark
+}
+
+// New builds the benchmark at a scale factor (TPC-C semantics).
+func New(scale float64) *Benchmark {
+	return &Benchmark{Benchmark: tpcc.New(scale)}
+}
+
+// Name implements core.Benchmark.
+func (b *Benchmark) Name() string { return "chbenchmark" }
+
+// DefaultMix implements core.Benchmark: the TPC-C mixture with a trickle of
+// analytics, CH-benCHmark's standard hybrid setup.
+func (b *Benchmark) DefaultMix() []float64 {
+	// NewOrder, Payment, OrderStatus, Delivery, StockLevel, Q1, Q3, Q6, Q12, Q14
+	return []float64{43, 41, 4, 4, 3, 1, 1, 1, 1, 1}
+}
+
+// AnalyticsOnlyMix runs only the OLAP side (used in ablation benches).
+func (b *Benchmark) AnalyticsOnlyMix() []float64 {
+	return []float64{0, 0, 0, 0, 0, 20, 20, 20, 20, 20}
+}
+
+// Procedures implements core.Benchmark: the five TPC-C transactions plus the
+// analytic queries.
+func (b *Benchmark) Procedures() []core.Procedure {
+	procs := b.Benchmark.Procedures()
+	return append(procs,
+		core.Procedure{Name: "Q1", ReadOnly: true, Fn: b.q1},
+		core.Procedure{Name: "Q3", ReadOnly: true, Fn: b.q3},
+		core.Procedure{Name: "Q6", ReadOnly: true, Fn: b.q6},
+		core.Procedure{Name: "Q12", ReadOnly: true, Fn: b.q12},
+		core.Procedure{Name: "Q14", ReadOnly: true, Fn: b.q14},
+	)
+}
+
+// q3 is CH-benCHmark Q3: unshipped orders of a customer-state segment with
+// their accumulated revenue (a four-way join over customer, new_order,
+// oorder, and order_line).
+func (b *Benchmark) q3(conn *dbdriver.Conn, rng *rand.Rand) error {
+	state := string(rune('A' + rng.Intn(26)))
+	_, err := conn.Query(`SELECT o.o_id, o.o_w_id, o.o_d_id, SUM(ol.ol_amount) AS revenue
+		FROM customer c
+		JOIN oorder o ON o.o_w_id = c.c_w_id AND o.o_d_id = c.c_d_id AND o.o_c_id = c.c_id
+		JOIN new_order no ON no.no_w_id = o.o_w_id AND no.no_d_id = o.o_d_id AND no.no_o_id = o.o_id
+		JOIN order_line ol ON ol.ol_w_id = o.o_w_id AND ol.ol_d_id = o.o_d_id AND ol.ol_o_id = o.o_id
+		WHERE c.c_state LIKE ?
+		GROUP BY o.o_id, o.o_w_id, o.o_d_id
+		ORDER BY revenue DESC
+		LIMIT 10`, state+"%")
+	return err
+}
+
+// cutoff returns a random delivery-date cutoff within the loaded data range.
+func cutoff(rng *rand.Rand) time.Time {
+	epoch := time.Date(2015, 5, 31, 0, 0, 0, 0, time.UTC)
+	return epoch.Add(-time.Duration(rng.Int63n(int64(300 * 24 * time.Hour))))
+}
+
+// q1 is CH-benCHmark Q1: order-line pricing summary grouped by line number.
+func (b *Benchmark) q1(conn *dbdriver.Conn, rng *rand.Rand) error {
+	_, err := conn.Query(`SELECT ol_number,
+			SUM(ol_quantity) AS sum_qty,
+			SUM(ol_amount) AS sum_amount,
+			AVG(ol_quantity) AS avg_qty,
+			AVG(ol_amount) AS avg_amount,
+			COUNT(*) AS count_order
+		FROM order_line
+		WHERE ol_delivery_d > ?
+		GROUP BY ol_number
+		ORDER BY ol_number`, cutoff(rng))
+	return err
+}
+
+// q6 is CH-benCHmark Q6: revenue from qualifying order lines.
+func (b *Benchmark) q6(conn *dbdriver.Conn, rng *rand.Rand) error {
+	_, err := conn.QueryRow(`SELECT SUM(ol_amount) AS revenue
+		FROM order_line
+		WHERE ol_delivery_d >= ? AND ol_quantity BETWEEN 1 AND 100000`, cutoff(rng))
+	return err
+}
+
+// q12 is CH-benCHmark Q12: order priority counts by carrier class.
+func (b *Benchmark) q12(conn *dbdriver.Conn, rng *rand.Rand) error {
+	_, err := conn.Query(`SELECT o.o_ol_cnt,
+			SUM(CASE WHEN o.o_carrier_id = 1 OR o.o_carrier_id = 2 THEN 1 ELSE 0 END) AS high_line,
+			SUM(CASE WHEN o.o_carrier_id <> 1 AND o.o_carrier_id <> 2 THEN 1 ELSE 0 END) AS low_line
+		FROM oorder o JOIN order_line ol
+			ON ol.ol_w_id = o.o_w_id AND ol.ol_d_id = o.o_d_id AND ol.ol_o_id = o.o_id
+		WHERE o.o_entry_d <= ol.ol_delivery_d
+		GROUP BY o.o_ol_cnt
+		ORDER BY o.o_ol_cnt`)
+	return err
+}
+
+// q14 is CH-benCHmark Q14: promotion effect over delivered lines.
+func (b *Benchmark) q14(conn *dbdriver.Conn, rng *rand.Rand) error {
+	_, err := conn.QueryRow(`SELECT
+			100 * SUM(CASE WHEN i.i_data LIKE 'pr%' THEN ol.ol_amount ELSE 0 END) / (1 + SUM(ol.ol_amount)) AS promo_revenue
+		FROM order_line ol JOIN item i ON ol.ol_i_id = i.i_id
+		WHERE ol.ol_delivery_d >= ?`, cutoff(rng))
+	return err
+}
+
+func init() {
+	core.RegisterBenchmark("chbenchmark", func(scale float64) core.Benchmark { return New(scale) })
+}

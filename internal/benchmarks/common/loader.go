@@ -1,0 +1,63 @@
+package common
+
+import (
+	"fmt"
+
+	"benchpress/internal/dbdriver"
+)
+
+// Loader batches data-generation inserts into larger transactions so that
+// benchmark loading does not pay one commit (and one WAL sync) per row.
+type Loader struct {
+	conn  *dbdriver.Conn
+	batch int
+	n     int
+}
+
+// NewLoader opens a loading connection with the given batch size (rows per
+// commit; default 1000).
+func NewLoader(db *dbdriver.DB, batch int) (*Loader, error) {
+	if batch <= 0 {
+		batch = 1000
+	}
+	l := &Loader{conn: db.Connect(), batch: batch}
+	if err := l.conn.Begin(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Exec runs one insert (or other DML) within the current batch transaction.
+// A statement error aborts and restarts the batch transaction (losing the
+// batch's earlier rows), so loaders must treat any error as fatal rather
+// than skip-and-continue.
+func (l *Loader) Exec(sql string, args ...any) error {
+	if _, err := l.conn.Exec(sql, args...); err != nil {
+		l.conn.Rollback()
+		l.conn.Begin() // keep the loader usable for error-path cleanup
+		return fmt.Errorf("loader: %w", err)
+	}
+	l.n++
+	if l.n%l.batch == 0 {
+		if err := l.conn.Commit(); err != nil {
+			return fmt.Errorf("loader: commit: %w", err)
+		}
+		if err := l.conn.Begin(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rows returns the number of statements executed.
+func (l *Loader) Rows() int { return l.n }
+
+// Close commits the final batch and releases the connection.
+func (l *Loader) Close() error {
+	var err error
+	if l.conn.InTxn() {
+		err = l.conn.Commit()
+	}
+	l.conn.Close()
+	return err
+}

@@ -1,0 +1,211 @@
+// Package epinions ports the Epinions benchmark (Table 1: "Social
+// Networking"): consumer reviews with a web-of-trust graph, whose
+// characteristic queries join reviews against the reader's trust network.
+package epinions
+
+import (
+	"math/rand"
+
+	"benchpress/internal/benchmarks/common"
+	"benchpress/internal/core"
+	"benchpress/internal/dbdriver"
+)
+
+// Cardinalities at scale 1.
+const (
+	baseUsers         = 2000
+	baseItems         = 1000
+	reviewsPerItem    = 10
+	trustEdgesPerUser = 10
+)
+
+// Benchmark is the Epinions workload instance.
+type Benchmark struct {
+	users, items int64
+	reviews      int64
+	userChoose   *common.ScrambledZipfian
+	itemChoose   *common.ScrambledZipfian
+}
+
+// New builds the benchmark at a scale factor.
+func New(scale float64) *Benchmark {
+	users := int64(common.ScaleCount(baseUsers, scale, 100))
+	items := int64(common.ScaleCount(baseItems, scale, 50))
+	return &Benchmark{
+		users:      users,
+		items:      items,
+		userChoose: common.NewScrambledZipfian(users),
+		itemChoose: common.NewScrambledZipfian(items),
+	}
+}
+
+// Name implements core.Benchmark.
+func (b *Benchmark) Name() string { return "epinions" }
+
+// DefaultMix implements core.Benchmark.
+func (b *Benchmark) DefaultMix() []float64 {
+	// GetReviewItemById, GetReviewsByUser, GetAverageRatingByTrustedUser,
+	// GetItemAverageRating, GetItemReviewsByTrustedUser, UpdateUserName,
+	// UpdateItemTitle, UpdateReviewRating, UpdateTrustRating
+	return []float64{10, 10, 10, 10, 10, 20, 10, 15, 5}
+}
+
+// CreateSchema implements core.Benchmark.
+func (b *Benchmark) CreateSchema(conn *dbdriver.Conn) error {
+	ddls := []string{
+		`CREATE TABLE useracct (
+			u_id INT NOT NULL,
+			name VARCHAR(128) NOT NULL,
+			email VARCHAR(128),
+			PRIMARY KEY (u_id))`,
+		`CREATE TABLE item (
+			i_id INT NOT NULL,
+			title VARCHAR(128) NOT NULL,
+			description VARCHAR(512),
+			PRIMARY KEY (i_id))`,
+		`CREATE TABLE review (
+			a_id INT NOT NULL AUTO_INCREMENT,
+			u_id INT NOT NULL,
+			i_id INT NOT NULL,
+			rating INT,
+			rank INT,
+			comment VARCHAR(256),
+			PRIMARY KEY (a_id))`,
+		"CREATE INDEX idx_review_item ON review (i_id)",
+		"CREATE INDEX idx_review_user ON review (u_id)",
+		`CREATE TABLE trust (
+			source_u_id INT NOT NULL,
+			target_u_id INT NOT NULL,
+			trust INT NOT NULL,
+			creation_date TIMESTAMP,
+			PRIMARY KEY (source_u_id, target_u_id))`,
+	}
+	for _, ddl := range ddls {
+		if _, err := conn.Exec(ddl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load implements core.Benchmark.
+func (b *Benchmark) Load(db *dbdriver.DB, rng *rand.Rand) error {
+	l, err := common.NewLoader(db, 1000)
+	if err != nil {
+		return err
+	}
+	for u := int64(0); u < b.users; u++ {
+		if err := l.Exec("INSERT INTO useracct VALUES (?, ?, ?)",
+			u, common.LString(rng, 6, 16), common.LString(rng, 8, 16)+"@example.com"); err != nil {
+			return err
+		}
+		seen := map[int64]bool{u: true}
+		for e := 0; e < trustEdgesPerUser; e++ {
+			tgt := b.userChoose.Next(rng)
+			if seen[tgt] {
+				continue
+			}
+			seen[tgt] = true
+			if err := l.Exec("INSERT INTO trust VALUES (?, ?, ?, NOW())",
+				u, tgt, rng.Intn(2)); err != nil {
+				return err
+			}
+		}
+	}
+	for i := int64(0); i < b.items; i++ {
+		if err := l.Exec("INSERT INTO item VALUES (?, ?, ?)",
+			i, common.Text(rng, 4), common.Text(rng, 30)); err != nil {
+			return err
+		}
+		for r := 0; r < reviewsPerItem; r++ {
+			b.reviews++
+			if err := l.Exec(
+				"INSERT INTO review (u_id, i_id, rating, rank, comment) VALUES (?, ?, ?, ?, ?)",
+				b.userChoose.Next(rng), i, rng.Intn(6), rng.Intn(100),
+				common.Text(rng, 12)); err != nil {
+				return err
+			}
+		}
+	}
+	return l.Close()
+}
+
+// Procedures implements core.Benchmark.
+func (b *Benchmark) Procedures() []core.Procedure {
+	return []core.Procedure{
+		{Name: "GetReviewItemById", ReadOnly: true, Fn: b.getReviewItemByID},
+		{Name: "GetReviewsByUser", ReadOnly: true, Fn: b.getReviewsByUser},
+		{Name: "GetAverageRatingByTrustedUser", ReadOnly: true, Fn: b.getAverageRatingByTrustedUser},
+		{Name: "GetItemAverageRating", ReadOnly: true, Fn: b.getItemAverageRating},
+		{Name: "GetItemReviewsByTrustedUser", ReadOnly: true, Fn: b.getItemReviewsByTrustedUser},
+		{Name: "UpdateUserName", Fn: b.updateUserName},
+		{Name: "UpdateItemTitle", Fn: b.updateItemTitle},
+		{Name: "UpdateReviewRating", Fn: b.updateReviewRating},
+		{Name: "UpdateTrustRating", Fn: b.updateTrustRating},
+	}
+}
+
+func (b *Benchmark) getReviewItemByID(conn *dbdriver.Conn, rng *rand.Rand) error {
+	iid := b.itemChoose.Next(rng)
+	if _, err := conn.QueryRow("SELECT * FROM item WHERE i_id = ?", iid); err != nil {
+		return err
+	}
+	_, err := conn.Query("SELECT * FROM review WHERE i_id = ? ORDER BY rank LIMIT 10", iid)
+	return err
+}
+
+func (b *Benchmark) getReviewsByUser(conn *dbdriver.Conn, rng *rand.Rand) error {
+	_, err := conn.Query("SELECT * FROM review WHERE u_id = ? ORDER BY a_id LIMIT 10",
+		b.userChoose.Next(rng))
+	return err
+}
+
+func (b *Benchmark) getAverageRatingByTrustedUser(conn *dbdriver.Conn, rng *rand.Rand) error {
+	_, err := conn.QueryRow(`SELECT AVG(r.rating)
+		FROM review r JOIN trust t ON r.u_id = t.target_u_id
+		WHERE r.i_id = ? AND t.source_u_id = ? AND t.trust = 1`,
+		b.itemChoose.Next(rng), b.userChoose.Next(rng))
+	return err
+}
+
+func (b *Benchmark) getItemAverageRating(conn *dbdriver.Conn, rng *rand.Rand) error {
+	_, err := conn.QueryRow("SELECT AVG(rating) FROM review WHERE i_id = ?", b.itemChoose.Next(rng))
+	return err
+}
+
+func (b *Benchmark) getItemReviewsByTrustedUser(conn *dbdriver.Conn, rng *rand.Rand) error {
+	_, err := conn.Query(`SELECT r.a_id, r.rating, r.comment
+		FROM review r JOIN trust t ON r.u_id = t.target_u_id
+		WHERE r.i_id = ? AND t.source_u_id = ? ORDER BY r.rating DESC LIMIT 10`,
+		b.itemChoose.Next(rng), b.userChoose.Next(rng))
+	return err
+}
+
+func (b *Benchmark) updateUserName(conn *dbdriver.Conn, rng *rand.Rand) error {
+	_, err := conn.Exec("UPDATE useracct SET name = ? WHERE u_id = ?",
+		common.LString(rng, 6, 16), b.userChoose.Next(rng))
+	return err
+}
+
+func (b *Benchmark) updateItemTitle(conn *dbdriver.Conn, rng *rand.Rand) error {
+	_, err := conn.Exec("UPDATE item SET title = ? WHERE i_id = ?",
+		common.Text(rng, 4), b.itemChoose.Next(rng))
+	return err
+}
+
+func (b *Benchmark) updateReviewRating(conn *dbdriver.Conn, rng *rand.Rand) error {
+	_, err := conn.Exec("UPDATE review SET rating = ? WHERE i_id = ? AND u_id = ?",
+		rng.Intn(6), b.itemChoose.Next(rng), b.userChoose.Next(rng))
+	return err
+}
+
+func (b *Benchmark) updateTrustRating(conn *dbdriver.Conn, rng *rand.Rand) error {
+	src, tgt := b.userChoose.Next(rng), b.userChoose.Next(rng)
+	_, err := conn.Exec("UPDATE trust SET trust = ? WHERE source_u_id = ? AND target_u_id = ?",
+		rng.Intn(2), src, tgt)
+	return err
+}
+
+func init() {
+	core.RegisterBenchmark("epinions", func(scale float64) core.Benchmark { return New(scale) })
+}

@@ -1,0 +1,170 @@
+// Package jpab ports the JPA Benchmark (Table 1: "Object-Relational
+// Mapping"): ORM-style entity CRUD. The original drives a JPA provider; the
+// port reproduces the provider's generated access pattern - entity tables
+// with surrogate keys, per-entity SELECT-then-UPDATE, and a sequence table,
+// which is exactly what an ORM emits over JDBC.
+package jpab
+
+import (
+	"math/rand"
+	"sync/atomic"
+
+	"benchpress/internal/benchmarks/common"
+	"benchpress/internal/core"
+	"benchpress/internal/dbdriver"
+)
+
+// basePersons is the entity count at scale 1.
+const basePersons = 5000
+
+// Benchmark is the JPAB workload instance.
+type Benchmark struct {
+	persons atomic.Int64
+	initial int64
+}
+
+// New builds the benchmark at a scale factor.
+func New(scale float64) *Benchmark {
+	b := &Benchmark{initial: int64(common.ScaleCount(basePersons, scale, 100))}
+	return b
+}
+
+// Name implements core.Benchmark.
+func (b *Benchmark) Name() string { return "jpab" }
+
+// DefaultMix implements core.Benchmark (JPAB's basic test mixes persist,
+// retrieve, update, delete 25/45/20/10).
+func (b *Benchmark) DefaultMix() []float64 {
+	// Persist, Retrieve, Update, Delete
+	return []float64{25, 45, 20, 10}
+}
+
+// CreateSchema implements core.Benchmark: the table layout a JPA provider
+// generates for a Person entity with an embedded address.
+func (b *Benchmark) CreateSchema(conn *dbdriver.Conn) error {
+	ddls := []string{
+		`CREATE TABLE jpab_person (
+			id BIGINT NOT NULL,
+			firstname VARCHAR(32),
+			lastname VARCHAR(32),
+			phone VARCHAR(16),
+			street VARCHAR(64),
+			city VARCHAR(32),
+			state VARCHAR(2),
+			zip VARCHAR(10),
+			version INT NOT NULL,
+			PRIMARY KEY (id))`,
+		"CREATE INDEX idx_person_lastname ON jpab_person (lastname)",
+		`CREATE TABLE jpab_sequence (
+			seq_name VARCHAR(32) NOT NULL,
+			seq_count BIGINT NOT NULL,
+			PRIMARY KEY (seq_name))`,
+	}
+	for _, ddl := range ddls {
+		if _, err := conn.Exec(ddl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load implements core.Benchmark.
+func (b *Benchmark) Load(db *dbdriver.DB, rng *rand.Rand) error {
+	l, err := common.NewLoader(db, 1000)
+	if err != nil {
+		return err
+	}
+	for id := int64(1); id <= b.initial; id++ {
+		if err := l.Exec(
+			"INSERT INTO jpab_person VALUES (?, ?, ?, ?, ?, ?, ?, ?, 0)",
+			id, common.LString(rng, 4, 10), common.LString(rng, 4, 12),
+			common.NString(rng, 10, 10), common.Text(rng, 3),
+			common.LString(rng, 5, 10), "CA", common.NString(rng, 5, 5)); err != nil {
+			return err
+		}
+	}
+	if err := l.Exec("INSERT INTO jpab_sequence VALUES ('person', ?)", b.initial); err != nil {
+		return err
+	}
+	b.persons.Store(b.initial)
+	return l.Close()
+}
+
+// Procedures implements core.Benchmark.
+func (b *Benchmark) Procedures() []core.Procedure {
+	return []core.Procedure{
+		{Name: "Persist", Fn: b.persist},
+		{Name: "Retrieve", ReadOnly: true, Fn: b.retrieve},
+		{Name: "Update", Fn: b.update},
+		{Name: "Delete", Fn: b.delete},
+	}
+}
+
+// anyID draws an id in the live range (some may be deleted; ORM handles the
+// miss, and so do we).
+func (b *Benchmark) anyID(rng *rand.Rand) int64 {
+	return 1 + rng.Int63n(b.persons.Load())
+}
+
+// persist allocates an id from the sequence table (as JPA TABLE generators
+// do) and inserts the entity.
+func (b *Benchmark) persist(conn *dbdriver.Conn, rng *rand.Rand) error {
+	row, err := conn.QueryRow("SELECT seq_count FROM jpab_sequence WHERE seq_name = 'person' FOR UPDATE")
+	if err != nil || row == nil {
+		return err
+	}
+	id := row[0].Int() + 1
+	if _, err := conn.Exec("UPDATE jpab_sequence SET seq_count = ? WHERE seq_name = 'person'", id); err != nil {
+		return err
+	}
+	if _, err := conn.Exec("INSERT INTO jpab_person VALUES (?, ?, ?, ?, ?, ?, ?, ?, 0)",
+		id, common.LString(rng, 4, 10), common.LString(rng, 4, 12),
+		common.NString(rng, 10, 10), common.Text(rng, 3),
+		common.LString(rng, 5, 10), "CA", common.NString(rng, 5, 5)); err != nil {
+		return err
+	}
+	if id > b.persons.Load() {
+		b.persons.Store(id)
+	}
+	return nil
+}
+
+// retrieve loads an entity by id.
+func (b *Benchmark) retrieve(conn *dbdriver.Conn, rng *rand.Rand) error {
+	_, err := conn.QueryRow("SELECT * FROM jpab_person WHERE id = ?", b.anyID(rng))
+	return err
+}
+
+// update does the ORM's optimistic-locking dance: read entity + version,
+// then update with a version check.
+func (b *Benchmark) update(conn *dbdriver.Conn, rng *rand.Rand) error {
+	id := b.anyID(rng)
+	row, err := conn.QueryRow("SELECT version FROM jpab_person WHERE id = ?", id)
+	if err != nil {
+		return err
+	}
+	if row == nil {
+		return nil // deleted entity; no-op like EntityManager.find miss
+	}
+	v := row[0].Int()
+	res, err := conn.Exec(
+		"UPDATE jpab_person SET phone = ?, version = ? WHERE id = ? AND version = ?",
+		common.NString(rng, 10, 10), v+1, id, v)
+	if err != nil {
+		return err
+	}
+	if res.RowsAffected == 0 {
+		return core.ErrExpectedAbort // optimistic lock failure
+	}
+	return nil
+}
+
+// delete removes an entity by id.
+func (b *Benchmark) delete(conn *dbdriver.Conn, rng *rand.Rand) error {
+	_, err := conn.Exec("DELETE FROM jpab_person WHERE id = ?", b.anyID(rng))
+	return err
+}
+
+func init() {
+	core.RegisterBenchmark("jpab", func(scale float64) core.Benchmark { return New(scale) })
+}

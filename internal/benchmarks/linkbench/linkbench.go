@@ -1,0 +1,239 @@
+// Package linkbench ports Facebook's LinkBench (Table 1: "Social
+// Networking"): a social-graph store of nodes and typed directed links with
+// maintained link counts, exercised by the production-derived operation mix.
+package linkbench
+
+import (
+	"math/rand"
+	"sync/atomic"
+
+	"benchpress/internal/benchmarks/common"
+	"benchpress/internal/core"
+	"benchpress/internal/dbdriver"
+)
+
+// Cardinalities at scale 1.
+const (
+	baseNodes    = 5000
+	linksPerNode = 5
+	linkType     = 123
+)
+
+// Benchmark is the LinkBench workload instance.
+type Benchmark struct {
+	nodes    int64
+	nextNode atomic.Int64
+	idChoose *common.ScrambledZipfian
+}
+
+// New builds the benchmark at a scale factor.
+func New(scale float64) *Benchmark {
+	n := int64(common.ScaleCount(baseNodes, scale, 200))
+	b := &Benchmark{nodes: n, idChoose: common.NewScrambledZipfian(n)}
+	b.nextNode.Store(n)
+	return b
+}
+
+// Name implements core.Benchmark.
+func (b *Benchmark) Name() string { return "linkbench" }
+
+// DefaultMix implements core.Benchmark (approximating the Facebook
+// production mix: link reads dominate).
+func (b *Benchmark) DefaultMix() []float64 {
+	// AddLink, DeleteLink, UpdateLink, CountLink, GetLink, GetLinkList,
+	// AddNode, GetNode, UpdateNode, DeleteNode
+	return []float64{9, 3, 8, 5, 12, 50, 3, 6, 3, 1}
+}
+
+// CreateSchema implements core.Benchmark.
+func (b *Benchmark) CreateSchema(conn *dbdriver.Conn) error {
+	ddls := []string{
+		`CREATE TABLE nodetable (
+			id BIGINT NOT NULL,
+			type INT NOT NULL,
+			version BIGINT NOT NULL,
+			time INT NOT NULL,
+			data VARCHAR(255),
+			PRIMARY KEY (id))`,
+		`CREATE TABLE linktable (
+			id1 BIGINT NOT NULL,
+			link_type BIGINT NOT NULL,
+			id2 BIGINT NOT NULL,
+			visibility TINYINT NOT NULL,
+			data VARCHAR(255),
+			time BIGINT NOT NULL,
+			version INT NOT NULL,
+			PRIMARY KEY (id1, link_type, id2))`,
+		"CREATE INDEX idx_link_time ON linktable (id1, link_type, time)",
+		`CREATE TABLE counttable (
+			id BIGINT NOT NULL,
+			link_type BIGINT NOT NULL,
+			count BIGINT NOT NULL,
+			time BIGINT NOT NULL,
+			version BIGINT NOT NULL,
+			PRIMARY KEY (id, link_type))`,
+	}
+	for _, ddl := range ddls {
+		if _, err := conn.Exec(ddl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load implements core.Benchmark.
+func (b *Benchmark) Load(db *dbdriver.DB, rng *rand.Rand) error {
+	l, err := common.NewLoader(db, 1000)
+	if err != nil {
+		return err
+	}
+	for id := int64(0); id < b.nodes; id++ {
+		if err := l.Exec("INSERT INTO nodetable VALUES (?, ?, 0, ?, ?)",
+			id, 2048, rng.Int31(), common.AString(rng, 32, 128)); err != nil {
+			return err
+		}
+		n := 0
+		seen := map[int64]bool{id: true}
+		for i := 0; i < linksPerNode; i++ {
+			id2 := b.idChoose.Next(rng)
+			if seen[id2] {
+				continue
+			}
+			seen[id2] = true
+			if err := l.Exec("INSERT INTO linktable VALUES (?, ?, ?, 1, ?, ?, 0)",
+				id, linkType, id2, common.AString(rng, 8, 32), rng.Int63n(1<<40)); err != nil {
+				return err
+			}
+			n++
+		}
+		if err := l.Exec("INSERT INTO counttable VALUES (?, ?, ?, ?, 0)",
+			id, linkType, n, rng.Int63n(1<<40)); err != nil {
+			return err
+		}
+	}
+	return l.Close()
+}
+
+// Procedures implements core.Benchmark.
+func (b *Benchmark) Procedures() []core.Procedure {
+	return []core.Procedure{
+		{Name: "AddLink", Fn: b.addLink},
+		{Name: "DeleteLink", Fn: b.deleteLink},
+		{Name: "UpdateLink", Fn: b.updateLink},
+		{Name: "CountLink", ReadOnly: true, Fn: b.countLink},
+		{Name: "GetLink", ReadOnly: true, Fn: b.getLink},
+		{Name: "GetLinkList", ReadOnly: true, Fn: b.getLinkList},
+		{Name: "AddNode", Fn: b.addNode},
+		{Name: "GetNode", ReadOnly: true, Fn: b.getNode},
+		{Name: "UpdateNode", Fn: b.updateNode},
+		{Name: "DeleteNode", Fn: b.deleteNode},
+	}
+}
+
+func (b *Benchmark) pair(rng *rand.Rand) (int64, int64) {
+	id1 := b.idChoose.Next(rng)
+	id2 := b.idChoose.Next(rng)
+	for id2 == id1 {
+		id2 = b.idChoose.Next(rng)
+	}
+	return id1, id2
+}
+
+func (b *Benchmark) addLink(conn *dbdriver.Conn, rng *rand.Rand) error {
+	id1, id2 := b.pair(rng)
+	if _, err := conn.Exec("INSERT INTO linktable VALUES (?, ?, ?, 1, ?, ?, 0)",
+		id1, linkType, id2, common.AString(rng, 8, 32), rng.Int63n(1<<40)); err != nil {
+		// Existing link: LinkBench upserts; emulate with an update.
+		_, uerr := conn.Exec(
+			"UPDATE linktable SET visibility = 1, version = version + 1 WHERE id1 = ? AND link_type = ? AND id2 = ?",
+			id1, linkType, id2)
+		return uerr
+	}
+	_, err := conn.Exec(
+		"UPDATE counttable SET count = count + 1, version = version + 1 WHERE id = ? AND link_type = ?",
+		id1, linkType)
+	return err
+}
+
+func (b *Benchmark) deleteLink(conn *dbdriver.Conn, rng *rand.Rand) error {
+	id1, id2 := b.pair(rng)
+	res, err := conn.Exec("DELETE FROM linktable WHERE id1 = ? AND link_type = ? AND id2 = ?",
+		id1, linkType, id2)
+	if err != nil {
+		return err
+	}
+	if res.RowsAffected > 0 {
+		_, err = conn.Exec(
+			"UPDATE counttable SET count = count - 1, version = version + 1 WHERE id = ? AND link_type = ?",
+			id1, linkType)
+	}
+	return err
+}
+
+func (b *Benchmark) updateLink(conn *dbdriver.Conn, rng *rand.Rand) error {
+	id1, id2 := b.pair(rng)
+	_, err := conn.Exec(
+		"UPDATE linktable SET data = ?, version = version + 1 WHERE id1 = ? AND link_type = ? AND id2 = ?",
+		common.AString(rng, 8, 32), id1, linkType, id2)
+	return err
+}
+
+func (b *Benchmark) countLink(conn *dbdriver.Conn, rng *rand.Rand) error {
+	_, err := conn.QueryRow("SELECT count FROM counttable WHERE id = ? AND link_type = ?",
+		b.idChoose.Next(rng), linkType)
+	return err
+}
+
+func (b *Benchmark) getLink(conn *dbdriver.Conn, rng *rand.Rand) error {
+	id1, id2 := b.pair(rng)
+	_, err := conn.QueryRow("SELECT * FROM linktable WHERE id1 = ? AND link_type = ? AND id2 = ?",
+		id1, linkType, id2)
+	return err
+}
+
+func (b *Benchmark) getLinkList(conn *dbdriver.Conn, rng *rand.Rand) error {
+	_, err := conn.Query(`SELECT * FROM linktable
+		WHERE id1 = ? AND link_type = ? AND visibility = 1
+		ORDER BY time DESC LIMIT 10`, b.idChoose.Next(rng), linkType)
+	return err
+}
+
+func (b *Benchmark) addNode(conn *dbdriver.Conn, rng *rand.Rand) error {
+	id := b.nextNode.Add(1)
+	if _, err := conn.Exec("INSERT INTO nodetable VALUES (?, ?, 0, ?, ?)",
+		id, 2048, rng.Int31(), common.AString(rng, 32, 128)); err != nil {
+		return err
+	}
+	_, err := conn.Exec("INSERT INTO counttable VALUES (?, ?, 0, ?, 0)", id, linkType, rng.Int63n(1<<40))
+	return err
+}
+
+func (b *Benchmark) getNode(conn *dbdriver.Conn, rng *rand.Rand) error {
+	_, err := conn.QueryRow("SELECT * FROM nodetable WHERE id = ?", b.idChoose.Next(rng))
+	return err
+}
+
+func (b *Benchmark) updateNode(conn *dbdriver.Conn, rng *rand.Rand) error {
+	_, err := conn.Exec("UPDATE nodetable SET data = ?, version = version + 1 WHERE id = ?",
+		common.AString(rng, 32, 128), b.idChoose.Next(rng))
+	return err
+}
+
+func (b *Benchmark) deleteNode(conn *dbdriver.Conn, rng *rand.Rand) error {
+	// LinkBench deletes beyond the preloaded range so that graph reads stay
+	// mostly intact; deleting a random added node keeps the same spirit.
+	max := b.nextNode.Load()
+	if max <= b.nodes {
+		return nil
+	}
+	id := b.nodes + rng.Int63n(max-b.nodes)
+	if _, err := conn.Exec("DELETE FROM nodetable WHERE id = ?", id); err != nil {
+		return err
+	}
+	_, err := conn.Exec("DELETE FROM counttable WHERE id = ? AND link_type = ?", id, linkType)
+	return err
+}
+
+func init() {
+	core.RegisterBenchmark("linkbench", func(scale float64) core.Benchmark { return New(scale) })
+}

@@ -1,0 +1,178 @@
+// Package resourcestresser ports the ResourceStresser benchmark (Table 1:
+// "Isolated Resource Stresser"): synthetic transactions that each saturate
+// one resource class - CPU (hash computation inside the transaction), IO
+// (wide scattered updates), and lock contention (hot-row increments) - so a
+// player can probe exactly which resource limits a target engine.
+package resourcestresser
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"math/rand"
+
+	"benchpress/internal/benchmarks/common"
+	"benchpress/internal/core"
+	"benchpress/internal/dbdriver"
+)
+
+// Cardinalities at scale 1.
+const (
+	baseCPURows  = 1000
+	baseIORows   = 5000
+	lockRows     = 10 // deliberately tiny: the contention target
+	ioUpdateSize = 20
+)
+
+// Benchmark is the ResourceStresser workload instance.
+type Benchmark struct {
+	cpuRows, ioRows int64
+}
+
+// New builds the benchmark at a scale factor.
+func New(scale float64) *Benchmark {
+	return &Benchmark{
+		cpuRows: int64(common.ScaleCount(baseCPURows, scale, 100)),
+		ioRows:  int64(common.ScaleCount(baseIORows, scale, 200)),
+	}
+}
+
+// Name implements core.Benchmark.
+func (b *Benchmark) Name() string { return "resourcestresser" }
+
+// DefaultMix implements core.Benchmark.
+func (b *Benchmark) DefaultMix() []float64 {
+	// CPU1, CPU2, IO1, IO2, Contention1, Contention2
+	return []float64{17, 17, 17, 17, 16, 16}
+}
+
+// CreateSchema implements core.Benchmark.
+func (b *Benchmark) CreateSchema(conn *dbdriver.Conn) error {
+	ddls := []string{
+		`CREATE TABLE cputable (
+			empid INT NOT NULL,
+			passwd VARCHAR(64) NOT NULL,
+			salt VARCHAR(32) NOT NULL,
+			PRIMARY KEY (empid))`,
+		`CREATE TABLE iotable (
+			empid INT NOT NULL,
+			data1 VARCHAR(64), data2 VARCHAR(64), data3 VARCHAR(64), data4 VARCHAR(64),
+			flag1 INT,
+			PRIMARY KEY (empid))`,
+		"CREATE INDEX idx_iotable_flag ON iotable (flag1)",
+		`CREATE TABLE locktable (
+			empid INT NOT NULL,
+			salary INT NOT NULL,
+			PRIMARY KEY (empid))`,
+	}
+	for _, ddl := range ddls {
+		if _, err := conn.Exec(ddl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load implements core.Benchmark.
+func (b *Benchmark) Load(db *dbdriver.DB, rng *rand.Rand) error {
+	l, err := common.NewLoader(db, 1000)
+	if err != nil {
+		return err
+	}
+	for i := int64(0); i < b.cpuRows; i++ {
+		if err := l.Exec("INSERT INTO cputable VALUES (?, ?, ?)",
+			i, common.AString(rng, 32, 64), common.AString(rng, 16, 32)); err != nil {
+			return err
+		}
+	}
+	for i := int64(0); i < b.ioRows; i++ {
+		if err := l.Exec("INSERT INTO iotable VALUES (?, ?, ?, ?, ?, ?)",
+			i, common.AString(rng, 32, 64), common.AString(rng, 32, 64),
+			common.AString(rng, 32, 64), common.AString(rng, 32, 64), int(i%100)); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < lockRows; i++ {
+		if err := l.Exec("INSERT INTO locktable VALUES (?, ?)", i, 1000); err != nil {
+			return err
+		}
+	}
+	return l.Close()
+}
+
+// Procedures implements core.Benchmark.
+func (b *Benchmark) Procedures() []core.Procedure {
+	return []core.Procedure{
+		{Name: "CPU1", ReadOnly: true, Fn: b.cpu(5)},
+		{Name: "CPU2", ReadOnly: true, Fn: b.cpu(25)},
+		{Name: "IO1", Fn: b.io1},
+		{Name: "IO2", Fn: b.io2},
+		{Name: "Contention1", Fn: b.contention1},
+		{Name: "Contention2", Fn: b.contention2},
+	}
+}
+
+// cpu reads a password row and hashes it repeatedly inside the transaction,
+// burning client/server CPU proportional to rounds.
+func (b *Benchmark) cpu(rounds int) func(*dbdriver.Conn, *rand.Rand) error {
+	return func(conn *dbdriver.Conn, rng *rand.Rand) error {
+		row, err := conn.QueryRow("SELECT passwd, salt FROM cputable WHERE empid = ?",
+			rng.Int63n(b.cpuRows))
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			return nil
+		}
+		sum := []byte(row[0].Str() + row[1].Str())
+		for i := 0; i < rounds; i++ {
+			h := sha256.Sum256(sum)
+			sum = h[:]
+		}
+		if len(sum) == 0 {
+			return fmt.Errorf("resourcestresser: impossible empty digest")
+		}
+		return nil
+	}
+}
+
+// io1 updates a contiguous run of wide rows (sequential write pressure).
+func (b *Benchmark) io1(conn *dbdriver.Conn, rng *rand.Rand) error {
+	start := rng.Int63n(b.ioRows - ioUpdateSize)
+	_, err := conn.Exec("UPDATE iotable SET data1 = ?, data2 = ? WHERE empid >= ? AND empid < ?",
+		common.AString(rng, 32, 64), common.AString(rng, 32, 64), start, start+ioUpdateSize)
+	return err
+}
+
+// io2 updates a scattered flag class (random write pressure via secondary
+// index).
+func (b *Benchmark) io2(conn *dbdriver.Conn, rng *rand.Rand) error {
+	_, err := conn.Exec("UPDATE iotable SET data3 = ?, flag1 = ? WHERE flag1 = ?",
+		common.AString(rng, 32, 64), rng.Intn(100), rng.Intn(100))
+	return err
+}
+
+// contention1 increments one hot row.
+func (b *Benchmark) contention1(conn *dbdriver.Conn, rng *rand.Rand) error {
+	_, err := conn.Exec("UPDATE locktable SET salary = salary + 1 WHERE empid = ?",
+		rng.Intn(lockRows))
+	return err
+}
+
+// contention2 transfers between two hot rows (classic deadlock bait under
+// 2PL when lock order differs).
+func (b *Benchmark) contention2(conn *dbdriver.Conn, rng *rand.Rand) error {
+	a := rng.Intn(lockRows)
+	c := rng.Intn(lockRows)
+	for c == a {
+		c = rng.Intn(lockRows)
+	}
+	if _, err := conn.Exec("UPDATE locktable SET salary = salary - 1 WHERE empid = ?", a); err != nil {
+		return err
+	}
+	_, err := conn.Exec("UPDATE locktable SET salary = salary + 1 WHERE empid = ?", c)
+	return err
+}
+
+func init() {
+	core.RegisterBenchmark("resourcestresser", func(scale float64) core.Benchmark { return New(scale) })
+}

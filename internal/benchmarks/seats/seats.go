@@ -1,0 +1,277 @@
+// Package seats ports the SEATS benchmark (Table 1: "On-line Airline
+// Ticketing"): customers searching for flights and creating, changing, and
+// deleting seat reservations. This port implements the six core
+// transactions of the full benchmark (which adds two bulk update profiles).
+package seats
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"benchpress/internal/benchmarks/common"
+	"benchpress/internal/core"
+	"benchpress/internal/dbdriver"
+)
+
+// Cardinalities at scale 1.
+const (
+	baseAirports  = 50
+	baseFlights   = 2000
+	baseCustomers = 5000
+	seatsPerPlane = 150
+	reservedLoad  = 30 // seats pre-reserved per flight (about 20% full)
+)
+
+// Benchmark is the SEATS workload instance.
+type Benchmark struct {
+	airports  int64
+	flights   int64
+	customers int64
+	nextResID atomic.Int64
+}
+
+// New builds the benchmark at a scale factor.
+func New(scale float64) *Benchmark {
+	return &Benchmark{
+		airports:  int64(common.ScaleCount(baseAirports, scale, 10)),
+		flights:   int64(common.ScaleCount(baseFlights, scale, 50)),
+		customers: int64(common.ScaleCount(baseCustomers, scale, 100)),
+	}
+}
+
+// Name implements core.Benchmark.
+func (b *Benchmark) Name() string { return "seats" }
+
+// DefaultMix implements core.Benchmark.
+func (b *Benchmark) DefaultMix() []float64 {
+	// DeleteReservation, FindFlights, FindOpenSeats, NewReservation,
+	// UpdateCustomer, UpdateReservation
+	return []float64{10, 10, 35, 20, 10, 15}
+}
+
+// CreateSchema implements core.Benchmark.
+func (b *Benchmark) CreateSchema(conn *dbdriver.Conn) error {
+	ddls := []string{
+		`CREATE TABLE airport (
+			ap_id INT NOT NULL,
+			ap_code CHAR(3) NOT NULL,
+			ap_city VARCHAR(64),
+			PRIMARY KEY (ap_id))`,
+		`CREATE TABLE flight (
+			f_id INT NOT NULL,
+			f_depart_ap_id INT NOT NULL,
+			f_arrive_ap_id INT NOT NULL,
+			f_depart_time BIGINT NOT NULL,
+			f_base_price DOUBLE NOT NULL,
+			f_seats_left INT NOT NULL,
+			PRIMARY KEY (f_id))`,
+		"CREATE INDEX idx_flight_route ON flight (f_depart_ap_id, f_arrive_ap_id, f_depart_time)",
+		`CREATE TABLE customer (
+			c_id INT NOT NULL,
+			c_base_ap_id INT,
+			c_balance DOUBLE NOT NULL,
+			c_sattr0 VARCHAR(32),
+			c_iattr0 BIGINT,
+			PRIMARY KEY (c_id))`,
+		`CREATE TABLE reservation (
+			r_id BIGINT NOT NULL,
+			r_c_id INT NOT NULL,
+			r_f_id INT NOT NULL,
+			r_seat INT NOT NULL,
+			r_price DOUBLE NOT NULL,
+			PRIMARY KEY (r_id))`,
+		"CREATE UNIQUE INDEX idx_reservation_seat ON reservation (r_f_id, r_seat)",
+		"CREATE INDEX idx_reservation_customer ON reservation (r_c_id)",
+	}
+	for _, ddl := range ddls {
+		if _, err := conn.Exec(ddl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load implements core.Benchmark.
+func (b *Benchmark) Load(db *dbdriver.DB, rng *rand.Rand) error {
+	l, err := common.NewLoader(db, 2000)
+	if err != nil {
+		return err
+	}
+	for a := int64(0); a < b.airports; a++ {
+		code := fmt.Sprintf("A%02d", a%100)
+		if err := l.Exec("INSERT INTO airport VALUES (?, ?, ?)",
+			a, code, common.LString(rng, 6, 14)); err != nil {
+			return err
+		}
+	}
+	for c := int64(0); c < b.customers; c++ {
+		if err := l.Exec("INSERT INTO customer VALUES (?, ?, ?, ?, ?)",
+			c, rng.Int63n(b.airports), 1000.0, common.AString(rng, 8, 32), rng.Int63()); err != nil {
+			return err
+		}
+	}
+	var rid int64
+	for f := int64(0); f < b.flights; f++ {
+		dep := rng.Int63n(b.airports)
+		arr := rng.Int63n(b.airports)
+		for arr == dep {
+			arr = rng.Int63n(b.airports)
+		}
+		departTime := rng.Int63n(365 * 24) // hour slots within a year
+		if err := l.Exec("INSERT INTO flight VALUES (?, ?, ?, ?, ?, ?)",
+			f, dep, arr, departTime, 50+rng.Float64()*450,
+			seatsPerPlane-reservedLoad); err != nil {
+			return err
+		}
+		// Pre-reserve a block of seats.
+		for s := 0; s < reservedLoad; s++ {
+			rid++
+			if err := l.Exec("INSERT INTO reservation VALUES (?, ?, ?, ?, ?)",
+				rid, rng.Int63n(b.customers), f, s+1, 50+rng.Float64()*450); err != nil {
+				return err
+			}
+		}
+	}
+	b.nextResID.Store(rid)
+	return l.Close()
+}
+
+// Procedures implements core.Benchmark.
+func (b *Benchmark) Procedures() []core.Procedure {
+	return []core.Procedure{
+		{Name: "DeleteReservation", Fn: b.deleteReservation},
+		{Name: "FindFlights", ReadOnly: true, Fn: b.findFlights},
+		{Name: "FindOpenSeats", ReadOnly: true, Fn: b.findOpenSeats},
+		{Name: "NewReservation", Fn: b.newReservation},
+		{Name: "UpdateCustomer", Fn: b.updateCustomer},
+		{Name: "UpdateReservation", Fn: b.updateReservation},
+	}
+}
+
+// findFlights searches for flights between two airports in a time window.
+func (b *Benchmark) findFlights(conn *dbdriver.Conn, rng *rand.Rand) error {
+	dep := rng.Int63n(b.airports)
+	arr := rng.Int63n(b.airports)
+	start := rng.Int63n(365 * 24)
+	res, err := conn.Query(`SELECT f.f_id, f.f_depart_time, f.f_base_price, a.ap_code
+		FROM flight f JOIN airport a ON a.ap_id = f.f_arrive_ap_id
+		WHERE f.f_depart_ap_id = ? AND f.f_arrive_ap_id = ?
+		  AND f.f_depart_time BETWEEN ? AND ? LIMIT 20`,
+		dep, arr, start, start+72)
+	if err != nil {
+		return err
+	}
+	_ = res
+	return nil
+}
+
+// findOpenSeats lists the occupied seats of a flight (the client derives the
+// open ones).
+func (b *Benchmark) findOpenSeats(conn *dbdriver.Conn, rng *rand.Rand) error {
+	f := rng.Int63n(b.flights)
+	if _, err := conn.QueryRow("SELECT f_seats_left, f_base_price FROM flight WHERE f_id = ?", f); err != nil {
+		return err
+	}
+	_, err := conn.Query("SELECT r_seat FROM reservation WHERE r_f_id = ?", f)
+	return err
+}
+
+// newReservation books a random free seat on a flight.
+func (b *Benchmark) newReservation(conn *dbdriver.Conn, rng *rand.Rand) error {
+	f := rng.Int63n(b.flights)
+	c := rng.Int63n(b.customers)
+	seat := 1 + rng.Intn(seatsPerPlane)
+
+	frow, err := conn.QueryRow("SELECT f_seats_left, f_base_price FROM flight WHERE f_id = ? FOR UPDATE", f)
+	if err != nil || frow == nil {
+		return firstErr(err, fmt.Errorf("seats: flight %d missing", f))
+	}
+	if frow[0].Int() <= 0 {
+		return core.ErrExpectedAbort // sold out
+	}
+	taken, err := conn.QueryRow("SELECT r_id FROM reservation WHERE r_f_id = ? AND r_seat = ?", f, seat)
+	if err != nil {
+		return err
+	}
+	if taken != nil {
+		return core.ErrExpectedAbort // seat already reserved
+	}
+	rid := b.nextResID.Add(1)
+	if _, err := conn.Exec("INSERT INTO reservation VALUES (?, ?, ?, ?, ?)",
+		rid, c, f, seat, frow[1].Float()*(1+rng.Float64())); err != nil {
+		return fmt.Errorf("seats: race on seat: %v: %w", err, core.ErrExpectedAbort)
+	}
+	_, err = conn.Exec("UPDATE flight SET f_seats_left = f_seats_left - 1 WHERE f_id = ?", f)
+	return err
+}
+
+// updateCustomer touches a customer's attributes after reading their
+// reservations.
+func (b *Benchmark) updateCustomer(conn *dbdriver.Conn, rng *rand.Rand) error {
+	c := rng.Int63n(b.customers)
+	if _, err := conn.Query("SELECT r_id FROM reservation WHERE r_c_id = ? LIMIT 10", c); err != nil {
+		return err
+	}
+	_, err := conn.Exec("UPDATE customer SET c_sattr0 = ?, c_iattr0 = ? WHERE c_id = ?",
+		common.AString(rng, 8, 32), rng.Int63(), c)
+	return err
+}
+
+// updateReservation moves an existing reservation to a different seat.
+func (b *Benchmark) updateReservation(conn *dbdriver.Conn, rng *rand.Rand) error {
+	f := rng.Int63n(b.flights)
+	res, err := conn.Query("SELECT r_id, r_seat FROM reservation WHERE r_f_id = ? LIMIT 5 FOR UPDATE", f)
+	if err != nil {
+		return err
+	}
+	if len(res.Rows) == 0 {
+		return core.ErrExpectedAbort
+	}
+	pick := res.Rows[rng.Intn(len(res.Rows))]
+	newSeat := 1 + rng.Intn(seatsPerPlane)
+	taken, err := conn.QueryRow("SELECT r_id FROM reservation WHERE r_f_id = ? AND r_seat = ?", f, newSeat)
+	if err != nil {
+		return err
+	}
+	if taken != nil {
+		return core.ErrExpectedAbort
+	}
+	_, err = conn.Exec("UPDATE reservation SET r_seat = ? WHERE r_id = ?", newSeat, pick[0].Int())
+	return err
+}
+
+// deleteReservation cancels a reservation and refunds the customer.
+func (b *Benchmark) deleteReservation(conn *dbdriver.Conn, rng *rand.Rand) error {
+	f := rng.Int63n(b.flights)
+	row, err := conn.QueryRow(
+		"SELECT r_id, r_c_id, r_price FROM reservation WHERE r_f_id = ? LIMIT 1 FOR UPDATE", f)
+	if err != nil {
+		return err
+	}
+	if row == nil {
+		return core.ErrExpectedAbort // no reservations on this flight
+	}
+	if _, err := conn.Exec("DELETE FROM reservation WHERE r_id = ?", row[0].Int()); err != nil {
+		return err
+	}
+	if _, err := conn.Exec("UPDATE flight SET f_seats_left = f_seats_left + 1 WHERE f_id = ?", f); err != nil {
+		return err
+	}
+	_, err = conn.Exec("UPDATE customer SET c_balance = c_balance + ? WHERE c_id = ?",
+		row[2].Float(), row[1].Int())
+	return err
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+func init() {
+	core.RegisterBenchmark("seats", func(scale float64) core.Benchmark { return New(scale) })
+}

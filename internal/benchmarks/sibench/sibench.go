@@ -1,0 +1,78 @@
+// Package sibench ports SIBench (Table 1: "Transactional Isolation"), the
+// micro-benchmark from Cahill et al.'s serializable-snapshot-isolation work:
+// readers scan for the minimum value while writers increment rows. Under
+// snapshot isolation the reader can observe a stale minimum, which is
+// exactly the anomaly the benchmark exists to probe.
+package sibench
+
+import (
+	"math/rand"
+
+	"benchpress/internal/benchmarks/common"
+	"benchpress/internal/core"
+	"benchpress/internal/dbdriver"
+)
+
+// baseRows is the table size at scale 1.
+const baseRows = 1000
+
+// Benchmark is the SIBench workload instance.
+type Benchmark struct {
+	rows int64
+}
+
+// New builds the benchmark at a scale factor.
+func New(scale float64) *Benchmark {
+	return &Benchmark{rows: int64(common.ScaleCount(baseRows, scale, 10))}
+}
+
+// Name implements core.Benchmark.
+func (b *Benchmark) Name() string { return "sibench" }
+
+// DefaultMix implements core.Benchmark.
+func (b *Benchmark) DefaultMix() []float64 { return []float64{50, 50} }
+
+// CreateSchema implements core.Benchmark.
+func (b *Benchmark) CreateSchema(conn *dbdriver.Conn) error {
+	_, err := conn.Exec(`CREATE TABLE sitest (
+		id INT NOT NULL,
+		value INT NOT NULL,
+		PRIMARY KEY (id))`)
+	return err
+}
+
+// Load implements core.Benchmark.
+func (b *Benchmark) Load(db *dbdriver.DB, rng *rand.Rand) error {
+	l, err := common.NewLoader(db, 1000)
+	if err != nil {
+		return err
+	}
+	for i := int64(0); i < b.rows; i++ {
+		if err := l.Exec("INSERT INTO sitest VALUES (?, ?)", i, i); err != nil {
+			return err
+		}
+	}
+	return l.Close()
+}
+
+// Procedures implements core.Benchmark.
+func (b *Benchmark) Procedures() []core.Procedure {
+	return []core.Procedure{
+		{Name: "MinQuery", ReadOnly: true, Fn: b.minQuery},
+		{Name: "UpdateRecord", Fn: b.updateRecord},
+	}
+}
+
+func (b *Benchmark) minQuery(conn *dbdriver.Conn, rng *rand.Rand) error {
+	_, err := conn.QueryRow("SELECT MIN(value) FROM sitest")
+	return err
+}
+
+func (b *Benchmark) updateRecord(conn *dbdriver.Conn, rng *rand.Rand) error {
+	_, err := conn.Exec("UPDATE sitest SET value = value + 1 WHERE id = ?", rng.Int63n(b.rows))
+	return err
+}
+
+func init() {
+	core.RegisterBenchmark("sibench", func(scale float64) core.Benchmark { return New(scale) })
+}

@@ -1,0 +1,222 @@
+// Package smallbank ports the SmallBank benchmark (Table 1: "Banking
+// System"): six short transactions over checking and savings accounts, with
+// a hot-spot access pattern that stresses row-level contention.
+package smallbank
+
+import (
+	"fmt"
+	"math/rand"
+
+	"benchpress/internal/benchmarks/common"
+	"benchpress/internal/core"
+	"benchpress/internal/dbdriver"
+)
+
+// baseAccounts is the account count at scale 1.
+const baseAccounts = 10000
+
+// hotspotFraction of accesses go to the first hotspotSize accounts.
+const (
+	hotspotFraction = 0.25
+	hotspotSize     = 100
+)
+
+// initialBalance seeds both balances per account.
+const initialBalance = 10000
+
+// Benchmark is the SmallBank workload instance.
+type Benchmark struct {
+	accounts int64
+}
+
+// New builds the benchmark at a scale factor.
+func New(scale float64) *Benchmark {
+	return &Benchmark{accounts: int64(common.ScaleCount(baseAccounts, scale, 100))}
+}
+
+// Name implements core.Benchmark.
+func (b *Benchmark) Name() string { return "smallbank" }
+
+// DefaultMix implements core.Benchmark (OLTP-Bench's default: uniform over
+// the six transactions except SendPayment double-weighted).
+func (b *Benchmark) DefaultMix() []float64 {
+	// Amalgamate, Balance, DepositChecking, SendPayment, TransactSavings, WriteCheck
+	return []float64{15, 15, 15, 25, 15, 15}
+}
+
+// CreateSchema implements core.Benchmark.
+func (b *Benchmark) CreateSchema(conn *dbdriver.Conn) error {
+	ddls := []string{
+		`CREATE TABLE accounts (
+			custid BIGINT NOT NULL,
+			name VARCHAR(64) NOT NULL,
+			PRIMARY KEY (custid))`,
+		`CREATE TABLE savings (
+			custid BIGINT NOT NULL,
+			bal DOUBLE NOT NULL,
+			PRIMARY KEY (custid))`,
+		`CREATE TABLE checking (
+			custid BIGINT NOT NULL,
+			bal DOUBLE NOT NULL,
+			PRIMARY KEY (custid))`,
+		"CREATE INDEX idx_accounts_name ON accounts (name)",
+	}
+	for _, ddl := range ddls {
+		if _, err := conn.Exec(ddl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load implements core.Benchmark.
+func (b *Benchmark) Load(db *dbdriver.DB, rng *rand.Rand) error {
+	l, err := common.NewLoader(db, 1000)
+	if err != nil {
+		return err
+	}
+	for id := int64(0); id < b.accounts; id++ {
+		name := fmt.Sprintf("customer%08d", id)
+		if err := l.Exec("INSERT INTO accounts VALUES (?, ?)", id, name); err != nil {
+			return err
+		}
+		if err := l.Exec("INSERT INTO savings VALUES (?, ?)", id, float64(initialBalance)); err != nil {
+			return err
+		}
+		if err := l.Exec("INSERT INTO checking VALUES (?, ?)", id, float64(initialBalance)); err != nil {
+			return err
+		}
+	}
+	return l.Close()
+}
+
+// customer draws an account id with the benchmark's hot-spot skew.
+func (b *Benchmark) customer(rng *rand.Rand) int64 {
+	if common.FlipCoin(rng, hotspotFraction) && b.accounts > hotspotSize {
+		return rng.Int63n(hotspotSize)
+	}
+	return rng.Int63n(b.accounts)
+}
+
+// twoCustomers draws two distinct accounts.
+func (b *Benchmark) twoCustomers(rng *rand.Rand) (int64, int64) {
+	a := b.customer(rng)
+	c := b.customer(rng)
+	for c == a {
+		c = b.customer(rng)
+	}
+	return a, c
+}
+
+// Procedures implements core.Benchmark.
+func (b *Benchmark) Procedures() []core.Procedure {
+	return []core.Procedure{
+		{Name: "Amalgamate", Fn: b.amalgamate},
+		{Name: "Balance", ReadOnly: true, Fn: b.balance},
+		{Name: "DepositChecking", Fn: b.depositChecking},
+		{Name: "SendPayment", Fn: b.sendPayment},
+		{Name: "TransactSavings", Fn: b.transactSavings},
+		{Name: "WriteCheck", Fn: b.writeCheck},
+	}
+}
+
+// amalgamate moves all funds of customer A into customer B's checking.
+func (b *Benchmark) amalgamate(conn *dbdriver.Conn, rng *rand.Rand) error {
+	a, c := b.twoCustomers(rng)
+	sav, err := conn.QueryRow("SELECT bal FROM savings WHERE custid = ? FOR UPDATE", a)
+	if err != nil || sav == nil {
+		return orMissing(err, "savings")
+	}
+	chk, err := conn.QueryRow("SELECT bal FROM checking WHERE custid = ? FOR UPDATE", a)
+	if err != nil || chk == nil {
+		return orMissing(err, "checking")
+	}
+	total := sav[0].Float() + chk[0].Float()
+	if _, err := conn.Exec("UPDATE savings SET bal = 0 WHERE custid = ?", a); err != nil {
+		return err
+	}
+	if _, err := conn.Exec("UPDATE checking SET bal = 0 WHERE custid = ?", a); err != nil {
+		return err
+	}
+	_, err = conn.Exec("UPDATE checking SET bal = bal + ? WHERE custid = ?", total, c)
+	return err
+}
+
+// balance reads a customer's total balance.
+func (b *Benchmark) balance(conn *dbdriver.Conn, rng *rand.Rand) error {
+	id := b.customer(rng)
+	_, err := conn.QueryRow(`SELECT s.bal + c.bal FROM savings s, checking c
+		WHERE s.custid = ? AND c.custid = ?`, id, id)
+	return err
+}
+
+// depositChecking adds to a checking balance.
+func (b *Benchmark) depositChecking(conn *dbdriver.Conn, rng *rand.Rand) error {
+	amount := 1 + rng.Float64()*100
+	_, err := conn.Exec("UPDATE checking SET bal = bal + ? WHERE custid = ?", amount, b.customer(rng))
+	return err
+}
+
+// sendPayment transfers between two checking accounts, aborting on
+// insufficient funds.
+func (b *Benchmark) sendPayment(conn *dbdriver.Conn, rng *rand.Rand) error {
+	from, to := b.twoCustomers(rng)
+	amount := 1 + rng.Float64()*100
+	row, err := conn.QueryRow("SELECT bal FROM checking WHERE custid = ? FOR UPDATE", from)
+	if err != nil || row == nil {
+		return orMissing(err, "checking")
+	}
+	if row[0].Float() < amount {
+		return core.ErrExpectedAbort
+	}
+	if _, err := conn.Exec("UPDATE checking SET bal = bal - ? WHERE custid = ?", amount, from); err != nil {
+		return err
+	}
+	_, err = conn.Exec("UPDATE checking SET bal = bal + ? WHERE custid = ?", amount, to)
+	return err
+}
+
+// transactSavings adjusts a savings balance, aborting if it would go
+// negative.
+func (b *Benchmark) transactSavings(conn *dbdriver.Conn, rng *rand.Rand) error {
+	id := b.customer(rng)
+	amount := rng.Float64()*200 - 100
+	row, err := conn.QueryRow("SELECT bal FROM savings WHERE custid = ? FOR UPDATE", id)
+	if err != nil || row == nil {
+		return orMissing(err, "savings")
+	}
+	if row[0].Float()+amount < 0 {
+		return core.ErrExpectedAbort
+	}
+	_, err = conn.Exec("UPDATE savings SET bal = bal + ? WHERE custid = ?", amount, id)
+	return err
+}
+
+// writeCheck cashes a check against total funds, charging an overdraft
+// penalty when insufficient.
+func (b *Benchmark) writeCheck(conn *dbdriver.Conn, rng *rand.Rand) error {
+	id := b.customer(rng)
+	amount := 1 + rng.Float64()*100
+	row, err := conn.QueryRow(`SELECT s.bal + c.bal FROM savings s, checking c
+		WHERE s.custid = ? AND c.custid = ?`, id, id)
+	if err != nil || row == nil {
+		return orMissing(err, "funds")
+	}
+	if row[0].Float() < amount {
+		amount += 1 // overdraft penalty
+	}
+	_, err = conn.Exec("UPDATE checking SET bal = bal - ? WHERE custid = ?", amount, id)
+	return err
+}
+
+// orMissing normalizes a missing-row read into an expected abort.
+func orMissing(err error, what string) error {
+	if err != nil {
+		return err
+	}
+	return fmt.Errorf("smallbank: missing %s row: %w", what, core.ErrExpectedAbort)
+}
+
+func init() {
+	core.RegisterBenchmark("smallbank", func(scale float64) core.Benchmark { return New(scale) })
+}

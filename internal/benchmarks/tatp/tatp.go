@@ -1,0 +1,236 @@
+// Package tatp ports the Telecom Application Transaction Processing
+// benchmark (Table 1: "Caller Location App"): seven short transactions over
+// a subscriber database, 80% reads, with the standard non-uniform subscriber
+// chooser.
+package tatp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"benchpress/internal/benchmarks/common"
+	"benchpress/internal/core"
+	"benchpress/internal/dbdriver"
+)
+
+// baseSubscribers is the subscriber count at scale 1 (TATP's unit is 100k;
+// we default to 10k per scale point to keep in-memory loads quick).
+const baseSubscribers = 10000
+
+// Benchmark is the TATP workload instance.
+type Benchmark struct {
+	subscribers int64
+}
+
+// New builds the benchmark at a scale factor.
+func New(scale float64) *Benchmark {
+	return &Benchmark{subscribers: int64(common.ScaleCount(baseSubscribers, scale, 100))}
+}
+
+// Name implements core.Benchmark.
+func (b *Benchmark) Name() string { return "tatp" }
+
+// DefaultMix implements core.Benchmark (the standard TATP mixture).
+func (b *Benchmark) DefaultMix() []float64 {
+	// DeleteCallForwarding, GetAccessData, GetNewDestination,
+	// GetSubscriberData, InsertCallForwarding, UpdateLocation,
+	// UpdateSubscriberData
+	return []float64{2, 35, 10, 35, 2, 14, 2}
+}
+
+// CreateSchema implements core.Benchmark.
+func (b *Benchmark) CreateSchema(conn *dbdriver.Conn) error {
+	ddls := []string{
+		`CREATE TABLE subscriber (
+			s_id INT NOT NULL,
+			sub_nbr VARCHAR(15) NOT NULL,
+			bit_1 TINYINT, bit_4 TINYINT, bit_10 TINYINT,
+			hex_1 TINYINT, byte2_1 SMALLINT,
+			msc_location INT, vlr_location INT,
+			PRIMARY KEY (s_id))`,
+		"CREATE UNIQUE INDEX idx_sub_nbr ON subscriber (sub_nbr)",
+		`CREATE TABLE access_info (
+			s_id INT NOT NULL,
+			ai_type TINYINT NOT NULL,
+			data1 SMALLINT, data2 SMALLINT,
+			data3 VARCHAR(3), data4 VARCHAR(5),
+			PRIMARY KEY (s_id, ai_type))`,
+		`CREATE TABLE special_facility (
+			s_id INT NOT NULL,
+			sf_type TINYINT NOT NULL,
+			is_active TINYINT NOT NULL,
+			error_cntrl SMALLINT,
+			data_a SMALLINT,
+			data_b VARCHAR(5),
+			PRIMARY KEY (s_id, sf_type))`,
+		`CREATE TABLE call_forwarding (
+			s_id INT NOT NULL,
+			sf_type TINYINT NOT NULL,
+			start_time TINYINT NOT NULL,
+			end_time TINYINT,
+			numberx VARCHAR(15),
+			PRIMARY KEY (s_id, sf_type, start_time))`,
+	}
+	for _, ddl := range ddls {
+		if _, err := conn.Exec(ddl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// subNbr formats a subscriber number.
+func subNbr(sid int64) string { return fmt.Sprintf("%015d", sid) }
+
+// Load implements core.Benchmark.
+func (b *Benchmark) Load(db *dbdriver.DB, rng *rand.Rand) error {
+	l, err := common.NewLoader(db, 1000)
+	if err != nil {
+		return err
+	}
+	for sid := int64(1); sid <= b.subscribers; sid++ {
+		if err := l.Exec(
+			"INSERT INTO subscriber VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+			sid, subNbr(sid), rng.Intn(2), rng.Intn(2), rng.Intn(2),
+			rng.Intn(16), rng.Intn(256), rng.Int31(), rng.Int31()); err != nil {
+			return err
+		}
+		// 1-4 access_info rows with distinct ai_types.
+		for _, ai := range common.Shuffled(rng, 4)[:1+rng.Intn(4)] {
+			if err := l.Exec("INSERT INTO access_info VALUES (?, ?, ?, ?, ?, ?)",
+				sid, ai+1, rng.Intn(256), rng.Intn(256),
+				common.AString(rng, 3, 3), common.AString(rng, 5, 5)); err != nil {
+				return err
+			}
+		}
+		// 1-4 special_facility rows; each active one gets 0-3 call
+		// forwarding records.
+		for _, sf := range common.Shuffled(rng, 4)[:1+rng.Intn(4)] {
+			active := 0
+			if common.FlipCoin(rng, 0.85) {
+				active = 1
+			}
+			if err := l.Exec("INSERT INTO special_facility VALUES (?, ?, ?, ?, ?, ?)",
+				sid, sf+1, active, rng.Intn(256), rng.Intn(256),
+				common.AString(rng, 5, 5)); err != nil {
+				return err
+			}
+			for _, st := range common.Shuffled(rng, 3)[:rng.Intn(4)] {
+				start := int64(st * 8)
+				if err := l.Exec("INSERT INTO call_forwarding VALUES (?, ?, ?, ?, ?)",
+					sid, sf+1, start, start+int64(1+rng.Intn(8)),
+					common.NString(rng, 15, 15)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return l.Close()
+}
+
+// sid draws a subscriber with TATP's non-uniform chooser.
+func (b *Benchmark) sid(rng *rand.Rand) int64 {
+	a := int64(1023)
+	if b.subscribers > 1000000 {
+		a = 1048575
+	}
+	return common.NURand(rng, a, 1, b.subscribers)
+}
+
+// Procedures implements core.Benchmark.
+func (b *Benchmark) Procedures() []core.Procedure {
+	return []core.Procedure{
+		{Name: "DeleteCallForwarding", Fn: b.deleteCallForwarding},
+		{Name: "GetAccessData", ReadOnly: true, Fn: b.getAccessData},
+		{Name: "GetNewDestination", ReadOnly: true, Fn: b.getNewDestination},
+		{Name: "GetSubscriberData", ReadOnly: true, Fn: b.getSubscriberData},
+		{Name: "InsertCallForwarding", Fn: b.insertCallForwarding},
+		{Name: "UpdateLocation", Fn: b.updateLocation},
+		{Name: "UpdateSubscriberData", Fn: b.updateSubscriberData},
+	}
+}
+
+func (b *Benchmark) getSubscriberData(conn *dbdriver.Conn, rng *rand.Rand) error {
+	_, err := conn.QueryRow("SELECT * FROM subscriber WHERE s_id = ?", b.sid(rng))
+	return err
+}
+
+func (b *Benchmark) getAccessData(conn *dbdriver.Conn, rng *rand.Rand) error {
+	_, err := conn.QueryRow(
+		"SELECT data1, data2, data3, data4 FROM access_info WHERE s_id = ? AND ai_type = ?",
+		b.sid(rng), 1+rng.Intn(4))
+	return err
+}
+
+func (b *Benchmark) getNewDestination(conn *dbdriver.Conn, rng *rand.Rand) error {
+	sid := b.sid(rng)
+	sfType := 1 + rng.Intn(4)
+	start := int64(8 * rng.Intn(3))
+	end := start + 1 + rng.Int63n(8)
+	_, err := conn.Query(`SELECT cf.numberx
+		FROM special_facility sf, call_forwarding cf
+		WHERE sf.s_id = ? AND sf.sf_type = ? AND sf.is_active = 1
+		  AND cf.s_id = sf.s_id AND cf.sf_type = sf.sf_type
+		  AND cf.start_time <= ? AND cf.end_time > ?`,
+		sid, sfType, start, end)
+	return err
+}
+
+func (b *Benchmark) updateSubscriberData(conn *dbdriver.Conn, rng *rand.Rand) error {
+	sid := b.sid(rng)
+	res, err := conn.Exec("UPDATE subscriber SET bit_1 = ? WHERE s_id = ?", rng.Intn(2), sid)
+	if err != nil {
+		return err
+	}
+	if res.RowsAffected == 0 {
+		return core.ErrExpectedAbort
+	}
+	_, err = conn.Exec("UPDATE special_facility SET data_a = ? WHERE s_id = ? AND sf_type = ?",
+		rng.Intn(256), sid, 1+rng.Intn(4))
+	return err
+}
+
+func (b *Benchmark) updateLocation(conn *dbdriver.Conn, rng *rand.Rand) error {
+	_, err := conn.Exec("UPDATE subscriber SET vlr_location = ? WHERE sub_nbr = ?",
+		rng.Int31(), subNbr(b.sid(rng)))
+	return err
+}
+
+func (b *Benchmark) insertCallForwarding(conn *dbdriver.Conn, rng *rand.Rand) error {
+	sid := b.sid(rng)
+	row, err := conn.QueryRow("SELECT s_id FROM subscriber WHERE sub_nbr = ?", subNbr(sid))
+	if err != nil {
+		return err
+	}
+	if row == nil {
+		return core.ErrExpectedAbort
+	}
+	if _, err := conn.Query("SELECT sf_type FROM special_facility WHERE s_id = ?", sid); err != nil {
+		return err
+	}
+	start := int64(8 * rng.Intn(3))
+	_, err = conn.Exec("INSERT INTO call_forwarding VALUES (?, ?, ?, ?, ?)",
+		sid, 1+rng.Intn(4), start, start+1+rng.Int63n(8), common.NString(rng, 15, 15))
+	if err != nil {
+		// Duplicate (s_id, sf_type, start_time) is an expected TATP abort.
+		return fmt.Errorf("tatp: %v: %w", err, core.ErrExpectedAbort)
+	}
+	return nil
+}
+
+func (b *Benchmark) deleteCallForwarding(conn *dbdriver.Conn, rng *rand.Rand) error {
+	sid := b.sid(rng)
+	res, err := conn.Exec("DELETE FROM call_forwarding WHERE s_id = ? AND sf_type = ? AND start_time = ?",
+		sid, 1+rng.Intn(4), 8*rng.Intn(3))
+	if err != nil {
+		return err
+	}
+	if res.RowsAffected == 0 {
+		return core.ErrExpectedAbort
+	}
+	return nil
+}
+
+func init() {
+	core.RegisterBenchmark("tatp", func(scale float64) core.Benchmark { return New(scale) })
+}

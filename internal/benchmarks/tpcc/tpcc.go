@@ -1,0 +1,510 @@
+// Package tpcc ports TPC-C (Table 1: "Order Processing"), the canonical
+// OLTP benchmark: five transactions over a nine-table order-entry schema.
+//
+// Scale semantics: the integer part of the scale factor sets the warehouse
+// count (min 1); fractional scales below 1 proportionally shrink the
+// per-warehouse cardinalities (items, customers per district, initial
+// orders) so that test loads stay fast while a scale of 1 loads the full
+// spec-sized single warehouse.
+package tpcc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"benchpress/internal/benchmarks/common"
+	"benchpress/internal/core"
+	"benchpress/internal/dbdriver"
+)
+
+// Spec cardinalities at density 1.
+const (
+	specItems       = 100000
+	specCustPerDist = 3000
+	districtsPerWH  = 10
+)
+
+// Benchmark is the TPC-C workload instance.
+type Benchmark struct {
+	warehouses    int64
+	items         int64
+	custPerDist   int64
+	initialOrders int64
+}
+
+// New builds the benchmark at a scale factor.
+func New(scale float64) *Benchmark {
+	w := int64(scale)
+	if w < 1 {
+		w = 1
+	}
+	density := scale
+	if density > 1 {
+		density = 1
+	}
+	b := &Benchmark{
+		warehouses:  w,
+		items:       int64(common.ScaleCount(specItems, density, 100)),
+		custPerDist: int64(common.ScaleCount(specCustPerDist, density, 30)),
+	}
+	b.initialOrders = b.custPerDist // one initial order per customer
+	return b
+}
+
+// Name implements core.Benchmark.
+func (b *Benchmark) Name() string { return "tpcc" }
+
+// Warehouses returns the configured warehouse count.
+func (b *Benchmark) Warehouses() int64 { return b.warehouses }
+
+// DefaultMix implements core.Benchmark (the spec mixture).
+func (b *Benchmark) DefaultMix() []float64 {
+	// NewOrder, Payment, OrderStatus, Delivery, StockLevel
+	return []float64{45, 43, 4, 4, 4}
+}
+
+// ReadOnlyMix is the game's "Read-only" preset for TPC-C.
+func (b *Benchmark) ReadOnlyMix() []float64 { return []float64{0, 0, 50, 0, 50} }
+
+// CreateSchema implements core.Benchmark.
+func (b *Benchmark) CreateSchema(conn *dbdriver.Conn) error {
+	ddls := []string{
+		`CREATE TABLE warehouse (
+			w_id INT NOT NULL,
+			w_name VARCHAR(10), w_street_1 VARCHAR(20), w_street_2 VARCHAR(20),
+			w_city VARCHAR(20), w_state CHAR(2), w_zip CHAR(9),
+			w_tax DECIMAL(4,4), w_ytd DECIMAL(12,2),
+			PRIMARY KEY (w_id))`,
+		`CREATE TABLE district (
+			d_w_id INT NOT NULL, d_id INT NOT NULL,
+			d_name VARCHAR(10), d_street_1 VARCHAR(20), d_street_2 VARCHAR(20),
+			d_city VARCHAR(20), d_state CHAR(2), d_zip CHAR(9),
+			d_tax DECIMAL(4,4), d_ytd DECIMAL(12,2), d_next_o_id INT,
+			PRIMARY KEY (d_w_id, d_id))`,
+		`CREATE TABLE customer (
+			c_w_id INT NOT NULL, c_d_id INT NOT NULL, c_id INT NOT NULL,
+			c_first VARCHAR(16), c_middle CHAR(2), c_last VARCHAR(16),
+			c_street_1 VARCHAR(20), c_city VARCHAR(20), c_state CHAR(2), c_zip CHAR(9),
+			c_phone CHAR(16), c_since TIMESTAMP, c_credit CHAR(2),
+			c_credit_lim DECIMAL(12,2), c_discount DECIMAL(4,4),
+			c_balance DECIMAL(12,2), c_ytd_payment DECIMAL(12,2),
+			c_payment_cnt INT, c_delivery_cnt INT, c_data VARCHAR(500),
+			PRIMARY KEY (c_w_id, c_d_id, c_id))`,
+		"CREATE INDEX idx_customer_name ON customer (c_w_id, c_d_id, c_last, c_first)",
+		`CREATE TABLE history (
+			h_c_id INT, h_c_d_id INT, h_c_w_id INT,
+			h_d_id INT, h_w_id INT, h_date TIMESTAMP,
+			h_amount DECIMAL(6,2), h_data VARCHAR(24))`,
+		`CREATE TABLE oorder (
+			o_w_id INT NOT NULL, o_d_id INT NOT NULL, o_id INT NOT NULL,
+			o_c_id INT, o_entry_d TIMESTAMP, o_carrier_id INT,
+			o_ol_cnt INT, o_all_local INT,
+			PRIMARY KEY (o_w_id, o_d_id, o_id))`,
+		"CREATE INDEX idx_order_customer ON oorder (o_w_id, o_d_id, o_c_id, o_id)",
+		`CREATE TABLE new_order (
+			no_w_id INT NOT NULL, no_d_id INT NOT NULL, no_o_id INT NOT NULL,
+			PRIMARY KEY (no_w_id, no_d_id, no_o_id))`,
+		`CREATE TABLE order_line (
+			ol_w_id INT NOT NULL, ol_d_id INT NOT NULL, ol_o_id INT NOT NULL,
+			ol_number INT NOT NULL,
+			ol_i_id INT, ol_supply_w_id INT, ol_delivery_d TIMESTAMP,
+			ol_quantity INT, ol_amount DECIMAL(6,2), ol_dist_info CHAR(24),
+			PRIMARY KEY (ol_w_id, ol_d_id, ol_o_id, ol_number))`,
+		`CREATE TABLE item (
+			i_id INT NOT NULL,
+			i_im_id INT, i_name VARCHAR(24), i_price DECIMAL(5,2), i_data VARCHAR(50),
+			PRIMARY KEY (i_id))`,
+		`CREATE TABLE stock (
+			s_w_id INT NOT NULL, s_i_id INT NOT NULL,
+			s_quantity INT, s_dist_01 CHAR(24),
+			s_ytd INT, s_order_cnt INT, s_remote_cnt INT, s_data VARCHAR(50),
+			PRIMARY KEY (s_w_id, s_i_id))`,
+	}
+	for _, ddl := range ddls {
+		if _, err := conn.Exec(ddl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load implements core.Benchmark.
+func (b *Benchmark) Load(db *dbdriver.DB, rng *rand.Rand) error {
+	l, err := common.NewLoader(db, 2000)
+	if err != nil {
+		return err
+	}
+	// Items are shared across warehouses.
+	for i := int64(1); i <= b.items; i++ {
+		if err := l.Exec("INSERT INTO item VALUES (?, ?, ?, ?, ?)",
+			i, 1+rng.Int63n(10000), common.AString(rng, 14, 24),
+			1+rng.Float64()*99, common.AString(rng, 26, 50)); err != nil {
+			return err
+		}
+	}
+	for w := int64(1); w <= b.warehouses; w++ {
+		if err := l.Exec("INSERT INTO warehouse VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+			w, common.AString(rng, 6, 10), common.AString(rng, 10, 20), common.AString(rng, 10, 20),
+			common.AString(rng, 10, 20), common.AString(rng, 2, 2), common.NString(rng, 9, 9),
+			rng.Float64()*0.2, 300000.0); err != nil {
+			return err
+		}
+		for i := int64(1); i <= b.items; i++ {
+			if err := l.Exec("INSERT INTO stock VALUES (?, ?, ?, ?, 0, 0, 0, ?)",
+				w, i, 10+rng.Int63n(91), common.AString(rng, 24, 24),
+				common.AString(rng, 26, 50)); err != nil {
+				return err
+			}
+		}
+		for d := int64(1); d <= districtsPerWH; d++ {
+			if err := l.Exec("INSERT INTO district VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+				w, d, common.AString(rng, 6, 10), common.AString(rng, 10, 20), common.AString(rng, 10, 20),
+				common.AString(rng, 10, 20), common.AString(rng, 2, 2), common.NString(rng, 9, 9),
+				rng.Float64()*0.2, 30000.0, b.initialOrders+1); err != nil {
+				return err
+			}
+			if err := b.loadCustomersAndOrders(l, rng, w, d); err != nil {
+				return err
+			}
+		}
+	}
+	return l.Close()
+}
+
+func (b *Benchmark) loadCustomersAndOrders(l *common.Loader, rng *rand.Rand, w, d int64) error {
+	for c := int64(1); c <= b.custPerDist; c++ {
+		credit := "GC"
+		if common.FlipCoin(rng, 0.1) {
+			credit = "BC"
+		}
+		var last string
+		if c <= 1000 {
+			last = common.LastName(c - 1)
+		} else {
+			last = common.RandomLastName(rng)
+		}
+		if err := l.Exec(`INSERT INTO customer VALUES
+			(?, ?, ?, ?, 'OE', ?, ?, ?, ?, ?, ?, NOW(), ?, 50000, ?, -10, 10, 1, 0, ?)`,
+			w, d, c, common.AString(rng, 8, 16), last,
+			common.AString(rng, 10, 20), common.AString(rng, 10, 20), common.AString(rng, 2, 2),
+			common.NString(rng, 9, 9), common.NString(rng, 16, 16),
+			credit, rng.Float64()*0.5, common.AString(rng, 100, 300)); err != nil {
+			return err
+		}
+		if err := l.Exec("INSERT INTO history VALUES (?, ?, ?, ?, ?, NOW(), 10, ?)",
+			c, d, w, d, w, common.AString(rng, 12, 24)); err != nil {
+			return err
+		}
+	}
+	// Initial orders: one per customer in shuffled order; the most recent
+	// third are undelivered (in new_order).
+	perm := common.Shuffled(rng, int(b.custPerDist))
+	undeliveredFrom := b.initialOrders * 2 / 3
+	for i, ci := range perm {
+		oid := int64(i) + 1
+		cid := int64(ci) + 1
+		olCnt := 5 + rng.Int63n(11)
+		carrier := any(1 + rng.Int63n(10))
+		if int64(i) >= undeliveredFrom {
+			carrier = nil
+		}
+		if err := l.Exec("INSERT INTO oorder VALUES (?, ?, ?, ?, NOW(), ?, ?, 1)",
+			w, d, oid, cid, carrier, olCnt); err != nil {
+			return err
+		}
+		if int64(i) >= undeliveredFrom {
+			if err := l.Exec("INSERT INTO new_order VALUES (?, ?, ?)", w, d, oid); err != nil {
+				return err
+			}
+		}
+		for ol := int64(1); ol <= olCnt; ol++ {
+			var deliveryD any
+			amount := 0.0
+			if int64(i) < undeliveredFrom {
+				deliveryD = common.RandomDate(rng)
+			} else {
+				amount = 0.01 + rng.Float64()*9999.98
+			}
+			if err := l.Exec("INSERT INTO order_line VALUES (?, ?, ?, ?, ?, ?, ?, 5, ?, ?)",
+				w, d, oid, ol, 1+rng.Int63n(b.items), w, deliveryD, amount,
+				common.AString(rng, 24, 24)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Procedures implements core.Benchmark.
+func (b *Benchmark) Procedures() []core.Procedure {
+	return []core.Procedure{
+		{Name: "NewOrder", Fn: b.newOrder},
+		{Name: "Payment", Fn: b.payment},
+		{Name: "OrderStatus", ReadOnly: true, Fn: b.orderStatus},
+		{Name: "Delivery", Fn: b.delivery},
+		{Name: "StockLevel", ReadOnly: true, Fn: b.stockLevel},
+	}
+}
+
+// randWarehouse picks a home warehouse.
+func (b *Benchmark) randWarehouse(rng *rand.Rand) int64 { return 1 + rng.Int63n(b.warehouses) }
+
+// randCustomer picks a customer id with the spec's NURand skew.
+func (b *Benchmark) randCustomer(rng *rand.Rand) int64 {
+	return common.NURand(rng, 1023, 1, b.custPerDist)
+}
+
+// randItem picks an item id with the spec's NURand skew.
+func (b *Benchmark) randItem(rng *rand.Rand) int64 {
+	return common.NURand(rng, 8191, 1, b.items)
+}
+
+// newOrder is TPC-C's NewOrder transaction, including the spec's 1%
+// intentional rollback on an invalid item.
+func (b *Benchmark) newOrder(conn *dbdriver.Conn, rng *rand.Rand) error {
+	w := b.randWarehouse(rng)
+	d := 1 + rng.Int63n(districtsPerWH)
+	c := b.randCustomer(rng)
+	olCnt := 5 + rng.Int63n(11)
+	rollback := common.FlipCoin(rng, 0.01)
+
+	wrow, err := conn.QueryRow("SELECT w_tax FROM warehouse WHERE w_id = ?", w)
+	if err != nil || wrow == nil {
+		return orBroken(err, "warehouse")
+	}
+	drow, err := conn.QueryRow(
+		"SELECT d_tax, d_next_o_id FROM district WHERE d_w_id = ? AND d_id = ? FOR UPDATE", w, d)
+	if err != nil || drow == nil {
+		return orBroken(err, "district")
+	}
+	oid := drow[1].Int()
+	if _, err := conn.Exec(
+		"UPDATE district SET d_next_o_id = ? WHERE d_w_id = ? AND d_id = ?", oid+1, w, d); err != nil {
+		return err
+	}
+	crow, err := conn.QueryRow(
+		"SELECT c_discount, c_last, c_credit FROM customer WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?",
+		w, d, c)
+	if err != nil || crow == nil {
+		return orBroken(err, "customer")
+	}
+	if _, err := conn.Exec("INSERT INTO oorder VALUES (?, ?, ?, ?, NOW(), NULL, ?, 1)",
+		w, d, oid, c, olCnt); err != nil {
+		return err
+	}
+	if _, err := conn.Exec("INSERT INTO new_order VALUES (?, ?, ?)", w, d, oid); err != nil {
+		return err
+	}
+	for ol := int64(1); ol <= olCnt; ol++ {
+		item := b.randItem(rng)
+		if rollback && ol == olCnt {
+			item = b.items + 1 // unused item id: triggers the spec rollback
+		}
+		irow, err := conn.QueryRow("SELECT i_price FROM item WHERE i_id = ?", item)
+		if err != nil {
+			return err
+		}
+		if irow == nil {
+			return core.ErrExpectedAbort // spec: 1% of NewOrders roll back
+		}
+		srow, err := conn.QueryRow(
+			"SELECT s_quantity, s_dist_01 FROM stock WHERE s_w_id = ? AND s_i_id = ? FOR UPDATE", w, item)
+		if err != nil || srow == nil {
+			return orBroken(err, "stock")
+		}
+		qty := 1 + rng.Int63n(10)
+		sq := srow[0].Int()
+		if sq-qty >= 10 {
+			sq -= qty
+		} else {
+			sq = sq - qty + 91
+		}
+		if _, err := conn.Exec(
+			"UPDATE stock SET s_quantity = ?, s_ytd = s_ytd + ?, s_order_cnt = s_order_cnt + 1 WHERE s_w_id = ? AND s_i_id = ?",
+			sq, qty, w, item); err != nil {
+			return err
+		}
+		amount := float64(qty) * irow[0].Float()
+		if _, err := conn.Exec("INSERT INTO order_line VALUES (?, ?, ?, ?, ?, ?, NULL, ?, ?, ?)",
+			w, d, oid, ol, item, w, qty, amount, srow[1].Str()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// payment is TPC-C's Payment transaction; 60% of lookups are by customer
+// last name.
+func (b *Benchmark) payment(conn *dbdriver.Conn, rng *rand.Rand) error {
+	w := b.randWarehouse(rng)
+	d := 1 + rng.Int63n(districtsPerWH)
+	amount := 1 + rng.Float64()*4999
+
+	if _, err := conn.Exec("UPDATE warehouse SET w_ytd = w_ytd + ? WHERE w_id = ?", amount, w); err != nil {
+		return err
+	}
+	if _, err := conn.Exec("UPDATE district SET d_ytd = d_ytd + ? WHERE d_w_id = ? AND d_id = ?",
+		amount, w, d); err != nil {
+		return err
+	}
+	var cid int64
+	if common.FlipCoin(rng, 0.6) {
+		// By last name: pick the middle matching customer, per the spec.
+		res, err := conn.Query(
+			"SELECT c_id FROM customer WHERE c_w_id = ? AND c_d_id = ? AND c_last = ? ORDER BY c_first",
+			w, d, common.RandomLastName(rng))
+		if err != nil {
+			return err
+		}
+		if len(res.Rows) == 0 {
+			return core.ErrExpectedAbort
+		}
+		cid = res.Rows[len(res.Rows)/2][0].Int()
+	} else {
+		cid = b.randCustomer(rng)
+	}
+	crow, err := conn.QueryRow(
+		"SELECT c_balance, c_credit FROM customer WHERE c_w_id = ? AND c_d_id = ? AND c_id = ? FOR UPDATE",
+		w, d, cid)
+	if err != nil || crow == nil {
+		return orBroken(err, "customer")
+	}
+	if _, err := conn.Exec(`UPDATE customer SET c_balance = c_balance - ?,
+		c_ytd_payment = c_ytd_payment + ?, c_payment_cnt = c_payment_cnt + 1
+		WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?`, amount, amount, w, d, cid); err != nil {
+		return err
+	}
+	_, err = conn.Exec("INSERT INTO history VALUES (?, ?, ?, ?, ?, NOW(), ?, ?)",
+		cid, d, w, d, w, amount, common.AString(rng, 12, 24))
+	return err
+}
+
+// orderStatus is TPC-C's OrderStatus read-only transaction.
+func (b *Benchmark) orderStatus(conn *dbdriver.Conn, rng *rand.Rand) error {
+	w := b.randWarehouse(rng)
+	d := 1 + rng.Int63n(districtsPerWH)
+	var cid int64
+	if common.FlipCoin(rng, 0.6) {
+		res, err := conn.Query(
+			"SELECT c_id FROM customer WHERE c_w_id = ? AND c_d_id = ? AND c_last = ? ORDER BY c_first",
+			w, d, common.RandomLastName(rng))
+		if err != nil {
+			return err
+		}
+		if len(res.Rows) == 0 {
+			return core.ErrExpectedAbort
+		}
+		cid = res.Rows[len(res.Rows)/2][0].Int()
+	} else {
+		cid = b.randCustomer(rng)
+	}
+	if _, err := conn.QueryRow(
+		"SELECT c_balance, c_first, c_middle, c_last FROM customer WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?",
+		w, d, cid); err != nil {
+		return err
+	}
+	orow, err := conn.QueryRow(`SELECT o_id, o_carrier_id, o_entry_d FROM oorder
+		WHERE o_w_id = ? AND o_d_id = ? AND o_c_id = ? ORDER BY o_id DESC LIMIT 1`, w, d, cid)
+	if err != nil {
+		return err
+	}
+	if orow == nil {
+		return nil // customer has no orders yet
+	}
+	_, err = conn.Query(`SELECT ol_i_id, ol_supply_w_id, ol_quantity, ol_amount, ol_delivery_d
+		FROM order_line WHERE ol_w_id = ? AND ol_d_id = ? AND ol_o_id = ?`, w, d, orow[0].Int())
+	return err
+}
+
+// delivery is TPC-C's Delivery transaction: deliver the oldest undelivered
+// order of every district of one warehouse.
+func (b *Benchmark) delivery(conn *dbdriver.Conn, rng *rand.Rand) error {
+	w := b.randWarehouse(rng)
+	carrier := 1 + rng.Int63n(10)
+	for d := int64(1); d <= districtsPerWH; d++ {
+		norow, err := conn.QueryRow(
+			"SELECT no_o_id FROM new_order WHERE no_w_id = ? AND no_d_id = ? ORDER BY no_o_id LIMIT 1 FOR UPDATE",
+			w, d)
+		if err != nil {
+			if dbdriver.IsRetryable(err) {
+				// Another delivery is working this district. The spec
+				// queues deliveries per warehouse; skipping the busy
+				// district (instead of aborting the other nine) matches
+				// that behaviour under first-updater-wins engines.
+				continue
+			}
+			return err
+		}
+		if norow == nil {
+			continue // district fully delivered
+		}
+		oid := norow[0].Int()
+		if _, err := conn.Exec(
+			"DELETE FROM new_order WHERE no_w_id = ? AND no_d_id = ? AND no_o_id = ?", w, d, oid); err != nil {
+			return err
+		}
+		orow, err := conn.QueryRow(
+			"SELECT o_c_id FROM oorder WHERE o_w_id = ? AND o_d_id = ? AND o_id = ?", w, d, oid)
+		if err != nil || orow == nil {
+			return orBroken(err, "oorder")
+		}
+		if _, err := conn.Exec(
+			"UPDATE oorder SET o_carrier_id = ? WHERE o_w_id = ? AND o_d_id = ? AND o_id = ?",
+			carrier, w, d, oid); err != nil {
+			return err
+		}
+		if _, err := conn.Exec(
+			"UPDATE order_line SET ol_delivery_d = NOW() WHERE ol_w_id = ? AND ol_d_id = ? AND ol_o_id = ?",
+			w, d, oid); err != nil {
+			return err
+		}
+		sumrow, err := conn.QueryRow(
+			"SELECT SUM(ol_amount) FROM order_line WHERE ol_w_id = ? AND ol_d_id = ? AND ol_o_id = ?",
+			w, d, oid)
+		if err != nil {
+			return err
+		}
+		total := 0.0
+		if sumrow != nil && !sumrow[0].IsNull() {
+			total = sumrow[0].Float()
+		}
+		if _, err := conn.Exec(`UPDATE customer SET c_balance = c_balance + ?,
+			c_delivery_cnt = c_delivery_cnt + 1 WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?`,
+			total, w, d, orow[0].Int()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stockLevel is TPC-C's StockLevel read-only transaction.
+func (b *Benchmark) stockLevel(conn *dbdriver.Conn, rng *rand.Rand) error {
+	w := b.randWarehouse(rng)
+	d := 1 + rng.Int63n(districtsPerWH)
+	threshold := 10 + rng.Int63n(11)
+	drow, err := conn.QueryRow("SELECT d_next_o_id FROM district WHERE d_w_id = ? AND d_id = ?", w, d)
+	if err != nil || drow == nil {
+		return orBroken(err, "district")
+	}
+	next := drow[0].Int()
+	_, err = conn.QueryRow(`SELECT COUNT(DISTINCT ol.ol_i_id)
+		FROM order_line ol JOIN stock s ON s.s_i_id = ol.ol_i_id
+		WHERE ol.ol_w_id = ? AND ol.ol_d_id = ?
+		  AND ol.ol_o_id >= ? AND ol.ol_o_id < ?
+		  AND s.s_w_id = ? AND s.s_quantity < ?`,
+		w, d, next-20, next, w, threshold)
+	return err
+}
+
+// orBroken converts a nil error with a missing required row into a loud
+// corruption report (these rows always exist in a correct load).
+func orBroken(err error, what string) error {
+	if err != nil {
+		return err
+	}
+	return fmt.Errorf("tpcc: required %s row missing", what)
+}
+
+func init() {
+	core.RegisterBenchmark("tpcc", func(scale float64) core.Benchmark { return New(scale) })
+}

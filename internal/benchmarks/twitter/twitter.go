@@ -1,0 +1,194 @@
+// Package twitter ports the Twitter benchmark (Table 1: "Social
+// Networking"): a micro-blogging workload over users, tweets, and the
+// follower graph, dominated by timeline reads with Zipf-skewed user
+// popularity.
+package twitter
+
+import (
+	"math/rand"
+	"sync/atomic"
+
+	"benchpress/internal/benchmarks/common"
+	"benchpress/internal/core"
+	"benchpress/internal/dbdriver"
+)
+
+// baseUsers and baseTweets size the graph at scale 1.
+const (
+	baseUsers      = 1000
+	baseTweets     = 20000
+	maxFollowsLoad = 20
+)
+
+// Benchmark is the Twitter workload instance.
+type Benchmark struct {
+	users      int64
+	nextTweet  atomic.Int64
+	userChoose *common.ScrambledZipfian
+	tweetGen   *common.Latest
+}
+
+// New builds the benchmark at a scale factor.
+func New(scale float64) *Benchmark {
+	users := int64(common.ScaleCount(baseUsers, scale, 50))
+	b := &Benchmark{
+		users:      users,
+		userChoose: common.NewScrambledZipfian(users),
+		tweetGen:   common.NewLatest(int64(common.ScaleCount(baseTweets, scale, 500))),
+	}
+	return b
+}
+
+// Name implements core.Benchmark.
+func (b *Benchmark) Name() string { return "twitter" }
+
+// DefaultMix implements core.Benchmark (OLTP-Bench's production-trace-derived
+// mixture, dominated by timeline reads).
+func (b *Benchmark) DefaultMix() []float64 {
+	// GetFollowers, GetTweet, GetTweetsFromFollowing, GetUserTweets, InsertTweet
+	return []float64{8, 1, 1, 89, 1}
+}
+
+// CreateSchema implements core.Benchmark.
+func (b *Benchmark) CreateSchema(conn *dbdriver.Conn) error {
+	ddls := []string{
+		`CREATE TABLE user_profiles (
+			uid INT NOT NULL,
+			name VARCHAR(32),
+			email VARCHAR(64),
+			partitionid INT,
+			followers INT,
+			PRIMARY KEY (uid))`,
+		`CREATE TABLE tweets (
+			id BIGINT NOT NULL AUTO_INCREMENT,
+			uid INT NOT NULL,
+			text VARCHAR(140) NOT NULL,
+			createdate TIMESTAMP,
+			PRIMARY KEY (id))`,
+		"CREATE INDEX idx_tweets_uid ON tweets (uid)",
+		`CREATE TABLE follows (
+			f1 INT NOT NULL,
+			f2 INT NOT NULL,
+			PRIMARY KEY (f1, f2))`,
+		`CREATE TABLE followers (
+			f1 INT NOT NULL,
+			f2 INT NOT NULL,
+			PRIMARY KEY (f1, f2))`,
+	}
+	for _, ddl := range ddls {
+		if _, err := conn.Exec(ddl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load implements core.Benchmark: users, a Zipf-ish follower graph, and an
+// initial tweet corpus.
+func (b *Benchmark) Load(db *dbdriver.DB, rng *rand.Rand) error {
+	l, err := common.NewLoader(db, 1000)
+	if err != nil {
+		return err
+	}
+	for u := int64(0); u < b.users; u++ {
+		if err := l.Exec("INSERT INTO user_profiles VALUES (?, ?, ?, ?, ?)",
+			u, common.LString(rng, 6, 12), common.LString(rng, 8, 14)+"@example.com",
+			u%16, 0); err != nil {
+			return err
+		}
+		// Follow a handful of (popularity-skewed) users.
+		n := 1 + rng.Intn(maxFollowsLoad)
+		seen := map[int64]bool{u: true}
+		for i := 0; i < n; i++ {
+			f := b.userChoose.Next(rng)
+			if seen[f] {
+				continue
+			}
+			seen[f] = true
+			if err := l.Exec("INSERT INTO follows VALUES (?, ?)", u, f); err != nil {
+				return err
+			}
+			if err := l.Exec("INSERT INTO followers VALUES (?, ?)", f, u); err != nil {
+				return err
+			}
+		}
+	}
+	tweets := int64(common.ScaleCount(baseTweets, float64(b.users)/baseUsers, 500))
+	for i := int64(0); i < tweets; i++ {
+		if err := l.Exec("INSERT INTO tweets (uid, text, createdate) VALUES (?, ?, NOW())",
+			b.userChoose.Next(rng), common.Text(rng, 8)); err != nil {
+			return err
+		}
+	}
+	b.nextTweet.Store(tweets)
+	return l.Close()
+}
+
+// Procedures implements core.Benchmark.
+func (b *Benchmark) Procedures() []core.Procedure {
+	return []core.Procedure{
+		{Name: "GetFollowers", ReadOnly: true, Fn: b.getFollowers},
+		{Name: "GetTweet", ReadOnly: true, Fn: b.getTweet},
+		{Name: "GetTweetsFromFollowing", ReadOnly: true, Fn: b.getTweetsFromFollowing},
+		{Name: "GetUserTweets", ReadOnly: true, Fn: b.getUserTweets},
+		{Name: "InsertTweet", Fn: b.insertTweet},
+	}
+}
+
+func (b *Benchmark) getFollowers(conn *dbdriver.Conn, rng *rand.Rand) error {
+	uid := b.userChoose.Next(rng)
+	res, err := conn.Query("SELECT f2 FROM followers WHERE f1 = ? LIMIT 20", uid)
+	if err != nil {
+		return err
+	}
+	for _, row := range res.Rows {
+		if _, err := conn.QueryRow("SELECT uid, name FROM user_profiles WHERE uid = ?", row[0].Int()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *Benchmark) getTweet(conn *dbdriver.Conn, rng *rand.Rand) error {
+	id := b.tweetGen.Next(rng, b.nextTweet.Load())
+	_, err := conn.QueryRow("SELECT * FROM tweets WHERE id = ?", id+1)
+	return err
+}
+
+func (b *Benchmark) getTweetsFromFollowing(conn *dbdriver.Conn, rng *rand.Rand) error {
+	uid := b.userChoose.Next(rng)
+	res, err := conn.Query("SELECT f2 FROM follows WHERE f1 = ? LIMIT 20", uid)
+	if err != nil {
+		return err
+	}
+	for _, row := range res.Rows {
+		if _, err := conn.Query(
+			"SELECT * FROM tweets WHERE uid = ? ORDER BY id DESC LIMIT 10", row[0].Int()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *Benchmark) getUserTweets(conn *dbdriver.Conn, rng *rand.Rand) error {
+	uid := b.userChoose.Next(rng)
+	_, err := conn.Query("SELECT * FROM tweets WHERE uid = ? ORDER BY id DESC LIMIT 10", uid)
+	return err
+}
+
+func (b *Benchmark) insertTweet(conn *dbdriver.Conn, rng *rand.Rand) error {
+	uid := b.userChoose.Next(rng)
+	res, err := conn.Exec("INSERT INTO tweets (uid, text, createdate) VALUES (?, ?, NOW())",
+		uid, common.Text(rng, 8))
+	if err != nil {
+		return err
+	}
+	if res.LastInsertID > b.nextTweet.Load() {
+		b.nextTweet.Store(res.LastInsertID)
+	}
+	return nil
+}
+
+func init() {
+	core.RegisterBenchmark("twitter", func(scale float64) core.Benchmark { return New(scale) })
+}

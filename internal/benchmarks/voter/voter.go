@@ -1,0 +1,148 @@
+// Package voter ports the Voter benchmark (Table 1: "Talent Show Voting"):
+// a stream of phone-in votes for contestants with a per-phone vote cap,
+// modeled on the Japanese "American Idol" VoltDB demo that OLTP-Bench adopts.
+package voter
+
+import (
+	"math/rand"
+
+	"benchpress/internal/benchmarks/common"
+	"benchpress/internal/core"
+	"benchpress/internal/dbdriver"
+)
+
+// contestantNames are the fixed contestants (OLTP-Bench loads 6-12).
+var contestantNames = []string{
+	"Edwina Burnam", "Tabatha Gehling", "Kelly Clauss", "Jessie Alloway",
+	"Alana Bregman", "Jessie Eichman", "Allie Rogalski", "Nita Coster",
+	"Kurt Walser", "Ericka Dieter", "Loraine Nygren", "Tania Mattioli",
+}
+
+// areaCodes is a sample of US area codes with their states.
+var areaCodes = []struct {
+	code  int
+	state string
+}{
+	{212, "NY"}, {310, "CA"}, {412, "PA"}, {415, "CA"}, {512, "TX"},
+	{617, "MA"}, {702, "NV"}, {808, "HI"}, {206, "WA"}, {305, "FL"},
+}
+
+// maxVotesPerPhone caps votes per phone number.
+const maxVotesPerPhone = 10
+
+// basePhones is the phone-number space at scale 1.
+const basePhones = 100000
+
+// Benchmark is the Voter workload instance.
+type Benchmark struct {
+	contestants int
+	phones      int64
+}
+
+// New builds the benchmark at a scale factor.
+func New(scale float64) *Benchmark {
+	return &Benchmark{
+		contestants: len(contestantNames),
+		phones:      int64(common.ScaleCount(basePhones, scale, 1000)),
+	}
+}
+
+// Name implements core.Benchmark.
+func (b *Benchmark) Name() string { return "voter" }
+
+// DefaultMix implements core.Benchmark: Voter is a single-transaction
+// workload.
+func (b *Benchmark) DefaultMix() []float64 { return []float64{100} }
+
+// CreateSchema implements core.Benchmark.
+func (b *Benchmark) CreateSchema(conn *dbdriver.Conn) error {
+	ddls := []string{
+		`CREATE TABLE contestants (
+			contestant_number INT NOT NULL,
+			contestant_name VARCHAR(50) NOT NULL,
+			PRIMARY KEY (contestant_number))`,
+		`CREATE TABLE area_code_state (
+			area_code INT NOT NULL,
+			state VARCHAR(2) NOT NULL,
+			PRIMARY KEY (area_code))`,
+		`CREATE TABLE votes (
+			vote_id BIGINT NOT NULL AUTO_INCREMENT,
+			phone_number BIGINT NOT NULL,
+			state VARCHAR(2) NOT NULL,
+			contestant_number INT NOT NULL,
+			created TIMESTAMP NOT NULL,
+			PRIMARY KEY (vote_id))`,
+		"CREATE INDEX idx_votes_phone ON votes (phone_number)",
+		"CREATE INDEX idx_votes_contestant ON votes (contestant_number)",
+	}
+	for _, ddl := range ddls {
+		if _, err := conn.Exec(ddl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load implements core.Benchmark.
+func (b *Benchmark) Load(db *dbdriver.DB, rng *rand.Rand) error {
+	l, err := common.NewLoader(db, 500)
+	if err != nil {
+		return err
+	}
+	for i, name := range contestantNames[:b.contestants] {
+		if err := l.Exec("INSERT INTO contestants VALUES (?, ?)", i+1, name); err != nil {
+			return err
+		}
+	}
+	for _, ac := range areaCodes {
+		if err := l.Exec("INSERT INTO area_code_state VALUES (?, ?)", ac.code, ac.state); err != nil {
+			return err
+		}
+	}
+	return l.Close()
+}
+
+// Procedures implements core.Benchmark.
+func (b *Benchmark) Procedures() []core.Procedure {
+	return []core.Procedure{{Name: "Vote", Fn: b.vote}}
+}
+
+// vote is the single Voter transaction: validate contestant, enforce the
+// per-phone vote cap, resolve the caller's state, insert the vote.
+func (b *Benchmark) vote(conn *dbdriver.Conn, rng *rand.Rand) error {
+	contestant := 1 + rng.Intn(b.contestants)
+	ac := areaCodes[rng.Intn(len(areaCodes))]
+	phone := int64(ac.code)*10_000_000 + rng.Int63n(b.phones)
+
+	// Contestant must exist.
+	row, err := conn.QueryRow("SELECT contestant_number FROM contestants WHERE contestant_number = ?", contestant)
+	if err != nil {
+		return err
+	}
+	if row == nil {
+		return core.ErrExpectedAbort
+	}
+	// Vote cap per phone number.
+	cnt, err := conn.QueryRow("SELECT COUNT(*) FROM votes WHERE phone_number = ?", phone)
+	if err != nil {
+		return err
+	}
+	if cnt[0].Int() >= maxVotesPerPhone {
+		return core.ErrExpectedAbort
+	}
+	// Resolve state from the area code (default XX as OLTP-Bench does).
+	state := "XX"
+	if srow, err := conn.QueryRow("SELECT state FROM area_code_state WHERE area_code = ?", ac.code); err != nil {
+		return err
+	} else if srow != nil {
+		state = srow[0].Str()
+	}
+	_, err = conn.Exec(
+		"INSERT INTO votes (phone_number, state, contestant_number, created) VALUES (?, ?, ?, NOW())",
+		phone, state, contestant)
+	return err
+}
+
+func init() {
+	core.RegisterBenchmark("voter", func(scale float64) core.Benchmark { return New(scale) })
+}

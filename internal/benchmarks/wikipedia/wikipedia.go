@@ -1,0 +1,239 @@
+// Package wikipedia ports the Wikipedia benchmark (Table 1: "On-line
+// Encyclopedia"): page reads dominate, with authenticated readers touching
+// their watchlists and occasional article edits appending a new revision.
+package wikipedia
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"benchpress/internal/benchmarks/common"
+	"benchpress/internal/core"
+	"benchpress/internal/dbdriver"
+)
+
+// Cardinalities at scale 1.
+const (
+	baseUsers = 1000
+	basePages = 1000
+)
+
+// Benchmark is the Wikipedia workload instance.
+type Benchmark struct {
+	users, pages int64
+	nextText     atomic.Int64
+	nextRev      atomic.Int64
+	pageChoose   *common.ScrambledZipfian
+	userChoose   *common.ScrambledZipfian
+}
+
+// New builds the benchmark at a scale factor.
+func New(scale float64) *Benchmark {
+	users := int64(common.ScaleCount(baseUsers, scale, 50))
+	pages := int64(common.ScaleCount(basePages, scale, 50))
+	return &Benchmark{
+		users:      users,
+		pages:      pages,
+		pageChoose: common.NewScrambledZipfian(pages),
+		userChoose: common.NewScrambledZipfian(users),
+	}
+}
+
+// Name implements core.Benchmark.
+func (b *Benchmark) Name() string { return "wikipedia" }
+
+// DefaultMix implements core.Benchmark (trace-derived: anonymous reads
+// dominate).
+func (b *Benchmark) DefaultMix() []float64 {
+	// AddWatchList, GetPageAnonymous, GetPageAuthenticated, RemoveWatchList, UpdatePage
+	return []float64{1, 92, 4, 1, 2}
+}
+
+// CreateSchema implements core.Benchmark.
+func (b *Benchmark) CreateSchema(conn *dbdriver.Conn) error {
+	ddls := []string{
+		`CREATE TABLE useracct (
+			user_id INT NOT NULL,
+			user_name VARCHAR(255) NOT NULL,
+			user_touched TIMESTAMP,
+			PRIMARY KEY (user_id))`,
+		`CREATE TABLE page (
+			page_id INT NOT NULL,
+			page_namespace INT NOT NULL,
+			page_title VARCHAR(255) NOT NULL,
+			page_latest INT NOT NULL,
+			page_touched TIMESTAMP,
+			PRIMARY KEY (page_id))`,
+		"CREATE UNIQUE INDEX idx_page_ns_title ON page (page_namespace, page_title)",
+		`CREATE TABLE revision (
+			rev_id INT NOT NULL,
+			rev_page INT NOT NULL,
+			rev_text_id INT NOT NULL,
+			rev_user INT NOT NULL,
+			rev_timestamp TIMESTAMP,
+			PRIMARY KEY (rev_id))`,
+		"CREATE INDEX idx_revision_page ON revision (rev_page)",
+		`CREATE TABLE text (
+			old_id INT NOT NULL,
+			old_text CLOB,
+			old_page INT,
+			PRIMARY KEY (old_id))`,
+		`CREATE TABLE watchlist (
+			wl_user INT NOT NULL,
+			wl_namespace INT NOT NULL,
+			wl_title VARCHAR(255) NOT NULL,
+			PRIMARY KEY (wl_user, wl_namespace, wl_title))`,
+	}
+	for _, ddl := range ddls {
+		if _, err := conn.Exec(ddl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pageTitle derives a deterministic title for a page ordinal.
+func pageTitle(p int64) string { return fmt.Sprintf("Page_%06d", p) }
+
+// Load implements core.Benchmark.
+func (b *Benchmark) Load(db *dbdriver.DB, rng *rand.Rand) error {
+	l, err := common.NewLoader(db, 1000)
+	if err != nil {
+		return err
+	}
+	for u := int64(0); u < b.users; u++ {
+		if err := l.Exec("INSERT INTO useracct VALUES (?, ?, NOW())",
+			u, fmt.Sprintf("user_%06d", u)); err != nil {
+			return err
+		}
+	}
+	rev := int64(0)
+	for p := int64(0); p < b.pages; p++ {
+		rev++
+		if err := l.Exec("INSERT INTO text VALUES (?, ?, ?)",
+			rev, common.Text(rng, 50), p); err != nil {
+			return err
+		}
+		if err := l.Exec("INSERT INTO revision VALUES (?, ?, ?, ?, NOW())",
+			rev, p, rev, rng.Int63n(b.users)); err != nil {
+			return err
+		}
+		if err := l.Exec("INSERT INTO page VALUES (?, ?, ?, ?, NOW())",
+			p, p%4, pageTitle(p), rev); err != nil {
+			return err
+		}
+		// A few distinct watchers per page (deduplicated client-side: the
+		// loader's batch transaction must never see a unique violation).
+		seen := map[int64]bool{}
+		var watchers []int64
+		for len(watchers) < 2 {
+			u := rng.Int63n(b.users)
+			if !seen[u] {
+				seen[u] = true
+				watchers = append(watchers, u)
+			}
+		}
+		for _, u := range watchers {
+			if err := l.Exec("INSERT INTO watchlist VALUES (?, ?, ?)", u, p%4, pageTitle(p)); err != nil {
+				return err
+			}
+		}
+	}
+	b.nextText.Store(rev)
+	b.nextRev.Store(rev)
+	return l.Close()
+}
+
+// Procedures implements core.Benchmark.
+func (b *Benchmark) Procedures() []core.Procedure {
+	return []core.Procedure{
+		{Name: "AddWatchList", Fn: b.addWatchList},
+		{Name: "GetPageAnonymous", ReadOnly: true, Fn: b.getPageAnonymous},
+		{Name: "GetPageAuthenticated", ReadOnly: true, Fn: b.getPageAuthenticated},
+		{Name: "RemoveWatchList", Fn: b.removeWatchList},
+		{Name: "UpdatePage", Fn: b.updatePage},
+	}
+}
+
+// getPage fetches a page with its latest revision and text.
+func (b *Benchmark) getPage(conn *dbdriver.Conn, rng *rand.Rand) ([]int64, error) {
+	p := b.pageChoose.Next(rng)
+	row, err := conn.QueryRow(
+		"SELECT page_id, page_latest FROM page WHERE page_namespace = ? AND page_title = ?",
+		p%4, pageTitle(p))
+	if err != nil || row == nil {
+		return nil, err
+	}
+	pageID, latest := row[0].Int(), row[1].Int()
+	rrow, err := conn.QueryRow("SELECT rev_text_id FROM revision WHERE rev_id = ?", latest)
+	if err != nil || rrow == nil {
+		return []int64{pageID, latest}, err
+	}
+	if _, err := conn.QueryRow("SELECT old_text FROM text WHERE old_id = ?", rrow[0].Int()); err != nil {
+		return nil, err
+	}
+	return []int64{pageID, latest}, nil
+}
+
+func (b *Benchmark) getPageAnonymous(conn *dbdriver.Conn, rng *rand.Rand) error {
+	_, err := b.getPage(conn, rng)
+	return err
+}
+
+func (b *Benchmark) getPageAuthenticated(conn *dbdriver.Conn, rng *rand.Rand) error {
+	u := b.userChoose.Next(rng)
+	if _, err := conn.QueryRow("SELECT * FROM useracct WHERE user_id = ?", u); err != nil {
+		return err
+	}
+	_, err := b.getPage(conn, rng)
+	return err
+}
+
+func (b *Benchmark) addWatchList(conn *dbdriver.Conn, rng *rand.Rand) error {
+	p := b.pageChoose.Next(rng)
+	u := b.userChoose.Next(rng)
+	if _, err := conn.Exec("INSERT INTO watchlist VALUES (?, ?, ?)", u, p%4, pageTitle(p)); err != nil {
+		return fmt.Errorf("wikipedia: already watching: %w", core.ErrExpectedAbort)
+	}
+	_, err := conn.Exec("UPDATE useracct SET user_touched = NOW() WHERE user_id = ?", u)
+	return err
+}
+
+func (b *Benchmark) removeWatchList(conn *dbdriver.Conn, rng *rand.Rand) error {
+	p := b.pageChoose.Next(rng)
+	u := b.userChoose.Next(rng)
+	if _, err := conn.Exec("DELETE FROM watchlist WHERE wl_user = ? AND wl_namespace = ? AND wl_title = ?",
+		u, p%4, pageTitle(p)); err != nil {
+		return err
+	}
+	_, err := conn.Exec("UPDATE useracct SET user_touched = NOW() WHERE user_id = ?", u)
+	return err
+}
+
+// updatePage appends a new revision: insert text, insert revision, bump
+// page_latest, touch watchers.
+func (b *Benchmark) updatePage(conn *dbdriver.Conn, rng *rand.Rand) error {
+	ids, err := b.getPage(conn, rng)
+	if err != nil || ids == nil {
+		return err
+	}
+	pageID := ids[0]
+	textID := b.nextText.Add(1)
+	revID := b.nextRev.Add(1)
+	if _, err := conn.Exec("INSERT INTO text VALUES (?, ?, ?)",
+		textID, common.Text(rng, 50), pageID); err != nil {
+		return err
+	}
+	if _, err := conn.Exec("INSERT INTO revision VALUES (?, ?, ?, ?, NOW())",
+		revID, pageID, textID, b.userChoose.Next(rng)); err != nil {
+		return err
+	}
+	_, err = conn.Exec("UPDATE page SET page_latest = ?, page_touched = NOW() WHERE page_id = ?",
+		revID, pageID)
+	return err
+}
+
+func init() {
+	core.RegisterBenchmark("wikipedia", func(scale float64) core.Benchmark { return New(scale) })
+}

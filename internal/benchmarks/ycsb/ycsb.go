@@ -1,0 +1,193 @@
+// Package ycsb ports the Yahoo! Cloud Serving Benchmark (Table 1: "Scalable
+// Key-value Store") to the testbed: one wide usertable and six operations
+// (read, insert, scan, update, delete, read-modify-write) with a scrambled
+// Zipfian key chooser.
+package ycsb
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"benchpress/internal/benchmarks/common"
+	"benchpress/internal/core"
+	"benchpress/internal/dbdriver"
+	"benchpress/internal/dialect"
+)
+
+// fieldCount is the number of payload columns (YCSB default 10).
+const fieldCount = 10
+
+// fieldLength is the payload column width (YCSB default 100).
+const fieldLength = 100
+
+// baseRecords is the record count at scale factor 1.
+const baseRecords = 10000
+
+// Benchmark is the YCSB workload instance.
+type Benchmark struct {
+	records int
+	chooser *common.ScrambledZipfian
+	// nextKey hands out fresh keys for inserts; shared across workers.
+	nextKey atomic.Int64
+	stmts   *dialect.Catalog
+}
+
+// New builds the benchmark at a scale factor (records = 10000 x scale).
+func New(scale float64) *Benchmark {
+	n := common.ScaleCount(baseRecords, scale, 100)
+	b := &Benchmark{
+		records: n,
+		chooser: common.NewScrambledZipfian(int64(n)),
+		stmts:   dialect.NewCatalog(),
+	}
+	b.nextKey.Store(int64(n))
+	// Canonical statements with one expert-contributed dialect variant,
+	// exercising the human-written dialect translation path the paper
+	// describes.
+	b.stmts.Register("scan", "SELECT * FROM usertable WHERE ycsb_key >= ? AND ycsb_key <= ? LIMIT 100")
+	b.stmts.Override("scan", "derby",
+		"SELECT * FROM usertable WHERE ycsb_key >= ? AND ycsb_key <= ? FETCH FIRST 100 ROWS ONLY")
+	return b
+}
+
+// Name implements core.Benchmark.
+func (b *Benchmark) Name() string { return "ycsb" }
+
+// Records returns the initially loaded record count.
+func (b *Benchmark) Records() int { return b.records }
+
+// DefaultMix implements core.Benchmark: the OLTP-Bench YCSB default of a
+// read-mostly mixture.
+func (b *Benchmark) DefaultMix() []float64 {
+	// Read, Insert, Scan, Update, Delete, ReadModifyWrite
+	return []float64{50, 5, 5, 30, 5, 5}
+}
+
+// ReadOnlyMix is the preset used by the game's "Read-only" option.
+func (b *Benchmark) ReadOnlyMix() []float64 { return []float64{95, 0, 5, 0, 0, 0} }
+
+// WriteHeavyMix is the preset used by the game's "Super-writes" option.
+func (b *Benchmark) WriteHeavyMix() []float64 { return []float64{5, 15, 0, 60, 5, 15} }
+
+// CreateSchema implements core.Benchmark.
+func (b *Benchmark) CreateSchema(conn *dbdriver.Conn) error {
+	ddl := "CREATE TABLE usertable (ycsb_key INT NOT NULL"
+	for i := 1; i <= fieldCount; i++ {
+		ddl += fmt.Sprintf(", field%d VARCHAR(%d)", i, fieldLength)
+	}
+	ddl += ", PRIMARY KEY (ycsb_key))"
+	_, err := conn.Exec(ddl)
+	return err
+}
+
+// insertSQL builds the INSERT statement text once.
+var insertSQL = func() string {
+	sql := "INSERT INTO usertable VALUES (?"
+	for i := 0; i < fieldCount; i++ {
+		sql += ", ?"
+	}
+	return sql + ")"
+}()
+
+// Load implements core.Benchmark.
+func (b *Benchmark) Load(db *dbdriver.DB, rng *rand.Rand) error {
+	l, err := common.NewLoader(db, 1000)
+	if err != nil {
+		return err
+	}
+	for k := 0; k < b.records; k++ {
+		args := make([]any, 0, fieldCount+1)
+		args = append(args, k)
+		for f := 0; f < fieldCount; f++ {
+			args = append(args, common.AString(rng, fieldLength/2, fieldLength))
+		}
+		if err := l.Exec(insertSQL, args...); err != nil {
+			return err
+		}
+	}
+	return l.Close()
+}
+
+// key draws a Zipf-hot existing key.
+func (b *Benchmark) key(rng *rand.Rand) int64 {
+	return b.chooser.Next(rng)
+}
+
+// Procedures implements core.Benchmark.
+func (b *Benchmark) Procedures() []core.Procedure {
+	return []core.Procedure{
+		{Name: "Read", ReadOnly: true, Fn: b.read},
+		{Name: "Insert", Fn: b.insert},
+		{Name: "Scan", ReadOnly: true, Fn: b.scan},
+		{Name: "Update", Fn: b.update},
+		{Name: "Delete", Fn: b.delete},
+		{Name: "ReadModifyWrite", Fn: b.readModifyWrite},
+	}
+}
+
+func (b *Benchmark) read(conn *dbdriver.Conn, rng *rand.Rand) error {
+	_, err := conn.QueryRow("SELECT * FROM usertable WHERE ycsb_key = ?", b.key(rng))
+	return err
+}
+
+func (b *Benchmark) insert(conn *dbdriver.Conn, rng *rand.Rand) error {
+	k := b.nextKey.Add(1)
+	args := make([]any, 0, fieldCount+1)
+	args = append(args, k)
+	for f := 0; f < fieldCount; f++ {
+		args = append(args, common.AString(rng, fieldLength/2, fieldLength))
+	}
+	_, err := conn.Exec(insertSQL, args...)
+	return err
+}
+
+func (b *Benchmark) scan(conn *dbdriver.Conn, rng *rand.Rand) error {
+	start := b.key(rng)
+	sql, _ := b.stmts.SQL("scan", conn.DB().Personality().Dialect)
+	// The engine accepts the canonical dialect; resolve anyway so dialect
+	// plumbing is exercised, then fall back if a foreign variant leaked in.
+	res, err := conn.Query(sql, start, start+100)
+	if err != nil {
+		res, err = conn.Query("SELECT * FROM usertable WHERE ycsb_key >= ? AND ycsb_key <= ? LIMIT 100", start, start+100)
+	}
+	_ = res
+	return err
+}
+
+func (b *Benchmark) update(conn *dbdriver.Conn, rng *rand.Rand) error {
+	field := 1 + rng.Intn(fieldCount)
+	sql := fmt.Sprintf("UPDATE usertable SET field%d = ? WHERE ycsb_key = ?", field)
+	_, err := conn.Exec(sql, common.AString(rng, fieldLength/2, fieldLength), b.key(rng))
+	return err
+}
+
+func (b *Benchmark) delete(conn *dbdriver.Conn, rng *rand.Rand) error {
+	// Delete from the insert tail rather than the Zipfian hot set: deleting
+	// hot keys would hollow out the working set over a long run, turning
+	// later reads and updates into no-op misses and skewing every
+	// measurement that follows.
+	k := int64(b.records)
+	if max := b.nextKey.Load(); max > k {
+		k += rng.Int63n(max - k)
+	} else {
+		k = b.key(rng)
+	}
+	_, err := conn.Exec("DELETE FROM usertable WHERE ycsb_key = ?", k)
+	return err
+}
+
+func (b *Benchmark) readModifyWrite(conn *dbdriver.Conn, rng *rand.Rand) error {
+	k := b.key(rng)
+	if _, err := conn.Query("SELECT * FROM usertable WHERE ycsb_key = ? FOR UPDATE", k); err != nil {
+		return err
+	}
+	field := 1 + rng.Intn(fieldCount)
+	sql := fmt.Sprintf("UPDATE usertable SET field%d = ? WHERE ycsb_key = ?", field)
+	_, err := conn.Exec(sql, common.AString(rng, fieldLength/2, fieldLength), k)
+	return err
+}
+
+func init() {
+	core.RegisterBenchmark("ycsb", func(scale float64) core.Benchmark { return New(scale) })
+}

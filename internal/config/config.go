@@ -1,0 +1,166 @@
+// Package config parses the XML workload configuration files of the
+// testbed, mirroring OLTP-Bench's config.xml format: database target,
+// scale factor, terminal (worker) count, and a list of execution phases
+// ("works"), each with a target rate, a transaction mixture, and a duration.
+package config
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Workload is one benchmark run description.
+type Workload struct {
+	XMLName xml.Name `xml:"parameters"`
+	// Benchmark names the workload to run (e.g. "tpcc", "ycsb").
+	Benchmark string `xml:"benchmark"`
+	// DBType names the target DBMS personality (e.g. "gomvcc").
+	DBType string `xml:"dbtype"`
+	// ScaleFactor sizes the loaded database.
+	ScaleFactor float64 `xml:"scalefactor"`
+	// Terminals is the number of worker threads.
+	Terminals int `xml:"terminals"`
+	// Isolation is informational (the engines fix their isolation level).
+	Isolation string `xml:"isolation"`
+	// Works are the execution phases, in order.
+	Works []Work `xml:"works>work"`
+}
+
+// Work is one execution phase.
+type Work struct {
+	// Time is the phase duration in seconds.
+	Time float64 `xml:"time"`
+	// Rate is the target rate in transactions/second, or "unlimited".
+	Rate string `xml:"rate"`
+	// Weights is the comma-separated transaction mixture (percent or
+	// relative weights), one entry per transaction type.
+	Weights string `xml:"weights"`
+	// Arrival is "uniform" (default) or "exponential"/"poisson".
+	Arrival string `xml:"arrival"`
+	// ThinkTimeMS is the per-transaction worker think time in ms.
+	ThinkTimeMS float64 `xml:"thinktime"`
+}
+
+// Duration returns the phase duration.
+func (w Work) Duration() time.Duration {
+	return time.Duration(w.Time * float64(time.Second))
+}
+
+// Unlimited reports whether the phase requests open-loop execution.
+func (w Work) Unlimited() bool {
+	r := strings.ToLower(strings.TrimSpace(w.Rate))
+	return r == "" || r == "unlimited" || r == "disabled"
+}
+
+// RateTPS returns the target rate; 0 when unlimited.
+func (w Work) RateTPS() (float64, error) {
+	if w.Unlimited() {
+		return 0, nil
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(w.Rate), 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("config: invalid rate %q", w.Rate)
+	}
+	return v, nil
+}
+
+// MixWeights parses the Weights list.
+func (w Work) MixWeights() ([]float64, error) {
+	if strings.TrimSpace(w.Weights) == "" {
+		return nil, nil // benchmark default mixture
+	}
+	parts := strings.Split(w.Weights, ",")
+	out := make([]float64, len(parts))
+	sum := 0.0
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("config: invalid weight %q", p)
+		}
+		out[i] = v
+		sum += v
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("config: weights sum to zero")
+	}
+	return out, nil
+}
+
+// ExponentialArrival reports whether the phase uses exponential arrivals.
+func (w Work) ExponentialArrival() bool {
+	a := strings.ToLower(strings.TrimSpace(w.Arrival))
+	return a == "exponential" || a == "poisson"
+}
+
+// ThinkTime returns the per-transaction think time.
+func (w Work) ThinkTime() time.Duration {
+	return time.Duration(w.ThinkTimeMS * float64(time.Millisecond))
+}
+
+// Parse reads a workload configuration from XML.
+func Parse(r io.Reader) (*Workload, error) {
+	var wl Workload
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&wl); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	return &wl, wl.Validate()
+}
+
+// ParseFile reads a workload configuration file.
+func ParseFile(path string) (*Workload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+// Validate checks the configuration for consistency.
+func (wl *Workload) Validate() error {
+	if wl.Benchmark == "" {
+		return fmt.Errorf("config: benchmark is required")
+	}
+	if wl.DBType == "" {
+		return fmt.Errorf("config: dbtype is required")
+	}
+	if wl.ScaleFactor <= 0 {
+		wl.ScaleFactor = 1
+	}
+	if wl.Terminals <= 0 {
+		wl.Terminals = 1
+	}
+	if len(wl.Works) == 0 {
+		return fmt.Errorf("config: at least one work phase is required")
+	}
+	for i, w := range wl.Works {
+		if w.Time <= 0 {
+			return fmt.Errorf("config: work %d has non-positive time", i+1)
+		}
+		if _, err := w.RateTPS(); err != nil {
+			return fmt.Errorf("config: work %d: %w", i+1, err)
+		}
+		if _, err := w.MixWeights(); err != nil {
+			return fmt.Errorf("config: work %d: %w", i+1, err)
+		}
+	}
+	return nil
+}
+
+// Write serders the workload back to XML (used by tooling to emit example
+// configurations).
+func (wl *Workload) Write(w io.Writer) error {
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(wl); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}

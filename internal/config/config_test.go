@@ -1,0 +1,125 @@
+package config
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleXML = `
+<parameters>
+  <benchmark>tpcc</benchmark>
+  <dbtype>gomvcc</dbtype>
+  <scalefactor>2</scalefactor>
+  <terminals>8</terminals>
+  <isolation>snapshot</isolation>
+  <works>
+    <work>
+      <time>60</time>
+      <rate>1000</rate>
+      <weights>45,43,4,4,4</weights>
+      <arrival>exponential</arrival>
+      <thinktime>5</thinktime>
+    </work>
+    <work>
+      <time>30</time>
+      <rate>unlimited</rate>
+      <weights>100,0,0,0,0</weights>
+    </work>
+  </works>
+</parameters>`
+
+func TestParse(t *testing.T) {
+	wl, err := Parse(strings.NewReader(sampleXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.Benchmark != "tpcc" || wl.DBType != "gomvcc" || wl.ScaleFactor != 2 || wl.Terminals != 8 {
+		t.Fatalf("%+v", wl)
+	}
+	if len(wl.Works) != 2 {
+		t.Fatalf("works = %d", len(wl.Works))
+	}
+	w := wl.Works[0]
+	if w.Duration() != 60*time.Second {
+		t.Fatalf("duration = %v", w.Duration())
+	}
+	tps, err := w.RateTPS()
+	if err != nil || tps != 1000 {
+		t.Fatalf("rate = %v %v", tps, err)
+	}
+	weights, err := w.MixWeights()
+	if err != nil || len(weights) != 5 || weights[0] != 45 {
+		t.Fatalf("weights = %v %v", weights, err)
+	}
+	if !w.ExponentialArrival() {
+		t.Fatal("arrival")
+	}
+	if w.ThinkTime() != 5*time.Millisecond {
+		t.Fatalf("think = %v", w.ThinkTime())
+	}
+	w2 := wl.Works[1]
+	if !w2.Unlimited() {
+		t.Fatal("unlimited")
+	}
+	if tps, _ := w2.RateTPS(); tps != 0 {
+		t.Fatal("unlimited rate must be 0")
+	}
+	if w2.ExponentialArrival() {
+		t.Fatal("default arrival must be uniform")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := []string{
+		`<parameters><dbtype>x</dbtype><works><work><time>1</time></work></works></parameters>`,                                               // no benchmark
+		`<parameters><benchmark>b</benchmark><works><work><time>1</time></work></works></parameters>`,                                         // no dbtype
+		`<parameters><benchmark>b</benchmark><dbtype>x</dbtype></parameters>`,                                                                 // no works
+		`<parameters><benchmark>b</benchmark><dbtype>x</dbtype><works><work><time>0</time></work></works></parameters>`,                       // zero time
+		`<parameters><benchmark>b</benchmark><dbtype>x</dbtype><works><work><time>1</time><rate>-5</rate></work></works></parameters>`,        // bad rate
+		`<parameters><benchmark>b</benchmark><dbtype>x</dbtype><works><work><time>1</time><weights>a,b</weights></work></works></parameters>`, // bad weights
+	}
+	for i, xml := range bad {
+		if _, err := Parse(strings.NewReader(xml)); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	wl, err := Parse(strings.NewReader(
+		`<parameters><benchmark>b</benchmark><dbtype>x</dbtype><works><work><time>1</time></work></works></parameters>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.ScaleFactor != 1 || wl.Terminals != 1 {
+		t.Fatalf("defaults: %+v", wl)
+	}
+	w := wl.Works[0]
+	if !w.Unlimited() {
+		t.Fatal("empty rate should be unlimited")
+	}
+	ws, err := w.MixWeights()
+	if err != nil || ws != nil {
+		t.Fatal("empty weights should mean default mixture")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	wl, err := Parse(strings.NewReader(sampleXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := wl.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wl2, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl2.Benchmark != wl.Benchmark || len(wl2.Works) != len(wl.Works) || wl2.Works[0].Weights != wl.Works[0].Weights {
+		t.Fatalf("round trip mismatch: %+v", wl2)
+	}
+}

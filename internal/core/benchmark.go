@@ -1,0 +1,106 @@
+// Package core implements the client-side benchmark driver of OLTP-Bench:
+// the centralized Workload Manager with its request queue, precise rate
+// control with uniform/exponential arrival interleaving, per-phase
+// transaction mixtures that can be changed on the fly, worker threads that
+// pull requests and execute transaction control code over driver
+// connections, pause/resume, and multi-workload (multi-tenant) composition.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+
+	"benchpress/internal/dbdriver"
+)
+
+// Procedure is one transaction type of a benchmark: a name plus the control
+// code (program logic with parameterized queries). The framework brackets Fn
+// with Begin/Commit and rolls back on error; Fn must not commit itself.
+type Procedure struct {
+	// Name identifies the transaction type in statistics and traces.
+	Name string
+	// ReadOnly declares the transaction read-only (lets the serial engine
+	// admit concurrent readers, as real engines optimize readonly txns).
+	ReadOnly bool
+	// Fn runs the transaction body on conn using rng for parameter
+	// generation.
+	Fn func(conn *dbdriver.Conn, rng *rand.Rand) error
+}
+
+// ErrExpectedAbort is returned by procedure control code for by-design
+// rollbacks (e.g. TPC-C's 1% NewOrder aborts). The framework rolls back and
+// counts the transaction as completed, matching the workload specification.
+var ErrExpectedAbort = errors.New("core: transaction aborted by design")
+
+// Benchmark is one workload ported to the testbed: schema, loader, and
+// transaction set.
+type Benchmark interface {
+	// Name returns the benchmark identifier (e.g. "tpcc").
+	Name() string
+	// Procedures returns the transaction types, in mixture order.
+	Procedures() []Procedure
+	// DefaultMix returns the default mixture weights, parallel to
+	// Procedures.
+	DefaultMix() []float64
+	// CreateSchema issues the DDL on conn.
+	CreateSchema(conn *dbdriver.Conn) error
+	// Load populates the database at the benchmark's configured scale.
+	Load(db *dbdriver.DB, rng *rand.Rand) error
+}
+
+// Factory builds a benchmark instance at a scale factor.
+type Factory func(scale float64) Benchmark
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Factory{}
+)
+
+// RegisterBenchmark installs a benchmark factory under its name. Benchmark
+// packages call this from init.
+func RegisterBenchmark(name string, f Factory) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	registry[strings.ToLower(name)] = f
+}
+
+// NewBenchmark instantiates a registered benchmark.
+func NewBenchmark(name string, scale float64) (Benchmark, error) {
+	registryMu.RLock()
+	f, ok := registry[strings.ToLower(name)]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: unknown benchmark %q (known: %s)",
+			name, strings.Join(BenchmarkNames(), ", "))
+	}
+	return f(scale), nil
+}
+
+// BenchmarkNames lists registered benchmarks, sorted.
+func BenchmarkNames() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Prepare creates the schema and loads the data for a benchmark on db.
+func Prepare(b Benchmark, db *dbdriver.DB, seed int64) error {
+	conn := db.Connect()
+	defer conn.Close()
+	if err := b.CreateSchema(conn); err != nil {
+		return fmt.Errorf("core: create schema for %s: %w", b.Name(), err)
+	}
+	if err := b.Load(db, rand.New(rand.NewSource(seed))); err != nil {
+		return fmt.Errorf("core: load %s: %w", b.Name(), err)
+	}
+	return nil
+}

@@ -1,0 +1,546 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"benchpress/internal/dbdriver"
+	"benchpress/internal/stats"
+	"benchpress/internal/trace"
+)
+
+// Phase is one execution phase: a target rate, a transaction mixture, and a
+// duration (the paper's Section 2.1 definition).
+type Phase struct {
+	// Duration is how long the phase runs.
+	Duration time.Duration
+	// Rate is the target transactions/second; 0 means unlimited (open
+	// loop).
+	Rate float64
+	// Mix is the transaction mixture weights (parallel to the benchmark's
+	// procedures); nil selects the benchmark default.
+	Mix []float64
+	// Exponential selects exponential arrival interleaving; false selects
+	// uniform.
+	Exponential bool
+	// ThinkTime is an optional sleep after each transaction.
+	ThinkTime time.Duration
+}
+
+// Options tunes a workload manager.
+type Options struct {
+	// Terminals is the number of worker threads (default 1).
+	Terminals int
+	// QueueCapacity bounds the request queue; excess arrivals are
+	// postponed so that delivered throughput never exceeds the target
+	// (default: one second of the highest phase rate, min 1024).
+	QueueCapacity int
+	// MaxRetries bounds transparent retries of concurrency aborts
+	// (default 3).
+	MaxRetries int
+	// Trace, when set, receives one entry per transaction attempt.
+	Trace *trace.Writer
+	// Seed seeds worker RNGs (default 1).
+	Seed int64
+	// Name labels the workload (defaults to the benchmark name).
+	Name string
+}
+
+// Manager is the centralized Workload Manager: it owns the request queue,
+// generates arrivals at the target rate, and coordinates the workers.
+type Manager struct {
+	bench     Benchmark
+	db        *dbdriver.DB
+	opts      Options
+	phases    []Phase
+	procs     []Procedure
+	collector *stats.Collector
+
+	queue chan struct{}
+
+	// Dynamic controls (written by the phase runner and the control API).
+	rateBits    atomic.Uint64 // float64 bits; 0.0 = unlimited
+	exponential atomic.Bool
+	thinkNS     atomic.Int64
+	mix         atomic.Pointer[mixTable]
+	pauseGate   atomic.Pointer[chan struct{}]
+	phaseIdx    atomic.Int32
+
+	requested atomic.Int64
+	postponed atomic.Int64
+
+	start   time.Time
+	started atomic.Bool
+	done    chan struct{}
+}
+
+// mixTable is a sampled transaction mixture: cumulative weights.
+type mixTable struct {
+	weights []float64
+	cum     []float64
+	total   float64
+}
+
+func newMixTable(weights []float64) *mixTable {
+	t := &mixTable{weights: append([]float64(nil), weights...)}
+	t.cum = make([]float64, len(weights))
+	for i, w := range weights {
+		if w < 0 {
+			w = 0
+		}
+		t.total += w
+		t.cum[i] = t.total
+	}
+	return t
+}
+
+// sample picks a type index from the mixture.
+func (t *mixTable) sample(rng *rand.Rand) int {
+	if t.total <= 0 {
+		return 0
+	}
+	r := rng.Float64() * t.total
+	for i, c := range t.cum {
+		if r < c {
+			return i
+		}
+	}
+	return len(t.cum) - 1
+}
+
+// NewManager builds a workload manager for a prepared benchmark.
+func NewManager(b Benchmark, db *dbdriver.DB, phases []Phase, opts Options) *Manager {
+	if opts.Terminals <= 0 {
+		opts.Terminals = 1
+	}
+	if opts.MaxRetries <= 0 {
+		opts.MaxRetries = 3
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Name == "" {
+		opts.Name = b.Name()
+	}
+	if opts.QueueCapacity <= 0 {
+		maxRate := 0.0
+		for _, p := range phases {
+			if p.Rate > maxRate {
+				maxRate = p.Rate
+			}
+		}
+		opts.QueueCapacity = int(maxRate)
+		if opts.QueueCapacity < 1024 {
+			opts.QueueCapacity = 1024
+		}
+	}
+	procs := b.Procedures()
+	names := make([]string, len(procs))
+	for i, p := range procs {
+		names[i] = p.Name
+	}
+	m := &Manager{
+		bench:     b,
+		db:        db,
+		opts:      opts,
+		phases:    phases,
+		procs:     procs,
+		collector: stats.NewCollector(names),
+		queue:     make(chan struct{}, opts.QueueCapacity),
+		done:      make(chan struct{}),
+	}
+	m.mix.Store(newMixTable(b.DefaultMix()))
+	m.phaseIdx.Store(-1)
+	return m
+}
+
+// Name returns the workload label.
+func (m *Manager) Name() string { return m.opts.Name }
+
+// Benchmark returns the underlying benchmark.
+func (m *Manager) Benchmark() Benchmark { return m.bench }
+
+// Collector returns the statistics collector.
+func (m *Manager) Collector() *stats.Collector { return m.collector }
+
+// DB returns the target database.
+func (m *Manager) DB() *dbdriver.DB { return m.db }
+
+// SetRate throttles the target rate at runtime; tps <= 0 means unlimited.
+func (m *Manager) SetRate(tps float64) {
+	if tps < 0 || math.IsInf(tps, 0) || math.IsNaN(tps) {
+		tps = 0
+	}
+	m.rateBits.Store(math.Float64bits(tps))
+}
+
+// Rate returns the current target rate (0 = unlimited).
+func (m *Manager) Rate() float64 { return math.Float64frombits(m.rateBits.Load()) }
+
+// SetMix replaces the transaction mixture at runtime. A nil mix restores the
+// benchmark default. Extra weights are ignored; missing ones are zero.
+func (m *Manager) SetMix(weights []float64) {
+	if weights == nil {
+		m.mix.Store(newMixTable(m.bench.DefaultMix()))
+		return
+	}
+	padded := make([]float64, len(m.procs))
+	copy(padded, weights)
+	m.mix.Store(newMixTable(padded))
+}
+
+// Mix returns the current mixture weights.
+func (m *Manager) Mix() []float64 {
+	return append([]float64(nil), m.mix.Load().weights...)
+}
+
+// SetThinkTime adjusts the per-transaction think time at runtime.
+func (m *Manager) SetThinkTime(d time.Duration) { m.thinkNS.Store(int64(d)) }
+
+// SetExponentialArrivals toggles the arrival distribution at runtime.
+func (m *Manager) SetExponentialArrivals(on bool) { m.exponential.Store(on) }
+
+// Pause blocks workers and the arrival generator until Resume. Used by the
+// game's mixture dialog ("OLTP-Bench temporarily blocks any thread from
+// executing a transaction request").
+func (m *Manager) Pause() {
+	ch := make(chan struct{})
+	if !m.pauseGate.CompareAndSwap(nil, &ch) {
+		return // already paused
+	}
+}
+
+// Resume releases a Pause.
+func (m *Manager) Resume() {
+	if ch := m.pauseGate.Swap(nil); ch != nil {
+		close(*ch)
+	}
+}
+
+// Paused reports whether the workload is paused.
+func (m *Manager) Paused() bool { return m.pauseGate.Load() != nil }
+
+// waitIfPaused blocks while the pause gate is closed.
+func (m *Manager) waitIfPaused(ctx context.Context) {
+	for {
+		ch := m.pauseGate.Load()
+		if ch == nil {
+			return
+		}
+		select {
+		case <-*ch:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// PhaseIndex returns the running phase ordinal (-1 before start).
+func (m *Manager) PhaseIndex() int { return int(m.phaseIdx.Load()) }
+
+// Postponed returns the number of arrivals shed because the queue was full
+// (the workers could not keep up with the target rate).
+func (m *Manager) Postponed() int64 { return m.postponed.Load() }
+
+// Requested returns the number of generated arrivals.
+func (m *Manager) Requested() int64 { return m.requested.Load() }
+
+// applyPhase installs a phase's settings.
+func (m *Manager) applyPhase(i int) {
+	p := m.phases[i]
+	m.SetRate(p.Rate)
+	m.SetExponentialArrivals(p.Exponential)
+	m.SetThinkTime(p.ThinkTime)
+	if p.Mix != nil {
+		m.SetMix(p.Mix)
+	} else {
+		m.SetMix(nil)
+	}
+	m.phaseIdx.Store(int32(i))
+}
+
+// Run executes all phases, blocking until they complete or ctx is
+// cancelled. It may be called once.
+func (m *Manager) Run(ctx context.Context) error {
+	if !m.started.CompareAndSwap(false, true) {
+		return errAlreadyStarted
+	}
+	defer close(m.done)
+	m.start = time.Now()
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		m.produce(runCtx)
+	}()
+	for w := 0; w < m.opts.Terminals; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			m.work(runCtx, id)
+		}(w)
+	}
+
+	// Phase runner.
+	var err error
+	for i := range m.phases {
+		m.applyPhase(i)
+		select {
+		case <-time.After(m.phases[i].Duration):
+		case <-ctx.Done():
+			err = ctx.Err()
+		}
+		if err != nil {
+			break
+		}
+	}
+	cancel()
+	wg.Wait()
+	if m.opts.Trace != nil {
+		m.opts.Trace.Flush()
+	}
+	return err
+}
+
+var errAlreadyStarted = errors.New("core: manager already started")
+
+// Done is closed when Run returns.
+func (m *Manager) Done() <-chan struct{} { return m.done }
+
+// produce generates arrivals at the target rate and enqueues them,
+// interleaving with uniform or exponential spacing. When the queue is full
+// the arrival is postponed (counted, not queued), so delivered throughput
+// never exceeds the target.
+func (m *Manager) produce(ctx context.Context) {
+	rng := rand.New(rand.NewSource(m.opts.Seed * 7919))
+	next := time.Now()
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		rate := m.Rate()
+		if rate <= 0 || m.Paused() {
+			// Unlimited phases bypass the queue entirely (workers run
+			// open-loop); while paused, no arrivals are generated.
+			select {
+			case <-time.After(time.Millisecond):
+			case <-ctx.Done():
+				return
+			}
+			next = time.Now()
+			continue
+		}
+		var gap time.Duration
+		if m.exponential.Load() {
+			gap = time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+		} else {
+			gap = time.Duration(float64(time.Second) / rate)
+		}
+		next = next.Add(gap)
+		now := time.Now()
+		if wait := next.Sub(now); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return
+			}
+		} else if now.Sub(next) > time.Second {
+			// Cap catch-up bursts at one second of backlog.
+			next = now.Add(-time.Second)
+		}
+		m.requested.Add(1)
+		select {
+		case m.queue <- struct{}{}:
+		default:
+			m.postponed.Add(1)
+		}
+	}
+}
+
+// work is one worker thread: pull a request, sample the mixture, run the
+// transaction control code, record the outcome, think, repeat.
+func (m *Manager) work(ctx context.Context, id int) {
+	conn := m.db.Connect()
+	defer conn.Close()
+	rng := rand.New(rand.NewSource(m.opts.Seed + int64(id)*104729 + 13))
+	// recheck bounds how long a worker waits for a request before
+	// re-reading the rate, so a live switch to unlimited (rate 0) does not
+	// strand workers on an idle queue.
+	recheck := time.NewTimer(time.Hour)
+	recheck.Stop()
+	defer recheck.Stop()
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		m.waitIfPaused(ctx)
+		if m.Rate() > 0 {
+			recheck.Reset(50 * time.Millisecond)
+			select {
+			case <-m.queue:
+				if !recheck.Stop() {
+					<-recheck.C
+				}
+			case <-recheck.C:
+				continue
+			case <-ctx.Done():
+				return
+			}
+			// A pause issued while we waited still gates execution.
+			m.waitIfPaused(ctx)
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		typeIdx := m.mix.Load().sample(rng)
+		m.execute(conn, rng, typeIdx, id)
+		if think := time.Duration(m.thinkNS.Load()); think > 0 {
+			select {
+			case <-time.After(think):
+			case <-ctx.Done():
+				return
+			}
+		}
+	}
+}
+
+// execute runs one transaction with retry-on-conflict, recording statistics
+// and trace entries.
+func (m *Manager) execute(conn *dbdriver.Conn, rng *rand.Rand, typeIdx, workerID int) {
+	proc := &m.procs[typeIdx]
+	start := time.Now()
+	var status stats.Status
+	for attempt := 0; ; attempt++ {
+		err := m.runOnce(conn, rng, proc)
+		switch {
+		case err == nil:
+			status = stats.StatusOK
+		case errors.Is(err, ErrExpectedAbort):
+			// By-design rollback: completed per the workload spec.
+			status = stats.StatusOK
+		case dbdriver.IsRetryable(err) && attempt < m.opts.MaxRetries:
+			m.collector.Record(typeIdx, stats.StatusRetry, 0)
+			// Randomized exponential backoff prevents the lockstep
+			// livelock of first-updater-wins engines (two conflicting
+			// transactions re-colliding forever at full speed).
+			backoff := time.Duration(100<<uint(attempt)) * time.Microsecond
+			time.Sleep(time.Duration(rng.Int63n(int64(backoff) + 1)))
+			continue
+		case dbdriver.IsRetryable(err):
+			status = stats.StatusAborted
+		default:
+			status = stats.StatusError
+		}
+		break
+	}
+	latency := time.Since(start)
+	m.collector.Record(typeIdx, status, latency)
+	if m.opts.Trace != nil {
+		st := "ok"
+		switch status {
+		case stats.StatusAborted:
+			st = "abort"
+		case stats.StatusError:
+			st = "error"
+		}
+		m.opts.Trace.Add(trace.Entry{
+			StartUS:   start.Sub(m.start).Microseconds(),
+			LatencyUS: latency.Microseconds(),
+			Type:      proc.Name,
+			Phase:     m.PhaseIndex(),
+			Status:    st,
+			Worker:    workerID,
+		})
+	}
+}
+
+// runOnce brackets one attempt of the procedure with Begin/Commit/Rollback.
+func (m *Manager) runOnce(conn *dbdriver.Conn, rng *rand.Rand, proc *Procedure) error {
+	var beginErr error
+	if proc.ReadOnly {
+		beginErr = conn.BeginReadOnly()
+	} else {
+		beginErr = conn.Begin()
+	}
+	if beginErr != nil {
+		return beginErr
+	}
+	if err := proc.Fn(conn, rng); err != nil {
+		conn.Rollback()
+		return err
+	}
+	return conn.Commit()
+}
+
+// Status is the manager's dynamic state exposed through the control API.
+type Status struct {
+	Name      string
+	Benchmark string
+	DBMS      string
+	Phase     int
+	Rate      float64
+	Unlimited bool
+	Mix       []float64
+	Paused    bool
+	Postponed int64
+	Snapshot  stats.Snapshot
+}
+
+// Status reports the manager's instantaneous state.
+func (m *Manager) Status() Status {
+	rate := m.Rate()
+	return Status{
+		Name:      m.opts.Name,
+		Benchmark: m.bench.Name(),
+		DBMS:      m.db.Personality().Name,
+		Phase:     m.PhaseIndex(),
+		Rate:      rate,
+		Unlimited: rate <= 0,
+		Mix:       m.Mix(),
+		Paused:    m.Paused(),
+		Postponed: m.Postponed(),
+		Snapshot:  m.collector.Snapshot(),
+	}
+}
+
+// RunAll executes several workload managers concurrently (multi-tenancy),
+// returning the first error.
+func RunAll(ctx context.Context, managers ...*Manager) error {
+	var wg sync.WaitGroup
+	errs := make(chan error, len(managers))
+	for _, m := range managers {
+		wg.Add(1)
+		go func(m *Manager) {
+			defer wg.Done()
+			if err := m.Run(ctx); err != nil && err != context.Canceled && err != context.DeadlineExceeded {
+				errs <- err
+			}
+		}(m)
+	}
+	wg.Wait()
+	close(errs)
+	return <-errs
+}
+
+// PhasesFromRates converts a recorded per-window rate schedule (see
+// trace.RateSchedule) into executable phases, replaying a captured load
+// curve against another target - the trace.txt replay path of the paper's
+// Figure 1. A nil mix applies the benchmark default in every phase.
+func PhasesFromRates(rates []float64, window time.Duration, mix []float64) []Phase {
+	if window <= 0 {
+		window = time.Second
+	}
+	phases := make([]Phase, len(rates))
+	for i, r := range rates {
+		phases[i] = Phase{Duration: window, Rate: r, Mix: mix}
+	}
+	return phases
+}

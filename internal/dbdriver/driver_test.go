@@ -1,0 +1,151 @@
+package dbdriver
+
+import (
+	"testing"
+	"time"
+
+	"benchpress/internal/sqldb/txn"
+	"benchpress/internal/wal"
+)
+
+func TestBuiltinPersonalities(t *testing.T) {
+	for _, name := range []string{"goserial", "golock", "gomvcc"} {
+		p, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%s): %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("name mismatch: %q", p.Name)
+		}
+	}
+	if _, err := Lookup("oracle"); err == nil {
+		t.Fatal("unknown personality resolved")
+	}
+	if len(Names()) < 3 {
+		t.Fatalf("Names() = %v", Names())
+	}
+}
+
+func TestOpenConnectExec(t *testing.T) {
+	for _, name := range []string{"goserial", "golock", "gomvcc"} {
+		t.Run(name, func(t *testing.T) {
+			db, err := Open(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			c := db.Connect()
+			defer c.Close()
+			if _, err := c.Exec("CREATE TABLE kv (k INT NOT NULL, v VARCHAR(20), PRIMARY KEY (k))"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.Exec("INSERT INTO kv (k, v) VALUES (?, ?)", 1, "one"); err != nil {
+				t.Fatal(err)
+			}
+			row, err := c.QueryRow("SELECT v FROM kv WHERE k = ?", 1)
+			if err != nil || row == nil || row[0].Str() != "one" {
+				t.Fatalf("row=%v err=%v", row, err)
+			}
+		})
+	}
+}
+
+func TestTransactionsThroughDriver(t *testing.T) {
+	db, _ := Open("gomvcc")
+	defer db.Close()
+	c := db.Connect()
+	c.Exec("CREATE TABLE t (a INT NOT NULL, b INT, PRIMARY KEY (a))")
+	c.Exec("INSERT INTO t (a, b) VALUES (1, 10)")
+
+	if err := c.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.InTxn() {
+		t.Fatal("InTxn = false after Begin")
+	}
+	c.Exec("UPDATE t SET b = 99 WHERE a = 1")
+	if err := c.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	row, _ := c.QueryRow("SELECT b FROM t WHERE a = 1")
+	if row[0].Int() != 10 {
+		t.Fatalf("rollback failed: %v", row)
+	}
+}
+
+func TestPreparedStatements(t *testing.T) {
+	db, _ := Open("golock")
+	defer db.Close()
+	c := db.Connect()
+	c.Exec("CREATE TABLE t (a INT NOT NULL, PRIMARY KEY (a))")
+	ins, err := c.Prepare("INSERT INTO t (a) VALUES (?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := ins.Exec(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cnt, _ := c.QueryRow("SELECT COUNT(*) FROM t")
+	if cnt[0].Int() != 10 {
+		t.Fatalf("count = %v", cnt)
+	}
+}
+
+func TestConnCloseAbortsTxn(t *testing.T) {
+	db, _ := Open("gomvcc")
+	defer db.Close()
+	c := db.Connect()
+	c.Exec("CREATE TABLE t (a INT NOT NULL, b INT, PRIMARY KEY (a))")
+	c.Exec("INSERT INTO t (a, b) VALUES (1, 1)")
+	c.Begin()
+	c.Exec("UPDATE t SET b = 2 WHERE a = 1")
+	c.Close() // must roll back, releasing the claim
+
+	c2 := db.Connect()
+	if _, err := c2.Exec("UPDATE t SET b = 3 WHERE a = 1"); err != nil {
+		t.Fatalf("claim not released by Close: %v", err)
+	}
+}
+
+func TestRegisterCustomPersonality(t *testing.T) {
+	Register(Personality{
+		Name:      "gotest-nosync",
+		Dialect:   "gosql",
+		Mode:      txn.MVCC,
+		WALPolicy: wal.SyncNone,
+	})
+	db, err := Open("gotest-nosync")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if db.Engine().WAL() != nil {
+		t.Fatal("nosync personality should not allocate a WAL")
+	}
+}
+
+func TestCommitDelayPersonality(t *testing.T) {
+	Register(Personality{
+		Name:        "gotest-slow",
+		Dialect:     "gosql",
+		Mode:        txn.MVCC,
+		CommitDelay: 2 * time.Millisecond,
+	})
+	db, _ := Open("gotest-slow")
+	defer db.Close()
+	c := db.Connect()
+	c.Exec("CREATE TABLE t (a INT NOT NULL, PRIMARY KEY (a))")
+	start := time.Now()
+	c.Exec("INSERT INTO t (a) VALUES (1)")
+	if d := time.Since(start); d < 2*time.Millisecond {
+		t.Fatalf("commit took %v, expected >= 2ms delay", d)
+	}
+}
+
+func TestIsRetryablePassthrough(t *testing.T) {
+	if !IsRetryable(txn.ErrWriteConflict) || !IsRetryable(txn.ErrDeadlock) {
+		t.Fatal("retryable detection broken")
+	}
+}

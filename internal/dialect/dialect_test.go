@@ -1,0 +1,81 @@
+package dialect
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegisterAndResolve(t *testing.T) {
+	c := NewCatalog()
+	id := c.Register("getUser", "SELECT * FROM users WHERE id = ?")
+	if id != "getUser" {
+		t.Fatalf("id = %q", id)
+	}
+	sql, ok := c.SQL("getUser", "gosql")
+	if !ok || sql != "SELECT * FROM users WHERE id = ?" {
+		t.Fatalf("sql = %q ok=%v", sql, ok)
+	}
+	if _, ok := c.SQL("missing", "gosql"); ok {
+		t.Fatal("missing statement resolved")
+	}
+}
+
+func TestOverrideWinsOverRewrite(t *testing.T) {
+	c := NewCatalog()
+	c.Register("q", "SELECT a FROM t LIMIT 5")
+	c.Override("q", "derby", "SELECT a FROM t FETCH FIRST 5 ROWS ONLY -- expert variant")
+	sql, _ := c.SQL("q", "derby")
+	if !strings.Contains(sql, "expert variant") {
+		t.Fatalf("override not used: %q", sql)
+	}
+	// Other dialects still get the canonical (possibly rewritten) form.
+	sql, _ = c.SQL("q", "mysql")
+	if !strings.Contains(sql, "LIMIT 5") {
+		t.Fatalf("mysql variant = %q", sql)
+	}
+}
+
+func TestMechanicalRewrites(t *testing.T) {
+	cases := []struct {
+		dialect string
+		in      string
+		want    string
+	}{
+		{"mysql", "CREATE TABLE t (d CLOB)", "CREATE TABLE t (d LONGTEXT)"},
+		{"mysql", "x DOUBLE PRECISION", "x DOUBLE"},
+		{"mysql", "SELECT a FROM t FETCH FIRST 10 ROWS ONLY", "SELECT a FROM t LIMIT 10"},
+		{"postgres", "CREATE TABLE t (d CLOB)", "CREATE TABLE t (d TEXT)"},
+		{"postgres", "ts DATETIME", "ts TIMESTAMP"},
+		{"derby", "SELECT a FROM t LIMIT 3", "SELECT a FROM t FETCH FIRST 3 ROWS ONLY"},
+		{"gosql", "SELECT a FROM t LIMIT 3", "SELECT a FROM t LIMIT 3"},
+		{"unknown-dbms", "SELECT 1 FROM t", "SELECT 1 FROM t"},
+	}
+	for _, tc := range cases {
+		if got := Rewrite(tc.in, tc.dialect); got != tc.want {
+			t.Errorf("Rewrite(%q, %s) = %q, want %q", tc.in, tc.dialect, got, tc.want)
+		}
+	}
+}
+
+func TestKnownAndNames(t *testing.T) {
+	for _, d := range []string{"gosql", "mysql", "postgres", "derby"} {
+		if !Known(d) {
+			t.Errorf("Known(%s) = false", d)
+		}
+	}
+	if Known("oracle12c") {
+		t.Error("unexpected dialect known")
+	}
+	if len(Names()) < 4 {
+		t.Errorf("Names() = %v", Names())
+	}
+}
+
+func TestIDs(t *testing.T) {
+	c := NewCatalog()
+	c.Register("a", "SELECT 1 FROM t")
+	c.Register("b", "SELECT 2 FROM t")
+	if len(c.IDs()) != 2 {
+		t.Fatalf("IDs = %v", c.IDs())
+	}
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTable1Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opts := QuickOptions()
+	opts.Duration = 200 * time.Millisecond
+	rows, err := Table1(opts, "gomvcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 15 {
+		t.Fatalf("rows = %d, want 15 benchmarks", len(rows))
+	}
+	for _, r := range rows {
+		if r.TPS <= 0 {
+			t.Errorf("%s on %s: zero throughput", r.Benchmark, r.Engine)
+		}
+		if r.Errors > 0 {
+			t.Errorf("%s on %s: %d errors", r.Benchmark, r.Engine, r.Errors)
+		}
+		if r.Class == "" {
+			t.Errorf("%s: missing class", r.Benchmark)
+		}
+	}
+}
+
+func TestRateControlQuick(t *testing.T) {
+	opts := QuickOptions()
+	opts.Duration = 600 * time.Millisecond
+	pts, err := RateControl(opts, []float64{200, 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 { // 2 targets x 2 arrival distributions
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if !p.NeverExceeded {
+			t.Errorf("target %.0f (exp=%v): exceeded the target rate", p.Target, p.Exponential)
+		}
+		if p.MeasuredTPS < p.Target*0.7 {
+			t.Errorf("target %.0f (exp=%v): measured only %.1f", p.Target, p.Exponential, p.MeasuredTPS)
+		}
+	}
+}
+
+func TestMixtureFlipQuick(t *testing.T) {
+	opts := QuickOptions()
+	opts.Duration = 500 * time.Millisecond
+	res, err := MixtureFlip(opts, "golock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("phases = %d", len(res))
+	}
+	byName := map[string]MixturePhaseResult{}
+	for _, r := range res {
+		byName[r.Phase] = r
+	}
+	// The contention signal must move in the demo's direction: the
+	// write-heavy phase aborts more than the read-only phase, and the
+	// read-only phase makes progress. (The throughput boost itself is
+	// asserted in BenchmarkMixture_ReadHeavyBoost and recorded at full
+	// fidelity in EXPERIMENTS.md; under the race detector's instrumentation
+	// the raw tps ordering can invert, the abort ordering cannot.)
+	if byName["read-only"].TPS <= 0 {
+		t.Errorf("read-only phase made no progress: %+v", byName["read-only"])
+	}
+	if byName["write-heavy"].AbortsPS < byName["read-only"].AbortsPS {
+		t.Errorf("write-heavy aborts/s (%.0f) below read-only (%.0f)",
+			byName["write-heavy"].AbortsPS, byName["read-only"].AbortsPS)
+	}
+}
+
+func TestMultiTenancyQuick(t *testing.T) {
+	opts := QuickOptions()
+	opts.Duration = 700 * time.Millisecond
+	res, err := MultiTenancy(opts, "golock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("tenants = %d", len(res))
+	}
+	a := res[0]
+	if a.TPSAlonePhase <= 0 {
+		t.Fatalf("tenant-a made no progress: %+v", a)
+	}
+	// Interference direction: tenant A should not get faster when B bursts.
+	if a.TPSContended > a.TPSAlonePhase*1.3 {
+		t.Errorf("tenant-a sped up under contention: %+v", a)
+	}
+}
+
+func TestTunnelJitterQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opts := QuickOptions()
+	opts.Duration = 1500 * time.Millisecond
+	res, err := TunnelJitter(opts, 300, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("engines = %d", len(res))
+	}
+	for _, r := range res {
+		if r.MeanTPS <= 0 {
+			t.Errorf("%s: zero throughput", r.Engine)
+		}
+	}
+}
+
+func TestBuildCourseShapes(t *testing.T) {
+	for _, shape := range ShapeNames {
+		c, err := BuildCourse(shape, 500, 2*time.Second, 100*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(c.Points) == 0 {
+			t.Errorf("%s: empty course", shape)
+		}
+	}
+	if _, err := BuildCourse("spiral", 500, time.Second, time.Millisecond); err == nil {
+		t.Fatal("unknown shape accepted")
+	}
+}
+
+func TestPlayShapeQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opts := QuickOptions()
+	opts.Duration = 3 * time.Second
+	res, err := PlayShape("steps", "gomvcc", 200, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ticks == 0 || len(res.Targets) != res.Ticks {
+		t.Fatalf("trajectory: %+v", res)
+	}
+}
+
+func TestFig2SessionQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opts := QuickOptions()
+	opts.Duration = 3 * time.Second
+	steps, res, err := Fig2Session("ycsb", "gomvcc", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"select-benchmark": false, "select-dbms": false, "load": false, "play": false}
+	for _, s := range steps {
+		if _, ok := want[s.Step]; ok {
+			want[s.Step] = true
+		}
+	}
+	for step, seen := range want {
+		if !seen {
+			t.Errorf("missing session step %q", step)
+		}
+	}
+	if res.Ticks == 0 {
+		t.Fatal("no game trajectory")
+	}
+}

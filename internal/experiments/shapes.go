@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"benchpress/internal/core"
+	"benchpress/internal/dbdriver"
+	"benchpress/internal/game"
+)
+
+// ShapeNames lists the four challenge shapes of Section 4.1.1.
+var ShapeNames = []string{"steps", "sinusoidal", "peak", "tunnel"}
+
+// BuildCourse constructs one of the paper's challenge shapes scaled around a
+// base throughput. The corridor width is generous enough that a capable
+// engine survives and a saturated one crashes.
+func BuildCourse(shape string, base float64, duration time.Duration, tick time.Duration) (*game.Course, error) {
+	width := base * 1.2
+	switch shape {
+	case "steps":
+		per := duration / 5
+		return game.Steps("steps", base/2, base/4, 5, per, width, tick), nil
+	case "sinusoidal":
+		return game.Sinusoidal("sinusoidal", base, base/2, duration/3, duration, width, tick), nil
+	case "peak":
+		lead := duration * 2 / 5
+		spike := duration / 5
+		return game.Peak("peak", base/2, base*2, lead, spike, duration-lead-spike, width, tick), nil
+	case "tunnel":
+		// Tunnels demand a "constant tight throughput": half the corridor
+		// of the other shapes, so an engine that cannot hold the rate (or
+		// oscillates at its limit) hits the walls.
+		return game.Tunnel("tunnel", base, base*0.5, duration, tick), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown shape %q", shape)
+	}
+}
+
+// ShapeResult is the autopilot outcome of one challenge shape on one engine.
+type ShapeResult struct {
+	Shape    string
+	Engine   string
+	Survived bool
+	Score    int
+	Ticks    int
+	// Series pairs target corridor midpoints with delivered throughput per
+	// tick, the figure's two curves.
+	Targets  []float64
+	Measured []float64
+}
+
+// PlayShape runs the autopilot through one challenge shape against a real
+// workload on the named engine, reproducing the target-vs-delivered series
+// of Section 4.1.1. The base rate positions the course relative to the
+// engine's capacity: a base near or above capacity forces the crash the demo
+// uses to expose hidden weaknesses.
+func PlayShape(shape, engine string, base float64, opts Options) (*ShapeResult, error) {
+	tick := 500 * time.Millisecond
+	course, err := BuildCourse(shape, base, opts.Duration, tick)
+	if err != nil {
+		return nil, err
+	}
+	b, err := core.NewBenchmark("ycsb", opts.Scale)
+	if err != nil {
+		return nil, err
+	}
+	db, err := dbdriver.Open(engine)
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	if err := core.Prepare(b, db, opts.Seed); err != nil {
+		return nil, err
+	}
+	m := core.NewManager(b, db, []core.Phase{{Duration: course.Duration() + 10*time.Second, Rate: base / 2}},
+		core.Options{Terminals: opts.Terminals, Seed: opts.Seed})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go m.Run(ctx)
+
+	backend := &game.ManagerBackend{Manager: m, Cancel: cancel}
+	g := game.New(course, backend, nil, game.Config{Gravity: base / 2, MaxRate: base * 4, Grace: 6})
+	res := game.NewAutopilot(g).Play(ctx)
+
+	out := &ShapeResult{
+		Shape:    shape,
+		Engine:   engine,
+		Survived: res.Survived,
+		Score:    res.Score,
+		Ticks:    len(res.Trajectory),
+	}
+	for _, r := range res.Trajectory {
+		mid := (r.Lo + r.Hi) / 2
+		out.Targets = append(out.Targets, mid)
+		out.Measured = append(out.Measured, r.Measured)
+	}
+	return out, nil
+}
+
+// GameSessionStep is one scripted step of the Figure 2 walkthrough.
+type GameSessionStep struct {
+	Step   string
+	Detail string
+}
+
+// Fig2Session reproduces the demo workflow of Figure 2 headlessly: select a
+// benchmark, select a DBMS, play (with live mixture change), and report the
+// outcome. It returns the transcript plus the game result.
+func Fig2Session(benchName, engine string, opts Options) ([]GameSessionStep, *ShapeResult, error) {
+	var mu sync.Mutex
+	var steps []GameSessionStep
+	record := func(step, detail string) {
+		mu.Lock()
+		defer mu.Unlock()
+		steps = append(steps, GameSessionStep{Step: step, Detail: detail})
+	}
+	// Figure 2a: select the target benchmark.
+	b, err := core.NewBenchmark(benchName, opts.Scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	record("select-benchmark", benchName)
+	// Figure 2b: select the target DBMS.
+	db, err := dbdriver.Open(engine)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer db.Close()
+	record("select-dbms", fmt.Sprintf("%s (%s)", engine, db.Personality().Description))
+
+	if err := core.Prepare(b, db, opts.Seed); err != nil {
+		return nil, nil, err
+	}
+	record("load", fmt.Sprintf("%d rows", db.Engine().RowCount()))
+
+	// Figure 2c: the main game screen - an easy steps course.
+	base := 300.0
+	tick := 250 * time.Millisecond
+	course, err := BuildCourse("steps", base, opts.Duration, tick)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := core.NewManager(b, db, []core.Phase{{Duration: course.Duration() + 10*time.Second, Rate: base / 2}},
+		core.Options{Terminals: opts.Terminals, Seed: opts.Seed})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go m.Run(ctx)
+	backend := &game.ManagerBackend{Manager: m, Cancel: cancel}
+	g := game.New(course, backend, nil, game.Config{Gravity: base / 2, MaxRate: base * 4})
+
+	// Figure 2d: dynamically change the workload mixture mid-game.
+	go func() {
+		time.Sleep(course.Duration() / 2)
+		if err := backend.ChangeMixture("readonly", nil); err == nil {
+			record("change-mixture", "preset read-only")
+		}
+	}()
+	res := game.NewAutopilot(g).Play(ctx)
+	outcome := "game over"
+	if res.Survived {
+		outcome = "course cleared"
+	}
+	record("play", fmt.Sprintf("%s (score %d over %d obstacle ticks)", outcome, res.Score, len(res.Trajectory)))
+
+	sr := &ShapeResult{Shape: "steps", Engine: engine, Survived: res.Survived, Score: res.Score, Ticks: len(res.Trajectory)}
+	for _, r := range res.Trajectory {
+		sr.Targets = append(sr.Targets, (r.Lo+r.Hi)/2)
+		sr.Measured = append(sr.Measured, r.Measured)
+	}
+	return steps, sr, nil
+}

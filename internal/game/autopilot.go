@@ -1,0 +1,100 @@
+package game
+
+import (
+	"context"
+	"time"
+)
+
+// Autopilot is a machine player: it looks one corridor ahead and issues
+// jumps so that the requested rate tracks the corridor midpoint. It makes
+// every course playable headlessly, which is how the experiments reproduce
+// the challenge shapes without a human.
+type Autopilot struct {
+	game *Game
+	// Aggressiveness scales how hard the autopilot corrects (1.0 default).
+	Aggressiveness float64
+}
+
+// NewAutopilot attaches an autopilot to a game.
+func NewAutopilot(g *Game) *Autopilot {
+	return &Autopilot{game: g, Aggressiveness: 1.0}
+}
+
+// Play runs the game while steering it. It blocks until the run ends.
+func (a *Autopilot) Play(ctx context.Context) Result {
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	done := make(chan Result, 1)
+	go func() {
+		done <- a.game.Run(runCtx)
+	}()
+	// Steer on a faster cadence than the game tick so that jumps land
+	// before each collision check.
+	steer := time.NewTicker(a.game.course.Tick / 2)
+	defer steer.Stop()
+	start := time.Now()
+	for {
+		select {
+		case res := <-done:
+			return res
+		case <-ctx.Done():
+			cancel()
+			return <-done
+		case <-steer.C:
+			a.steer(time.Since(start))
+		}
+	}
+}
+
+// steer compares the current target with the upcoming corridor midpoint and
+// jumps when below it. Falling is left to gravity. The lookahead matches the
+// course's transition gaps so climbs toward a higher corridor start inside
+// the open space, where the lagging throughput window can catch up before
+// the next collision check.
+func (a *Autopilot) steer(elapsed time.Duration) {
+	// The game processes point i on the (i+1)-th ticker fire, i.e. at
+	// elapsed (i+1)*Tick; the next point to be judged at elapsed e is
+	// therefore index e/Tick, and `base` is the one before it.
+	base := int(elapsed/a.game.course.Tick) - 1
+	points := a.game.course.Points
+	at := func(i int) Point {
+		if i >= len(points) {
+			i = len(points) - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		return points[i]
+	}
+	// While an obstacle is immediately ahead, track it alone: pre-climbing
+	// toward a later, higher corridor would fly the character out the top
+	// of the current one. Inside open space, scan across the gap so the
+	// climb starts where collisions are not judged.
+	var pt Point
+	if next := at(base + 1); next.Obstacle {
+		pt = next
+	} else {
+		for look := 2; look <= transitionGapTicks+1; look++ {
+			if cand := at(base + look); cand.Obstacle {
+				pt = cand
+				break
+			}
+		}
+	}
+	if !pt.Obstacle {
+		return // only open space ahead
+	}
+	if pt.AutoPilot {
+		// Tunnel entry: set the rate once; inside, input is ignored anyway.
+		a.game.EnterTunnel(pt.Target)
+		return
+	}
+	if a.game.Controls().Pending() > 0 {
+		return // a correction is already queued for the next tick
+	}
+	current := a.game.Target()
+	if current < pt.Target {
+		a.game.Controls().Jump((pt.Target - current) * a.Aggressiveness)
+	}
+	// Above target: let gravity bring the character down.
+}

@@ -1,0 +1,118 @@
+package game
+
+import (
+	"context"
+	"time"
+
+	"benchpress/internal/core"
+	"benchpress/internal/dbdriver"
+)
+
+// ManagerBackend adapts a running core.Manager (and its database) to the
+// game's Backend interface.
+type ManagerBackend struct {
+	Manager *core.Manager
+	// Cancel stops the workload on game over; optional.
+	Cancel context.CancelFunc
+	// ResetDB truncates the database on game over ("this will cause
+	// BenchPress to halt the benchmark and reset the database"). Optional.
+	ResetDB bool
+}
+
+// SetRate implements Backend.
+func (b *ManagerBackend) SetRate(tps float64) {
+	if tps <= 0 {
+		// A grounded character means zero throughput: pause rather than
+		// switch to unlimited (rate 0 means open loop to the manager).
+		b.Manager.Pause()
+		return
+	}
+	b.Manager.Resume()
+	b.Manager.SetRate(tps)
+}
+
+// MeasuredTPS implements Backend using the last complete stats window.
+func (b *ManagerBackend) MeasuredTPS() float64 {
+	return b.Manager.Collector().Snapshot().TPS
+}
+
+// Halt implements Backend.
+func (b *ManagerBackend) Halt() {
+	b.Manager.Pause()
+	if b.Cancel != nil {
+		b.Cancel()
+	}
+	if b.ResetDB {
+		b.Manager.DB().Engine().TruncateAll()
+	}
+}
+
+// ChangeMixture performs the game's mixture dialog sequence: pause the
+// workload ("temporarily block any thread from executing"), swap the
+// mixture, resume. Preset names follow the dialog: "default", "readonly",
+// "writeheavy"; nil weights with preset "custom" is invalid.
+func (b *ManagerBackend) ChangeMixture(preset string, weights []float64) error {
+	b.Manager.Pause()
+	defer b.Manager.Resume()
+	switch preset {
+	case "default":
+		b.Manager.SetMix(nil)
+	case "custom":
+		b.Manager.SetMix(weights)
+	case "readonly", "writeheavy":
+		mix, err := derivePreset(b.Manager, preset == "readonly")
+		if err != nil {
+			return err
+		}
+		b.Manager.SetMix(mix)
+	}
+	return nil
+}
+
+// derivePreset builds a read-only or write-heavy mixture from procedure
+// metadata when the benchmark does not export explicit presets.
+func derivePreset(m *core.Manager, readonly bool) ([]float64, error) {
+	type presetMixer interface {
+		ReadOnlyMix() []float64
+		WriteHeavyMix() []float64
+	}
+	if pm, ok := m.Benchmark().(presetMixer); ok {
+		if readonly {
+			return pm.ReadOnlyMix(), nil
+		}
+		return pm.WriteHeavyMix(), nil
+	}
+	procs := m.Benchmark().Procedures()
+	defaults := m.Benchmark().DefaultMix()
+	mix := make([]float64, len(procs))
+	for i, p := range procs {
+		if p.ReadOnly == readonly {
+			mix[i] = defaults[i]
+		}
+	}
+	return mix, nil
+}
+
+// LaunchWorkload prepares a benchmark, starts its manager with one long
+// unlimited-duration phase, and returns the backend wired for the game. The
+// game then throttles it via SetRate.
+func LaunchWorkload(ctx context.Context, benchName, dbms string, scale float64, terminals int, d time.Duration) (*ManagerBackend, error) {
+	b, err := core.NewBenchmark(benchName, scale)
+	if err != nil {
+		return nil, err
+	}
+	db, err := dbdriver.Open(dbms)
+	if err != nil {
+		return nil, err
+	}
+	if err := core.Prepare(b, db, time.Now().UnixNano()%100000+1); err != nil {
+		db.Close()
+		return nil, err
+	}
+	m := core.NewManager(b, db, []core.Phase{{Duration: d, Rate: 1}}, core.Options{
+		Terminals: terminals,
+	})
+	runCtx, cancel := context.WithCancel(ctx)
+	go m.Run(runCtx)
+	return &ManagerBackend{Manager: m, Cancel: cancel}, nil
+}

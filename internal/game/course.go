@@ -1,0 +1,220 @@
+// Package game implements BenchPress, the demonstration game of the paper's
+// Section 4: a side-scrolling obstacle course where the character's height
+// is the measured throughput of the target DBMS. The player (or an
+// autopilot) requests target rates ("jumps"); gravity decays the target
+// linearly toward zero; obstacles are throughput corridors the measured rate
+// must pass through; auto-pilot tunnel zones ignore player input entirely.
+package game
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// Tick is the default game tick duration.
+const Tick = 250 * time.Millisecond
+
+// Point is the course state at one tick: the allowed throughput corridor and
+// whether the zone is an auto-pilot tunnel.
+type Point struct {
+	// Lo and Hi bound the permitted measured throughput. An open point has
+	// Lo = 0 and Hi = +Inf (no obstacle at this position).
+	Lo, Hi float64
+	// Obstacle marks whether a collision check applies at this point.
+	Obstacle bool
+	// AutoPilot marks tunnel zones where player input is ignored.
+	AutoPilot bool
+	// Target is the corridor midpoint (convenience for controllers/plots).
+	Target float64
+}
+
+// Course is a sequence of points sampled at the tick interval.
+type Course struct {
+	Name   string
+	Tick   time.Duration
+	Points []Point
+}
+
+// Duration returns the course's wall-clock length.
+func (c *Course) Duration() time.Duration {
+	return time.Duration(len(c.Points)) * c.Tick
+}
+
+// open returns a non-obstacle point.
+func open() Point { return Point{Lo: 0, Hi: math.Inf(1)} }
+
+// corridor returns an obstacle point with the given bounds.
+func corridor(lo, hi float64, autopilot bool) Point {
+	return Point{Lo: lo, Hi: hi, Obstacle: true, AutoPilot: autopilot, Target: (lo + hi) / 2}
+}
+
+// ticksFor converts a duration to a tick count (at least 1).
+func ticksFor(d, tick time.Duration) int {
+	n := int(d / tick)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// transitionGapTicks is the open space between obstacles at level changes
+// (like the gap between pipe pairs): it gives the measured-throughput
+// window, which lags by its length, time to catch up with the new target
+// before collisions are judged again.
+const transitionGapTicks = 3
+
+// Steps builds the paper's "Steps" challenge: a staircase of increasing (or
+// decreasing, with negative step) throughput levels, simulating a load ramp
+// that eventually saturates the DBMS. Each level change is preceded by open
+// space, as between the game's pipe pairs.
+func Steps(name string, base, step float64, nSteps int, perStep time.Duration, width float64, tick time.Duration) *Course {
+	c := &Course{Name: name, Tick: tick}
+	for s := 0; s < nSteps; s++ {
+		level := base + float64(s)*step
+		if level < 0 {
+			level = 0
+		}
+		n := ticksFor(perStep, tick)
+		for i := 0; i < n; i++ {
+			if s > 0 && i < transitionGapTicks {
+				c.Points = append(c.Points, open())
+				continue
+			}
+			c.Points = append(c.Points, corridor(level-width/2, level+width/2, false))
+		}
+	}
+	return c
+}
+
+// Sinusoidal builds the paper's "Sinusoidal" challenge: the corridor moves
+// up and down in a recurring pattern, testing graceful response to
+// fluctuating load without jitter.
+func Sinusoidal(name string, mid, amplitude float64, period, duration time.Duration, width float64, tick time.Duration) *Course {
+	c := &Course{Name: name, Tick: tick}
+	n := ticksFor(duration, tick)
+	for i := 0; i < n; i++ {
+		t := float64(i) * tick.Seconds()
+		level := mid + amplitude*math.Sin(2*math.Pi*t/period.Seconds())
+		c.Points = append(c.Points, corridor(level-width/2, level+width/2, false))
+	}
+	return c
+}
+
+// Peak builds the paper's "Peak" challenge: steady-state baseline, a sudden
+// short peak, then back to baseline, testing response to sporadic load.
+func Peak(name string, baseline, peak float64, lead, spike, tail time.Duration, width float64, tick time.Duration) *Course {
+	c := &Course{Name: name, Tick: tick}
+	first := true
+	prev := 0.0
+	add := func(level float64, d time.Duration) {
+		// Downward transitions need a longer gap: the character descends
+		// only by gravity (the paper's "simulated gravity" rule), so the
+		// open space after a tall obstacle must cover the glide down plus
+		// the measurement window's lag.
+		gap := transitionGapTicks
+		if !first && level < prev {
+			gap = transitionGapTicks * 4
+		}
+		n := ticksFor(d, tick)
+		for i := 0; i < n; i++ {
+			if !first && i < gap && i < n {
+				c.Points = append(c.Points, open())
+				continue
+			}
+			c.Points = append(c.Points, corridor(level-width/2, level+width/2, false))
+		}
+		first = false
+		prev = level
+	}
+	add(baseline, lead)
+	add(peak, spike)
+	add(baseline, tail)
+	return c
+}
+
+// Tunnel builds the paper's "Tunnels" challenge: a long auto-pilot zone with
+// a tight constant corridor that the DBMS must hold without oscillating;
+// player input is disabled inside.
+func Tunnel(name string, target, width float64, duration time.Duration, tick time.Duration) *Course {
+	c := &Course{Name: name, Tick: tick}
+	n := ticksFor(duration, tick)
+	for i := 0; i < n; i++ {
+		c.Points = append(c.Points, corridor(target-width/2, target+width/2, true))
+	}
+	return c
+}
+
+// Concat joins courses end to end under a new name.
+func Concat(name string, parts ...*Course) (*Course, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("game: empty course")
+	}
+	out := &Course{Name: name, Tick: parts[0].Tick}
+	for _, p := range parts {
+		if p.Tick != out.Tick {
+			return nil, fmt.Errorf("game: mismatched ticks in course parts")
+		}
+		out.Points = append(out.Points, p.Points...)
+	}
+	return out, nil
+}
+
+// courseConfig is the JSON course file format: new challenges can be created
+// with a configuration file, as the paper notes.
+type courseConfig struct {
+	Name     string `json:"name"`
+	TickMS   int    `json:"tick_ms"`
+	Segments []struct {
+		Shape    string  `json:"shape"` // steps | sinusoidal | peak | tunnel
+		Base     float64 `json:"base"`
+		Step     float64 `json:"step"`
+		NSteps   int     `json:"n_steps"`
+		PerStepS float64 `json:"per_step_sec"`
+		Mid      float64 `json:"mid"`
+		Amp      float64 `json:"amplitude"`
+		PeriodS  float64 `json:"period_sec"`
+		Peak     float64 `json:"peak"`
+		LeadS    float64 `json:"lead_sec"`
+		SpikeS   float64 `json:"spike_sec"`
+		TailS    float64 `json:"tail_sec"`
+		Target   float64 `json:"target"`
+		Width    float64 `json:"width"`
+		DurS     float64 `json:"duration_sec"`
+	} `json:"segments"`
+}
+
+// LoadCourse parses a JSON course configuration.
+func LoadCourse(r io.Reader) (*Course, error) {
+	var cfg courseConfig
+	if err := json.NewDecoder(r).Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("game: %w", err)
+	}
+	tick := Tick
+	if cfg.TickMS > 0 {
+		tick = time.Duration(cfg.TickMS) * time.Millisecond
+	}
+	secs := func(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+	var parts []*Course
+	for i, seg := range cfg.Segments {
+		width := seg.Width
+		if width <= 0 {
+			return nil, fmt.Errorf("game: segment %d: width must be positive", i+1)
+		}
+		switch seg.Shape {
+		case "steps":
+			parts = append(parts, Steps(cfg.Name, seg.Base, seg.Step, seg.NSteps, secs(seg.PerStepS), width, tick))
+		case "sinusoidal":
+			parts = append(parts, Sinusoidal(cfg.Name, seg.Mid, seg.Amp, secs(seg.PeriodS), secs(seg.DurS), width, tick))
+		case "peak":
+			parts = append(parts, Peak(cfg.Name, seg.Base, seg.Peak, secs(seg.LeadS), secs(seg.SpikeS), secs(seg.TailS), width, tick))
+		case "tunnel":
+			parts = append(parts, Tunnel(cfg.Name, seg.Target, width, secs(seg.DurS), tick))
+		default:
+			return nil, fmt.Errorf("game: segment %d: unknown shape %q", i+1, seg.Shape)
+		}
+	}
+	return Concat(cfg.Name, parts...)
+}

@@ -1,0 +1,205 @@
+package game
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Backend abstracts the benchmark side of the game: the game writes target
+// rates and reads delivered throughput. core.Manager satisfies it through
+// the ManagerBackend adapter; tests use deterministic fakes.
+type Backend interface {
+	// SetRate requests a target throughput (the jump/fall output).
+	SetRate(tps float64)
+	// MeasuredTPS returns the delivered throughput the character's height
+	// follows ("the character only responds to the actual throughput
+	// delivered by the DBMS").
+	MeasuredTPS() float64
+	// Halt stops the benchmark and resets the database (game over).
+	Halt()
+}
+
+// Controls is the player's dynamic input state.
+type Controls struct {
+	jump atomic.Uint64 // pending jump amount (float64 bits), consumed per tick
+}
+
+// Jump requests a throughput increase of delta tps, applied next tick.
+// Multiple jumps within a tick accumulate.
+func (c *Controls) Jump(delta float64) {
+	for {
+		old := c.jump.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if c.jump.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// take consumes the accumulated jump amount.
+func (c *Controls) take() float64 {
+	return math.Float64frombits(c.jump.Swap(0))
+}
+
+// Pending returns the accumulated jump amount the next tick will consume.
+// The autopilot uses it to avoid stacking corrections faster than the game
+// consumes them.
+func (c *Controls) Pending() float64 {
+	return math.Float64frombits(c.jump.Load())
+}
+
+// Config tunes the game physics.
+type Config struct {
+	// Gravity is the linear target-rate decay in tps per second while not
+	// jumping ("the throughput automatically decreases linearly until
+	// reaching 0").
+	Gravity float64
+	// MaxRate caps the requested rate (the top of the screen).
+	MaxRate float64
+	// Grace is the number of leading ticks without collision checks, letting
+	// the measured-throughput window warm up.
+	Grace int
+	// OnTick, when set, observes every tick record as it happens (the web
+	// UI streams these to the browser).
+	OnTick func(TickRecord)
+}
+
+// TickRecord is one tick of the game trajectory.
+type TickRecord struct {
+	Index     int
+	Target    float64 // rate requested from the workload manager
+	Measured  float64 // delivered throughput (character height)
+	Lo, Hi    float64 // corridor at this tick
+	Obstacle  bool
+	AutoPilot bool
+	Crashed   bool
+}
+
+// Result is the outcome of one game run.
+type Result struct {
+	CourseName string
+	Survived   bool
+	CrashedAt  int // tick index of the crash (-1 if survived)
+	Score      int // ticks passed through obstacles
+	Trajectory []TickRecord
+}
+
+// Game is one run of a course against a backend.
+type Game struct {
+	course   *Course
+	backend  Backend
+	controls *Controls
+	cfg      Config
+	// targetBits holds the requested rate as float64 bits; atomic because
+	// the autopilot reads it from its own goroutine.
+	targetBits atomic.Uint64
+}
+
+// Target returns the currently requested rate.
+func (g *Game) Target() float64 { return math.Float64frombits(g.targetBits.Load()) }
+
+func (g *Game) setTarget(v float64) { g.targetBits.Store(math.Float64bits(v)) }
+
+// New builds a game. Zero config fields get playable defaults.
+func New(course *Course, backend Backend, controls *Controls, cfg Config) *Game {
+	if cfg.Gravity <= 0 {
+		cfg.Gravity = 200
+	}
+	if cfg.MaxRate <= 0 {
+		cfg.MaxRate = 1e6
+	}
+	if cfg.Grace <= 0 {
+		cfg.Grace = 4
+	}
+	if controls == nil {
+		controls = &Controls{}
+	}
+	return &Game{course: course, backend: backend, controls: controls, cfg: cfg}
+}
+
+// Controls returns the player input handle.
+func (g *Game) Controls() *Controls { return g.controls }
+
+// Run plays the course in real time, ticking at the course tick. It returns
+// when the course ends, the character crashes, or ctx is cancelled.
+func (g *Game) Run(ctx context.Context) Result {
+	ticker := time.NewTicker(g.course.Tick)
+	defer ticker.Stop()
+	res := Result{CourseName: g.course.Name, CrashedAt: -1}
+	// Start the character at the first corridor midpoint so the opening is
+	// reachable.
+	if len(g.course.Points) > 0 && g.course.Points[0].Obstacle {
+		g.setTarget(g.course.Points[0].Target)
+	}
+	g.backend.SetRate(g.Target())
+	for i, pt := range g.course.Points {
+		select {
+		case <-ctx.Done():
+			res.Survived = true // aborted, not crashed
+			return res
+		case <-ticker.C:
+		}
+		rec := g.step(i, pt)
+		res.Trajectory = append(res.Trajectory, rec)
+		if g.cfg.OnTick != nil {
+			g.cfg.OnTick(rec)
+		}
+		if rec.Obstacle && !rec.Crashed {
+			res.Score++
+		}
+		if rec.Crashed {
+			res.CrashedAt = i
+			g.backend.Halt() // "halt the benchmark and reset the database"
+			return res
+		}
+	}
+	res.Survived = true
+	return res
+}
+
+// step advances one tick: consume input (unless auto-pilot), apply gravity,
+// command the rate, observe the delivered throughput, and check collision.
+func (g *Game) step(i int, pt Point) TickRecord {
+	tickSec := g.course.Tick.Seconds()
+	target := g.Target()
+	if !pt.AutoPilot {
+		if jump := g.controls.take(); jump > 0 {
+			target += jump
+		} else {
+			target -= g.cfg.Gravity * tickSec
+		}
+	} else {
+		// Tunnel zones ignore input; gravity is suspended so the zone
+		// tests the DBMS's steadiness at the rate set on entry.
+		g.controls.take()
+	}
+	if target < 0 {
+		target = 0
+	}
+	if target > g.cfg.MaxRate {
+		target = g.cfg.MaxRate
+	}
+	g.setTarget(target)
+	g.backend.SetRate(target)
+
+	measured := g.backend.MeasuredTPS()
+	rec := TickRecord{
+		Index: i, Target: target, Measured: measured,
+		Lo: pt.Lo, Hi: pt.Hi, Obstacle: pt.Obstacle, AutoPilot: pt.AutoPilot,
+	}
+	if pt.Obstacle && i >= g.cfg.Grace {
+		if measured < pt.Lo || measured > pt.Hi {
+			rec.Crashed = true
+		}
+	}
+	return rec
+}
+
+// EnterTunnel pre-sets the target on tunnel entry (the autopilot and the UI
+// both call this when the character reaches a tunnel zone boundary).
+func (g *Game) EnterTunnel(target float64) {
+	g.setTarget(target)
+	g.backend.SetRate(target)
+}

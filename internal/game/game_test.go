@@ -1,0 +1,243 @@
+package game
+
+import (
+	"context"
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeBackend is a deterministic engine model: measured throughput follows
+// the requested rate up to a capacity ceiling, with first-order lag.
+type fakeBackend struct {
+	capacity float64
+	lag      float64 // 0..1, fraction of the gap closed per SetRate
+	rate     atomic.Uint64
+	measured atomic.Uint64
+	halted   atomic.Bool
+}
+
+func newFakeBackend(capacity, lag float64) *fakeBackend {
+	return &fakeBackend{capacity: capacity, lag: lag}
+}
+
+func (f *fakeBackend) SetRate(tps float64) {
+	f.rate.Store(math.Float64bits(tps))
+	want := tps
+	if want > f.capacity {
+		want = f.capacity
+	}
+	cur := math.Float64frombits(f.measured.Load())
+	next := cur + (want-cur)*f.lag
+	f.measured.Store(math.Float64bits(next))
+}
+
+func (f *fakeBackend) MeasuredTPS() float64 { return math.Float64frombits(f.measured.Load()) }
+func (f *fakeBackend) Halt()                { f.halted.Store(true) }
+
+// fastCourse shrinks ticks so game tests run in milliseconds.
+const testTick = 2 * time.Millisecond
+
+func TestCourseGenerators(t *testing.T) {
+	steps := Steps("s", 100, 100, 3, 10*testTick, 50, testTick)
+	if len(steps.Points) != 30 {
+		t.Fatalf("steps points = %d", len(steps.Points))
+	}
+	if steps.Points[0].Target != 100 || steps.Points[29].Target != 300 {
+		t.Fatalf("steps targets: %v %v", steps.Points[0].Target, steps.Points[29].Target)
+	}
+	sin := Sinusoidal("sin", 500, 200, 20*testTick, 40*testTick, 100, testTick)
+	var lo, hi float64 = math.Inf(1), math.Inf(-1)
+	for _, p := range sin.Points {
+		lo = math.Min(lo, p.Target)
+		hi = math.Max(hi, p.Target)
+	}
+	if lo > 320 || hi < 680 {
+		t.Fatalf("sinusoid range [%v, %v]", lo, hi)
+	}
+	peak := Peak("p", 100, 900, 10*testTick, 8*testTick, 20*testTick, 50, testTick)
+	if len(peak.Points) != 38 {
+		t.Fatalf("peak points = %d", len(peak.Points))
+	}
+	// Up-transition gap: indices 10..12 open; the down-transition after the
+	// tall spike gets the longer glide gap: indices 18..29 open.
+	if peak.Points[2].Target != 100 || peak.Points[14].Target != 900 || peak.Points[31].Target != 100 {
+		t.Fatal("peak shape wrong")
+	}
+	if peak.Points[11].Obstacle || peak.Points[13].Obstacle == false {
+		t.Fatal("up-transition gap wrong")
+	}
+	if peak.Points[19].Obstacle || peak.Points[29].Obstacle || !peak.Points[30].Obstacle {
+		t.Fatal("down-transition glide gap wrong")
+	}
+	tun := Tunnel("t", 400, 80, 20*testTick, testTick)
+	for _, p := range tun.Points {
+		if !p.AutoPilot || p.Lo != 360 || p.Hi != 440 {
+			t.Fatalf("tunnel point %+v", p)
+		}
+	}
+	if tun.Duration() != 20*testTick {
+		t.Fatalf("duration = %v", tun.Duration())
+	}
+}
+
+func TestConcatRejectsMismatchedTicks(t *testing.T) {
+	a := Tunnel("a", 100, 10, 10*testTick, testTick)
+	b := Tunnel("b", 100, 10, 10*testTick, 2*testTick)
+	if _, err := Concat("ab", a, b); err == nil {
+		t.Fatal("mismatched ticks accepted")
+	}
+	c, err := Concat("aa", a, a)
+	if err != nil || len(c.Points) != 20 {
+		t.Fatalf("concat: %v %d", err, len(c.Points))
+	}
+}
+
+func TestLoadCourse(t *testing.T) {
+	src := `{
+		"name": "custom",
+		"tick_ms": 2,
+		"segments": [
+			{"shape": "steps", "base": 100, "step": 50, "n_steps": 2, "per_step_sec": 0.02, "width": 40},
+			{"shape": "tunnel", "target": 200, "width": 40, "duration_sec": 0.02},
+			{"shape": "sinusoidal", "mid": 150, "amplitude": 50, "period_sec": 0.02, "duration_sec": 0.02, "width": 40},
+			{"shape": "peak", "base": 100, "peak": 300, "lead_sec": 0.01, "spike_sec": 0.005, "tail_sec": 0.01, "width": 40}
+		]
+	}`
+	c, err := LoadCourse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "custom" || len(c.Points) == 0 {
+		t.Fatalf("%+v", c)
+	}
+	if _, err := LoadCourse(strings.NewReader(`{"segments":[{"shape":"warp","width":1}]}`)); err == nil {
+		t.Fatal("unknown shape accepted")
+	}
+	if _, err := LoadCourse(strings.NewReader(`{"segments":[{"shape":"tunnel"}]}`)); err == nil {
+		t.Fatal("zero width accepted")
+	}
+}
+
+func TestAutopilotSurvivesEasyCourse(t *testing.T) {
+	course := Steps("easy", 200, 100, 4, 15*testTick, 400, testTick)
+	backend := newFakeBackend(10000, 0.8) // plenty of capacity, quick response
+	g := New(course, backend, nil, Config{Gravity: 500})
+	res := NewAutopilot(g).Play(context.Background())
+	if !res.Survived {
+		t.Fatalf("crashed at tick %d: %+v", res.CrashedAt, res.Trajectory[res.CrashedAt])
+	}
+	if res.Score == 0 {
+		t.Fatal("no score accumulated")
+	}
+	if backend.halted.Load() {
+		t.Fatal("backend halted despite surviving")
+	}
+}
+
+func TestCrashWhenCapacityTooLow(t *testing.T) {
+	// The course demands 800 tps; the engine caps at 300: the character
+	// cannot reach the corridor and must crash into the obstacle.
+	course := Steps("hard", 800, 0, 10, 20*testTick, 100, testTick)
+	backend := newFakeBackend(300, 0.9)
+	g := New(course, backend, nil, Config{Gravity: 100, Grace: 3})
+	res := NewAutopilot(g).Play(context.Background())
+	if res.Survived {
+		t.Fatal("survived an impossible course")
+	}
+	if !backend.halted.Load() {
+		t.Fatal("crash must halt the benchmark")
+	}
+	if res.CrashedAt < 3 {
+		t.Fatalf("crash during grace period: %d", res.CrashedAt)
+	}
+}
+
+func TestGravityPullsDown(t *testing.T) {
+	// No input at all: the target must decay linearly to zero.
+	course := Steps("fall", 1000, 0, 1, 50*testTick, 1e9, testTick) // huge corridor: no crash
+	backend := newFakeBackend(10000, 1.0)
+	g := New(course, backend, &Controls{}, Config{Gravity: 100000})
+	res := g.Run(context.Background())
+	if !res.Survived {
+		t.Fatal("crashed in a giant corridor")
+	}
+	last := res.Trajectory[len(res.Trajectory)-1]
+	if last.Target != 0 {
+		t.Fatalf("gravity did not reach zero: %v", last.Target)
+	}
+	for i := 1; i < len(res.Trajectory); i++ {
+		if res.Trajectory[i].Target > res.Trajectory[i-1].Target {
+			t.Fatal("target increased without a jump")
+		}
+	}
+}
+
+func TestJumpRaisesTarget(t *testing.T) {
+	course := Steps("jump", 100, 0, 1, 30*testTick, 1e9, testTick)
+	backend := newFakeBackend(10000, 1.0)
+	ctl := &Controls{}
+	g := New(course, backend, ctl, Config{Gravity: 10})
+	go func() {
+		time.Sleep(10 * testTick)
+		ctl.Jump(500)
+	}()
+	res := g.Run(context.Background())
+	maxT := 0.0
+	for _, r := range res.Trajectory {
+		maxT = math.Max(maxT, r.Target)
+	}
+	if maxT < 400 {
+		t.Fatalf("jump had no effect: max target %v", maxT)
+	}
+}
+
+func TestTunnelIgnoresInput(t *testing.T) {
+	course := Tunnel("tun", 300, 1e9, 30*testTick, testTick)
+	backend := newFakeBackend(10000, 1.0)
+	ctl := &Controls{}
+	g := New(course, backend, ctl, Config{})
+	g.EnterTunnel(300)
+	go func() {
+		for i := 0; i < 20; i++ {
+			ctl.Jump(1000) // must be ignored inside the tunnel
+			time.Sleep(testTick)
+		}
+	}()
+	res := g.Run(context.Background())
+	for _, r := range res.Trajectory {
+		if r.Target != 300 {
+			t.Fatalf("tunnel target drifted to %v", r.Target)
+		}
+	}
+	if !res.Survived {
+		t.Fatal("crashed in a wide tunnel")
+	}
+}
+
+func TestControlsAccumulate(t *testing.T) {
+	c := &Controls{}
+	c.Jump(10)
+	c.Jump(15)
+	if got := c.take(); got != 25 {
+		t.Fatalf("take = %v", got)
+	}
+	if got := c.take(); got != 0 {
+		t.Fatalf("second take = %v", got)
+	}
+}
+
+func TestContextCancelEndsRun(t *testing.T) {
+	course := Tunnel("long", 100, 1e9, time.Hour, testTick)
+	backend := newFakeBackend(1000, 1.0)
+	g := New(course, backend, nil, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*testTick)
+	defer cancel()
+	start := time.Now()
+	g.Run(ctx)
+	if time.Since(start) > time.Second {
+		t.Fatal("cancellation ignored")
+	}
+}

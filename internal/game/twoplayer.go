@@ -1,0 +1,55 @@
+package game
+
+import (
+	"context"
+	"sync"
+)
+
+// TwoPlayer runs two games concurrently, one per player, each against its
+// own workload — typically two workloads sharing one database instance, so
+// that "the players experience in real-time the effects of multi-tenancy,
+// with one player affecting the other" (the paper's §4.3). Either player
+// crashing ends only their own run; the match result reports both.
+type TwoPlayer struct {
+	A, B *Game
+}
+
+// MatchResult is the outcome of a two-player match.
+type MatchResult struct {
+	A, B Result
+	// Winner is "a", "b", or "draw", by survival first and score second.
+	Winner string
+}
+
+// Play runs both games to completion (or ctx cancellation) and scores the
+// match.
+func (m *TwoPlayer) Play(ctx context.Context, pilotA, pilotB bool) MatchResult {
+	var res MatchResult
+	var wg sync.WaitGroup
+	run := func(g *Game, pilot bool, out *Result) {
+		defer wg.Done()
+		if pilot {
+			*out = NewAutopilot(g).Play(ctx)
+		} else {
+			*out = g.Run(ctx)
+		}
+	}
+	wg.Add(2)
+	go run(m.A, pilotA, &res.A)
+	go run(m.B, pilotB, &res.B)
+	wg.Wait()
+
+	switch {
+	case res.A.Survived && !res.B.Survived:
+		res.Winner = "a"
+	case res.B.Survived && !res.A.Survived:
+		res.Winner = "b"
+	case res.A.Score > res.B.Score:
+		res.Winner = "a"
+	case res.B.Score > res.A.Score:
+		res.Winner = "b"
+	default:
+		res.Winner = "draw"
+	}
+	return res
+}

@@ -1,0 +1,95 @@
+package game
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+// sharedCapacityBackend models two tenants on one engine: the sum of their
+// delivered rates is capped; each backend gets its requested share of
+// whatever capacity remains after the other's demand.
+type sharedCapacityBackend struct {
+	pool   *capacityPool
+	rate   atomic.Uint64
+	halted atomic.Bool
+}
+
+type capacityPool struct {
+	capacity float64
+	a, b     *sharedCapacityBackend
+}
+
+func newSharedPair(capacity float64) (*sharedCapacityBackend, *sharedCapacityBackend) {
+	p := &capacityPool{capacity: capacity}
+	p.a = &sharedCapacityBackend{pool: p}
+	p.b = &sharedCapacityBackend{pool: p}
+	return p.a, p.b
+}
+
+func (s *sharedCapacityBackend) SetRate(tps float64) { s.rate.Store(math.Float64bits(tps)) }
+func (s *sharedCapacityBackend) Halt()               { s.halted.Store(true) }
+
+func (s *sharedCapacityBackend) MeasuredTPS() float64 {
+	my := math.Float64frombits(s.rate.Load())
+	other := s.pool.a
+	if s == s.pool.a {
+		other = s.pool.b
+	}
+	theirs := math.Float64frombits(other.rate.Load())
+	if other.halted.Load() {
+		theirs = 0
+	}
+	total := my + theirs
+	if total <= s.pool.capacity {
+		return my
+	}
+	// Proportional degradation under contention.
+	return my * s.pool.capacity / total
+}
+
+func TestTwoPlayerInterference(t *testing.T) {
+	// Player A flies a course needing 600 tps; player B hogs the shared
+	// 1000-tps engine at 800 tps. A's delivered rate is squeezed to
+	// ~600*1000/1400 = 428 < corridor lo, so A must lose while B (with a
+	// modest 300-tps course) survives.
+	a, b := newSharedPair(1000)
+	courseA := Steps("a", 600, 0, 1, 60*testTick, 200, testTick)
+	courseB := Steps("b", 800, 0, 1, 60*testTick, 700, testTick)
+	gA := New(courseA, a, nil, Config{Gravity: 100, Grace: 3})
+	gB := New(courseB, b, nil, Config{Gravity: 100, Grace: 3})
+	match := (&TwoPlayer{A: gA, B: gB}).Play(context.Background(), true, true)
+
+	if match.A.Survived {
+		t.Fatalf("player A should be squeezed out by the co-tenant: %+v", match.A)
+	}
+	if !match.B.Survived {
+		t.Fatalf("player B had plenty of corridor: crashed at %d", match.B.CrashedAt)
+	}
+	if match.Winner != "b" {
+		t.Fatalf("winner = %q", match.Winner)
+	}
+	if !a.halted.Load() {
+		t.Fatal("losing player's benchmark must be halted")
+	}
+	if b.halted.Load() {
+		t.Fatal("winning player's benchmark must keep running")
+	}
+}
+
+func TestTwoPlayerDrawAndScore(t *testing.T) {
+	// Ample capacity: both survive; equal courses give a draw.
+	a, b := newSharedPair(1e9)
+	cA := Steps("a", 200, 0, 1, 30*testTick, 400, testTick)
+	cB := Steps("b", 200, 0, 1, 30*testTick, 400, testTick)
+	gA := New(cA, a, nil, Config{Gravity: 50, Grace: 3})
+	gB := New(cB, b, nil, Config{Gravity: 50, Grace: 3})
+	match := (&TwoPlayer{A: gA, B: gB}).Play(context.Background(), true, true)
+	if !match.A.Survived || !match.B.Survived {
+		t.Fatalf("both should survive: %+v / %+v", match.A.Survived, match.B.Survived)
+	}
+	if match.Winner != "draw" {
+		t.Fatalf("winner = %q (scores %d vs %d)", match.Winner, match.A.Score, match.B.Score)
+	}
+}

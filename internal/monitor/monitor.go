@@ -1,0 +1,199 @@
+// Package monitor implements the server-side resource monitoring component
+// of the testbed (the paper uses dstat [7]): a sampler that collects host
+// CPU, memory, and runtime statistics in parallel with the benchmark and
+// exposes them as a real-time series.
+//
+// On Linux the sampler reads /proc; elsewhere (or when /proc is missing) it
+// degrades to Go-runtime statistics so the interface stays uniform.
+package monitor
+
+import (
+	"bufio"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Sample is one resource observation.
+type Sample struct {
+	// Elapsed is the offset since the monitor started.
+	Elapsed time.Duration
+	// CPUUserPct and CPUSystemPct are host CPU utilization percentages
+	// since the previous sample (0 when /proc is unavailable).
+	CPUUserPct   float64
+	CPUSystemPct float64
+	// MemUsedPct is the host memory utilization (0 when unavailable).
+	MemUsedPct float64
+	// HeapMB is the Go heap in MiB (always available).
+	HeapMB float64
+	// Goroutines is the process goroutine count.
+	Goroutines int
+	// HostStats reports whether host-level numbers are genuine.
+	HostStats bool
+}
+
+// cpuTimes are cumulative jiffies from /proc/stat.
+type cpuTimes struct {
+	user, nice, system, idle, iowait, irq, softirq, steal uint64
+}
+
+func (c cpuTimes) total() uint64 {
+	return c.user + c.nice + c.system + c.idle + c.iowait + c.irq + c.softirq + c.steal
+}
+
+// Monitor samples resources at a fixed interval.
+type Monitor struct {
+	interval time.Duration
+	start    time.Time
+
+	mu      sync.Mutex
+	samples []Sample
+	last    Sample
+
+	prevCPU cpuTimes
+	haveCPU bool
+
+	stop chan struct{}
+	done sync.WaitGroup
+}
+
+// New creates a monitor sampling at interval (default 1s when zero).
+func New(interval time.Duration) *Monitor {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &Monitor{interval: interval, stop: make(chan struct{})}
+}
+
+// Start begins sampling in the background.
+func (m *Monitor) Start() {
+	m.start = time.Now()
+	if cpu, ok := readCPU(); ok {
+		m.prevCPU, m.haveCPU = cpu, true
+	}
+	m.done.Add(1)
+	go func() {
+		defer m.done.Done()
+		ticker := time.NewTicker(m.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				m.sample()
+			case <-m.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts sampling.
+func (m *Monitor) Stop() {
+	select {
+	case <-m.stop:
+		return
+	default:
+	}
+	close(m.stop)
+	m.done.Wait()
+}
+
+// sample takes one observation.
+func (m *Monitor) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s := Sample{
+		Elapsed:    time.Since(m.start),
+		HeapMB:     float64(ms.HeapAlloc) / (1 << 20),
+		Goroutines: runtime.NumGoroutine(),
+	}
+	if cpu, ok := readCPU(); ok && m.haveCPU {
+		dTotal := float64(cpu.total() - m.prevCPU.total())
+		if dTotal > 0 {
+			s.CPUUserPct = 100 * float64(cpu.user+cpu.nice-m.prevCPU.user-m.prevCPU.nice) / dTotal
+			s.CPUSystemPct = 100 * float64(cpu.system-m.prevCPU.system) / dTotal
+			s.HostStats = true
+		}
+		m.prevCPU = cpu
+	}
+	if used, ok := readMemUsedPct(); ok {
+		s.MemUsedPct = used
+		s.HostStats = true
+	}
+	m.mu.Lock()
+	m.samples = append(m.samples, s)
+	m.last = s
+	m.mu.Unlock()
+}
+
+// Latest returns the most recent sample.
+func (m *Monitor) Latest() Sample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.last
+}
+
+// Samples returns the collected series.
+func (m *Monitor) Samples() []Sample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Sample, len(m.samples))
+	copy(out, m.samples)
+	return out
+}
+
+// readCPU parses the aggregate cpu line of /proc/stat.
+func readCPU() (cpuTimes, bool) {
+	f, err := os.Open("/proc/stat")
+	if err != nil {
+		return cpuTimes{}, false
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 8 || fields[0] != "cpu" {
+			continue
+		}
+		var vals [8]uint64
+		for i := 0; i < 8 && i+1 < len(fields); i++ {
+			vals[i], _ = strconv.ParseUint(fields[i+1], 10, 64)
+		}
+		return cpuTimes{
+			user: vals[0], nice: vals[1], system: vals[2], idle: vals[3],
+			iowait: vals[4], irq: vals[5], softirq: vals[6], steal: vals[7],
+		}, true
+	}
+	return cpuTimes{}, false
+}
+
+// readMemUsedPct parses /proc/meminfo.
+func readMemUsedPct() (float64, bool) {
+	f, err := os.Open("/proc/meminfo")
+	if err != nil {
+		return 0, false
+	}
+	defer f.Close()
+	var total, avail float64
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 2 {
+			continue
+		}
+		v, _ := strconv.ParseFloat(fields[1], 64)
+		switch fields[0] {
+		case "MemTotal:":
+			total = v
+		case "MemAvailable:":
+			avail = v
+		}
+	}
+	if total <= 0 {
+		return 0, false
+	}
+	return 100 * (total - avail) / total, true
+}

@@ -1,0 +1,57 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMonitorSamples(t *testing.T) {
+	m := New(20 * time.Millisecond)
+	m.Start()
+	time.Sleep(120 * time.Millisecond)
+	m.Stop()
+	samples := m.Samples()
+	if len(samples) < 3 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	last := m.Latest()
+	if last.Goroutines <= 0 || last.HeapMB <= 0 {
+		t.Fatalf("runtime stats missing: %+v", last)
+	}
+	// Elapsed must be monotone.
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Elapsed <= samples[i-1].Elapsed {
+			t.Fatal("elapsed not monotone")
+		}
+	}
+}
+
+func TestMonitorHostStatsOnLinux(t *testing.T) {
+	if _, ok := readCPU(); !ok {
+		t.Skip("/proc/stat unavailable")
+	}
+	m := New(20 * time.Millisecond)
+	m.Start()
+	time.Sleep(80 * time.Millisecond)
+	m.Stop()
+	if !m.Latest().HostStats {
+		t.Fatal("host stats expected on this platform")
+	}
+	if m.Latest().MemUsedPct <= 0 || m.Latest().MemUsedPct > 100 {
+		t.Fatalf("mem = %v", m.Latest().MemUsedPct)
+	}
+}
+
+func TestStopIdempotent(t *testing.T) {
+	m := New(10 * time.Millisecond)
+	m.Start()
+	m.Stop()
+	m.Stop()
+}
+
+func TestDefaultInterval(t *testing.T) {
+	m := New(0)
+	if m.interval != time.Second {
+		t.Fatalf("interval = %v", m.interval)
+	}
+}

@@ -1,0 +1,171 @@
+// Package catalog maintains schema metadata for the embedded engine: table
+// definitions, column types, and index definitions. Object names are
+// case-insensitive, as in SQL.
+package catalog
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"benchpress/internal/sqlval"
+)
+
+// Column describes one column of a table.
+type Column struct {
+	Name       string
+	TypeName   string
+	Kind       sqlval.Kind
+	Size       int // declared VARCHAR/CHAR length; 0 = unbounded
+	NotNull    bool
+	HasDefault bool
+	Default    sqlval.Value
+	AutoInc    bool
+}
+
+// Index describes an index over a table. Columns are ordinal positions into
+// the table's column list.
+type Index struct {
+	Name    string
+	Table   string
+	Columns []int
+	Unique  bool
+	Primary bool
+}
+
+// Table describes a table: columns, primary key, and attached indexes.
+type Table struct {
+	Name      string
+	Columns   []Column
+	PKCols    []int    // ordinal positions; empty = no declared primary key
+	Indexes   []*Index // Indexes[0] is the primary index when PKCols is set
+	colByName map[string]int
+}
+
+// ColumnIndex returns the ordinal of the named column (case-insensitive),
+// or -1 when absent.
+func (t *Table) ColumnIndex(name string) int {
+	if i, ok := t.colByName[strings.ToLower(name)]; ok {
+		return i
+	}
+	return -1
+}
+
+// Catalog is a threadsafe registry of tables.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{tables: map[string]*Table{}}
+}
+
+// Table returns the named table, or an error when it does not exist.
+func (c *Catalog) Table(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	return t, nil
+}
+
+// HasTable reports whether the named table exists.
+func (c *Catalog) HasTable(name string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.tables[strings.ToLower(name)]
+	return ok
+}
+
+// Tables returns all tables in no particular order.
+func (c *Catalog) Tables() []*Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t)
+	}
+	return out
+}
+
+// CreateTable registers a table. Columns and primary-key names are
+// validated. When the table declares a primary key, a primary Index is
+// synthesized as Indexes[0].
+func (c *Catalog) CreateTable(name string, cols []Column, pkNames []string) (*Table, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("catalog: table %q has no columns", name)
+	}
+	t := &Table{Name: name, Columns: cols, colByName: map[string]int{}}
+	for i, col := range cols {
+		key := strings.ToLower(col.Name)
+		if _, dup := t.colByName[key]; dup {
+			return nil, fmt.Errorf("catalog: duplicate column %q in table %q", col.Name, name)
+		}
+		t.colByName[key] = i
+	}
+	for _, pk := range pkNames {
+		i := t.ColumnIndex(pk)
+		if i < 0 {
+			return nil, fmt.Errorf("catalog: primary key column %q not in table %q", pk, name)
+		}
+		t.PKCols = append(t.PKCols, i)
+	}
+	if len(t.PKCols) > 0 {
+		t.Indexes = append(t.Indexes, &Index{
+			Name:    name + "_pkey",
+			Table:   name,
+			Columns: append([]int(nil), t.PKCols...),
+			Unique:  true,
+			Primary: true,
+		})
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, exists := c.tables[key]; exists {
+		return nil, fmt.Errorf("catalog: table %q already exists", name)
+	}
+	c.tables[key] = t
+	return t, nil
+}
+
+// DropTable removes a table from the catalog.
+func (c *Catalog) DropTable(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := c.tables[key]; !ok {
+		return fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	delete(c.tables, key)
+	return nil
+}
+
+// AddIndex attaches a secondary index definition to a table.
+func (c *Catalog) AddIndex(table, indexName string, colNames []string, unique bool) (*Index, error) {
+	t, err := c.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, idx := range t.Indexes {
+		if strings.EqualFold(idx.Name, indexName) {
+			return nil, fmt.Errorf("catalog: index %q already exists on %q", indexName, table)
+		}
+	}
+	idx := &Index{Name: indexName, Table: t.Name, Unique: unique}
+	for _, cn := range colNames {
+		i := t.ColumnIndex(cn)
+		if i < 0 {
+			return nil, fmt.Errorf("catalog: index column %q not in table %q", cn, table)
+		}
+		idx.Columns = append(idx.Columns, i)
+	}
+	t.Indexes = append(t.Indexes, idx)
+	return idx, nil
+}

@@ -1,0 +1,109 @@
+package catalog
+
+import (
+	"testing"
+
+	"benchpress/internal/sqlval"
+)
+
+func TestCreateAndLookup(t *testing.T) {
+	c := New()
+	tbl, err := c.CreateTable("Users", []Column{
+		{Name: "ID", Kind: sqlval.KindInt, NotNull: true},
+		{Name: "Name", Kind: sqlval.KindString},
+	}, []string{"id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Case-insensitive resolution.
+	got, err := c.Table("USERS")
+	if err != nil || got != tbl {
+		t.Fatalf("lookup: %v %v", got, err)
+	}
+	if !c.HasTable("users") {
+		t.Fatal("HasTable")
+	}
+	if tbl.ColumnIndex("name") != 1 || tbl.ColumnIndex("NAME") != 1 {
+		t.Fatal("column index case folding")
+	}
+	if tbl.ColumnIndex("missing") != -1 {
+		t.Fatal("missing column")
+	}
+	if len(tbl.PKCols) != 1 || tbl.PKCols[0] != 0 {
+		t.Fatalf("pk cols: %v", tbl.PKCols)
+	}
+	if len(tbl.Indexes) != 1 || !tbl.Indexes[0].Primary || !tbl.Indexes[0].Unique {
+		t.Fatalf("primary index: %+v", tbl.Indexes)
+	}
+}
+
+func TestCreateTableErrors(t *testing.T) {
+	c := New()
+	if _, err := c.CreateTable("t", nil, nil); err == nil {
+		t.Fatal("empty table accepted")
+	}
+	cols := []Column{{Name: "a", Kind: sqlval.KindInt}, {Name: "A", Kind: sqlval.KindInt}}
+	if _, err := c.CreateTable("t", cols, nil); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+	if _, err := c.CreateTable("t", cols[:1], []string{"zzz"}); err == nil {
+		t.Fatal("bad pk column accepted")
+	}
+	if _, err := c.CreateTable("t", cols[:1], nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateTable("T", cols[:1], nil); err == nil {
+		t.Fatal("duplicate table accepted")
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	c := New()
+	c.CreateTable("t", []Column{{Name: "a", Kind: sqlval.KindInt}}, nil)
+	if err := c.DropTable("T"); err != nil {
+		t.Fatal(err)
+	}
+	if c.HasTable("t") {
+		t.Fatal("still present")
+	}
+	if err := c.DropTable("t"); err == nil {
+		t.Fatal("double drop accepted")
+	}
+}
+
+func TestAddIndex(t *testing.T) {
+	c := New()
+	c.CreateTable("t", []Column{
+		{Name: "a", Kind: sqlval.KindInt},
+		{Name: "b", Kind: sqlval.KindString},
+	}, []string{"a"})
+	idx, err := c.AddIndex("t", "t_b", []string{"b"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Columns[0] != 1 || idx.Unique || idx.Primary {
+		t.Fatalf("%+v", idx)
+	}
+	if _, err := c.AddIndex("t", "t_b", []string{"b"}, false); err == nil {
+		t.Fatal("duplicate index accepted")
+	}
+	if _, err := c.AddIndex("t", "t_c", []string{"nope"}, false); err == nil {
+		t.Fatal("bad column accepted")
+	}
+	if _, err := c.AddIndex("missing", "x", []string{"a"}, false); err == nil {
+		t.Fatal("missing table accepted")
+	}
+	tbl, _ := c.Table("t")
+	if len(tbl.Indexes) != 2 {
+		t.Fatalf("indexes: %d", len(tbl.Indexes))
+	}
+}
+
+func TestTablesEnumeration(t *testing.T) {
+	c := New()
+	c.CreateTable("a", []Column{{Name: "x", Kind: sqlval.KindInt}}, nil)
+	c.CreateTable("b", []Column{{Name: "x", Kind: sqlval.KindInt}}, nil)
+	if len(c.Tables()) != 2 {
+		t.Fatalf("tables: %d", len(c.Tables()))
+	}
+}

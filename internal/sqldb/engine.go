@@ -1,0 +1,470 @@
+// Package sqldb is the embedded relational engine of the BenchPress
+// reproduction: an in-memory, multi-version row store with a SQL front end
+// and three pluggable concurrency-control modes. It stands in for the
+// JDBC-connected DBMSs (MySQL, PostgreSQL, Oracle, Derby, ...) that the
+// OLTP-Bench paper drives, so that the whole testbed is self-contained.
+//
+// The unit of work is a Session, which is what a benchmark worker's
+// connection maps to. Sessions are not safe for concurrent use; an Engine is.
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"benchpress/internal/sqldb/catalog"
+	"benchpress/internal/sqldb/exec"
+	"benchpress/internal/sqldb/parser"
+	"benchpress/internal/sqldb/storage"
+	"benchpress/internal/sqldb/txn"
+	"benchpress/internal/sqlval"
+	"benchpress/internal/wal"
+)
+
+// Config describes one engine personality.
+type Config struct {
+	// Name identifies the engine instance (e.g. "gomvcc").
+	Name string
+	// Mode selects the concurrency-control engine.
+	Mode txn.Mode
+	// WALPolicy selects the durability emulation (default SyncNone).
+	WALPolicy wal.SyncPolicy
+	// GroupCommitInterval is the flush cadence when WALPolicy is SyncGroup
+	// or SyncAsync (default 200us).
+	GroupCommitInterval time.Duration
+	// CommitDelay adds fixed latency to every writing commit, emulating
+	// per-commit work (e.g. synchronous replication). Zero disables it.
+	CommitDelay time.Duration
+}
+
+// Engine is one embedded database instance.
+type Engine struct {
+	cfg Config
+	cat *catalog.Catalog
+	mgr *txn.Manager
+	log *wal.Log
+
+	mu     sync.RWMutex
+	tables map[string]*storage.Table
+
+	planMu sync.RWMutex
+	plans  map[string]exec.Plan
+	asts   map[string]parser.Statement
+}
+
+// Open creates an engine with the given configuration.
+func Open(cfg Config) *Engine {
+	e := &Engine{
+		cfg:    cfg,
+		cat:    catalog.New(),
+		mgr:    txn.NewManager(cfg.Mode),
+		tables: map[string]*storage.Table{},
+		plans:  map[string]exec.Plan{},
+		asts:   map[string]parser.Statement{},
+	}
+	if cfg.WALPolicy != wal.SyncNone || cfg.CommitDelay > 0 {
+		e.log = wal.New(wal.Options{Policy: cfg.WALPolicy, GroupInterval: cfg.GroupCommitInterval})
+		delay := cfg.CommitDelay
+		e.mgr.OnCommit = func(writes int) error {
+			if err := e.log.Append(writes); err != nil {
+				return err
+			}
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			return nil
+		}
+	}
+	return e
+}
+
+// Name returns the engine instance name.
+func (e *Engine) Name() string { return e.cfg.Name }
+
+// Mode returns the engine's concurrency-control mode.
+func (e *Engine) Mode() txn.Mode { return e.cfg.Mode }
+
+// Close releases background resources (the WAL flusher).
+func (e *Engine) Close() {
+	e.log.Close()
+}
+
+// WAL exposes the engine's log for statistics; may be nil.
+func (e *Engine) WAL() *wal.Log { return e.log }
+
+// StorageTable implements exec.Resolver.
+func (e *Engine) StorageTable(name string) (*storage.Table, error) {
+	e.mu.RLock()
+	t, ok := e.tables[strings.ToLower(name)]
+	e.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("sqldb: table %q does not exist", name)
+	}
+	return t, nil
+}
+
+// Catalog exposes schema metadata.
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// Tables lists the physical tables.
+func (e *Engine) Tables() []*storage.Table {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]*storage.Table, 0, len(e.tables))
+	for _, t := range e.tables {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Vacuum reclaims dead rows across all tables, returning slots reclaimed.
+func (e *Engine) Vacuum() int {
+	horizon := e.mgr.Horizon()
+	total := 0
+	for _, t := range e.Tables() {
+		total += t.Vacuum(horizon)
+	}
+	return total
+}
+
+// TruncateAll empties every table (the game's "reset the database" action).
+// Callers must quiesce the workload first.
+func (e *Engine) TruncateAll() {
+	for _, t := range e.Tables() {
+		t.Truncate()
+	}
+}
+
+// RowCount sums live row slots over all tables.
+func (e *Engine) RowCount() int {
+	n := 0
+	for _, t := range e.Tables() {
+		n += t.RowCount()
+	}
+	return n
+}
+
+// parseCached returns the (possibly cached) AST for sql.
+func (e *Engine) parseCached(sql string) (parser.Statement, error) {
+	e.planMu.RLock()
+	ast, ok := e.asts[sql]
+	e.planMu.RUnlock()
+	if ok {
+		return ast, nil
+	}
+	ast, err := parser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	e.planMu.Lock()
+	e.asts[sql] = ast
+	e.planMu.Unlock()
+	return ast, nil
+}
+
+// planCached returns the (possibly cached) compiled plan for a DML statement.
+func (e *Engine) planCached(sql string, ast parser.Statement) (exec.Plan, error) {
+	e.planMu.RLock()
+	p, ok := e.plans[sql]
+	e.planMu.RUnlock()
+	if ok {
+		return p, nil
+	}
+	p, err := exec.Compile(ast, e)
+	if err != nil {
+		return nil, err
+	}
+	e.planMu.Lock()
+	e.plans[sql] = p
+	e.planMu.Unlock()
+	return p, nil
+}
+
+// invalidatePlans drops cached plans and ASTs after DDL.
+func (e *Engine) invalidatePlans() {
+	e.planMu.Lock()
+	e.plans = map[string]exec.Plan{}
+	e.asts = map[string]parser.Statement{}
+	e.planMu.Unlock()
+}
+
+// ErrNoTxn is returned by Commit/Rollback without an open transaction.
+var ErrNoTxn = errors.New("sqldb: no transaction in progress")
+
+// Session is one connection to the engine. It is not safe for concurrent
+// use, mirroring a JDBC connection.
+type Session struct {
+	eng *Engine
+	tx  *txn.Txn
+}
+
+// Session opens a new connection.
+func (e *Engine) Session() *Session { return &Session{eng: e} }
+
+// InTxn reports whether an explicit transaction is open.
+func (s *Session) InTxn() bool { return s.tx != nil }
+
+// Begin starts an explicit read-write transaction.
+func (s *Session) Begin() error { return s.begin(false) }
+
+// BeginReadOnly starts an explicit transaction declared read-only (the
+// Serial engine admits concurrent declared-read-only transactions).
+func (s *Session) BeginReadOnly() error { return s.begin(true) }
+
+func (s *Session) begin(readonly bool) error {
+	if s.tx != nil {
+		return errors.New("sqldb: transaction already in progress")
+	}
+	s.tx = s.eng.mgr.Begin(readonly)
+	return nil
+}
+
+// Commit commits the open transaction.
+func (s *Session) Commit() error {
+	if s.tx == nil {
+		return ErrNoTxn
+	}
+	err := s.tx.Commit()
+	s.tx = nil
+	return err
+}
+
+// Rollback aborts the open transaction.
+func (s *Session) Rollback() error {
+	if s.tx == nil {
+		return ErrNoTxn
+	}
+	s.tx.Abort()
+	s.tx = nil
+	return nil
+}
+
+// Exec parses (with caching) and executes one SQL statement. Without an open
+// transaction, the statement runs in its own autocommitted transaction.
+// Parameters accept the Go types supported by sqlval.FromGo.
+func (s *Session) Exec(sql string, args ...any) (*exec.Result, error) {
+	ast, err := s.eng.parseCached(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch ast.(type) {
+	case *parser.Begin:
+		return &exec.Result{}, s.Begin()
+	case *parser.Commit:
+		return &exec.Result{}, s.Commit()
+	case *parser.Rollback:
+		return &exec.Result{}, s.Rollback()
+	case *parser.CreateTable, *parser.CreateIndex, *parser.DropTable, *parser.TruncateTable:
+		if s.tx != nil {
+			return nil, errors.New("sqldb: DDL inside a transaction is not supported")
+		}
+		return s.eng.execDDL(ast)
+	}
+	params, err := convertArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := s.eng.planCached(sql, ast)
+	if err != nil {
+		return nil, err
+	}
+	if s.tx != nil {
+		return plan.Execute(s.tx, params)
+	}
+	// Autocommit: read-only for bare SELECTs without FOR UPDATE.
+	sel, isSelect := ast.(*parser.Select)
+	readonly := isSelect && !sel.ForUpdate
+	tx := s.eng.mgr.Begin(readonly)
+	res, err := plan.Execute(tx, params)
+	if err != nil {
+		tx.Abort()
+		return nil, err
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Query is Exec for statements expected to return rows.
+func (s *Session) Query(sql string, args ...any) (*exec.Result, error) {
+	return s.Exec(sql, args...)
+}
+
+// QueryRow executes and returns the first row, or nil when there is none.
+func (s *Session) QueryRow(sql string, args ...any) ([]sqlval.Value, error) {
+	res, err := s.Exec(sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Rows) == 0 {
+		return nil, nil
+	}
+	return res.Rows[0], nil
+}
+
+// Stmt is a prepared statement bound to a session.
+type Stmt struct {
+	s    *Session
+	sql  string
+	plan exec.Plan
+}
+
+// Prepare compiles a DML statement for repeated execution.
+func (s *Session) Prepare(sql string) (*Stmt, error) {
+	ast, err := s.eng.parseCached(sql)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := s.eng.planCached(sql, ast)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{s: s, sql: sql, plan: plan}, nil
+}
+
+// Exec runs the prepared statement in the session's current transaction (or
+// autocommitted).
+func (st *Stmt) Exec(args ...any) (*exec.Result, error) {
+	params, err := convertArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	if st.s.tx != nil {
+		return st.plan.Execute(st.s.tx, params)
+	}
+	tx := st.s.eng.mgr.Begin(false)
+	res, err := st.plan.Execute(tx, params)
+	if err != nil {
+		tx.Abort()
+		return nil, err
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func convertArgs(args []any) ([]sqlval.Value, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	params := make([]sqlval.Value, len(args))
+	for i, a := range args {
+		v, err := sqlval.FromGo(a)
+		if err != nil {
+			return nil, fmt.Errorf("sqldb: argument %d: %w", i+1, err)
+		}
+		params[i] = v
+	}
+	return params, nil
+}
+
+// execDDL applies a DDL statement.
+func (e *Engine) execDDL(ast parser.Statement) (*exec.Result, error) {
+	defer e.invalidatePlans()
+	switch d := ast.(type) {
+	case *parser.CreateTable:
+		if e.cat.HasTable(d.Name) {
+			if d.IfNotExists {
+				return &exec.Result{}, nil
+			}
+			return nil, fmt.Errorf("sqldb: table %q already exists", d.Name)
+		}
+		cols := make([]catalog.Column, len(d.Columns))
+		for i, c := range d.Columns {
+			col := catalog.Column{
+				Name:     c.Name,
+				TypeName: c.TypeName,
+				Kind:     c.Kind,
+				Size:     c.Size,
+				NotNull:  c.NotNull,
+				AutoInc:  c.AutoInc,
+			}
+			if c.Default != nil {
+				v, err := evalConst(c.Default)
+				if err != nil {
+					return nil, fmt.Errorf("sqldb: default for column %q: %w", c.Name, err)
+				}
+				cv, err := sqlval.CoerceKind(v, c.Kind)
+				if err != nil {
+					return nil, fmt.Errorf("sqldb: default for column %q: %w", c.Name, err)
+				}
+				col.HasDefault = true
+				col.Default = cv
+			}
+			cols[i] = col
+		}
+		meta, err := e.cat.CreateTable(d.Name, cols, d.PrimaryKey)
+		if err != nil {
+			return nil, err
+		}
+		for ui, unique := range d.Uniques {
+			if _, err := e.cat.AddIndex(d.Name, fmt.Sprintf("%s_unique_%d", d.Name, ui), unique, true); err != nil {
+				return nil, err
+			}
+		}
+		tbl := storage.NewTable(meta)
+		e.mu.Lock()
+		e.tables[strings.ToLower(d.Name)] = tbl
+		e.mu.Unlock()
+		return &exec.Result{}, nil
+	case *parser.CreateIndex:
+		tbl, err := e.StorageTable(d.Table)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := e.cat.AddIndex(d.Table, d.Name, d.Columns, d.Unique)
+		if err != nil {
+			if d.IfNotExists && strings.Contains(err.Error(), "already exists") {
+				return &exec.Result{}, nil
+			}
+			return nil, err
+		}
+		tbl.AddIndex(idx)
+		return &exec.Result{}, nil
+	case *parser.DropTable:
+		if !e.cat.HasTable(d.Name) {
+			if d.IfExists {
+				return &exec.Result{}, nil
+			}
+			return nil, fmt.Errorf("sqldb: table %q does not exist", d.Name)
+		}
+		if err := e.cat.DropTable(d.Name); err != nil {
+			return nil, err
+		}
+		e.mu.Lock()
+		delete(e.tables, strings.ToLower(d.Name))
+		e.mu.Unlock()
+		return &exec.Result{}, nil
+	case *parser.TruncateTable:
+		tbl, err := e.StorageTable(d.Name)
+		if err != nil {
+			return nil, err
+		}
+		tbl.Truncate()
+		return &exec.Result{}, nil
+	default:
+		return nil, fmt.Errorf("sqldb: unsupported DDL %T", ast)
+	}
+}
+
+// evalConst evaluates a constant expression (DEFAULT clauses).
+func evalConst(e parser.Expr) (sqlval.Value, error) {
+	switch x := e.(type) {
+	case *parser.Literal:
+		return x.Val, nil
+	case *parser.Unary:
+		if x.Op == "-" {
+			v, err := evalConst(x.X)
+			if err != nil {
+				return sqlval.Value{}, err
+			}
+			return sqlval.Sub(sqlval.NewInt(0), v)
+		}
+	}
+	return sqlval.Value{}, fmt.Errorf("non-constant expression")
+}

@@ -1,0 +1,212 @@
+package exec
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"benchpress/internal/sqldb/parser"
+	"benchpress/internal/sqlval"
+)
+
+func TestLikeMatchBasics(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "h%", true},
+		{"hello", "%o", true},
+		{"hello", "%ell%", true},
+		{"hello", "h_llo", true},
+		{"hello", "h__lo", true},
+		{"hello", "x%", false},
+		{"hello", "hello_", false},
+		{"hello", "%x%", false},
+		{"", "%", true},
+		{"", "", true},
+		{"", "_", false},
+		{"abc", "%%", true},
+		{"ab", "a%b", true},
+		{"aXXb", "a%b", true},
+		{"promo item", "pr%", true},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.p); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v, want %v", c.s, c.p, got, c.want)
+		}
+	}
+}
+
+// Property: likeMatch agrees with the equivalent anchored regexp for
+// patterns over a small alphabet.
+func TestLikeMatchAgainstRegexp(t *testing.T) {
+	translate := func(p string) string {
+		var b strings.Builder
+		b.WriteString("^")
+		for _, c := range p {
+			switch c {
+			case '%':
+				b.WriteString(".*")
+			case '_':
+				b.WriteString(".")
+			default:
+				b.WriteString(regexp.QuoteMeta(string(c)))
+			}
+		}
+		b.WriteString("$")
+		return b.String()
+	}
+	alphabet := []byte("ab%_")
+	prop := func(sRaw, pRaw []byte) bool {
+		var s, p strings.Builder
+		for _, c := range sRaw {
+			s.WriteByte("ab"[int(c)%2])
+		}
+		for _, c := range pRaw {
+			p.WriteByte(alphabet[int(c)%len(alphabet)])
+		}
+		re := regexp.MustCompile(translate(p.String()))
+		return likeMatch(s.String(), p.String()) == re.MatchString(s.String())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// evalStandalone compiles and evaluates a parameterless scalar expression by
+// wrapping it in a one-row query context.
+func evalStandalone(t *testing.T, exprSQL string, params ...any) (sqlval.Value, error) {
+	t.Helper()
+	stmt, err := parser.Parse("SELECT " + exprSQL + " FROM t")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sel := stmt.(*parser.Select)
+	fn, err := compileExpr(sel.Exprs[0].Expr, &tupleSchema{})
+	if err != nil {
+		return sqlval.Value{}, err
+	}
+	vals := make([]sqlval.Value, len(params))
+	for i, p := range params {
+		vals[i] = sqlval.MustFromGo(p)
+	}
+	return fn(&Env{Params: vals})
+}
+
+func TestExpressionEdgeCases(t *testing.T) {
+	mustVal := func(sql string, params ...any) sqlval.Value {
+		t.Helper()
+		v, err := evalStandalone(t, sql, params...)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		return v
+	}
+	// Three-valued logic.
+	if !mustVal("NULL AND FALSE").Bool() == false && !mustVal("NULL AND FALSE").IsNull() {
+		// NULL AND FALSE is FALSE
+		t.Error("NULL AND FALSE")
+	}
+	if v := mustVal("NULL AND TRUE"); !v.IsNull() {
+		t.Errorf("NULL AND TRUE = %v, want NULL", v)
+	}
+	if v := mustVal("NULL OR TRUE"); !v.Bool() {
+		t.Errorf("NULL OR TRUE = %v, want TRUE", v)
+	}
+	if v := mustVal("NULL OR FALSE"); !v.IsNull() {
+		t.Errorf("NULL OR FALSE = %v, want NULL", v)
+	}
+	if v := mustVal("NOT NULL"); !v.IsNull() {
+		t.Errorf("NOT NULL = %v", v)
+	}
+	// NULL comparisons.
+	if v := mustVal("NULL = NULL"); !v.IsNull() {
+		t.Errorf("NULL = NULL evaluates %v", v)
+	}
+	if v := mustVal("1 IN (2, NULL)"); !v.IsNull() {
+		t.Errorf("1 IN (2, NULL) = %v, want NULL", v)
+	}
+	if v := mustVal("1 IN (1, NULL)"); !v.Bool() {
+		t.Errorf("1 IN (1, NULL) = %v, want TRUE", v)
+	}
+	if v := mustVal("1 NOT IN (2, 3)"); !v.Bool() {
+		t.Errorf("NOT IN = %v", v)
+	}
+	// Coalesce chain.
+	if v := mustVal("COALESCE(NULL, NULL, 7)"); v.Int() != 7 {
+		t.Errorf("COALESCE = %v", v)
+	}
+	// Modulo and division errors.
+	if _, err := evalStandalone(t, "5 % 0"); err == nil {
+		t.Error("modulo by zero accepted")
+	}
+	if _, err := evalStandalone(t, "5 / 0"); err == nil {
+		t.Error("division by zero accepted")
+	}
+	// String concatenation operator.
+	if v := mustVal("'a' || 'b' || 'c'"); v.Str() != "abc" {
+		t.Errorf("|| = %v", v)
+	}
+	// Parameters.
+	if v := mustVal("? + ?", 2, 3); v.Int() != 5 {
+		t.Errorf("param add = %v", v)
+	}
+	if _, err := evalStandalone(t, "? + 1"); err == nil {
+		t.Error("missing parameter accepted")
+	}
+	// CASE without ELSE yields NULL.
+	if v := mustVal("CASE WHEN FALSE THEN 1 END"); !v.IsNull() {
+		t.Errorf("CASE no-else = %v", v)
+	}
+	// BETWEEN with NULL bound.
+	if v := mustVal("5 BETWEEN NULL AND 10"); !v.IsNull() {
+		t.Errorf("BETWEEN NULL = %v", v)
+	}
+	// Scalar functions.
+	if v := mustVal("SUBSTR('hello', 2, 3)"); v.Str() != "ell" {
+		t.Errorf("SUBSTR = %v", v)
+	}
+	if v := mustVal("SUBSTR('hi', 5)"); v.Str() != "" {
+		t.Errorf("SUBSTR past end = %q", v.Str())
+	}
+	if v := mustVal("FLOOR(-1.5)"); v.Int() != -2 {
+		t.Errorf("FLOOR(-1.5) = %v", v)
+	}
+	if v := mustVal("ABS(-2.5)"); v.Float() != 2.5 {
+		t.Errorf("ABS = %v", v)
+	}
+	if v := mustVal("MOD(7, 3)"); v.Int() != 1 {
+		t.Errorf("MOD = %v", v)
+	}
+}
+
+func TestAggregateNotAllowedInWhere(t *testing.T) {
+	stmt, err := parser.Parse("SELECT a FROM t WHERE SUM(a) > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := stmt.(*parser.Select)
+	if _, err := compileExpr(sel.Where, &tupleSchema{}); err == nil {
+		t.Fatal("aggregate in WHERE accepted")
+	}
+}
+
+func TestExprTextStable(t *testing.T) {
+	parse := func(sql string) parser.Expr {
+		stmt, err := parser.Parse("SELECT " + sql + " FROM t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stmt.(*parser.Select).Exprs[0].Expr
+	}
+	a := exprText(parse("SUM(x + 1)"))
+	b := exprText(parse("SUM(x + 1)"))
+	if a != b {
+		t.Fatalf("exprText unstable: %q vs %q", a, b)
+	}
+	if exprText(parse("SUM(x)")) == exprText(parse("SUM(y)")) {
+		t.Fatal("distinct expressions render identically")
+	}
+}

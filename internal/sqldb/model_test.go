@@ -1,0 +1,214 @@
+package sqldb
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"benchpress/internal/sqldb/txn"
+)
+
+// TestModelBasedRandomOps drives the engine with a random sequence of
+// inserts, point updates, deletes, point reads, and range counts, mirroring
+// every operation into a plain Go map, and checks the two never diverge.
+// Runs against all three engines (single session, so concurrency control is
+// not the variable - plan/executor/storage correctness is).
+func TestModelBasedRandomOps(t *testing.T) {
+	for _, mode := range []txn.Mode{txn.Serial, txn.Locking, txn.MVCC} {
+		t.Run(mode.String(), func(t *testing.T) {
+			e := newEngine(t, mode)
+			s := e.Session()
+			mustExec(t, s, `CREATE TABLE m (
+				k INT NOT NULL, v INT, tag INT, PRIMARY KEY (k))`)
+			mustExec(t, s, "CREATE INDEX idx_m_tag ON m (tag)")
+
+			type rowVal struct{ v, tag int64 }
+			model := map[int64]rowVal{}
+			rng := rand.New(rand.NewSource(20150531))
+			const keySpace = 200
+
+			for op := 0; op < 4000; op++ {
+				k := rng.Int63n(keySpace)
+				switch rng.Intn(6) {
+				case 0: // insert
+					v, tag := rng.Int63n(1000), rng.Int63n(10)
+					_, err := s.Exec("INSERT INTO m VALUES (?, ?, ?)", k, v, tag)
+					if _, exists := model[k]; exists {
+						if err == nil {
+							t.Fatalf("op %d: duplicate insert of %d accepted", op, k)
+						}
+					} else {
+						if err != nil {
+							t.Fatalf("op %d: insert %d: %v", op, k, err)
+						}
+						model[k] = rowVal{v, tag}
+					}
+				case 1: // update
+					v, tag := rng.Int63n(1000), rng.Int63n(10)
+					res, err := s.Exec("UPDATE m SET v = ?, tag = ? WHERE k = ?", v, tag, k)
+					if err != nil {
+						t.Fatalf("op %d: update: %v", op, err)
+					}
+					_, exists := model[k]
+					if exists != (res.RowsAffected == 1) {
+						t.Fatalf("op %d: update affected=%d, model exists=%v", op, res.RowsAffected, exists)
+					}
+					if exists {
+						model[k] = rowVal{v, tag}
+					}
+				case 2: // delete
+					res, err := s.Exec("DELETE FROM m WHERE k = ?", k)
+					if err != nil {
+						t.Fatalf("op %d: delete: %v", op, err)
+					}
+					_, exists := model[k]
+					if exists != (res.RowsAffected == 1) {
+						t.Fatalf("op %d: delete affected=%d, model exists=%v", op, res.RowsAffected, exists)
+					}
+					delete(model, k)
+				case 3: // point read
+					row, err := s.QueryRow("SELECT v, tag FROM m WHERE k = ?", k)
+					if err != nil {
+						t.Fatalf("op %d: read: %v", op, err)
+					}
+					want, exists := model[k]
+					if exists != (row != nil) {
+						t.Fatalf("op %d: read found=%v, model exists=%v", op, row != nil, exists)
+					}
+					if exists && (row[0].Int() != want.v || row[1].Int() != want.tag) {
+						t.Fatalf("op %d: read (%d,%d), model (%d,%d)",
+							op, row[0].Int(), row[1].Int(), want.v, want.tag)
+					}
+				case 4: // count by indexed tag
+					tag := rng.Int63n(10)
+					row, err := s.QueryRow("SELECT COUNT(*) FROM m WHERE tag = ?", tag)
+					if err != nil {
+						t.Fatalf("op %d: count: %v", op, err)
+					}
+					want := int64(0)
+					for _, rv := range model {
+						if rv.tag == tag {
+							want++
+						}
+					}
+					if row[0].Int() != want {
+						t.Fatalf("op %d: count(tag=%d) = %d, model %d", op, tag, row[0].Int(), want)
+					}
+				case 5: // range scan over the PK
+					lo := rng.Int63n(keySpace)
+					hi := lo + rng.Int63n(keySpace-lo+1)
+					res, err := s.Query("SELECT k FROM m WHERE k BETWEEN ? AND ? ORDER BY k", lo, hi)
+					if err != nil {
+						t.Fatalf("op %d: range: %v", op, err)
+					}
+					var want []int64
+					for mk := range model {
+						if mk >= lo && mk <= hi {
+							want = append(want, mk)
+						}
+					}
+					sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+					if len(res.Rows) != len(want) {
+						t.Fatalf("op %d: range [%d,%d] returned %d rows, model %d",
+							op, lo, hi, len(res.Rows), len(want))
+					}
+					for i := range want {
+						if res.Rows[i][0].Int() != want[i] {
+							t.Fatalf("op %d: range row %d = %d, model %d",
+								op, i, res.Rows[i][0].Int(), want[i])
+						}
+					}
+				}
+			}
+			// Final full-table comparison.
+			res, err := s.Query("SELECT k, v, tag FROM m ORDER BY k")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Rows) != len(model) {
+				t.Fatalf("final count %d, model %d", len(res.Rows), len(model))
+			}
+			for _, r := range res.Rows {
+				want := model[r[0].Int()]
+				if r[1].Int() != want.v || r[2].Int() != want.tag {
+					t.Fatalf("final row %v, model %+v", r, want)
+				}
+			}
+		})
+	}
+}
+
+// TestModelWithTransactions layers explicit transactions (some committed,
+// some rolled back) over the model comparison.
+func TestModelWithTransactions(t *testing.T) {
+	e := newEngine(t, txn.MVCC)
+	s := e.Session()
+	mustExec(t, s, "CREATE TABLE mt (k INT NOT NULL, v INT, PRIMARY KEY (k))")
+	model := map[int64]int64{}
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 200; round++ {
+		if err := s.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		staged := map[int64]*int64{} // nil value = delete
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			k := rng.Int63n(50)
+			if rng.Intn(4) == 0 {
+				s.Exec("DELETE FROM mt WHERE k = ?", k)
+				staged[k] = nil
+				continue
+			}
+			v := rng.Int63n(1000)
+			if _, inModel := effective(model, staged, k); inModel {
+				if _, err := s.Exec("UPDATE mt SET v = ? WHERE k = ?", v, k); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				if _, err := s.Exec("INSERT INTO mt VALUES (?, ?)", k, v); err != nil {
+					t.Fatalf("round %d: insert %d: %v", round, k, err)
+				}
+			}
+			vv := v
+			staged[k] = &vv
+		}
+		if rng.Intn(2) == 0 {
+			if err := s.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			for k, v := range staged {
+				if v == nil {
+					delete(model, k)
+				} else {
+					model[k] = *v
+				}
+			}
+		} else if err := s.Rollback(); err != nil {
+			t.Fatal(err)
+		}
+		// Cross-check a random key after each round.
+		k := rng.Int63n(50)
+		row, err := s.QueryRow("SELECT v FROM mt WHERE k = ?", k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, exists := model[k]
+		if exists != (row != nil) {
+			t.Fatalf("round %d: key %d found=%v model=%v", round, k, row != nil, exists)
+		}
+		if exists && row[0].Int() != want {
+			t.Fatalf("round %d: key %d = %d, model %d", round, k, row[0].Int(), want)
+		}
+	}
+}
+
+// effective resolves a key through the staged-but-uncommitted overlay.
+func effective(model map[int64]int64, staged map[int64]*int64, k int64) (int64, bool) {
+	if v, ok := staged[k]; ok {
+		if v == nil {
+			return 0, false
+		}
+		return *v, true
+	}
+	v, ok := model[k]
+	return v, ok
+}

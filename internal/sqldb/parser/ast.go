@@ -1,0 +1,235 @@
+package parser
+
+import (
+	"benchpress/internal/sqlval"
+)
+
+// Statement is implemented by every parsed SQL statement.
+type Statement interface{ stmt() }
+
+// Expr is implemented by every expression node.
+type Expr interface{ expr() }
+
+// ---------------------------------------------------------------- statements
+
+// CreateTable is a CREATE TABLE statement.
+type CreateTable struct {
+	Name        string
+	IfNotExists bool
+	Columns     []ColumnDef
+	PrimaryKey  []string // column names; may come from inline or table constraint
+	Uniques     [][]string
+}
+
+// ColumnDef describes one column of a CREATE TABLE.
+type ColumnDef struct {
+	Name     string
+	TypeName string // raw SQL type name as written (upper-cased)
+	Kind     sqlval.Kind
+	Size     int // VARCHAR(n)/CHAR(n) length; 0 = unbounded
+	NotNull  bool
+	Default  Expr // nil when absent
+	AutoInc  bool
+}
+
+// CreateIndex is a CREATE [UNIQUE] INDEX statement.
+type CreateIndex struct {
+	Name        string
+	Table       string
+	Columns     []string
+	Unique      bool
+	IfNotExists bool
+}
+
+// DropTable is a DROP TABLE statement.
+type DropTable struct {
+	Name     string
+	IfExists bool
+}
+
+// TruncateTable removes all rows of a table.
+type TruncateTable struct {
+	Name string
+}
+
+// Insert is an INSERT statement with one or more VALUES rows.
+type Insert struct {
+	Table   string
+	Columns []string // empty = all columns in schema order
+	Rows    [][]Expr
+}
+
+// Select is a SELECT statement (single query block; no set operations).
+type Select struct {
+	Distinct  bool
+	Exprs     []SelectExpr
+	From      []TableRef
+	Joins     []Join
+	Where     Expr
+	GroupBy   []Expr
+	Having    Expr
+	OrderBy   []OrderItem
+	Limit     Expr // nil = no limit
+	Offset    Expr
+	ForUpdate bool
+}
+
+// SelectExpr is one projection of a SELECT list.
+type SelectExpr struct {
+	Expr  Expr
+	Alias string
+	Star  bool   // SELECT * or t.*
+	Table string // qualifier of a t.* star
+}
+
+// TableRef names a table in a FROM clause.
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// Join is an explicit JOIN clause attached after the first FROM table.
+type Join struct {
+	Left  bool // LEFT OUTER JOIN; false = INNER
+	Table TableRef
+	On    Expr
+}
+
+// OrderItem is one ORDER BY term.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Update is an UPDATE statement.
+type Update struct {
+	Table string
+	Alias string
+	Sets  []Assignment
+	Where Expr
+}
+
+// Assignment is one SET column = expr of an UPDATE.
+type Assignment struct {
+	Column string
+	Expr   Expr
+}
+
+// Delete is a DELETE statement.
+type Delete struct {
+	Table string
+	Alias string
+	Where Expr
+}
+
+// Begin starts a transaction.
+type Begin struct{}
+
+// Commit commits the current transaction.
+type Commit struct{}
+
+// Rollback aborts the current transaction.
+type Rollback struct{}
+
+func (*CreateTable) stmt()   {}
+func (*CreateIndex) stmt()   {}
+func (*DropTable) stmt()     {}
+func (*TruncateTable) stmt() {}
+func (*Insert) stmt()        {}
+func (*Select) stmt()        {}
+func (*Update) stmt()        {}
+func (*Delete) stmt()        {}
+func (*Begin) stmt()         {}
+func (*Commit) stmt()        {}
+func (*Rollback) stmt()      {}
+
+// --------------------------------------------------------------- expressions
+
+// ColumnRef references a (possibly qualified) column.
+type ColumnRef struct {
+	Table string // optional qualifier
+	Name  string
+}
+
+// Literal is a constant value.
+type Literal struct {
+	Val sqlval.Value
+}
+
+// Param is a positional ? placeholder. Index is assigned left to right
+// starting at 0.
+type Param struct {
+	Index int
+}
+
+// Binary is a binary operation. Op is one of the lexer's operator spellings
+// (comparison operators normalized: != becomes <>) or the keywords AND / OR.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Unary is NOT x or -x.
+type Unary struct {
+	Op string // "NOT" or "-"
+	X  Expr
+}
+
+// FuncCall is a function or aggregate invocation.
+type FuncCall struct {
+	Name     string // upper-cased
+	Args     []Expr
+	Star     bool // COUNT(*)
+	Distinct bool // COUNT(DISTINCT x)
+}
+
+// InList is x [NOT] IN (a, b, ...).
+type InList struct {
+	X    Expr
+	List []Expr
+	Not  bool
+}
+
+// Between is x [NOT] BETWEEN lo AND hi.
+type Between struct {
+	X      Expr
+	Lo, Hi Expr
+	Not    bool
+}
+
+// IsNull is x IS [NOT] NULL.
+type IsNull struct {
+	X   Expr
+	Not bool
+}
+
+// Like is x [NOT] LIKE pattern.
+type Like struct {
+	X       Expr
+	Pattern Expr
+	Not     bool
+}
+
+// Case is CASE [WHEN cond THEN val]... [ELSE val] END (searched form).
+type Case struct {
+	Whens []When
+	Else  Expr
+}
+
+// When is one WHEN/THEN arm of a CASE.
+type When struct {
+	Cond Expr
+	Then Expr
+}
+
+func (*ColumnRef) expr() {}
+func (*Literal) expr()   {}
+func (*Param) expr()     {}
+func (*Binary) expr()    {}
+func (*Unary) expr()     {}
+func (*FuncCall) expr()  {}
+func (*InList) expr()    {}
+func (*Between) expr()   {}
+func (*IsNull) expr()    {}
+func (*Like) expr()      {}
+func (*Case) expr()      {}

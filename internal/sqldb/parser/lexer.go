@@ -1,0 +1,216 @@
+// Package parser implements the SQL dialect accepted by the embedded engine:
+// the subset of SQL-92 (plus a few common extensions) that the OLTP-Bench
+// workloads use — CREATE TABLE/INDEX, INSERT, SELECT with joins, grouping and
+// aggregation, UPDATE, DELETE, and transaction control statements.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokParam // ?
+	tokOp    // operators and punctuation
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords are upper-cased; identifiers keep original case
+	pos  int
+}
+
+// keywords is the set of reserved words recognized by the lexer.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "UPDATE": true, "SET": true, "DELETE": true, "CREATE": true,
+	"TABLE": true, "INDEX": true, "UNIQUE": true, "ON": true, "DROP": true,
+	"PRIMARY": true, "KEY": true, "NOT": true, "NULL": true, "DEFAULT": true,
+	"AND": true, "OR": true, "IN": true, "BETWEEN": true, "LIKE": true,
+	"IS": true, "ORDER": true, "BY": true, "GROUP": true, "HAVING": true,
+	"LIMIT": true, "OFFSET": true, "ASC": true, "DESC": true, "AS": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "OUTER": true, "CROSS": true,
+	"DISTINCT": true, "BEGIN": true, "COMMIT": true, "ROLLBACK": true,
+	"TRANSACTION": true, "WORK": true, "FOR": true, "CASE": true, "WHEN": true,
+	"THEN": true, "ELSE": true, "END": true, "EXISTS": true, "IF": true,
+	"TRUE": true, "FALSE": true, "FOREIGN": true, "REFERENCES": true,
+	"CONSTRAINT": true, "CHECK": true, "TRUNCATE": true, "VACUUM": true,
+	"ALL": true, "UNION": true, "FETCH": true, "FIRST": true, "NEXT": true,
+	"ROWS": true, "ROW": true, "ONLY": true, "TOP": true, "CASCADE": true,
+	"AUTOINCREMENT": true, "AUTO_INCREMENT": true, "IDENTITY": true,
+}
+
+// lexer produces tokens from SQL source text.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes src, returning an error on malformed input.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpaceAndComments()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case c == '\'':
+			s, err := l.lexString()
+			if err != nil {
+				return nil, err
+			}
+			l.toks = append(l.toks, token{kind: tokString, text: s, pos: start})
+		case c == '"' || c == '`':
+			id, err := l.lexQuotedIdent(c)
+			if err != nil {
+				return nil, err
+			}
+			l.toks = append(l.toks, token{kind: tokIdent, text: id, pos: start})
+		case c == '?':
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokParam, text: "?", pos: start})
+		case isDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+			l.toks = append(l.toks, token{kind: tokNumber, text: l.lexNumber(), pos: start})
+		case isIdentStart(c):
+			word := l.lexWord()
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				l.toks = append(l.toks, token{kind: tokKeyword, text: up, pos: start})
+			} else {
+				l.toks = append(l.toks, token{kind: tokIdent, text: word, pos: start})
+			}
+		default:
+			op, err := l.lexOp()
+			if err != nil {
+				return nil, err
+			}
+			l.toks = append(l.toks, token{kind: tokOp, text: op, pos: start})
+		}
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				l.pos = len(l.src)
+			} else {
+				l.pos += 2 + end + 2
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) lexString() (string, error) {
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return b.String(), nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return "", fmt.Errorf("sql: unterminated string literal at offset %d", l.pos)
+}
+
+func (l *lexer) lexQuotedIdent(quote byte) (string, error) {
+	l.pos++
+	start := l.pos
+	for l.pos < len(l.src) {
+		if l.src[l.pos] == quote {
+			id := l.src[start:l.pos]
+			l.pos++
+			return id, nil
+		}
+		l.pos++
+	}
+	return "", fmt.Errorf("sql: unterminated quoted identifier at offset %d", start)
+}
+
+func (l *lexer) lexNumber() string {
+	start := l.pos
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case isDigit(c):
+			l.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !seenExp && l.pos > start:
+			seenExp = true
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+		default:
+			return l.src[start:l.pos]
+		}
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *lexer) lexWord() string {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *lexer) lexOp() (string, error) {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "<>", "!=", "||":
+		l.pos += 2
+		return two, nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', '=', '<', '>', '+', '-', '*', '/', '.', ';', '%':
+		l.pos++
+		return string(c), nil
+	}
+	return "", fmt.Errorf("sql: unexpected character %q at offset %d", rune(c), l.pos)
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || c == '#' || unicode.IsLetter(rune(c)) }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) || c == '$' }

@@ -1,0 +1,1174 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"benchpress/internal/sqlval"
+)
+
+// Parse parses a single SQL statement. A trailing semicolon is permitted.
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokOp, ";")
+	if !p.at(tokEOF, "") {
+		return nil, p.errorf("unexpected trailing input %q", p.peek().text)
+	}
+	return stmt, nil
+}
+
+// ParamCount returns the number of ? placeholders in the statement.
+func ParamCount(stmt Statement) int {
+	max := -1
+	walkStatement(stmt, func(e Expr) {
+		if pr, ok := e.(*Param); ok && pr.Index > max {
+			max = pr.Index
+		}
+	})
+	return max + 1
+}
+
+// walkStatement visits every expression in the statement tree.
+func walkStatement(stmt Statement, fn func(Expr)) {
+	switch s := stmt.(type) {
+	case *Insert:
+		for _, row := range s.Rows {
+			for _, e := range row {
+				walkExpr(e, fn)
+			}
+		}
+	case *Select:
+		for _, se := range s.Exprs {
+			walkExpr(se.Expr, fn)
+		}
+		for _, j := range s.Joins {
+			walkExpr(j.On, fn)
+		}
+		walkExpr(s.Where, fn)
+		for _, g := range s.GroupBy {
+			walkExpr(g, fn)
+		}
+		walkExpr(s.Having, fn)
+		for _, o := range s.OrderBy {
+			walkExpr(o.Expr, fn)
+		}
+		walkExpr(s.Limit, fn)
+		walkExpr(s.Offset, fn)
+	case *Update:
+		for _, a := range s.Sets {
+			walkExpr(a.Expr, fn)
+		}
+		walkExpr(s.Where, fn)
+	case *Delete:
+		walkExpr(s.Where, fn)
+	case *CreateTable:
+		for _, c := range s.Columns {
+			walkExpr(c.Default, fn)
+		}
+	}
+}
+
+func walkExpr(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *Binary:
+		walkExpr(x.L, fn)
+		walkExpr(x.R, fn)
+	case *Unary:
+		walkExpr(x.X, fn)
+	case *FuncCall:
+		for _, a := range x.Args {
+			walkExpr(a, fn)
+		}
+	case *InList:
+		walkExpr(x.X, fn)
+		for _, a := range x.List {
+			walkExpr(a, fn)
+		}
+	case *Between:
+		walkExpr(x.X, fn)
+		walkExpr(x.Lo, fn)
+		walkExpr(x.Hi, fn)
+	case *IsNull:
+		walkExpr(x.X, fn)
+	case *Like:
+		walkExpr(x.X, fn)
+		walkExpr(x.Pattern, fn)
+	case *Case:
+		for _, w := range x.Whens {
+			walkExpr(w.Cond, fn)
+			walkExpr(w.Then, fn)
+		}
+		walkExpr(x.Else, fn)
+	}
+}
+
+type parser struct {
+	src      string
+	toks     []token
+	pos      int
+	paramIdx int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sql: %s (near offset %d in %q)", fmt.Sprintf(format, args...), p.peek().pos, truncate(p.src, 80))
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+// at reports whether the current token matches kind (and text, if non-empty).
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.peek()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+// accept consumes the current token if it matches.
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// acceptKw consumes a keyword.
+func (p *parser) acceptKw(kw string) bool { return p.accept(tokKeyword, kw) }
+
+// expect consumes a token or fails.
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	return token{}, p.errorf("expected %q, found %q", text, p.peek().text)
+}
+
+func (p *parser) expectKw(kw string) error {
+	_, err := p.expect(tokKeyword, kw)
+	return err
+}
+
+// ident consumes an identifier (keywords usable as identifiers are not
+// supported; benchmarks quote such names).
+func (p *parser) ident() (string, error) {
+	if p.at(tokIdent, "") {
+		return p.next().text, nil
+	}
+	return "", p.errorf("expected identifier, found %q", p.peek().text)
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	switch {
+	case p.at(tokKeyword, "SELECT"):
+		return p.parseSelect()
+	case p.at(tokKeyword, "INSERT"):
+		return p.parseInsert()
+	case p.at(tokKeyword, "UPDATE"):
+		return p.parseUpdate()
+	case p.at(tokKeyword, "DELETE"):
+		return p.parseDelete()
+	case p.at(tokKeyword, "CREATE"):
+		return p.parseCreate()
+	case p.at(tokKeyword, "DROP"):
+		return p.parseDrop()
+	case p.at(tokKeyword, "TRUNCATE"):
+		p.next()
+		p.acceptKw("TABLE")
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &TruncateTable{Name: name}, nil
+	case p.acceptKw("BEGIN"):
+		p.acceptKw("TRANSACTION")
+		p.acceptKw("WORK")
+		return &Begin{}, nil
+	case p.acceptKw("COMMIT"):
+		p.acceptKw("TRANSACTION")
+		p.acceptKw("WORK")
+		return &Commit{}, nil
+	case p.acceptKw("ROLLBACK"):
+		p.acceptKw("TRANSACTION")
+		p.acceptKw("WORK")
+		return &Rollback{}, nil
+	default:
+		return nil, p.errorf("unsupported statement starting with %q", p.peek().text)
+	}
+}
+
+// ------------------------------------------------------------------- CREATE
+
+func (p *parser) parseCreate() (Statement, error) {
+	p.next() // CREATE
+	unique := p.acceptKw("UNIQUE")
+	switch {
+	case p.acceptKw("TABLE"):
+		if unique {
+			return nil, p.errorf("CREATE UNIQUE TABLE is not valid")
+		}
+		return p.parseCreateTable()
+	case p.acceptKw("INDEX"):
+		return p.parseCreateIndex(unique)
+	default:
+		return nil, p.errorf("expected TABLE or INDEX after CREATE")
+	}
+}
+
+func (p *parser) parseCreateTable() (Statement, error) {
+	ct := &CreateTable{}
+	if p.acceptKw("IF") {
+		if err := p.expectKw("NOT"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("EXISTS"); err != nil {
+			return nil, err
+		}
+		ct.IfNotExists = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ct.Name = name
+	if _, err := p.expect(tokOp, "("); err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptKw("PRIMARY"):
+			if err := p.expectKw("KEY"); err != nil {
+				return nil, err
+			}
+			cols, err := p.parseParenNameList()
+			if err != nil {
+				return nil, err
+			}
+			ct.PrimaryKey = cols
+		case p.acceptKw("UNIQUE"):
+			cols, err := p.parseParenNameList()
+			if err != nil {
+				return nil, err
+			}
+			ct.Uniques = append(ct.Uniques, cols)
+		case p.acceptKw("FOREIGN"):
+			// Parsed and ignored: referential actions are not enforced.
+			if err := p.expectKw("KEY"); err != nil {
+				return nil, err
+			}
+			if _, err := p.parseParenNameList(); err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("REFERENCES"); err != nil {
+				return nil, err
+			}
+			if _, err := p.ident(); err != nil {
+				return nil, err
+			}
+			if p.at(tokOp, "(") {
+				if _, err := p.parseParenNameList(); err != nil {
+					return nil, err
+				}
+			}
+			p.skipForeignKeyActions()
+		case p.acceptKw("CONSTRAINT"):
+			if _, err := p.ident(); err != nil {
+				return nil, err
+			}
+			continue // re-enter the loop; the constraint body follows
+		default:
+			col, err := p.parseColumnDef()
+			if err != nil {
+				return nil, err
+			}
+			if containsFold(colNames(ct.Columns), col.Name) {
+				return nil, p.errorf("duplicate column %q", col.Name)
+			}
+			ct.Columns = append(ct.Columns, col.ColumnDef)
+			if col.inlinePK {
+				ct.PrimaryKey = append(ct.PrimaryKey, col.Name)
+			}
+		}
+		if p.accept(tokOp, ",") {
+			continue
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+		break
+	}
+	return ct, nil
+}
+
+func colNames(cols []ColumnDef) []string {
+	names := make([]string, len(cols))
+	for i, c := range cols {
+		names[i] = c.Name
+	}
+	return names
+}
+
+func containsFold(names []string, want string) bool {
+	for _, n := range names {
+		if strings.EqualFold(n, want) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) skipForeignKeyActions() {
+	for p.acceptKw("ON") {
+		p.acceptKw("DELETE")
+		p.acceptKw("UPDATE")
+		if !p.acceptKw("CASCADE") {
+			p.acceptKw("SET")
+			p.acceptKw("NULL")
+			p.acceptKw("NOT") // NO ACTION tokens come through as idents; best-effort
+		}
+	}
+}
+
+// inlinePK is carried through parseColumnDef via a shadow field.
+type columnDefParse struct {
+	ColumnDef
+	inlinePK bool
+}
+
+func (p *parser) parseColumnDef() (*columnDefParse, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	typeName, kind, size, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	col := &columnDefParse{ColumnDef: ColumnDef{Name: name, TypeName: typeName, Kind: kind, Size: size}}
+	for {
+		switch {
+		case p.acceptKw("NOT"):
+			if err := p.expectKw("NULL"); err != nil {
+				return nil, err
+			}
+			col.NotNull = true
+		case p.acceptKw("NULL"):
+			// explicit NULL is the default
+		case p.acceptKw("PRIMARY"):
+			if err := p.expectKw("KEY"); err != nil {
+				return nil, err
+			}
+			col.inlinePK = true
+			col.NotNull = true
+		case p.acceptKw("UNIQUE"):
+			// treated as informational on single columns
+		case p.acceptKw("DEFAULT"):
+			e, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			col.Default = e
+		case p.acceptKw("AUTOINCREMENT"), p.acceptKw("AUTO_INCREMENT"), p.acceptKw("IDENTITY"):
+			col.AutoInc = true
+		case p.acceptKw("REFERENCES"):
+			if _, err := p.ident(); err != nil {
+				return nil, err
+			}
+			if p.at(tokOp, "(") {
+				if _, err := p.parseParenNameList(); err != nil {
+					return nil, err
+				}
+			}
+			p.skipForeignKeyActions()
+		default:
+			return col, nil
+		}
+	}
+}
+
+// parseType recognizes the SQL type names used across the benchmark DDL and
+// maps each to a runtime kind.
+func (p *parser) parseType() (string, sqlval.Kind, int, error) {
+	t := p.peek()
+	if t.kind != tokIdent && t.kind != tokKeyword {
+		return "", 0, 0, p.errorf("expected type name, found %q", t.text)
+	}
+	p.next()
+	name := strings.ToUpper(t.text)
+	// Multi-word types.
+	switch name {
+	case "DOUBLE":
+		if p.at(tokIdent, "") && strings.EqualFold(p.peek().text, "precision") {
+			p.next()
+			name = "DOUBLE PRECISION"
+		}
+	case "CHARACTER":
+		if p.at(tokIdent, "") && strings.EqualFold(p.peek().text, "varying") {
+			p.next()
+			name = "VARCHAR"
+		}
+	}
+	size := 0
+	if p.accept(tokOp, "(") {
+		n, err := p.expect(tokNumber, "")
+		if err != nil {
+			return "", 0, 0, err
+		}
+		size, _ = strconv.Atoi(n.text)
+		if p.accept(tokOp, ",") { // DECIMAL(p,s) scale: parsed, unused
+			if _, err := p.expect(tokNumber, ""); err != nil {
+				return "", 0, 0, err
+			}
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return "", 0, 0, err
+		}
+	}
+	kind, err := TypeKind(name)
+	if err != nil {
+		return "", 0, 0, p.errorf("%v", err)
+	}
+	return name, kind, size, nil
+}
+
+// TypeKind maps an upper-cased SQL type name to its runtime kind.
+func TypeKind(name string) (sqlval.Kind, error) {
+	switch name {
+	case "INT", "INTEGER", "BIGINT", "SMALLINT", "TINYINT", "SERIAL", "BIGSERIAL":
+		return sqlval.KindInt, nil
+	case "FLOAT", "DOUBLE", "DOUBLE PRECISION", "REAL", "DECIMAL", "NUMERIC", "NUMBER":
+		return sqlval.KindFloat, nil
+	case "VARCHAR", "CHAR", "TEXT", "CLOB", "STRING", "LONGTEXT", "MEDIUMTEXT", "TINYTEXT", "VARBINARY", "BLOB":
+		return sqlval.KindString, nil
+	case "BOOLEAN", "BOOL", "BIT":
+		return sqlval.KindBool, nil
+	case "TIMESTAMP", "DATETIME", "DATE", "TIME":
+		return sqlval.KindTime, nil
+	default:
+		return 0, fmt.Errorf("unsupported SQL type %q", name)
+	}
+}
+
+func (p *parser) parseParenNameList() ([]string, error) {
+	if _, err := p.expect(tokOp, "("); err != nil {
+		return nil, err
+	}
+	var names []string
+	for {
+		n, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, n)
+		// Tolerate per-column ASC/DESC in index definitions.
+		p.acceptKw("ASC")
+		p.acceptKw("DESC")
+		if p.accept(tokOp, ",") {
+			continue
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+		return names, nil
+	}
+}
+
+func (p *parser) parseCreateIndex(unique bool) (Statement, error) {
+	ci := &CreateIndex{Unique: unique}
+	if p.acceptKw("IF") {
+		if err := p.expectKw("NOT"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("EXISTS"); err != nil {
+			return nil, err
+		}
+		ci.IfNotExists = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ci.Name = name
+	if err := p.expectKw("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ci.Table = table
+	cols, err := p.parseParenNameList()
+	if err != nil {
+		return nil, err
+	}
+	ci.Columns = cols
+	return ci, nil
+}
+
+func (p *parser) parseDrop() (Statement, error) {
+	p.next() // DROP
+	if !p.acceptKw("TABLE") {
+		return nil, p.errorf("only DROP TABLE is supported")
+	}
+	dt := &DropTable{}
+	if p.acceptKw("IF") {
+		if err := p.expectKw("EXISTS"); err != nil {
+			return nil, err
+		}
+		dt.IfExists = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	dt.Name = name
+	p.acceptKw("CASCADE")
+	return dt, nil
+}
+
+// --------------------------------------------------------------------- DML
+
+func (p *parser) parseInsert() (Statement, error) {
+	p.next() // INSERT
+	if err := p.expectKw("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: table}
+	if p.at(tokOp, "(") {
+		cols, err := p.parseParenNameList()
+		if err != nil {
+			return nil, err
+		}
+		ins.Columns = cols
+	}
+	if err := p.expectKw("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.expect(tokOp, "("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.accept(tokOp, ",") {
+				continue
+			}
+			if _, err := p.expect(tokOp, ")"); err != nil {
+				return nil, err
+			}
+			break
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.accept(tokOp, ",") {
+			break
+		}
+	}
+	return ins, nil
+}
+
+func (p *parser) parseUpdate() (Statement, error) {
+	p.next() // UPDATE
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	up := &Update{Table: table}
+	if p.at(tokIdent, "") { // optional alias
+		up.Alias, _ = p.ident()
+	}
+	if err := p.expectKw("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		// Tolerate alias-qualified assignment targets (t.col = ...).
+		if p.accept(tokOp, ".") {
+			col, err = p.ident()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tokOp, "="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		up.Sets = append(up.Sets, Assignment{Column: col, Expr: e})
+		if !p.accept(tokOp, ",") {
+			break
+		}
+	}
+	if p.acceptKw("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		up.Where = w
+	}
+	return up, nil
+}
+
+func (p *parser) parseDelete() (Statement, error) {
+	p.next() // DELETE
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	del := &Delete{Table: table}
+	if p.at(tokIdent, "") {
+		del.Alias, _ = p.ident()
+	}
+	if p.acceptKw("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		del.Where = w
+	}
+	return del, nil
+}
+
+// ------------------------------------------------------------------- SELECT
+
+func (p *parser) parseSelect() (*Select, error) {
+	p.next() // SELECT
+	sel := &Select{}
+	if p.acceptKw("DISTINCT") {
+		sel.Distinct = true
+	}
+	p.acceptKw("ALL")
+	// Projections.
+	for {
+		se, err := p.parseSelectExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Exprs = append(sel.Exprs, se)
+		if !p.accept(tokOp, ",") {
+			break
+		}
+	}
+	if p.acceptKw("FROM") {
+		for {
+			tr, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			sel.From = append(sel.From, tr)
+			if !p.accept(tokOp, ",") {
+				break
+			}
+		}
+		// Explicit joins.
+		for {
+			left := false
+			switch {
+			case p.acceptKw("INNER"):
+			case p.acceptKw("LEFT"):
+				p.acceptKw("OUTER")
+				left = true
+			case p.acceptKw("CROSS"):
+			case p.at(tokKeyword, "JOIN"):
+			default:
+				goto joinsDone
+			}
+			if !p.acceptKw("JOIN") {
+				return nil, p.errorf("expected JOIN")
+			}
+			tr, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			j := Join{Left: left, Table: tr}
+			if p.acceptKw("ON") {
+				on, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				j.On = on
+			}
+			sel.Joins = append(sel.Joins, j)
+		}
+	}
+joinsDone:
+	if p.acceptKw("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = w
+	}
+	if p.acceptKw("GROUP") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.accept(tokOp, ",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("HAVING") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = h
+	}
+	if p.acceptKw("ORDER") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKw("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKw("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.accept(tokOp, ",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("LIMIT") {
+		e, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		sel.Limit = e
+		if p.acceptKw("OFFSET") {
+			o, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			sel.Offset = o
+		}
+	} else if p.acceptKw("OFFSET") {
+		// SQL standard: OFFSET n ROWS FETCH FIRST m ROWS ONLY
+		o, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		sel.Offset = o
+		p.acceptKw("ROWS")
+		p.acceptKw("ROW")
+	}
+	if p.acceptKw("FETCH") {
+		if !p.acceptKw("FIRST") && !p.acceptKw("NEXT") {
+			return nil, p.errorf("expected FIRST or NEXT after FETCH")
+		}
+		e, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		sel.Limit = e
+		p.acceptKw("ROWS")
+		p.acceptKw("ROW")
+		if err := p.expectKw("ONLY"); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKw("FOR") {
+		if err := p.expectKw("UPDATE"); err != nil {
+			return nil, err
+		}
+		sel.ForUpdate = true
+	}
+	return sel, nil
+}
+
+func (p *parser) parseSelectExpr() (SelectExpr, error) {
+	if p.accept(tokOp, "*") {
+		return SelectExpr{Star: true}, nil
+	}
+	// t.* form: identifier '.' '*'
+	if p.at(tokIdent, "") && p.pos+2 < len(p.toks) &&
+		p.toks[p.pos+1].kind == tokOp && p.toks[p.pos+1].text == "." &&
+		p.toks[p.pos+2].kind == tokOp && p.toks[p.pos+2].text == "*" {
+		tbl := p.next().text
+		p.next()
+		p.next()
+		return SelectExpr{Star: true, Table: tbl}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectExpr{}, err
+	}
+	se := SelectExpr{Expr: e}
+	if p.acceptKw("AS") {
+		a, err := p.ident()
+		if err != nil {
+			return SelectExpr{}, err
+		}
+		se.Alias = a
+	} else if p.at(tokIdent, "") {
+		se.Alias, _ = p.ident()
+	}
+	return se, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return TableRef{}, err
+	}
+	tr := TableRef{Table: name}
+	if p.acceptKw("AS") {
+		a, err := p.ident()
+		if err != nil {
+			return TableRef{}, err
+		}
+		tr.Alias = a
+	} else if p.at(tokIdent, "") {
+		tr.Alias, _ = p.ident()
+	}
+	return tr, nil
+}
+
+// -------------------------------------------------------------- expressions
+
+// parseExpr parses with standard SQL precedence:
+// OR < AND < NOT < comparison/IN/BETWEEN/LIKE/IS < + - || < * / % < unary.
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKw("NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "NOT", X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.at(tokOp, "=") || p.at(tokOp, "<>") || p.at(tokOp, "!=") ||
+			p.at(tokOp, "<") || p.at(tokOp, "<=") || p.at(tokOp, ">") || p.at(tokOp, ">="):
+			op := p.next().text
+			if op == "!=" {
+				op = "<>"
+			}
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: op, L: l, R: r}
+		case p.at(tokKeyword, "IS"):
+			p.next()
+			not := p.acceptKw("NOT")
+			if err := p.expectKw("NULL"); err != nil {
+				return nil, err
+			}
+			l = &IsNull{X: l, Not: not}
+		case p.at(tokKeyword, "IN"), p.at(tokKeyword, "BETWEEN"), p.at(tokKeyword, "LIKE"),
+			p.at(tokKeyword, "NOT"):
+			not := p.acceptKw("NOT")
+			switch {
+			case p.acceptKw("IN"):
+				if _, err := p.expect(tokOp, "("); err != nil {
+					return nil, err
+				}
+				var list []Expr
+				for {
+					e, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					list = append(list, e)
+					if p.accept(tokOp, ",") {
+						continue
+					}
+					if _, err := p.expect(tokOp, ")"); err != nil {
+						return nil, err
+					}
+					break
+				}
+				l = &InList{X: l, List: list, Not: not}
+			case p.acceptKw("BETWEEN"):
+				lo, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectKw("AND"); err != nil {
+					return nil, err
+				}
+				hi, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				l = &Between{X: l, Lo: lo, Hi: hi, Not: not}
+			case p.acceptKw("LIKE"):
+				pat, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				l = &Like{X: l, Pattern: pat, Not: not}
+			default:
+				return nil, p.errorf("expected IN, BETWEEN, or LIKE after NOT")
+			}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokOp, "+") || p.at(tokOp, "-") || p.at(tokOp, "||") {
+		op := p.next().text
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokOp, "*") || p.at(tokOp, "/") || p.at(tokOp, "%") {
+		op := p.next().text
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(tokOp, "-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negative literals so that DEFAULT -1 and key bounds stay Literal.
+		if lit, ok := x.(*Literal); ok {
+			switch lit.Val.Kind() {
+			case sqlval.KindInt:
+				return &Literal{Val: sqlval.NewInt(-lit.Val.Int())}, nil
+			case sqlval.KindFloat:
+				return &Literal{Val: sqlval.NewFloat(-lit.Val.Float())}, nil
+			}
+		}
+		return &Unary{Op: "-", X: x}, nil
+	}
+	p.accept(tokOp, "+")
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errorf("bad number %q", t.text)
+			}
+			return &Literal{Val: sqlval.NewFloat(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad integer %q", t.text)
+		}
+		return &Literal{Val: sqlval.NewInt(n)}, nil
+	case t.kind == tokString:
+		p.next()
+		return &Literal{Val: sqlval.NewString(t.text)}, nil
+	case t.kind == tokParam:
+		p.next()
+		e := &Param{Index: p.paramIdx}
+		p.paramIdx++
+		return e, nil
+	case p.acceptKw("NULL"):
+		return &Literal{Val: sqlval.Null()}, nil
+	case p.acceptKw("TRUE"):
+		return &Literal{Val: sqlval.NewBool(true)}, nil
+	case p.acceptKw("FALSE"):
+		return &Literal{Val: sqlval.NewBool(false)}, nil
+	case p.acceptKw("CASE"):
+		return p.parseCase()
+	case p.accept(tokOp, "("):
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokIdent:
+		p.next()
+		// Function call?
+		if p.at(tokOp, "(") {
+			return p.parseFuncCall(t.text)
+		}
+		// Qualified column?
+		if p.accept(tokOp, ".") {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Table: t.text, Name: col}, nil
+		}
+		return &ColumnRef{Name: t.text}, nil
+	default:
+		return nil, p.errorf("unexpected token %q in expression", t.text)
+	}
+}
+
+func (p *parser) parseFuncCall(name string) (Expr, error) {
+	p.next() // (
+	fc := &FuncCall{Name: strings.ToUpper(name)}
+	if p.accept(tokOp, "*") {
+		fc.Star = true
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+		return fc, nil
+	}
+	if p.accept(tokOp, ")") {
+		return fc, nil
+	}
+	if p.acceptKw("DISTINCT") {
+		fc.Distinct = true
+	}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		fc.Args = append(fc.Args, e)
+		if p.accept(tokOp, ",") {
+			continue
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+		return fc, nil
+	}
+}
+
+func (p *parser) parseCase() (Expr, error) {
+	c := &Case{}
+	for p.acceptKw("WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("THEN"); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, When{Cond: cond, Then: val})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errorf("CASE requires at least one WHEN")
+	}
+	if p.acceptKw("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKw("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,367 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"benchpress/internal/sqlval"
+)
+
+func mustParse(t *testing.T, sql string) Statement {
+	t.Helper()
+	stmt, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return stmt
+}
+
+func TestParseCreateTable(t *testing.T) {
+	stmt := mustParse(t, `
+		CREATE TABLE warehouse (
+			w_id INT NOT NULL,
+			w_name VARCHAR(10),
+			w_tax DECIMAL(4,4) DEFAULT 0,
+			w_ytd DOUBLE PRECISION,
+			w_open BOOLEAN DEFAULT TRUE,
+			w_since TIMESTAMP,
+			PRIMARY KEY (w_id)
+		)`)
+	ct, ok := stmt.(*CreateTable)
+	if !ok {
+		t.Fatalf("got %T", stmt)
+	}
+	if ct.Name != "warehouse" || len(ct.Columns) != 6 {
+		t.Fatalf("name=%q cols=%d", ct.Name, len(ct.Columns))
+	}
+	if len(ct.PrimaryKey) != 1 || ct.PrimaryKey[0] != "w_id" {
+		t.Fatalf("pk=%v", ct.PrimaryKey)
+	}
+	if !ct.Columns[0].NotNull {
+		t.Error("w_id should be NOT NULL")
+	}
+	if ct.Columns[1].Kind != sqlval.KindString || ct.Columns[1].Size != 10 {
+		t.Errorf("w_name kind=%v size=%d", ct.Columns[1].Kind, ct.Columns[1].Size)
+	}
+	if ct.Columns[2].Kind != sqlval.KindFloat || ct.Columns[2].Default == nil {
+		t.Error("w_tax should be float with default")
+	}
+	if ct.Columns[3].TypeName != "DOUBLE PRECISION" {
+		t.Errorf("w_ytd type = %q", ct.Columns[3].TypeName)
+	}
+	if ct.Columns[5].Kind != sqlval.KindTime {
+		t.Error("w_since should be timestamp")
+	}
+}
+
+func TestParseCreateTableInlinePKAndFK(t *testing.T) {
+	stmt := mustParse(t, `
+		CREATE TABLE IF NOT EXISTS district (
+			d_id INT PRIMARY KEY AUTO_INCREMENT,
+			d_w_id INT NOT NULL REFERENCES warehouse (w_id),
+			d_name VARCHAR(10),
+			FOREIGN KEY (d_w_id) REFERENCES warehouse (w_id),
+			UNIQUE (d_name)
+		)`)
+	ct := stmt.(*CreateTable)
+	if !ct.IfNotExists {
+		t.Error("IF NOT EXISTS not recorded")
+	}
+	if len(ct.PrimaryKey) != 1 || ct.PrimaryKey[0] != "d_id" {
+		t.Fatalf("pk=%v", ct.PrimaryKey)
+	}
+	if !ct.Columns[0].AutoInc {
+		t.Error("AUTO_INCREMENT not recorded")
+	}
+	if len(ct.Uniques) != 1 {
+		t.Errorf("uniques=%v", ct.Uniques)
+	}
+}
+
+func TestParseDuplicateColumn(t *testing.T) {
+	if _, err := Parse("CREATE TABLE t (a INT, A INT)"); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+}
+
+func TestParseCreateIndex(t *testing.T) {
+	stmt := mustParse(t, "CREATE UNIQUE INDEX idx_cust ON customer (c_w_id, c_d_id, c_last ASC)")
+	ci := stmt.(*CreateIndex)
+	if !ci.Unique || ci.Table != "customer" || len(ci.Columns) != 3 {
+		t.Fatalf("%+v", ci)
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	stmt := mustParse(t, "INSERT INTO t (a, b, c) VALUES (?, 'x', 1.5), (2, ?, NULL)")
+	ins := stmt.(*Insert)
+	if ins.Table != "t" || len(ins.Columns) != 3 || len(ins.Rows) != 2 {
+		t.Fatalf("%+v", ins)
+	}
+	if ParamCount(stmt) != 2 {
+		t.Fatalf("ParamCount = %d", ParamCount(stmt))
+	}
+	if p, ok := ins.Rows[0][0].(*Param); !ok || p.Index != 0 {
+		t.Error("first param index")
+	}
+	if p, ok := ins.Rows[1][1].(*Param); !ok || p.Index != 1 {
+		t.Error("second param index")
+	}
+}
+
+func TestParseSelectBasic(t *testing.T) {
+	stmt := mustParse(t, `SELECT c_first, c_last AS surname, c_balance
+		FROM customer
+		WHERE c_w_id = ? AND c_d_id = ? AND c_id = ? FOR UPDATE`)
+	sel := stmt.(*Select)
+	if len(sel.Exprs) != 3 || sel.Exprs[1].Alias != "surname" {
+		t.Fatalf("%+v", sel.Exprs)
+	}
+	if !sel.ForUpdate {
+		t.Error("FOR UPDATE not recorded")
+	}
+	if ParamCount(stmt) != 3 {
+		t.Errorf("ParamCount = %d", ParamCount(stmt))
+	}
+}
+
+func TestParseSelectJoinGroupOrder(t *testing.T) {
+	stmt := mustParse(t, `
+		SELECT ol_number, SUM(ol_quantity) AS qty, AVG(ol_amount)
+		FROM order_line
+		JOIN orders ON ol_o_id = o_id
+		WHERE ol_delivery_d > ?
+		GROUP BY ol_number
+		HAVING SUM(ol_quantity) > 5
+		ORDER BY qty DESC, ol_number
+		LIMIT 10 OFFSET 2`)
+	sel := stmt.(*Select)
+	if len(sel.Joins) != 1 || sel.Joins[0].Table.Table != "orders" {
+		t.Fatalf("joins: %+v", sel.Joins)
+	}
+	if len(sel.GroupBy) != 1 || sel.Having == nil {
+		t.Error("group/having")
+	}
+	if len(sel.OrderBy) != 2 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Errorf("order: %+v", sel.OrderBy)
+	}
+	if sel.Limit == nil || sel.Offset == nil {
+		t.Error("limit/offset")
+	}
+}
+
+func TestParseSelectStar(t *testing.T) {
+	sel := mustParse(t, "SELECT * FROM t").(*Select)
+	if len(sel.Exprs) != 1 || !sel.Exprs[0].Star {
+		t.Fatal("star not recorded")
+	}
+	sel = mustParse(t, "SELECT a.*, b.x FROM t1 a, t2 b").(*Select)
+	if !sel.Exprs[0].Star || sel.Exprs[0].Table != "a" {
+		t.Fatal("qualified star not recorded")
+	}
+	if len(sel.From) != 2 || sel.From[1].Alias != "b" {
+		t.Fatalf("from: %+v", sel.From)
+	}
+}
+
+func TestParseSelectFetchFirst(t *testing.T) {
+	sel := mustParse(t, "SELECT a FROM t ORDER BY a FETCH FIRST 5 ROWS ONLY").(*Select)
+	if sel.Limit == nil {
+		t.Fatal("FETCH FIRST not mapped to limit")
+	}
+	if lit := sel.Limit.(*Literal); lit.Val.Int() != 5 {
+		t.Fatalf("limit = %v", lit.Val)
+	}
+}
+
+func TestParseUpdate(t *testing.T) {
+	stmt := mustParse(t, "UPDATE stock SET s_quantity = s_quantity - ?, s_ytd = s_ytd + ? WHERE s_i_id = ? AND s_w_id = ?")
+	up := stmt.(*Update)
+	if up.Table != "stock" || len(up.Sets) != 2 {
+		t.Fatalf("%+v", up)
+	}
+	if ParamCount(stmt) != 4 {
+		t.Errorf("ParamCount = %d", ParamCount(stmt))
+	}
+	bin, ok := up.Sets[0].Expr.(*Binary)
+	if !ok || bin.Op != "-" {
+		t.Errorf("set expr: %+v", up.Sets[0].Expr)
+	}
+}
+
+func TestParseDelete(t *testing.T) {
+	del := mustParse(t, "DELETE FROM new_order WHERE no_o_id = ? AND no_d_id = ?").(*Delete)
+	if del.Table != "new_order" || del.Where == nil {
+		t.Fatalf("%+v", del)
+	}
+	del = mustParse(t, "DELETE FROM t").(*Delete)
+	if del.Where != nil {
+		t.Error("whereless delete")
+	}
+}
+
+func TestParseExpressions(t *testing.T) {
+	sel := mustParse(t, `SELECT 1 FROM t WHERE
+		a IN (1, 2, 3) AND b NOT IN (?) AND
+		c BETWEEN 1 AND 10 AND d NOT BETWEEN ? AND ? AND
+		e LIKE 'abc%' AND f IS NULL AND g IS NOT NULL AND
+		NOT (h = 1 OR i <> 2) AND j >= -5`).(*Select)
+	if sel.Where == nil {
+		t.Fatal("where missing")
+	}
+	// Spot-check a couple of node shapes by walking.
+	var inCount, betweenCount, likeCount, isNullCount int
+	walkExpr(sel.Where, func(e Expr) {
+		switch e.(type) {
+		case *InList:
+			inCount++
+		case *Between:
+			betweenCount++
+		case *Like:
+			likeCount++
+		case *IsNull:
+			isNullCount++
+		}
+	})
+	if inCount != 2 || betweenCount != 2 || likeCount != 1 || isNullCount != 2 {
+		t.Fatalf("counts: in=%d between=%d like=%d isnull=%d", inCount, betweenCount, likeCount, isNullCount)
+	}
+}
+
+func TestParseCase(t *testing.T) {
+	sel := mustParse(t, `SELECT SUM(CASE WHEN o_carrier_id = 1 THEN 1 ELSE 0 END) FROM orders`).(*Select)
+	fc := sel.Exprs[0].Expr.(*FuncCall)
+	if fc.Name != "SUM" {
+		t.Fatal("sum")
+	}
+	c := fc.Args[0].(*Case)
+	if len(c.Whens) != 1 || c.Else == nil {
+		t.Fatalf("%+v", c)
+	}
+}
+
+func TestParseNegativeLiteralFolding(t *testing.T) {
+	sel := mustParse(t, "SELECT -3, -2.5 FROM t").(*Select)
+	if lit := sel.Exprs[0].Expr.(*Literal); lit.Val.Int() != -3 {
+		t.Fatal("int fold")
+	}
+	if lit := sel.Exprs[1].Expr.(*Literal); lit.Val.Float() != -2.5 {
+		t.Fatal("float fold")
+	}
+}
+
+func TestParseTransactionControl(t *testing.T) {
+	if _, ok := mustParse(t, "BEGIN").(*Begin); !ok {
+		t.Error("BEGIN")
+	}
+	if _, ok := mustParse(t, "COMMIT WORK").(*Commit); !ok {
+		t.Error("COMMIT WORK")
+	}
+	if _, ok := mustParse(t, "ROLLBACK").(*Rollback); !ok {
+		t.Error("ROLLBACK")
+	}
+}
+
+func TestParseDropTruncate(t *testing.T) {
+	dt := mustParse(t, "DROP TABLE IF EXISTS usertable CASCADE").(*DropTable)
+	if !dt.IfExists || dt.Name != "usertable" {
+		t.Fatalf("%+v", dt)
+	}
+	tr := mustParse(t, "TRUNCATE TABLE votes").(*TruncateTable)
+	if tr.Name != "votes" {
+		t.Fatalf("%+v", tr)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	stmt := mustParse(t, `-- leading comment
+		SELECT a /* inline */ FROM t -- trailing`)
+	if _, ok := stmt.(*Select); !ok {
+		t.Fatal("comments broke parse")
+	}
+}
+
+func TestParseQuotedIdentifiers(t *testing.T) {
+	sel := mustParse(t, "SELECT \"select\", `from` FROM \"order\"").(*Select)
+	if sel.From[0].Table != "order" {
+		t.Fatalf("%+v", sel.From)
+	}
+	if sel.Exprs[0].Expr.(*ColumnRef).Name != "select" {
+		t.Fatal("quoted column")
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	sel := mustParse(t, "SELECT 'it''s' FROM t").(*Select)
+	if lit := sel.Exprs[0].Expr.(*Literal); lit.Val.Str() != "it's" {
+		t.Fatalf("escape: %q", lit.Val.Str())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELEC a FROM t",
+		"SELECT a FROM t WHERE",
+		"INSERT INTO t VALUES",
+		"CREATE TABLE t (a FOO)",
+		"SELECT 'unterminated FROM t",
+		"UPDATE t SET",
+		"CREATE TABLE t (a INT,)",
+		"SELECT a FROM t; SELECT b FROM t",
+		"SELECT a FROM t WHERE a = @x",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", sql)
+		}
+	}
+}
+
+func TestParamOrdering(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t WHERE b = ? AND c IN (?, ?) AND d BETWEEN ? AND ?")
+	if n := ParamCount(stmt); n != 5 {
+		t.Fatalf("ParamCount = %d, want 5", n)
+	}
+	var idxs []int
+	walkStatement(stmt, func(e Expr) {
+		if p, ok := e.(*Param); ok {
+			idxs = append(idxs, p.Index)
+		}
+	})
+	for i, idx := range idxs {
+		if i != idx {
+			t.Fatalf("param order %v", idxs)
+		}
+	}
+}
+
+func TestTypeKindCoverage(t *testing.T) {
+	for _, name := range []string{"INT", "INTEGER", "BIGINT", "SMALLINT", "TINYINT",
+		"FLOAT", "DOUBLE", "REAL", "DECIMAL", "NUMERIC", "VARCHAR", "CHAR", "TEXT",
+		"CLOB", "BOOLEAN", "TIMESTAMP", "DATETIME", "DATE"} {
+		if _, err := TypeKind(name); err != nil {
+			t.Errorf("TypeKind(%s): %v", name, err)
+		}
+	}
+	if _, err := TypeKind("GEOMETRY"); err == nil {
+		t.Error("TypeKind(GEOMETRY) should fail")
+	}
+}
+
+// The full TPC-C DDL should parse end to end.
+func TestParseTPCCStyleDDL(t *testing.T) {
+	ddls := strings.Split(`
+CREATE TABLE customer (c_w_id INT NOT NULL, c_d_id INT NOT NULL, c_id INT NOT NULL, c_discount DECIMAL(4,4), c_credit CHAR(2), c_last VARCHAR(16), c_first VARCHAR(16), c_balance DECIMAL(12,2), c_ytd_payment FLOAT, c_payment_cnt INT, c_delivery_cnt INT, c_street_1 VARCHAR(20), c_city VARCHAR(20), c_state CHAR(2), c_zip CHAR(9), c_phone CHAR(16), c_since TIMESTAMP, c_middle CHAR(2), c_data VARCHAR(500), PRIMARY KEY (c_w_id, c_d_id, c_id));
+CREATE INDEX idx_customer_name ON customer (c_w_id, c_d_id, c_last, c_first);
+CREATE TABLE item (i_id INT NOT NULL, i_name VARCHAR(24), i_price DECIMAL(5,2), i_data VARCHAR(50), i_im_id INT, PRIMARY KEY (i_id))`, ";")
+	for _, ddl := range ddls {
+		ddl = strings.TrimSpace(ddl)
+		if ddl == "" {
+			continue
+		}
+		if _, err := Parse(ddl); err != nil {
+			t.Errorf("%v", err)
+		}
+	}
+}

@@ -1,0 +1,588 @@
+// Package storage implements the in-memory row store of the embedded engine.
+//
+// Every table row is a chain of immutable versions (newest first). A version
+// carries begin/end timestamps in the Hekaton style: values below txnMark are
+// commit timestamps; values with the high bit set identify the uncommitted
+// transaction that produced (begin) or superseded (end) the version. This one
+// representation serves all three concurrency-control engines — MVCC readers
+// pick versions by snapshot timestamp, locking and serial engines read the
+// newest committed (or self-written) version.
+//
+// Index entries are maintained eagerly on write and point at row ids; readers
+// always re-validate fetched versions against both visibility and the query
+// predicate, so a stale index entry can only cause a filtered-out false
+// positive, never a wrong result.
+package storage
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"benchpress/internal/btree"
+	"benchpress/internal/sqldb/catalog"
+	"benchpress/internal/sqlval"
+)
+
+// TxnMark flags a begin/end field as holding an uncommitted transaction id
+// rather than a commit timestamp.
+const TxnMark uint64 = 1 << 63
+
+// DeleteFlag, combined with TxnMark in an End field, records that the owning
+// transaction *deleted* the version (invisible to the owner) as opposed to
+// merely write-claiming or superseding it (still visible to the owner, whose
+// newer version - if any - shadows it).
+const DeleteFlag uint64 = 1 << 62
+
+// Infinity is the end timestamp of a live (undeleted) version.
+const Infinity uint64 = math.MaxUint64
+
+// Uncommitted reports whether ts is an in-flight transaction mark.
+func Uncommitted(ts uint64) bool { return ts >= TxnMark && ts != Infinity }
+
+// MarkOwner extracts the transaction id from an uncommitted mark.
+func MarkOwner(ts uint64) uint64 { return ts &^ (TxnMark | DeleteFlag) }
+
+// IsDeleteMark reports whether ts is an uncommitted delete mark.
+func IsDeleteMark(ts uint64) bool { return Uncommitted(ts) && ts&DeleteFlag != 0 }
+
+// RowID identifies a row slot within one table.
+type RowID = int64
+
+// Version is one version of a row. Data is immutable; the Begin/End
+// timestamps and the chain pointer are atomics so that readers may traverse
+// chains without latches while writers (who hold the row latch for mutual
+// exclusion among themselves) stamp commit timestamps.
+type Version struct {
+	Data  []sqlval.Value
+	begin atomic.Uint64 // commit ts, or TxnMark|txnID while the writer is in flight
+	end   atomic.Uint64 // Infinity, commit ts of the deleter, or a txn mark
+	next  atomic.Pointer[Version]
+}
+
+// NewVersion builds a version with the given stamps and chain successor.
+func NewVersion(data []sqlval.Value, begin, end uint64, next *Version) *Version {
+	v := &Version{Data: data}
+	v.begin.Store(begin)
+	v.end.Store(end)
+	if next != nil {
+		v.next.Store(next)
+	}
+	return v
+}
+
+// Begin returns the begin timestamp or mark.
+func (v *Version) Begin() uint64 { return v.begin.Load() }
+
+// SetBegin stamps the begin field. Callers hold the row latch.
+func (v *Version) SetBegin(ts uint64) { v.begin.Store(ts) }
+
+// End returns the end timestamp or mark.
+func (v *Version) End() uint64 { return v.end.Load() }
+
+// SetEnd stamps the end field. Callers hold the row latch.
+func (v *Version) SetEnd(ts uint64) { v.end.Store(ts) }
+
+// Next returns the older version in the chain, if any.
+func (v *Version) Next() *Version { return v.next.Load() }
+
+// SetNext replaces the chain successor (used by vacuum pruning).
+func (v *Version) SetNext(n *Version) { v.next.Store(n) }
+
+// Row is a version chain plus the latch guarding its mutation.
+type Row struct {
+	mu     sync.Mutex
+	latest atomic.Pointer[Version]
+}
+
+// Latest returns the newest version (which may be uncommitted).
+func (r *Row) Latest() *Version { return r.latest.Load() }
+
+// Lock/Unlock expose the row latch to the transaction layer, which must hold
+// it across check-then-install sequences.
+func (r *Row) Lock()   { r.mu.Lock() }
+func (r *Row) Unlock() { r.mu.Unlock() }
+
+// SetLatest installs a new head version. Callers must hold the row latch.
+func (r *Row) SetLatest(v *Version) { r.latest.Store(v) }
+
+// View selects which versions a reader sees.
+type View struct {
+	TxnID  uint64 // reader's transaction id
+	SnapTS uint64 // snapshot timestamp; used when Snapshot is true
+	// Snapshot selects MVCC snapshot visibility. When false the view is
+	// "read latest committed or own" as used by the locking and serial
+	// engines.
+	Snapshot bool
+}
+
+// mine reports whether ts is an uncommitted marker belonging to the view's
+// transaction (delete or claim).
+func (v View) mine(ts uint64) bool { return Uncommitted(ts) && MarkOwner(ts) == v.TxnID }
+
+// committed reports whether ts is a commit timestamp.
+func committed(ts uint64) bool { return ts < TxnMark }
+
+// Visible walks the version chain and returns the version this view should
+// see, or nil when the row is invisible (deleted or not yet born).
+//
+// End-field semantics: Infinity = live; a commit timestamp = committed
+// delete/supersede at that time; an uncommitted mark = pending delete (with
+// DeleteFlag) or a write claim / supersede (without). A pending delete by
+// the viewing transaction hides the version from it; a claim does not. Other
+// transactions' pending marks never hide a version (they may abort).
+func (view View) Visible(r *Row) *Version {
+	for v := r.Latest(); v != nil; v = v.Next() {
+		begin, end := v.Begin(), v.End()
+		if view.Snapshot {
+			beginOK := view.mine(begin) || (committed(begin) && begin <= view.SnapTS)
+			if !beginOK {
+				continue
+			}
+			endOK := end == Infinity ||
+				(committed(end) && end > view.SnapTS) ||
+				(Uncommitted(end) && !(view.mine(end) && end&DeleteFlag != 0))
+			if endOK {
+				return v
+			}
+			return nil // this version is the visible one but it is deleted
+		}
+		// Latest-committed mode: skip other transactions' uncommitted
+		// versions; the first acceptable version decides.
+		if !committed(begin) && !view.mine(begin) {
+			continue
+		}
+		if view.mine(end) && end&DeleteFlag != 0 {
+			return nil // deleted by this transaction
+		}
+		if committed(end) && end != Infinity {
+			return nil // committed delete
+		}
+		return v
+	}
+	return nil
+}
+
+// Table holds the physical state of one table: the row slots, the primary
+// index (when a PK is declared), and all secondary indexes.
+type Table struct {
+	Meta *catalog.Table
+
+	mu        sync.RWMutex
+	rows      map[RowID]*Row
+	nextRowID atomic.Int64
+	autoInc   atomic.Int64
+
+	primary   *btree.Tree // nil when no PK declared
+	secondary []*btree.Tree
+	// secondaryMeta[i] describes secondary[i]; parallel to Meta.Indexes
+	// minus the primary.
+	secondaryMeta []*catalog.Index
+}
+
+// NewTable allocates physical storage for a catalog table.
+func NewTable(meta *catalog.Table) *Table {
+	t := &Table{Meta: meta, rows: map[RowID]*Row{}}
+	for _, idx := range meta.Indexes {
+		if idx.Primary {
+			t.primary = btree.New()
+		} else {
+			t.secondary = append(t.secondary, btree.New())
+			t.secondaryMeta = append(t.secondaryMeta, idx)
+		}
+	}
+	return t
+}
+
+// AddIndex attaches physical storage for a newly created secondary index and
+// backfills it from existing rows.
+func (t *Table) AddIndex(idx *catalog.Index) {
+	tree := btree.New()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for id, row := range t.rows {
+		v := row.Latest()
+		if v == nil {
+			continue
+		}
+		tree.Insert(indexKey(idx, v.Data, id), id)
+	}
+	t.secondary = append(t.secondary, tree)
+	t.secondaryMeta = append(t.secondaryMeta, idx)
+}
+
+// NextAutoInc returns the next auto-increment value for the table.
+func (t *Table) NextAutoInc() int64 { return t.autoInc.Add(1) }
+
+// BumpAutoInc raises the auto-increment watermark to at least v.
+func (t *Table) BumpAutoInc(v int64) {
+	for {
+		cur := t.autoInc.Load()
+		if cur >= v || t.autoInc.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Row returns the row with the given id, if it exists.
+func (t *Table) Row(id RowID) (*Row, bool) {
+	t.mu.RLock()
+	r, ok := t.rows[id]
+	t.mu.RUnlock()
+	return r, ok
+}
+
+// RowCount returns the number of row slots (including dead rows awaiting GC).
+func (t *Table) RowCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// pkKey extracts the primary-key composite from a row image.
+func (t *Table) pkKey(data []sqlval.Value) []sqlval.Value {
+	key := make([]sqlval.Value, len(t.Meta.PKCols))
+	for i, c := range t.Meta.PKCols {
+		key[i] = data[c]
+	}
+	return key
+}
+
+// indexKey builds a physical secondary-index key: the indexed columns plus
+// the row id to keep physical keys unique.
+func indexKey(idx *catalog.Index, data []sqlval.Value, id RowID) []sqlval.Value {
+	key := make([]sqlval.Value, 0, len(idx.Columns)+1)
+	for _, c := range idx.Columns {
+		key = append(key, data[c])
+	}
+	return append(key, sqlval.NewInt(id))
+}
+
+// ErrDuplicateKey is returned when an insert violates the primary key or a
+// unique index.
+type ErrDuplicateKey struct {
+	Table string
+	Index string
+}
+
+func (e *ErrDuplicateKey) Error() string {
+	return fmt.Sprintf("storage: duplicate key in table %q (index %q)", e.Table, e.Index)
+}
+
+// liveOrPending reports whether the row currently has a version that is
+// committed-live or uncommitted — i.e. whether an insert of the same key
+// must be rejected.
+func liveOrPending(r *Row) bool {
+	v := r.Latest()
+	if v == nil {
+		return false
+	}
+	if !committed(v.Begin()) {
+		return true // uncommitted insert/update pending
+	}
+	if v.End() == Infinity || !committed(v.End()) {
+		return true // live, or a delete is pending (may abort)
+	}
+	return false // newest version is committed-deleted
+}
+
+// Insert creates a new row whose single version is marked uncommitted by
+// txnID. It installs all index entries. The returned RowID identifies the
+// slot; on unique violation an ErrDuplicateKey is returned and nothing is
+// modified.
+func (t *Table) Insert(txnID uint64, data []sqlval.Value) (RowID, *Row, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Unique checks first. An index entry only blocks the insert when the
+	// row it points at is live (or pending) AND its newest image still
+	// holds the conflicting key: stale entries left behind by updates of
+	// indexed columns are ignored.
+	if t.primary != nil {
+		key := t.pkKey(data)
+		if existing, ok := t.primary.Get(key); ok {
+			if r, live := t.rows[existing]; live && liveOrPending(r) &&
+				sqlval.CompareRows(t.pkKey(r.Latest().Data), key) == 0 {
+				return 0, nil, &ErrDuplicateKey{Table: t.Meta.Name, Index: t.Meta.Indexes[0].Name}
+			}
+		}
+	}
+	for i, idx := range t.secondaryMeta {
+		if !idx.Unique {
+			continue
+		}
+		prefix := make([]sqlval.Value, 0, len(idx.Columns))
+		for _, c := range idx.Columns {
+			prefix = append(prefix, data[c])
+		}
+		dup := false
+		t.secondary[i].AscendPrefix(prefix, func(_ []sqlval.Value, id int64) bool {
+			r, ok := t.rows[id]
+			if !ok || !liveOrPending(r) {
+				return true
+			}
+			latest := r.Latest().Data
+			for ci, c := range idx.Columns {
+				if sqlval.Compare(latest[c], prefix[ci]) != 0 {
+					return true // stale entry: the row moved off this key
+				}
+			}
+			dup = true
+			return false
+		})
+		if dup {
+			return 0, nil, &ErrDuplicateKey{Table: t.Meta.Name, Index: idx.Name}
+		}
+	}
+	id := t.nextRowID.Add(1)
+	row := &Row{}
+	row.SetLatest(NewVersion(data, TxnMark|txnID, Infinity, nil))
+	t.rows[id] = row
+	if t.primary != nil {
+		t.primary.Insert(t.pkKey(data), id)
+	}
+	for i, idx := range t.secondaryMeta {
+		t.secondary[i].Insert(indexKey(idx, data, id), id)
+	}
+	return id, row, nil
+}
+
+// RemoveRow unlinks a row slot and all its index entries; used when rolling
+// back an insert.
+func (t *Table) RemoveRow(id RowID, data []sqlval.Value) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.rows, id)
+	if t.primary != nil {
+		key := t.pkKey(data)
+		// Only remove the entry if it still points at this row: a
+		// concurrent re-insert of the same key may have replaced it.
+		if cur, ok := t.primary.Get(key); ok && cur == id {
+			t.primary.Delete(key)
+		}
+	}
+	for i, idx := range t.secondaryMeta {
+		t.secondary[i].Delete(indexKey(idx, data, id))
+	}
+}
+
+// AddVersionIndexEntries installs index entries for a new version image
+// produced by an update (the row id is unchanged; only changed keys need new
+// entries, and unchanged composites are idempotent inserts).
+func (t *Table) AddVersionIndexEntries(id RowID, data []sqlval.Value) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.primary != nil {
+		t.primary.Insert(t.pkKey(data), id)
+	}
+	for i, idx := range t.secondaryMeta {
+		t.secondary[i].Insert(indexKey(idx, data, id), id)
+	}
+}
+
+// RemoveVersionIndexEntries removes entries that belong exclusively to the
+// given version image (used on rollback of an update whose keys changed, with
+// keep holding the image whose entries must survive).
+func (t *Table) RemoveVersionIndexEntries(id RowID, data, keep []sqlval.Value) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.primary != nil {
+		oldKey, keepKey := t.pkKey(data), t.pkKey(keep)
+		if sqlval.CompareRows(oldKey, keepKey) != 0 {
+			if cur, ok := t.primary.Get(oldKey); ok && cur == id {
+				t.primary.Delete(oldKey)
+			}
+		}
+	}
+	for i, idx := range t.secondaryMeta {
+		oldKey := indexKey(idx, data, id)
+		keepKey := indexKey(idx, keep, id)
+		if sqlval.CompareRows(oldKey, keepKey) != 0 {
+			t.secondary[i].Delete(oldKey)
+		}
+	}
+}
+
+// PrimaryLookup finds the row id for an exact primary-key match.
+func (t *Table) PrimaryLookup(key []sqlval.Value) (RowID, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.primary == nil {
+		return 0, false
+	}
+	return t.primary.Get(key)
+}
+
+// IndexEntry is one materialized index hit: the physical key and the row id
+// it points at. Because updates add entries for every version image, a row
+// can appear under several keys of one index; readers must verify the entry
+// key against the version they actually see (VerifyPrimary/VerifySecondary)
+// or they would observe duplicates.
+type IndexEntry struct {
+	Key []sqlval.Value
+	ID  RowID
+}
+
+// ScanPrimaryRange iterates index entries with from <= pk <= to in key
+// order. Nil bounds are open; bounds may be key prefixes padded with
+// sqlval.Top() to form inclusive upper bounds. Entries are materialized
+// under the table latch and the callback runs after its release, so
+// callbacks may freely re-enter the table (reads, lock acquisition).
+func (t *Table) ScanPrimaryRange(from, to []sqlval.Value, desc bool, fn func(e IndexEntry) bool) {
+	t.mu.RLock()
+	if t.primary == nil {
+		t.mu.RUnlock()
+		return
+	}
+	entries := make([]IndexEntry, 0, 16)
+	collect := func(key []sqlval.Value, id int64) bool {
+		entries = append(entries, IndexEntry{Key: key, ID: id})
+		return true
+	}
+	if desc {
+		t.primary.DescendRange(to, from, collect)
+	} else {
+		t.primary.AscendRange(from, to, collect)
+	}
+	t.mu.RUnlock()
+	for _, e := range entries {
+		if !fn(e) {
+			return
+		}
+	}
+}
+
+// VerifyPrimary reports whether a row image still carries the primary key of
+// the index entry that produced it.
+func (t *Table) VerifyPrimary(e IndexEntry, data []sqlval.Value) bool {
+	return sqlval.CompareRows(t.pkKey(data), e.Key) == 0
+}
+
+// VerifySecondary reports whether a row image still carries the indexed
+// column values of the secondary-index entry that produced it (the entry's
+// trailing row id is ignored).
+func (t *Table) VerifySecondary(ord int, e IndexEntry, data []sqlval.Value) bool {
+	idx := t.secondaryMeta[ord]
+	for i, c := range idx.Columns {
+		if i >= len(e.Key) {
+			return false
+		}
+		if sqlval.Compare(data[c], e.Key[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SecondaryIndexes exposes the table's secondary index metadata.
+func (t *Table) SecondaryIndexes() []*catalog.Index { return t.secondaryMeta }
+
+// ScanSecondaryRange iterates index entries with from <= key <= to over
+// physical secondary-index keys (indexed columns plus a trailing row id).
+// Callers build prefix bounds directly: a bare prefix is an inclusive lower
+// bound, and a prefix extended with sqlval.Top() is an inclusive upper
+// bound. The same materialize-then-callback discipline as ScanPrimaryRange
+// applies.
+func (t *Table) ScanSecondaryRange(ord int, from, to []sqlval.Value, desc bool, fn func(e IndexEntry) bool) {
+	t.mu.RLock()
+	tree := t.secondary[ord]
+	entries := make([]IndexEntry, 0, 16)
+	collect := func(key []sqlval.Value, id int64) bool {
+		entries = append(entries, IndexEntry{Key: key, ID: id})
+		return true
+	}
+	if desc {
+		tree.DescendRange(to, from, collect)
+	} else {
+		tree.AscendRange(from, to, collect)
+	}
+	t.mu.RUnlock()
+	for _, e := range entries {
+		if !fn(e) {
+			return
+		}
+	}
+}
+
+// ScanAll iterates every row slot in unspecified order.
+func (t *Table) ScanAll(fn func(id RowID, r *Row) bool) {
+	t.mu.RLock()
+	ids := make([]RowID, 0, len(t.rows))
+	for id := range t.rows {
+		ids = append(ids, id)
+	}
+	t.mu.RUnlock()
+	for _, id := range ids {
+		t.mu.RLock()
+		r, ok := t.rows[id]
+		t.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		if !fn(id, r) {
+			return
+		}
+	}
+}
+
+// Truncate drops all rows and index entries. Callers must ensure no
+// concurrent transactions touch the table (the engine takes care of this).
+func (t *Table) Truncate() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows = map[RowID]*Row{}
+	if t.primary != nil {
+		t.primary = btree.New()
+	}
+	for i := range t.secondary {
+		t.secondary[i] = btree.New()
+	}
+}
+
+// Vacuum removes committed-deleted rows whose delete timestamp is below
+// horizon, along with their index entries, and prunes version chains down to
+// the newest version visible at horizon. It returns the number of row slots
+// reclaimed.
+func (t *Table) Vacuum(horizon uint64) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	reclaimed := 0
+	for id, row := range t.rows {
+		row.Lock()
+		v := row.Latest()
+		if v != nil && committed(v.Begin()) && committed(v.End()) && v.End() != Infinity && v.End() <= horizon {
+			// Entire row is dead to every possible reader.
+			delete(t.rows, id)
+			for img := v; img != nil; img = img.Next() {
+				if t.primary != nil {
+					key := t.pkKey(img.Data)
+					if cur, ok := t.primary.Get(key); ok && cur == id {
+						t.primary.Delete(key)
+					}
+				}
+				for i, idx := range t.secondaryMeta {
+					t.secondary[i].Delete(indexKey(idx, img.Data, id))
+				}
+			}
+			reclaimed++
+			row.Unlock()
+			continue
+		}
+		// Prune chain tail: keep versions needed by readers at horizon.
+		for cur := row.Latest(); cur != nil; cur = cur.Next() {
+			if committed(cur.Begin()) && cur.Begin() <= horizon {
+				cur.SetNext(nil)
+				break
+			}
+		}
+		row.Unlock()
+	}
+	return reclaimed
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,22 @@
+package txn
+
+import "errors"
+
+// ErrWriteConflict is returned by the MVCC engine when first-updater-wins
+// detects a concurrent write to the same row. The transaction is aborted and
+// should be retried by the caller.
+var ErrWriteConflict = errors.New("txn: write-write conflict, transaction aborted")
+
+// ErrDeadlock is returned by the locking engine when wait-die kills the
+// younger transaction of a conflicting pair. The transaction is aborted and
+// should be retried by the caller.
+var ErrDeadlock = errors.New("txn: lock conflict (wait-die), transaction aborted")
+
+// ErrTxnDone is returned when operating on a committed or aborted transaction.
+var ErrTxnDone = errors.New("txn: transaction already finished")
+
+// IsRetryable reports whether err is a concurrency abort that the workload
+// driver may transparently retry.
+func IsRetryable(err error) bool {
+	return errors.Is(err, ErrWriteConflict) || errors.Is(err, ErrDeadlock)
+}

@@ -1,0 +1,157 @@
+package txn
+
+import (
+	"sync"
+
+	"benchpress/internal/sqldb/storage"
+)
+
+// lockMode is the strength of a row lock.
+type lockMode uint8
+
+const (
+	lockShared lockMode = iota
+	lockExclusive
+)
+
+// lockKey identifies one lockable row.
+type lockKey struct {
+	table *storage.Table
+	row   storage.RowID
+}
+
+// lockState is the runtime state of one lock: its holders and a condition
+// variable for waiters.
+type lockState struct {
+	holders map[uint64]lockMode // txn id -> strongest mode held
+	waiters int
+}
+
+const lockShards = 64
+
+// lockShard is one partition of the lock table.
+type lockShard struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	locks map[lockKey]*lockState
+}
+
+// lockManager implements strict two-phase row locking with wait-die deadlock
+// avoidance: on conflict, an older requester (smaller transaction id) waits
+// and a younger requester aborts with ErrDeadlock. Wait-for edges therefore
+// always point from older to younger transactions, which makes cycles - and
+// hence deadlocks - impossible.
+type lockManager struct {
+	shards [lockShards]lockShard
+}
+
+func newLockManager() *lockManager {
+	m := &lockManager{}
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.locks = map[lockKey]*lockState{}
+		s.cond = sync.NewCond(&s.mu)
+	}
+	return m
+}
+
+func (m *lockManager) shard(k lockKey) *lockShard {
+	// Row ids are sequential per table; mixing in the table pointer spreads
+	// tables across shards.
+	h := uint64(k.row) * 0x9e3779b97f4a7c15
+	return &m.shards[h%lockShards]
+}
+
+// compatible reports whether txn id may take mode given the current holders.
+func compatible(st *lockState, id uint64, mode lockMode) bool {
+	for holder, held := range st.holders {
+		if holder == id {
+			continue // upgrades only conflict with other holders
+		}
+		if mode == lockExclusive || held == lockExclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// oldestConflictor returns the smallest conflicting holder id, used by
+// wait-die to decide whether the requester waits or dies.
+func oldestConflictor(st *lockState, id uint64, mode lockMode) uint64 {
+	var oldest uint64 = ^uint64(0)
+	for holder, held := range st.holders {
+		if holder == id {
+			continue
+		}
+		if mode == lockExclusive || held == lockExclusive {
+			if holder < oldest {
+				oldest = holder
+			}
+		}
+	}
+	return oldest
+}
+
+// acquire takes the lock for txn id, blocking per wait-die. It records the
+// strongest mode held. It returns ErrDeadlock when wait-die kills the caller.
+func (m *lockManager) acquire(id uint64, k lockKey, mode lockMode) error {
+	s := m.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.locks[k]
+	if !ok {
+		st = &lockState{holders: map[uint64]lockMode{}}
+		s.locks[k] = st
+	}
+	for {
+		if held, mine := st.holders[id]; mine && (held == lockExclusive || mode == lockShared) {
+			return nil // already hold a sufficient mode
+		}
+		if compatible(st, id, mode) {
+			if held, mine := st.holders[id]; !mine || mode > held {
+				st.holders[id] = mode
+			}
+			return nil
+		}
+		// Wait-die: only wait for younger transactions.
+		if oldest := oldestConflictor(st, id, mode); id > oldest {
+			if len(st.holders) == 0 && st.waiters == 0 {
+				delete(s.locks, k)
+			}
+			return ErrDeadlock
+		}
+		st.waiters++
+		s.cond.Wait()
+		st.waiters--
+		// The state may have been deleted and recreated while waiting.
+		if cur, ok := s.locks[k]; !ok {
+			st = &lockState{holders: map[uint64]lockMode{}}
+			s.locks[k] = st
+		} else {
+			st = cur
+		}
+	}
+}
+
+// release drops every lock held by txn id among the given keys.
+func (m *lockManager) release(id uint64, keys map[lockKey]lockMode) {
+	// Group by shard to take each shard lock once.
+	byShard := map[*lockShard][]lockKey{}
+	for k := range keys {
+		s := m.shard(k)
+		byShard[s] = append(byShard[s], k)
+	}
+	for s, ks := range byShard {
+		s.mu.Lock()
+		for _, k := range ks {
+			if st, ok := s.locks[k]; ok {
+				delete(st.holders, id)
+				if len(st.holders) == 0 && st.waiters == 0 {
+					delete(s.locks, k)
+				}
+			}
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,263 @@
+package sqlval
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{Null(), KindNull},
+		{NewInt(42), KindInt},
+		{NewFloat(3.5), KindFloat},
+		{NewString("x"), KindString},
+		{NewBool(true), KindBool},
+		{NewTime(time.Unix(0, 0)), KindTime},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("Kind() = %v, want %v", c.v.Kind(), c.kind)
+		}
+	}
+	if !Null().IsNull() || NewInt(0).IsNull() {
+		t.Error("IsNull misclassified")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	if NewInt(7).Int() != 7 {
+		t.Error("Int accessor")
+	}
+	if NewFloat(2.5).Float() != 2.5 {
+		t.Error("Float accessor")
+	}
+	if NewFloat(2.9).Int() != 2 {
+		t.Error("Float->Int truncation")
+	}
+	if NewInt(3).Float() != 3.0 {
+		t.Error("Int->Float widening")
+	}
+	if NewString("abc").Str() != "abc" {
+		t.Error("Str accessor")
+	}
+	if !NewBool(true).Bool() || NewBool(false).Bool() {
+		t.Error("Bool accessor")
+	}
+	if NewInt(1).Bool() != true || NewInt(0).Bool() != false {
+		t.Error("Int->Bool")
+	}
+	if NewString("41").Int() != 41 {
+		t.Error("numeric string Int")
+	}
+	ts := time.Date(2015, 5, 31, 0, 0, 0, 0, time.UTC)
+	if !NewTime(ts).Time().Equal(ts) {
+		t.Error("Time accessor")
+	}
+}
+
+func TestFromGo(t *testing.T) {
+	for _, in := range []any{nil, 1, int8(1), int16(1), int32(1), int64(1), uint(1), uint32(1), uint64(1), float32(1), float64(1), "s", true, time.Now()} {
+		if _, err := FromGo(in); err != nil {
+			t.Errorf("FromGo(%T) error: %v", in, err)
+		}
+	}
+	if _, err := FromGo(struct{}{}); err == nil {
+		t.Error("FromGo(struct{}) should fail")
+	}
+	v, _ := FromGo(NewInt(9))
+	if v.Int() != 9 {
+		t.Error("FromGo(Value) passthrough")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewFloat(1.5), NewInt(2), -1},
+		{NewInt(2), NewFloat(1.5), 1},
+		{NewFloat(2), NewInt(2), 0},
+		{NewString("a"), NewString("b"), -1},
+		{Null(), NewInt(0), -1},
+		{NewInt(0), Null(), 1},
+		{Null(), Null(), 0},
+		{NewString("10"), NewInt(9), 1}, // numeric string compares numerically
+		{NewBool(false), NewBool(true), -1},
+		{NewTime(time.Unix(1, 0)), NewTime(time.Unix(2, 0)), -1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEqualNullSemantics(t *testing.T) {
+	if Equal(Null(), Null()) {
+		t.Error("NULL = NULL must be false")
+	}
+	if Equal(Null(), NewInt(0)) || Equal(NewInt(0), Null()) {
+		t.Error("NULL = x must be false")
+	}
+	if !Equal(NewInt(5), NewFloat(5)) {
+		t.Error("5 = 5.0 must be true")
+	}
+}
+
+func TestCompareRows(t *testing.T) {
+	a := []Value{NewInt(1), NewString("b")}
+	b := []Value{NewInt(1), NewString("c")}
+	if CompareRows(a, b) != -1 {
+		t.Error("row compare second column")
+	}
+	if CompareRows(a, a) != 0 {
+		t.Error("row compare equal")
+	}
+	if CompareRows([]Value{NewInt(1)}, a) != -1 {
+		t.Error("shorter prefix sorts first")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	mustV := func(v Value, err error) Value {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if mustV(Add(NewInt(2), NewInt(3))).Int() != 5 {
+		t.Error("int add")
+	}
+	if mustV(Add(NewInt(2), NewFloat(0.5))).Float() != 2.5 {
+		t.Error("mixed add widens to float")
+	}
+	if mustV(Sub(NewInt(2), NewInt(3))).Int() != -1 {
+		t.Error("sub")
+	}
+	if mustV(Mul(NewInt(4), NewInt(3))).Int() != 12 {
+		t.Error("mul")
+	}
+	if mustV(Div(NewInt(7), NewInt(2))).Int() != 3 {
+		t.Error("integer division")
+	}
+	if mustV(Div(NewFloat(7), NewInt(2))).Float() != 3.5 {
+		t.Error("float division")
+	}
+	if _, err := Div(NewInt(1), NewInt(0)); err == nil {
+		t.Error("division by zero must error")
+	}
+	if !mustV(Add(Null(), NewInt(1))).IsNull() {
+		t.Error("NULL propagates through arithmetic")
+	}
+	if mustV(Add(NewString("a"), NewString("b"))).Str() != "ab" {
+		t.Error("string + concatenates")
+	}
+}
+
+func TestCoerceKind(t *testing.T) {
+	v, err := CoerceKind(NewString("42"), KindInt)
+	if err != nil || v.Int() != 42 {
+		t.Errorf("string->int coerce: %v %v", v, err)
+	}
+	v, err = CoerceKind(NewInt(2), KindFloat)
+	if err != nil || v.Float() != 2.0 {
+		t.Errorf("int->float coerce: %v %v", v, err)
+	}
+	v, err = CoerceKind(NewFloat(2.9), KindInt)
+	if err != nil || v.Int() != 2 {
+		t.Errorf("float->int coerce: %v %v", v, err)
+	}
+	if _, err := CoerceKind(NewString("xyz"), KindInt); err == nil {
+		t.Error("bad string->int must error")
+	}
+	v, err = CoerceKind(NewString("2015-05-31 12:00:00"), KindTime)
+	if err != nil || v.Time().Year() != 2015 {
+		t.Errorf("string->time coerce: %v %v", v, err)
+	}
+	n, err := CoerceKind(Null(), KindInt)
+	if err != nil || !n.IsNull() {
+		t.Error("NULL passes through coercion")
+	}
+	v, err = CoerceKind(NewInt(123), KindString)
+	if err != nil || v.Str() != "123" {
+		t.Errorf("int->string coerce: %v %v", v, err)
+	}
+	v, err = CoerceKind(NewString("true"), KindBool)
+	if err != nil || !v.Bool() {
+		t.Errorf("string->bool coerce: %v %v", v, err)
+	}
+}
+
+func TestEncodeKeyInjective(t *testing.T) {
+	// Distinct composite keys must encode to distinct strings.
+	keys := [][]Value{
+		{NewInt(1), NewString("a")},
+		{NewInt(1), NewString("b")},
+		{NewString("1a")},
+		{NewString("1"), NewString("a")},
+		{NewInt(1)},
+		{NewFloat(1)},
+		{Null()},
+		{NewBool(false), NewBool(true)},
+		{},
+	}
+	seen := map[string]int{}
+	for i, k := range keys {
+		enc := EncodeKey(k)
+		if j, dup := seen[enc]; dup {
+			t.Errorf("keys %d and %d encode identically", i, j)
+		}
+		seen[enc] = i
+	}
+}
+
+// Property: Compare is antisymmetric and consistent with Equal for ints.
+func TestCompareProperty(t *testing.T) {
+	prop := func(a, b int64) bool {
+		va, vb := NewInt(a), NewInt(b)
+		c1, c2 := Compare(va, vb), Compare(vb, va)
+		if c1 != -c2 {
+			return false
+		}
+		return (c1 == 0) == (a == b) && Equal(va, vb) == (a == b)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: EncodeKey is injective for (int64, string) pairs.
+func TestEncodeKeyProperty(t *testing.T) {
+	prop := func(a1 int64, s1 string, a2 int64, s2 string) bool {
+		k1 := EncodeKey([]Value{NewInt(a1), NewString(s1)})
+		k2 := EncodeKey([]Value{NewInt(a2), NewString(s2)})
+		return (k1 == k2) == (a1 == a2 && s1 == s2)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	if Null().Format() != "NULL" {
+		t.Error("NULL format")
+	}
+	if NewInt(-5).Format() != "-5" {
+		t.Error("int format")
+	}
+	if NewBool(true).Format() != "true" {
+		t.Error("bool format")
+	}
+	if NewFloat(1.25).Format() != "1.25" {
+		t.Error("float format")
+	}
+}

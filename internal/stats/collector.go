@@ -1,0 +1,267 @@
+package stats
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Status classifies one transaction attempt's outcome.
+type Status uint8
+
+const (
+	// StatusOK is a committed transaction.
+	StatusOK Status = iota
+	// StatusAborted is a concurrency abort (deadlock/write conflict) that
+	// exhausted its retries or was not retried.
+	StatusAborted
+	// StatusRetry is one retried attempt (the eventual outcome is recorded
+	// separately).
+	StatusRetry
+	// StatusError is a non-concurrency error.
+	StatusError
+)
+
+// Window is one finalized throughput window.
+type Window struct {
+	// Index is the window's ordinal since collection start.
+	Index int
+	// Start is the offset of the window start since collection start.
+	Start time.Duration
+	// Committed, Aborted, Errors, Retries count outcomes in the window.
+	Committed int64
+	Aborted   int64
+	Errors    int64
+	Retries   int64
+	// PerType counts committed transactions per type.
+	PerType []int64
+	// SumLatencyUS sums committed-transaction latencies (microseconds).
+	SumLatencyUS int64
+}
+
+// TPS returns the committed throughput of the window given its duration.
+func (w Window) TPS(windowDur time.Duration) float64 {
+	return float64(w.Committed) / windowDur.Seconds()
+}
+
+// AvgLatency returns the mean committed latency in the window.
+func (w Window) AvgLatency() time.Duration {
+	if w.Committed == 0 {
+		return 0
+	}
+	return time.Duration(w.SumLatencyUS/w.Committed) * time.Microsecond
+}
+
+// liveWindow accumulates the in-progress window with atomics.
+type liveWindow struct {
+	idx       int
+	committed atomic.Int64
+	aborted   atomic.Int64
+	errors    atomic.Int64
+	retries   atomic.Int64
+	perType   []atomic.Int64
+	sumLatUS  atomic.Int64
+}
+
+// Collector aggregates worker observations for one workload.
+type Collector struct {
+	start     time.Time
+	windowDur time.Duration
+	types     []string
+
+	mu      sync.Mutex
+	live    *liveWindow
+	history []Window
+
+	global  *Histogram
+	perType []*Histogram
+
+	committed atomic.Int64
+	aborted   atomic.Int64
+	errors    atomic.Int64
+	retries   atomic.Int64
+}
+
+// NewCollector creates a collector for the given transaction-type names with
+// 1-second windows.
+func NewCollector(types []string) *Collector {
+	return NewCollectorWindow(types, time.Second)
+}
+
+// NewCollectorWindow creates a collector with a custom window duration.
+func NewCollectorWindow(types []string, window time.Duration) *Collector {
+	c := &Collector{
+		start:     time.Now(),
+		windowDur: window,
+		types:     append([]string(nil), types...),
+		global:    &Histogram{},
+		perType:   make([]*Histogram, len(types)),
+	}
+	for i := range c.perType {
+		c.perType[i] = &Histogram{}
+	}
+	c.live = c.newLive(0)
+	return c
+}
+
+func (c *Collector) newLive(idx int) *liveWindow {
+	return &liveWindow{idx: idx, perType: make([]atomic.Int64, len(c.types))}
+}
+
+// Types returns the transaction-type names.
+func (c *Collector) Types() []string { return c.types }
+
+// Start returns the collection start time.
+func (c *Collector) Start() time.Time { return c.start }
+
+// WindowDuration returns the throughput window length.
+func (c *Collector) WindowDuration() time.Duration { return c.windowDur }
+
+// windowIndex returns the window ordinal for time t.
+func (c *Collector) windowIndex(t time.Time) int {
+	return int(t.Sub(c.start) / c.windowDur)
+}
+
+// advance rotates the live window forward to idx, materializing finished
+// windows (including empty gaps) into history. Callers hold c.mu.
+func (c *Collector) advance(idx int) {
+	for c.live.idx < idx {
+		w := c.live
+		c.history = append(c.history, Window{
+			Index:        w.idx,
+			Start:        time.Duration(w.idx) * c.windowDur,
+			Committed:    w.committed.Load(),
+			Aborted:      w.aborted.Load(),
+			Errors:       w.errors.Load(),
+			Retries:      w.retries.Load(),
+			PerType:      loadAll(w.perType),
+			SumLatencyUS: w.sumLatUS.Load(),
+		})
+		c.live = c.newLive(w.idx + 1)
+	}
+}
+
+func loadAll(a []atomic.Int64) []int64 {
+	out := make([]int64, len(a))
+	for i := range a {
+		out[i] = a[i].Load()
+	}
+	return out
+}
+
+// Record notes one transaction attempt outcome. typeIdx indexes the
+// collector's type list; latency applies to committed transactions.
+func (c *Collector) Record(typeIdx int, status Status, latency time.Duration) {
+	now := time.Now()
+	idx := c.windowIndex(now)
+	c.mu.Lock()
+	if idx > c.live.idx {
+		c.advance(idx)
+	}
+	w := c.live
+	c.mu.Unlock()
+
+	switch status {
+	case StatusOK:
+		w.committed.Add(1)
+		w.sumLatUS.Add(latency.Microseconds())
+		if typeIdx >= 0 && typeIdx < len(w.perType) {
+			w.perType[typeIdx].Add(1)
+			c.perType[typeIdx].Record(latency)
+		}
+		c.global.Record(latency)
+		c.committed.Add(1)
+	case StatusAborted:
+		w.aborted.Add(1)
+		c.aborted.Add(1)
+	case StatusRetry:
+		w.retries.Add(1)
+		c.retries.Add(1)
+	case StatusError:
+		w.errors.Add(1)
+		c.errors.Add(1)
+	}
+}
+
+// Committed returns the total committed count.
+func (c *Collector) Committed() int64 { return c.committed.Load() }
+
+// Aborted returns the total aborted count.
+func (c *Collector) Aborted() int64 { return c.aborted.Load() }
+
+// Errors returns the total error count.
+func (c *Collector) Errors() int64 { return c.errors.Load() }
+
+// Retries returns the total retry count.
+func (c *Collector) Retries() int64 { return c.retries.Load() }
+
+// Global returns the all-types latency histogram.
+func (c *Collector) Global() *Histogram { return c.global }
+
+// TypeHistogram returns the latency histogram of one transaction type.
+func (c *Collector) TypeHistogram(i int) *Histogram { return c.perType[i] }
+
+// Windows returns all finalized windows up to now (forcing rotation of any
+// windows that have fully elapsed).
+func (c *Collector) Windows() []Window {
+	idx := c.windowIndex(time.Now())
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.advance(idx)
+	out := make([]Window, len(c.history))
+	copy(out, c.history)
+	return out
+}
+
+// Snapshot is the instantaneous feedback the control API serves: the last
+// complete window's throughput and per-type average latency, as the paper's
+// Section 2.2.4 describes.
+type Snapshot struct {
+	// Elapsed is the time since collection start.
+	Elapsed time.Duration
+	// TPS is the committed throughput of the last complete window.
+	TPS float64
+	// AbortsPerSec is the abort rate of the last complete window.
+	AbortsPerSec float64
+	// AvgLatency is the mean committed latency of the last complete window.
+	AvgLatency time.Duration
+	// TypeNames and TypeLatency give per-transaction-type mean latency over
+	// the whole run; TypeCounts the committed totals.
+	TypeNames   []string
+	TypeLatency []time.Duration
+	TypeCounts  []int64
+	// Totals.
+	Committed, Aborted, Errors, Retries int64
+}
+
+// Snapshot returns instantaneous performance feedback.
+func (c *Collector) Snapshot() Snapshot {
+	now := time.Now()
+	idx := c.windowIndex(now)
+	c.mu.Lock()
+	c.advance(idx)
+	var last Window
+	if n := len(c.history); n > 0 {
+		last = c.history[n-1]
+	}
+	c.mu.Unlock()
+
+	s := Snapshot{
+		Elapsed:      now.Sub(c.start),
+		TPS:          last.TPS(c.windowDur),
+		AbortsPerSec: float64(last.Aborted) / c.windowDur.Seconds(),
+		AvgLatency:   last.AvgLatency(),
+		TypeNames:    c.types,
+		Committed:    c.committed.Load(),
+		Aborted:      c.aborted.Load(),
+		Errors:       c.errors.Load(),
+		Retries:      c.retries.Load(),
+	}
+	s.TypeLatency = make([]time.Duration, len(c.types))
+	s.TypeCounts = make([]int64, len(c.types))
+	for i := range c.types {
+		s.TypeLatency[i] = c.perType[i].Mean()
+		s.TypeCounts[i] = c.perType[i].Count()
+	}
+	return s
+}

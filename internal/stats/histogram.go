@@ -1,0 +1,137 @@
+// Package stats implements the statistics collection side of the testbed:
+// latency histograms, per-transaction-type breakdowns, and per-second
+// throughput series. Workers record into a Collector concurrently; the
+// control API and the game read instantaneous snapshots from it.
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a concurrent log-bucketed latency histogram (HDR-style):
+// values are bucketed by magnitude with subBuckets linear sub-buckets per
+// power of two, giving bounded relative error across microseconds to minutes.
+type Histogram struct {
+	counts [nBuckets]atomic.Int64
+	total  atomic.Int64
+	sum    atomic.Int64 // sum of recorded microseconds, for Mean
+	max    atomic.Int64
+}
+
+const (
+	subBucketBits = 6 // 64 sub-buckets: <= ~3.2% relative error
+	subBuckets    = 1 << subBucketBits
+	magnitudes    = 32 // covers up to ~2^36 us (~19 hours)
+	nBuckets      = magnitudes * subBuckets
+)
+
+// bucketFor maps a microsecond value to a bucket index.
+func bucketFor(us int64) int {
+	if us < 0 {
+		us = 0
+	}
+	if us < subBuckets {
+		return int(us)
+	}
+	mag := bits.Len64(uint64(us)) - subBucketBits // position of leading bit above sub-bucket range
+	sub := us >> uint(mag)                        // top subBucketBits bits
+	idx := mag*subBuckets + int(sub)
+	if idx >= nBuckets {
+		idx = nBuckets - 1
+	}
+	return idx
+}
+
+// bucketMid returns a representative microsecond value for a bucket.
+func bucketMid(idx int) int64 {
+	if idx < subBuckets {
+		return int64(idx)
+	}
+	mag := idx / subBuckets
+	sub := int64(idx % subBuckets)
+	return sub << uint(mag)
+}
+
+// Record adds one latency observation.
+func (h *Histogram) Record(d time.Duration) {
+	us := d.Microseconds()
+	h.counts[bucketFor(us)].Add(1)
+	h.total.Add(1)
+	h.sum.Add(us)
+	for {
+		cur := h.max.Load()
+		if us <= cur || h.max.CompareAndSwap(cur, us) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Mean returns the mean latency.
+func (h *Histogram) Mean() time.Duration {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load()/n) * time.Microsecond
+}
+
+// Max returns the maximum recorded latency.
+func (h *Histogram) Max() time.Duration {
+	return time.Duration(h.max.Load()) * time.Microsecond
+}
+
+// Percentile returns the latency at percentile p in [0,100].
+func (h *Histogram) Percentile(p float64) time.Duration {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	target := int64(p / 100 * float64(n))
+	if target >= n {
+		target = n - 1
+	}
+	var cum int64
+	for i := 0; i < nBuckets; i++ {
+		cum += h.counts[i].Load()
+		if cum > target {
+			return time.Duration(bucketMid(i)) * time.Microsecond
+		}
+	}
+	return h.Max()
+}
+
+// Snapshot copies the histogram's summary statistics.
+func (h *Histogram) Snapshot() LatencySummary {
+	return LatencySummary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Percentile(50),
+		P95:   h.Percentile(95),
+		P99:   h.Percentile(99),
+		Max:   h.Max(),
+	}
+}
+
+// LatencySummary is a point-in-time latency digest.
+type LatencySummary struct {
+	Count int64
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// String renders the summary compactly.
+func (s LatencySummary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2fms p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms",
+		s.Count, ms(s.Mean), ms(s.P50), ms(s.P95), ms(s.P99), ms(s.Max))
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

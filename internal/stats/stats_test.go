@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := &Histogram{}
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	mean := h.Mean()
+	if mean < 45*time.Millisecond || mean > 56*time.Millisecond {
+		t.Fatalf("mean = %v", mean)
+	}
+	p50 := h.Percentile(50)
+	if p50 < 40*time.Millisecond || p50 > 60*time.Millisecond {
+		t.Fatalf("p50 = %v", p50)
+	}
+	p99 := h.Percentile(99)
+	if p99 < 90*time.Millisecond || p99 > 105*time.Millisecond {
+		t.Fatalf("p99 = %v", p99)
+	}
+	if h.Max() < 99*time.Millisecond {
+		t.Fatalf("max = %v", h.Max())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := &Histogram{}
+	if h.Mean() != 0 || h.Percentile(99) != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram non-zero")
+	}
+	s := h.Snapshot()
+	if s.Count != 0 {
+		t.Fatal("snapshot count")
+	}
+}
+
+// Property: bucketFor is monotone and bucketMid stays within ~2x relative
+// error of representative values.
+func TestBucketProperty(t *testing.T) {
+	prop := func(raw uint32) bool {
+		us := int64(raw)
+		b := bucketFor(us)
+		if b < 0 || b >= nBuckets {
+			return false
+		}
+		if us > 0 && bucketFor(us-1) > b {
+			return false // monotonicity
+		}
+		mid := bucketMid(b)
+		if us >= subBuckets {
+			// Relative error bound for log buckets.
+			if mid > us || float64(us-mid) > float64(us)*0.05 {
+				return false
+			}
+		} else if mid != us {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := &Histogram{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				h.Record(time.Duration(i%1000) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 80000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestCollectorWindows(t *testing.T) {
+	c := NewCollectorWindow([]string{"read", "write"}, 10*time.Millisecond)
+	for i := 0; i < 50; i++ {
+		c.Record(i%2, StatusOK, time.Millisecond)
+	}
+	c.Record(0, StatusAborted, 0)
+	c.Record(0, StatusError, 0)
+	c.Record(0, StatusRetry, 0)
+	time.Sleep(25 * time.Millisecond)
+	ws := c.Windows()
+	if len(ws) < 2 {
+		t.Fatalf("windows = %d", len(ws))
+	}
+	var committed int64
+	for _, w := range ws {
+		committed += w.Committed
+	}
+	if committed != 50 {
+		t.Fatalf("windowed committed = %d", committed)
+	}
+	if c.Committed() != 50 || c.Aborted() != 1 || c.Errors() != 1 || c.Retries() != 1 {
+		t.Fatalf("totals: %d %d %d %d", c.Committed(), c.Aborted(), c.Errors(), c.Retries())
+	}
+}
+
+func TestCollectorPerType(t *testing.T) {
+	c := NewCollector([]string{"a", "b"})
+	c.Record(0, StatusOK, 10*time.Millisecond)
+	c.Record(0, StatusOK, 20*time.Millisecond)
+	c.Record(1, StatusOK, 100*time.Millisecond)
+	if c.TypeHistogram(0).Count() != 2 || c.TypeHistogram(1).Count() != 1 {
+		t.Fatal("per-type counts")
+	}
+	m := c.TypeHistogram(0).Mean()
+	if m < 14*time.Millisecond || m > 16*time.Millisecond {
+		t.Fatalf("type mean = %v", m)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	c := NewCollectorWindow([]string{"t"}, 10*time.Millisecond)
+	for i := 0; i < 30; i++ {
+		c.Record(0, StatusOK, 2*time.Millisecond)
+		time.Sleep(time.Millisecond)
+	}
+	s := c.Snapshot()
+	if s.TPS <= 0 {
+		t.Fatalf("snapshot TPS = %v", s.TPS)
+	}
+	if s.Committed != 30 {
+		t.Fatalf("committed = %d", s.Committed)
+	}
+	if len(s.TypeLatency) != 1 || s.TypeLatency[0] <= 0 {
+		t.Fatalf("type latency = %v", s.TypeLatency)
+	}
+}
+
+func TestWindowGapsAreMaterialized(t *testing.T) {
+	c := NewCollectorWindow([]string{"t"}, 5*time.Millisecond)
+	c.Record(0, StatusOK, time.Millisecond)
+	time.Sleep(30 * time.Millisecond)
+	c.Record(0, StatusOK, time.Millisecond)
+	time.Sleep(10 * time.Millisecond)
+	ws := c.Windows()
+	if len(ws) < 5 {
+		t.Fatalf("expected gap windows, got %d", len(ws))
+	}
+	empty := 0
+	for _, w := range ws {
+		if w.Committed == 0 {
+			empty++
+		}
+	}
+	if empty == 0 {
+		t.Fatal("no empty gap windows recorded")
+	}
+	// Window indexes must be consecutive.
+	for i := 1; i < len(ws); i++ {
+		if ws[i].Index != ws[i-1].Index+1 {
+			t.Fatalf("non-consecutive windows: %d then %d", ws[i-1].Index, ws[i].Index)
+		}
+	}
+}
+
+func TestLatencySummaryString(t *testing.T) {
+	h := &Histogram{}
+	h.Record(time.Millisecond)
+	if s := h.Snapshot().String(); s == "" {
+		t.Fatal("empty summary string")
+	}
+}

@@ -1,0 +1,203 @@
+// Package wal implements a write-ahead log with emulated durability cost.
+//
+// The engine substitutes this for a real disk fsync path: commit records are
+// encoded and buffered, and the configured sync policy determines how long a
+// committing transaction waits. SyncGroup reproduces group commit - many
+// concurrent committers share one flush tick - which is the dominant
+// throughput/latency trade-off the BenchPress demo surfaces when a DBMS
+// "struggles at maintaining the rate".
+package wal
+
+import (
+	"encoding/binary"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SyncPolicy selects how a commit waits for durability.
+type SyncPolicy uint8
+
+const (
+	// SyncNone returns immediately after buffering (no durability wait).
+	SyncNone SyncPolicy = iota
+	// SyncAsync persists in the background; commits never wait.
+	SyncAsync
+	// SyncGroup makes each commit wait for the next group flush tick,
+	// emulating batched fsync.
+	SyncGroup
+)
+
+// String names the policy.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncNone:
+		return "none"
+	case SyncAsync:
+		return "async"
+	case SyncGroup:
+		return "group"
+	default:
+		return "?"
+	}
+}
+
+// recordHeaderSize is the encoded size of one commit record header:
+// sequence (8) + record count (4) + reserved (4).
+const recordHeaderSize = 16
+
+// Log is a write-ahead log. A nil *Log is valid and performs no work, so
+// engines without durability emulation skip the whole path.
+type Log struct {
+	policy   SyncPolicy
+	interval time.Duration
+	w        io.Writer
+
+	mu      sync.Mutex
+	buf     []byte
+	flushCh chan struct{}
+	stop    chan struct{}
+	stopped sync.WaitGroup
+
+	seq     atomic.Uint64
+	records atomic.Uint64
+	flushes atomic.Uint64
+	bytes   atomic.Uint64
+}
+
+// Options configures a Log.
+type Options struct {
+	// Policy is the durability wait mode.
+	Policy SyncPolicy
+	// GroupInterval is the flush cadence for SyncGroup/SyncAsync.
+	// Zero defaults to 200 microseconds.
+	GroupInterval time.Duration
+	// W receives flushed bytes; nil discards them.
+	W io.Writer
+}
+
+// New starts a log with the given options.
+func New(opts Options) *Log {
+	if opts.GroupInterval <= 0 {
+		opts.GroupInterval = 200 * time.Microsecond
+	}
+	if opts.W == nil {
+		opts.W = io.Discard
+	}
+	l := &Log{
+		policy:   opts.Policy,
+		interval: opts.GroupInterval,
+		w:        opts.W,
+		flushCh:  make(chan struct{}),
+		stop:     make(chan struct{}),
+	}
+	if l.policy != SyncNone {
+		l.stopped.Add(1)
+		go l.flusher()
+	}
+	return l
+}
+
+// Policy returns the log's sync policy.
+func (l *Log) Policy() SyncPolicy {
+	if l == nil {
+		return SyncNone
+	}
+	return l.policy
+}
+
+// Append encodes one commit record covering n row writes and waits according
+// to the sync policy. It is safe for concurrent use.
+func (l *Log) Append(n int) error {
+	if l == nil {
+		return nil
+	}
+	seq := l.seq.Add(1)
+	var rec [recordHeaderSize]byte
+	binary.BigEndian.PutUint64(rec[0:8], seq)
+	binary.BigEndian.PutUint32(rec[8:12], uint32(n))
+
+	l.mu.Lock()
+	l.buf = append(l.buf, rec[:]...)
+	ch := l.flushCh
+	l.mu.Unlock()
+	l.records.Add(1)
+
+	if l.policy == SyncGroup {
+		select {
+		case <-ch:
+		case <-l.stop:
+		}
+	}
+	return nil
+}
+
+// flusher periodically drains the buffer and releases group-commit waiters.
+func (l *Log) flusher() {
+	defer l.stopped.Done()
+	ticker := time.NewTicker(l.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			l.flush()
+		case <-l.stop:
+			l.flush()
+			return
+		}
+	}
+}
+
+func (l *Log) flush() {
+	l.mu.Lock()
+	buf := l.buf
+	l.buf = nil
+	old := l.flushCh
+	l.flushCh = make(chan struct{})
+	l.mu.Unlock()
+	if len(buf) > 0 {
+		l.w.Write(buf) // best-effort; the sink is an emulation target
+		l.bytes.Add(uint64(len(buf)))
+		l.flushes.Add(1)
+	}
+	close(old)
+}
+
+// Close stops the flusher after a final flush.
+func (l *Log) Close() {
+	if l == nil || l.policy == SyncNone {
+		return
+	}
+	select {
+	case <-l.stop:
+		return // already closed
+	default:
+	}
+	close(l.stop)
+	l.stopped.Wait()
+}
+
+// Records returns the number of appended commit records.
+func (l *Log) Records() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.records.Load()
+}
+
+// Flushes returns the number of non-empty flush ticks.
+func (l *Log) Flushes() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.flushes.Load()
+}
+
+// Bytes returns the number of bytes flushed.
+func (l *Log) Bytes() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.bytes.Load()
+}

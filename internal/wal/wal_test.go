@@ -1,0 +1,110 @@
+package wal
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	if err := l.Append(3); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if l.Records() != 0 || l.Flushes() != 0 || l.Bytes() != 0 {
+		t.Fatal("nil log counters")
+	}
+	if l.Policy() != SyncNone {
+		t.Fatal("nil log policy")
+	}
+}
+
+func TestSyncNoneNeverWaits(t *testing.T) {
+	l := New(Options{Policy: SyncNone})
+	defer l.Close()
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		l.Append(1)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("SyncNone appends took %v", d)
+	}
+	if l.Records() != 1000 {
+		t.Fatalf("records = %d", l.Records())
+	}
+}
+
+func TestSyncGroupFlushesAndReleases(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	l := New(Options{Policy: SyncGroup, GroupInterval: 100 * time.Microsecond, W: w})
+	defer l.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l.Append(2)
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("group-commit waiters never released")
+	}
+	if l.Records() != 20 {
+		t.Fatalf("records = %d", l.Records())
+	}
+	// Group commit must batch: with 20 appends in ~one interval, the flush
+	// count should be well below the record count.
+	if l.Flushes() == 0 || l.Flushes() >= 20 {
+		t.Fatalf("flushes = %d (batching broken)", l.Flushes())
+	}
+	mu.Lock()
+	n := buf.Len()
+	mu.Unlock()
+	if n != 20*recordHeaderSize {
+		t.Fatalf("flushed bytes = %d, want %d", n, 20*recordHeaderSize)
+	}
+}
+
+func TestSyncAsyncDoesNotBlock(t *testing.T) {
+	l := New(Options{Policy: SyncAsync, GroupInterval: time.Millisecond})
+	start := time.Now()
+	for i := 0; i < 100; i++ {
+		l.Append(1)
+	}
+	if d := time.Since(start); d > 50*time.Millisecond {
+		t.Fatalf("SyncAsync appends blocked: %v", d)
+	}
+	l.Close() // final flush
+	if l.Bytes() != 100*recordHeaderSize {
+		t.Fatalf("bytes = %d", l.Bytes())
+	}
+}
+
+func TestDoubleCloseSafe(t *testing.T) {
+	l := New(Options{Policy: SyncGroup})
+	l.Close()
+	l.Close()
+}
+
+func TestPolicyString(t *testing.T) {
+	if SyncNone.String() != "none" || SyncAsync.String() != "async" || SyncGroup.String() != "group" {
+		t.Fatal("policy names")
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
