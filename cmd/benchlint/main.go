@@ -1,0 +1,157 @@
+// Command benchlint runs the repository's domain static-analysis rules
+// (internal/analysis/rules) over Go packages and exits non-zero on
+// findings. It is the lint gate of scripts/verify.sh.
+//
+// Usage:
+//
+//	benchlint [-rule name[,name]] [-list] [-pkgpath path] [patterns ...]
+//
+// Patterns are package directories relative to the working directory;
+// "dir/..." recurses (default "./..."). A pattern naming a single .go file
+// lints that file alone as a synthetic package whose import path is set
+// with -pkgpath — this is how a rule's failing fixture can be checked from
+// the command line:
+//
+//	benchlint -pkgpath benchpress/internal/fixture internal/analysis/rules/testdata/errdiscard_bad.go
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load/type errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"benchpress/internal/analysis"
+	"benchpress/internal/analysis/rules"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("benchlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	ruleFlag := fs.String("rule", "", "comma-separated rule names to run (default: all)")
+	list := fs.Bool("list", false, "list available rules and exit")
+	pkgpath := fs.String("pkgpath", "benchpress/internal/lintfixture",
+		"synthetic import path for single-file arguments (rules scope by path)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, r := range rules.All() {
+			fmt.Fprintf(stdout, "%-20s %s\n", r.Name(), r.Doc())
+		}
+		return 0
+	}
+
+	active := rules.All()
+	if *ruleFlag != "" {
+		active = active[:0]
+		for _, name := range strings.Split(*ruleFlag, ",") {
+			r := rules.Lookup(strings.TrimSpace(name))
+			if r == nil {
+				fmt.Fprintf(stderr, "benchlint: unknown rule %q (see -list)\n", name)
+				return 2
+			}
+			active = append(active, r)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "benchlint:", err)
+		return 2
+	}
+	root, err := findModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchlint:", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchlint:", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var pkgs []*analysis.Package
+	var dirPatterns []string
+	for _, pat := range patterns {
+		if strings.HasSuffix(pat, ".go") {
+			pkg, err := loader.LoadFile(pat, *pkgpath)
+			if err != nil {
+				fmt.Fprintln(stderr, "benchlint:", err)
+				return 2
+			}
+			pkgs = append(pkgs, pkg)
+			continue
+		}
+		dirPatterns = append(dirPatterns, pat)
+	}
+	if len(dirPatterns) > 0 {
+		dirs, err := loader.Expand(dirPatterns, cwd)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchlint:", err)
+			return 2
+		}
+		for _, dir := range dirs {
+			pkg, err := loader.LoadDir(dir)
+			if err != nil {
+				fmt.Fprintln(stderr, "benchlint:", err)
+				return 2
+			}
+			pkgs = append(pkgs, pkg)
+		}
+	}
+
+	loadBroken := false
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(stderr, "benchlint: %s: %v\n", pkg.Path, terr)
+			loadBroken = true
+		}
+	}
+	if loadBroken {
+		return 2
+	}
+
+	diags := analysis.Run(pkgs, active)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, relativize(d, root))
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "benchlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// relativize shortens absolute diagnostic paths to module-relative ones.
+func relativize(d analysis.Diagnostic, root string) string {
+	if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		d.Pos.Filename = rel
+	}
+	return d.String()
+}
+
+// findModuleRoot walks upward from dir to the directory containing go.mod.
+func findModuleRoot(dir string) (string, error) {
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

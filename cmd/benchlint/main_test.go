@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtures maps every rule's failing fixture to the synthetic import path it
+// must be linted under; benchlint must exit 1 on each one.
+var fixtures = []struct {
+	file    string
+	pkgpath string
+}{
+	{"atomic_bad.go", "benchpress/internal/fixture"},
+	{"txn_bad.go", "benchpress/internal/fixture"},
+	{"errdiscard_bad.go", "benchpress/internal/fixture"},
+	{"boundary_bad.go", "benchpress/internal/benchmarks/fixture"},
+	{"goroutine_bad.go", "benchpress/internal/fixture"},
+}
+
+func testdata(name string) string {
+	return filepath.Join("..", "..", "internal", "analysis", "rules", "testdata", name)
+}
+
+// capture returns scratch files for run's stdout/stderr and a reader.
+func capture(t *testing.T) (*os.File, func() string) {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f, func() string {
+		data, err := os.ReadFile(f.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+}
+
+func TestFailingFixturesExitNonZero(t *testing.T) {
+	for _, tc := range fixtures {
+		tc := tc
+		t.Run(tc.file, func(t *testing.T) {
+			stdout, readOut := capture(t)
+			stderr, _ := capture(t)
+			code := run([]string{"-pkgpath", tc.pkgpath, testdata(tc.file)}, stdout, stderr)
+			if code != 1 {
+				t.Fatalf("exit code = %d, want 1", code)
+			}
+			if out := readOut(); !strings.Contains(out, tc.file+":") {
+				t.Errorf("findings do not name the fixture:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestCleanFileExitsZero(t *testing.T) {
+	stdout, _ := capture(t)
+	stderr, readErr := capture(t)
+	code := run([]string{"-pkgpath", "benchpress/internal/fixture", testdata("atomic_good.go")}, stdout, stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr:\n%s", code, readErr())
+	}
+}
+
+func TestListPrintsEveryRule(t *testing.T) {
+	stdout, readOut := capture(t)
+	stderr, _ := capture(t)
+	if code := run([]string{"-list"}, stdout, stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	out := readOut()
+	for _, name := range []string{"atomic-consistency", "txn-hygiene", "error-discard", "dialect-boundary", "bare-goroutine"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestUnknownRuleIsUsageError(t *testing.T) {
+	stdout, _ := capture(t)
+	stderr, readErr := capture(t)
+	if code := run([]string{"-rule", "no-such-rule"}, stdout, stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(readErr(), "unknown rule") {
+		t.Errorf("stderr missing diagnostic:\n%s", readErr())
+	}
+}

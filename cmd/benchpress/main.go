@@ -58,7 +58,7 @@ func main() {
 			fatal(ferr)
 		}
 		course, err = game.LoadCourse(f)
-		f.Close()
+		_ = f.Close() // read-only course file; close cannot lose data
 	} else {
 		course, err = experiments.BuildCourse(*courseName, *base,
 			time.Duration(*seconds*float64(time.Second)), 500*time.Millisecond)

@@ -92,7 +92,7 @@ func rateString(r float64) string {
 	return fmt.Sprintf("%g", r)
 }
 
-func run(wl *config.Workload, tracePath, replayPath string, seed int64, monitorOn bool) error {
+func run(wl *config.Workload, tracePath, replayPath string, seed int64, monitorOn bool) (retErr error) {
 	bench, err := core.NewBenchmark(wl.Benchmark, wl.ScaleFactor)
 	if err != nil {
 		return err
@@ -117,7 +117,7 @@ func run(wl *config.Workload, tracePath, replayPath string, seed int64, monitorO
 			return err
 		}
 		entries, err := trace.Read(f)
-		f.Close()
+		_ = f.Close() // read-only replay file; close cannot lose data
 		if err != nil {
 			return err
 		}
@@ -156,7 +156,13 @@ func run(wl *config.Workload, tracePath, replayPath string, seed int64, monitorO
 		if err != nil {
 			return err
 		}
-		defer traceFile.Close()
+		// The trace file is a write path: a failed close means recorded
+		// transactions were lost, so it must fail the run.
+		defer func() {
+			if cerr := traceFile.Close(); cerr != nil && retErr == nil {
+				retErr = fmt.Errorf("close trace file: %w", cerr)
+			}
+		}()
 		opts.Trace = trace.NewWriter(traceFile)
 	}
 

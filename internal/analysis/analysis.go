@@ -1,0 +1,132 @@
+// Package analysis is a from-scratch, stdlib-only static-analysis engine
+// for this repository. It loads packages with go/parser and type-checks them
+// with go/types (source importer), then runs pluggable rules that report
+// position-accurate diagnostics. Findings can be silenced in source with
+//
+//	//lint:ignore <rule>[,<rule>] <reason>
+//
+// placed on the flagged line or on the line directly above it. The reason is
+// mandatory: a suppression without one is itself reported.
+//
+// The engine exists because the benchmark harness's credibility rests on the
+// harness itself being correct under heavy concurrency — the domain rules in
+// the sibling rules package enforce the atomics, transaction-hygiene, and
+// layering invariants that ordinary go vet cannot see.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a source position, the rule that fired, and a
+// human-readable message.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Rule)
+}
+
+// Rule is one analysis pass. Implementations inspect a type-checked package
+// through the Pass and call Report for each finding.
+type Rule interface {
+	// Name is the identifier used in output and //lint:ignore directives.
+	Name() string
+	// Doc is a one-line description shown by benchlint -list.
+	Doc() string
+	// Check runs the rule over pass.Pkg.
+	Check(pass *Pass)
+}
+
+// Pass carries one rule's view of one package.
+type Pass struct {
+	// Pkg is the loaded, type-checked package under analysis.
+	Pkg *Package
+
+	rule    Rule
+	sink    func(Diagnostic)
+	parents map[ast.Node]ast.Node
+}
+
+// Report records a finding at pos. The message is formatted with fmt.Sprintf.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	p.sink(Diagnostic{
+		Pos:     p.Pkg.Fset.Position(pos),
+		Rule:    p.rule.Name(),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// RelPath is the package path relative to the module root ("internal/core"
+// for module path "benchpress" and package "benchpress/internal/core").
+// Rules use it to scope themselves to repository layers.
+func (p *Pass) RelPath() string {
+	rel := strings.TrimPrefix(p.Pkg.Path, p.Pkg.ModulePath)
+	return strings.TrimPrefix(rel, "/")
+}
+
+// Parents returns a child-to-parent map over every file's AST, built lazily
+// once per pass. Rules use it to inspect the syntactic context of a node.
+func (p *Pass) Parents() map[ast.Node]ast.Node {
+	if p.parents == nil {
+		p.parents = map[ast.Node]ast.Node{}
+		for _, f := range p.Pkg.Files {
+			var stack []ast.Node
+			ast.Inspect(f, func(n ast.Node) bool {
+				if n == nil {
+					stack = stack[:len(stack)-1]
+					return true
+				}
+				if len(stack) > 0 {
+					p.parents[n] = stack[len(stack)-1]
+				}
+				stack = append(stack, n)
+				return true
+			})
+		}
+	}
+	return p.parents
+}
+
+// Run executes every rule over every package, applies //lint:ignore
+// suppressions, and returns the surviving diagnostics sorted by position.
+// Malformed suppression directives are reported under the "lint-directive"
+// pseudo-rule, which cannot itself be suppressed.
+func Run(pkgs []*Package, rules []Rule) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		supp, malformed := collectSuppressions(pkg)
+		out = append(out, malformed...)
+		for _, r := range rules {
+			pass := &Pass{Pkg: pkg, rule: r}
+			pass.sink = func(d Diagnostic) {
+				if !supp.covers(d.Pos, d.Rule) {
+					out = append(out, d)
+				}
+			}
+			r.Check(pass)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}

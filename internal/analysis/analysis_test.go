@@ -1,0 +1,253 @@
+package analysis
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// funcRule reports one diagnostic at every function declaration; used to
+// exercise the engine without depending on the real rule set.
+type funcRule struct{ name string }
+
+func (r funcRule) Name() string { return r.name }
+func (r funcRule) Doc() string  { return "test rule: flags every func decl" }
+func (r funcRule) Check(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				p.Report(fd.Pos(), "func %s flagged", fd.Name.Name)
+			}
+		}
+	}
+}
+
+// writeModule lays out a synthetic module under a temp dir.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, content := range files {
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestLoaderResolvesModuleImports(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":           "module example.test/m\n\ngo 1.22\n",
+		"lib/lib.go":       "package lib\n\n// V is exported.\nconst V = 42\n",
+		"app/app.go":       "package app\n\nimport \"example.test/m/lib\"\n\n// N uses the sibling package.\nconst N = lib.V + 1\n",
+		"app/skip_test.go": "package app\n\nconst broken = undefinedSymbol\n",
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.ModulePath != "example.test/m" {
+		t.Fatalf("module path = %q", l.ModulePath)
+	}
+	pkg, err := l.Load("example.test/m/app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("type errors (test files must be excluded): %v", pkg.TypeErrors)
+	}
+	if pkg.Types == nil || pkg.Types.Name() != "app" {
+		t.Fatalf("types package = %v", pkg.Types)
+	}
+	// Loading again returns the memoized package.
+	again, err := l.Load("example.test/m/app")
+	if err != nil || again != pkg {
+		t.Fatalf("memoization broken: %v %v", again, err)
+	}
+}
+
+func TestLoaderReportsTypeErrors(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.test/m\n\ngo 1.22\n",
+		"p/p.go": "package p\n\nconst C = undefinedSymbol\n",
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.Load("example.test/m/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.TypeErrors) == 0 {
+		t.Fatal("expected type errors")
+	}
+}
+
+func TestExpandSkipsTestdataAndHiddenDirs(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":             "module example.test/m\n\ngo 1.22\n",
+		"a/a.go":             "package a\n",
+		"a/testdata/fix.go":  "package notapackage\n",
+		"a/.hidden/h.go":     "package h\n",
+		"b/b.go":             "package b\n",
+		"docsonly/readme.md": "no go files here\n",
+		"c/only_test.go":     "package c\n",
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := l.Expand([]string{"./..."}, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rels []string
+	for _, d := range dirs {
+		rel, _ := filepath.Rel(root, d)
+		rels = append(rels, filepath.ToSlash(rel))
+	}
+	got := strings.Join(rels, ",")
+	if got != "a,b" {
+		t.Fatalf("Expand = %q, want \"a,b\"", got)
+	}
+}
+
+func TestRunAppliesSuppressionSameAndNextLine(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.test/m\n\ngo 1.22\n",
+		"p/p.go": `package p
+
+func flagged() {}
+
+//lint:ignore flagger covered by the directive on the line above
+func coveredAbove() {}
+
+func coveredInline() {} //lint:ignore flagger trailing directive on the same line
+
+//lint:ignore otherrule directive for a different rule does not apply
+func wrongRule() {}
+
+//lint:ignore flagger
+func missingReason() {}
+`,
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.Load("example.test/m/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, []Rule{funcRule{name: "flagger"}})
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Rule+":"+strings.TrimPrefix(d.Message, "func "))
+	}
+	want := []string{
+		"flagger:flagged flagged",
+		"flagger:wrongRule flagged",
+		"lint-directive:malformed directive: want //lint:ignore <rule>[,<rule>] <reason>",
+		"flagger:missingReason flagged",
+	}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Fatalf("diagnostics:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestRunSortsDiagnosticsByPosition(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.test/m\n\ngo 1.22\n",
+		"p/a.go": "package p\n\nfunc a() {}\n\nfunc b() {}\n",
+		"p/b.go": "package p\n\nfunc c() {}\n",
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.Load("example.test/m/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, []Rule{funcRule{name: "flagger"}})
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics", len(diags))
+	}
+	for i := 1; i < len(diags); i++ {
+		prev, cur := diags[i-1].Pos, diags[i].Pos
+		if prev.Filename > cur.Filename || (prev.Filename == cur.Filename && prev.Line > cur.Line) {
+			t.Fatalf("diagnostics out of order: %s before %s", diags[i-1], diags[i])
+		}
+	}
+}
+
+func TestLoadFileSyntheticPath(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":     "module example.test/m\n\ngo 1.22\n",
+		"lib/lib.go": "package lib\n\n// V is exported.\nconst V = 1\n",
+		"fix.go":     "package fix\n\nimport \"example.test/m/lib\"\n\nvar _ = lib.V\n\nfunc f() {}\n",
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadFile(filepath.Join(root, "fix.go"), "example.test/m/internal/fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("type errors: %v", pkg.TypeErrors)
+	}
+	pass := &Pass{Pkg: pkg, rule: funcRule{name: "r"}, sink: func(Diagnostic) {}}
+	if rel := pass.RelPath(); rel != "internal/fixture" {
+		t.Fatalf("RelPath = %q", rel)
+	}
+}
+
+func TestLoadDirOutsideModuleFails(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.test/m\n\ngo 1.22\n",
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.LoadDir(os.TempDir()); err == nil {
+		t.Fatal("expected error for directory outside the module")
+	}
+}
+
+func TestParentsMapsChildToParent(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.test/m\n\ngo 1.22\n",
+		"p/p.go": "package p\n\nfunc f() { _ = len(\"x\") }\n",
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.Load("example.test/m/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &Pass{Pkg: pkg, rule: funcRule{name: "r"}, sink: func(Diagnostic) {}}
+	parents := pass.Parents()
+	found := false
+	ast.Inspect(pkg.Files[0], func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, ok := parents[call].(*ast.AssignStmt); ok {
+				found = true
+			}
+		}
+		return true
+	})
+	if !found {
+		t.Fatal("parent of call expression not an assignment")
+	}
+}

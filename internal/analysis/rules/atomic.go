@@ -1,0 +1,115 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"benchpress/internal/analysis"
+)
+
+// AtomicConsistency enforces that a struct field accessed atomically
+// anywhere in a package is accessed atomically everywhere in it. Two idioms
+// are covered:
+//
+//   - fields passed to sync/atomic functions (atomic.AddInt64(&s.n, 1)):
+//     every other access to the same field must also go through a
+//     sync/atomic call — a plain s.n read or write races with it;
+//   - fields declared with sync/atomic value types (atomic.Int64,
+//     atomic.Pointer[T], ...): the field may only be used as the receiver
+//     of a method call — copying or reassigning the value defeats the
+//     atomicity and trips the vet copylocks check at best.
+//
+// This protects the lock-free control cluster in internal/core
+// (rateBits/mix/pauseGate) and the internal/stats counters as the codebase
+// grows.
+type AtomicConsistency struct{}
+
+// Name implements analysis.Rule.
+func (AtomicConsistency) Name() string { return "atomic-consistency" }
+
+// Doc implements analysis.Rule.
+func (AtomicConsistency) Doc() string {
+	return "fields accessed via sync/atomic must never be read or written plainly"
+}
+
+// Check implements analysis.Rule.
+func (AtomicConsistency) Check(pass *analysis.Pass) {
+	info := pass.Pkg.Info
+
+	// Fields declared with sync/atomic value types.
+	typedFields := map[*types.Var]bool{}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				for _, nm := range fld.Names {
+					if v, ok := info.Defs[nm].(*types.Var); ok && isAtomicValueType(v.Type()) {
+						typedFields[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Fields whose address is passed to a sync/atomic function; the
+	// selectors appearing inside those calls are the sanctioned accesses.
+	fnFields := map[*types.Var]bool{}
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || atomicPkgCall(info, call) == "" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if sel, ok := un.X.(*ast.SelectorExpr); ok {
+					if v := fieldVar(info, sel); v != nil {
+						fnFields[v] = true
+						sanctioned[sel] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	parents := pass.Parents()
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			v := fieldVar(info, sel)
+			if v == nil {
+				return true
+			}
+			switch {
+			case fnFields[v]:
+				if !sanctioned[sel] {
+					pass.Report(sel.Sel.Pos(),
+						"field %s is accessed with sync/atomic elsewhere; this plain access races with it",
+						v.Name())
+				}
+			case typedFields[v]:
+				// The only sanctioned use of an atomic-typed field is as
+				// the receiver of a method call: x.f.Load(), x.f.Store(v).
+				if ps, ok := parents[sel].(*ast.SelectorExpr); !ok || ps.X != sel {
+					pass.Report(sel.Sel.Pos(),
+						"field %s has atomic type %s; using it as a plain value copies or overwrites the atomic state",
+						v.Name(), v.Type())
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,46 @@
+package rules
+
+import (
+	"strconv"
+	"strings"
+
+	"benchpress/internal/analysis"
+)
+
+// DialectBoundary enforces the layering the paper's architecture depends
+// on: benchmark ports (internal/benchmarks/...) drive the database only
+// through the driver surface (internal/dbdriver) and the dialect catalog
+// (internal/dialect). Importing the embedded engine's internals
+// (internal/sqldb and its subpackages) from a benchmark would couple the
+// workload to one engine and silently break the multi-DBMS comparison
+// story.
+type DialectBoundary struct{}
+
+// Name implements analysis.Rule.
+func (DialectBoundary) Name() string { return "dialect-boundary" }
+
+// Doc implements analysis.Rule.
+func (DialectBoundary) Doc() string {
+	return "benchmark packages must not import internal/sqldb engine internals"
+}
+
+// Check implements analysis.Rule.
+func (DialectBoundary) Check(pass *analysis.Pass) {
+	if !strings.HasPrefix(pass.RelPath(), "internal/benchmarks/") {
+		return
+	}
+	forbidden := pass.Pkg.ModulePath + "/internal/sqldb"
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == forbidden || strings.HasPrefix(path, forbidden+"/") {
+				pass.Report(imp.Pos(),
+					"benchmark package imports engine internals %s; use internal/dbdriver and internal/dialect instead",
+					path)
+			}
+		}
+	}
+}

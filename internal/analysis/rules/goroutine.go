@@ -1,0 +1,99 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"benchpress/internal/analysis"
+)
+
+// BareGoroutine flags unsupervised goroutine launches in internal/: a `go`
+// statement whose goroutine has no completion protocol. Accepted protocols,
+// checked syntactically inside the launched function literal:
+//
+//   - a deferred Done() on a sync.WaitGroup (the dominant pattern in
+//     internal/core);
+//   - a deferred close(ch), signalling termination through a channel;
+//   - a final statement that sends on a channel (result-delivery
+//     goroutines like the autopilot's).
+//
+// Launching a named function directly (`go m.Run(ctx)`) is always flagged:
+// nothing can observe when — or whether — it finished, and any error it
+// returns evaporates.
+type BareGoroutine struct{}
+
+// Name implements analysis.Rule.
+func (BareGoroutine) Name() string { return "bare-goroutine" }
+
+// Doc implements analysis.Rule.
+func (BareGoroutine) Doc() string {
+	return "goroutines in internal/ must be supervised (WaitGroup, close, or completion send)"
+}
+
+// Check implements analysis.Rule.
+func (BareGoroutine) Check(pass *analysis.Pass) {
+	if !strings.HasPrefix(pass.RelPath(), "internal/") {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !supervised(pass, g) {
+				pass.Report(g.Pos(),
+					"unsupervised goroutine: add a WaitGroup (Add before go, deferred Done inside), a deferred close, or a completion send")
+			}
+			return true
+		})
+	}
+}
+
+// supervised reports whether the goroutine body declares a completion
+// protocol.
+func supervised(pass *analysis.Pass, g *ast.GoStmt) bool {
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	body := lit.Body.List
+	if len(body) > 0 {
+		if _, ok := body[len(body)-1].(*ast.SendStmt); ok {
+			return true
+		}
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok || found {
+			return !found
+		}
+		switch calleeName(d.Call) {
+		case "Done":
+			if sel, ok := d.Call.Fun.(*ast.SelectorExpr); ok {
+				if isWaitGroup(pass.Pkg.Info.TypeOf(sel.X)) {
+					found = true
+				}
+			}
+		case "close":
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isWaitGroup reports whether t is sync.WaitGroup or *sync.WaitGroup.
+func isWaitGroup(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

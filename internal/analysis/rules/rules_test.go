@@ -1,0 +1,190 @@
+package rules_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"benchpress/internal/analysis"
+	"benchpress/internal/analysis/rules"
+)
+
+// fixtureCases pairs every rule with its true-positive and true-negative
+// fixtures and the synthetic import path the fixture is loaded under (rules
+// scope themselves by module-relative path).
+var fixtureCases = []struct {
+	rule    analysis.Rule
+	bad     string
+	good    string
+	pkgPath string
+}{
+	{rules.AtomicConsistency{}, "atomic_bad.go", "atomic_good.go", "benchpress/internal/fixture"},
+	{rules.TxnHygiene{}, "txn_bad.go", "txn_good.go", "benchpress/internal/fixture"},
+	{rules.ErrorDiscard{}, "errdiscard_bad.go", "errdiscard_good.go", "benchpress/internal/fixture"},
+	{rules.DialectBoundary{}, "boundary_bad.go", "boundary_good.go", "benchpress/internal/benchmarks/fixture"},
+	{rules.BareGoroutine{}, "goroutine_bad.go", "goroutine_good.go", "benchpress/internal/fixture"},
+}
+
+func TestRuleFixtures(t *testing.T) {
+	for _, tc := range fixtureCases {
+		tc := tc
+		t.Run(tc.rule.Name(), func(t *testing.T) {
+			t.Parallel()
+			bad := runFixture(t, tc.rule, tc.bad, tc.pkgPath)
+			if len(bad) == 0 {
+				t.Errorf("%s: failing fixture %s produced no diagnostics", tc.rule.Name(), tc.bad)
+			}
+			good := runFixtureNoWants(t, tc.rule, tc.good, tc.pkgPath)
+			for _, d := range good {
+				t.Errorf("%s: clean fixture %s produced diagnostic: %s", tc.rule.Name(), tc.good, d)
+			}
+		})
+	}
+}
+
+// TestErrorDiscardScopedToInternalAndCmd checks the rule goes quiet outside
+// its layer.
+func TestErrorDiscardScopedToInternalAndCmd(t *testing.T) {
+	diags := runFixtureNoWants(t, rules.ErrorDiscard{}, "errdiscard_bad.go", "benchpress/examples/fixture")
+	if len(diags) != 0 {
+		t.Errorf("error-discard fired outside internal/ and cmd/: %v", diags)
+	}
+}
+
+// TestBareGoroutineScopedToInternal likewise.
+func TestBareGoroutineScopedToInternal(t *testing.T) {
+	diags := runFixtureNoWants(t, rules.BareGoroutine{}, "goroutine_bad.go", "benchpress/examples/fixture")
+	if len(diags) != 0 {
+		t.Errorf("bare-goroutine fired outside internal/: %v", diags)
+	}
+}
+
+// TestDialectBoundaryScopedToBenchmarks: the same forbidden imports are
+// legal outside internal/benchmarks/.
+func TestDialectBoundaryScopedToBenchmarks(t *testing.T) {
+	diags := runFixtureNoWants(t, rules.DialectBoundary{}, "boundary_bad.go", "benchpress/internal/experiments")
+	if len(diags) != 0 {
+		t.Errorf("dialect-boundary fired outside internal/benchmarks/: %v", diags)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	for _, r := range rules.All() {
+		if got := rules.Lookup(r.Name()); got == nil {
+			t.Errorf("Lookup(%q) = nil", r.Name())
+		}
+	}
+	if rules.Lookup("no-such-rule") != nil {
+		t.Error("Lookup of unknown rule returned a rule")
+	}
+}
+
+// runFixture loads testdata/<name> as a single-file package inside a
+// synthetic "benchpress" module, runs one rule, checks the diagnostics
+// against the fixture's `// want "substring"` comments, and returns them.
+func runFixture(t *testing.T, rule analysis.Rule, name, pkgPath string) []analysis.Diagnostic {
+	t.Helper()
+	src, diags := loadAndRun(t, rule, name, pkgPath)
+	wants := parseWants(src)
+	matched := map[int]bool{}
+	for _, d := range diags {
+		ok := false
+		for _, w := range wants[d.Pos.Line] {
+			if strings.Contains(d.Message, w) {
+				ok = true
+				break
+			}
+		}
+		if ok {
+			matched[d.Pos.Line] = true
+		} else {
+			t.Errorf("%s: unexpected diagnostic at line %d: %s", name, d.Pos.Line, d.Message)
+		}
+	}
+	for line := range wants {
+		if !matched[line] {
+			t.Errorf("%s: expected diagnostic at line %d (want %q), got none", name, line, wants[line])
+		}
+	}
+	return diags
+}
+
+// runFixtureNoWants runs a rule over a fixture ignoring its want comments
+// (used for scope tests, where the same file must produce nothing).
+func runFixtureNoWants(t *testing.T, rule analysis.Rule, name, pkgPath string) []analysis.Diagnostic {
+	t.Helper()
+	_, diags := loadAndRun(t, rule, name, pkgPath)
+	return diags
+}
+
+func loadAndRun(t *testing.T, rule analysis.Rule, name, pkgPath string) (string, []analysis.Diagnostic) {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := t.TempDir()
+	writeFile(t, tmp, "go.mod", "module benchpress\n\ngo 1.22\n")
+	// Stub module packages so boundary fixtures type-check hermetically.
+	writeFile(t, tmp, "internal/sqldb/sqldb.go",
+		"// Package sqldb is a fixture stub.\npackage sqldb\n\n// Engine is a stub of the storage engine.\ntype Engine struct{}\n")
+	writeFile(t, tmp, "internal/sqldb/txn/txn.go",
+		"// Package txn is a fixture stub.\npackage txn\n\n// Mode is a stub.\ntype Mode int\n")
+	writeFile(t, tmp, "internal/dbdriver/driver.go",
+		"// Package dbdriver is a fixture stub.\npackage dbdriver\n\n// Conn is a stub connection.\ntype Conn struct{}\n")
+	rel := strings.TrimPrefix(pkgPath, "benchpress/")
+	writeFile(t, tmp, filepath.Join(rel, "fixture.go"), string(data))
+
+	loader, err := analysis.NewLoader(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load(pkgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Fatalf("fixture %s does not type-check: %v", name, terr)
+	}
+	return string(data), analysis.Run([]*analysis.Package{pkg}, []analysis.Rule{rule})
+}
+
+func writeFile(t *testing.T, root, rel, content string) {
+	t.Helper()
+	path := filepath.Join(root, rel)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var wantRE = regexp.MustCompile(`// want "([^"]*)"`)
+
+// parseWants extracts `// want "substring"` expectations per line.
+func parseWants(src string) map[int][]string {
+	wants := map[int][]string{}
+	for i, line := range strings.Split(src, "\n") {
+		for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
+			wants[i+1] = append(wants[i+1], m[1])
+		}
+	}
+	return wants
+}
+
+// Ensure fixture diagnostics render with positions (smoke test for the
+// Diagnostic formatting contract used by benchlint output).
+func TestDiagnosticRendering(t *testing.T) {
+	_, diags := loadAndRun(t, rules.ErrorDiscard{}, "errdiscard_bad.go", "benchpress/internal/fixture")
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics")
+	}
+	s := diags[0].String()
+	if !strings.Contains(s, "fixture.go:") || !strings.Contains(s, "[error-discard]") {
+		t.Errorf("unexpected rendering: %s", fmt.Sprintf("%q", s))
+	}
+}

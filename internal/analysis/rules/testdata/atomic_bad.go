@@ -1,0 +1,22 @@
+// Fixture: true positives for the atomic-consistency rule. Loaded by the
+// test harness as package benchpress/internal/fixture.
+package fixture
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64
+	hits atomic.Int64
+}
+
+func (c *counter) incr() {
+	atomic.AddInt64(&c.n, 1)
+	c.hits.Add(1)
+}
+
+func (c *counter) bad() int64 {
+	c.n++       // want "plain access races"
+	v := c.hits // want "plain value"
+	_ = v
+	return c.n // want "plain access races"
+}

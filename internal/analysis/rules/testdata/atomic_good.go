@@ -1,0 +1,24 @@
+// Fixture: true negatives for the atomic-consistency rule — every access
+// to the tracked fields goes through sync/atomic.
+package fixture
+
+import "sync/atomic"
+
+type gauge struct {
+	n    int64
+	hits atomic.Int64
+}
+
+func (g *gauge) incr() {
+	atomic.AddInt64(&g.n, 1)
+	g.hits.Add(1)
+}
+
+func (g *gauge) read() int64 {
+	return atomic.LoadInt64(&g.n) + g.hits.Load()
+}
+
+func (g *gauge) swap(v int64) int64 {
+	g.hits.Store(v)
+	return atomic.SwapInt64(&g.n, v)
+}

@@ -1,0 +1,14 @@
+// Fixture: true positives for the dialect-boundary rule. Loaded as package
+// benchpress/internal/benchmarks/fixture, where engine internals are
+// off-limits.
+package fixture
+
+import (
+	"benchpress/internal/sqldb" // want "engine internals"
+
+	"benchpress/internal/sqldb/txn" // want "engine internals"
+)
+
+var _ *sqldb.Engine
+
+var _ txn.Mode

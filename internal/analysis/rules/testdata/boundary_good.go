@@ -1,0 +1,7 @@
+// Fixture: true negative for the dialect-boundary rule — a benchmark
+// package touching the database only through the driver surface.
+package fixture
+
+import "benchpress/internal/dbdriver"
+
+var _ dbdriver.Conn

@@ -1,0 +1,16 @@
+// Fixture: true positives for the error-discard rule — database-surface
+// errors dropped by expression statements, defer, and go.
+package fixture
+
+type dconn struct{}
+
+func (c *dconn) Exec(q string) (int, error) { return 0, nil }
+func (c *dconn) Rollback() error            { return nil }
+func (c *dconn) Close() error               { return nil }
+
+func discarding(c *dconn) {
+	c.Exec("DELETE FROM t") // want "silently discarded"
+	c.Rollback()            // want "silently discarded"
+	defer c.Close()         // want "discarded by defer"
+	go c.Rollback()         // want "discarded by go statement"
+}

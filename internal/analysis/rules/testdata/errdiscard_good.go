@@ -1,0 +1,26 @@
+// Fixture: true negatives for the error-discard rule — handled errors,
+// explicit blank assignments, and a reasoned suppression. Calls whose
+// results carry no error are ignored by the rule.
+package fixture
+
+type gconn struct{}
+
+func (c *gconn) Exec(q string) (int, error) { return 0, nil }
+func (c *gconn) Rollback() error            { return nil }
+func (c *gconn) Close() error               { return nil }
+func (c *gconn) Reset()                     {}
+
+func handled(c *gconn) error {
+	if _, err := c.Exec("DELETE FROM t"); err != nil {
+		_ = c.Rollback()
+		return err
+	}
+	defer func() { _ = c.Close() }()
+	c.Reset()
+	return nil
+}
+
+func waived(c *gconn) {
+	//lint:ignore error-discard fixture demonstrating a reasoned suppression
+	c.Rollback()
+}

@@ -1,0 +1,12 @@
+// Fixture: true positives for the bare-goroutine rule — launches with no
+// completion protocol.
+package fixture
+
+func work() {}
+
+func launches() {
+	go work()   // want "unsupervised goroutine"
+	go func() { // want "unsupervised goroutine"
+		work()
+	}()
+}

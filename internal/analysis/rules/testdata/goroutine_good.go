@@ -1,0 +1,34 @@
+// Fixture: true negatives for the bare-goroutine rule — the three accepted
+// supervision protocols plus a reasoned suppression.
+package fixture
+
+import "sync"
+
+func task() {}
+
+func supervised() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		task()
+	}()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		task()
+	}()
+
+	results := make(chan int, 1)
+	go func() {
+		results <- 1
+	}()
+
+	//lint:ignore bare-goroutine completion is observable through a side channel the rule cannot see
+	go task()
+
+	wg.Wait()
+	<-done
+	<-results
+}

@@ -1,0 +1,25 @@
+// Fixture: true positives for the txn-hygiene rule — transactions opened
+// and never settled in the same function.
+package fixture
+
+type conn struct{}
+
+func (c *conn) Begin() error         { return nil }
+func (c *conn) BeginReadOnly() error { return nil }
+func (c *conn) Commit() error        { return nil }
+func (c *conn) Rollback() error      { return nil }
+func (c *conn) exec() error          { return nil }
+
+func leaky(c *conn) error {
+	if err := c.Begin(); err != nil { // want "never committed or rolled back"
+		return err
+	}
+	return c.exec()
+}
+
+func leakyReadOnly(c *conn) error {
+	if err := c.BeginReadOnly(); err != nil { // want "never committed or rolled back"
+		return err
+	}
+	return c.exec()
+}

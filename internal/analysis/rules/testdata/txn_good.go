@@ -1,0 +1,37 @@
+// Fixture: true negatives for the txn-hygiene rule — settled transactions,
+// an exempt Begin wrapper, and a reasoned suppression.
+package fixture
+
+type session struct{}
+
+func (s *session) begin() error    { return nil }
+func (s *session) Commit() error   { return nil }
+func (s *session) Rollback() error { return nil }
+func (s *session) exec() error     { return nil }
+
+type tconn struct{ s session }
+
+// Begin is a thin wrapper: its caller owns the transaction.
+func (c *tconn) Begin() error         { return c.s.begin() }
+func (c *tconn) BeginReadOnly() error { return c.s.begin() }
+func (c *tconn) Commit() error        { return c.s.Commit() }
+func (c *tconn) Rollback() error      { return c.s.Rollback() }
+
+func settled(c *tconn) error {
+	if err := c.Begin(); err != nil {
+		return err
+	}
+	if err := c.s.exec(); err != nil {
+		_ = c.Rollback()
+		return err
+	}
+	return c.Commit()
+}
+
+func handedOff(c *tconn) (*tconn, error) {
+	//lint:ignore txn-hygiene the caller settles this transaction via settled()
+	if err := c.Begin(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

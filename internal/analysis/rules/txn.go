@@ -1,0 +1,76 @@
+package rules
+
+import (
+	"go/ast"
+
+	"benchpress/internal/analysis"
+)
+
+// TxnHygiene enforces that a function which opens an explicit transaction
+// also settles it: any call to Begin/BeginReadOnly on a transactional
+// receiver (a type that also has Commit and Rollback methods) must be
+// matched by at least one Commit or Rollback call somewhere in the same
+// function, deferred calls included.
+//
+// Functions that intentionally hand an open transaction to their caller
+// (connection-pool style) must carry a //lint:ignore txn-hygiene directive
+// explaining who settles it.
+type TxnHygiene struct{}
+
+// Name implements analysis.Rule.
+func (TxnHygiene) Name() string { return "txn-hygiene" }
+
+// Doc implements analysis.Rule.
+func (TxnHygiene) Doc() string {
+	return "every Begin() must reach a Commit or Rollback within the same function"
+}
+
+// Check implements analysis.Rule.
+func (TxnHygiene) Check(pass *analysis.Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkTxnFunc(pass, fd)
+			}
+		}
+	}
+}
+
+func checkTxnFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// Thin wrappers that ARE the Begin operation (Conn.Begin forwarding to
+	// Session.Begin) are exempt: their caller owns the transaction.
+	if fd.Name.Name == "Begin" || fd.Name.Name == "BeginReadOnly" {
+		return
+	}
+	info := pass.Pkg.Info
+	var begins []*ast.CallExpr
+	settled := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch calleeName(call) {
+		case "Begin", "BeginReadOnly":
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recv := info.TypeOf(sel.X)
+			if hasMethod(recv, pass.Pkg.Types, "Commit") && hasMethod(recv, pass.Pkg.Types, "Rollback") {
+				begins = append(begins, call)
+			}
+		case "Commit", "Rollback":
+			settled = true
+		}
+		return true
+	})
+	if settled {
+		return
+	}
+	for _, call := range begins {
+		pass.Report(call.Pos(),
+			"transaction opened by %s is never committed or rolled back in %s",
+			calleeName(call), fd.Name.Name)
+	}
+}

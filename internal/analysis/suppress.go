@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix is the directive marker, written as //lint:ignore in source.
+const ignorePrefix = "//lint:ignore "
+
+// suppression is one parsed //lint:ignore directive.
+type suppression struct {
+	rules  map[string]bool
+	reason string
+}
+
+// suppressions indexes directives by file and line. A directive covers its
+// own line (trailing comment) and the line directly below it (comment on its
+// own line above the flagged statement).
+type suppressions map[string]map[int]suppression
+
+// covers reports whether a diagnostic for rule at pos is silenced.
+func (s suppressions) covers(pos token.Position, rule string) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if sup, ok := lines[line]; ok && sup.rules[rule] {
+			return true
+		}
+	}
+	return false
+}
+
+// collectSuppressions parses every //lint:ignore directive in the package.
+// Directives missing a rule name or a reason are returned as diagnostics
+// under the "lint-directive" pseudo-rule so they cannot silently rot.
+func collectSuppressions(pkg *Package) (suppressions, []Diagnostic) {
+	supp := suppressions{}
+	var malformed []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, strings.TrimSuffix(ignorePrefix, " ")) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(text, strings.TrimSuffix(ignorePrefix, " "))
+				rest = strings.TrimSpace(rest)
+				ruleList, reason, _ := strings.Cut(rest, " ")
+				reason = strings.TrimSpace(reason)
+				if ruleList == "" || reason == "" {
+					malformed = append(malformed, Diagnostic{
+						Pos:     pos,
+						Rule:    "lint-directive",
+						Message: "malformed directive: want //lint:ignore <rule>[,<rule>] <reason>",
+					})
+					continue
+				}
+				sup := suppression{rules: map[string]bool{}, reason: reason}
+				for _, r := range strings.Split(ruleList, ",") {
+					if r = strings.TrimSpace(r); r != "" {
+						sup.rules[r] = true
+					}
+				}
+				if supp[pos.Filename] == nil {
+					supp[pos.Filename] = map[int]suppression{}
+				}
+				supp[pos.Filename][pos.Line] = sup
+			}
+		}
+	}
+	return supp, malformed
+}

@@ -1,6 +1,7 @@
 package common
 
 import (
+	"errors"
 	"fmt"
 
 	"benchpress/internal/dbdriver"
@@ -21,6 +22,7 @@ func NewLoader(db *dbdriver.DB, batch int) (*Loader, error) {
 		batch = 1000
 	}
 	l := &Loader{conn: db.Connect(), batch: batch}
+	//lint:ignore txn-hygiene the loader holds its batch transaction open across Exec calls by design; Close commits it
 	if err := l.conn.Begin(); err != nil {
 		return nil, err
 	}
@@ -33,9 +35,11 @@ func NewLoader(db *dbdriver.DB, batch int) (*Loader, error) {
 // than skip-and-continue.
 func (l *Loader) Exec(sql string, args ...any) error {
 	if _, err := l.conn.Exec(sql, args...); err != nil {
-		l.conn.Rollback()
-		l.conn.Begin() // keep the loader usable for error-path cleanup
-		return fmt.Errorf("loader: %w", err)
+		// Restart the batch transaction so the loader stays usable for
+		// error-path cleanup; restart failures ride along in the result.
+		rbErr := l.conn.Rollback()
+		beginErr := l.conn.Begin()
+		return errors.Join(fmt.Errorf("loader: %w", err), rbErr, beginErr)
 	}
 	l.n++
 	if l.n%l.batch == 0 {
@@ -58,6 +62,8 @@ func (l *Loader) Close() error {
 	if l.conn.InTxn() {
 		err = l.conn.Commit()
 	}
-	l.conn.Close()
+	if cerr := l.conn.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("loader: close: %w", cerr)
+	}
 	return err
 }

@@ -1,0 +1,109 @@
+package voter
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"benchpress/internal/core"
+	"benchpress/internal/dbdriver"
+)
+
+// openLoaded prepares a tiny Voter database on the MVCC engine.
+func openLoaded(t *testing.T) (*Benchmark, *dbdriver.DB) {
+	t.Helper()
+	b := New(0.02)
+	db, err := dbdriver.Open("gomvcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(db.Close)
+	if err := core.Prepare(b, db, 1); err != nil {
+		t.Fatal(err)
+	}
+	return b, db
+}
+
+func TestSchemaLoadCounts(t *testing.T) {
+	b, db := openLoaded(t)
+	conn := db.Connect()
+	defer func() { _ = conn.Close() }()
+
+	row, err := conn.QueryRow("SELECT COUNT(*) FROM contestants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int(row[0].Int()); got != b.contestants {
+		t.Errorf("contestants = %d, want %d", got, b.contestants)
+	}
+	row, err = conn.QueryRow("SELECT COUNT(*) FROM area_code_state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int(row[0].Int()); got != len(areaCodes) {
+		t.Errorf("area codes = %d, want %d", got, len(areaCodes))
+	}
+	row, err = conn.QueryRow("SELECT COUNT(*) FROM votes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0].Int() != 0 {
+		t.Errorf("votes loaded non-empty: %d", row[0].Int())
+	}
+}
+
+// TestVoteRoundTrip drives the Vote transaction by hand — Begin, procedure,
+// Commit — and checks the vote landed with a state resolved from the area
+// code table.
+func TestVoteRoundTrip(t *testing.T) {
+	b, db := openLoaded(t)
+	conn := db.Connect()
+	defer func() { _ = conn.Close() }()
+	rng := rand.New(rand.NewSource(7))
+
+	const rounds = 25
+	committed := 0
+	for i := 0; i < rounds; i++ {
+		if err := conn.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		err := b.vote(conn, rng)
+		if errors.Is(err, core.ErrExpectedAbort) {
+			if rbErr := conn.Rollback(); rbErr != nil {
+				t.Fatal(rbErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if err := conn.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		committed++
+	}
+	if committed == 0 {
+		t.Fatal("no vote committed in any round")
+	}
+
+	row, err := conn.QueryRow("SELECT COUNT(*) FROM votes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int(row[0].Int()); got != committed {
+		t.Errorf("votes = %d, want %d", got, committed)
+	}
+	// Every vote's contestant must exist and its state must be two letters.
+	res, err := conn.Query("SELECT contestant_number, state FROM votes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if n := int(r[0].Int()); n < 1 || n > b.contestants {
+			t.Errorf("vote for unknown contestant %d", n)
+		}
+		if s := r[1].Str(); len(s) != 2 {
+			t.Errorf("vote with malformed state %q", s)
+		}
+	}
+}

@@ -41,7 +41,9 @@ func New(scale float64) *Benchmark {
 		chooser: common.NewScrambledZipfian(int64(n)),
 		stmts:   dialect.NewCatalog(),
 	}
-	b.nextKey.Store(int64(n))
+	// Loaded keys are 0..n-1 and Add returns the incremented value, so the
+	// first fresh insert must come out as n: store n-1.
+	b.nextKey.Store(int64(n) - 1)
 	// Canonical statements with one expert-contributed dialect variant,
 	// exercising the human-written dialect translation path the paper
 	// describes.

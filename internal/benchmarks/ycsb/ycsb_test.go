@@ -1,0 +1,115 @@
+package ycsb
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"benchpress/internal/core"
+	"benchpress/internal/dbdriver"
+)
+
+// openLoaded prepares a tiny YCSB database on the MVCC engine.
+func openLoaded(t *testing.T) (*Benchmark, *dbdriver.DB) {
+	t.Helper()
+	b := New(0.02)
+	db, err := dbdriver.Open("gomvcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(db.Close)
+	if err := core.Prepare(b, db, 1); err != nil {
+		t.Fatal(err)
+	}
+	return b, db
+}
+
+func TestSchemaLoadCounts(t *testing.T) {
+	b, db := openLoaded(t)
+	conn := db.Connect()
+	defer func() { _ = conn.Close() }()
+
+	row, err := conn.QueryRow("SELECT COUNT(*) FROM usertable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int(row[0].Int()); got != b.Records() {
+		t.Errorf("usertable rows = %d, want %d", got, b.Records())
+	}
+	// Every payload field is populated on a sampled row.
+	sample, err := conn.QueryRow("SELECT * FROM usertable WHERE ycsb_key = ?", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sample) != fieldCount+1 {
+		t.Fatalf("sampled row has %d columns, want %d", len(sample), fieldCount+1)
+	}
+	for i := 1; i < len(sample); i++ {
+		if sample[i].Str() == "" {
+			t.Errorf("field%d empty after load", i)
+		}
+	}
+}
+
+// TestProcedureRoundTrips runs each YCSB operation once inside an explicit
+// transaction and checks its observable effect.
+func TestProcedureRoundTrips(t *testing.T) {
+	b, db := openLoaded(t)
+	conn := db.Connect()
+	defer func() { _ = conn.Close() }()
+	rng := rand.New(rand.NewSource(3))
+
+	inTxn := func(t *testing.T, fn func(*dbdriver.Conn, *rand.Rand) error) {
+		t.Helper()
+		if err := conn.Begin(); err != nil {
+			t.Fatal(err)
+		}
+		if err := fn(conn, rng); err != nil {
+			t.Fatal(err)
+		}
+		if err := conn.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	count := func(t *testing.T) int {
+		t.Helper()
+		row, err := conn.QueryRow("SELECT COUNT(*) FROM usertable")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return int(row[0].Int())
+	}
+
+	before := count(t)
+	inTxn(t, b.read)
+	inTxn(t, b.scan)
+	inTxn(t, b.update)
+	inTxn(t, b.readModifyWrite)
+	if got := count(t); got != before {
+		t.Fatalf("read-side operations changed row count: %d -> %d", before, got)
+	}
+	inTxn(t, b.insert)
+	if got := count(t); got != before+1 {
+		t.Fatalf("insert: row count %d, want %d", got, before+1)
+	}
+	inTxn(t, b.delete)
+	if got := count(t); got != before {
+		t.Fatalf("delete: row count %d, want %d", got, before)
+	}
+}
+
+// TestScanDialectOverride checks the expert-contributed Derby variant is what
+// the catalog hands back for that dialect, while the canonical form survives
+// for everyone else.
+func TestScanDialectOverride(t *testing.T) {
+	b := New(0.02)
+	derby, ok := b.stmts.SQL("scan", "derby")
+	if !ok || !strings.Contains(derby, "FETCH FIRST 100 ROWS ONLY") {
+		t.Errorf("derby scan = %q (ok=%v), want FETCH FIRST form", derby, ok)
+	}
+	canonical, ok := b.stmts.SQL("scan", "postgres")
+	if !ok || !strings.Contains(canonical, "LIMIT 100") {
+		t.Errorf("postgres scan = %q (ok=%v), want LIMIT form", canonical, ok)
+	}
+}

@@ -118,6 +118,7 @@ func ParseFile(path string) (*Workload, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:ignore error-discard read-only config handle; close cannot lose data
 	defer f.Close()
 	return Parse(f)
 }

@@ -93,9 +93,13 @@ func BenchmarkNames() []string {
 }
 
 // Prepare creates the schema and loads the data for a benchmark on db.
-func Prepare(b Benchmark, db *dbdriver.DB, seed int64) error {
+func Prepare(b Benchmark, db *dbdriver.DB, seed int64) (err error) {
 	conn := db.Connect()
-	defer conn.Close()
+	defer func() {
+		if cerr := conn.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("core: close schema connection: %w", cerr)
+		}
+	}()
 	if err := b.CreateSchema(conn); err != nil {
 		return fmt.Errorf("core: create schema for %s: %w", b.Name(), err)
 	}

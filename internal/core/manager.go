@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"sync"
@@ -305,7 +306,9 @@ func (m *Manager) Run(ctx context.Context) error {
 	cancel()
 	wg.Wait()
 	if m.opts.Trace != nil {
-		m.opts.Trace.Flush()
+		if ferr := m.opts.Trace.Flush(); ferr != nil && err == nil {
+			err = fmt.Errorf("core: flush trace: %w", ferr)
+		}
 	}
 	return err
 }
@@ -369,7 +372,9 @@ func (m *Manager) produce(ctx context.Context) {
 // transaction control code, record the outcome, think, repeat.
 func (m *Manager) work(ctx context.Context, id int) {
 	conn := m.db.Connect()
-	defer conn.Close()
+	// Worker teardown has no error channel; a rollback failure on close
+	// would have surfaced on the transaction's own Commit/Rollback first.
+	defer func() { _ = conn.Close() }()
 	rng := rand.New(rand.NewSource(m.opts.Seed + int64(id)*104729 + 13))
 	// recheck bounds how long a worker waits for a request before
 	// re-reading the rate, so a live switch to unlimited (rate 0) does not
@@ -474,7 +479,9 @@ func (m *Manager) runOnce(conn *dbdriver.Conn, rng *rand.Rand, proc *Procedure) 
 		return beginErr
 	}
 	if err := proc.Fn(conn, rng); err != nil {
-		conn.Rollback()
+		// The procedure's error decides retry classification; a rollback
+		// failure would surface on the worker's next Begin anyway.
+		_ = conn.Rollback()
 		return err
 	}
 	return conn.Commit()

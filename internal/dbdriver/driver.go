@@ -195,11 +195,14 @@ func (c *Conn) Prepare(sql string) (*Stmt, error) {
 	return &Stmt{st: st}, nil
 }
 
-// Close aborts any open transaction and releases the connection.
-func (c *Conn) Close() {
+// Close aborts any open transaction and releases the connection, returning
+// the rollback error if that abort fails so callers can surface an engine
+// fault instead of losing it.
+func (c *Conn) Close() error {
 	if c.sess.InTxn() {
-		_ = c.sess.Rollback()
+		return c.sess.Rollback()
 	}
+	return nil
 }
 
 // Stmt is a prepared statement (the JDBC PreparedStatement analog).

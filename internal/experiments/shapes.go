@@ -78,8 +78,14 @@ func PlayShape(shape, engine string, base float64, opts Options) (*ShapeResult, 
 	m := core.NewManager(b, db, []core.Phase{{Duration: course.Duration() + 10*time.Second, Rate: base / 2}},
 		core.Options{Terminals: opts.Terminals, Seed: opts.Seed})
 	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	defer wg.Wait()
 	defer cancel()
-	go m.Run(ctx)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = m.Run(ctx)
+	}()
 
 	backend := &game.ManagerBackend{Manager: m, Cancel: cancel}
 	g := game.New(course, backend, nil, game.Config{Gravity: base / 2, MaxRate: base * 4, Grace: 6})
@@ -146,14 +152,26 @@ func Fig2Session(benchName, engine string, opts Options) ([]GameSessionStep, *Sh
 	m := core.NewManager(b, db, []core.Phase{{Duration: course.Duration() + 10*time.Second, Rate: base / 2}},
 		core.Options{Terminals: opts.Terminals, Seed: opts.Seed})
 	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	defer wg.Wait()
 	defer cancel()
-	go m.Run(ctx)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = m.Run(ctx)
+	}()
 	backend := &game.ManagerBackend{Manager: m, Cancel: cancel}
 	g := game.New(course, backend, nil, game.Config{Gravity: base / 2, MaxRate: base * 4})
 
 	// Figure 2d: dynamically change the workload mixture mid-game.
+	wg.Add(1)
 	go func() {
-		time.Sleep(course.Duration() / 2)
+		defer wg.Done()
+		select {
+		case <-time.After(course.Duration() / 2):
+		case <-ctx.Done():
+			return
+		}
 		if err := backend.ChangeMixture("readonly", nil); err == nil {
 			record("change-mixture", "preset read-only")
 		}

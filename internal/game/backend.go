@@ -113,6 +113,7 @@ func LaunchWorkload(ctx context.Context, benchName, dbms string, scale float64, 
 		Terminals: terminals,
 	})
 	runCtx, cancel := context.WithCancel(ctx)
+	//lint:ignore bare-goroutine Manager.Run signals completion through Manager.Done(); Cancel is the shutdown path
 	go m.Run(runCtx)
 	return &ManagerBackend{Manager: m, Cancel: cancel}, nil
 }

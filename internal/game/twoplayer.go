@@ -27,7 +27,6 @@ func (m *TwoPlayer) Play(ctx context.Context, pilotA, pilotB bool) MatchResult {
 	var res MatchResult
 	var wg sync.WaitGroup
 	run := func(g *Game, pilot bool, out *Result) {
-		defer wg.Done()
 		if pilot {
 			*out = NewAutopilot(g).Play(ctx)
 		} else {
@@ -35,8 +34,14 @@ func (m *TwoPlayer) Play(ctx context.Context, pilotA, pilotB bool) MatchResult {
 		}
 	}
 	wg.Add(2)
-	go run(m.A, pilotA, &res.A)
-	go run(m.B, pilotB, &res.B)
+	go func() {
+		defer wg.Done()
+		run(m.A, pilotA, &res.A)
+	}()
+	go func() {
+		defer wg.Done()
+		run(m.B, pilotB, &res.B)
+	}()
 	wg.Wait()
 
 	switch {

@@ -151,6 +151,7 @@ func readCPU() (cpuTimes, bool) {
 	if err != nil {
 		return cpuTimes{}, false
 	}
+	//lint:ignore error-discard read-only /proc handle; close cannot lose data
 	defer f.Close()
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
@@ -176,6 +177,7 @@ func readMemUsedPct() (float64, bool) {
 	if err != nil {
 		return 0, false
 	}
+	//lint:ignore error-discard read-only /proc handle; close cannot lose data
 	defer f.Close()
 	var total, avail float64
 	sc := bufio.NewScanner(f)

@@ -94,7 +94,10 @@ func New(opts Options) *Log {
 	}
 	if l.policy != SyncNone {
 		l.stopped.Add(1)
-		go l.flusher()
+		go func() {
+			defer l.stopped.Done()
+			l.flusher()
+		}()
 	}
 	return l
 }
@@ -135,7 +138,6 @@ func (l *Log) Append(n int) error {
 
 // flusher periodically drains the buffer and releases group-commit waiters.
 func (l *Log) flusher() {
-	defer l.stopped.Done()
 	ticker := time.NewTicker(l.interval)
 	defer ticker.Stop()
 	for {

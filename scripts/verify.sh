@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# verify.sh — the repository's full verification gate, in dependency order:
+# compile, vet, format, domain lint (benchlint), unit/integration tests, and
+# a short-mode race pass over the concurrency-heavy packages. Run from
+# anywhere inside the repository; every gate must pass.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> gofmt -l ."
+UNFORMATTED=$(gofmt -l .)
+if [ -n "$UNFORMATTED" ]; then
+    echo "gofmt: files need formatting:" >&2
+    echo "$UNFORMATTED" >&2
+    exit 1
+fi
+
+echo "==> benchlint ./..."
+go run ./cmd/benchlint ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race (short) core/stats/sqldb"
+go test -race -short -count=1 ./internal/core/... ./internal/stats/... ./internal/sqldb/...
+
+echo "verify: all gates passed"
