@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -100,18 +101,22 @@ func newMixTable(weights []float64) *mixTable {
 	return t
 }
 
-// sample picks a type index from the mixture.
+// sample picks a type index from the mixture by binary search over the
+// cumulative weights, so wide mixtures cost O(log n) per arrival instead of
+// a linear scan.
 func (t *mixTable) sample(rng *rand.Rand) int {
 	if t.total <= 0 {
 		return 0
 	}
 	r := rng.Float64() * t.total
-	for i, c := range t.cum {
-		if r < c {
-			return i
-		}
+	i := sort.SearchFloat64s(t.cum, r)
+	// SearchFloat64s returns the first cum[i] >= r; equality means entry
+	// i's mass is exhausted at r (a zero-weight entry, or an exact
+	// boundary), which belongs to the next entry with positive weight.
+	for i < len(t.cum)-1 && t.cum[i] <= r {
+		i++
 	}
-	return len(t.cum) - 1
+	return i
 }
 
 // NewManager builds a workload manager for a prepared benchmark.
@@ -325,6 +330,20 @@ func (m *Manager) Done() <-chan struct{} { return m.done }
 func (m *Manager) produce(ctx context.Context) {
 	rng := rand.New(rand.NewSource(m.opts.Seed * 7919))
 	next := time.Now()
+	// One reusable timer paces every arrival; at thousands of arrivals per
+	// second, a per-gap time.After would allocate a timer (and leak it
+	// until expiry) for each one.
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	sleep := func(d time.Duration) bool {
+		timer.Reset(d)
+		select {
+		case <-timer.C:
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
 	for {
 		if ctx.Err() != nil {
 			return
@@ -333,9 +352,7 @@ func (m *Manager) produce(ctx context.Context) {
 		if rate <= 0 || m.Paused() {
 			// Unlimited phases bypass the queue entirely (workers run
 			// open-loop); while paused, no arrivals are generated.
-			select {
-			case <-time.After(time.Millisecond):
-			case <-ctx.Done():
+			if !sleep(time.Millisecond) {
 				return
 			}
 			next = time.Now()
@@ -350,9 +367,7 @@ func (m *Manager) produce(ctx context.Context) {
 		next = next.Add(gap)
 		now := time.Now()
 		if wait := next.Sub(now); wait > 0 {
-			select {
-			case <-time.After(wait):
-			case <-ctx.Done():
+			if !sleep(wait) {
 				return
 			}
 		} else if now.Sub(next) > time.Second {
@@ -376,25 +391,31 @@ func (m *Manager) work(ctx context.Context, id int) {
 	// would have surfaced on the transaction's own Commit/Rollback first.
 	defer func() { _ = conn.Close() }()
 	rng := rand.New(rand.NewSource(m.opts.Seed + int64(id)*104729 + 13))
-	// recheck bounds how long a worker waits for a request before
-	// re-reading the rate, so a live switch to unlimited (rate 0) does not
-	// strand workers on an idle queue.
-	recheck := time.NewTimer(time.Hour)
-	recheck.Stop()
-	defer recheck.Stop()
+	// rec is this worker's shard handle into the collector: recording an
+	// outcome through it is a few atomic adds on a private cache line, with
+	// no collector-wide lock on the hot path.
+	rec := m.collector.Recorder(id)
+	// One reusable timer serves both waits of the loop: bounding how long a
+	// worker blocks on the queue before re-reading the rate (so a live
+	// switch to unlimited does not strand workers on an idle queue), and
+	// pacing think time. Between uses its channel is always drained, so
+	// Reset is safe.
+	timer := time.NewTimer(time.Hour)
+	timer.Stop()
+	defer timer.Stop()
 	for {
 		if ctx.Err() != nil {
 			return
 		}
 		m.waitIfPaused(ctx)
 		if m.Rate() > 0 {
-			recheck.Reset(50 * time.Millisecond)
+			timer.Reset(50 * time.Millisecond)
 			select {
 			case <-m.queue:
-				if !recheck.Stop() {
-					<-recheck.C
+				if !timer.Stop() {
+					<-timer.C
 				}
-			case <-recheck.C:
+			case <-timer.C:
 				continue
 			case <-ctx.Done():
 				return
@@ -406,10 +427,11 @@ func (m *Manager) work(ctx context.Context, id int) {
 			return
 		}
 		typeIdx := m.mix.Load().sample(rng)
-		m.execute(conn, rng, typeIdx, id)
+		m.execute(conn, rng, rec, typeIdx, id)
 		if think := time.Duration(m.thinkNS.Load()); think > 0 {
+			timer.Reset(think)
 			select {
-			case <-time.After(think):
+			case <-timer.C:
 			case <-ctx.Done():
 				return
 			}
@@ -418,8 +440,8 @@ func (m *Manager) work(ctx context.Context, id int) {
 }
 
 // execute runs one transaction with retry-on-conflict, recording statistics
-// and trace entries.
-func (m *Manager) execute(conn *dbdriver.Conn, rng *rand.Rand, typeIdx, workerID int) {
+// (through the worker's shard handle) and trace entries.
+func (m *Manager) execute(conn *dbdriver.Conn, rng *rand.Rand, rec stats.Recorder, typeIdx, workerID int) {
 	proc := &m.procs[typeIdx]
 	start := time.Now()
 	var status stats.Status
@@ -432,7 +454,7 @@ func (m *Manager) execute(conn *dbdriver.Conn, rng *rand.Rand, typeIdx, workerID
 			// By-design rollback: completed per the workload spec.
 			status = stats.StatusOK
 		case dbdriver.IsRetryable(err) && attempt < m.opts.MaxRetries:
-			m.collector.Record(typeIdx, stats.StatusRetry, 0)
+			rec.Record(typeIdx, stats.StatusRetry, 0)
 			// Randomized exponential backoff prevents the lockstep
 			// livelock of first-updater-wins engines (two conflicting
 			// transactions re-colliding forever at full speed).
@@ -447,7 +469,7 @@ func (m *Manager) execute(conn *dbdriver.Conn, rng *rand.Rand, typeIdx, workerID
 		break
 	}
 	latency := time.Since(start)
-	m.collector.Record(typeIdx, status, latency)
+	rec.Record(typeIdx, status, latency)
 	if m.opts.Trace != nil {
 		st := "ok"
 		switch status {

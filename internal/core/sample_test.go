@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// linearSample is the pre-binary-search reference implementation of
+// mixTable.sample: first cumulative weight strictly above r.
+func linearSample(t *mixTable, r float64) int {
+	for i, c := range t.cum {
+		if r < c {
+			return i
+		}
+	}
+	return len(t.cum) - 1
+}
+
+// TestMixSampleMatchesLinearReference drives the binary-search sample and the
+// old linear scan with identical random draws (twin RNGs) over random weight
+// vectors, including zero and negative weights, and requires bit-identical
+// picks.
+func TestMixSampleMatchesLinearReference(t *testing.T) {
+	seedRNG := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + seedRNG.Intn(12)
+		weights := make([]float64, n)
+		for i := range weights {
+			switch seedRNG.Intn(4) {
+			case 0:
+				weights[i] = 0
+			case 1:
+				weights[i] = -1 // clamped to 0 by newMixTable
+			default:
+				weights[i] = seedRNG.Float64() * 10
+			}
+		}
+		mt := newMixTable(weights)
+		if mt.total <= 0 {
+			if got := mt.sample(seedRNG); got != 0 {
+				t.Fatalf("trial %d: zero-total mixture sampled %d, want 0", trial, got)
+			}
+			continue
+		}
+		seed := seedRNG.Int63()
+		a, b := rand.New(rand.NewSource(seed)), rand.New(rand.NewSource(seed))
+		for i := 0; i < 500; i++ {
+			got := mt.sample(a)
+			want := linearSample(mt, b.Float64()*mt.total)
+			if got != want {
+				t.Fatalf("trial %d draw %d: sample = %d, linear reference = %d (weights %v)", trial, i, got, want, weights)
+			}
+		}
+	}
+}
+
+// TestMixSampleZeroWeights checks entries with zero weight are never picked,
+// even at the exact cumulative boundaries where SearchFloat64s lands on the
+// exhausted entry.
+func TestMixSampleZeroWeights(t *testing.T) {
+	mt := newMixTable([]float64{0, 3, 0, 0, 1, 0})
+	rng := rand.New(rand.NewSource(99))
+	counts := make([]int, 6)
+	for i := 0; i < 20000; i++ {
+		counts[mt.sample(rng)]++
+	}
+	for _, i := range []int{0, 2, 3, 5} {
+		if counts[i] != 0 {
+			t.Fatalf("zero-weight entry %d sampled %d times (counts %v)", i, counts[i], counts)
+		}
+	}
+	if counts[1] == 0 || counts[4] == 0 {
+		t.Fatalf("positive-weight entries starved: %v", counts)
+	}
+	// 3:1 ratio, loosely.
+	ratio := float64(counts[1]) / float64(counts[4])
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("weight ratio = %.2f, want ~3", ratio)
+	}
+}
+
+// TestMixSampleDegenerate covers the all-zero and empty mixtures.
+func TestMixSampleDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if got := newMixTable([]float64{0, 0}).sample(rng); got != 0 {
+		t.Fatalf("all-zero mixture sampled %d, want 0", got)
+	}
+	if got := newMixTable(nil).sample(rng); got != 0 {
+		t.Fatalf("empty mixture sampled %d, want 0", got)
+	}
+}
+
+// BenchmarkMixSample measures sampling cost over a wide mixture, where the
+// binary search replaces a linear scan of the cumulative weights.
+func BenchmarkMixSample(b *testing.B) {
+	weights := make([]float64, 64)
+	for i := range weights {
+		weights[i] = float64(i%7) + 0.5
+	}
+	mt := newMixTable(weights)
+	rng := rand.New(rand.NewSource(3))
+	b.ReportAllocs()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += mt.sample(rng)
+	}
+	_ = sink
+}

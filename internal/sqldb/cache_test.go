@@ -1,0 +1,192 @@
+package sqldb
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"benchpress/internal/sqldb/txn"
+)
+
+// TestPlanCacheDDLInvalidation checks the merged statement cache drops its
+// entries on every DDL path, so plans never outlive the schema they were
+// compiled against.
+func TestPlanCacheDDLInvalidation(t *testing.T) {
+	e := newEngine(t, txn.MVCC)
+	s := e.Session()
+	mustExec(t, s, "CREATE TABLE kv (k INT NOT NULL, v INT, PRIMARY KEY (k))")
+	mustExec(t, s, "INSERT INTO kv (k, v) VALUES (1, 10)")
+
+	const q = "SELECT v FROM kv WHERE k = ?"
+	row, err := s.QueryRow(q, 1)
+	if err != nil || row[0].Int() != 10 {
+		t.Fatalf("pre-DDL read: %v %v", row, err)
+	}
+	e.planMu.RLock()
+	if _, ok := e.stmts[q]; !ok {
+		e.planMu.RUnlock()
+		t.Fatal("statement not cached after execution")
+	}
+	e.planMu.RUnlock()
+
+	// CREATE INDEX must invalidate: cached plans chose access paths without
+	// the new index.
+	mustExec(t, s, "CREATE INDEX kv_v ON kv (v)")
+	e.planMu.RLock()
+	n := len(e.stmts)
+	e.planMu.RUnlock()
+	if n != 0 {
+		t.Fatalf("cache holds %d entries after CREATE INDEX", n)
+	}
+
+	// The re-cached plan must pick up the new index.
+	byV := "SELECT k FROM kv WHERE v = ?"
+	if row, err := s.QueryRow(byV, 10); err != nil || row[0].Int() != 1 {
+		t.Fatalf("post-index read: %v %v", row, err)
+	}
+	cs, err := e.cachedStmt(byV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := explainOf(cs.plan); got == "" || got == "seqscan(kv)" {
+		t.Fatalf("plan after CREATE INDEX = %q, want index access", got)
+	}
+
+	// DROP TABLE + recreate with a different shape: the old plan would read
+	// stale storage; the cache must recompile against the new table.
+	mustExec(t, s, "DROP TABLE kv")
+	mustExec(t, s, "CREATE TABLE kv (k INT NOT NULL, v INT, w INT, PRIMARY KEY (k))")
+	mustExec(t, s, "INSERT INTO kv (k, v, w) VALUES (2, 20, 200)")
+	row, err = s.QueryRow(q, 2)
+	if err != nil || row[0].Int() != 20 {
+		t.Fatalf("post-recreate read: %v %v", row, err)
+	}
+}
+
+// TestPlanCacheErrorNotCached checks a statement that fails to compile (table
+// does not exist yet) is evicted, so it succeeds once the table appears even
+// without an intervening DDL invalidation on its own connection.
+func TestPlanCacheErrorNotCached(t *testing.T) {
+	e := newEngine(t, txn.MVCC)
+	s := e.Session()
+	const q = "SELECT x FROM later WHERE x = ?"
+	if _, err := s.Exec(q, 1); err == nil {
+		t.Fatal("query against missing table succeeded")
+	}
+	e.planMu.RLock()
+	_, cached := e.stmts[q]
+	e.planMu.RUnlock()
+	if cached {
+		t.Fatal("failed compilation left a cache entry behind")
+	}
+	mustExec(t, s, "CREATE TABLE later (x INT NOT NULL, PRIMARY KEY (x))")
+	if _, err := s.Exec(q, 1); err != nil {
+		t.Fatalf("query after CREATE TABLE: %v", err)
+	}
+}
+
+// TestConcurrentPrepareSingleFlight races many sessions preparing the same
+// statement (run under -race in verify.sh) and checks they all share one
+// compiled plan: the single-flight path compiled it exactly once.
+func TestConcurrentPrepareSingleFlight(t *testing.T) {
+	e := newEngine(t, txn.MVCC)
+	s := e.Session()
+	mustExec(t, s, "CREATE TABLE f (a INT NOT NULL, b INT, PRIMARY KEY (a))")
+	mustExec(t, s, "INSERT INTO f (a, b) VALUES (1, 2)")
+
+	const workers = 16
+	const q = "SELECT b FROM f WHERE a = ?"
+	var wg sync.WaitGroup
+	plans := make([]*Stmt, workers)
+	var failed atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := e.Session()
+			st, err := sess.Prepare(q)
+			if err != nil {
+				failed.Add(1)
+				return
+			}
+			plans[w] = st
+			for i := 0; i < 50; i++ {
+				res, err := st.Exec(1)
+				if err != nil || len(res.Rows) != 1 || res.Rows[0][0].Int() != 2 {
+					failed.Add(1)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if failed.Load() != 0 {
+		t.Fatalf("%d workers failed", failed.Load())
+	}
+	for w := 1; w < workers; w++ {
+		if plans[w].plan != plans[0].plan {
+			t.Fatal("workers hold different compiled plans; single-flight did not deduplicate")
+		}
+	}
+	// One entry for the racing query, one for the setup INSERT.
+	e.planMu.RLock()
+	n := len(e.stmts)
+	_, ok := e.stmts[q]
+	e.planMu.RUnlock()
+	if !ok || n != 2 {
+		t.Fatalf("cache holds %d entries (query cached: %v), want 2 with the query present", n, ok)
+	}
+}
+
+// TestPreparedSelectRunsReadOnly checks Stmt.Exec autocommits bare SELECTs in
+// a declared-read-only transaction: on the serial engine, concurrent prepared
+// readers must be admitted together instead of serializing on the global
+// write lock.
+func TestPreparedSelectRunsReadOnly(t *testing.T) {
+	e := newEngine(t, txn.Serial)
+	s := e.Session()
+	mustExec(t, s, "CREATE TABLE r (a INT NOT NULL, PRIMARY KEY (a))")
+	mustExec(t, s, "INSERT INTO r (a) VALUES (1)")
+
+	st, err := s.Prepare("SELECT a FROM r WHERE a = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.readonly {
+		t.Fatal("prepared bare SELECT not classified read-only")
+	}
+	if st2, err := s.Prepare("SELECT a FROM r WHERE a = ? FOR UPDATE"); err != nil {
+		t.Fatal(err)
+	} else if st2.readonly {
+		t.Fatal("FOR UPDATE SELECT classified read-only")
+	}
+
+	// Hold the serial engine's shared lock with an explicit read-only
+	// transaction; a read-only prepared exec must proceed, which it only
+	// can if it begins its autocommit transaction read-only too.
+	blocker := e.Session()
+	if err := blocker.BeginReadOnly(); err != nil {
+		t.Fatal(err)
+	}
+	doneCh := make(chan error, 1)
+	go func() {
+		sess := e.Session()
+		st, err := sess.Prepare("SELECT a FROM r WHERE a = ?")
+		if err != nil {
+			doneCh <- err
+			return
+		}
+		res, err := st.Exec(1)
+		if err == nil && len(res.Rows) != 1 {
+			err = fmt.Errorf("rows = %d", len(res.Rows))
+		}
+		doneCh <- err
+	}()
+	if err := <-doneCh; err != nil {
+		t.Fatalf("prepared read under shared lock: %v", err)
+	}
+	if err := blocker.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}

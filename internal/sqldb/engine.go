@@ -51,8 +51,24 @@ type Engine struct {
 	tables map[string]*storage.Table
 
 	planMu sync.RWMutex
-	plans  map[string]exec.Plan
-	asts   map[string]parser.Statement
+	stmts  map[string]*cachedStmt
+}
+
+// cachedStmt is one merged statement-cache entry: the parsed AST, the
+// compiled plan (nil for DDL and transaction control), and the autocommit
+// read-only classification, all filled by a single-flight compilation. The
+// hot path (Session.Exec, Prepare) takes one read-lock hit to fetch the
+// entry and then never touches an engine-wide lock again.
+type cachedStmt struct {
+	// done is closed once the entry is fully populated; lookups that race
+	// the compiling goroutine block on it instead of compiling again.
+	done chan struct{}
+	ast  parser.Statement
+	plan exec.Plan
+	// readonly marks a bare SELECT without FOR UPDATE: its autocommitted
+	// execution may run in a declared-read-only transaction.
+	readonly bool
+	err      error
 }
 
 // Open creates an engine with the given configuration.
@@ -62,8 +78,7 @@ func Open(cfg Config) *Engine {
 		cat:    catalog.New(),
 		mgr:    txn.NewManager(cfg.Mode),
 		tables: map[string]*storage.Table{},
-		plans:  map[string]exec.Plan{},
-		asts:   map[string]parser.Statement{},
+		stmts:  map[string]*cachedStmt{},
 	}
 	if cfg.WALPolicy != wal.SyncNone || cfg.CommitDelay > 0 {
 		e.log = wal.New(wal.Options{Policy: cfg.WALPolicy, GroupInterval: cfg.GroupCommitInterval})
@@ -147,47 +162,75 @@ func (e *Engine) RowCount() int {
 	return n
 }
 
-// parseCached returns the (possibly cached) AST for sql.
-func (e *Engine) parseCached(sql string) (parser.Statement, error) {
+// cachedStmt returns the cache entry for sql, parsing and compiling it on
+// first use. Concurrent lookups of one uncached statement compile it exactly
+// once (single-flight); everyone else blocks on the entry's done channel.
+// The steady state is a single read-lock hit.
+func (e *Engine) cachedStmt(sql string) (*cachedStmt, error) {
 	e.planMu.RLock()
-	ast, ok := e.asts[sql]
+	cs, ok := e.stmts[sql]
 	e.planMu.RUnlock()
-	if ok {
-		return ast, nil
+	if !ok {
+		e.planMu.Lock()
+		cs, ok = e.stmts[sql]
+		if !ok {
+			cs = &cachedStmt{done: make(chan struct{})}
+			e.stmts[sql] = cs
+			e.planMu.Unlock()
+			e.compileInto(cs, sql)
+		} else {
+			e.planMu.Unlock()
+		}
 	}
+	<-cs.done
+	if cs.err != nil {
+		return nil, cs.err
+	}
+	return cs, nil
+}
+
+// compileInto populates a fresh cache entry. Compilation runs outside the
+// cache lock so a slow statement never blocks unrelated lookups; failed
+// entries are evicted so the next attempt (e.g. after the missing table is
+// created) retries from scratch.
+func (e *Engine) compileInto(cs *cachedStmt, sql string) {
+	defer close(cs.done)
 	ast, err := parser.Parse(sql)
 	if err != nil {
-		return nil, err
+		cs.err = err
+		e.evict(sql, cs)
+		return
 	}
-	e.planMu.Lock()
-	e.asts[sql] = ast
-	e.planMu.Unlock()
-	return ast, nil
-}
-
-// planCached returns the (possibly cached) compiled plan for a DML statement.
-func (e *Engine) planCached(sql string, ast parser.Statement) (exec.Plan, error) {
-	e.planMu.RLock()
-	p, ok := e.plans[sql]
-	e.planMu.RUnlock()
-	if ok {
-		return p, nil
+	cs.ast = ast
+	switch s := ast.(type) {
+	case *parser.Select:
+		cs.readonly = !s.ForUpdate
+	case *parser.Insert, *parser.Update, *parser.Delete:
+	default:
+		return // DDL / transaction control: no plan
 	}
-	p, err := exec.Compile(ast, e)
+	plan, err := exec.Compile(ast, e)
 	if err != nil {
-		return nil, err
+		cs.err = err
+		e.evict(sql, cs)
+		return
 	}
-	e.planMu.Lock()
-	e.plans[sql] = p
-	e.planMu.Unlock()
-	return p, nil
+	cs.plan = plan
 }
 
-// invalidatePlans drops cached plans and ASTs after DDL.
+// evict removes a failed entry, unless DDL already replaced the whole cache.
+func (e *Engine) evict(sql string, cs *cachedStmt) {
+	e.planMu.Lock()
+	if e.stmts[sql] == cs {
+		delete(e.stmts, sql)
+	}
+	e.planMu.Unlock()
+}
+
+// invalidatePlans drops every cached statement after DDL.
 func (e *Engine) invalidatePlans() {
 	e.planMu.Lock()
-	e.plans = map[string]exec.Plan{}
-	e.asts = map[string]parser.Statement{}
+	e.stmts = map[string]*cachedStmt{}
 	e.planMu.Unlock()
 }
 
@@ -199,6 +242,10 @@ var ErrNoTxn = errors.New("sqldb: no transaction in progress")
 type Session struct {
 	eng *Engine
 	tx  *txn.Txn
+	// paramBuf is the reusable argument-conversion buffer. Sessions are
+	// single-goroutine (they carry transaction state), and no plan retains
+	// its params slice past Execute, so one buffer per session suffices.
+	paramBuf []sqlval.Value
 }
 
 // Session opens a new connection.
@@ -246,39 +293,35 @@ func (s *Session) Rollback() error {
 // transaction, the statement runs in its own autocommitted transaction.
 // Parameters accept the Go types supported by sqlval.FromGo.
 func (s *Session) Exec(sql string, args ...any) (*exec.Result, error) {
-	ast, err := s.eng.parseCached(sql)
+	cs, err := s.eng.cachedStmt(sql)
 	if err != nil {
 		return nil, err
 	}
-	switch ast.(type) {
-	case *parser.Begin:
-		return &exec.Result{}, s.Begin()
-	case *parser.Commit:
-		return &exec.Result{}, s.Commit()
-	case *parser.Rollback:
-		return &exec.Result{}, s.Rollback()
-	case *parser.CreateTable, *parser.CreateIndex, *parser.DropTable, *parser.TruncateTable:
-		if s.tx != nil {
-			return nil, errors.New("sqldb: DDL inside a transaction is not supported")
+	if cs.plan == nil {
+		switch cs.ast.(type) {
+		case *parser.Begin:
+			return &exec.Result{}, s.Begin()
+		case *parser.Commit:
+			return &exec.Result{}, s.Commit()
+		case *parser.Rollback:
+			return &exec.Result{}, s.Rollback()
+		default:
+			if s.tx != nil {
+				return nil, errors.New("sqldb: DDL inside a transaction is not supported")
+			}
+			return s.eng.execDDL(cs.ast)
 		}
-		return s.eng.execDDL(ast)
 	}
-	params, err := convertArgs(args)
-	if err != nil {
-		return nil, err
-	}
-	plan, err := s.eng.planCached(sql, ast)
+	params, err := s.convertArgs(args)
 	if err != nil {
 		return nil, err
 	}
 	if s.tx != nil {
-		return plan.Execute(s.tx, params)
+		return cs.plan.Execute(s.tx, params)
 	}
 	// Autocommit: read-only for bare SELECTs without FOR UPDATE.
-	sel, isSelect := ast.(*parser.Select)
-	readonly := isSelect && !sel.ForUpdate
-	tx := s.eng.mgr.Begin(readonly)
-	res, err := plan.Execute(tx, params)
+	tx := s.eng.mgr.Begin(cs.readonly)
+	res, err := cs.plan.Execute(tx, params)
 	if err != nil {
 		tx.Abort()
 		return nil, err
@@ -306,37 +349,39 @@ func (s *Session) QueryRow(sql string, args ...any) ([]sqlval.Value, error) {
 	return res.Rows[0], nil
 }
 
-// Stmt is a prepared statement bound to a session.
+// Stmt is a prepared statement bound to a session. It carries the compiled
+// plan and its autocommit classification, so repeated execution touches no
+// engine-wide lock at all.
 type Stmt struct {
-	s    *Session
-	sql  string
-	plan exec.Plan
+	s        *Session
+	sql      string
+	plan     exec.Plan
+	readonly bool
 }
 
 // Prepare compiles a DML statement for repeated execution.
 func (s *Session) Prepare(sql string) (*Stmt, error) {
-	ast, err := s.eng.parseCached(sql)
+	cs, err := s.eng.cachedStmt(sql)
 	if err != nil {
 		return nil, err
 	}
-	plan, err := s.eng.planCached(sql, ast)
-	if err != nil {
-		return nil, err
+	if cs.plan == nil {
+		return nil, fmt.Errorf("exec: cannot compile %T", cs.ast)
 	}
-	return &Stmt{s: s, sql: sql, plan: plan}, nil
+	return &Stmt{s: s, sql: sql, plan: cs.plan, readonly: cs.readonly}, nil
 }
 
 // Exec runs the prepared statement in the session's current transaction (or
-// autocommitted).
+// autocommitted, read-only for bare SELECTs just like Session.Exec).
 func (st *Stmt) Exec(args ...any) (*exec.Result, error) {
-	params, err := convertArgs(args)
+	params, err := st.s.convertArgs(args)
 	if err != nil {
 		return nil, err
 	}
 	if st.s.tx != nil {
 		return st.plan.Execute(st.s.tx, params)
 	}
-	tx := st.s.eng.mgr.Begin(false)
+	tx := st.s.eng.mgr.Begin(st.readonly)
 	res, err := st.plan.Execute(tx, params)
 	if err != nil {
 		tx.Abort()
@@ -348,11 +393,14 @@ func (st *Stmt) Exec(args ...any) (*exec.Result, error) {
 	return res, nil
 }
 
-func convertArgs(args []any) ([]sqlval.Value, error) {
+func (s *Session) convertArgs(args []any) ([]sqlval.Value, error) {
 	if len(args) == 0 {
 		return nil, nil
 	}
-	params := make([]sqlval.Value, len(args))
+	if cap(s.paramBuf) < len(args) {
+		s.paramBuf = make([]sqlval.Value, len(args))
+	}
+	params := s.paramBuf[:len(args)]
 	for i, a := range args {
 		v, err := sqlval.FromGo(a)
 		if err != nil {

@@ -550,30 +550,27 @@ func TestPlanUsesIndexes(t *testing.T) {
 	s := e.Session()
 	setupPeople(t, s)
 	// Exact PK lookup.
-	ast, _ := e.parseCached("SELECT name FROM people WHERE id = ?")
-	plan, err := e.planCached("q1", ast)
+	cs, err := e.cachedStmt("SELECT name FROM people WHERE id = ?")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := explainOf(plan); !strings.Contains(got, "pk-lookup") {
+	if got := explainOf(cs.plan); !strings.Contains(got, "pk-lookup") {
 		t.Errorf("PK query plan = %s", got)
 	}
 	// Secondary index.
-	ast, _ = e.parseCached("SELECT name FROM people WHERE city = ?")
-	plan, err = e.planCached("q2", ast)
+	cs, err = e.cachedStmt("SELECT name FROM people WHERE city = ?")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := explainOf(plan); !strings.Contains(got, "index-range") {
+	if got := explainOf(cs.plan); !strings.Contains(got, "index-range") {
 		t.Errorf("secondary query plan = %s", got)
 	}
 	// Unindexed predicate: sequential scan.
-	ast, _ = e.parseCached("SELECT name FROM people WHERE age = ?")
-	plan, err = e.planCached("q3", ast)
+	cs, err = e.cachedStmt("SELECT name FROM people WHERE age = ?")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := explainOf(plan); !strings.Contains(got, "seqscan") {
+	if got := explainOf(cs.plan); !strings.Contains(got, "seqscan") {
 		t.Errorf("unindexed query plan = %s", got)
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"benchpress/internal/sqldb/parser"
 	"benchpress/internal/sqldb/storage"
@@ -74,6 +76,53 @@ type selectPlan struct {
 	// Critical for FOR UPDATE...LIMIT: without it the scan would lock or
 	// claim every qualifying row before discarding all but the first.
 	limitPushdown bool
+	// colNames is the precomputed output header, shared by every Result
+	// this plan produces. Callers treat Result.Columns as read-only.
+	colNames []string
+	// pool recycles selectExec state (environment, scratch buffers, emit
+	// accumulators) across executions.
+	pool sync.Pool
+	// rowHint is the row count of the previous execution, used as the
+	// capacity hint for the next Result.Rows allocation.
+	rowHint atomic.Int64
+}
+
+// selectExec is one execution's state: the expression environment plus the
+// accumulators the per-tuple emit path writes. Keeping these as fields of a
+// pooled struct (instead of locals captured by an emit closure) removes the
+// per-Execute closure and captured-variable boxing from the hot path.
+type selectExec struct {
+	p          *selectPlan
+	env        Env
+	rows       [][]sqlval.Value // projected output (pre order/limit)
+	sortKeys   [][]sqlval.Value
+	seen       map[string]bool // distinct filter
+	groups     map[string]*groupState
+	groupOrder []string
+	grouped    bool
+	rowCap     int // emit stops the scan at this many rows; -1 = unbounded
+}
+
+func (p *selectPlan) getExec(params []sqlval.Value) *selectExec {
+	se, _ := p.pool.Get().(*selectExec)
+	if se == nil {
+		se = &selectExec{p: p}
+	}
+	se.env.reset(p.schema.width, len(p.levels), params)
+	return se
+}
+
+func (p *selectPlan) putExec(se *selectExec) {
+	se.env.Params = nil
+	se.env.AggVals = nil
+	// rows escapes as Result.Rows and the rest hold caller-visible or
+	// query-sized data; drop them rather than reuse.
+	se.rows = nil
+	se.sortKeys = nil
+	se.seen = nil
+	se.groups = nil
+	se.groupOrder = nil
+	p.pool.Put(se)
 }
 
 type orderSpec struct {
@@ -200,6 +249,10 @@ func compileSelect(sel *parser.Select, r Resolver) (*selectPlan, error) {
 		p.offset = fn
 	}
 	p.limitPushdown = p.limit != nil && !grouped && !p.distinct && len(p.orderBy) == 0
+	p.colNames = make([]string, len(p.projs))
+	for i, pr := range p.projs {
+		p.colNames[i] = pr.name
+	}
 	return p, nil
 }
 
@@ -311,113 +364,114 @@ func compileOrderExpr(e parser.Expr, sel *parser.Select, p *selectPlan) (EvalFn,
 	return compileExpr(e, p.schema)
 }
 
+// emit handles one complete tuple: accumulate it into its group, or project
+// it into the output rows (applying DISTINCT and collecting sort keys).
+func (se *selectExec) emit() error {
+	p := se.p
+	env := &se.env
+	if se.grouped {
+		key := ""
+		if len(p.groupBy) > 0 {
+			kv, err := evalKeyInto(env.keyBuf, p.groupBy, env)
+			if err != nil {
+				return err
+			}
+			env.keyBuf = kv
+			key = sqlval.EncodeKey(kv)
+		}
+		g, ok := se.groups[key]
+		if !ok {
+			g = newGroupState(p.aggs, env.Vals)
+			se.groups[key] = g
+			se.groupOrder = append(se.groupOrder, key)
+		}
+		return g.accumulate(p.aggs, env)
+	}
+	out := make([]sqlval.Value, len(p.projs))
+	for i, pr := range p.projs {
+		v, err := pr.fn(env)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+	}
+	if p.distinct {
+		k := sqlval.EncodeKey(out)
+		if se.seen[k] {
+			return nil
+		}
+		se.seen[k] = true
+	}
+	if len(p.orderBy) > 0 && !p.orderByOutput {
+		keys := make([]sqlval.Value, len(p.orderBy))
+		for i, os := range p.orderBy {
+			v, err := os.fn(env)
+			if err != nil {
+				return err
+			}
+			keys[i] = v
+		}
+		se.sortKeys = append(se.sortKeys, keys)
+	}
+	se.rows = append(se.rows, out)
+	if se.rowCap >= 0 && len(se.rows) >= se.rowCap {
+		return errStopScan
+	}
+	return nil
+}
+
 // Execute runs the select.
 func (p *selectPlan) Execute(tx *txn.Txn, params []sqlval.Value) (*Result, error) {
-	env := &Env{Vals: make([]sqlval.Value, p.schema.width), Params: params}
-	res := &Result{Columns: make([]string, len(p.projs))}
-	for i, pr := range p.projs {
-		res.Columns[i] = pr.name
-	}
+	se := p.getExec(params)
+	defer p.putExec(se)
+	env := &se.env
+	res := &Result{Columns: p.colNames}
 
-	grouped := len(p.aggs) > 0 || len(p.groupBy) > 0
+	se.grouped = len(p.aggs) > 0 || len(p.groupBy) > 0
 	// With limit pushdown, stop scanning once offset+limit rows qualify.
-	cap := -1
+	se.rowCap = -1
 	if p.limitPushdown {
 		lv, err := p.limit(env)
 		if err != nil {
 			return nil, err
 		}
-		cap = int(lv.Int())
+		se.rowCap = int(lv.Int())
 		if p.offset != nil {
 			ov, err := p.offset(env)
 			if err != nil {
 				return nil, err
 			}
-			cap += int(ov.Int())
+			se.rowCap += int(ov.Int())
 		}
-		if cap < 0 {
-			cap = 0
+		if se.rowCap < 0 {
+			se.rowCap = 0
 		}
 	}
-	var rows [][]sqlval.Value // projected output (pre order/limit)
-	var sortKeys [][]sqlval.Value
-	var seen map[string]bool
+	if hint := int(p.rowHint.Load()); hint > 0 {
+		se.rows = make([][]sqlval.Value, 0, hint)
+	}
 	if p.distinct {
-		seen = map[string]bool{}
+		se.seen = map[string]bool{}
+	}
+	if se.grouped {
+		se.groups = map[string]*groupState{}
 	}
 
-	var groups map[string]*groupState
-	var groupOrder []string
-	if grouped {
-		groups = map[string]*groupState{}
-	}
-
-	emit := func() error {
-		if grouped {
-			key := ""
-			if len(p.groupBy) > 0 {
-				kv, err := evalKey(p.groupBy, env)
-				if err != nil {
-					return err
-				}
-				key = sqlval.EncodeKey(kv)
-			}
-			g, ok := groups[key]
-			if !ok {
-				g = newGroupState(p.aggs, env.Vals)
-				groups[key] = g
-				groupOrder = append(groupOrder, key)
-			}
-			return g.accumulate(p.aggs, env)
-		}
-		out := make([]sqlval.Value, len(p.projs))
-		for i, pr := range p.projs {
-			v, err := pr.fn(env)
-			if err != nil {
-				return err
-			}
-			out[i] = v
-		}
-		if p.distinct {
-			k := sqlval.EncodeKey(out)
-			if seen[k] {
-				return nil
-			}
-			seen[k] = true
-		}
-		if len(p.orderBy) > 0 && !p.orderByOutput {
-			keys := make([]sqlval.Value, len(p.orderBy))
-			for i, os := range p.orderBy {
-				v, err := os.fn(env)
-				if err != nil {
-					return err
-				}
-				keys[i] = v
-			}
-			sortKeys = append(sortKeys, keys)
-		}
-		rows = append(rows, out)
-		if cap >= 0 && len(rows) >= cap {
-			return errStopScan
-		}
-		return nil
-	}
-
-	if cap == 0 {
+	if se.rowCap == 0 {
 		// LIMIT 0: do not touch (or lock) any rows.
-	} else if err := p.scan(tx, env, 0, emit); err != nil && err != errStopScan {
+	} else if err := p.scan(tx, se, 0); err != nil && err != errStopScan {
 		return nil, err
 	}
 
-	if grouped {
+	if se.grouped {
 		// Zero-group aggregate query (no GROUP BY, no input rows) still
 		// produces one row of aggregates over the empty set.
-		if len(groups) == 0 && len(p.groupBy) == 0 {
-			groups[""] = newGroupState(p.aggs, make([]sqlval.Value, p.schema.width))
-			groupOrder = append(groupOrder, "")
+		if len(se.groups) == 0 && len(p.groupBy) == 0 {
+			se.groups[""] = newGroupState(p.aggs, make([]sqlval.Value, p.schema.width))
+			se.groupOrder = append(se.groupOrder, "")
 		}
-		for _, key := range groupOrder {
-			g := groups[key]
+		for _, key := range se.groupOrder {
+			g := se.groups[key]
 			env.Vals = g.firstRow
 			env.AggVals = g.finalize(p.aggs)
 			if p.having != nil {
@@ -437,9 +491,10 @@ func (p *selectPlan) Execute(tx *txn.Txn, params []sqlval.Value) (*Result, error
 				}
 				out[i] = v
 			}
-			rows = append(rows, out)
+			se.rows = append(se.rows, out)
 		}
 	}
+	rows, sortKeys := se.rows, se.sortKeys
 
 	// Order.
 	if len(p.orderBy) > 0 {
@@ -504,20 +559,26 @@ func (p *selectPlan) Execute(tx *txn.Txn, params []sqlval.Value) (*Result, error
 		}
 	}
 	res.Rows = rows
+	hint := int64(len(rows))
+	if hint > 1024 {
+		hint = 1024 // bound pre-allocation for occasional huge results
+	}
+	p.rowHint.Store(hint)
 	return res, nil
 }
 
-// scan recursively joins levels depth-first, invoking emit for each complete
-// tuple that passes all filters.
-func (p *selectPlan) scan(tx *txn.Txn, env *Env, li int, emit func() error) error {
+// scan recursively joins levels depth-first, invoking se.emit for each
+// complete tuple that passes all filters.
+func (p *selectPlan) scan(tx *txn.Txn, se *selectExec, li int) error {
 	if li == len(p.levels) {
-		return emit()
+		return se.emit()
 	}
+	env := &se.env
 	lv := &p.levels[li]
 	matched := false
 	var scanErr error
-	process := func(id storage.RowID, verify func([]sqlval.Value) bool) bool {
-		data, err := tx.Read(lv.tbl, id, p.forUpdate)
+	process := func(e storage.IndexEntry, vk verifyKind) bool {
+		data, err := tx.Read(lv.tbl, e.ID, p.forUpdate)
 		if err != nil {
 			scanErr = err
 			return false
@@ -525,7 +586,7 @@ func (p *selectPlan) scan(tx *txn.Txn, env *Env, li int, emit func() error) erro
 		if data == nil {
 			return true
 		}
-		if verify != nil && !verify(data) {
+		if !entryMatches(lv, e, vk, data) {
 			// Stale index entry: the visible image no longer carries the
 			// entry's key (an update moved the row within the index).
 			return true
@@ -552,14 +613,14 @@ func (p *selectPlan) scan(tx *txn.Txn, env *Env, li int, emit func() error) erro
 				return true
 			}
 		}
-		if err := p.scan(tx, env, li+1, emit); err != nil {
+		if err := p.scan(tx, se, li+1); err != nil {
 			scanErr = err
 			return false
 		}
 		return true
 	}
 
-	if err := scanAccess(lv, env, process); err != nil {
+	if err := scanAccess(lv, env, &env.scratch[li], process); err != nil {
 		return err
 	}
 	if scanErr != nil {
@@ -579,49 +640,73 @@ func (p *selectPlan) scan(tx *txn.Txn, env *Env, li int, emit func() error) erro
 				return nil
 			}
 		}
-		return p.scan(tx, env, li+1, emit)
+		return p.scan(tx, se, li+1)
 	}
 	return nil
 }
 
-// scanAccess drives one level's access path, feeding candidate row ids to
-// process (which returns false to stop). The verify argument lets process
-// reject rows whose visible image no longer matches the index entry that
-// produced them (updates leave stale entries behind by design).
-func scanAccess(lv *scanLevel, env *Env, process func(id storage.RowID, verify func([]sqlval.Value) bool) bool) error {
+// verifyKind tells process how to check a candidate row image against the
+// index entry that produced it. Passing the entry by value with a kind tag
+// (instead of a per-entry verification closure) keeps range scans free of
+// per-row allocations.
+type verifyKind uint8
+
+const (
+	verifyNone verifyKind = iota
+	verifyPrim
+	verifySec
+)
+
+// entryMatches reports whether the visible row image still carries the index
+// entry's key. Updates leave stale entries behind by design; readers skip
+// them here.
+func entryMatches(lv *scanLevel, e storage.IndexEntry, vk verifyKind, data []sqlval.Value) bool {
+	switch vk {
+	case verifyPrim:
+		return lv.tbl.VerifyPrimary(e, data)
+	case verifySec:
+		return lv.tbl.VerifySecondary(lv.access.ord, e, data)
+	}
+	return true
+}
+
+// scanAccess drives one level's access path, feeding candidate index entries
+// to process (which returns false to stop). Probe keys and range bounds are
+// built in sc, this level's scratch, so repeated probes (inner join levels,
+// prepared-statement re-execution) allocate nothing.
+func scanAccess(lv *scanLevel, env *Env, sc *levelScratch, process func(e storage.IndexEntry, vk verifyKind) bool) error {
 	switch lv.access.kind {
 	case accessPrimaryEq:
-		key, err := evalKey(lv.access.eq, env)
+		key, err := evalKeyInto(sc.key, lv.access.eq, env)
 		if err != nil {
 			return err
 		}
+		sc.key = key
 		if id, ok := lv.tbl.PrimaryLookup(key); ok {
-			e := storage.IndexEntry{Key: key, ID: id}
-			process(id, func(data []sqlval.Value) bool { return lv.tbl.VerifyPrimary(e, data) })
+			process(storage.IndexEntry{Key: key, ID: id}, verifyPrim)
 		}
 		return nil
 	case accessPrimary:
-		from, to, err := scanBounds(&lv.access, env)
+		from, to, err := scanBounds(&lv.access, env, sc)
 		if err != nil {
 			return err
 		}
 		lv.tbl.ScanPrimaryRange(from, to, lv.access.desc, func(e storage.IndexEntry) bool {
-			return process(e.ID, func(data []sqlval.Value) bool { return lv.tbl.VerifyPrimary(e, data) })
+			return process(e, verifyPrim)
 		})
 		return nil
 	case accessSecondary:
-		from, to, err := scanBounds(&lv.access, env)
+		from, to, err := scanBounds(&lv.access, env, sc)
 		if err != nil {
 			return err
 		}
-		ord := lv.access.ord
-		lv.tbl.ScanSecondaryRange(ord, from, to, lv.access.desc, func(e storage.IndexEntry) bool {
-			return process(e.ID, func(data []sqlval.Value) bool { return lv.tbl.VerifySecondary(ord, e, data) })
+		lv.tbl.ScanSecondaryRange(lv.access.ord, from, to, lv.access.desc, func(e storage.IndexEntry) bool {
+			return process(e, verifySec)
 		})
 		return nil
 	default:
 		lv.tbl.ScanAll(func(id storage.RowID, _ *storage.Row) bool {
-			return process(id, nil)
+			return process(storage.IndexEntry{ID: id}, verifyNone)
 		})
 		return nil
 	}
@@ -728,6 +813,15 @@ type insertPlan struct {
 	tbl  *storage.Table
 	rows [][]EvalFn // per row, per target column
 	cols []int      // target column ordinals, parallel to each row's EvalFns
+	pool sync.Pool  // *insertScratch
+}
+
+// insertScratch holds the per-execution state an INSERT can reuse. The row
+// data slice itself is NOT here: storage retains it inside the new Version
+// (Version.Data is immutable), so it must be freshly allocated per row.
+type insertScratch struct {
+	env      Env
+	provided []bool
 }
 
 func compileInsert(ins *parser.Insert, r Resolver) (*insertPlan, error) {
@@ -771,12 +865,27 @@ func compileInsert(ins *parser.Insert, r Resolver) (*insertPlan, error) {
 }
 
 func (p *insertPlan) Execute(tx *txn.Txn, params []sqlval.Value) (*Result, error) {
-	env := &Env{Params: params}
+	st, _ := p.pool.Get().(*insertScratch)
+	if st == nil {
+		st = &insertScratch{}
+	}
 	meta := p.tbl.Meta
+	env := &st.env
+	env.Params = params
+	if cap(st.provided) < len(meta.Columns) {
+		st.provided = make([]bool, len(meta.Columns))
+	}
+	defer func() {
+		env.Params = nil
+		p.pool.Put(st)
+	}()
 	res := &Result{}
 	for _, fns := range p.rows {
 		data := make([]sqlval.Value, len(meta.Columns))
-		provided := make([]bool, len(meta.Columns))
+		provided := st.provided[:len(meta.Columns)]
+		for i := range provided {
+			provided[i] = false
+		}
 		for i, fn := range fns {
 			v, err := fn(env)
 			if err != nil {
@@ -875,12 +984,19 @@ func compileUpdate(up *parser.Update, r Resolver) (*updatePlan, error) {
 }
 
 func (p *updatePlan) Execute(tx *txn.Txn, params []sqlval.Value) (*Result, error) {
-	ids, images, err := collectMatches(p.scan, tx, params)
+	se := p.scan.getExec(params)
+	defer p.scan.putExec(se)
+	env := &se.env
+	// The SET loop points env.Vals at version-owned images; restore the
+	// env's own buffer before pooling so a later reset cannot zero
+	// storage-owned memory in place.
+	saved := env.Vals
+	defer func() { env.Vals = saved }()
+	ids, images, err := collectMatches(p.scan, tx, env)
 	if err != nil {
 		return nil, err
 	}
 	meta := p.tbl.Meta
-	env := &Env{Params: params}
 	res := &Result{}
 	for i, id := range ids {
 		env.Vals = images[i]
@@ -915,15 +1031,15 @@ func (p *updatePlan) Execute(tx *txn.Txn, params []sqlval.Value) (*Result, error
 
 // collectMatches runs the scan of an UPDATE/DELETE plan and materializes the
 // matching row ids and images before any mutation, so the write phase never
-// runs concurrently with its own index scan.
-func collectMatches(scan *selectPlan, tx *txn.Txn, params []sqlval.Value) ([]storage.RowID, [][]sqlval.Value, error) {
+// runs concurrently with its own index scan. env must come from a
+// scan.getExec state.
+func collectMatches(scan *selectPlan, tx *txn.Txn, env *Env) ([]storage.RowID, [][]sqlval.Value, error) {
 	var ids []storage.RowID
 	var images [][]sqlval.Value
 	lv := &scan.levels[0]
-	env := &Env{Vals: make([]sqlval.Value, scan.schema.width), Params: params}
 	var innerErr error
-	process := func(id storage.RowID, verify func([]sqlval.Value) bool) bool {
-		data, err := tx.Read(lv.tbl, id, true)
+	process := func(e storage.IndexEntry, vk verifyKind) bool {
+		data, err := tx.Read(lv.tbl, e.ID, true)
 		if err != nil {
 			innerErr = err
 			return false
@@ -931,7 +1047,7 @@ func collectMatches(scan *selectPlan, tx *txn.Txn, params []sqlval.Value) ([]sto
 		if data == nil {
 			return true
 		}
-		if verify != nil && !verify(data) {
+		if !entryMatches(lv, e, vk, data) {
 			return true
 		}
 		copy(env.Vals, data)
@@ -945,11 +1061,13 @@ func collectMatches(scan *selectPlan, tx *txn.Txn, params []sqlval.Value) ([]sto
 				return true
 			}
 		}
-		ids = append(ids, id)
-		images = append(images, append([]sqlval.Value(nil), data...))
+		ids = append(ids, e.ID)
+		// data is the claimed version's image; Version.Data is immutable
+		// and the row is locked FOR UPDATE, so no defensive copy is needed.
+		images = append(images, data)
 		return true
 	}
-	if err := scanAccess(lv, env, process); err != nil {
+	if err := scanAccess(lv, env, &env.scratch[0], process); err != nil {
 		return nil, nil, err
 	}
 	if innerErr != nil {
@@ -974,7 +1092,9 @@ func compileDelete(del *parser.Delete, r Resolver) (*deletePlan, error) {
 }
 
 func (p *deletePlan) Execute(tx *txn.Txn, params []sqlval.Value) (*Result, error) {
-	ids, _, err := collectMatches(p.scan, tx, params)
+	se := p.scan.getExec(params)
+	ids, _, err := collectMatches(p.scan, tx, &se.env)
+	p.scan.putExec(se)
 	if err != nil {
 		return nil, err
 	}

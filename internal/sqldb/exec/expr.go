@@ -20,11 +20,47 @@ import (
 
 // Env is the runtime environment of one expression evaluation: the
 // concatenated column values of all bound tables, the statement parameters,
-// and (during aggregation output) the computed aggregate slots.
+// and (during aggregation output) the computed aggregate slots. Envs are
+// pooled per plan and carry reusable scratch buffers so the per-row hot path
+// of a prepared statement allocates nothing for keys or scan bounds.
 type Env struct {
 	Vals    []sqlval.Value
 	Params  []sqlval.Value
 	AggVals []sqlval.Value
+	// scratch holds one reusable key/bound buffer set per scan level;
+	// nested join levels probe concurrently, so the buffers cannot be
+	// shared across levels within one tuple descent.
+	scratch []levelScratch
+	// keyBuf is the reusable group-key evaluation buffer.
+	keyBuf []sqlval.Value
+}
+
+// levelScratch is one scan level's reusable probe buffers.
+type levelScratch struct {
+	key  []sqlval.Value
+	from []sqlval.Value
+	to   []sqlval.Value
+}
+
+// reset prepares a (possibly pooled) Env for one execution: Vals is sized
+// and zeroed to the schema width (matching a freshly allocated slice) and
+// the per-level scratch is sized to the plan's scan depth.
+func (env *Env) reset(width, levels int, params []sqlval.Value) {
+	if cap(env.Vals) < width {
+		env.Vals = make([]sqlval.Value, width)
+	} else {
+		env.Vals = env.Vals[:width]
+		for i := range env.Vals {
+			env.Vals[i] = sqlval.Value{}
+		}
+	}
+	if cap(env.scratch) < levels {
+		env.scratch = make([]levelScratch, levels)
+	} else {
+		env.scratch = env.scratch[:levels]
+	}
+	env.Params = params
+	env.AggVals = nil
 }
 
 // EvalFn evaluates one compiled expression.

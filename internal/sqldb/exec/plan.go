@@ -350,45 +350,54 @@ func chooseAccess(lv *scanLevel, li int, schema *tupleSchema, conjs []conjunct) 
 	return best.path
 }
 
-// evalKey evaluates access-path bound closures to concrete key values.
-func evalKey(fns []EvalFn, env *Env) ([]sqlval.Value, error) {
-	key := make([]sqlval.Value, len(fns))
-	for i, fn := range fns {
+// evalKeyInto evaluates access-path bound closures into buf, reusing its
+// backing array. Callers own buf only until the next evaluation on the same
+// buffer; storage never retains probe keys past the lookup/scan call.
+func evalKeyInto(buf []sqlval.Value, fns []EvalFn, env *Env) ([]sqlval.Value, error) {
+	buf = buf[:0]
+	for _, fn := range fns {
 		v, err := fn(env)
 		if err != nil {
 			return nil, err
 		}
-		key[i] = v
+		buf = append(buf, v)
 	}
-	return key, nil
+	return buf, nil
 }
 
 // scanBounds builds tree bounds from the access path: eqPrefix [+lo] up to
 // eqPrefix [+hi] +Top. A bare prefix is an inclusive lower bound (shorter
 // composites sort before their extensions) and Top padding makes the upper
-// bound inclusive over longer physical keys.
-func scanBounds(path *accessPath, env *Env) (from, to []sqlval.Value, err error) {
-	eq, err := evalKey(path.eq, env)
-	if err != nil {
-		return nil, nil, err
+// bound inclusive over longer physical keys. The bounds are written into the
+// level's scratch buffers; the btree range scans compare against them during
+// iteration but never retain them, and nested levels use their own scratch.
+func scanBounds(path *accessPath, env *Env, sc *levelScratch) (from, to []sqlval.Value, err error) {
+	sc.from = sc.from[:0]
+	sc.to = sc.to[:0]
+	for _, fn := range path.eq {
+		v, err := fn(env)
+		if err != nil {
+			return nil, nil, err
+		}
+		sc.from = append(sc.from, v)
+		sc.to = append(sc.to, v)
 	}
-	from = append([]sqlval.Value{}, eq...)
-	to = append([]sqlval.Value{}, eq...)
 	if path.lo != nil {
 		v, err := path.lo(env)
 		if err != nil {
 			return nil, nil, err
 		}
-		from = append(from, v)
+		sc.from = append(sc.from, v)
 	}
 	if path.hi != nil {
 		v, err := path.hi(env)
 		if err != nil {
 			return nil, nil, err
 		}
-		to = append(to, v)
+		sc.to = append(sc.to, v)
 	}
-	to = append(to, sqlval.Top())
+	sc.to = append(sc.to, sqlval.Top())
+	from, to = sc.from, sc.to
 	if len(from) == 0 {
 		from = nil
 	}

@@ -1,0 +1,159 @@
+package sqldb
+
+import (
+	"fmt"
+	"testing"
+
+	"benchpress/internal/sqldb/txn"
+)
+
+// benchEngine builds an engine with a seeded table for the hot-path
+// microbenchmarks: 1000 rows, integer primary key, secondary index on grp
+// (10 rows per group value).
+func benchEngine(b *testing.B) *Engine {
+	b.Helper()
+	e := Open(Config{Mode: txn.MVCC})
+	s := e.Session()
+	steps := []string{
+		"CREATE TABLE bench (id INT NOT NULL, grp INT, val INT, PRIMARY KEY (id))",
+		"CREATE INDEX bench_grp ON bench (grp)",
+	}
+	for _, sql := range steps {
+		if _, err := s.Exec(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		if _, err := s.Exec("INSERT INTO bench (id, grp, val) VALUES (?, ?, ?)", i, i/10, i*7); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return e
+}
+
+// BenchmarkPreparedPointRead is the canonical OLTP hot path: an autocommitted
+// prepared primary-key lookup. Allocations here are paid on every transaction
+// of every point-read workload.
+func BenchmarkPreparedPointRead(b *testing.B) {
+	e := benchEngine(b)
+	st, err := e.Session().Prepare("SELECT val FROM bench WHERE id = ?")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := st.Exec(i % 1000)
+		if err != nil || len(res.Rows) != 1 {
+			b.Fatalf("rows=%v err=%v", res, err)
+		}
+	}
+}
+
+// BenchmarkPreparedRangeScan reads one 10-row group through the secondary
+// index, exercising scan-bound scratch reuse and the Result.Rows capacity
+// hint.
+func BenchmarkPreparedRangeScan(b *testing.B) {
+	e := benchEngine(b)
+	st, err := e.Session().Prepare("SELECT id, val FROM bench WHERE grp = ?")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := st.Exec(i % 100)
+		if err != nil || len(res.Rows) != 10 {
+			b.Fatalf("rows=%d err=%v", len(res.Rows), err)
+		}
+	}
+}
+
+// BenchmarkPreparedInsert appends fresh rows through a prepared INSERT; the
+// row data slice itself must be allocated (storage retains it), everything
+// else should be reused.
+func BenchmarkPreparedInsert(b *testing.B) {
+	e := benchEngine(b)
+	st, err := e.Session().Prepare("INSERT INTO bench (id, grp, val) VALUES (?, ?, ?)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := 1000 + i
+		if _, err := st.Exec(id, id/10, id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPreparedUpdate rewrites one row by primary key, exercising
+// collectMatches (pooled env, no defensive image copy) plus the write path.
+func BenchmarkPreparedUpdate(b *testing.B) {
+	e := benchEngine(b)
+	st, err := e.Session().Prepare("UPDATE bench SET val = ? WHERE id = ?")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Exec(i, i%1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecPointRead runs the same point read through Session.Exec with
+// SQL text, measuring the merged statement cache's single read-lock hit on
+// top of the prepared path.
+func BenchmarkExecPointRead(b *testing.B) {
+	e := benchEngine(b)
+	s := e.Session()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Exec("SELECT val FROM bench WHERE id = ?", i%1000)
+		if err != nil || len(res.Rows) != 1 {
+			b.Fatalf("rows=%v err=%v", res, err)
+		}
+	}
+}
+
+// TestPreparedPointReadAllocSmoke is the allocation regression gate wired
+// into scripts/verify.sh: a prepared autocommitted point read must stay
+// within a small fixed allocation budget. The bound is deliberately loose
+// (actual is lower) so it only trips on structural regressions like a lost
+// pool or a per-row buffer creeping back in.
+func TestPreparedPointReadAllocSmoke(t *testing.T) {
+	e := Open(Config{Mode: txn.MVCC})
+	s := e.Session()
+	if _, err := s.Exec("CREATE TABLE sm (id INT NOT NULL, v INT, PRIMARY KEY (id))"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := s.Exec("INSERT INTO sm (id, v) VALUES (?, ?)", i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := s.Prepare("SELECT v FROM sm WHERE id = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var i int
+	avg := testing.AllocsPerRun(200, func() {
+		res, err := st.Exec(i % 100)
+		if err != nil || len(res.Rows) != 1 {
+			t.Fatalf("rows=%v err=%v", res, err)
+		}
+		i++
+	})
+	const budget = 16
+	if avg > budget {
+		t.Fatalf("prepared point read allocates %.1f objects/op, budget %d", avg, budget)
+	}
+	if testing.Verbose() {
+		fmt.Printf("prepared point read: %.1f allocs/op (budget %d)\n", avg, budget)
+	}
+}

@@ -453,9 +453,18 @@ func (t *Table) ScanPrimaryRange(from, to []sqlval.Value, desc bool, fn func(e I
 }
 
 // VerifyPrimary reports whether a row image still carries the primary key of
-// the index entry that produced it.
+// the index entry that produced it. It compares column by column rather than
+// materializing a key slice: this runs once per row on every index read.
 func (t *Table) VerifyPrimary(e IndexEntry, data []sqlval.Value) bool {
-	return sqlval.CompareRows(t.pkKey(data), e.Key) == 0
+	if len(e.Key) != len(t.Meta.PKCols) {
+		return false
+	}
+	for i, c := range t.Meta.PKCols {
+		if sqlval.Compare(data[c], e.Key[i]) != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // VerifySecondary reports whether a row image still carries the indexed

@@ -34,6 +34,28 @@ type lockShard struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
 	locks map[lockKey]*lockState
+	// free recycles lockStates (with their emptied holder maps) under the
+	// shard mutex: locks are dropped from the table the moment their last
+	// holder releases, so without reuse every first acquisition of a row
+	// would allocate a state and a map.
+	free []*lockState
+}
+
+// newState returns a clean lockState, reusing a recycled one when available.
+func (s *lockShard) newState() *lockState {
+	if n := len(s.free); n > 0 {
+		st := s.free[n-1]
+		s.free = s.free[:n-1]
+		return st
+	}
+	return &lockState{holders: map[uint64]lockMode{}}
+}
+
+// freeState unlinks an empty lock and recycles its state. Callers must have
+// verified it has no holders and no waiters.
+func (s *lockShard) freeState(k lockKey, st *lockState) {
+	delete(s.locks, k)
+	s.free = append(s.free, st)
 }
 
 // lockManager implements strict two-phase row locking with wait-die deadlock
@@ -100,7 +122,7 @@ func (m *lockManager) acquire(id uint64, k lockKey, mode lockMode) error {
 	defer s.mu.Unlock()
 	st, ok := s.locks[k]
 	if !ok {
-		st = &lockState{holders: map[uint64]lockMode{}}
+		st = s.newState()
 		s.locks[k] = st
 	}
 	for {
@@ -116,7 +138,7 @@ func (m *lockManager) acquire(id uint64, k lockKey, mode lockMode) error {
 		// Wait-die: only wait for younger transactions.
 		if oldest := oldestConflictor(st, id, mode); id > oldest {
 			if len(st.holders) == 0 && st.waiters == 0 {
-				delete(s.locks, k)
+				s.freeState(k, st)
 			}
 			return ErrDeadlock
 		}
@@ -125,7 +147,7 @@ func (m *lockManager) acquire(id uint64, k lockKey, mode lockMode) error {
 		st.waiters--
 		// The state may have been deleted and recreated while waiting.
 		if cur, ok := s.locks[k]; !ok {
-			st = &lockState{holders: map[uint64]lockMode{}}
+			st = s.newState()
 			s.locks[k] = st
 		} else {
 			st = cur
@@ -133,25 +155,26 @@ func (m *lockManager) acquire(id uint64, k lockKey, mode lockMode) error {
 	}
 }
 
-// release drops every lock held by txn id among the given keys.
+// release drops every lock held by txn id among the given keys. It walks the
+// keys directly (one shard-mutex hop per key) instead of grouping keys by
+// shard: transactions hold few locks, and the grouping map plus per-shard
+// slices cost more in allocation than the extra uncontended mutex hops.
 func (m *lockManager) release(id uint64, keys map[lockKey]lockMode) {
-	// Group by shard to take each shard lock once.
-	byShard := map[*lockShard][]lockKey{}
 	for k := range keys {
 		s := m.shard(k)
-		byShard[s] = append(byShard[s], k)
-	}
-	for s, ks := range byShard {
 		s.mu.Lock()
-		for _, k := range ks {
-			if st, ok := s.locks[k]; ok {
-				delete(st.holders, id)
-				if len(st.holders) == 0 && st.waiters == 0 {
-					delete(s.locks, k)
-				}
+		if st, ok := s.locks[k]; ok {
+			delete(st.holders, id)
+			hadWaiters := st.waiters > 0
+			if len(st.holders) == 0 && !hadWaiters {
+				s.freeState(k, st)
+			}
+			// Waiters block on the shard condition but each re-checks its
+			// own key; only a key somebody waits for needs a wake-up.
+			if hadWaiters {
+				s.cond.Broadcast()
 			}
 		}
-		s.cond.Broadcast()
 		s.mu.Unlock()
 	}
 }

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -52,34 +53,72 @@ func (w Window) AvgLatency() time.Duration {
 	return time.Duration(w.SumLatencyUS/w.Committed) * time.Microsecond
 }
 
-// liveWindow accumulates the in-progress window with atomics.
-type liveWindow struct {
-	idx       int
+// nshards is the number of recording shards shared by all collectors: the
+// GOMAXPROCS at package init rounded up to a power of two (so shard picking
+// is a mask), with a floor that keeps worker ids spread even on small boxes.
+var nshards = func() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}()
+
+// shard is one recording cell. Its counters are monotonic totals, never
+// reset: window rotation attributes deltas between snapshots, so a Record
+// racing a rotation lands in exactly one window (this one or the next) and is
+// never lost or double-counted. The struct is padded so that neighbouring
+// shards in the collector's array do not share a cache line.
+type shard struct {
 	committed atomic.Int64
 	aborted   atomic.Int64
 	errors    atomic.Int64
 	retries   atomic.Int64
-	perType   []atomic.Int64
 	sumLatUS  atomic.Int64
+	// perType counts committed transactions per type (monotonic). The
+	// backing array is over-allocated by a cache line's worth of slots so
+	// distinct shards' arrays never abut.
+	perType []atomic.Int64
+	_       [64]byte // pad to keep adjacent shards on separate lines
 }
 
-// Collector aggregates worker observations for one workload.
+// totals is one aggregated snapshot of every shard counter.
+type totals struct {
+	committed int64
+	aborted   int64
+	errors    int64
+	retries   int64
+	sumLatUS  int64
+	perType   []int64
+}
+
+// Collector aggregates worker observations for one workload. Recording is
+// lock-free: each worker adds to its own padded shard with atomics. The
+// mutex only guards window rotation (advancing the live window index and
+// snapshotting shard totals into finalized Windows), which happens at window
+// granularity, not per record.
 type Collector struct {
 	start     time.Time
 	windowDur time.Duration
 	types     []string
+	now       func() time.Time // injectable clock for deterministic tests
+
+	shards []shard
+
+	// liveIdx mirrors the mutex-guarded rotation state so the Record fast
+	// path can detect an elapsed window with one atomic load.
+	liveIdx atomic.Int64
 
 	mu      sync.Mutex
-	live    *liveWindow
+	base    totals // shard totals at the start of the live window
 	history []Window
 
 	global  *Histogram
 	perType []*Histogram
-
-	committed atomic.Int64
-	aborted   atomic.Int64
-	errors    atomic.Int64
-	retries   atomic.Int64
 }
 
 // NewCollector creates a collector for the given transaction-type names with
@@ -94,18 +133,20 @@ func NewCollectorWindow(types []string, window time.Duration) *Collector {
 		start:     time.Now(),
 		windowDur: window,
 		types:     append([]string(nil), types...),
+		now:       time.Now,
+		shards:    make([]shard, nshards),
 		global:    &Histogram{},
 		perType:   make([]*Histogram, len(types)),
 	}
 	for i := range c.perType {
 		c.perType[i] = &Histogram{}
 	}
-	c.live = c.newLive(0)
+	const padSlots = 8 // 64B of atomic.Int64: keeps shards' arrays apart
+	for i := range c.shards {
+		c.shards[i].perType = make([]atomic.Int64, len(types), len(types)+padSlots)
+	}
+	c.base.perType = make([]int64, len(types))
 	return c
-}
-
-func (c *Collector) newLive(idx int) *liveWindow {
-	return &liveWindow{idx: idx, perType: make([]atomic.Int64, len(c.types))}
 }
 
 // Types returns the transaction-type names.
@@ -122,78 +163,161 @@ func (c *Collector) windowIndex(t time.Time) int {
 	return int(t.Sub(c.start) / c.windowDur)
 }
 
-// advance rotates the live window forward to idx, materializing finished
-// windows (including empty gaps) into history. Callers hold c.mu.
-func (c *Collector) advance(idx int) {
-	for c.live.idx < idx {
-		w := c.live
-		c.history = append(c.history, Window{
-			Index:        w.idx,
-			Start:        time.Duration(w.idx) * c.windowDur,
-			Committed:    w.committed.Load(),
-			Aborted:      w.aborted.Load(),
-			Errors:       w.errors.Load(),
-			Retries:      w.retries.Load(),
-			PerType:      loadAll(w.perType),
-			SumLatencyUS: w.sumLatUS.Load(),
-		})
-		c.live = c.newLive(w.idx + 1)
+// sumShards aggregates the monotonic shard counters.
+func (c *Collector) sumShards() totals {
+	t := totals{perType: make([]int64, len(c.types))}
+	for i := range c.shards {
+		s := &c.shards[i]
+		t.committed += s.committed.Load()
+		t.aborted += s.aborted.Load()
+		t.errors += s.errors.Load()
+		t.retries += s.retries.Load()
+		t.sumLatUS += s.sumLatUS.Load()
+		for ti := range t.perType {
+			t.perType[ti] += s.perType[ti].Load()
+		}
 	}
+	return t
 }
 
-func loadAll(a []atomic.Int64) []int64 {
-	out := make([]int64, len(a))
-	for i := range a {
-		out[i] = a[i].Load()
+// advance rotates the live window forward to idx: the delta of shard totals
+// since the last rotation is attributed to the window that was live, and any
+// fully elapsed windows in between are materialized empty (records made
+// during them would have triggered rotation themselves). Callers hold c.mu.
+func (c *Collector) advance(idx int) {
+	live := int(c.liveIdx.Load())
+	if idx <= live {
+		return
 	}
-	return out
+	cur := c.sumShards()
+	w := Window{
+		Index:        live,
+		Start:        time.Duration(live) * c.windowDur,
+		Committed:    cur.committed - c.base.committed,
+		Aborted:      cur.aborted - c.base.aborted,
+		Errors:       cur.errors - c.base.errors,
+		Retries:      cur.retries - c.base.retries,
+		SumLatencyUS: cur.sumLatUS - c.base.sumLatUS,
+		PerType:      make([]int64, len(c.types)),
+	}
+	for ti := range w.PerType {
+		w.PerType[ti] = cur.perType[ti] - c.base.perType[ti]
+	}
+	c.history = append(c.history, w)
+	c.base = cur
+	for g := live + 1; g < idx; g++ {
+		c.history = append(c.history, Window{
+			Index:   g,
+			Start:   time.Duration(g) * c.windowDur,
+			PerType: make([]int64, len(c.types)),
+		})
+	}
+	c.liveIdx.Store(int64(idx))
 }
+
+// shardIDs hands out goroutine-affine shard ordinals for Collector.Record
+// callers that do not hold a Recorder. sync.Pool storage is per-P, so a
+// worker keeps drawing the same ordinal while it stays on one processor.
+var (
+	nextShardID atomic.Int64
+	shardIDs    = sync.Pool{New: func() any {
+		id := int(nextShardID.Add(1)) & (nshards - 1)
+		return &id
+	}}
+)
 
 // Record notes one transaction attempt outcome. typeIdx indexes the
-// collector's type list; latency applies to committed transactions.
+// collector's type list; latency applies to committed transactions. The
+// shard is picked with processor affinity; hot loops that know their worker
+// id should use a Recorder handle instead.
 func (c *Collector) Record(typeIdx int, status Status, latency time.Duration) {
-	now := time.Now()
-	idx := c.windowIndex(now)
-	c.mu.Lock()
-	if idx > c.live.idx {
-		c.advance(idx)
-	}
-	w := c.live
-	c.mu.Unlock()
+	id := shardIDs.Get().(*int)
+	c.record(&c.shards[*id], typeIdx, status, latency)
+	shardIDs.Put(id)
+}
 
+// Recorder is a shard-bound recording handle for one worker. It is the hot
+// path the workload manager uses: Record on it is wait-free (atomic adds on
+// the worker's own padded shard) except when it is the first to observe that
+// a window has elapsed, in which case it performs the rotation under the
+// collector mutex once per window.
+type Recorder struct {
+	c *Collector
+	s *shard
+}
+
+// Recorder returns the recording handle for one worker id.
+func (c *Collector) Recorder(worker int) Recorder {
+	return Recorder{c: c, s: &c.shards[worker&(nshards-1)]}
+}
+
+// Record notes one transaction attempt outcome on the worker's shard.
+func (r Recorder) Record(typeIdx int, status Status, latency time.Duration) {
+	r.c.record(r.s, typeIdx, status, latency)
+}
+
+func (c *Collector) record(s *shard, typeIdx int, status Status, latency time.Duration) {
+	idx := c.windowIndex(c.now())
+	if int64(idx) > c.liveIdx.Load() {
+		// First record of a new window: rotate. Once per window per worker
+		// at most, so the mutex stays off the steady-state path.
+		c.mu.Lock()
+		c.advance(idx)
+		c.mu.Unlock()
+	}
 	switch status {
 	case StatusOK:
-		w.committed.Add(1)
-		w.sumLatUS.Add(latency.Microseconds())
-		if typeIdx >= 0 && typeIdx < len(w.perType) {
-			w.perType[typeIdx].Add(1)
+		s.committed.Add(1)
+		s.sumLatUS.Add(latency.Microseconds())
+		if typeIdx >= 0 && typeIdx < len(s.perType) {
+			s.perType[typeIdx].Add(1)
 			c.perType[typeIdx].Record(latency)
 		}
 		c.global.Record(latency)
-		c.committed.Add(1)
 	case StatusAborted:
-		w.aborted.Add(1)
-		c.aborted.Add(1)
+		s.aborted.Add(1)
 	case StatusRetry:
-		w.retries.Add(1)
-		c.retries.Add(1)
+		s.retries.Add(1)
 	case StatusError:
-		w.errors.Add(1)
-		c.errors.Add(1)
+		s.errors.Add(1)
 	}
 }
 
 // Committed returns the total committed count.
-func (c *Collector) Committed() int64 { return c.committed.Load() }
+func (c *Collector) Committed() int64 {
+	var n int64
+	for i := range c.shards {
+		n += c.shards[i].committed.Load()
+	}
+	return n
+}
 
 // Aborted returns the total aborted count.
-func (c *Collector) Aborted() int64 { return c.aborted.Load() }
+func (c *Collector) Aborted() int64 {
+	var n int64
+	for i := range c.shards {
+		n += c.shards[i].aborted.Load()
+	}
+	return n
+}
 
 // Errors returns the total error count.
-func (c *Collector) Errors() int64 { return c.errors.Load() }
+func (c *Collector) Errors() int64 {
+	var n int64
+	for i := range c.shards {
+		n += c.shards[i].errors.Load()
+	}
+	return n
+}
 
 // Retries returns the total retry count.
-func (c *Collector) Retries() int64 { return c.retries.Load() }
+func (c *Collector) Retries() int64 {
+	var n int64
+	for i := range c.shards {
+		n += c.shards[i].retries.Load()
+	}
+	return n
+}
 
 // Global returns the all-types latency histogram.
 func (c *Collector) Global() *Histogram { return c.global }
@@ -204,7 +328,7 @@ func (c *Collector) TypeHistogram(i int) *Histogram { return c.perType[i] }
 // Windows returns all finalized windows up to now (forcing rotation of any
 // windows that have fully elapsed).
 func (c *Collector) Windows() []Window {
-	idx := c.windowIndex(time.Now())
+	idx := c.windowIndex(c.now())
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.advance(idx)
@@ -236,7 +360,7 @@ type Snapshot struct {
 
 // Snapshot returns instantaneous performance feedback.
 func (c *Collector) Snapshot() Snapshot {
-	now := time.Now()
+	now := c.now()
 	idx := c.windowIndex(now)
 	c.mu.Lock()
 	c.advance(idx)
@@ -252,10 +376,10 @@ func (c *Collector) Snapshot() Snapshot {
 		AbortsPerSec: float64(last.Aborted) / c.windowDur.Seconds(),
 		AvgLatency:   last.AvgLatency(),
 		TypeNames:    c.types,
-		Committed:    c.committed.Load(),
-		Aborted:      c.aborted.Load(),
-		Errors:       c.errors.Load(),
-		Retries:      c.retries.Load(),
+		Committed:    c.Committed(),
+		Aborted:      c.Aborted(),
+		Errors:       c.Errors(),
+		Retries:      c.Retries(),
 	}
 	s.TypeLatency = make([]time.Duration, len(c.types))
 	s.TypeCounts = make([]int64, len(c.types))

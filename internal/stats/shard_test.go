@@ -1,0 +1,218 @@
+package stats
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestShardedRecordConcurrentSum hammers Record from many goroutines and
+// checks that every outcome is counted exactly once, both in the totals and
+// summed across finalized windows.
+func TestShardedRecordConcurrentSum(t *testing.T) {
+	const (
+		workers = 16
+		perW    = 5000
+	)
+	c := NewCollectorWindow([]string{"a", "b", "c"}, 5*time.Millisecond)
+	var wg sync.WaitGroup
+	var wantOK, wantAbort, wantRetry, wantErr atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rec := c.Recorder(w)
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perW; i++ {
+				switch rng.Intn(4) {
+				case 0, 1:
+					rec.Record(rng.Intn(3), StatusOK, time.Millisecond)
+					wantOK.Add(1)
+				case 2:
+					rec.Record(0, StatusAborted, 0)
+					wantAbort.Add(1)
+				case 3:
+					if rng.Intn(2) == 0 {
+						rec.Record(1, StatusRetry, 0)
+						wantRetry.Add(1)
+					} else {
+						c.Record(2, StatusError, 0) // pool-affine path
+						wantErr.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Committed(); got != wantOK.Load() {
+		t.Fatalf("committed = %d, want %d", got, wantOK.Load())
+	}
+	if got := c.Aborted(); got != wantAbort.Load() {
+		t.Fatalf("aborted = %d, want %d", got, wantAbort.Load())
+	}
+	if got := c.Retries(); got != wantRetry.Load() {
+		t.Fatalf("retries = %d, want %d", got, wantRetry.Load())
+	}
+	if got := c.Errors(); got != wantErr.Load() {
+		t.Fatalf("errors = %d, want %d", got, wantErr.Load())
+	}
+	// Force rotation past the last live window, then check the window sums
+	// partition the totals exactly: no gaps, no double counts.
+	time.Sleep(6 * time.Millisecond)
+	ws := c.Windows()
+	var sum Window
+	perType := make([]int64, 3)
+	for i, w := range ws {
+		if i > 0 && w.Index != ws[i-1].Index+1 {
+			t.Fatalf("non-consecutive windows: %d then %d", ws[i-1].Index, w.Index)
+		}
+		sum.Committed += w.Committed
+		sum.Aborted += w.Aborted
+		sum.Errors += w.Errors
+		sum.Retries += w.Retries
+		sum.SumLatencyUS += w.SumLatencyUS
+		for ti := range perType {
+			perType[ti] += w.PerType[ti]
+		}
+	}
+	if sum.Committed != wantOK.Load() || sum.Aborted != wantAbort.Load() ||
+		sum.Errors != wantErr.Load() || sum.Retries != wantRetry.Load() {
+		t.Fatalf("windowed sums %+v do not match totals ok=%d abort=%d err=%d retry=%d",
+			sum, wantOK.Load(), wantAbort.Load(), wantErr.Load(), wantRetry.Load())
+	}
+	var typed int64
+	for _, n := range perType {
+		typed += n
+	}
+	if typed != wantOK.Load() {
+		t.Fatalf("per-type windowed sum = %d, want %d", typed, wantOK.Load())
+	}
+	if sum.SumLatencyUS != wantOK.Load()*1000 {
+		t.Fatalf("latency sum = %d, want %d", sum.SumLatencyUS, wantOK.Load()*1000)
+	}
+}
+
+// TestShardedRotationMatchesSequentialSemantics replays random single-threaded
+// record/sleep schedules on a deterministic clock and checks the sharded
+// collector produces exactly the windows the old sequential implementation
+// would have: each record lands in the window of its record time, elapsed
+// windows are materialized empty, indexes are consecutive from zero.
+func TestShardedRotationMatchesSequentialSemantics(t *testing.T) {
+	const windowDur = 10 * time.Millisecond
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		c := NewCollectorWindow([]string{"x", "y"}, windowDur)
+		base := time.Unix(1000, 0)
+		cur := base
+		c.start = base
+		c.now = func() time.Time { return cur }
+		rec := c.Recorder(trial)
+
+		// Reference model: the pre-shard semantics.
+		type refWin struct {
+			committed, aborted, errors, retries, lat int64
+			perType                                  [2]int64
+		}
+		ref := map[int]*refWin{}
+		at := func(idx int) *refWin {
+			w, ok := ref[idx]
+			if !ok {
+				w = &refWin{}
+				ref[idx] = w
+			}
+			return w
+		}
+		ops := 20 + rng.Intn(200)
+		for i := 0; i < ops; i++ {
+			cur = cur.Add(time.Duration(rng.Intn(8)) * time.Millisecond)
+			idx := int(cur.Sub(base) / windowDur)
+			ti := rng.Intn(2)
+			lat := time.Duration(rng.Intn(5000)) * time.Microsecond
+			switch rng.Intn(4) {
+			case 0, 1:
+				rec.Record(ti, StatusOK, lat)
+				w := at(idx)
+				w.committed++
+				w.lat += lat.Microseconds()
+				w.perType[ti]++
+			case 2:
+				rec.Record(ti, StatusAborted, 0)
+				at(idx).aborted++
+			case 3:
+				rec.Record(ti, StatusError, 0)
+				at(idx).errors++
+			}
+		}
+		// Advance past the last record so every touched window finalizes.
+		cur = cur.Add(2 * windowDur)
+		got := c.Windows()
+		lastIdx := int(cur.Sub(base)/windowDur) - 1
+		if len(got) != lastIdx+1 {
+			t.Fatalf("trial %d: %d windows, want %d", trial, len(got), lastIdx+1)
+		}
+		for i, w := range got {
+			if w.Index != i {
+				t.Fatalf("trial %d: window %d has index %d", trial, i, w.Index)
+			}
+			want := refWin{}
+			if r, ok := ref[i]; ok {
+				want = *r
+			}
+			if w.Committed != want.committed || w.Aborted != want.aborted ||
+				w.Errors != want.errors || w.Retries != want.retries ||
+				w.SumLatencyUS != want.lat ||
+				w.PerType[0] != want.perType[0] || w.PerType[1] != want.perType[1] {
+				t.Fatalf("trial %d window %d: got %+v, want %+v", trial, i, w, want)
+			}
+		}
+	}
+}
+
+// TestRecorderSharding checks worker ids map onto distinct shards (up to the
+// shard count) so that concurrent workers do not collide on one cell.
+func TestRecorderSharding(t *testing.T) {
+	c := NewCollector([]string{"t"})
+	seen := map[*shard]bool{}
+	for w := 0; w < nshards; w++ {
+		seen[c.Recorder(w).s] = true
+	}
+	if len(seen) != nshards {
+		t.Fatalf("distinct shards = %d, want %d", len(seen), nshards)
+	}
+	if c.Recorder(nshards).s != c.Recorder(0).s {
+		t.Fatal("worker ids beyond the shard count should wrap")
+	}
+}
+
+// BenchmarkStatsRecordParallel measures Record under contention: every
+// goroutine records through its own Recorder handle, so throughput should
+// scale with workers instead of serializing on a collector-wide mutex.
+func BenchmarkStatsRecordParallel(b *testing.B) {
+	c := NewCollector([]string{"read", "write"})
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		rec := c.Recorder(int(next.Add(1) - 1))
+		i := 0
+		for pb.Next() {
+			rec.Record(i&1, StatusOK, time.Millisecond)
+			i++
+		}
+	})
+}
+
+// BenchmarkStatsRecordPoolAffine measures the Recorder-less Record path that
+// picks a shard with processor affinity via a sync.Pool.
+func BenchmarkStatsRecordPoolAffine(b *testing.B) {
+	c := NewCollector([]string{"read", "write"})
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			c.Record(i&1, StatusOK, time.Millisecond)
+			i++
+		}
+	})
+}

@@ -30,4 +30,7 @@ go test ./...
 echo "==> go test -race (short) core/stats/sqldb"
 go test -race -short -count=1 ./internal/core/... ./internal/stats/... ./internal/sqldb/...
 
+echo "==> allocation smoke (prepared point read)"
+go test -count=1 -run 'TestPreparedPointReadAllocSmoke' -v ./internal/sqldb/ | grep -E 'allocs/op|PASS|FAIL'
+
 echo "verify: all gates passed"
