@@ -7,6 +7,7 @@ package benchpress_test
 
 import (
 	"context"
+	"runtime"
 	"testing"
 	"time"
 
@@ -15,6 +16,7 @@ import (
 	"benchpress/internal/dbdriver"
 	"benchpress/internal/experiments"
 	"benchpress/internal/sqldb/txn"
+	"benchpress/internal/stats"
 	"benchpress/internal/trace"
 	"benchpress/internal/wal"
 )
@@ -333,6 +335,109 @@ func benchmarkEngineYCSB(b *testing.B, engine string) {
 func BenchmarkEngineYCSB_goserial(b *testing.B) { benchmarkEngineYCSB(b, "goserial") }
 func BenchmarkEngineYCSB_golock(b *testing.B)   { benchmarkEngineYCSB(b, "golock") }
 func BenchmarkEngineYCSB_gomvcc(b *testing.B)   { benchmarkEngineYCSB(b, "gomvcc") }
+
+// E-SCALE: the same open-loop YCSB run with terminals tied to GOMAXPROCS, so
+// `go test -bench EngineYCSBScale -cpu 1,2,4,8` sweeps worker counts in one
+// invocation and the striped row store's concurrency scaling shows up as the
+// tps trend across -cpu columns. On a single-core host the sweep still varies
+// offered concurrency; the stripes then buy reduced lock convoying rather
+// than parallel speedup.
+func benchmarkEngineYCSBScale(b *testing.B, engine string) {
+	workers := runtime.GOMAXPROCS(0)
+	for i := 0; i < b.N; i++ {
+		db, err := dbdriver.Open(engine)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bench, _ := core.NewBenchmark("ycsb", 0.05)
+		if err := core.Prepare(bench, db, 1); err != nil {
+			b.Fatal(err)
+		}
+		dur := 500 * time.Millisecond
+		m := core.NewManager(bench, db, []core.Phase{{Duration: dur, Rate: 0}},
+			core.Options{Terminals: workers})
+		if err := m.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(m.Collector().Committed())/dur.Seconds(), "tps")
+		b.ReportMetric(float64(workers), "workers")
+		db.Close()
+	}
+}
+
+func BenchmarkEngineYCSBScale_golock(b *testing.B) { benchmarkEngineYCSBScale(b, "golock") }
+func BenchmarkEngineYCSBScale_gomvcc(b *testing.B) { benchmarkEngineYCSBScale(b, "gomvcc") }
+
+// E-VAC: a sustained update/churn mix against a small hot set leaves behind
+// committed-dead versions and row slots that only the online vacuum reclaims
+// behind the transaction low-watermark. Every 16th operation is an unindexed
+// point query — a sequential scan that pays for every unreclaimed slot — so
+// without vacuum the p99 tail drifts upward with run length, while with the
+// background vacuum it stays flat. Reported as p99 over the first vs last
+// quarter of the run, per variant. WAL is off so the storage layer, not the
+// group-commit wait, is what the latencies measure.
+func BenchmarkSustainedUpdateP99(b *testing.B) {
+	for _, v := range []struct {
+		name     string
+		interval time.Duration
+	}{{"vacuum", time.Millisecond}, {"novacuum", 0}} {
+		b.Run(v.name, func(b *testing.B) {
+			dbdriver.Register(dbdriver.Personality{
+				Name: "p99-" + v.name, Dialect: "gosql", Mode: txn.MVCC,
+				WALPolicy: wal.SyncNone, VacuumInterval: v.interval,
+			})
+			for i := 0; i < b.N; i++ {
+				db, err := dbdriver.Open("p99-" + v.name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				c := db.Connect()
+				if _, err := c.Exec("CREATE TABLE hot (id INT NOT NULL, grp INT, PRIMARY KEY (id))"); err != nil {
+					b.Fatal(err)
+				}
+				const keys = 64
+				for k := 0; k < keys; k++ {
+					if _, err := c.Exec("INSERT INTO hot VALUES (?, ?)", k, k); err != nil {
+						b.Fatal(err)
+					}
+				}
+				const ops = 100000
+				var early, late stats.Histogram
+				for u := 0; u < ops; u++ {
+					k := u % keys
+					t0 := time.Now()
+					switch {
+					case u%16 == 15: // seqscan: visits every unreclaimed slot
+						if _, err := c.QueryRow("SELECT id FROM hot WHERE grp = ?", k); err != nil {
+							b.Fatal(err)
+						}
+					case u%4 == 3: // churn: kill the row's slot, re-insert the key
+						if _, err := c.Exec("DELETE FROM hot WHERE id = ?", k); err != nil {
+							b.Fatal(err)
+						}
+						if _, err := c.Exec("INSERT INTO hot VALUES (?, ?)", k, k); err != nil {
+							b.Fatal(err)
+						}
+					default: // grow the row's version chain
+						if _, err := c.Exec("UPDATE hot SET grp = ? WHERE id = ?", k, k); err != nil {
+							b.Fatal(err)
+						}
+					}
+					d := time.Since(t0)
+					switch {
+					case u < ops/4:
+						early.Record(d)
+					case u >= ops-ops/4:
+						late.Record(d)
+					}
+				}
+				b.ReportMetric(float64(early.Percentile(99).Microseconds()), "early-p99-us")
+				b.ReportMetric(float64(late.Percentile(99).Microseconds()), "late-p99-us")
+				db.Close()
+			}
+		})
+	}
+}
 
 // F1: Figure 1 — the architecture end to end: config -> manager -> queue ->
 // workers -> driver -> engine, with statistics, trace, and the control API

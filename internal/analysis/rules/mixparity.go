@@ -1,0 +1,116 @@
+package rules
+
+import (
+	"go/ast"
+	"strings"
+
+	"benchpress/internal/analysis"
+)
+
+// MixParity flags Benchmark implementations in internal/benchmarks/ whose
+// DefaultMix weight literal is not parallel to their Procedures literal. The
+// framework pairs the two slices by index (weight i drives procedure i), so
+// a length mismatch silently truncates or zero-weights procedures. The rule
+// only reasons about bodies that are a single `return <composite literal>`;
+// computed slices are skipped rather than guessed at.
+type MixParity struct{}
+
+// Name implements analysis.Rule.
+func (MixParity) Name() string { return "mix-parity" }
+
+// Doc implements analysis.Rule.
+func (MixParity) Doc() string {
+	return "a Benchmark's DefaultMix weights must be parallel to its Procedures slice"
+}
+
+// Check implements analysis.Rule.
+func (MixParity) Check(pass *analysis.Pass) {
+	if !strings.HasPrefix(pass.RelPath(), "internal/benchmarks/") {
+		return
+	}
+	type methods struct {
+		recv   string
+		procs  int // literal length of Procedures, -1 when unknown
+		mix    int // literal length of DefaultMix, -1 when unknown
+		mixLit *ast.CompositeLit
+	}
+	var seen []*methods
+	lookup := func(recv string) *methods {
+		for _, m := range seen {
+			if m.recv == recv {
+				return m
+			}
+		}
+		m := &methods{recv: recv, procs: -1, mix: -1}
+		seen = append(seen, m)
+		return m
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			recv := recvTypeName(fd)
+			if recv == "" {
+				continue
+			}
+			switch fd.Name.Name {
+			case "Procedures":
+				if lit := soleReturnedLiteral(fd); lit != nil {
+					lookup(recv).procs = len(lit.Elts)
+				}
+			case "DefaultMix":
+				if lit := soleReturnedLiteral(fd); lit != nil {
+					m := lookup(recv)
+					m.mix = len(lit.Elts)
+					m.mixLit = lit
+				}
+			}
+		}
+	}
+	for _, m := range seen {
+		if m.mixLit != nil && m.procs >= 0 && m.mix != m.procs {
+			pass.Report(m.mixLit.Pos(),
+				"%s.DefaultMix has %d weights but Procedures has %d entries; the slices pair by index",
+				m.recv, m.mix, m.procs)
+		}
+	}
+}
+
+// recvTypeName names a method's receiver type, stripping pointers.
+func recvTypeName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) != 1 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// soleReturnedLiteral returns the composite literal when the function body's
+// only return statement is `return T{...}`; nil otherwise.
+func soleReturnedLiteral(fd *ast.FuncDecl) *ast.CompositeLit {
+	var ret *ast.ReturnStmt
+	returns := 0
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ReturnStmt:
+			returns++
+			ret = n.(*ast.ReturnStmt)
+		case *ast.FuncLit:
+			return false // returns inside closures are not the method's
+		}
+		return true
+	})
+	if returns != 1 || len(ret.Results) != 1 {
+		return nil
+	}
+	lit, _ := ret.Results[0].(*ast.CompositeLit)
+	return lit
+}

@@ -1,0 +1,141 @@
+package rules
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"benchpress/internal/analysis"
+)
+
+// PhaseOrder validates core.Phase slice literals passed to core.NewManager:
+// every phase needs a positive Duration (a zero-duration phase is silently
+// skipped by the phase clock) and a non-negative Rate (negative rates are
+// nonsensical; 0 means open loop). Only constant fields are judged —
+// durations and rates computed at run time are skipped, and so are phase
+// slices built outside the call expression.
+type PhaseOrder struct{}
+
+// Name implements analysis.Rule.
+func (PhaseOrder) Name() string { return "phase-order" }
+
+// Doc implements analysis.Rule.
+func (PhaseOrder) Doc() string {
+	return "core.Phase literals passed to NewManager need positive durations and non-negative rates"
+}
+
+// Check implements analysis.Rule.
+func (PhaseOrder) Check(pass *analysis.Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || calleeName(call) != "NewManager" || len(call.Args) < 3 {
+				return true
+			}
+			lit, ok := call.Args[2].(*ast.CompositeLit)
+			if !ok || !isPhaseSlice(pass, lit) {
+				return true
+			}
+			for _, el := range lit.Elts {
+				if ph, ok := el.(*ast.CompositeLit); ok {
+					checkPhase(pass, ph)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isPhaseSlice reports whether the literal's type is []core.Phase.
+func isPhaseSlice(pass *analysis.Pass, lit *ast.CompositeLit) bool {
+	tv, ok := pass.Pkg.Info.Types[lit]
+	if !ok {
+		return false
+	}
+	sl, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	named, ok := sl.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Phase" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/core")
+}
+
+// checkPhase judges one phase element literal.
+func checkPhase(pass *analysis.Pass, ph *ast.CompositeLit) {
+	durExpr, rateExpr := phaseFields(pass, ph)
+	if durExpr == nil {
+		pass.Report(ph.Pos(), "phase omits Duration: every phase needs a positive duration")
+	} else if v, known := constSign(pass, durExpr); known && v <= 0 {
+		pass.Report(durExpr.Pos(), "phase needs a positive duration")
+	}
+	if rateExpr != nil {
+		if v, known := constSign(pass, rateExpr); known && v < 0 {
+			pass.Report(rateExpr.Pos(), "phase has a negative rate; use 0 for open loop")
+		}
+	}
+}
+
+// phaseFields extracts the Duration and Rate value expressions from a Phase
+// literal, handling both keyed and positional forms.
+func phaseFields(pass *analysis.Pass, ph *ast.CompositeLit) (dur, rate ast.Expr) {
+	if len(ph.Elts) == 0 {
+		return nil, nil
+	}
+	if _, keyed := ph.Elts[0].(*ast.KeyValueExpr); keyed {
+		for _, el := range ph.Elts {
+			kv, ok := el.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				switch id.Name {
+				case "Duration":
+					dur = kv.Value
+				case "Rate":
+					rate = kv.Value
+				}
+			}
+		}
+		return dur, rate
+	}
+	tv, ok := pass.Pkg.Info.Types[ph]
+	if !ok {
+		return nil, nil
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil
+	}
+	for i, el := range ph.Elts {
+		if i >= st.NumFields() {
+			break
+		}
+		switch st.Field(i).Name() {
+		case "Duration":
+			dur = el
+		case "Rate":
+			rate = el
+		}
+	}
+	return dur, rate
+}
+
+// constSign returns the sign of a constant numeric expression, or known ==
+// false when the expression is not a compile-time constant.
+func constSign(pass *analysis.Pass, e ast.Expr) (sign int, known bool) {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value), true
+	}
+	return 0, false
+}

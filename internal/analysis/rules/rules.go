@@ -19,6 +19,8 @@ func All() []analysis.Rule {
 		ErrorDiscard{},
 		DialectBoundary{},
 		BareGoroutine{},
+		MixParity{},
+		PhaseOrder{},
 	}
 }
 

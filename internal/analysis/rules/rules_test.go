@@ -26,6 +26,8 @@ var fixtureCases = []struct {
 	{rules.ErrorDiscard{}, "errdiscard_bad.go", "errdiscard_good.go", "benchpress/internal/fixture"},
 	{rules.DialectBoundary{}, "boundary_bad.go", "boundary_good.go", "benchpress/internal/benchmarks/fixture"},
 	{rules.BareGoroutine{}, "goroutine_bad.go", "goroutine_good.go", "benchpress/internal/fixture"},
+	{rules.MixParity{}, "mixparity_bad.go", "mixparity_good.go", "benchpress/internal/benchmarks/fixture"},
+	{rules.PhaseOrder{}, "phaseorder_bad.go", "phaseorder_good.go", "benchpress/internal/fixture"},
 }
 
 func TestRuleFixtures(t *testing.T) {
@@ -68,6 +70,15 @@ func TestDialectBoundaryScopedToBenchmarks(t *testing.T) {
 	diags := runFixtureNoWants(t, rules.DialectBoundary{}, "boundary_bad.go", "benchpress/internal/experiments")
 	if len(diags) != 0 {
 		t.Errorf("dialect-boundary fired outside internal/benchmarks/: %v", diags)
+	}
+}
+
+// TestMixParityScopedToBenchmarks: the rule is silent outside
+// internal/benchmarks/.
+func TestMixParityScopedToBenchmarks(t *testing.T) {
+	diags := runFixtureNoWants(t, rules.MixParity{}, "mixparity_bad.go", "benchpress/internal/fixture")
+	if len(diags) != 0 {
+		t.Errorf("mix-parity fired outside internal/benchmarks/: %v", diags)
 	}
 }
 
@@ -135,6 +146,29 @@ func loadAndRun(t *testing.T, rule analysis.Rule, name, pkgPath string) (string,
 		"// Package txn is a fixture stub.\npackage txn\n\n// Mode is a stub.\ntype Mode int\n")
 	writeFile(t, tmp, "internal/dbdriver/driver.go",
 		"// Package dbdriver is a fixture stub.\npackage dbdriver\n\n// Conn is a stub connection.\ntype Conn struct{}\n")
+	writeFile(t, tmp, "internal/core/core.go", `// Package core is a fixture stub.
+package core
+
+import "time"
+
+// Phase is a stub of the workload phase descriptor.
+type Phase struct {
+	Duration    time.Duration
+	Rate        float64
+	Mix         []float64
+	Exponential bool
+	ThinkTime   time.Duration
+}
+
+// Options is a stub.
+type Options struct{ Terminals int }
+
+// Manager is a stub.
+type Manager struct{}
+
+// NewManager is a stub of the workload manager constructor.
+func NewManager(b, db any, phases []Phase, opts Options) *Manager { return &Manager{} }
+`)
 	rel := strings.TrimPrefix(pkgPath, "benchpress/")
 	writeFile(t, tmp, filepath.Join(rel, "fixture.go"), string(data))
 

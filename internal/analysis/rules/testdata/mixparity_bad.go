@@ -1,0 +1,20 @@
+// Package fixture exercises the mix-parity rule: the DefaultMix literal is
+// not parallel to the Procedures literal.
+package fixture
+
+// Procedure is a local stand-in for core.Procedure; the rule matches the
+// Benchmark method shape, not the element type.
+type Procedure struct{ Name string }
+
+// Bench declares two procedures but three weights.
+type Bench struct{}
+
+// Procedures lists the transaction types.
+func (b *Bench) Procedures() []Procedure {
+	return []Procedure{{Name: "read"}, {Name: "update"}}
+}
+
+// DefaultMix has one weight too many.
+func (b *Bench) DefaultMix() []float64 {
+	return []float64{50, 30, 20} // want "3 weights but Procedures has 2"
+}

@@ -1,0 +1,44 @@
+// Package fixture holds mix-parity negatives: parallel literals and shapes
+// the rule must not guess at.
+package fixture
+
+// Procedure is a local stand-in for core.Procedure.
+type Procedure struct{ Name string }
+
+// Bench has matching lengths.
+type Bench struct{}
+
+// Procedures lists the transaction types.
+func (b *Bench) Procedures() []Procedure {
+	return []Procedure{{Name: "read"}, {Name: "update"}}
+}
+
+// DefaultMix is parallel to Procedures.
+func (b *Bench) DefaultMix() []float64 {
+	return []float64{80, 20}
+}
+
+// Dynamic computes its mix; the rule skips non-literal bodies.
+type Dynamic struct{ n int }
+
+// Procedures lists three types.
+func (d *Dynamic) Procedures() []Procedure {
+	return []Procedure{{Name: "a"}, {Name: "b"}, {Name: "c"}}
+}
+
+// DefaultMix builds the slice at run time.
+func (d *Dynamic) DefaultMix() []float64 {
+	mix := make([]float64, d.n)
+	for i := range mix {
+		mix[i] = 1
+	}
+	return mix
+}
+
+// MixOnly has no Procedures method at all; nothing to compare against.
+type MixOnly struct{}
+
+// DefaultMix alone is not judged.
+func (m *MixOnly) DefaultMix() []float64 {
+	return []float64{1, 2, 3, 4}
+}

@@ -1,0 +1,19 @@
+// Package fixture exercises the phase-order rule with misconfigured phase
+// literals passed to core.NewManager.
+package fixture
+
+import (
+	"time"
+
+	"benchpress/internal/core"
+)
+
+func badPhases() *core.Manager {
+	return core.NewManager(nil, nil, []core.Phase{
+		{Duration: 0, Rate: 50},            // want "positive duration"
+		{Duration: -time.Second, Rate: 50}, // want "positive duration"
+		{Duration: time.Second, Rate: -1},  // want "negative rate"
+		{Rate: 25},                         // want "omits Duration"
+		{0, -5, nil, false, 0},             // want "positive duration" // want "negative rate"
+	}, core.Options{})
+}

@@ -1,0 +1,22 @@
+// Package fixture holds phase-order negatives: well-formed literals,
+// run-time values, and phase slices the rule cannot see into.
+package fixture
+
+import (
+	"time"
+
+	"benchpress/internal/core"
+)
+
+func goodPhases(d time.Duration, r float64) *core.Manager {
+	ramp := []core.Phase{{Duration: time.Minute, Rate: 10}}
+	if core.NewManager(nil, nil, ramp, core.Options{}) == nil {
+		return nil // slices built elsewhere are not judged at the call
+	}
+	return core.NewManager(nil, nil, []core.Phase{
+		{Duration: time.Second, Rate: 100},
+		{Duration: d, Rate: r}, // run-time values are skipped, not guessed
+		{Duration: 2 * time.Second, Rate: 0, Exponential: true},
+		{3 * time.Second, 5, nil, false, 0},
+	}, core.Options{})
+}

@@ -1,0 +1,20 @@
+package btree
+
+import "sync"
+
+// Latched pairs a Tree with the latch that guards it. The Tree itself is
+// deliberately unsynchronized (see package comment); storage layers that need
+// per-index concurrency wrap each tree in a Latched and take the latch around
+// every call. Embedding keeps call sites short (lt.Lock(); lt.Insert(...)),
+// and keeps the locking discipline visible at each use instead of hidden
+// behind the tree API.
+type Latched struct {
+	sync.RWMutex
+	Tree
+}
+
+// NewLatched returns an empty latched tree. The Tree zero value is not usable
+// (New initializes the root), so Latched values must come from here.
+func NewLatched() *Latched {
+	return &Latched{Tree: *New()}
+}

@@ -34,6 +34,9 @@ type Personality struct {
 	GroupCommitInterval time.Duration
 	// CommitDelay adds fixed per-commit latency.
 	CommitDelay time.Duration
+	// VacuumInterval paces the engine's online background vacuum (zero
+	// disables it).
+	VacuumInterval time.Duration
 }
 
 var (
@@ -87,6 +90,7 @@ func init() {
 		Dialect:     "derby",
 		Mode:        txn.Serial,
 		WALPolicy:   wal.SyncGroup, GroupCommitInterval: time.Millisecond,
+		VacuumInterval: 5 * time.Millisecond,
 	})
 	Register(Personality{
 		Name:        "golock",
@@ -94,6 +98,7 @@ func init() {
 		Dialect:     "mysql",
 		Mode:        txn.Locking,
 		WALPolicy:   wal.SyncGroup, GroupCommitInterval: 500 * time.Microsecond,
+		VacuumInterval: 5 * time.Millisecond,
 	})
 	Register(Personality{
 		Name:        "gomvcc",
@@ -101,6 +106,7 @@ func init() {
 		Dialect:     "postgres",
 		Mode:        txn.MVCC,
 		WALPolicy:   wal.SyncGroup, GroupCommitInterval: 200 * time.Microsecond,
+		VacuumInterval: 5 * time.Millisecond,
 	})
 }
 
@@ -127,6 +133,7 @@ func OpenWith(p Personality) *DB {
 		WALPolicy:           p.WALPolicy,
 		GroupCommitInterval: p.GroupCommitInterval,
 		CommitDelay:         p.CommitDelay,
+		VacuumInterval:      p.VacuumInterval,
 	})
 	return &DB{p: p, eng: eng}
 }

@@ -38,6 +38,11 @@ type Config struct {
 	// CommitDelay adds fixed latency to every writing commit, emulating
 	// per-commit work (e.g. synchronous replication). Zero disables it.
 	CommitDelay time.Duration
+	// VacuumInterval enables the online background vacuum: every interval,
+	// one row-store segment per table is swept at the transaction manager's
+	// current low-watermark. Zero disables the goroutine; Engine.Vacuum
+	// remains available for manual, deterministic reclamation.
+	VacuumInterval time.Duration
 }
 
 // Engine is one embedded database instance.
@@ -52,6 +57,10 @@ type Engine struct {
 
 	planMu sync.RWMutex
 	stmts  map[string]*cachedStmt
+
+	vacStop   chan struct{}
+	vacWG     sync.WaitGroup
+	closeOnce sync.Once
 }
 
 // cachedStmt is one merged statement-cache entry: the parsed AST, the
@@ -93,7 +102,37 @@ func Open(cfg Config) *Engine {
 			return nil
 		}
 	}
+	if cfg.VacuumInterval > 0 {
+		e.vacStop = make(chan struct{})
+		e.vacWG.Add(1)
+		go func() {
+			defer e.vacWG.Done()
+			e.vacuumLoop()
+		}()
+	}
 	return e
+}
+
+// vacuumLoop is the online vacuum: each tick it sweeps the next row-store
+// segment of every table at a fresh low-watermark, so reclamation cost is
+// spread thin across the run instead of stopping the world. It exits when
+// Close fires.
+func (e *Engine) vacuumLoop() {
+	ticker := time.NewTicker(e.cfg.VacuumInterval)
+	defer ticker.Stop()
+	cursor := 0
+	for {
+		select {
+		case <-ticker.C:
+			horizon := e.mgr.Horizon()
+			for _, t := range e.Tables() {
+				t.VacuumSegment(cursor%t.Segments(), horizon)
+			}
+			cursor++
+		case <-e.vacStop:
+			return
+		}
+	}
 }
 
 // Name returns the engine instance name.
@@ -102,9 +141,16 @@ func (e *Engine) Name() string { return e.cfg.Name }
 // Mode returns the engine's concurrency-control mode.
 func (e *Engine) Mode() txn.Mode { return e.cfg.Mode }
 
-// Close releases background resources (the WAL flusher).
+// Close releases background resources (the vacuum goroutine and the WAL
+// flusher). It is idempotent.
 func (e *Engine) Close() {
-	e.log.Close()
+	e.closeOnce.Do(func() {
+		if e.vacStop != nil {
+			close(e.vacStop)
+			e.vacWG.Wait()
+		}
+		e.log.Close()
+	})
 }
 
 // WAL exposes the engine's log for statistics; may be nil.

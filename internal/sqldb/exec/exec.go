@@ -705,9 +705,17 @@ func scanAccess(lv *scanLevel, env *Env, sc *levelScratch, process func(e storag
 		})
 		return nil
 	default:
-		lv.tbl.ScanAll(func(id storage.RowID, _ *storage.Row) bool {
+		// Sequential scan, one latch-free row-store segment at a time. The
+		// callback is hoisted out of the segment loop so it is allocated
+		// once per scan.
+		visit := func(id storage.RowID, _ *storage.Row) bool {
 			return process(storage.IndexEntry{ID: id}, verifyNone)
-		})
+		}
+		for g, n := 0, lv.tbl.Segments(); g < n; g++ {
+			if !lv.tbl.ScanSegment(g, visit) {
+				break
+			}
+		}
 		return nil
 	}
 }

@@ -12,6 +12,33 @@
 // always re-validate fetched versions against both visibility and the query
 // predicate, so a stale index entry can only cause a filtered-out false
 // positive, never a wrong result.
+//
+// # Concurrency layout
+//
+// Row slots live in NumSegments striped segments (segment.go); point reads
+// are latch-free and inserts on different segments never contend. Each index
+// tree carries its own latch (btree.Latched). No operation holds two index
+// latches at once; multi-index updates take latches one at a time in a fixed
+// order — primary first, then secondaries in ordinal order — and rely on the
+// stale-entry-tolerant read discipline above for atomicity across indexes.
+//
+// Lock order (any prefix, never reversed):
+//
+//	primary latch → secondary latch (ordinal order) → segment mu → row latch
+//
+// In practice writers hold a single index latch at a time and never take a
+// row latch under an index latch: uniqueness checks read row chains through
+// their atomic fields only. Vacuum takes row latches first but drops them
+// before touching index latches (a committed-dead row is immutable, so its
+// images can be unindexed outside the row latch).
+//
+// Writers must install a row version into its chain *before* loading the
+// secondary-index list they will maintain (Insert installs the slot first;
+// the txn layer installs update versions before calling
+// AddVersionIndexEntries). AddIndex relies on this: it publishes the new
+// index before backfilling, so under sequentially consistent atomics every
+// writer either sees the published index or has already installed a version
+// the backfill scan will see.
 package storage
 
 import (
@@ -164,52 +191,84 @@ func (view View) Visible(r *Row) *Version {
 	return nil
 }
 
-// Table holds the physical state of one table: the row slots, the primary
-// index (when a PK is declared), and all secondary indexes.
+// secondaryIndex pairs one secondary tree with its metadata. The slice of
+// these is copy-on-write published (see Table.secondaries) so the write path
+// reads it with a single atomic load.
+type secondaryIndex struct {
+	tree *btree.Latched
+	meta *catalog.Index
+}
+
+// Table holds the physical state of one table: the striped row slots, the
+// primary index (when a PK is declared), and all secondary indexes.
 type Table struct {
 	Meta *catalog.Table
 
-	mu        sync.RWMutex
-	rows      map[RowID]*Row
-	nextRowID atomic.Int64
-	autoInc   atomic.Int64
+	segs    [NumSegments]segment
+	nextSeg atomic.Uint32 // round-robin segment pick for new rows
+	autoInc atomic.Int64
 
-	primary   *btree.Tree // nil when no PK declared
-	secondary []*btree.Tree
-	// secondaryMeta[i] describes secondary[i]; parallel to Meta.Indexes
-	// minus the primary.
-	secondaryMeta []*catalog.Index
+	primary *btree.Latched // nil when no PK declared
+
+	// secondaries is the COW-published index list: ordinals are stable
+	// because DDL only appends. idxMu serializes publishers (AddIndex);
+	// every reader takes one atomic load and never blocks on DDL.
+	idxMu       sync.Mutex
+	secondaries atomic.Pointer[[]secondaryIndex]
+
+	// vacMu serializes vacuum passes (manual and background) against each
+	// other; vacuum never blocks readers or writers.
+	vacMu sync.Mutex
 }
 
 // NewTable allocates physical storage for a catalog table.
 func NewTable(meta *catalog.Table) *Table {
-	t := &Table{Meta: meta, rows: map[RowID]*Row{}}
+	t := &Table{Meta: meta}
+	t.initSegments()
+	secs := []secondaryIndex{}
 	for _, idx := range meta.Indexes {
 		if idx.Primary {
-			t.primary = btree.New()
+			t.primary = btree.NewLatched()
 		} else {
-			t.secondary = append(t.secondary, btree.New())
-			t.secondaryMeta = append(t.secondaryMeta, idx)
+			secs = append(secs, secondaryIndex{tree: btree.NewLatched(), meta: idx})
 		}
 	}
+	t.secondaries.Store(&secs)
 	return t
 }
 
+// secondaryList returns the current published index list.
+func (t *Table) secondaryList() []secondaryIndex { return *t.secondaries.Load() }
+
 // AddIndex attaches physical storage for a newly created secondary index and
-// backfills it from existing rows.
+// backfills it from existing rows. Publication happens first: once the new
+// list is visible, concurrent writers maintain the index themselves, and the
+// write-path invariant (install version, then load the index list) plus
+// sequentially consistent atomics guarantee the backfill scan observes every
+// version whose writer missed the publication. Backfill may record images
+// that concurrent writers also recorded, or images that died meanwhile; both
+// are stale entries that readers filter out.
 func (t *Table) AddIndex(idx *catalog.Index) {
-	tree := btree.New()
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	for id, row := range t.rows {
+	sec := secondaryIndex{tree: btree.NewLatched(), meta: idx}
+	t.idxMu.Lock()
+	old := t.secondaryList()
+	grown := make([]secondaryIndex, len(old), len(old)+1)
+	copy(grown, old)
+	grown = append(grown, sec)
+	t.secondaries.Store(&grown)
+	t.idxMu.Unlock()
+
+	t.ScanAll(func(id RowID, row *Row) bool {
 		v := row.Latest()
 		if v == nil {
-			continue
+			return true
 		}
-		tree.Insert(indexKey(idx, v.Data, id), id)
-	}
-	t.secondary = append(t.secondary, tree)
-	t.secondaryMeta = append(t.secondaryMeta, idx)
+		key := indexKey(idx, v.Data, id)
+		sec.tree.Lock()
+		sec.tree.Insert(key, id)
+		sec.tree.Unlock()
+		return true
+	})
 }
 
 // NextAutoInc returns the next auto-increment value for the table.
@@ -223,21 +282,6 @@ func (t *Table) BumpAutoInc(v int64) {
 			return
 		}
 	}
-}
-
-// Row returns the row with the given id, if it exists.
-func (t *Table) Row(id RowID) (*Row, bool) {
-	t.mu.RLock()
-	r, ok := t.rows[id]
-	t.mu.RUnlock()
-	return r, ok
-}
-
-// RowCount returns the number of row slots (including dead rows awaiting GC).
-func (t *Table) RowCount() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.rows)
 }
 
 // pkKey extracts the primary-key composite from a row image.
@@ -287,96 +331,142 @@ func liveOrPending(r *Row) bool {
 	return false // newest version is committed-deleted
 }
 
+// primaryConflict reports whether the primary index maps key to a different
+// row that is live or pending and still carries key. Callers hold the
+// primary latch; row state is read through atomics only.
+func (t *Table) primaryConflict(key []sqlval.Value, self RowID) bool {
+	existing, ok := t.primary.Get(key)
+	if !ok || existing == self {
+		return false
+	}
+	r, live := t.Row(existing)
+	return live && liveOrPending(r) &&
+		sqlval.CompareRows(t.pkKey(r.Latest().Data), key) == 0
+}
+
+// secondaryConflict reports whether a unique secondary index already holds a
+// live row with the same indexed column values. Callers hold sec's latch.
+// An index entry only blocks the insert when the row it points at is live
+// (or pending) AND its newest image still holds the conflicting key: stale
+// entries left behind by updates of indexed columns are ignored.
+func (t *Table) secondaryConflict(sec secondaryIndex, data []sqlval.Value, self RowID) bool {
+	prefix := make([]sqlval.Value, 0, len(sec.meta.Columns))
+	for _, c := range sec.meta.Columns {
+		prefix = append(prefix, data[c])
+	}
+	dup := false
+	sec.tree.AscendPrefix(prefix, func(_ []sqlval.Value, id int64) bool {
+		if id == self {
+			return true
+		}
+		r, ok := t.Row(id)
+		if !ok || !liveOrPending(r) {
+			return true
+		}
+		latest := r.Latest().Data
+		for ci, c := range sec.meta.Columns {
+			if sqlval.Compare(latest[c], prefix[ci]) != 0 {
+				return true // stale entry: the row moved off this key
+			}
+		}
+		dup = true
+		return false
+	})
+	return dup
+}
+
 // Insert creates a new row whose single version is marked uncommitted by
 // txnID. It installs all index entries. The returned RowID identifies the
-// slot; on unique violation an ErrDuplicateKey is returned and nothing is
-// modified.
+// slot; on unique violation an ErrDuplicateKey is returned and nothing
+// observable is left behind.
+//
+// The slot is installed before any index work: the version's uncommitted
+// mark keeps it invisible to every reader, and installing first upholds the
+// install-then-load-index-list invariant AddIndex backfill depends on. Each
+// uniqueness check and the matching entry insert happen under one continuous
+// hold of that index's latch, so two racing inserts of the same key always
+// serialize there; no operation holds two index latches at once.
 func (t *Table) Insert(txnID uint64, data []sqlval.Value) (RowID, *Row, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	// Unique checks first. An index entry only blocks the insert when the
-	// row it points at is live (or pending) AND its newest image still
-	// holds the conflicting key: stale entries left behind by updates of
-	// indexed columns are ignored.
-	if t.primary != nil {
-		key := t.pkKey(data)
-		if existing, ok := t.primary.Get(key); ok {
-			if r, live := t.rows[existing]; live && liveOrPending(r) &&
-				sqlval.CompareRows(t.pkKey(r.Latest().Data), key) == 0 {
-				return 0, nil, &ErrDuplicateKey{Table: t.Meta.Name, Index: t.Meta.Indexes[0].Name}
-			}
-		}
-	}
-	for i, idx := range t.secondaryMeta {
-		if !idx.Unique {
-			continue
-		}
-		prefix := make([]sqlval.Value, 0, len(idx.Columns))
-		for _, c := range idx.Columns {
-			prefix = append(prefix, data[c])
-		}
-		dup := false
-		t.secondary[i].AscendPrefix(prefix, func(_ []sqlval.Value, id int64) bool {
-			r, ok := t.rows[id]
-			if !ok || !liveOrPending(r) {
-				return true
-			}
-			latest := r.Latest().Data
-			for ci, c := range idx.Columns {
-				if sqlval.Compare(latest[c], prefix[ci]) != 0 {
-					return true // stale entry: the row moved off this key
-				}
-			}
-			dup = true
-			return false
-		})
-		if dup {
-			return 0, nil, &ErrDuplicateKey{Table: t.Meta.Name, Index: idx.Name}
-		}
-	}
-	id := t.nextRowID.Add(1)
 	row := &Row{}
 	row.SetLatest(NewVersion(data, TxnMark|txnID, Infinity, nil))
-	t.rows[id] = row
+	id := t.installRow(row)
+	secs := t.secondaryList()
+
 	if t.primary != nil {
-		t.primary.Insert(t.pkKey(data), id)
+		key := t.pkKey(data)
+		t.primary.Lock()
+		if t.primaryConflict(key, id) {
+			t.primary.Unlock()
+			t.freeRow(id, row)
+			return 0, nil, &ErrDuplicateKey{Table: t.Meta.Name, Index: t.Meta.Indexes[0].Name}
+		}
+		t.primary.Insert(key, id)
+		t.primary.Unlock()
 	}
-	for i, idx := range t.secondaryMeta {
-		t.secondary[i].Insert(indexKey(idx, data, id), id)
+	for ord := range secs {
+		sec := secs[ord]
+		key := indexKey(sec.meta, data, id)
+		sec.tree.Lock()
+		if sec.meta.Unique && t.secondaryConflict(sec, data, id) {
+			sec.tree.Unlock()
+			// Roll back the entries installed so far (RemoveRow tolerates
+			// the ones never installed) and release the slot.
+			t.RemoveRow(id, data)
+			return 0, nil, &ErrDuplicateKey{Table: t.Meta.Name, Index: sec.meta.Name}
+		}
+		sec.tree.Insert(key, id)
+		sec.tree.Unlock()
 	}
 	return id, row, nil
 }
 
-// RemoveRow unlinks a row slot and all its index entries; used when rolling
-// back an insert.
-func (t *Table) RemoveRow(id RowID, data []sqlval.Value) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	delete(t.rows, id)
+// removeImageEntries deletes the index entries of one version image,
+// guarding the primary entry against concurrent re-inserts of the same key.
+func (t *Table) removeImageEntries(id RowID, data []sqlval.Value) {
 	if t.primary != nil {
 		key := t.pkKey(data)
+		t.primary.Lock()
 		// Only remove the entry if it still points at this row: a
 		// concurrent re-insert of the same key may have replaced it.
 		if cur, ok := t.primary.Get(key); ok && cur == id {
 			t.primary.Delete(key)
 		}
+		t.primary.Unlock()
 	}
-	for i, idx := range t.secondaryMeta {
-		t.secondary[i].Delete(indexKey(idx, data, id))
+	for _, sec := range t.secondaryList() {
+		key := indexKey(sec.meta, data, id)
+		sec.tree.Lock()
+		sec.tree.Delete(key)
+		sec.tree.Unlock()
+	}
+}
+
+// RemoveRow unlinks a row slot and all its index entries; used when rolling
+// back an insert.
+func (t *Table) RemoveRow(id RowID, data []sqlval.Value) {
+	t.removeImageEntries(id, data)
+	if row, ok := t.Row(id); ok {
+		t.freeRow(id, row)
 	}
 }
 
 // AddVersionIndexEntries installs index entries for a new version image
 // produced by an update (the row id is unchanged; only changed keys need new
-// entries, and unchanged composites are idempotent inserts).
+// entries, and unchanged composites are idempotent inserts). Callers must
+// have installed the image into the row chain already — see the package
+// comment's write-path invariant.
 func (t *Table) AddVersionIndexEntries(id RowID, data []sqlval.Value) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	if t.primary != nil {
-		t.primary.Insert(t.pkKey(data), id)
+		key := t.pkKey(data)
+		t.primary.Lock()
+		t.primary.Insert(key, id)
+		t.primary.Unlock()
 	}
-	for i, idx := range t.secondaryMeta {
-		t.secondary[i].Insert(indexKey(idx, data, id), id)
+	for _, sec := range t.secondaryList() {
+		key := indexKey(sec.meta, data, id)
+		sec.tree.Lock()
+		sec.tree.Insert(key, id)
+		sec.tree.Unlock()
 	}
 }
 
@@ -384,33 +474,36 @@ func (t *Table) AddVersionIndexEntries(id RowID, data []sqlval.Value) {
 // given version image (used on rollback of an update whose keys changed, with
 // keep holding the image whose entries must survive).
 func (t *Table) RemoveVersionIndexEntries(id RowID, data, keep []sqlval.Value) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	if t.primary != nil {
 		oldKey, keepKey := t.pkKey(data), t.pkKey(keep)
 		if sqlval.CompareRows(oldKey, keepKey) != 0 {
+			t.primary.Lock()
 			if cur, ok := t.primary.Get(oldKey); ok && cur == id {
 				t.primary.Delete(oldKey)
 			}
+			t.primary.Unlock()
 		}
 	}
-	for i, idx := range t.secondaryMeta {
-		oldKey := indexKey(idx, data, id)
-		keepKey := indexKey(idx, keep, id)
+	for _, sec := range t.secondaryList() {
+		oldKey := indexKey(sec.meta, data, id)
+		keepKey := indexKey(sec.meta, keep, id)
 		if sqlval.CompareRows(oldKey, keepKey) != 0 {
-			t.secondary[i].Delete(oldKey)
+			sec.tree.Lock()
+			sec.tree.Delete(oldKey)
+			sec.tree.Unlock()
 		}
 	}
 }
 
 // PrimaryLookup finds the row id for an exact primary-key match.
 func (t *Table) PrimaryLookup(key []sqlval.Value) (RowID, bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	if t.primary == nil {
 		return 0, false
 	}
-	return t.primary.Get(key)
+	t.primary.RLock()
+	id, ok := t.primary.Get(key)
+	t.primary.RUnlock()
+	return id, ok
 }
 
 // IndexEntry is one materialized index hit: the physical key and the row id
@@ -426,12 +519,10 @@ type IndexEntry struct {
 // ScanPrimaryRange iterates index entries with from <= pk <= to in key
 // order. Nil bounds are open; bounds may be key prefixes padded with
 // sqlval.Top() to form inclusive upper bounds. Entries are materialized
-// under the table latch and the callback runs after its release, so
+// under the index latch and the callback runs after its release, so
 // callbacks may freely re-enter the table (reads, lock acquisition).
 func (t *Table) ScanPrimaryRange(from, to []sqlval.Value, desc bool, fn func(e IndexEntry) bool) {
-	t.mu.RLock()
 	if t.primary == nil {
-		t.mu.RUnlock()
 		return
 	}
 	entries := make([]IndexEntry, 0, 16)
@@ -439,12 +530,13 @@ func (t *Table) ScanPrimaryRange(from, to []sqlval.Value, desc bool, fn func(e I
 		entries = append(entries, IndexEntry{Key: key, ID: id})
 		return true
 	}
+	t.primary.RLock()
 	if desc {
 		t.primary.DescendRange(to, from, collect)
 	} else {
 		t.primary.AscendRange(from, to, collect)
 	}
-	t.mu.RUnlock()
+	t.primary.RUnlock()
 	for _, e := range entries {
 		if !fn(e) {
 			return
@@ -471,7 +563,7 @@ func (t *Table) VerifyPrimary(e IndexEntry, data []sqlval.Value) bool {
 // column values of the secondary-index entry that produced it (the entry's
 // trailing row id is ignored).
 func (t *Table) VerifySecondary(ord int, e IndexEntry, data []sqlval.Value) bool {
-	idx := t.secondaryMeta[ord]
+	idx := t.secondaryList()[ord].meta
 	for i, c := range idx.Columns {
 		if i >= len(e.Key) {
 			return false
@@ -483,8 +575,16 @@ func (t *Table) VerifySecondary(ord int, e IndexEntry, data []sqlval.Value) bool
 	return true
 }
 
-// SecondaryIndexes exposes the table's secondary index metadata.
-func (t *Table) SecondaryIndexes() []*catalog.Index { return t.secondaryMeta }
+// SecondaryIndexes exposes the table's secondary index metadata, in ordinal
+// order. The slice is freshly built; callers may keep it.
+func (t *Table) SecondaryIndexes() []*catalog.Index {
+	secs := t.secondaryList()
+	metas := make([]*catalog.Index, len(secs))
+	for i, sec := range secs {
+		metas[i] = sec.meta
+	}
+	return metas
+}
 
 // ScanSecondaryRange iterates index entries with from <= key <= to over
 // physical secondary-index keys (indexed columns plus a trailing row id).
@@ -493,42 +593,21 @@ func (t *Table) SecondaryIndexes() []*catalog.Index { return t.secondaryMeta }
 // bound. The same materialize-then-callback discipline as ScanPrimaryRange
 // applies.
 func (t *Table) ScanSecondaryRange(ord int, from, to []sqlval.Value, desc bool, fn func(e IndexEntry) bool) {
-	t.mu.RLock()
-	tree := t.secondary[ord]
+	sec := t.secondaryList()[ord]
 	entries := make([]IndexEntry, 0, 16)
 	collect := func(key []sqlval.Value, id int64) bool {
 		entries = append(entries, IndexEntry{Key: key, ID: id})
 		return true
 	}
+	sec.tree.RLock()
 	if desc {
-		tree.DescendRange(to, from, collect)
+		sec.tree.DescendRange(to, from, collect)
 	} else {
-		tree.AscendRange(from, to, collect)
+		sec.tree.AscendRange(from, to, collect)
 	}
-	t.mu.RUnlock()
+	sec.tree.RUnlock()
 	for _, e := range entries {
 		if !fn(e) {
-			return
-		}
-	}
-}
-
-// ScanAll iterates every row slot in unspecified order.
-func (t *Table) ScanAll(fn func(id RowID, r *Row) bool) {
-	t.mu.RLock()
-	ids := make([]RowID, 0, len(t.rows))
-	for id := range t.rows {
-		ids = append(ids, id)
-	}
-	t.mu.RUnlock()
-	for _, id := range ids {
-		t.mu.RLock()
-		r, ok := t.rows[id]
-		t.mu.RUnlock()
-		if !ok {
-			continue
-		}
-		if !fn(id, r) {
 			return
 		}
 	}
@@ -537,61 +616,15 @@ func (t *Table) ScanAll(fn func(id RowID, r *Row) bool) {
 // Truncate drops all rows and index entries. Callers must ensure no
 // concurrent transactions touch the table (the engine takes care of this).
 func (t *Table) Truncate() {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.rows = map[RowID]*Row{}
 	if t.primary != nil {
-		t.primary = btree.New()
+		t.primary.Lock()
+		t.primary.Tree = *btree.New()
+		t.primary.Unlock()
 	}
-	for i := range t.secondary {
-		t.secondary[i] = btree.New()
+	for _, sec := range t.secondaryList() {
+		sec.tree.Lock()
+		sec.tree.Tree = *btree.New()
+		sec.tree.Unlock()
 	}
-}
-
-// Vacuum removes committed-deleted rows whose delete timestamp is below
-// horizon, along with their index entries, and prunes version chains down to
-// the newest version visible at horizon. It returns the number of row slots
-// reclaimed.
-func (t *Table) Vacuum(horizon uint64) int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	reclaimed := 0
-	for id, row := range t.rows {
-		row.Lock()
-		v := row.Latest()
-		if v != nil && committed(v.Begin()) && committed(v.End()) && v.End() != Infinity && v.End() <= horizon {
-			// Entire row is dead to every possible reader.
-			delete(t.rows, id)
-			for img := v; img != nil; img = img.Next() {
-				if t.primary != nil {
-					key := t.pkKey(img.Data)
-					if cur, ok := t.primary.Get(key); ok && cur == id {
-						t.primary.Delete(key)
-					}
-				}
-				for i, idx := range t.secondaryMeta {
-					t.secondary[i].Delete(indexKey(idx, img.Data, id))
-				}
-			}
-			reclaimed++
-			row.Unlock()
-			continue
-		}
-		// Prune chain tail: keep versions needed by readers at horizon.
-		for cur := row.Latest(); cur != nil; cur = cur.Next() {
-			if committed(cur.Begin()) && cur.Begin() <= horizon {
-				cur.SetNext(nil)
-				break
-			}
-		}
-		row.Unlock()
-	}
-	return reclaimed
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+	t.resetSegments()
 }

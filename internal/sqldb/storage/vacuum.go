@@ -1,0 +1,58 @@
+package storage
+
+// Vacuum removes committed-deleted rows whose delete timestamp is below
+// horizon, along with their index entries, and prunes version chains down to
+// the newest version visible at horizon. It returns the number of row slots
+// reclaimed. Vacuum runs online: it never blocks readers, and writers only
+// ever contend with it on individual row latches and index latches.
+func (t *Table) Vacuum(horizon uint64) int {
+	reclaimed := 0
+	for g := 0; g < NumSegments; g++ {
+		reclaimed += t.VacuumSegment(g, horizon)
+	}
+	return reclaimed
+}
+
+// VacuumSegment vacuums one row-store stripe, so a background vacuum can
+// spread its work over time. Passes serialize on vacMu; within the pass,
+// each row latch is held only long enough to classify the row or cut its
+// chain tail. A row whose newest version is committed-dead below horizon can
+// never change again (no engine revives a committed delete), so its index
+// entries are removed and its slot released after the latch is dropped.
+func (t *Table) VacuumSegment(g int, horizon uint64) int {
+	t.vacMu.Lock()
+	defer t.vacMu.Unlock()
+
+	var deadIDs []RowID
+	var deadRows []*Row
+	t.ScanSegment(g, func(id RowID, row *Row) bool {
+		row.Lock()
+		v := row.Latest()
+		if v != nil && committed(v.Begin()) && committed(v.End()) &&
+			v.End() != Infinity && v.End() <= horizon {
+			// Entire row is dead to every possible reader.
+			deadIDs = append(deadIDs, id)
+			deadRows = append(deadRows, row)
+			row.Unlock()
+			return true
+		}
+		// Prune chain tail: keep versions needed by readers at horizon.
+		for cur := row.Latest(); cur != nil; cur = cur.Next() {
+			if committed(cur.Begin()) && cur.Begin() <= horizon {
+				cur.SetNext(nil)
+				break
+			}
+		}
+		row.Unlock()
+		return true
+	})
+
+	for i, row := range deadRows {
+		id := deadIDs[i]
+		for img := row.Latest(); img != nil; img = img.Next() {
+			t.removeImageEntries(id, img.Data)
+		}
+		t.freeRow(id, row)
+	}
+	return len(deadRows)
+}

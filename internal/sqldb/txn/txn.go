@@ -149,8 +149,16 @@ func (m *Manager) Begin(readonly bool) *Txn {
 		t.held = map[lockKey]lockMode{}
 		t.snap = m.clock.Load()
 	case MVCC:
-		t.snap = m.clock.Load()
 		t.claimed = map[*storage.Row]bool{}
+		// Pre-register with a conservative snapshot before taking the real
+		// one: a concurrent Horizon() that misses this registration read
+		// the clock before our pre-registration value, so it can never
+		// exceed the snapshot we end up with. Without this, Horizon could
+		// advance past a transaction between its clock read and its
+		// appearance in the active map, letting vacuum prune versions the
+		// new snapshot still needs.
+		m.active.Store(t.id, m.clock.Load())
+		t.snap = m.clock.Load()
 		m.active.Store(t.id, t.snap)
 	}
 	return t

@@ -3,14 +3,23 @@
 // The engine substitutes this for a real disk fsync path: commit records are
 // encoded and buffered, and the configured sync policy determines how long a
 // committing transaction waits. SyncGroup reproduces group commit - many
-// concurrent committers share one flush tick - which is the dominant
+// concurrent committers share one flush - which is the dominant
 // throughput/latency trade-off the BenchPress demo surfaces when a DBMS
 // "struggles at maintaining the rate".
+//
+// SyncGroup is leader-paced rather than ticker-driven: the first committer
+// after a flush becomes the group leader and flushes once the configured
+// interval has elapsed since the previous flush; everyone arriving meanwhile
+// waits for that flush. Timer-driven ticks cannot express sub-millisecond
+// cadences on coarse-grained schedulers (a 200µs ticker fires every ~1.1ms
+// on a typical Linux box), so the leader paces the sub-millisecond tail by
+// yielding the processor instead of sleeping.
 package wal
 
 import (
 	"encoding/binary"
 	"io"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,11 +29,12 @@ import (
 type SyncPolicy uint8
 
 const (
-	// SyncNone returns immediately after buffering (no durability wait).
+	// SyncNone returns immediately after writing through (no durability
+	// wait, no batching).
 	SyncNone SyncPolicy = iota
 	// SyncAsync persists in the background; commits never wait.
 	SyncAsync
-	// SyncGroup makes each commit wait for the next group flush tick,
+	// SyncGroup makes each commit wait for the next group flush,
 	// emulating batched fsync.
 	SyncGroup
 )
@@ -47,6 +57,12 @@ func (p SyncPolicy) String() string {
 // sequence (8) + record count (4) + reserved (4).
 const recordHeaderSize = 16
 
+// spinThreshold is the remaining-wait below which the group leader paces by
+// yielding instead of sleeping: timer sleeps shorter than roughly two
+// milliseconds round up to the scheduler's granularity and would stretch the
+// flush cadence far past the configured interval.
+const spinThreshold = 2 * time.Millisecond
+
 // Log is a write-ahead log. A nil *Log is valid and performs no work, so
 // engines without durability emulation skip the whole path.
 type Log struct {
@@ -54,10 +70,14 @@ type Log struct {
 	interval time.Duration
 	w        io.Writer
 
-	mu      sync.Mutex
-	buf     []byte
-	flushCh chan struct{}
+	mu        sync.Mutex
+	buf       []byte
+	flushCh   chan struct{}
+	leader    bool      // a group leader is pacing the next flush
+	lastFlush time.Time // end of the previous flush, guarded by mu
+
 	stop    chan struct{}
+	closed  atomic.Bool
 	stopped sync.WaitGroup
 
 	seq     atomic.Uint64
@@ -92,7 +112,7 @@ func New(opts Options) *Log {
 		flushCh:  make(chan struct{}),
 		stop:     make(chan struct{}),
 	}
-	if l.policy != SyncNone {
+	if l.policy == SyncAsync {
 		l.stopped.Add(1)
 		go func() {
 			defer l.stopped.Done()
@@ -120,23 +140,77 @@ func (l *Log) Append(n int) error {
 	var rec [recordHeaderSize]byte
 	binary.BigEndian.PutUint64(rec[0:8], seq)
 	binary.BigEndian.PutUint32(rec[8:12], uint32(n))
+	l.records.Add(1)
+
+	if l.policy != SyncGroup {
+		if l.policy == SyncNone {
+			// Write through; nothing batches and nobody waits.
+			l.mu.Lock()
+			l.w.Write(rec[:]) // best-effort; the sink is an emulation target
+			l.mu.Unlock()
+			l.bytes.Add(recordHeaderSize)
+			return nil
+		}
+		l.mu.Lock()
+		l.buf = append(l.buf, rec[:]...)
+		l.mu.Unlock()
+		return nil // SyncAsync: the background flusher drains the buffer
+	}
 
 	l.mu.Lock()
 	l.buf = append(l.buf, rec[:]...)
 	ch := l.flushCh
+	lead := !l.leader
+	var deadline time.Time
+	if lead {
+		l.leader = true
+		deadline = l.lastFlush.Add(l.interval)
+	}
 	l.mu.Unlock()
-	l.records.Add(1)
 
-	if l.policy == SyncGroup {
+	if !lead {
 		select {
 		case <-ch:
 		case <-l.stop:
 		}
+		return nil
 	}
+	l.pace(deadline)
+	l.flush()
 	return nil
 }
 
-// flusher periodically drains the buffer and releases group-commit waiters.
+// pace blocks the group leader until the deadline (or shutdown). Long waits
+// use a timer shortened by spinThreshold; the sub-millisecond tail yields
+// the processor in a loop, which keeps the flush cadence honest on
+// schedulers whose shortest sleep is a millisecond while letting worker
+// goroutines run between yields.
+func (l *Log) pace(deadline time.Time) {
+	for {
+		rem := time.Until(deadline)
+		if rem <= 0 {
+			return
+		}
+		if rem > spinThreshold {
+			t := time.NewTimer(rem - spinThreshold)
+			select {
+			case <-t.C:
+			case <-l.stop:
+				t.Stop()
+				return
+			}
+			continue
+		}
+		select {
+		case <-l.stop:
+			return
+		default:
+		}
+		runtime.Gosched()
+	}
+}
+
+// flusher periodically drains the buffer (SyncAsync only).
 func (l *Log) flusher() {
 	ticker := time.NewTicker(l.interval)
 	defer ticker.Stop()
@@ -151,12 +225,16 @@ func (l *Log) flusher() {
 	}
 }
 
+// flush drains the buffer, stamps the flush time, and releases every waiter
+// that appended before the drain.
 func (l *Log) flush() {
 	l.mu.Lock()
 	buf := l.buf
 	l.buf = nil
 	old := l.flushCh
 	l.flushCh = make(chan struct{})
+	l.lastFlush = time.Now()
+	l.leader = false
 	l.mu.Unlock()
 	if len(buf) > 0 {
 		l.w.Write(buf) // best-effort; the sink is an emulation target
@@ -166,18 +244,18 @@ func (l *Log) flush() {
 	close(old)
 }
 
-// Close stops the flusher after a final flush.
+// Close stops background work after a final flush and releases any
+// group-commit waiters. It is idempotent.
 func (l *Log) Close() {
 	if l == nil || l.policy == SyncNone {
 		return
 	}
-	select {
-	case <-l.stop:
-		return // already closed
-	default:
+	if !l.closed.CompareAndSwap(false, true) {
+		return
 	}
 	close(l.stop)
 	l.stopped.Wait()
+	l.flush()
 }
 
 // Records returns the number of appended commit records.
@@ -188,7 +266,7 @@ func (l *Log) Records() uint64 {
 	return l.records.Load()
 }
 
-// Flushes returns the number of non-empty flush ticks.
+// Flushes returns the number of non-empty flushes.
 func (l *Log) Flushes() uint64 {
 	if l == nil {
 		return 0

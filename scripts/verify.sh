@@ -27,8 +27,11 @@ go run ./cmd/benchlint ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race (short) core/stats/sqldb"
-go test -race -short -count=1 ./internal/core/... ./internal/stats/... ./internal/sqldb/...
+echo "==> go test -race (short) core/stats/sqldb/wal"
+go test -race -short -count=1 ./internal/core/... ./internal/stats/... ./internal/sqldb/... ./internal/wal/
+
+echo "==> go test -race storage stress (striped store + online vacuum)"
+go test -race -count=1 -run 'TestStorageStressConcurrent' ./internal/sqldb/txn/
 
 echo "==> allocation smoke (prepared point read)"
 go test -count=1 -run 'TestPreparedPointReadAllocSmoke' -v ./internal/sqldb/ | grep -E 'allocs/op|PASS|FAIL'
