@@ -120,6 +120,9 @@ func printResult(res game.Result) {
 	} else {
 		fmt.Printf("   CRASHED at tick %d  score=%d\n", res.CrashedAt, res.Score)
 	}
+	if res.Latency.Count > 0 {
+		fmt.Printf("   latency: %s\n", res.Latency)
+	}
 	n := len(res.Trajectory)
 	step := n / 12
 	if step < 1 {
@@ -157,6 +160,11 @@ func (s *liveState) snapshot() []game.TickRecord {
 // single-file UI.
 func serveUI(addr string, srv *api.Server, gm *game.Game, state *liveState) {
 	mux := http.NewServeMux()
+	// Versioned API and the Prometheus endpoint mount at their canonical
+	// paths; the StripPrefix mount keeps the legacy flat routes (/api/status,
+	// /api/rate, ...) the UI's fallbacks still use.
+	mux.Handle("/api/v1/", srv.Handler())
+	mux.Handle("/metrics", srv.Handler())
 	mux.Handle("/api/", http.StripPrefix("/api", srv.Handler()))
 	mux.HandleFunc("GET /game/state", func(w http.ResponseWriter, r *http.Request) {
 		type point struct {

@@ -33,8 +33,29 @@ const ctx = canvas.getContext('2d');
 let course = [], ticks = [], maxY = 1;
 
 function jump() { fetch('/game/jump', {method:'POST', body: JSON.stringify({delta: 150})}); }
+
+// The v1 API addresses workloads by name; resolve it once, then follow the
+// live SSE window stream for per-window percentiles.
+let wl = null, lastWin = null;
+async function init() {
+  try {
+    const ls = await (await fetch('/api/v1/workloads')).json();
+    if (ls.workloads && ls.workloads.length) {
+      wl = ls.workloads[0].name;
+      const es = new EventSource('/api/v1/workloads/' + wl + '/stream');
+      es.addEventListener('window', e => { lastWin = JSON.parse(e.data); });
+    }
+  } catch (e) { /* legacy flat routes remain as fallback */ }
+}
+init();
+
 function mixture(preset) {
-  fetch('/api/mixture', {method:'POST', body: JSON.stringify({preset: preset})});
+  if (wl) {
+    fetch('/api/v1/workloads/' + wl + '/mixture', {method:'POST',
+      headers: {'Content-Type': 'application/json'}, body: JSON.stringify({preset: preset})});
+  } else {
+    fetch('/api/mixture', {method:'POST', body: JSON.stringify({preset: preset})});
+  }
 }
 document.addEventListener('keydown', e => { if (e.code === 'Space') { e.preventDefault(); jump(); } });
 
@@ -89,11 +110,20 @@ async function poll() {
   try {
     const gs = await (await fetch('/game/state')).json();
     course = gs.course || []; ticks = gs.ticks || [];
-    const st = await (await fetch('/api/status')).json();
+    const stURL = wl ? '/api/v1/workloads/' + wl : '/api/status';
+    const st = await (await fetch(stURL)).json();
     let txt = 'DBMS ' + st.dbms + '  benchmark ' + st.benchmark +
       '\nmeasured ' + st.tps.toFixed(0) + ' tps   target ' + gs.target.toFixed(0) +
       ' tps   avg latency ' + st.avg_latency_ms.toFixed(2) + ' ms' +
       '\ncommitted ' + st.committed + '  aborted ' + st.aborted + '  errors ' + st.errors;
+    if (st.p99_ms !== undefined) {
+      txt += '\nlatency p50 ' + st.p50_ms.toFixed(2) + '  p95 ' + st.p95_ms.toFixed(2) +
+        '  p99 ' + st.p99_ms.toFixed(2) + ' ms (run)';
+    }
+    if (lastWin) {
+      txt += '\nwindow ' + lastWin.second + ': ' + lastWin.tps.toFixed(0) + ' tps  p95 ' +
+        lastWin.p95_ms.toFixed(2) + '  p99 ' + lastWin.p99_ms.toFixed(2) + ' ms';
+    }
     if (st.resources && st.resources.host_stats) {
       txt += '\ncpu ' + st.resources.cpu_user_pct.toFixed(0) + '%us ' +
         st.resources.cpu_system_pct.toFixed(0) + '%sy   mem ' +

@@ -198,8 +198,10 @@ func printSummary(m *core.Manager, elapsed time.Duration, mon *monitor.Monitor) 
 	fmt.Println("   per transaction type:")
 	snap := c.Snapshot()
 	for i, name := range snap.TypeNames {
-		fmt.Printf("     %-24s %9d txns  avg %7.2f ms\n",
-			name, snap.TypeCounts[i], float64(snap.TypeLatency[i].Microseconds())/1000)
+		tl := snap.TypeLat[i]
+		fmt.Printf("     %-24s %9d txns  avg %7.2f ms  p50 %7.2f  p95 %7.2f  p99 %7.2f\n",
+			name, snap.TypeCounts[i], float64(snap.TypeLatency[i].Microseconds())/1000,
+			msf(tl.P50), msf(tl.P95), msf(tl.P99))
 	}
 	if mon != nil {
 		if s := mon.Latest(); s.HostStats {
@@ -208,6 +210,8 @@ func printSummary(m *core.Manager, elapsed time.Duration, mon *monitor.Monitor) 
 		}
 	}
 }
+
+func msf(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "oltpbench:", err)

@@ -1,0 +1,117 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"benchpress/internal/analysis"
+)
+
+// PreparedStmtLeak flags functions that obtain a prepared statement — a
+// Prepare call whose first result type has a Close method — and make its
+// Close unreachable: no Close call (deferred or direct) anywhere in the
+// same function, and the statement never handed to the caller (returned or
+// stored into a field, where the owner settles it).
+//
+// Like txn-hygiene this is a per-function discipline check: a prepared
+// statement pins a session reference, and a worker loop that re-prepares
+// per transaction without closing accumulates dead statements for the whole
+// run. The rule is scoped to internal/ and cmd/.
+type PreparedStmtLeak struct{}
+
+// Name implements analysis.Rule.
+func (PreparedStmtLeak) Name() string { return "prepared-stmt-leak" }
+
+// Doc implements analysis.Rule.
+func (PreparedStmtLeak) Doc() string {
+	return "every Prepare() result must reach a Close, a return, or a field store in the same function"
+}
+
+// Check implements analysis.Rule.
+func (PreparedStmtLeak) Check(pass *analysis.Pass) {
+	rel := pass.RelPath()
+	if !strings.HasPrefix(rel, "internal/") && !strings.HasPrefix(rel, "cmd/") {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkPreparedFunc(pass, fd)
+			}
+		}
+	}
+}
+
+func checkPreparedFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// Thin wrappers that ARE the Prepare operation (Conn.Prepare forwarding
+	// to Session.Prepare) are exempt: their caller owns the statement.
+	if fd.Name.Name == "Prepare" {
+		return
+	}
+	info := pass.Pkg.Info
+	escaped := map[*ast.CallExpr]bool{}
+	markEscaped := func(e ast.Expr) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && calleeName(call) == "Prepare" {
+				escaped[call] = true
+			}
+			return true
+		})
+	}
+	var prepares []*ast.CallExpr
+	closed := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			// `return c.Prepare(sql)` hands ownership to the caller.
+			for _, r := range n.Results {
+				markEscaped(r)
+			}
+		case *ast.AssignStmt:
+			// `w.stmt, err = conn.Prepare(sql)` outlives the function; the
+			// holder of the field settles it.
+			for _, lhs := range n.Lhs {
+				if _, ok := lhs.(*ast.SelectorExpr); ok {
+					for _, rhs := range n.Rhs {
+						markEscaped(rhs)
+					}
+					break
+				}
+			}
+		case *ast.CallExpr:
+			switch calleeName(n) {
+			case "Prepare":
+				if stmtLike(info, pass.Pkg.Types, n) {
+					prepares = append(prepares, n)
+				}
+			case "Close":
+				closed = true
+			}
+		}
+		return true
+	})
+	if closed {
+		return
+	}
+	for _, call := range prepares {
+		if escaped[call] {
+			continue
+		}
+		pass.Report(call.Pos(),
+			"prepared statement is never closed in %s (close it, return it, or store it in a field)",
+			fd.Name.Name)
+	}
+}
+
+// stmtLike reports whether the Prepare call yields a closable statement:
+// its first result type has a Close method. This keeps the rule off
+// unrelated Prepare helpers (e.g. core.Prepare, which returns only error)
+// and off session-level statements that need no release.
+func stmtLike(info *types.Info, pkg *types.Package, call *ast.CallExpr) bool {
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	return hasMethod(sig.Results().At(0).Type(), pkg, "Close")
+}

@@ -16,6 +16,7 @@ func All() []analysis.Rule {
 	return []analysis.Rule{
 		AtomicConsistency{},
 		TxnHygiene{},
+		PreparedStmtLeak{},
 		ErrorDiscard{},
 		DialectBoundary{},
 		BareGoroutine{},

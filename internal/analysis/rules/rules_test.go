@@ -23,6 +23,7 @@ var fixtureCases = []struct {
 }{
 	{rules.AtomicConsistency{}, "atomic_bad.go", "atomic_good.go", "benchpress/internal/fixture"},
 	{rules.TxnHygiene{}, "txn_bad.go", "txn_good.go", "benchpress/internal/fixture"},
+	{rules.PreparedStmtLeak{}, "preparedleak_bad.go", "preparedleak_good.go", "benchpress/internal/fixture"},
 	{rules.ErrorDiscard{}, "errdiscard_bad.go", "errdiscard_good.go", "benchpress/internal/fixture"},
 	{rules.DialectBoundary{}, "boundary_bad.go", "boundary_good.go", "benchpress/internal/benchmarks/fixture"},
 	{rules.BareGoroutine{}, "goroutine_bad.go", "goroutine_good.go", "benchpress/internal/fixture"},

@@ -1,0 +1,33 @@
+// Fixture: true positives for the prepared-stmt-leak rule — statements
+// prepared and never closed, returned, or stored.
+package fixture
+
+type pconn struct{}
+
+func (c *pconn) Prepare(sql string) (*pstmt, error) { return &pstmt{}, nil }
+
+type pstmt struct{}
+
+func (s *pstmt) Exec(args ...any) error { return nil }
+func (s *pstmt) Close()                 {}
+
+func leakOnce(c *pconn) error {
+	st, err := c.Prepare("SELECT 1") // want "never closed"
+	if err != nil {
+		return err
+	}
+	return st.Exec()
+}
+
+func leakInLoop(c *pconn) error {
+	for i := 0; i < 10; i++ {
+		st, err := c.Prepare("UPDATE t SET v = ?") // want "never closed"
+		if err != nil {
+			return err
+		}
+		if err := st.Exec(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}

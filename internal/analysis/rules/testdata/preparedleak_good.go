@@ -1,0 +1,60 @@
+// Fixture: true negatives for the prepared-stmt-leak rule — every prepared
+// statement is closed, returned, or stored in a field.
+package fixture
+
+type pconn struct{}
+
+func (c *pconn) Prepare(sql string) (*pstmt, error) { return &pstmt{}, nil }
+
+type pstmt struct{}
+
+func (s *pstmt) Exec(args ...any) error { return nil }
+func (s *pstmt) Close()                 {}
+
+func closedWithDefer(c *pconn) error {
+	st, err := c.Prepare("SELECT 1")
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	return st.Exec()
+}
+
+func closedDirectly(c *pconn) error {
+	st, err := c.Prepare("SELECT 1")
+	if err != nil {
+		return err
+	}
+	if err := st.Exec(); err != nil {
+		st.Close()
+		return err
+	}
+	st.Close()
+	return nil
+}
+
+// returnedToCaller hands ownership out; the caller settles it.
+func returnedToCaller(c *pconn) (*pstmt, error) {
+	return c.Prepare("SELECT 1")
+}
+
+type worker struct {
+	stmt *pstmt
+}
+
+// storedInField outlives the function; the worker's teardown settles it.
+func (w *worker) storedInField(c *pconn) error {
+	var err error
+	w.stmt, err = c.Prepare("SELECT 1")
+	return err
+}
+
+// errorOnlyPrepare mimics core.Prepare: no closable result, so the rule
+// must stay quiet.
+type loader struct{}
+
+func (l *loader) Prepare(sql string) error { return nil }
+
+func usesLoader(l *loader) error {
+	return l.Prepare("anything")
+}

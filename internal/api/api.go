@@ -2,13 +2,33 @@
 // describes: programmatic runtime control of a running OLTP-Bench execution
 // (throttle the throughput, change the workload mixture, pause/resume, and
 // start additional benchmarks on the fly) plus instantaneous feedback about
-// the current throughput and average latency per transaction type. BenchPress
-// drives the game through exactly this interface.
+// the current throughput and latency percentiles per transaction type.
+// BenchPress drives the game through exactly this interface.
+//
+// The API is versioned under /api/v1 with workloads as resources:
+//
+//	GET    /api/v1/workloads                  list workloads
+//	POST   /api/v1/workloads                  start a new workload (201)
+//	GET    /api/v1/workloads/{name}           status with latency percentiles
+//	DELETE /api/v1/workloads/{name}           stop and deregister
+//	GET    /api/v1/workloads/{name}/windows   per-window trajectory
+//	GET    /api/v1/workloads/{name}/stream    live SSE window frames
+//	GET/POST /api/v1/workloads/{name}/rate    read / set the rate limiter
+//	GET/POST /api/v1/workloads/{name}/mixture read / set the mixture
+//	POST   /api/v1/workloads/{name}/pause     pause arrivals
+//	POST   /api/v1/workloads/{name}/resume    resume arrivals
+//	GET    /metrics                           Prometheus text exposition
+//
+// The original flat routes (/status, /rate, ...) remain as deprecated thin
+// aliases; they answer with a Deprecation header pointing at the v1 resource.
+// All errors share one envelope: {"error":{"code":"...","message":"..."}}.
 package api
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"mime"
 	"net/http"
 	"sort"
 	"strings"
@@ -17,15 +37,19 @@ import (
 
 	"benchpress/internal/core"
 	"benchpress/internal/monitor"
+	"benchpress/internal/stats"
 )
+
+// maxBodyBytes bounds every request body the API decodes.
+const maxBodyBytes = 1 << 20
 
 // Server exposes a set of running workloads over HTTP.
 type Server struct {
 	mu        sync.RWMutex
 	workloads map[string]*core.Manager
 	monitor   *monitor.Monitor
-	// StartWorkload, when set, handles POST /benchmark: it prepares and
-	// launches an additional workload and returns its manager.
+	// StartWorkload, when set, handles POST /api/v1/workloads: it prepares
+	// and launches an additional workload and returns its manager.
 	StartWorkload func(req StartRequest) (*core.Manager, error)
 }
 
@@ -43,6 +67,16 @@ func (s *Server) Add(m *core.Manager) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.workloads[strings.ToLower(m.Name())] = m
+}
+
+// Remove deregisters a workload by name, reporting whether it was present.
+func (s *Server) Remove(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := strings.ToLower(name)
+	_, ok := s.workloads[key]
+	delete(s.workloads, key)
+	return ok
 }
 
 // Managers lists registered workloads sorted by name.
@@ -81,7 +115,7 @@ func (s *Server) lookup(name string) (*core.Manager, error) {
 	return m, nil
 }
 
-// StatusResponse is the GET /status payload.
+// StatusResponse is the workload status payload.
 type StatusResponse struct {
 	Name       string             `json:"name"`
 	Benchmark  string             `json:"benchmark"`
@@ -90,9 +124,14 @@ type StatusResponse struct {
 	Rate       float64            `json:"rate"`
 	Unlimited  bool               `json:"unlimited"`
 	Paused     bool               `json:"paused"`
+	Stopped    bool               `json:"stopped"`
 	Mix        []float64          `json:"mix"`
 	TPS        float64            `json:"tps"`
 	AvgLatMS   float64            `json:"avg_latency_ms"`
+	P50MS      float64            `json:"p50_ms"`
+	P95MS      float64            `json:"p95_ms"`
+	P99MS      float64            `json:"p99_ms"`
+	MaxMS      float64            `json:"max_ms"`
 	AbortsPS   float64            `json:"aborts_per_sec"`
 	Committed  int64              `json:"committed"`
 	Aborted    int64              `json:"aborted"`
@@ -104,11 +143,15 @@ type StatusResponse struct {
 	Resources  *ResourcesResponse `json:"resources,omitempty"`
 }
 
-// TypeStat is per-transaction-type feedback.
+// TypeStat is per-transaction-type feedback, cumulative over the run.
 type TypeStat struct {
 	Name     string  `json:"name"`
 	Count    int64   `json:"count"`
 	AvgLatMS float64 `json:"avg_latency_ms"`
+	P50MS    float64 `json:"p50_ms"`
+	P95MS    float64 `json:"p95_ms"`
+	P99MS    float64 `json:"p99_ms"`
+	MaxMS    float64 `json:"max_ms"`
 }
 
 // ResourcesResponse mirrors the monitoring tool's latest sample.
@@ -121,7 +164,7 @@ type ResourcesResponse struct {
 	HostStats    bool    `json:"host_stats"`
 }
 
-// StartRequest is the POST /benchmark payload.
+// StartRequest is the POST /api/v1/workloads payload.
 type StartRequest struct {
 	Name        string    `json:"name"` // workload label (defaults to benchmark)
 	Benchmark   string    `json:"benchmark"`
@@ -144,9 +187,14 @@ func (s *Server) snapshotToResponse(m *core.Manager) StatusResponse {
 		Rate:       st.Rate,
 		Unlimited:  st.Unlimited,
 		Paused:     st.Paused,
+		Stopped:    st.Stopped,
 		Mix:        st.Mix,
 		TPS:        st.Snapshot.TPS,
 		AvgLatMS:   msOf(st.Snapshot.AvgLatency),
+		P50MS:      msOf(st.Snapshot.Latency.P50),
+		P95MS:      msOf(st.Snapshot.Latency.P95),
+		P99MS:      msOf(st.Snapshot.Latency.P99),
+		MaxMS:      msOf(st.Snapshot.Latency.Max),
 		AbortsPS:   st.Snapshot.AbortsPerSec,
 		Committed:  st.Snapshot.Committed,
 		Aborted:    st.Snapshot.Aborted,
@@ -156,10 +204,15 @@ func (s *Server) snapshotToResponse(m *core.Manager) StatusResponse {
 		ElapsedSec: st.Snapshot.Elapsed.Seconds(),
 	}
 	for i, name := range st.Snapshot.TypeNames {
+		tl := st.Snapshot.TypeLat[i]
 		resp.TypeStats = append(resp.TypeStats, TypeStat{
 			Name:     name,
 			Count:    st.Snapshot.TypeCounts[i],
 			AvgLatMS: msOf(st.Snapshot.TypeLatency[i]),
+			P50MS:    msOf(tl.P50),
+			P95MS:    msOf(tl.P95),
+			P99MS:    msOf(tl.P99),
+			MaxMS:    msOf(tl.Max),
 		})
 	}
 	if s.monitor != nil {
@@ -181,90 +234,236 @@ func msOf(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 // Handler returns the HTTP mux implementing the API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /status", s.handleStatus)
-	mux.HandleFunc("GET /workloads", s.handleWorkloads)
-	mux.HandleFunc("GET /windows", s.handleWindows)
-	mux.HandleFunc("POST /rate", s.handleRate)
-	mux.HandleFunc("POST /mixture", s.handleMixture)
-	mux.HandleFunc("POST /pause", s.handlePause)
-	mux.HandleFunc("POST /resume", s.handleResume)
-	mux.HandleFunc("POST /benchmark", s.handleStartBenchmark)
+
+	// Versioned resource routes.
+	mux.HandleFunc("GET /api/v1/workloads", s.v1ListWorkloads)
+	mux.HandleFunc("POST /api/v1/workloads", s.v1CreateWorkload)
+	mux.HandleFunc("GET /api/v1/workloads/{name}", s.v1Status)
+	mux.HandleFunc("DELETE /api/v1/workloads/{name}", s.v1DeleteWorkload)
+	mux.HandleFunc("GET /api/v1/workloads/{name}/windows", s.v1Windows)
+	mux.HandleFunc("GET /api/v1/workloads/{name}/stream", s.v1Stream)
+	mux.HandleFunc("GET /api/v1/workloads/{name}/rate", s.v1GetRate)
+	mux.HandleFunc("POST /api/v1/workloads/{name}/rate", s.v1SetRate)
+	mux.HandleFunc("GET /api/v1/workloads/{name}/mixture", s.v1GetMixture)
+	mux.HandleFunc("POST /api/v1/workloads/{name}/mixture", s.v1SetMixture)
+	mux.HandleFunc("POST /api/v1/workloads/{name}/pause", s.v1Pause)
+	mux.HandleFunc("POST /api/v1/workloads/{name}/resume", s.v1Resume)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+
+	// Method-less fallbacks: Go 1.22's ServeMux would answer a wrong-method
+	// request with a text/plain 405; registering the bare path keeps the
+	// JSON envelope and an explicit Allow header.
+	mux.HandleFunc("/api/v1/workloads", allowOnly("GET, POST"))
+	mux.HandleFunc("/api/v1/workloads/{name}", allowOnly("GET, DELETE"))
+	mux.HandleFunc("/api/v1/workloads/{name}/windows", allowOnly("GET"))
+	mux.HandleFunc("/api/v1/workloads/{name}/stream", allowOnly("GET"))
+	mux.HandleFunc("/api/v1/workloads/{name}/rate", allowOnly("GET, POST"))
+	mux.HandleFunc("/api/v1/workloads/{name}/mixture", allowOnly("GET, POST"))
+	mux.HandleFunc("/api/v1/workloads/{name}/pause", allowOnly("POST"))
+	mux.HandleFunc("/api/v1/workloads/{name}/resume", allowOnly("POST"))
+	mux.HandleFunc("/metrics", allowOnly("GET"))
+
+	// Deprecated flat aliases kept for existing clients (the TUI's polling
+	// page and recorded scripts). They carry a Deprecation header naming
+	// the successor resource.
+	alias := func(pattern, successor string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, deprecated(successor, h))
+		if i := strings.IndexByte(pattern, ' '); i >= 0 {
+			mux.HandleFunc(pattern[i+1:], allowOnly(pattern[:i]))
+		}
+	}
+	alias("GET /status", "/api/v1/workloads/{name}", s.handleStatus)
+	alias("GET /workloads", "/api/v1/workloads", s.handleWorkloads)
+	alias("GET /windows", "/api/v1/workloads/{name}/windows", s.handleWindows)
+	alias("POST /rate", "/api/v1/workloads/{name}/rate", s.handleRate)
+	alias("POST /mixture", "/api/v1/workloads/{name}/mixture", s.handleMixture)
+	alias("POST /pause", "/api/v1/workloads/{name}/pause", s.handlePause)
+	alias("POST /resume", "/api/v1/workloads/{name}/resume", s.handleResume)
+	alias("POST /benchmark", "/api/v1/workloads", s.handleStartBenchmark)
+
+	// Everything else is a JSON 404 rather than the mux's text/plain one.
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeErr(w, http.StatusNotFound, "not_found",
+			fmt.Errorf("api: no such resource %s", r.URL.Path))
+	})
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+// deprecated marks a legacy flat route with standard deprecation headers.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h(w, r)
+	}
+}
+
+// allowOnly answers any unmatched method on a known path with a JSON 405.
+func allowOnly(methods string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", methods)
+		writeErr(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			fmt.Errorf("api: method %s not allowed (allow: %s)", r.Method, methods))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, code int, err error) {
-	w.WriteHeader(code)
-	writeJSON(w, map[string]string{"error": err.Error()})
+// errorEnvelope is the uniform error shape of every non-2xx response.
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
 }
 
-func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	m, err := s.lookup(r.URL.Query().Get("workload"))
-	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
-		return
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeErr(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, errorEnvelope{Error: errorBody{Code: code, Message: err.Error()}})
+}
+
+// decodeJSON enforces the POST body contract: application/json content type,
+// a size cap, and strict-enough decoding. It writes the error response
+// itself and reports whether decoding succeeded.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		mt, _, err := mime.ParseMediaType(ct)
+		if err != nil || mt != "application/json" {
+			writeErr(w, http.StatusUnsupportedMediaType, "unsupported_media_type",
+				fmt.Errorf("api: content type %q not supported; use application/json", ct))
+			return false
+		}
 	}
-	writeJSON(w, s.snapshotToResponse(m))
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "request_too_large",
+				fmt.Errorf("api: request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		writeErr(w, http.StatusBadRequest, "bad_request",
+			fmt.Errorf("api: invalid JSON body: %w", err))
+		return false
+	}
+	return true
 }
 
-func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
-	var out []StatusResponse
+// pathWorkload resolves the {name} path value, writing the 404 itself.
+func (s *Server) pathWorkload(w http.ResponseWriter, r *http.Request) (*core.Manager, bool) {
+	m, err := s.lookup(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "not_found", err)
+		return nil, false
+	}
+	return m, true
+}
+
+// ---- v1 resource handlers ----
+
+// WorkloadList is the GET /api/v1/workloads payload.
+type WorkloadList struct {
+	Workloads []StatusResponse `json:"workloads"`
+}
+
+func (s *Server) v1ListWorkloads(w http.ResponseWriter, r *http.Request) {
+	out := WorkloadList{Workloads: []StatusResponse{}}
 	for _, m := range s.Managers() {
-		out = append(out, s.snapshotToResponse(m))
+		out.Workloads = append(out.Workloads, s.snapshotToResponse(m))
 	}
-	writeJSON(w, out)
+	writeJSON(w, http.StatusOK, out)
 }
 
-// WindowPoint is one per-second throughput observation for plotting.
-type WindowPoint struct {
-	Second    int     `json:"second"`
-	TPS       float64 `json:"tps"`
-	AvgLatMS  float64 `json:"avg_latency_ms"`
-	Aborted   int64   `json:"aborted"`
-	Committed int64   `json:"committed"`
-}
-
-func (s *Server) handleWindows(w http.ResponseWriter, r *http.Request) {
-	m, err := s.lookup(r.URL.Query().Get("workload"))
-	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+func (s *Server) v1CreateWorkload(w http.ResponseWriter, r *http.Request) {
+	if s.StartWorkload == nil {
+		writeErr(w, http.StatusNotImplemented, "not_implemented",
+			fmt.Errorf("api: dynamic workload start not enabled"))
 		return
 	}
-	windows := m.Collector().Windows()
-	dur := m.Collector().WindowDuration()
-	out := make([]WindowPoint, 0, len(windows))
-	for _, win := range windows {
-		out = append(out, WindowPoint{
-			Second:    win.Index,
-			TPS:       win.TPS(dur),
-			AvgLatMS:  msOf(win.AvgLatency()),
-			Aborted:   win.Aborted,
-			Committed: win.Committed,
-		})
+	var req StartRequest
+	if !decodeJSON(w, r, &req) {
+		return
 	}
-	writeJSON(w, out)
+	m, err := s.StartWorkload(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_request", err)
+		return
+	}
+	s.Add(m)
+	w.Header().Set("Location", "/api/v1/workloads/"+strings.ToLower(m.Name()))
+	writeJSON(w, http.StatusCreated, s.snapshotToResponse(m))
 }
 
-// rateRequest is the POST /rate payload.
-type rateRequest struct {
+func (s *Server) v1Status(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.pathWorkload(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.snapshotToResponse(m))
+}
+
+// DeleteResponse is the DELETE /api/v1/workloads/{name} payload.
+type DeleteResponse struct {
+	Name    string `json:"name"`
+	Deleted bool   `json:"deleted"`
+}
+
+func (s *Server) v1DeleteWorkload(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.pathWorkload(w, r)
+	if !ok {
+		return
+	}
+	m.Stop()
+	s.Remove(m.Name())
+	writeJSON(w, http.StatusOK, DeleteResponse{Name: m.Name(), Deleted: true})
+}
+
+func (s *Server) v1Windows(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.pathWorkload(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, windowPoints(m))
+}
+
+// RateState is the GET/POST .../rate payload.
+type RateState struct {
 	Workload  string  `json:"workload"`
 	TPS       float64 `json:"tps"`
 	Unlimited bool    `json:"unlimited"`
+	Paused    bool    `json:"paused"`
 }
 
-func (s *Server) handleRate(w http.ResponseWriter, r *http.Request) {
-	var req rateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+func rateState(m *core.Manager) RateState {
+	rate := m.Rate()
+	return RateState{Workload: m.Name(), TPS: rate, Unlimited: rate <= 0, Paused: m.Paused()}
+}
+
+func (s *Server) v1GetRate(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.pathWorkload(w, r)
+	if !ok {
 		return
 	}
-	m, err := s.lookup(req.Workload)
-	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+	writeJSON(w, http.StatusOK, rateState(m))
+}
+
+func (s *Server) v1SetRate(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.pathWorkload(w, r)
+	if !ok {
+		return
+	}
+	var req rateRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.TPS < 0 {
+		writeErr(w, http.StatusBadRequest, "bad_request",
+			fmt.Errorf("api: rate must be non-negative, got %v", req.TPS))
 		return
 	}
 	if req.Unlimited {
@@ -272,13 +471,111 @@ func (s *Server) handleRate(w http.ResponseWriter, r *http.Request) {
 	} else {
 		m.SetRate(req.TPS)
 	}
-	writeJSON(w, s.snapshotToResponse(m))
+	writeJSON(w, http.StatusOK, rateState(m))
 }
 
-// mixtureRequest is the POST /mixture payload: explicit weights or a named
+// MixtureState is the GET/POST .../mixture payload.
+type MixtureState struct {
+	Workload string    `json:"workload"`
+	Types    []string  `json:"types"`
+	Weights  []float64 `json:"weights"`
+}
+
+func mixtureState(m *core.Manager) MixtureState {
+	return MixtureState{Workload: m.Name(), Types: m.Collector().Types(), Weights: m.Mix()}
+}
+
+func (s *Server) v1GetMixture(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.pathWorkload(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, mixtureState(m))
+}
+
+func (s *Server) v1SetMixture(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.pathWorkload(w, r)
+	if !ok {
+		return
+	}
+	var req mixtureRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if !s.applyMixture(w, m, req) {
+		return
+	}
+	writeJSON(w, http.StatusOK, mixtureState(m))
+}
+
+func (s *Server) v1Pause(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.pathWorkload(w, r)
+	if !ok {
+		return
+	}
+	m.Pause()
+	writeJSON(w, http.StatusOK, rateState(m))
+}
+
+func (s *Server) v1Resume(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.pathWorkload(w, r)
+	if !ok {
+		return
+	}
+	m.Resume()
+	writeJSON(w, http.StatusOK, rateState(m))
+}
+
+// ---- shared route logic ----
+
+// WindowPoint is one per-window observation for plotting and streaming.
+type WindowPoint struct {
+	Second    int     `json:"second"`
+	TPS       float64 `json:"tps"`
+	AvgLatMS  float64 `json:"avg_latency_ms"`
+	P50MS     float64 `json:"p50_ms"`
+	P95MS     float64 `json:"p95_ms"`
+	P99MS     float64 `json:"p99_ms"`
+	MaxMS     float64 `json:"max_ms"`
+	Aborted   int64   `json:"aborted"`
+	Committed int64   `json:"committed"`
+}
+
+func pointOf(win stats.Window, dur time.Duration) WindowPoint {
+	return WindowPoint{
+		Second:    win.Index,
+		TPS:       win.TPS(dur),
+		AvgLatMS:  msOf(win.AvgLatency()),
+		P50MS:     msOf(win.Lat.P50),
+		P95MS:     msOf(win.Lat.P95),
+		P99MS:     msOf(win.Lat.P99),
+		MaxMS:     msOf(win.Lat.Max),
+		Aborted:   win.Aborted,
+		Committed: win.Committed,
+	}
+}
+
+func windowPoints(m *core.Manager) []WindowPoint {
+	windows := m.Collector().Windows()
+	dur := m.Collector().WindowDuration()
+	out := make([]WindowPoint, 0, len(windows))
+	for _, win := range windows {
+		out = append(out, pointOf(win, dur))
+	}
+	return out
+}
+
+// rateRequest is the set-rate payload.
+type rateRequest struct {
+	Workload  string  `json:"workload"` // legacy flat route only
+	TPS       float64 `json:"tps"`
+	Unlimited bool    `json:"unlimited"`
+}
+
+// mixtureRequest is the set-mixture payload: explicit weights or a named
 // preset ("default", "readonly", "writeheavy").
 type mixtureRequest struct {
-	Workload string    `json:"workload"`
+	Workload string    `json:"workload"` // legacy flat route only
 	Weights  []float64 `json:"weights"`
 	Preset   string    `json:"preset"`
 }
@@ -290,22 +587,15 @@ type PresetMixer interface {
 	WriteHeavyMix() []float64
 }
 
-func (s *Server) handleMixture(w http.ResponseWriter, r *http.Request) {
-	var req mixtureRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	m, err := s.lookup(req.Workload)
-	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
-		return
-	}
+// applyMixture validates and applies a mixture request, writing the error
+// response itself on failure.
+func (s *Server) applyMixture(w http.ResponseWriter, m *core.Manager, req mixtureRequest) bool {
 	switch strings.ToLower(req.Preset) {
 	case "", "custom":
 		if req.Weights == nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("api: weights required without a preset"))
-			return
+			writeErr(w, http.StatusBadRequest, "bad_request",
+				fmt.Errorf("api: weights required without a preset"))
+			return false
 		}
 		m.SetMix(req.Weights)
 	case "default":
@@ -313,22 +603,23 @@ func (s *Server) handleMixture(w http.ResponseWriter, r *http.Request) {
 	case "readonly", "read-only":
 		mix, err := presetOf(m, true)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
+			writeErr(w, http.StatusBadRequest, "bad_request", err)
+			return false
 		}
 		m.SetMix(mix)
 	case "writeheavy", "super-writes", "write-heavy":
 		mix, err := presetOf(m, false)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
+			writeErr(w, http.StatusBadRequest, "bad_request", err)
+			return false
 		}
 		m.SetMix(mix)
 	default:
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("api: unknown preset %q", req.Preset))
-		return
+		writeErr(w, http.StatusBadRequest, "bad_request",
+			fmt.Errorf("api: unknown preset %q", req.Preset))
+		return false
 	}
-	writeJSON(w, s.snapshotToResponse(m))
+	return true
 }
 
 // presetOf resolves a benchmark's preset mixture, deriving one from the
@@ -366,55 +657,115 @@ func presetName(readonly bool) string {
 	return "write-heavy"
 }
 
+// ---- deprecated flat aliases ----
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	m, err := s.lookup(r.URL.Query().Get("workload"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "not_found", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.snapshotToResponse(m))
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	out := []StatusResponse{}
+	for _, m := range s.Managers() {
+		out = append(out, s.snapshotToResponse(m))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleWindows(w http.ResponseWriter, r *http.Request) {
+	m, err := s.lookup(r.URL.Query().Get("workload"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "not_found", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, windowPoints(m))
+}
+
+func (s *Server) handleRate(w http.ResponseWriter, r *http.Request) {
+	var req rateRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	m, err := s.lookup(req.Workload)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "not_found", err)
+		return
+	}
+	if req.Unlimited {
+		m.SetRate(0)
+	} else {
+		m.SetRate(req.TPS)
+	}
+	writeJSON(w, http.StatusOK, s.snapshotToResponse(m))
+}
+
+func (s *Server) handleMixture(w http.ResponseWriter, r *http.Request) {
+	var req mixtureRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	m, err := s.lookup(req.Workload)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "not_found", err)
+		return
+	}
+	if !s.applyMixture(w, m, req) {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.snapshotToResponse(m))
+}
+
 type workloadRequest struct {
 	Workload string `json:"workload"`
 }
 
 func (s *Server) handlePause(w http.ResponseWriter, r *http.Request) {
 	var req workloadRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	m, err := s.lookup(req.Workload)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		writeErr(w, http.StatusNotFound, "not_found", err)
 		return
 	}
 	m.Pause()
-	writeJSON(w, s.snapshotToResponse(m))
+	writeJSON(w, http.StatusOK, s.snapshotToResponse(m))
 }
 
 func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
 	var req workloadRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	m, err := s.lookup(req.Workload)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		writeErr(w, http.StatusNotFound, "not_found", err)
 		return
 	}
 	m.Resume()
-	writeJSON(w, s.snapshotToResponse(m))
+	writeJSON(w, http.StatusOK, s.snapshotToResponse(m))
 }
 
 func (s *Server) handleStartBenchmark(w http.ResponseWriter, r *http.Request) {
 	if s.StartWorkload == nil {
-		writeErr(w, http.StatusNotImplemented, fmt.Errorf("api: dynamic workload start not enabled"))
+		writeErr(w, http.StatusNotImplemented, "not_implemented",
+			fmt.Errorf("api: dynamic workload start not enabled"))
 		return
 	}
 	var req StartRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	m, err := s.StartWorkload(req)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, "bad_request", err)
 		return
 	}
 	s.Add(m)
-	writeJSON(w, s.snapshotToResponse(m))
+	writeJSON(w, http.StatusOK, s.snapshotToResponse(m))
 }

@@ -79,6 +79,10 @@ type Manager struct {
 	start   time.Time
 	started atomic.Bool
 	done    chan struct{}
+
+	// stop ends the run early when closed (the API's DELETE lifecycle).
+	stop     chan struct{}
+	stopOnce sync.Once
 }
 
 // mixTable is a sampled transaction mixture: cumulative weights.
@@ -159,6 +163,7 @@ func NewManager(b Benchmark, db *dbdriver.DB, phases []Phase, opts Options) *Man
 		collector: stats.NewCollector(names),
 		queue:     make(chan struct{}, opts.QueueCapacity),
 		done:      make(chan struct{}),
+		stop:      make(chan struct{}),
 	}
 	m.mix.Store(newMixTable(b.DefaultMix()))
 	m.phaseIdx.Store(-1)
@@ -249,6 +254,30 @@ func (m *Manager) waitIfPaused(ctx context.Context) {
 // PhaseIndex returns the running phase ordinal (-1 before start).
 func (m *Manager) PhaseIndex() int { return int(m.phaseIdx.Load()) }
 
+// Stop ends the run early and gracefully: the phase runner skips its
+// remaining phases, workers drain, and Run returns nil. Safe to call from
+// any goroutine, multiple times, before or after Run. This is the lifecycle
+// hook behind DELETE /api/v1/workloads/{name}.
+func (m *Manager) Stop() {
+	m.stopOnce.Do(func() { close(m.stop) })
+}
+
+// Stopping reports whether Stop has been requested.
+func (m *Manager) Stopping() bool {
+	select {
+	case <-m.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// QueueDepth returns the number of generated arrivals waiting for a worker.
+func (m *Manager) QueueDepth() int { return len(m.queue) }
+
+// QueueCapacity returns the request queue's capacity.
+func (m *Manager) QueueCapacity() int { return cap(m.queue) }
+
 // Postponed returns the number of arrivals shed because the queue was full
 // (the workers could not keep up with the target rate).
 func (m *Manager) Postponed() int64 { return m.postponed.Load() }
@@ -297,14 +326,17 @@ func (m *Manager) Run(ctx context.Context) error {
 
 	// Phase runner.
 	var err error
+	stopped := false
 	for i := range m.phases {
 		m.applyPhase(i)
 		select {
 		case <-time.After(m.phases[i].Duration):
 		case <-ctx.Done():
 			err = ctx.Err()
+		case <-m.stop:
+			stopped = true
 		}
-		if err != nil {
+		if err != nil || stopped {
 			break
 		}
 	}
@@ -519,6 +551,7 @@ type Status struct {
 	Unlimited bool
 	Mix       []float64
 	Paused    bool
+	Stopped   bool
 	Postponed int64
 	Snapshot  stats.Snapshot
 }
@@ -535,6 +568,7 @@ func (m *Manager) Status() Status {
 		Unlimited: rate <= 0,
 		Mix:       m.Mix(),
 		Paused:    m.Paused(),
+		Stopped:   m.Stopping(),
 		Postponed: m.Postponed(),
 		Snapshot:  m.collector.Snapshot(),
 	}

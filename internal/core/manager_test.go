@@ -5,6 +5,7 @@ import (
 	"context"
 	"math"
 	"math/rand"
+	"sort"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -268,6 +269,103 @@ func TestTraceIntegration(t *testing.T) {
 	if rep.Committed == 0 || len(rep.Phases) == 0 {
 		t.Fatal("trace analysis empty")
 	}
+}
+
+func TestManagerStop(t *testing.T) {
+	m, _ := newStubWorkload(t, []Phase{{Duration: time.Hour, Rate: 200}}, Options{Terminals: 2})
+	errc := make(chan error, 1)
+	go func() { errc <- m.Run(context.Background()) }()
+	time.Sleep(100 * time.Millisecond)
+	m.Stop()
+	m.Stop() // idempotent
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("stopped run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after Stop")
+	}
+	if !m.Stopping() {
+		t.Fatal("Stopping() = false after Stop")
+	}
+	select {
+	case <-m.Done():
+	default:
+		t.Fatal("Done not closed after stopped Run")
+	}
+}
+
+func TestStopBeforeRun(t *testing.T) {
+	m, _ := newStubWorkload(t, []Phase{{Duration: time.Hour, Rate: 100}}, Options{})
+	m.Stop()
+	done := make(chan error, 1)
+	go func() { done <- m.Run(context.Background()) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pre-stopped Run did not return promptly")
+	}
+}
+
+// TestCollectorPercentilesMatchTrace is the observability acceptance check:
+// the live per-type percentile digests served by the API must agree with the
+// exact percentiles internal/trace computes from the same run's trace file.
+func TestCollectorPercentilesMatchTrace(t *testing.T) {
+	var buf bytes.Buffer
+	tw := trace.NewWriter(&buf)
+	m, _ := newStubWorkload(t, []Phase{{Duration: 700 * time.Millisecond, Rate: 400}},
+		Options{Terminals: 4, Trace: tw})
+	if err := m.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact per-type percentiles from the trace.
+	byType := map[string][]int64{}
+	for _, e := range entries {
+		if e.Status == "ok" {
+			byType[e.Type] = append(byType[e.Type], e.LatencyUS)
+		}
+	}
+	snap := m.Collector().Snapshot()
+	within := func(got time.Duration, wantUS int64) bool {
+		g := float64(got.Microseconds())
+		w := float64(wantUS)
+		// 10% relative tolerance with a small absolute floor: at
+		// microsecond-scale latencies one log-bucket of width dominates.
+		tol := 0.10*w + 100
+		return math.Abs(g-w) <= tol
+	}
+	for i, name := range snap.TypeNames {
+		lats := byType[name]
+		if len(lats) < 20 {
+			t.Fatalf("type %s: only %d samples", name, len(lats))
+		}
+		sortInt64s(lats)
+		ts := snap.TypeLat[i]
+		if ts.Count != int64(len(lats)) {
+			t.Fatalf("type %s: collector count %d vs trace %d", name, ts.Count, len(lats))
+		}
+		for _, pc := range []struct {
+			p   int
+			got time.Duration
+		}{{50, ts.P50}, {95, ts.P95}, {99, ts.P99}} {
+			want := lats[len(lats)*pc.p/100]
+			if !within(pc.got, want) {
+				t.Errorf("type %s p%d: collector %v vs trace %dus", name, pc.p, pc.got, want)
+			}
+		}
+	}
+}
+
+func sortInt64s(s []int64) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
 }
 
 func TestMultiTenantRunAll(t *testing.T) {

@@ -223,6 +223,12 @@ func (s *Stmt) Exec(args ...any) (*exec.Result, error) { return s.st.Exec(args..
 // Query runs the prepared statement, returning rows.
 func (s *Stmt) Query(args ...any) (*exec.Result, error) { return s.st.Exec(args...) }
 
+// Close releases the prepared statement. The engine's statement cache owns
+// the compiled plan, so closing only severs the session reference, but
+// holders of long-lived statements should still release them
+// deterministically; use after Close is a programming error and panics.
+func (s *Stmt) Close() { s.st = nil }
+
 // IsRetryable reports whether an error is a concurrency abort that the
 // caller should retry with a fresh transaction.
 func IsRetryable(err error) bool { return txn.IsRetryable(err) }

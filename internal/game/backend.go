@@ -6,6 +6,7 @@ import (
 
 	"benchpress/internal/core"
 	"benchpress/internal/dbdriver"
+	"benchpress/internal/stats"
 )
 
 // ManagerBackend adapts a running core.Manager (and its database) to the
@@ -17,6 +18,12 @@ type ManagerBackend struct {
 	// ResetDB truncates the database on game over ("this will cause
 	// BenchPress to halt the benchmark and reset the database"). Optional.
 	ResetDB bool
+}
+
+// LatencySummary implements LatencyReporter with the workload's cumulative
+// committed-latency digest.
+func (b *ManagerBackend) LatencySummary() stats.LatencySummary {
+	return b.Manager.Collector().GlobalSummary()
 }
 
 // SetRate implements Backend.

@@ -5,6 +5,8 @@ import (
 	"math"
 	"sync/atomic"
 	"time"
+
+	"benchpress/internal/stats"
 )
 
 // Backend abstracts the benchmark side of the game: the game writes target
@@ -19,6 +21,13 @@ type Backend interface {
 	MeasuredTPS() float64
 	// Halt stops the benchmark and resets the database (game over).
 	Halt()
+}
+
+// LatencyReporter is optionally implemented by backends that can digest the
+// run's committed latency; the game attaches the digest to its Result so
+// score feedback reflects responsiveness, not just throughput corridors.
+type LatencyReporter interface {
+	LatencySummary() stats.LatencySummary
 }
 
 // Controls is the player's dynamic input state.
@@ -84,6 +93,9 @@ type Result struct {
 	CrashedAt  int // tick index of the crash (-1 if survived)
 	Score      int // ticks passed through obstacles
 	Trajectory []TickRecord
+	// Latency digests the run's committed latency when the backend
+	// implements LatencyReporter (zero-valued otherwise).
+	Latency stats.LatencySummary
 }
 
 // Game is one run of a course against a backend.
@@ -124,10 +136,13 @@ func (g *Game) Controls() *Controls { return g.controls }
 
 // Run plays the course in real time, ticking at the course tick. It returns
 // when the course ends, the character crashes, or ctx is cancelled.
-func (g *Game) Run(ctx context.Context) Result {
+func (g *Game) Run(ctx context.Context) (res Result) {
 	ticker := time.NewTicker(g.course.Tick)
 	defer ticker.Stop()
-	res := Result{CourseName: g.course.Name, CrashedAt: -1}
+	if lr, ok := g.backend.(LatencyReporter); ok {
+		defer func() { res.Latency = lr.LatencySummary() }()
+	}
+	res = Result{CourseName: g.course.Name, CrashedAt: -1}
 	// Start the character at the first corridor midpoint so the opening is
 	// reachable.
 	if len(g.course.Points) > 0 && g.course.Points[0].Obstacle {

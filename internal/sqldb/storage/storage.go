@@ -375,10 +375,21 @@ func (t *Table) secondaryConflict(sec secondaryIndex, data []sqlval.Value, self 
 	return dup
 }
 
+// Displaced records the primary-index mapping an Insert overwrote. A
+// committed-dead row keeps its primary entry until vacuum so that older
+// snapshots can still resolve its key; an insert reusing that key steals the
+// entry, and if the insert later rolls back the stolen mapping must be put
+// back (RollbackInsert) rather than deleted outright.
+type Displaced struct {
+	Prev    RowID
+	HadPrev bool
+}
+
 // Insert creates a new row whose single version is marked uncommitted by
 // txnID. It installs all index entries. The returned RowID identifies the
 // slot; on unique violation an ErrDuplicateKey is returned and nothing
-// observable is left behind.
+// observable is left behind. The returned Displaced must be handed back to
+// RollbackInsert if the transaction aborts.
 //
 // The slot is installed before any index work: the version's uncommitted
 // mark keeps it invisible to every reader, and installing first upholds the
@@ -386,19 +397,23 @@ func (t *Table) secondaryConflict(sec secondaryIndex, data []sqlval.Value, self 
 // uniqueness check and the matching entry insert happen under one continuous
 // hold of that index's latch, so two racing inserts of the same key always
 // serialize there; no operation holds two index latches at once.
-func (t *Table) Insert(txnID uint64, data []sqlval.Value) (RowID, *Row, error) {
+func (t *Table) Insert(txnID uint64, data []sqlval.Value) (RowID, *Row, Displaced, error) {
 	row := &Row{}
 	row.SetLatest(NewVersion(data, TxnMark|txnID, Infinity, nil))
 	id := t.installRow(row)
 	secs := t.secondaryList()
 
+	var disp Displaced
 	if t.primary != nil {
 		key := t.pkKey(data)
 		t.primary.Lock()
 		if t.primaryConflict(key, id) {
 			t.primary.Unlock()
 			t.freeRow(id, row)
-			return 0, nil, &ErrDuplicateKey{Table: t.Meta.Name, Index: t.Meta.Indexes[0].Name}
+			return 0, nil, disp, &ErrDuplicateKey{Table: t.Meta.Name, Index: t.Meta.Indexes[0].Name}
+		}
+		if prev, ok := t.primary.Get(key); ok && prev != id {
+			disp = Displaced{Prev: prev, HadPrev: true}
 		}
 		t.primary.Insert(key, id)
 		t.primary.Unlock()
@@ -409,30 +424,21 @@ func (t *Table) Insert(txnID uint64, data []sqlval.Value) (RowID, *Row, error) {
 		sec.tree.Lock()
 		if sec.meta.Unique && t.secondaryConflict(sec, data, id) {
 			sec.tree.Unlock()
-			// Roll back the entries installed so far (RemoveRow tolerates
-			// the ones never installed) and release the slot.
-			t.RemoveRow(id, data)
-			return 0, nil, &ErrDuplicateKey{Table: t.Meta.Name, Index: sec.meta.Name}
+			// Roll back the entries installed so far (the rollback
+			// tolerates the ones never installed) and release the slot.
+			t.RollbackInsert(id, data, disp)
+			return 0, nil, Displaced{}, &ErrDuplicateKey{Table: t.Meta.Name, Index: sec.meta.Name}
 		}
 		sec.tree.Insert(key, id)
 		sec.tree.Unlock()
 	}
-	return id, row, nil
+	return id, row, disp, nil
 }
 
-// removeImageEntries deletes the index entries of one version image,
-// guarding the primary entry against concurrent re-inserts of the same key.
-func (t *Table) removeImageEntries(id RowID, data []sqlval.Value) {
-	if t.primary != nil {
-		key := t.pkKey(data)
-		t.primary.Lock()
-		// Only remove the entry if it still points at this row: a
-		// concurrent re-insert of the same key may have replaced it.
-		if cur, ok := t.primary.Get(key); ok && cur == id {
-			t.primary.Delete(key)
-		}
-		t.primary.Unlock()
-	}
+// removeSecondaryEntries deletes one version image's secondary entries.
+// Secondary keys carry the row id, so an entry can never be claimed by
+// another row and an unconditional delete is safe.
+func (t *Table) removeSecondaryEntries(id RowID, data []sqlval.Value) {
 	for _, sec := range t.secondaryList() {
 		key := indexKey(sec.meta, data, id)
 		sec.tree.Lock()
@@ -441,31 +447,108 @@ func (t *Table) removeImageEntries(id RowID, data []sqlval.Value) {
 	}
 }
 
-// RemoveRow unlinks a row slot and all its index entries; used when rolling
-// back an insert.
-func (t *Table) RemoveRow(id RowID, data []sqlval.Value) {
-	t.removeImageEntries(id, data)
+// RollbackInsert unlinks an aborted insert's row slot and index entries,
+// restoring the primary mapping the insert displaced. The restore is
+// guarded under the primary latch: if the displaced row has been vacuumed
+// away or its slot recycled for a different key, the entry is dropped
+// instead of re-pointed. A vacuum pass can still free the displaced slot
+// right after the check; the restored entry then dangles, which the
+// package's read discipline tolerates — readers re-validate fetched rows
+// against the entry key, and the next insert of the key overwrites it.
+func (t *Table) RollbackInsert(id RowID, data []sqlval.Value, disp Displaced) {
+	if t.primary != nil {
+		key := t.pkKey(data)
+		t.primary.Lock()
+		// Only touch the entry if it still points at this row: a
+		// concurrent re-insert of the same key may have replaced it.
+		if cur, ok := t.primary.Get(key); ok && cur == id {
+			restored := false
+			if disp.HadPrev {
+				if r, ok := t.Row(disp.Prev); ok {
+					if v := r.Latest(); v != nil && sqlval.CompareRows(t.pkKey(v.Data), key) == 0 {
+						t.primary.Insert(key, disp.Prev)
+						restored = true
+					}
+				}
+			}
+			if !restored {
+				t.primary.Delete(key)
+			}
+		}
+		t.primary.Unlock()
+	}
+	t.removeSecondaryEntries(id, data)
 	if row, ok := t.Row(id); ok {
 		t.freeRow(id, row)
 	}
 }
 
+// RemoveRow unlinks a row slot and all its index entries; used when rolling
+// back an insert that displaced nothing.
+func (t *Table) RemoveRow(id RowID, data []sqlval.Value) {
+	t.RollbackInsert(id, data, Displaced{})
+}
+
 // AddVersionIndexEntries installs index entries for a new version image
 // produced by an update (the row id is unchanged; only changed keys need new
-// entries, and unchanged composites are idempotent inserts). Callers must
+// entries, and unchanged composites are idempotent inserts). oldData is the
+// image being replaced: a unique secondary whose key changed is checked
+// before its entry is installed, so an update cannot move a row onto a key
+// held by another live or pending row — the check-and-insert happens under
+// one continuous hold of that index's latch, mirroring Insert. On a
+// violation the entries already installed for the new image are unwound
+// (entries shared with the old image are left in place) and ErrDuplicateKey
+// is returned with the row image unchanged in the indexes. Callers must
 // have installed the image into the row chain already — see the package
 // comment's write-path invariant.
-func (t *Table) AddVersionIndexEntries(id RowID, data []sqlval.Value) {
+func (t *Table) AddVersionIndexEntries(id RowID, oldData, data []sqlval.Value) error {
 	if t.primary != nil {
 		key := t.pkKey(data)
 		t.primary.Lock()
 		t.primary.Insert(key, id)
 		t.primary.Unlock()
 	}
-	for _, sec := range t.secondaryList() {
+	secs := t.secondaryList()
+	for ord := range secs {
+		sec := secs[ord]
 		key := indexKey(sec.meta, data, id)
 		sec.tree.Lock()
+		if sec.meta.Unique &&
+			sqlval.CompareRows(indexKey(sec.meta, oldData, id), key) != 0 &&
+			t.secondaryConflict(sec, data, id) {
+			sec.tree.Unlock()
+			t.unwindVersionEntries(id, oldData, data, ord)
+			return &ErrDuplicateKey{Table: t.Meta.Name, Index: sec.meta.Name}
+		}
 		sec.tree.Insert(key, id)
+		sec.tree.Unlock()
+	}
+	return nil
+}
+
+// unwindVersionEntries removes the entries AddVersionIndexEntries installed
+// for the new image before failing at secondary ordinal stop — only those
+// not shared with the old image, which must keep its entries.
+func (t *Table) unwindVersionEntries(id RowID, oldData, data []sqlval.Value, stop int) {
+	if t.primary != nil {
+		newKey, oldKey := t.pkKey(data), t.pkKey(oldData)
+		if sqlval.CompareRows(newKey, oldKey) != 0 {
+			t.primary.Lock()
+			if cur, ok := t.primary.Get(newKey); ok && cur == id {
+				t.primary.Delete(newKey)
+			}
+			t.primary.Unlock()
+		}
+	}
+	secs := t.secondaryList()
+	for ord := 0; ord < stop && ord < len(secs); ord++ {
+		sec := secs[ord]
+		newKey := indexKey(sec.meta, data, id)
+		if sqlval.CompareRows(indexKey(sec.meta, oldData, id), newKey) == 0 {
+			continue
+		}
+		sec.tree.Lock()
+		sec.tree.Delete(newKey)
 		sec.tree.Unlock()
 	}
 }

@@ -37,7 +37,7 @@ func commitVersion(r *Row, ts uint64) {
 
 func TestInsertAndPrimaryLookup(t *testing.T) {
 	tbl := newTable(t, true)
-	id, r, err := tbl.Insert(7, mkRow(1, 10, "a"))
+	id, r, _, err := tbl.Insert(7, mkRow(1, 10, "a"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,11 +53,11 @@ func TestInsertAndPrimaryLookup(t *testing.T) {
 
 func TestDuplicatePendingInsert(t *testing.T) {
 	tbl := newTable(t, true)
-	if _, _, err := tbl.Insert(1, mkRow(1, 0, "x")); err != nil {
+	if _, _, _, err := tbl.Insert(1, mkRow(1, 0, "x")); err != nil {
 		t.Fatal(err)
 	}
 	// Same PK while the first is still uncommitted: duplicate.
-	if _, _, err := tbl.Insert(2, mkRow(1, 0, "y")); err == nil {
+	if _, _, _, err := tbl.Insert(2, mkRow(1, 0, "y")); err == nil {
 		t.Fatal("pending duplicate accepted")
 	}
 }
@@ -65,7 +65,7 @@ func TestDuplicatePendingInsert(t *testing.T) {
 func TestSecondaryIndexBackfillAndScan(t *testing.T) {
 	tbl := newTable(t, true)
 	for i := int64(0); i < 20; i++ {
-		_, r, err := tbl.Insert(1, mkRow(i, i%4, "n"))
+		_, r, _, err := tbl.Insert(1, mkRow(i, i%4, "n"))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -93,7 +93,7 @@ func TestSecondaryRangeScan(t *testing.T) {
 	tbl.Meta.Indexes = append(tbl.Meta.Indexes, idx)
 	tbl.AddIndex(idx)
 	for i := int64(0); i < 30; i++ {
-		_, r, err := tbl.Insert(1, mkRow(i, i, "n"))
+		_, r, _, err := tbl.Insert(1, mkRow(i, i, "n"))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -129,7 +129,7 @@ func TestSecondaryRangeScan(t *testing.T) {
 func TestPrimaryRangeScan(t *testing.T) {
 	tbl := newTable(t, true)
 	for i := int64(0); i < 10; i++ {
-		_, r, _ := tbl.Insert(1, mkRow(i, 0, "x"))
+		_, r, _, _ := tbl.Insert(1, mkRow(i, 0, "x"))
 		commitVersion(r, 2)
 	}
 	var asc, desc []RowID
@@ -217,7 +217,7 @@ func TestVisibilityDeletePendingOwn(t *testing.T) {
 func TestTruncate(t *testing.T) {
 	tbl := newTable(t, true)
 	for i := int64(0); i < 5; i++ {
-		_, r, _ := tbl.Insert(1, mkRow(i, 0, "x"))
+		_, r, _, _ := tbl.Insert(1, mkRow(i, 0, "x"))
 		commitVersion(r, 2)
 	}
 	tbl.Truncate()
@@ -228,7 +228,7 @@ func TestTruncate(t *testing.T) {
 		t.Fatal("index survived truncate")
 	}
 	// Table must be reusable.
-	if _, _, err := tbl.Insert(1, mkRow(0, 0, "y")); err != nil {
+	if _, _, _, err := tbl.Insert(1, mkRow(0, 0, "y")); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -260,7 +260,7 @@ func TestPrimaryScanProperty(t *testing.T) {
 				continue
 			}
 			uniq[key] = true
-			_, r, err := tbl.Insert(1, mkRow(key, 0, "p"))
+			_, r, _, err := tbl.Insert(1, mkRow(key, 0, "p"))
 			if err != nil {
 				return false
 			}

@@ -50,7 +50,15 @@ func (t *Table) VacuumSegment(g int, horizon uint64) int {
 	for i, row := range deadRows {
 		id := deadIDs[i]
 		for img := row.Latest(); img != nil; img = img.Next() {
-			t.removeImageEntries(id, img.Data)
+			t.removeSecondaryEntries(id, img.Data)
+			if t.primary != nil {
+				key := t.pkKey(img.Data)
+				t.primary.Lock()
+				if cur, ok := t.primary.Get(key); ok && cur == id {
+					t.primary.Delete(key)
+				}
+				t.primary.Unlock()
+			}
 		}
 		t.freeRow(id, row)
 	}

@@ -111,8 +111,9 @@ type writeOp struct {
 	table *storage.Table
 	rowID storage.RowID
 	row   *storage.Row
-	newV  *storage.Version // version installed by this txn (insert/update)
-	oldV  *storage.Version // version whose End this txn marked
+	newV  *storage.Version  // version installed by this txn (insert/update)
+	oldV  *storage.Version  // version whose End this txn marked
+	disp  storage.Displaced // primary mapping an insert overwrote (rollback restore)
 }
 
 // Txn is an in-flight transaction.
@@ -282,18 +283,18 @@ func (t *Txn) Insert(tbl *storage.Table, data []sqlval.Value) error {
 	if t.done {
 		return ErrTxnDone
 	}
-	id, row, err := tbl.Insert(t.id, data)
+	id, row, disp, err := tbl.Insert(t.id, data)
 	if err != nil {
 		return err
 	}
 	if t.mgr.mode == Locking {
 		if err := t.lock(tbl, id, lockExclusive); err != nil {
 			// Cannot conflict in practice (fresh row), but stay safe.
-			tbl.RemoveRow(id, data)
+			tbl.RollbackInsert(id, data, disp)
 			return err
 		}
 	}
-	t.writes = append(t.writes, writeOp{kind: opInsert, table: tbl, rowID: id, row: row, newV: row.Latest()})
+	t.writes = append(t.writes, writeOp{kind: opInsert, table: tbl, rowID: id, row: row, newV: row.Latest(), disp: disp})
 	if t.claimed != nil {
 		t.claimed[row] = true
 	}
@@ -333,7 +334,8 @@ func (t *Txn) Update(tbl *storage.Table, id storage.RowID, newData []sqlval.Valu
 		row.Unlock()
 		return ErrWriteConflict
 	}
-	if old.End() == storage.Infinity || old.End() == myMark {
+	prevEnd := old.End()
+	if prevEnd == storage.Infinity || prevEnd == myMark {
 		old.SetEnd(myMark)
 	} else {
 		row.Unlock()
@@ -342,7 +344,20 @@ func (t *Txn) Update(tbl *storage.Table, id storage.RowID, newData []sqlval.Valu
 	newV := storage.NewVersion(newData, myMark, storage.Infinity, old)
 	row.SetLatest(newV)
 	row.Unlock()
-	tbl.AddVersionIndexEntries(id, newData)
+	if err := tbl.AddVersionIndexEntries(id, old.Data, newData); err != nil {
+		// Unique violation: the new image never becomes visible. Unwind
+		// the chain head and the old version's end mark, then surface the
+		// race as a retryable conflict — the loser re-reads committed
+		// state and re-decides (a genuine duplicate then fails its own
+		// predicate check instead of retrying forever).
+		row.Lock()
+		if row.Latest() == newV {
+			row.SetLatest(old)
+		}
+		old.SetEnd(prevEnd)
+		row.Unlock()
+		return fmt.Errorf("txn: update unique violation: %v: %w", err, ErrWriteConflict)
+	}
 	t.writes = append(t.writes, writeOp{kind: opUpdate, table: tbl, rowID: id, row: row, newV: newV, oldV: old})
 	if t.claimed != nil {
 		t.claimed[row] = true
@@ -463,7 +478,7 @@ func (t *Txn) Abort() {
 		op := t.writes[i]
 		switch op.kind {
 		case opInsert:
-			op.table.RemoveRow(op.rowID, op.newV.Data)
+			op.table.RollbackInsert(op.rowID, op.newV.Data, op.disp)
 		case opUpdate:
 			op.row.Lock()
 			if op.row.Latest() == op.newV {

@@ -582,6 +582,142 @@ func TestIsRetryable(t *testing.T) {
 	}
 }
 
+// TestUpdateRespectsUniqueIndex pins the update-path uniqueness contract:
+// an update moving a row onto a unique key held by another live row must
+// fail (as a retryable conflict) and leave both rows and the index exactly
+// as they were — updates previously installed unique entries unchecked,
+// which let a racing update/insert pair commit duplicates.
+func TestUpdateRespectsUniqueIndex(t *testing.T) {
+	for _, mode := range []Mode{Locking, MVCC} {
+		t.Run(mode.String(), func(t *testing.T) {
+			m := NewManager(mode)
+			cat, tbl := stressTable(t)
+			idx, err := cat.AddIndex("accounts", "u_balance", []string{"balance"}, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tbl.AddIndex(idx)
+
+			tx := m.Begin(false)
+			for i, bal := range []int64{100, 200} {
+				if err := tx.Insert(tbl, row(int64(i+1), bal)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			rid2, _ := tbl.PrimaryLookup([]sqlval.Value{sqlval.NewInt(2)})
+
+			// Moving row 2 onto row 1's unique balance must fail retryably.
+			tx = m.Begin(false)
+			if _, err := tx.Read(tbl, rid2, true); err != nil {
+				t.Fatal(err)
+			}
+			err = tx.Update(tbl, rid2, row(2, 100))
+			if err == nil {
+				t.Fatal("update onto an occupied unique key succeeded")
+			}
+			if !IsRetryable(err) {
+				t.Fatalf("unique-violation error %v is not retryable", err)
+			}
+			// The same transaction stays usable: a non-conflicting update
+			// must still go through.
+			if err := tx.Update(tbl, rid2, row(2, 300)); err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+
+			check := m.Begin(true)
+			data, err := check.Read(tbl, rid2, false)
+			if err != nil || data == nil {
+				t.Fatalf("row 2 unreadable after failed update: %v", err)
+			}
+			if got := data[1].Int(); got != 300 {
+				t.Fatalf("row 2 balance = %d, want 300", got)
+			}
+			check.Commit()
+		})
+	}
+}
+
+// TestInsertRollbackRestoresDisplacedPrimaryEntry pins the index/rollback
+// contract that Insert displacing a committed-dead row's primary entry and
+// then aborting must restore the stolen mapping: until vacuum, snapshots
+// older than the delete still resolve the key through that entry.
+func TestInsertRollbackRestoresDisplacedPrimaryEntry(t *testing.T) {
+	for _, mode := range []Mode{Locking, MVCC} {
+		t.Run(mode.String(), func(t *testing.T) {
+			m := NewManager(mode)
+			tbl := newAccountsTable(t)
+
+			tx := m.Begin(false)
+			if err := tx.Insert(tbl, row(1, 5)); err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			origID, ok := tbl.PrimaryLookup([]sqlval.Value{sqlval.NewInt(1)})
+			if !ok {
+				t.Fatal("inserted key missing from primary index")
+			}
+
+			// Pin a snapshot that predates the delete (MVCC only: under
+			// Locking a reader would block the writers below).
+			var old *Txn
+			if mode == MVCC {
+				old = m.Begin(true)
+			}
+
+			tx = m.Begin(false)
+			if err := tx.Delete(tbl, origID); err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Reuse the dead row's key (displacing its entry), then abort.
+			tx = m.Begin(false)
+			if err := tx.Insert(tbl, row(1, 7)); err != nil {
+				t.Fatal(err)
+			}
+			tx.Abort()
+
+			rid, ok := tbl.PrimaryLookup([]sqlval.Value{sqlval.NewInt(1)})
+			if !ok {
+				t.Fatal("rolled-back insert dropped the displaced primary entry")
+			}
+			if rid != origID {
+				t.Fatalf("primary entry points at %d, want displaced row %d restored", rid, origID)
+			}
+			if old != nil {
+				data, err := old.Read(tbl, rid, false)
+				if err != nil || data == nil {
+					t.Fatalf("pre-delete snapshot lost the row: data=%v err=%v", data, err)
+				}
+				if got := data[1].Int(); got != 5 {
+					t.Fatalf("pre-delete snapshot reads balance %d, want 5", got)
+				}
+				old.Commit()
+			}
+
+			// Once nothing can see the dead row, vacuum reclaims both the
+			// restored entry and the slot.
+			tbl.Vacuum(m.Horizon() + 1)
+			if _, ok := tbl.PrimaryLookup([]sqlval.Value{sqlval.NewInt(1)}); ok {
+				t.Fatal("vacuum left the dead row's primary entry behind")
+			}
+			if got := tbl.RowCount(); got != 0 {
+				t.Fatalf("RowCount after vacuum = %d, want 0", got)
+			}
+		})
+	}
+}
+
 func TestHorizonTracksActiveSnapshots(t *testing.T) {
 	m := NewManager(MVCC)
 	tbl := newAccountsTable(t)

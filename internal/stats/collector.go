@@ -38,6 +38,12 @@ type Window struct {
 	PerType []int64
 	// SumLatencyUS sums committed-transaction latencies (microseconds).
 	SumLatencyUS int64
+	// TypeLat digests committed latency per type within the window
+	// (parallel to the collector's type list), merged from the per-worker
+	// shard histograms at rotation.
+	TypeLat []LatencySummary
+	// Lat digests committed latency across all types within the window.
+	Lat LatencySummary
 }
 
 // TPS returns the committed throughput of the window given its duration.
@@ -68,6 +74,28 @@ var nshards = func() int {
 	return p
 }()
 
+// latCell is one shard's latency histogram for one transaction type: fixed
+// log buckets plus exact sum and max, all monotonic. A worker records into
+// its own shard's cells, so the adds never contend and take no lock; window
+// rotation and the cumulative accessors merge cells across shards.
+type latCell struct {
+	counts []atomic.Int64 // nBuckets, sliced from the shard's backing array
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// record adds one observation to the cell.
+func (l *latCell) record(us int64) {
+	l.counts[bucketFor(us)].Add(1)
+	l.sum.Add(us)
+	for {
+		cur := l.max.Load()
+		if us <= cur || l.max.CompareAndSwap(cur, us) {
+			return
+		}
+	}
+}
+
 // shard is one recording cell. Its counters are monotonic totals, never
 // reset: window rotation attributes deltas between snapshots, so a Record
 // racing a rotation lands in exactly one window (this one or the next) and is
@@ -83,7 +111,11 @@ type shard struct {
 	// backing array is over-allocated by a cache line's worth of slots so
 	// distinct shards' arrays never abut.
 	perType []atomic.Int64
-	_       [64]byte // pad to keep adjacent shards on separate lines
+	// lat holds this shard's per-type latency histograms. The bucket arrays
+	// of one shard share one backing allocation; distinct shards allocate
+	// separately, so cross-shard false sharing cannot occur.
+	lat []latCell
+	_   [64]byte // pad to keep adjacent shards on separate lines
 }
 
 // totals is one aggregated snapshot of every shard counter.
@@ -97,10 +129,11 @@ type totals struct {
 }
 
 // Collector aggregates worker observations for one workload. Recording is
-// lock-free: each worker adds to its own padded shard with atomics. The
-// mutex only guards window rotation (advancing the live window index and
-// snapshotting shard totals into finalized Windows), which happens at window
-// granularity, not per record.
+// lock-free: each worker adds to its own padded shard with atomics,
+// including the fixed-bucket latency histogram adds. The mutex only guards
+// window rotation (advancing the live window index and snapshotting shard
+// totals into finalized Windows), which happens at window granularity, not
+// per record.
 type Collector struct {
 	start     time.Time
 	windowDur time.Duration
@@ -117,8 +150,22 @@ type Collector struct {
 	base    totals // shard totals at the start of the live window
 	history []Window
 
-	global  *Histogram
-	perType []*Histogram
+	// Histogram rotation state, guarded by mu. histBase holds per-type
+	// cumulative bucket counts at the start of the live window; latSumBase
+	// the matching per-type latency sums. curBuf/deltaBuf/allBuf are
+	// reusable scratch so rotation allocates only the per-window summaries.
+	histBase   [][]int64
+	latSumBase []int64
+	curBuf     []int64
+	deltaBuf   []int64
+	allBuf     []int64
+
+	// subs are window-completion listeners (SSE streams). Signaled with a
+	// non-blocking send after rotation appends windows, so a slow subscriber
+	// can never block a recording worker.
+	subMu   sync.Mutex
+	subs    map[int]chan struct{}
+	nextSub int
 }
 
 // NewCollector creates a collector for the given transaction-type names with
@@ -135,17 +182,26 @@ func NewCollectorWindow(types []string, window time.Duration) *Collector {
 		types:     append([]string(nil), types...),
 		now:       time.Now,
 		shards:    make([]shard, nshards),
-		global:    &Histogram{},
-		perType:   make([]*Histogram, len(types)),
-	}
-	for i := range c.perType {
-		c.perType[i] = &Histogram{}
 	}
 	const padSlots = 8 // 64B of atomic.Int64: keeps shards' arrays apart
 	for i := range c.shards {
-		c.shards[i].perType = make([]atomic.Int64, len(types), len(types)+padSlots)
+		s := &c.shards[i]
+		s.perType = make([]atomic.Int64, len(types), len(types)+padSlots)
+		s.lat = make([]latCell, len(types))
+		backing := make([]atomic.Int64, len(types)*nBuckets)
+		for t := range s.lat {
+			s.lat[t].counts = backing[t*nBuckets : (t+1)*nBuckets : (t+1)*nBuckets]
+		}
 	}
 	c.base.perType = make([]int64, len(types))
+	c.histBase = make([][]int64, len(types))
+	for t := range c.histBase {
+		c.histBase[t] = make([]int64, nBuckets)
+	}
+	c.latSumBase = make([]int64, len(types))
+	c.curBuf = make([]int64, nBuckets)
+	c.deltaBuf = make([]int64, nBuckets)
+	c.allBuf = make([]int64, nBuckets)
 	return c
 }
 
@@ -199,10 +255,42 @@ func (c *Collector) advance(idx int) {
 		Retries:      cur.retries - c.base.retries,
 		SumLatencyUS: cur.sumLatUS - c.base.sumLatUS,
 		PerType:      make([]int64, len(c.types)),
+		TypeLat:      make([]LatencySummary, len(c.types)),
 	}
 	for ti := range w.PerType {
 		w.PerType[ti] = cur.perType[ti] - c.base.perType[ti]
 	}
+	// Merge the per-shard histograms: for each type, sum the shard buckets
+	// into curBuf, diff against the window-start baseline into deltaBuf,
+	// digest the delta, and fold it into the all-types delta (allBuf). The
+	// baseline then becomes the merged current counts.
+	clearInts(c.allBuf)
+	var allSum int64
+	for t := range c.types {
+		clearInts(c.curBuf)
+		for si := range c.shards {
+			counts := c.shards[si].lat[t].counts
+			for b := range c.curBuf {
+				c.curBuf[b] += counts[b].Load()
+			}
+		}
+		var curSum int64
+		for si := range c.shards {
+			curSum += c.shards[si].lat[t].sum.Load()
+		}
+		base := c.histBase[t]
+		for b := range c.deltaBuf {
+			d := c.curBuf[b] - base[b]
+			c.deltaBuf[b] = d
+			c.allBuf[b] += d
+		}
+		deltaSum := curSum - c.latSumBase[t]
+		allSum += deltaSum
+		w.TypeLat[t] = HistSnapshot{Counts: c.deltaBuf, SumUS: deltaSum}.Summary()
+		copy(base, c.curBuf)
+		c.latSumBase[t] = curSum
+	}
+	w.Lat = HistSnapshot{Counts: c.allBuf, SumUS: allSum}.Summary()
 	c.history = append(c.history, w)
 	c.base = cur
 	for g := live + 1; g < idx; g++ {
@@ -210,9 +298,53 @@ func (c *Collector) advance(idx int) {
 			Index:   g,
 			Start:   time.Duration(g) * c.windowDur,
 			PerType: make([]int64, len(c.types)),
+			TypeLat: make([]LatencySummary, len(c.types)),
 		})
 	}
 	c.liveIdx.Store(int64(idx))
+	c.notifySubscribers()
+}
+
+// clearInts zeroes a scratch slice.
+func clearInts(s []int64) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// Subscribe registers a window-completion listener: the returned channel
+// receives a (coalesced) signal whenever rotation finalizes one or more
+// windows. The send is non-blocking, so a slow listener only coalesces
+// signals and can never stall the recording path. The cancel function
+// removes the listener.
+func (c *Collector) Subscribe() (<-chan struct{}, func()) {
+	ch := make(chan struct{}, 1)
+	c.subMu.Lock()
+	if c.subs == nil {
+		c.subs = make(map[int]chan struct{})
+	}
+	id := c.nextSub
+	c.nextSub++
+	c.subs[id] = ch
+	c.subMu.Unlock()
+	return ch, func() {
+		c.subMu.Lock()
+		delete(c.subs, id)
+		c.subMu.Unlock()
+	}
+}
+
+// notifySubscribers signals every listener without blocking. Called with
+// c.mu held (subMu is a leaf lock).
+func (c *Collector) notifySubscribers() {
+	c.subMu.Lock()
+	for _, ch := range c.subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	c.subMu.Unlock()
 }
 
 // shardIDs hands out goroutine-affine shard ordinals for Collector.Record
@@ -238,9 +370,9 @@ func (c *Collector) Record(typeIdx int, status Status, latency time.Duration) {
 
 // Recorder is a shard-bound recording handle for one worker. It is the hot
 // path the workload manager uses: Record on it is wait-free (atomic adds on
-// the worker's own padded shard) except when it is the first to observe that
-// a window has elapsed, in which case it performs the rotation under the
-// collector mutex once per window.
+// the worker's own padded shard, including the histogram bucket add) except
+// when it is the first to observe that a window has elapsed, in which case
+// it performs the rotation under the collector mutex once per window.
 type Recorder struct {
 	c *Collector
 	s *shard
@@ -267,13 +399,13 @@ func (c *Collector) record(s *shard, typeIdx int, status Status, latency time.Du
 	}
 	switch status {
 	case StatusOK:
+		us := latency.Microseconds()
 		s.committed.Add(1)
-		s.sumLatUS.Add(latency.Microseconds())
+		s.sumLatUS.Add(us)
 		if typeIdx >= 0 && typeIdx < len(s.perType) {
 			s.perType[typeIdx].Add(1)
-			c.perType[typeIdx].Record(latency)
+			s.lat[typeIdx].record(us)
 		}
-		c.global.Record(latency)
 	case StatusAborted:
 		s.aborted.Add(1)
 	case StatusRetry:
@@ -319,27 +451,90 @@ func (c *Collector) Retries() int64 {
 	return n
 }
 
-// Global returns the all-types latency histogram.
-func (c *Collector) Global() *Histogram { return c.global }
+// TypeHistSnapshot merges the shards' cumulative bucket counts for one
+// transaction type. It takes no lock: the counters are monotonic, so the
+// copy is a consistent-enough point-in-time view for reporting.
+func (c *Collector) TypeHistSnapshot(i int) HistSnapshot {
+	hs := HistSnapshot{Counts: make([]int64, nBuckets)}
+	if i < 0 || i >= len(c.types) {
+		return hs
+	}
+	for si := range c.shards {
+		cell := &c.shards[si].lat[i]
+		for b := range hs.Counts {
+			hs.Counts[b] += cell.counts[b].Load()
+		}
+		hs.SumUS += cell.sum.Load()
+		if m := cell.max.Load(); m > hs.MaxUS {
+			hs.MaxUS = m
+		}
+	}
+	return hs
+}
 
-// TypeHistogram returns the latency histogram of one transaction type.
-func (c *Collector) TypeHistogram(i int) *Histogram { return c.perType[i] }
+// GlobalHistSnapshot merges every type's cumulative buckets.
+func (c *Collector) GlobalHistSnapshot() HistSnapshot {
+	hs := HistSnapshot{Counts: make([]int64, nBuckets)}
+	for si := range c.shards {
+		for t := range c.types {
+			cell := &c.shards[si].lat[t]
+			for b := range hs.Counts {
+				hs.Counts[b] += cell.counts[b].Load()
+			}
+			hs.SumUS += cell.sum.Load()
+			if m := cell.max.Load(); m > hs.MaxUS {
+				hs.MaxUS = m
+			}
+		}
+	}
+	return hs
+}
+
+// TypeSummary digests one type's cumulative latency distribution.
+func (c *Collector) TypeSummary(i int) LatencySummary { return c.TypeHistSnapshot(i).Summary() }
+
+// GlobalSummary digests the all-types cumulative latency distribution.
+func (c *Collector) GlobalSummary() LatencySummary { return c.GlobalHistSnapshot().Summary() }
+
+// Global returns the all-types latency histogram, merged from the per-worker
+// shards (a fresh copy; mutating it does not affect the collector).
+func (c *Collector) Global() *Histogram { return c.GlobalHistSnapshot().Histogram() }
+
+// TypeHistogram returns the latency histogram of one transaction type,
+// merged from the per-worker shards (a fresh copy).
+func (c *Collector) TypeHistogram(i int) *Histogram { return c.TypeHistSnapshot(i).Histogram() }
 
 // Windows returns all finalized windows up to now (forcing rotation of any
 // windows that have fully elapsed).
 func (c *Collector) Windows() []Window {
+	return c.WindowsSince(0)
+}
+
+// WindowsSince returns the finalized windows with Index >= from, forcing
+// rotation of any fully elapsed windows first. Window indexes are
+// consecutive from zero (gaps are materialized empty), so history position
+// equals ordinal; SSE streams use this to fetch exactly the windows they
+// have not yet pushed.
+func (c *Collector) WindowsSince(from int) []Window {
 	idx := c.windowIndex(c.now())
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.advance(idx)
-	out := make([]Window, len(c.history))
-	copy(out, c.history)
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(c.history) {
+		return nil
+	}
+	out := make([]Window, len(c.history)-from)
+	copy(out, c.history[from:])
 	return out
 }
 
 // Snapshot is the instantaneous feedback the control API serves: the last
-// complete window's throughput and per-type average latency, as the paper's
-// Section 2.2.4 describes.
+// complete window's throughput and per-type latency, as the paper's Section
+// 2.2.4 describes, extended with the percentile digests the live
+// observability layer pushes.
 type Snapshot struct {
 	// Elapsed is the time since collection start.
 	Elapsed time.Duration
@@ -349,11 +544,19 @@ type Snapshot struct {
 	AbortsPerSec float64
 	// AvgLatency is the mean committed latency of the last complete window.
 	AvgLatency time.Duration
+	// WindowLat digests the last complete window's committed latency across
+	// all types (p50/p95/p99/max).
+	WindowLat LatencySummary
 	// TypeNames and TypeLatency give per-transaction-type mean latency over
 	// the whole run; TypeCounts the committed totals.
 	TypeNames   []string
 	TypeLatency []time.Duration
 	TypeCounts  []int64
+	// TypeLat are the cumulative per-type latency digests (parallel to
+	// TypeNames).
+	TypeLat []LatencySummary
+	// Latency is the cumulative all-types latency digest.
+	Latency LatencySummary
 	// Totals.
 	Committed, Aborted, Errors, Retries int64
 }
@@ -375,7 +578,9 @@ func (c *Collector) Snapshot() Snapshot {
 		TPS:          last.TPS(c.windowDur),
 		AbortsPerSec: float64(last.Aborted) / c.windowDur.Seconds(),
 		AvgLatency:   last.AvgLatency(),
+		WindowLat:    last.Lat,
 		TypeNames:    c.types,
+		Latency:      c.GlobalSummary(),
 		Committed:    c.Committed(),
 		Aborted:      c.Aborted(),
 		Errors:       c.Errors(),
@@ -383,9 +588,12 @@ func (c *Collector) Snapshot() Snapshot {
 	}
 	s.TypeLatency = make([]time.Duration, len(c.types))
 	s.TypeCounts = make([]int64, len(c.types))
+	s.TypeLat = make([]LatencySummary, len(c.types))
 	for i := range c.types {
-		s.TypeLatency[i] = c.perType[i].Mean()
-		s.TypeCounts[i] = c.perType[i].Count()
+		ts := c.TypeSummary(i)
+		s.TypeLat[i] = ts
+		s.TypeLatency[i] = ts.Mean
+		s.TypeCounts[i] = ts.Count
 	}
 	return s
 }

@@ -128,6 +128,116 @@ type LatencySummary struct {
 	Max   time.Duration
 }
 
+// NumBuckets is the number of fixed histogram buckets (exported for callers
+// that pre-size scratch arrays for HistSnapshot / summarizeBuckets work).
+const NumBuckets = nBuckets
+
+// HistSnapshot is a plain-value copy of one histogram's bucket counts, used
+// by window rotation deltas and the /metrics exporter. Counts is indexed by
+// the package's fixed log-bucket scheme; SumUS and MaxUS carry the exact sum
+// and maximum in microseconds.
+type HistSnapshot struct {
+	Counts []int64
+	SumUS  int64
+	MaxUS  int64
+}
+
+// Summary digests a bucket snapshot into count/mean/percentiles. The maximum
+// is the exact MaxUS when set, otherwise the representative value of the
+// highest occupied bucket (within the bucket scheme's ~3% relative error).
+func (hs HistSnapshot) Summary() LatencySummary {
+	var s LatencySummary
+	for _, c := range hs.Counts {
+		s.Count += c
+	}
+	if s.Count == 0 {
+		return s
+	}
+	s.Mean = time.Duration(hs.SumUS/s.Count) * time.Microsecond
+	s.P50 = percentileOf(hs.Counts, s.Count, 50)
+	s.P95 = percentileOf(hs.Counts, s.Count, 95)
+	s.P99 = percentileOf(hs.Counts, s.Count, 99)
+	if hs.MaxUS > 0 {
+		s.Max = time.Duration(hs.MaxUS) * time.Microsecond
+	} else {
+		for i := len(hs.Counts) - 1; i >= 0; i-- {
+			if hs.Counts[i] > 0 {
+				s.Max = time.Duration(bucketMid(i)) * time.Microsecond
+				break
+			}
+		}
+	}
+	return s
+}
+
+// percentileOf walks plain bucket counts for percentile p of n observations.
+func percentileOf(counts []int64, n int64, p float64) time.Duration {
+	target := int64(p / 100 * float64(n))
+	if target >= n {
+		target = n - 1
+	}
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if cum > target {
+			return time.Duration(bucketMid(i)) * time.Microsecond
+		}
+	}
+	return 0
+}
+
+// Histogram reconstructs a live Histogram from a snapshot (fresh, not
+// shared), preserving the Global()/TypeHistogram() accessor contracts now
+// that recording happens in per-worker shards.
+func (hs HistSnapshot) Histogram() *Histogram {
+	h := &Histogram{}
+	var total int64
+	for i, c := range hs.Counts {
+		if c != 0 {
+			h.counts[i].Store(c)
+			total += c
+		}
+	}
+	h.total.Store(total)
+	h.sum.Store(hs.SumUS)
+	h.max.Store(hs.MaxUS)
+	return h
+}
+
+// DefaultLEBoundsUS are the coarse cumulative bucket upper bounds (in
+// microseconds) the /metrics exporter publishes: 250us to 10s, roughly
+// 1-2.5-5 per decade, Prometheus-style.
+var DefaultLEBoundsUS = []int64{
+	250, 500, 1000, 2500, 5000, 10000, 25000, 50000,
+	100000, 250000, 500000, 1000000, 2500000, 5000000, 10000000,
+}
+
+// AggregateLE folds fine-grained bucket counts into cumulative counts at the
+// given upper bounds (microseconds, ascending). The returned slice has
+// len(boundsUS)+1 entries; the last is the +Inf bucket (== total count).
+// Each fine bucket lands in the first bound >= its representative value.
+func AggregateLE(counts []int64, boundsUS []int64) []int64 {
+	out := make([]int64, len(boundsUS)+1)
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		mid := bucketMid(i)
+		slot := len(boundsUS) // +Inf by default
+		for bi, b := range boundsUS {
+			if mid <= b {
+				slot = bi
+				break
+			}
+		}
+		out[slot] += c
+	}
+	for i := 1; i < len(out); i++ {
+		out[i] += out[i-1]
+	}
+	return out
+}
+
 // String renders the summary compactly.
 func (s LatencySummary) String() string {
 	return fmt.Sprintf("n=%d mean=%.2fms p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms",

@@ -173,6 +173,173 @@ func TestWindowGapsAreMaterialized(t *testing.T) {
 	}
 }
 
+func TestWindowLatencySummaries(t *testing.T) {
+	c := NewCollectorWindow([]string{"fast", "slow"}, 20*time.Millisecond)
+	// First window: type 0 at 1..100ms uniform, type 1 at a constant 500ms.
+	for i := 1; i <= 100; i++ {
+		c.Record(0, StatusOK, time.Duration(i)*time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		c.Record(1, StatusOK, 500*time.Millisecond)
+	}
+	time.Sleep(25 * time.Millisecond)
+	// Second window: type 0 at a constant 2ms.
+	for i := 0; i < 50; i++ {
+		c.Record(0, StatusOK, 2*time.Millisecond)
+	}
+	time.Sleep(25 * time.Millisecond)
+	ws := c.Windows()
+	if len(ws) < 2 {
+		t.Fatalf("windows = %d", len(ws))
+	}
+	w0 := ws[0]
+	if w0.TypeLat[0].Count != 100 || w0.TypeLat[1].Count != 10 {
+		t.Fatalf("w0 counts: %+v", w0.TypeLat)
+	}
+	if p50 := w0.TypeLat[0].P50; p50 < 40*time.Millisecond || p50 > 60*time.Millisecond {
+		t.Fatalf("w0 fast p50 = %v", p50)
+	}
+	if p99 := w0.TypeLat[0].P99; p99 < 90*time.Millisecond || p99 > 105*time.Millisecond {
+		t.Fatalf("w0 fast p99 = %v", p99)
+	}
+	if p50 := w0.TypeLat[1].P50; p50 < 480*time.Millisecond || p50 > 520*time.Millisecond {
+		t.Fatalf("w0 slow p50 = %v", p50)
+	}
+	// The all-types digest of the first window covers both populations.
+	if w0.Lat.Count != 110 {
+		t.Fatalf("w0 all count = %d", w0.Lat.Count)
+	}
+	if w0.Lat.Max < 480*time.Millisecond {
+		t.Fatalf("w0 all max = %v", w0.Lat.Max)
+	}
+	// The second window's digest is a pure delta: the slow 500ms samples of
+	// window 0 must not bleed into it.
+	var w1 *Window
+	for i := range ws[1:] {
+		if ws[i+1].TypeLat[0].Count > 0 {
+			w1 = &ws[i+1]
+			break
+		}
+	}
+	if w1 == nil {
+		t.Fatal("no second window with records")
+	}
+	if w1.TypeLat[0].Count != 50 || w1.TypeLat[1].Count != 0 {
+		t.Fatalf("w1 counts: %+v", w1.TypeLat)
+	}
+	if p99 := w1.TypeLat[0].P99; p99 > 4*time.Millisecond {
+		t.Fatalf("w1 p99 bled across windows: %v", p99)
+	}
+}
+
+func TestCumulativeSummaries(t *testing.T) {
+	c := NewCollector([]string{"a", "b"})
+	for i := 1; i <= 100; i++ {
+		c.Record(0, StatusOK, time.Duration(i)*time.Millisecond)
+	}
+	c.Record(1, StatusOK, time.Second)
+	ts := c.TypeSummary(0)
+	if ts.Count != 100 {
+		t.Fatalf("count = %d", ts.Count)
+	}
+	if ts.P95 < 90*time.Millisecond || ts.P95 > 100*time.Millisecond {
+		t.Fatalf("p95 = %v", ts.P95)
+	}
+	if ts.Max < 99*time.Millisecond {
+		t.Fatalf("max = %v", ts.Max)
+	}
+	// The merged Histogram accessor must agree with the summary.
+	hs := c.TypeHistogram(0).Snapshot()
+	if hs.Count != ts.Count || hs.P50 != ts.P50 || hs.P99 != ts.P99 || hs.Max != ts.Max {
+		t.Fatalf("histogram/summary mismatch: %+v vs %+v", hs, ts)
+	}
+	g := c.GlobalSummary()
+	if g.Count != 101 || g.Max < time.Second {
+		t.Fatalf("global = %+v", g)
+	}
+}
+
+func TestSubscribeSignalsOnRotation(t *testing.T) {
+	c := NewCollectorWindow([]string{"t"}, 5*time.Millisecond)
+	ch, cancel := c.Subscribe()
+	defer cancel()
+	c.Record(0, StatusOK, time.Millisecond)
+	time.Sleep(12 * time.Millisecond)
+	c.Record(0, StatusOK, time.Millisecond) // first record of a new window rotates
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("no rotation signal")
+	}
+	// After cancel, rotation must not signal (and must not block).
+	cancel()
+	time.Sleep(12 * time.Millisecond)
+	c.Windows() // force another rotation
+	select {
+	case <-ch:
+		t.Fatal("signal after cancel")
+	default:
+	}
+}
+
+func TestWindowsSince(t *testing.T) {
+	c := NewCollectorWindow([]string{"t"}, 5*time.Millisecond)
+	c.Record(0, StatusOK, time.Millisecond)
+	time.Sleep(22 * time.Millisecond)
+	all := c.Windows()
+	if len(all) < 3 {
+		t.Fatalf("windows = %d", len(all))
+	}
+	// More windows may complete between the two calls, so require at
+	// least the ones Windows() saw rather than an exact count.
+	tail := c.WindowsSince(2)
+	if len(tail) < len(all)-2 || tail[0].Index != 2 {
+		t.Fatalf("since(2): len=%d first=%d (all=%d)", len(tail), tail[0].Index, len(all))
+	}
+	if got := c.WindowsSince(1 << 30); got != nil {
+		t.Fatalf("past-end = %v", got)
+	}
+}
+
+func TestAggregateLE(t *testing.T) {
+	h := &Histogram{}
+	h.Record(100 * time.Microsecond)
+	h.Record(2 * time.Millisecond)
+	h.Record(40 * time.Millisecond)
+	h.Record(30 * time.Second)
+	hs := HistSnapshot{Counts: make([]int64, nBuckets)}
+	for i := range hs.Counts {
+		hs.Counts[i] = h.counts[i].Load()
+	}
+	le := AggregateLE(hs.Counts, DefaultLEBoundsUS)
+	if len(le) != len(DefaultLEBoundsUS)+1 {
+		t.Fatalf("le len = %d", len(le))
+	}
+	for i := 1; i < len(le); i++ {
+		if le[i] < le[i-1] {
+			t.Fatalf("non-monotonic cumulative buckets: %v", le)
+		}
+	}
+	if le[len(le)-1] != 4 {
+		t.Fatalf("+Inf bucket = %d", le[len(le)-1])
+	}
+	// 100us lands at or below the 250us bound.
+	if le[0] != 1 {
+		t.Fatalf("le[250us] = %d", le[0])
+	}
+	// 30s exceeds every finite bound: only +Inf counts it.
+	if le[len(le)-2] != 3 {
+		t.Fatalf("le[10s] = %d", le[len(le)-2])
+	}
+}
+
+func TestHistSnapshotSummaryEmpty(t *testing.T) {
+	var hs HistSnapshot
+	if s := hs.Summary(); s.Count != 0 || s.P99 != 0 {
+		t.Fatalf("empty snapshot summary: %+v", s)
+	}
+}
+
 func TestLatencySummaryString(t *testing.T) {
 	h := &Histogram{}
 	h.Record(time.Millisecond)

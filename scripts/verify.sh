@@ -27,8 +27,11 @@ go run ./cmd/benchlint ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race (short) core/stats/sqldb/wal"
-go test -race -short -count=1 ./internal/core/... ./internal/stats/... ./internal/sqldb/... ./internal/wal/
+echo "==> go test -race (short) core/stats/sqldb/wal/api"
+go test -race -short -count=1 ./internal/core/... ./internal/stats/... ./internal/sqldb/... ./internal/wal/ ./internal/api/
+
+echo "==> observability smoke (/metrics exposition, SSE stream, error envelope)"
+go test -count=1 -run 'TestMetricsEndpoint|TestStreamEndpoint|TestStreamWhilePaused|TestErrorEnvelope' ./internal/api/
 
 echo "==> go test -race storage stress (striped store + online vacuum)"
 go test -race -count=1 -run 'TestStorageStressConcurrent' ./internal/sqldb/txn/
