@@ -22,6 +22,7 @@ func All() []analysis.Rule {
 		BareGoroutine{},
 		MixParity{},
 		PhaseOrder{},
+		StatsWindowLock{},
 	}
 }
 

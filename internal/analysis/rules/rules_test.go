@@ -29,6 +29,7 @@ var fixtureCases = []struct {
 	{rules.BareGoroutine{}, "goroutine_bad.go", "goroutine_good.go", "benchpress/internal/fixture"},
 	{rules.MixParity{}, "mixparity_bad.go", "mixparity_good.go", "benchpress/internal/benchmarks/fixture"},
 	{rules.PhaseOrder{}, "phaseorder_bad.go", "phaseorder_good.go", "benchpress/internal/fixture"},
+	{rules.StatsWindowLock{}, "statswindow_bad.go", "statswindow_good.go", "benchpress/internal/stats/fixture"},
 }
 
 func TestRuleFixtures(t *testing.T) {
@@ -80,6 +81,15 @@ func TestMixParityScopedToBenchmarks(t *testing.T) {
 	diags := runFixtureNoWants(t, rules.MixParity{}, "mixparity_bad.go", "benchpress/internal/fixture")
 	if len(diags) != 0 {
 		t.Errorf("mix-parity fired outside internal/benchmarks/: %v", diags)
+	}
+}
+
+// TestStatsWindowLockScopedToStats: the guarded-field convention only binds
+// inside internal/stats; the same code elsewhere is silent.
+func TestStatsWindowLockScopedToStats(t *testing.T) {
+	diags := runFixtureNoWants(t, rules.StatsWindowLock{}, "statswindow_bad.go", "benchpress/internal/fixture")
+	if len(diags) != 0 {
+		t.Errorf("stats-window-lock fired outside internal/stats/: %v", diags)
 	}
 }
 

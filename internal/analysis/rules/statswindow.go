@@ -1,0 +1,227 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"benchpress/internal/analysis"
+)
+
+// StatsWindowLock enforces the mutex convention of the stats layer: inside a
+// struct, a sync.Mutex/sync.RWMutex field guards every field declared after
+// it up to the next mutex field. Methods of such a struct may only touch a
+// guarded field between a Lock/RLock of the owning mutex and the matching
+// Unlock (a deferred Unlock keeps the region open to the end of the method).
+//
+// The stats collector's window-rotation state (base totals, finalized
+// windows, histogram rotation scratch) is exactly this shape: the record fast
+// path is lock-free, and any stray unlocked read of rotation state is a data
+// race that go vet cannot see. The rule is scoped to internal/stats.
+//
+// Two escapes keep it practical: fields with sync/atomic value types are
+// never considered guarded (they are designed for lock-free access), and a
+// method whose doc comment says "Callers hold <mutex>" is exempt — that is
+// the repository idiom for internal helpers invoked under the lock.
+type StatsWindowLock struct{}
+
+// Name implements analysis.Rule.
+func (StatsWindowLock) Name() string { return "stats-window-lock" }
+
+// Doc implements analysis.Rule.
+func (StatsWindowLock) Doc() string {
+	return "mutex-guarded stats fields must only be accessed inside the owning lock region"
+}
+
+// Check implements analysis.Rule.
+func (StatsWindowLock) Check(pass *analysis.Pass) {
+	rel := pass.RelPath()
+	if rel != "internal/stats" && !strings.HasPrefix(rel, "internal/stats/") {
+		return
+	}
+	info := pass.Pkg.Info
+
+	// guards maps each guarded struct field to its owning mutex field,
+	// following declaration order: a mutex field opens a guard section that
+	// runs until the next mutex field.
+	guards := map[*types.Var]*types.Var{}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			var current *types.Var
+			for _, fld := range st.Fields.List {
+				for _, nm := range fld.Names {
+					v, ok := info.Defs[nm].(*types.Var)
+					if !ok {
+						continue
+					}
+					if isMutexType(v.Type()) {
+						current = v
+						continue
+					}
+					if current != nil && !isAtomicValueType(v.Type()) {
+						guards[v] = current
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(guards) == 0 {
+		return
+	}
+
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil {
+				continue
+			}
+			if exemptMutex := callersHoldExemption(fn.Doc); exemptMutex != "" {
+				continue
+			}
+			checkLockRegions(pass, info, fn, guards)
+		}
+	}
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// callersHoldExemption returns the mutex name from a "Callers hold x.mu"
+// style doc comment, or "" when the method carries no such contract.
+func callersHoldExemption(doc *ast.CommentGroup) string {
+	if doc == nil {
+		return ""
+	}
+	text := doc.Text()
+	idx := strings.Index(text, "Callers hold ")
+	if idx < 0 {
+		return ""
+	}
+	rest := text[idx+len("Callers hold "):]
+	if end := strings.IndexAny(rest, " .\n"); end > 0 {
+		return rest[:end]
+	}
+	return strings.TrimSpace(rest)
+}
+
+// lockEvent is one position-ordered occurrence inside a method body: a lock
+// or unlock of a receiver mutex, or an access to a guarded receiver field.
+type lockEvent struct {
+	pos      token.Pos
+	mutex    *types.Var // owning mutex of the event
+	kind     int        // evLock, evUnlock, evDeferUnlock, evAccess
+	field    *types.Var // guarded field, for evAccess
+	accessed *ast.SelectorExpr
+}
+
+const (
+	evLock = iota
+	evUnlock
+	evDeferUnlock
+	evAccess
+)
+
+// checkLockRegions performs linear lock-region inference over one method:
+// events are ordered by source position, Lock opens the region for its
+// mutex, Unlock closes it, and a deferred Unlock leaves it open for the rest
+// of the body. Guarded-field accesses outside a region are reported. Nodes
+// inside function literals are skipped entirely — closures run at an unknown
+// time and defeat linear inference.
+func checkLockRegions(pass *analysis.Pass, info *types.Info, fn *ast.FuncDecl, guards map[*types.Var]*types.Var) {
+	var events []lockEvent
+	var visit func(n ast.Node, deferred bool)
+	visit = func(root ast.Node, deferred bool) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			if n == nil {
+				return true
+			}
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.DeferStmt:
+				// Analyze the deferred call with defer semantics, then skip
+				// it in this walk.
+				visit(x.Call, true)
+				return false
+			case *ast.CallExpr:
+				if mtx, name := receiverMutexCall(info, x); mtx != nil {
+					switch name {
+					case "Lock", "RLock":
+						events = append(events, lockEvent{pos: x.Pos(), mutex: mtx, kind: evLock})
+					case "Unlock", "RUnlock":
+						kind := evUnlock
+						if deferred {
+							kind = evDeferUnlock
+						}
+						events = append(events, lockEvent{pos: x.Pos(), mutex: mtx, kind: kind})
+					}
+				}
+			case *ast.SelectorExpr:
+				if v := fieldVar(info, x); v != nil {
+					if mtx := guards[v]; mtx != nil {
+						events = append(events, lockEvent{pos: x.Pos(), mutex: mtx, kind: evAccess, field: v, accessed: x})
+					}
+				}
+			}
+			return true
+		})
+	}
+	visit(fn.Body, false)
+
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	held := map[*types.Var]int{}
+	sticky := map[*types.Var]bool{} // deferred unlock seen: region stays open
+	for _, ev := range events {
+		switch ev.kind {
+		case evLock:
+			held[ev.mutex]++
+		case evUnlock:
+			if held[ev.mutex] > 0 {
+				held[ev.mutex]--
+			}
+		case evDeferUnlock:
+			sticky[ev.mutex] = true
+		case evAccess:
+			if held[ev.mutex] == 0 && !sticky[ev.mutex] {
+				pass.Report(ev.accessed.Sel.Pos(),
+					"field %s is guarded by %s; this access is outside the lock region of %s",
+					ev.field.Name(), ev.mutex.Name(), fn.Name.Name)
+			}
+		}
+	}
+}
+
+// receiverMutexCall matches calls of the form x.mu.Lock() where mu is a
+// struct field of mutex type, returning the mutex field and the method name.
+func receiverMutexCall(info *types.Info, call *ast.CallExpr) (*types.Var, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	v := fieldVar(info, inner)
+	if v == nil || !isMutexType(v.Type()) {
+		return nil, ""
+	}
+	return v, sel.Sel.Name
+}

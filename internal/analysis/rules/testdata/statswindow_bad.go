@@ -1,0 +1,40 @@
+// Package fixture exercises the stats-window-lock rule: accesses of
+// mutex-guarded window state outside the owning lock region.
+package fixture
+
+import "sync"
+
+type window struct{ n int }
+
+type collector struct {
+	name    string // before any mutex: unguarded
+	mu      sync.Mutex
+	base    int
+	history []window
+
+	subMu sync.Mutex
+	subs  map[int]chan struct{}
+}
+
+// Snapshot reads rotation state without taking the lock.
+func (c *collector) Snapshot() int {
+	return c.base + len(c.history) // want "field base is guarded by mu" // want "field history is guarded by mu"
+}
+
+// Rotate takes the lock but keeps touching state after releasing it.
+func (c *collector) Rotate() {
+	c.mu.Lock()
+	c.base++
+	c.mu.Unlock()
+	c.history = append(c.history, window{n: c.base}) // want "field history is guarded by mu" // want "field base is guarded by mu"
+}
+
+// WrongMutex holds subMu while touching mu-guarded state.
+func (c *collector) WrongMutex() {
+	c.subMu.Lock()
+	defer c.subMu.Unlock()
+	c.base = 0 // want "field base is guarded by mu"
+	for s := range c.subs {
+		_ = s
+	}
+}

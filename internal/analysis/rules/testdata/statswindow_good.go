@@ -1,0 +1,61 @@
+// Package fixture is the clean counterpart for the stats-window-lock rule:
+// every guarded access happens inside the owning lock region.
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type window struct{ n int }
+
+type collector struct {
+	name string // before any mutex: unguarded
+
+	mu      sync.Mutex
+	liveIdx atomic.Int64 // atomic value types are lock-free by design
+	base    int
+	history []window
+
+	subMu sync.Mutex
+	subs  map[int]chan struct{}
+}
+
+// newCollector shows constructors are out of scope: plain functions own the
+// struct exclusively before it escapes.
+func newCollector() *collector {
+	c := &collector{subs: map[int]chan struct{}{}}
+	c.base = 1
+	c.history = nil
+	return c
+}
+
+// Snapshot reads rotation state under a deferred unlock.
+func (c *collector) Snapshot() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.base + len(c.history)
+}
+
+// Rotate uses an explicit unlock and only touches guarded state before it.
+func (c *collector) Rotate() {
+	c.liveIdx.Add(1)
+	c.mu.Lock()
+	c.base++
+	c.history = append(c.history, window{n: c.base})
+	c.mu.Unlock()
+	_ = c.name
+}
+
+// advance is an internal helper invoked under the lock. Callers hold c.mu.
+func (c *collector) advance(idx int) {
+	c.base = idx
+	c.history = c.history[:0]
+}
+
+// Subscribe guards the subscriber map with its own mutex.
+func (c *collector) Subscribe(id int, ch chan struct{}) {
+	c.subMu.Lock()
+	defer c.subMu.Unlock()
+	c.subs[id] = ch
+}

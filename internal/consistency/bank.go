@@ -1,0 +1,215 @@
+package consistency
+
+import (
+	"fmt"
+	"math/rand"
+
+	"benchpress/internal/dbdriver"
+)
+
+// BankConfig parameterizes the write-skew differential workload.
+type BankConfig struct {
+	// Personality is the dbdriver target.
+	Personality string
+	// Seed drives the deterministic stepper.
+	Seed int64
+	// Pairs is the number of account pairs; pair p owns keys 2p and 2p+1.
+	Pairs int64
+	// Slots is the number of concurrently open transactions.
+	Slots int
+	// Txns is the number of withdrawal attempts to finish.
+	Txns int
+}
+
+func (c BankConfig) withDefaults() BankConfig {
+	if c.Pairs == 0 {
+		c.Pairs = 2
+	}
+	if c.Slots == 0 {
+		c.Slots = 4
+	}
+	if c.Txns == 0 {
+		c.Txns = 200
+	}
+	return c
+}
+
+// BankResult summarizes one bank run.
+type BankResult struct {
+	// NegativePairs counts account pairs whose final combined balance is
+	// negative - each one is a materialized write skew.
+	NegativePairs int
+	// Committed and Aborted count withdrawal transactions by outcome.
+	Committed, Aborted int
+	// Busy counts begin attempts rejected in nowait mode.
+	Busy int
+}
+
+// RunBank runs the classic write-skew bank workload: each account pair (a, b)
+// starts at (100, 100) under the invariant a+b >= 0, and every withdrawal
+// transaction reads both balances with plain (non-locking) reads, then - if
+// the combined balance covers it - withdraws the entire combined balance from
+// one side. Serializable engines (goserial, golock) must keep every pair
+// non-negative. Snapshot isolation permits two overlapping withdrawals that
+// each saw the untouched pair and drained opposite sides, driving the pair
+// negative: the write-skew anomaly the harness asserts is *present* on
+// gomvcc under contention, making the checker distinction observable rather
+// than vacuous.
+func RunBank(cfg BankConfig) (*BankResult, error) {
+	cfg = cfg.withDefaults()
+	db, err := openDB(Config{Personality: cfg.Personality})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	db.TxnManager().SetNoWait(true)
+
+	setup := db.Connect()
+	if _, err := setup.Exec("CREATE TABLE kv (k BIGINT NOT NULL, v BIGINT, PRIMARY KEY (k))"); err != nil {
+		return nil, fmt.Errorf("consistency: bank schema: %w", err)
+	}
+	for k := int64(0); k < 2*cfg.Pairs; k++ {
+		if _, err := setup.Exec("INSERT INTO kv (k, v) VALUES (?, ?)", k, int64(100)); err != nil {
+			return nil, fmt.Errorf("consistency: bank populate: %w", err)
+		}
+	}
+	_ = setup.Close()
+
+	type bankSlot struct {
+		conn       *dbdriver.Conn
+		active     bool
+		stage      int // 0: read a; 1: read b; 2: withdraw or commit
+		pair, side int64
+		balA, balB int64
+	}
+	slots := make([]*bankSlot, cfg.Slots)
+	for i := range slots {
+		slots[i] = &bankSlot{conn: db.Connect()}
+	}
+	defer func() {
+		for _, s := range slots {
+			_ = s.conn.Close()
+		}
+	}()
+
+	res := &BankResult{}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	abortSlot := func(s *bankSlot) error {
+		if err := s.conn.Rollback(); err != nil {
+			return err
+		}
+		s.active = false
+		res.Aborted++
+		return nil
+	}
+	finished := 0
+	for finished < cfg.Txns {
+		s := slots[rng.Intn(cfg.Slots)]
+		if !s.active {
+			if err := s.conn.Begin(); err != nil {
+				if dbdriver.IsRetryable(err) {
+					res.Busy++
+					continue
+				}
+				return nil, err
+			}
+			s.active = true
+			s.stage = 0
+			s.pair = rng.Int63n(cfg.Pairs)
+			s.side = rng.Int63n(2)
+			continue
+		}
+		step := func(key int64) (int64, error) {
+			row, err := s.conn.QueryRow("SELECT v FROM kv WHERE k = ?", key)
+			if err != nil {
+				return 0, err
+			}
+			if row == nil {
+				return 0, fmt.Errorf("consistency: bank account %d missing", key)
+			}
+			return row[0].Int(), nil
+		}
+		switch s.stage {
+		case 0:
+			bal, err := step(2 * s.pair)
+			if err != nil {
+				if !dbdriver.IsRetryable(err) {
+					return nil, err
+				}
+				if err := abortSlot(s); err != nil {
+					return nil, err
+				}
+				finished++
+				continue
+			}
+			s.balA, s.stage = bal, 1
+		case 1:
+			bal, err := step(2*s.pair + 1)
+			if err != nil {
+				if !dbdriver.IsRetryable(err) {
+					return nil, err
+				}
+				if err := abortSlot(s); err != nil {
+					return nil, err
+				}
+				finished++
+				continue
+			}
+			s.balB, s.stage = bal, 2
+		default:
+			amount := s.balA + s.balB
+			commitErr := error(nil)
+			if amount > 0 {
+				// Withdraw the full combined balance from one side: the
+				// invariant a+b >= 0 holds iff no overlapping withdrawal
+				// also saw the old balances.
+				key, old := 2*s.pair, s.balA
+				if s.side == 1 {
+					key, old = 2*s.pair+1, s.balB
+				}
+				_, err := s.conn.Exec("UPDATE kv SET v = ? WHERE k = ?", old-amount, key)
+				commitErr = err
+			}
+			if commitErr != nil {
+				if !dbdriver.IsRetryable(commitErr) {
+					return nil, commitErr
+				}
+				if err := abortSlot(s); err != nil {
+					return nil, err
+				}
+				finished++
+				continue
+			}
+			if err := s.conn.Commit(); err != nil {
+				return nil, fmt.Errorf("consistency: bank commit: %w", err)
+			}
+			s.active = false
+			res.Committed++
+			finished++
+		}
+	}
+	for _, s := range slots {
+		if s.active {
+			if err := abortSlot(s); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	check := db.Connect()
+	defer func() { _ = check.Close() }()
+	for p := int64(0); p < cfg.Pairs; p++ {
+		a, err := check.QueryRow("SELECT v FROM kv WHERE k = ?", 2*p)
+		if err != nil {
+			return nil, err
+		}
+		b, err := check.QueryRow("SELECT v FROM kv WHERE k = ?", 2*p+1)
+		if err != nil {
+			return nil, err
+		}
+		if a[0].Int()+b[0].Int() < 0 {
+			res.NegativePairs++
+		}
+	}
+	return res, nil
+}

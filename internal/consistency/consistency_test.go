@@ -1,0 +1,276 @@
+package consistency
+
+import (
+	"flag"
+	"os"
+	"strconv"
+	"testing"
+
+	"benchpress/internal/sqldb/txn"
+)
+
+// long scales the harness up for soak runs: go test -consistency.long.
+var long = flag.Bool("consistency.long", false, "run the consistency harness with larger workloads")
+
+// harnessSeed returns the fixed gate seed, overridable with CONSISTENCY_SEED
+// for exploratory runs.
+func harnessSeed(t *testing.T) int64 {
+	t.Helper()
+	if s := os.Getenv("CONSISTENCY_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("CONSISTENCY_SEED=%q: %v", s, err)
+		}
+		t.Logf("using CONSISTENCY_SEED=%d", v)
+		return v
+	}
+	return 20260805
+}
+
+// seedOverridden reports whether the run uses a non-default seed, which
+// relaxes the anomaly-presence assertions (they are tuned for the gate seed).
+func seedOverridden() bool { return os.Getenv("CONSISTENCY_SEED") != "" }
+
+// gateConfig is the standard conformance shape for one personality.
+func gateConfig(t *testing.T, personality string) Config {
+	cfg := Config{
+		Personality: personality,
+		Seed:        harnessSeed(t),
+		BaseKeys:    12,
+		ChurnKeys:   8,
+	}
+	if personality == "golock" {
+		// The 2PL engine has no next-key locks; operations on absent keys
+		// (inserts/deletes) open phantom windows outside its serializable
+		// envelope, so its conformance workload sticks to present keys.
+		cfg.ChurnKeys = 0
+	}
+	if *long {
+		cfg.Txns = 3000
+	}
+	return cfg
+}
+
+// TestConformanceSerializable replays goserial and golock histories against
+// the single-threaded oracle: commit-order replay must reproduce every
+// observation exactly.
+func TestConformanceSerializable(t *testing.T) {
+	for _, personality := range []string{"goserial", "golock"} {
+		t.Run(personality, func(t *testing.T) {
+			h, err := Run(gateConfig(t, personality))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Log(h.Stats())
+			if r := CheckSerializable(h); !r.Empty() {
+				t.Fatal(r.String())
+			}
+		})
+	}
+}
+
+// TestConformanceSnapshotIsolation checks the gomvcc history against the SI
+// anomaly taxonomy: snapshot reads/scans, G0/lost updates, G1a, G1b.
+func TestConformanceSnapshotIsolation(t *testing.T) {
+	h, err := Run(gateConfig(t, "gomvcc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(h.Stats())
+	if r := CheckSnapshotIsolation(h); !r.Empty() {
+		t.Fatal(r.String())
+	}
+}
+
+// TestHarnessContention guards the harness against becoming vacuous: the
+// gate workload must actually produce concurrency conflicts on each
+// personality, otherwise the checkers verify nothing interesting.
+func TestHarnessContention(t *testing.T) {
+	if seedOverridden() {
+		t.Skip("contention thresholds are tuned for the gate seed")
+	}
+	aborted := func(h *History) int {
+		n := 0
+		for i := range h.Txns {
+			if !h.Txns[i].Committed() {
+				n++
+			}
+		}
+		return n
+	}
+	hSerial, err := Run(gateConfig(t, "goserial"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hSerial.BusyBegins == 0 {
+		t.Error("goserial run saw no busy begins; the stepper is not creating lock pressure")
+	}
+	hLock, err := Run(gateConfig(t, "golock"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aborted(hLock) == 0 {
+		t.Error("golock run saw no aborts; no lock conflicts were generated")
+	}
+	hMVCC, err := Run(gateConfig(t, "gomvcc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aborted(hMVCC) == 0 {
+		t.Error("gomvcc run saw no aborts; no write-write conflicts were generated")
+	}
+}
+
+// TestDeterminism runs the stepper twice per personality with the same seed
+// and requires bit-identical history fingerprints: the property the fixed
+// kill-point and regression seeds rely on.
+func TestDeterminism(t *testing.T) {
+	for _, personality := range []string{"goserial", "golock", "gomvcc"} {
+		t.Run(personality, func(t *testing.T) {
+			cfg := gateConfig(t, personality)
+			h1, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h2, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f1, f2 := h1.Fingerprint(), h2.Fingerprint()
+			if f1 != f2 {
+				t.Fatalf("same seed produced different histories: %#x vs %#x", f1, f2)
+			}
+		})
+	}
+}
+
+// TestConcurrentConformance is the stress arm: real goroutine concurrency,
+// normal blocking engine mode, same checkers. Run under -race this doubles
+// as the engine's isolation race detector.
+func TestConcurrentConformance(t *testing.T) {
+	for _, personality := range []string{"goserial", "golock", "gomvcc"} {
+		t.Run(personality, func(t *testing.T) {
+			cfg := gateConfig(t, personality)
+			cfg.Txns = 400
+			if *long {
+				cfg.Txns = 4000
+			}
+			h, err := RunConcurrent(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Log(h.Stats())
+			if personality == "gomvcc" {
+				if r := CheckSnapshotIsolation(h); !r.Empty() {
+					t.Fatal(r.String())
+				}
+			} else {
+				if r := CheckSerializable(h); !r.Empty() {
+					t.Fatal(r.String())
+				}
+			}
+		})
+	}
+}
+
+// TestMutationSelfValidation proves the harness detects the bug classes it
+// claims to: flipping one engine invariant off must make the corresponding
+// checker report violations. A harness that stays green here would be
+// vacuous.
+func TestMutationSelfValidation(t *testing.T) {
+	cases := []struct {
+		name        string
+		personality string
+		mutation    txn.Mutation
+		si          bool
+		class       string
+	}{
+		{
+			name:        "mvcc-skip-first-updater-wins",
+			personality: "gomvcc",
+			mutation:    txn.MutateSkipFirstUpdaterWins,
+			si:          true,
+			class:       "G0-lost-update",
+		},
+		{
+			name:        "locking-skip-read-locks",
+			personality: "golock",
+			mutation:    txn.MutateSkipReadLocks,
+			class:       "replay-read",
+		},
+		{
+			name:        "serial-shared-writers",
+			personality: "goserial",
+			mutation:    txn.MutateSharedSerialWriters,
+			class:       "replay-read",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := gateConfig(t, tc.personality)
+			cfg.Mutation = tc.mutation
+			// Concentrate contention so the injected bug manifests.
+			cfg.BaseKeys = 4
+			cfg.ChurnKeys = 0
+			h, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var r *Report
+			if tc.si {
+				r = CheckSnapshotIsolation(h)
+			} else {
+				r = CheckSerializable(h)
+			}
+			if r.Empty() {
+				t.Fatalf("mutation %v produced a clean report; the checker is blind to this bug class", tc.mutation)
+			}
+			if r.Count(tc.class) == 0 {
+				t.Fatalf("mutation %v produced no %q violations; got:\n%s", tc.mutation, tc.class, r.String())
+			}
+			t.Logf("detected %d violations (%d of class %s)", len(r.Violations), r.Count(tc.class), tc.class)
+		})
+	}
+}
+
+// TestBankWriteSkew is the differential anomaly assertion: the same bank
+// workload must stay invariant-clean on the serializable personalities and
+// materialize write skew (a negative account pair) on gomvcc under
+// contention.
+func TestBankWriteSkew(t *testing.T) {
+	seed := harnessSeed(t)
+	for _, personality := range []string{"goserial", "golock"} {
+		t.Run(personality, func(t *testing.T) {
+			for i := int64(0); i < 3; i++ {
+				res, err := RunBank(BankConfig{Personality: personality, Seed: seed + i})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.NegativePairs != 0 {
+					t.Fatalf("seed %d: serializable personality produced %d negative pairs (committed=%d aborted=%d)",
+						seed+i, res.NegativePairs, res.Committed, res.Aborted)
+				}
+			}
+		})
+	}
+	t.Run("gomvcc", func(t *testing.T) {
+		if seedOverridden() {
+			t.Skip("write-skew presence is asserted for the gate seed only")
+		}
+		found := 0
+		for i := int64(0); i < 10; i++ {
+			res, err := RunBank(BankConfig{Personality: "gomvcc", Seed: seed + i})
+			if err != nil {
+				t.Fatal(err)
+			}
+			found += res.NegativePairs
+			if found > 0 {
+				t.Logf("write skew materialized at seed %d (%d negative pairs)", seed+i, res.NegativePairs)
+				break
+			}
+		}
+		if found == 0 {
+			t.Fatal("no write skew across 10 seeds on gomvcc; SI write-skew permissiveness is not being exercised")
+		}
+	})
+}

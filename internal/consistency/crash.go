@@ -1,0 +1,425 @@
+package consistency
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"benchpress/internal/sqldb"
+	"benchpress/internal/sqldb/txn"
+	"benchpress/internal/wal"
+)
+
+// ErrKilled is the persistent error a KillWriter returns once its byte
+// budget is exhausted - the emulation of a device that died mid-write.
+var ErrKilled = errors.New("consistency: simulated crash: log device killed")
+
+// KillWriter is an io.Writer that accepts a fixed byte budget, then fails
+// forever: the write that crosses the budget is truncated (a torn tail) and
+// every later write is rejected outright. The accepted bytes are the
+// "surviving disk image" that recovery replays.
+type KillWriter struct {
+	mu     sync.Mutex
+	budget int64 // remaining bytes; negative means unlimited
+	killed bool
+	buf    []byte
+}
+
+// NewKillWriter returns a writer that accepts budget bytes before dying.
+// A negative budget never dies.
+func NewKillWriter(budget int64) *KillWriter {
+	return &KillWriter{budget: budget}
+}
+
+// Write implements io.Writer with the kill semantics above.
+func (w *KillWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.killed {
+		return 0, ErrKilled
+	}
+	if w.budget < 0 || int64(len(p)) <= w.budget {
+		w.buf = append(w.buf, p...)
+		if w.budget >= 0 {
+			w.budget -= int64(len(p))
+		}
+		return len(p), nil
+	}
+	n := int(w.budget)
+	w.buf = append(w.buf, p[:n]...)
+	w.budget = 0
+	w.killed = true
+	return n, ErrKilled
+}
+
+// Bytes returns a copy of the surviving disk image.
+func (w *KillWriter) Bytes() []byte {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]byte(nil), w.buf...)
+}
+
+// Killed reports whether the budget was exhausted.
+func (w *KillWriter) Killed() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.killed
+}
+
+// WalOp is one decoded logical write from a commit record.
+type WalOp struct {
+	// Kind is the txn.WriteKind of the write.
+	Kind byte
+	// K and V are the kv-row key and value (V is the pre-image for deletes).
+	K, V int64
+}
+
+// LoggedTxn is one decoded commit record.
+type LoggedTxn struct {
+	// ID is the committing transaction's engine id.
+	ID uint64
+	// Seq is the WAL sequence number of the record.
+	Seq uint64
+	// Ops are the transaction's logical writes in program order.
+	Ops []WalOp
+}
+
+// EncodeCommitPayload serializes a committing transaction's id and write set
+// for the kv table: 8-byte txn id, then per write a kind byte plus two
+// 8-byte little-endian integers (key, value). This is the CommitPayload hook
+// the crash harness installs on the engine.
+func EncodeCommitPayload(t *txn.Txn) []byte {
+	ws := t.WriteSet()
+	buf := make([]byte, 8, 8+len(ws)*17)
+	binary.LittleEndian.PutUint64(buf, t.ID())
+	for _, w := range ws {
+		var rec [17]byte
+		rec[0] = byte(w.Kind)
+		binary.LittleEndian.PutUint64(rec[1:], uint64(w.Data[0].Int()))
+		binary.LittleEndian.PutUint64(rec[9:], uint64(w.Data[1].Int()))
+		buf = append(buf, rec[:]...)
+	}
+	return buf
+}
+
+// DecodeLog parses a surviving disk image into commit records, tolerating a
+// torn tail (the expected result of a mid-write crash). Any other framing
+// damage is a hard error: checksummed records that parsed must decode.
+func DecodeLog(image []byte) ([]LoggedTxn, error) {
+	recs, err := wal.ReadRecords(bytes.NewReader(image))
+	if err != nil && !errors.Is(err, wal.ErrTorn) {
+		return nil, err
+	}
+	out := make([]LoggedTxn, 0, len(recs))
+	for _, rec := range recs {
+		p := rec.Payload
+		if len(p) < 8 || (len(p)-8)%17 != 0 {
+			return nil, fmt.Errorf("consistency: malformed commit payload (%d bytes) at seq %d", len(p), rec.Seq)
+		}
+		lt := LoggedTxn{ID: binary.LittleEndian.Uint64(p), Seq: rec.Seq}
+		for off := 8; off < len(p); off += 17 {
+			lt.Ops = append(lt.Ops, WalOp{
+				Kind: p[off],
+				K:    int64(binary.LittleEndian.Uint64(p[off+1:])),
+				V:    int64(binary.LittleEndian.Uint64(p[off+9:])),
+			})
+		}
+		out = append(out, lt)
+	}
+	return out, nil
+}
+
+// CrashConfig parameterizes one crash-torture run.
+type CrashConfig struct {
+	// Mode selects the engine personality's concurrency control.
+	Mode txn.Mode
+	// Policy is the WAL sync policy under test. SyncNone gives write-through
+	// appends (deterministic kill points); SyncGroup exercises group commit
+	// failure propagation.
+	Policy wal.SyncPolicy
+	// GroupInterval is the group-commit flush interval for SyncGroup.
+	GroupInterval time.Duration
+	// Seed drives the workload.
+	Seed int64
+	// Txns is the number of transactions to attempt.
+	Txns int
+	// Workers is the number of concurrent sessions (1 = sequential,
+	// deterministic; >1 exercises multi-record group-commit generations on
+	// disjoint key ranges).
+	Workers int
+	// KillBudget is the log device's byte budget (negative = never dies).
+	KillBudget int64
+}
+
+func (c CrashConfig) withDefaults() CrashConfig {
+	if c.Txns == 0 {
+		c.Txns = 120
+	}
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	if c.GroupInterval == 0 {
+		c.GroupInterval = 200 * time.Microsecond
+	}
+	return c
+}
+
+// CommitAttempt is one transaction the crash workload tried to commit.
+type CommitAttempt struct {
+	// ID is the engine transaction id.
+	ID uint64
+	// Ops is the expected logical write set, mirroring the WAL payload.
+	Ops []WalOp
+	// Acked reports that Commit returned nil: the durability contract says
+	// the transaction must survive recovery.
+	Acked bool
+	// Uncertain reports that Commit returned a durability error: the
+	// transaction aborted in memory and may or may not be on disk (the
+	// classic commit-uncertainty window).
+	Uncertain bool
+	// RolledBack reports a voluntary rollback: the transaction must never
+	// appear in the log.
+	RolledBack bool
+}
+
+// CrashResult is the outcome of one crash-torture run.
+type CrashResult struct {
+	Attempts []CommitAttempt
+	// Image is the surviving disk image.
+	Image []byte
+	// Killed reports whether the budget ran out during the run.
+	Killed bool
+}
+
+// RunCrash drives a seeded single-table workload into an engine whose WAL
+// sink is a KillWriter, recording for every transaction whether its commit
+// was acknowledged, rejected (uncertain), or voluntarily rolled back,
+// together with the exact write set that should have been logged.
+func RunCrash(cfg CrashConfig) (*CrashResult, error) {
+	cfg = cfg.withDefaults()
+	kw := NewKillWriter(cfg.KillBudget)
+	eng := sqldb.Open(sqldb.Config{
+		Name:                "crash-torture",
+		Mode:                cfg.Mode,
+		WALPolicy:           cfg.Policy,
+		GroupCommitInterval: cfg.GroupInterval,
+		WALSink:             kw,
+		CommitPayload:       EncodeCommitPayload,
+	})
+	defer eng.Close()
+
+	setup := eng.Session()
+	if _, err := setup.Exec("CREATE TABLE kv (k BIGINT NOT NULL, v BIGINT, PRIMARY KEY (k))"); err != nil {
+		return nil, fmt.Errorf("consistency: crash schema: %w", err)
+	}
+
+	res := &CrashResult{}
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+	)
+	perWorker := cfg.Txns / cfg.Workers
+	if perWorker == 0 {
+		perWorker = 1
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			// Disjoint key range per worker: the torture targets the
+			// durability path, so the workload is kept conflict-free.
+			base := int64(worker) * 1000
+			attempts, err := crashWorker(eng, cfg.Seed+int64(worker)*104729, base, perWorker)
+			mu.Lock()
+			res.Attempts = append(res.Attempts, attempts...)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res.Image = kw.Bytes()
+	res.Killed = kw.Killed()
+	return res, nil
+}
+
+// crashWorker runs one session's share of the torture workload over its own
+// key range, tracking live keys so every statement succeeds and the expected
+// write set is exactly the statement sequence.
+func crashWorker(eng *sqldb.Engine, seed, base int64, txns int) ([]CommitAttempt, error) {
+	sess := eng.Session()
+	rng := rand.New(rand.NewSource(seed))
+	live := map[int64]bool{}
+	var attempts []CommitAttempt
+	for i := 0; i < txns; i++ {
+		if err := sess.Begin(); err != nil {
+			return attempts, fmt.Errorf("consistency: crash begin: %w", err)
+		}
+		id := sess.TxnInfo().ID
+		att := CommitAttempt{ID: id}
+		nops := 1 + rng.Intn(4)
+		touched := map[int64]bool{}
+		for j := 0; j < nops; j++ {
+			key := base + rng.Int63n(20)
+			// One op per key per transaction: the engine's uniqueness check
+			// is live-or-pending, so deleting and re-inserting a key inside
+			// one transaction is rejected, and the torture targets the
+			// durability path, not intra-txn churn.
+			for touched[key] {
+				key = base + rng.Int63n(20)
+			}
+			touched[key] = true
+			var (
+				err error
+				op  WalOp
+			)
+			switch {
+			case !live[key]:
+				op = WalOp{Kind: byte(txn.WriteInsert), K: key, V: MakeTag(id, j)}
+				_, err = sess.Exec("INSERT INTO kv (k, v) VALUES (?, ?)", key, op.V)
+				live[key] = true
+			case rng.Intn(100) < 70:
+				op = WalOp{Kind: byte(txn.WriteUpdate), K: key, V: MakeTag(id, j)}
+				_, err = sess.Exec("UPDATE kv SET v = ? WHERE k = ?", op.V, key)
+			default:
+				// The payload logs the pre-image for deletes; recovery only
+				// checks the key, so the harness records V=0 and the
+				// comparison masks delete values.
+				op = WalOp{Kind: byte(txn.WriteDelete), K: key}
+				_, err = sess.Exec("DELETE FROM kv WHERE k = ?", key)
+				live[key] = false
+			}
+			if err != nil {
+				return attempts, fmt.Errorf("consistency: crash op: %w", err)
+			}
+			att.Ops = append(att.Ops, op)
+		}
+		if rng.Intn(100) < 10 {
+			if err := sess.Rollback(); err != nil {
+				return attempts, err
+			}
+			att.RolledBack = true
+			// Roll live-key tracking back too.
+			for _, op := range att.Ops {
+				switch txn.WriteKind(op.Kind) {
+				case txn.WriteInsert:
+					live[op.K] = false
+				case txn.WriteDelete:
+					live[op.K] = true
+				}
+			}
+			attempts = append(attempts, att)
+			continue
+		}
+		err := sess.Commit()
+		if err == nil {
+			att.Acked = true
+		} else {
+			att.Uncertain = true
+			// The engine aborted the transaction; undo key tracking.
+			for _, op := range att.Ops {
+				switch txn.WriteKind(op.Kind) {
+				case txn.WriteInsert:
+					live[op.K] = false
+				case txn.WriteDelete:
+					live[op.K] = true
+				}
+			}
+		}
+		attempts = append(attempts, att)
+	}
+	return attempts, nil
+}
+
+// VerifyCrash checks the durability contract of a finished run against its
+// surviving disk image:
+//
+//   - every acknowledged commit is fully present in the replayed log with
+//     exactly the write set the workload performed (payload integrity);
+//   - no voluntarily rolled-back transaction appears;
+//   - every replayed record belongs to an acknowledged or uncertain commit
+//     (uncertain = the commit returned a durability error; group commit may
+//     have flushed part of that generation before the device died).
+//
+// Under SyncNone the uncertainty window is empty by construction (a record
+// is written in one append; a partial write is torn and dropped), so
+// replayed == acked exactly.
+func VerifyCrash(res *CrashResult, exactUncertainty bool) error {
+	logged, err := DecodeLog(res.Image)
+	if err != nil {
+		return err
+	}
+	byID := map[uint64]*LoggedTxn{}
+	lastSeq := uint64(0)
+	for i := range logged {
+		lt := &logged[i]
+		if lt.Seq <= lastSeq {
+			return fmt.Errorf("consistency: log sequence not increasing at txn %d", lt.ID)
+		}
+		lastSeq = lt.Seq
+		if byID[lt.ID] != nil {
+			return fmt.Errorf("consistency: txn %d logged twice", lt.ID)
+		}
+		byID[lt.ID] = lt
+	}
+	status := map[uint64]*CommitAttempt{}
+	for i := range res.Attempts {
+		att := &res.Attempts[i]
+		status[att.ID] = att
+		lt := byID[att.ID]
+		switch {
+		case att.Acked:
+			if lt == nil {
+				return fmt.Errorf("consistency: acked txn %d missing from replayed log", att.ID)
+			}
+			if err := sameOps(att.Ops, lt.Ops); err != nil {
+				return fmt.Errorf("consistency: acked txn %d payload mismatch: %w", att.ID, err)
+			}
+		case att.RolledBack:
+			if lt != nil {
+				return fmt.Errorf("consistency: rolled-back txn %d appears in replayed log", att.ID)
+			}
+		case att.Uncertain && exactUncertainty:
+			if lt != nil {
+				return fmt.Errorf("consistency: unacked txn %d fully present in write-through log", att.ID)
+			}
+		}
+	}
+	for id := range byID {
+		att := status[id]
+		if att == nil {
+			return fmt.Errorf("consistency: replayed log contains unknown txn %d", id)
+		}
+		if !att.Acked && !att.Uncertain {
+			return fmt.Errorf("consistency: replayed log contains rolled-back txn %d", id)
+		}
+	}
+	return nil
+}
+
+// sameOps compares an expected write set with a decoded one, masking values
+// for deletes (the log records the pre-image, the workload does not track it).
+func sameOps(want, got []WalOp) error {
+	if len(want) != len(got) {
+		return fmt.Errorf("op count %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if w.Kind != g.Kind || w.K != g.K {
+			return fmt.Errorf("op %d: got kind=%d k=%d, want kind=%d k=%d", i, g.Kind, g.K, w.Kind, w.K)
+		}
+		if txn.WriteKind(w.Kind) != txn.WriteDelete && w.V != g.V {
+			return fmt.Errorf("op %d: got v=%d, want v=%d", i, g.V, w.V)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package consistency
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"benchpress/internal/sqldb/txn"
+	"benchpress/internal/wal"
+)
+
+// crashBase is the baseline crash workload: write-through WAL, one session,
+// no kill - used to measure the full log size for the kill-point sweep.
+func crashBase(t *testing.T, seed int64) CrashConfig {
+	t.Helper()
+	cfg := CrashConfig{
+		Mode:       txn.MVCC,
+		Policy:     wal.SyncNone,
+		Seed:       seed,
+		KillBudget: -1,
+	}
+	if *long {
+		cfg.Txns = 1200
+	}
+	return cfg
+}
+
+// TestKillWriter exercises the device-death contract directly.
+func TestKillWriter(t *testing.T) {
+	w := NewKillWriter(10)
+	if n, err := w.Write([]byte("hello")); n != 5 || err != nil {
+		t.Fatalf("first write: n=%d err=%v", n, err)
+	}
+	if n, err := w.Write([]byte("worldwide")); n != 5 || err != ErrKilled {
+		t.Fatalf("budget-crossing write: n=%d err=%v, want 5, ErrKilled", n, err)
+	}
+	if n, err := w.Write([]byte("x")); n != 0 || err != ErrKilled {
+		t.Fatalf("post-kill write: n=%d err=%v", n, err)
+	}
+	if got := string(w.Bytes()); got != "helloworld" {
+		t.Fatalf("surviving image %q, want %q", got, "helloworld")
+	}
+	if !w.Killed() {
+		t.Fatal("writer not marked killed")
+	}
+}
+
+// TestCrashRecoveryClean verifies the no-crash baseline: every acknowledged
+// commit replays exactly, rolled-back transactions never appear.
+func TestCrashRecoveryClean(t *testing.T) {
+	res, err := RunCrash(crashBase(t, harnessSeed(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Killed {
+		t.Fatal("unlimited budget run reported a kill")
+	}
+	var acked, rolledBack int
+	for i := range res.Attempts {
+		if res.Attempts[i].Acked {
+			acked++
+		}
+		if res.Attempts[i].RolledBack {
+			rolledBack++
+		}
+		if res.Attempts[i].Uncertain {
+			t.Fatalf("txn %d uncertain without a crash", res.Attempts[i].ID)
+		}
+	}
+	if acked == 0 || rolledBack == 0 {
+		t.Fatalf("workload shape degenerate: acked=%d rolledBack=%d", acked, rolledBack)
+	}
+	if err := VerifyCrash(res, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashKillPointSweep is the torture core: the same seeded workload runs
+// against log devices that die at byte budgets swept across the whole log,
+// including cuts inside record frames. At every kill point, each
+// acknowledged commit must survive replay byte-exactly and nothing
+// rolled-back or unacknowledged may surface (write-through appends make the
+// uncertainty window empty).
+func TestCrashKillPointSweep(t *testing.T) {
+	seed := harnessSeed(t)
+	base, err := RunCrash(crashBase(t, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(len(base.Image))
+	if total == 0 {
+		t.Fatal("baseline produced an empty log")
+	}
+	points := 14
+	if *long {
+		points = 60
+	}
+	for i := 0; i <= points; i++ {
+		budget := total * int64(i) / int64(points)
+		// Probe both the aligned cut and one byte short of it, so both
+		// record-boundary and mid-frame tears are covered.
+		for _, b := range []int64{budget, budget - 3} {
+			if b < 0 {
+				continue
+			}
+			cfg := crashBase(t, seed)
+			cfg.KillBudget = b
+			res, err := RunCrash(cfg)
+			if err != nil {
+				t.Fatalf("budget %d: %v", b, err)
+			}
+			if err := VerifyCrash(res, true); err != nil {
+				t.Fatalf("budget %d: %v", b, err)
+			}
+		}
+	}
+}
+
+// TestCrashDeterminism pins the property the sweep relies on: the same seed
+// and budget reproduce the same surviving disk image bit-for-bit.
+func TestCrashDeterminism(t *testing.T) {
+	cfg := crashBase(t, harnessSeed(t))
+	cfg.KillBudget = 777
+	a, err := RunCrash(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCrash(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Image, b.Image) {
+		t.Fatalf("same seed+budget produced different disk images (%d vs %d bytes)", len(a.Image), len(b.Image))
+	}
+}
+
+// TestCrashGroupCommit tortures the group-commit path with concurrent
+// sessions: a died device must fail every waiter of the affected generation
+// (no acknowledged-but-lost commits), while complete records from the
+// partially flushed generation are attributed to the uncertainty window.
+func TestCrashGroupCommit(t *testing.T) {
+	seed := harnessSeed(t)
+	base, err := RunCrash(CrashConfig{
+		Mode: txn.MVCC, Policy: wal.SyncGroup, GroupInterval: 100 * time.Microsecond,
+		Seed: seed, Workers: 4, KillBudget: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyCrash(base, false); err != nil {
+		t.Fatal(err)
+	}
+	total := int64(len(base.Image))
+	sweeps := []int64{total / 5, total / 2, total * 4 / 5}
+	if *long {
+		for i := int64(1); i < 20; i++ {
+			sweeps = append(sweeps, total*i/20-1)
+		}
+	}
+	for _, budget := range sweeps {
+		if budget < 0 {
+			continue
+		}
+		res, err := RunCrash(CrashConfig{
+			Mode: txn.MVCC, Policy: wal.SyncGroup, GroupInterval: 100 * time.Microsecond,
+			Seed: seed, Workers: 4, KillBudget: budget,
+		})
+		if err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		if err := VerifyCrash(res, false); err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package consistency
+
+import "math/rand"
+
+// opChoice is one generator decision: which operation to run next and on
+// which key(s). RMW pairs are expanded by the harness into a FOR UPDATE read
+// followed by a write of the same key.
+type opChoice struct {
+	kind opKindChoice
+	key  int64
+	key2 int64 // scan upper bound
+}
+
+// opKindChoice is the generator-level operation alphabet. It is wider than
+// OpKind because a read-modify-write is one choice that records as two ops.
+type opKindChoice uint8
+
+const (
+	chooseRead opKindChoice = iota
+	chooseRMW
+	chooseWrite
+	chooseScan
+	chooseInsert
+	chooseDelete
+)
+
+// generator draws operations from a seeded PRNG. All randomness of a harness
+// run flows through one *rand.Rand, so a seed fully determines the workload
+// and - under the deterministic stepper - the interleaving.
+type generator struct {
+	rng       *rand.Rand
+	baseKeys  int64
+	churnKeys int64
+}
+
+// baseKey picks a key from the always-populated base range.
+func (g *generator) baseKey() int64 { return g.rng.Int63n(g.baseKeys) }
+
+// churnKey picks a key from the insert/delete churn range.
+func (g *generator) churnKey() int64 { return g.baseKeys + g.rng.Int63n(g.churnKeys) }
+
+// next draws the next operation for a transaction. Read-only transactions
+// draw only reads and scans. When the churn range is disabled (golock: the
+// 2PL engine has no next-key locks, so operations on absent keys open phantom
+// windows that are outside its serializable-conformance envelope), insert and
+// delete choices are remapped onto writes and reads of the base range.
+func (g *generator) next(readonly bool) opChoice {
+	if readonly {
+		if g.rng.Intn(100) < 70 {
+			return opChoice{kind: chooseRead, key: g.baseKey()}
+		}
+		return g.scan()
+	}
+	r := g.rng.Intn(100)
+	switch {
+	case r < 30:
+		return opChoice{kind: chooseRead, key: g.baseKey()}
+	case r < 45:
+		return opChoice{kind: chooseRMW, key: g.baseKey()}
+	case r < 65:
+		return opChoice{kind: chooseWrite, key: g.baseKey()}
+	case r < 75:
+		return g.scan()
+	case r < 88:
+		if g.churnKeys == 0 {
+			return opChoice{kind: chooseWrite, key: g.baseKey()}
+		}
+		return opChoice{kind: chooseInsert, key: g.churnKey()}
+	default:
+		if g.churnKeys == 0 {
+			return opChoice{kind: chooseRead, key: g.baseKey()}
+		}
+		return opChoice{kind: chooseDelete, key: g.churnKey()}
+	}
+}
+
+// scan draws a range over the base keys (churn keys are excluded from scans
+// so the same scan envelope applies to every personality).
+func (g *generator) scan() opChoice {
+	lo := g.rng.Int63n(g.baseKeys)
+	width := 1 + g.rng.Int63n(g.baseKeys/2+1)
+	hi := lo + width
+	if hi >= g.baseKeys {
+		hi = g.baseKeys - 1
+	}
+	return opChoice{kind: chooseScan, key: lo, key2: hi}
+}

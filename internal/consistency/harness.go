@@ -1,0 +1,446 @@
+package consistency
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"benchpress/internal/dbdriver"
+	"benchpress/internal/sqldb/txn"
+	"benchpress/internal/wal"
+)
+
+// Config parameterizes one harness run.
+type Config struct {
+	// Personality is the dbdriver target (goserial, golock, gomvcc).
+	Personality string
+	// Seed drives all randomness: workload content and, under the
+	// deterministic stepper, the interleaving.
+	Seed int64
+	// Slots is the number of concurrently open transactions.
+	Slots int
+	// Txns is the number of transactions to finish (beyond the populate
+	// transaction).
+	Txns int
+	// MaxOps bounds the operations per transaction.
+	MaxOps int
+	// BaseKeys is the size of the always-populated key range [0, BaseKeys).
+	BaseKeys int64
+	// ChurnKeys sizes the insert/delete range [BaseKeys, BaseKeys+ChurnKeys).
+	// Zero disables insert/delete operations (used for golock, whose 2PL has
+	// no next-key locking and therefore no phantom protection on absent
+	// keys).
+	ChurnKeys int64
+	// Mutation installs a deliberate engine invariant break so the harness
+	// can prove its checkers detect the corresponding bug class.
+	Mutation txn.Mutation
+}
+
+// withDefaults fills zero fields with the standard conformance shape.
+func (c Config) withDefaults() Config {
+	if c.Slots == 0 {
+		c.Slots = 4
+	}
+	if c.Txns == 0 {
+		c.Txns = 300
+	}
+	if c.MaxOps == 0 {
+		c.MaxOps = 8
+	}
+	if c.BaseKeys == 0 {
+		c.BaseKeys = 12
+	}
+	return c
+}
+
+// slotConn is one pseudo-terminal: a connection plus its prepared statements
+// and the record of the transaction currently open on it.
+type slotConn struct {
+	conn *dbdriver.Conn
+	read, readFU, write, scan,
+	insert, del *dbdriver.Stmt
+
+	active  bool
+	rec     TxnRec
+	planned int // ops this transaction will attempt before finishing
+}
+
+// openSlot connects and prepares the workload statements.
+func openSlot(db *dbdriver.DB) (*slotConn, error) {
+	s := &slotConn{conn: db.Connect()}
+	var err error
+	s.read, err = s.conn.Prepare("SELECT v FROM kv WHERE k = ?")
+	if err == nil {
+		s.readFU, err = s.conn.Prepare("SELECT v FROM kv WHERE k = ? FOR UPDATE")
+	}
+	if err == nil {
+		s.write, err = s.conn.Prepare("UPDATE kv SET v = ? WHERE k = ?")
+	}
+	if err == nil {
+		s.scan, err = s.conn.Prepare("SELECT k, v FROM kv WHERE k BETWEEN ? AND ?")
+	}
+	if err == nil {
+		s.insert, err = s.conn.Prepare("INSERT INTO kv (k, v) VALUES (?, ?)")
+	}
+	if err == nil {
+		s.del, err = s.conn.Prepare("DELETE FROM kv WHERE k = ?")
+	}
+	if err != nil {
+		_ = s.conn.Close()
+		return nil, fmt.Errorf("consistency: prepare: %w", err)
+	}
+	return s, nil
+}
+
+// openDB opens the personality configured for harness use: background vacuum
+// off and WAL emulation off, so the engine runs no goroutines of its own and
+// the deterministic stepper owns every scheduling decision.
+func openDB(cfg Config) (*dbdriver.DB, error) {
+	p, err := dbdriver.Lookup(cfg.Personality)
+	if err != nil {
+		return nil, err
+	}
+	p.VacuumInterval = 0
+	p.WALPolicy = wal.SyncNone
+	p.GroupCommitInterval = 0
+	p.CommitDelay = 0
+	db := dbdriver.OpenWith(p)
+	db.TxnManager().SetMutation(cfg.Mutation)
+	return db, nil
+}
+
+// populate creates the schema and seeds the base keys in one recorded
+// transaction, so the initial versions participate in the checkers like any
+// other committed write.
+func populate(db *dbdriver.DB, cfg Config, h *History) error {
+	conn := db.Connect()
+	defer func() { _ = conn.Close() }()
+	if _, err := conn.Exec("CREATE TABLE kv (k BIGINT NOT NULL, v BIGINT, PRIMARY KEY (k))"); err != nil {
+		return fmt.Errorf("consistency: create schema: %w", err)
+	}
+	if err := conn.Begin(); err != nil {
+		return err
+	}
+	id := conn.TxnInfo().ID
+	rec := TxnRec{Slot: -1}
+	for k := int64(0); k < cfg.BaseKeys; k++ {
+		val := MakeTag(id, int(k))
+		if _, err := conn.Exec("INSERT INTO kv (k, v) VALUES (?, ?)", k, val); err != nil {
+			return fmt.Errorf("consistency: populate key %d: %w", k, err)
+		}
+		rec.Ops = append(rec.Ops, Op{Kind: OpInsert, Key: k, Val: val, Affected: 1})
+	}
+	if err := conn.Commit(); err != nil {
+		return fmt.Errorf("consistency: populate commit: %w", err)
+	}
+	rec.Info = conn.TxnInfo()
+	h.Txns = append(h.Txns, rec)
+	return nil
+}
+
+// execOp runs one generator choice on an open transaction, appending the
+// recorded ops. A non-nil return means the statement failed and the
+// transaction must be rolled back; the failing op (with Err set) has already
+// been recorded.
+func (s *slotConn) execOp(ch opChoice, txnID uint64) error {
+	switch ch.kind {
+	case chooseRead:
+		return s.pointRead(s.read, OpRead, ch.key)
+	case chooseRMW:
+		// FOR UPDATE read, then overwrite the same key if present.
+		if err := s.pointRead(s.readFU, OpReadForUpdate, ch.key); err != nil {
+			return err
+		}
+		if !s.rec.Ops[len(s.rec.Ops)-1].Found {
+			return nil
+		}
+		return s.pointWrite(ch.key, txnID)
+	case chooseWrite:
+		return s.pointWrite(ch.key, txnID)
+	case chooseScan:
+		op := Op{Kind: OpScan, Key: ch.key, Key2: ch.key2}
+		res, err := s.scan.Query(ch.key, ch.key2)
+		if err != nil {
+			return s.fail(op, err)
+		}
+		op.Rows = make([]KV, 0, len(res.Rows))
+		for _, r := range res.Rows {
+			op.Rows = append(op.Rows, KV{K: r[0].Int(), V: r[1].Int()})
+		}
+		sort.Slice(op.Rows, func(i, j int) bool { return op.Rows[i].K < op.Rows[j].K })
+		s.rec.Ops = append(s.rec.Ops, op)
+		return nil
+	case chooseInsert:
+		op := Op{Kind: OpInsert, Key: ch.key, Val: MakeTag(txnID, len(s.rec.Ops))}
+		res, err := s.insert.Exec(ch.key, op.Val)
+		if err != nil {
+			return s.fail(op, err)
+		}
+		op.Affected = res.RowsAffected
+		s.rec.Ops = append(s.rec.Ops, op)
+		return nil
+	case chooseDelete:
+		op := Op{Kind: OpDelete, Key: ch.key}
+		res, err := s.del.Exec(ch.key)
+		if err != nil {
+			return s.fail(op, err)
+		}
+		op.Affected = res.RowsAffected
+		s.rec.Ops = append(s.rec.Ops, op)
+		return nil
+	default:
+		return fmt.Errorf("consistency: unknown op choice %d", ch.kind)
+	}
+}
+
+// pointRead runs a single-key select and records the outcome.
+func (s *slotConn) pointRead(st *dbdriver.Stmt, kind OpKind, key int64) error {
+	op := Op{Kind: kind, Key: key}
+	res, err := st.Query(key)
+	if err != nil {
+		return s.fail(op, err)
+	}
+	if len(res.Rows) > 0 {
+		op.Found = true
+		op.ReadVal = res.Rows[0][0].Int()
+	}
+	s.rec.Ops = append(s.rec.Ops, op)
+	return nil
+}
+
+// pointWrite updates one key with a freshly tagged value.
+func (s *slotConn) pointWrite(key int64, txnID uint64) error {
+	op := Op{Kind: OpWrite, Key: key, Val: MakeTag(txnID, len(s.rec.Ops))}
+	res, err := s.write.Exec(op.Val, key)
+	if err != nil {
+		return s.fail(op, err)
+	}
+	op.Affected = res.RowsAffected
+	s.rec.Ops = append(s.rec.Ops, op)
+	return nil
+}
+
+// fail records the failing op and returns the error that ends the txn.
+func (s *slotConn) fail(op Op, err error) error {
+	op.Err = err.Error()
+	s.rec.Ops = append(s.rec.Ops, op)
+	return err
+}
+
+// finishTxn closes out the slot's transaction: commit (or roll back when
+// commitIt is false, or when abortErr reports a failed statement), then stamp
+// the engine outcome into the record.
+func (s *slotConn) finishTxn(commitIt bool, abortErr error) (TxnRec, error) {
+	var err error
+	if abortErr != nil || !commitIt {
+		err = s.conn.Rollback()
+	} else {
+		// A commit rejection (e.g. durability failure) aborts the txn; the
+		// engine outcome recorded below reflects it.
+		_ = s.conn.Commit()
+	}
+	if abortErr != nil {
+		s.rec.AbortErr = abortErr.Error()
+	}
+	s.rec.Info = s.conn.TxnInfo()
+	rec := s.rec
+	s.rec = TxnRec{}
+	s.active = false
+	return rec, err
+}
+
+// Run executes the deterministic conformance workload: a single goroutine
+// steps Config.Slots concurrently-open transactions in PRNG order, with the
+// engine in nowait mode so no operation ever blocks. The same seed therefore
+// reproduces the same interleaving, the same engine decisions, and the same
+// history fingerprint.
+func Run(cfg Config) (*History, error) {
+	cfg = cfg.withDefaults()
+	db, err := openDB(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	db.TxnManager().SetNoWait(true)
+
+	h := &History{Personality: cfg.Personality, Mode: db.Personality().Mode, Seed: cfg.Seed}
+	if err := populate(db, cfg, h); err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gen := &generator{rng: rng, baseKeys: cfg.BaseKeys, churnKeys: cfg.ChurnKeys}
+	slots := make([]*slotConn, cfg.Slots)
+	for i := range slots {
+		if slots[i], err = openSlot(db); err != nil {
+			return nil, err
+		}
+	}
+	defer func() {
+		for _, s := range slots {
+			if s != nil {
+				_ = s.conn.Close()
+			}
+		}
+	}()
+
+	finished := 0
+	for finished < cfg.Txns {
+		s := slots[rng.Intn(cfg.Slots)]
+		switch {
+		case !s.active:
+			readonly := rng.Intn(100) < 20
+			var err error
+			if readonly {
+				//lint:ignore txn-hygiene the stepper finishes this txn in a later step via finishTxn
+				err = s.conn.BeginReadOnly()
+			} else {
+				//lint:ignore txn-hygiene the stepper finishes this txn in a later step via finishTxn
+				err = s.conn.Begin()
+			}
+			if err != nil {
+				if dbdriver.IsRetryable(err) {
+					h.BusyBegins++
+					continue
+				}
+				return nil, fmt.Errorf("consistency: begin: %w", err)
+			}
+			s.active = true
+			s.rec = TxnRec{Slot: slotIndex(slots, s), ReadOnly: readonly}
+			s.planned = 1 + rng.Intn(cfg.MaxOps)
+		case len(s.rec.Ops) < s.planned:
+			ch := gen.next(s.rec.ReadOnly)
+			if err := s.execOp(ch, s.conn.TxnInfo().ID); err != nil {
+				rec, rbErr := s.finishTxn(false, err)
+				if rbErr != nil {
+					return nil, fmt.Errorf("consistency: rollback: %w", rbErr)
+				}
+				h.Txns = append(h.Txns, rec)
+				finished++
+			}
+		default:
+			commitIt := rng.Intn(100) < 85
+			rec, err := s.finishTxn(commitIt, nil)
+			if err != nil {
+				return nil, fmt.Errorf("consistency: finish: %w", err)
+			}
+			h.Txns = append(h.Txns, rec)
+			finished++
+		}
+	}
+	// Roll back whatever is still open so aborted in-flight writes are
+	// recorded (the G1a checker wants aborted writers on the books).
+	for _, s := range slots {
+		if s.active {
+			rec, err := s.finishTxn(false, nil)
+			if err != nil {
+				return nil, err
+			}
+			h.Txns = append(h.Txns, rec)
+		}
+	}
+	return h, nil
+}
+
+// slotIndex returns s's position in slots.
+func slotIndex(slots []*slotConn, s *slotConn) int {
+	for i := range slots {
+		if slots[i] == s {
+			return i
+		}
+	}
+	return -1
+}
+
+// RunConcurrent executes the same workload shape with one goroutine per slot
+// and the engine in its normal blocking mode. Interleaving is no longer
+// deterministic - fingerprints are meaningless here - but every recorded
+// outcome still carries engine timestamps, so the oracle and SI checkers
+// apply unchanged. This is the stress arm that shakes out races the
+// deterministic stepper cannot reach.
+func RunConcurrent(cfg Config) (*History, error) {
+	cfg = cfg.withDefaults()
+	db, err := openDB(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+
+	h := &History{Personality: cfg.Personality, Mode: db.Personality().Mode, Seed: cfg.Seed}
+	if err := populate(db, cfg, h); err != nil {
+		return nil, err
+	}
+
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+	)
+	perSlot := cfg.Txns / cfg.Slots
+	if perSlot == 0 {
+		perSlot = 1
+	}
+	for i := 0; i < cfg.Slots; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			s, err := openSlot(db)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			defer func() { _ = s.conn.Close() }()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(slot)*7919))
+			gen := &generator{rng: rng, baseKeys: cfg.BaseKeys, churnKeys: cfg.ChurnKeys}
+			for done := 0; done < perSlot; done++ {
+				rec, err := s.runOneTxn(rng, gen, slot, cfg)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				if err == nil {
+					h.Txns = append(h.Txns, rec)
+				}
+				mu.Unlock()
+				if err != nil {
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return h, nil
+}
+
+// runOneTxn runs a complete transaction on the slot (concurrent mode).
+func (s *slotConn) runOneTxn(rng *rand.Rand, gen *generator, slot int, cfg Config) (TxnRec, error) {
+	readonly := rng.Intn(100) < 20
+	var err error
+	if readonly {
+		//lint:ignore txn-hygiene finishTxn commits or rolls back at the end of this function
+		err = s.conn.BeginReadOnly()
+	} else {
+		//lint:ignore txn-hygiene finishTxn commits or rolls back at the end of this function
+		err = s.conn.Begin()
+	}
+	if err != nil {
+		return TxnRec{}, fmt.Errorf("consistency: begin: %w", err)
+	}
+	s.active = true
+	s.rec = TxnRec{Slot: slot, ReadOnly: readonly}
+	planned := 1 + rng.Intn(cfg.MaxOps)
+	for len(s.rec.Ops) < planned {
+		if err := s.execOp(gen.next(readonly), s.conn.TxnInfo().ID); err != nil {
+			return s.finishTxn(false, err)
+		}
+	}
+	return s.finishTxn(rng.Intn(100) < 85, nil)
+}

@@ -1,0 +1,216 @@
+// Package consistency is the isolation-conformance and differential-oracle
+// harness for the embedded engine's three personalities. It generates
+// seed-deterministic multi-key transactional workloads, executes them through
+// the full SQL surface (parser, planner, dbdriver), records a complete
+// operation history, and checks that history against the isolation contract
+// each personality claims:
+//
+//   - goserial, golock: serializability, verified by replaying the committed
+//     transactions in serialization-timestamp order against a single-threaded
+//     model and requiring every recorded read, scan, and rows-affected count
+//     to reproduce exactly (see oracle.go).
+//   - gomvcc: snapshot isolation, verified by per-transaction snapshot reads
+//     plus the SI anomaly taxonomy - G0 dirty writes / lost updates, G1a
+//     aborted reads, G1b intermediate reads (see si.go). Write skew is
+//     permitted under SI and is separately asserted *present* under
+//     contention by the bank workload (see bank.go).
+//
+// The harness validates itself through the engine's Mutation switches:
+// disabling one invariant per engine must make the corresponding checker
+// fail (see the self-validation tests).
+package consistency
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"benchpress/internal/sqldb/txn"
+)
+
+// TagBase partitions a written value into a writer transaction id and an
+// operation index: value = txnID*TagBase + opIdx. Every value the harness
+// writes is a tag, so any value read back identifies exactly which operation
+// of which transaction produced it - the mechanism behind the aborted-read
+// and intermediate-read checks.
+const TagBase = 1 << 20
+
+// MakeTag builds the tagged value for operation opIdx of transaction txnID.
+func MakeTag(txnID uint64, opIdx int) int64 {
+	return int64(txnID)*TagBase + int64(opIdx)
+}
+
+// TagWriter extracts the writing transaction id from a tagged value.
+func TagWriter(v int64) uint64 { return uint64(v / TagBase) }
+
+// TagOp extracts the operation index from a tagged value.
+func TagOp(v int64) int { return int(v % TagBase) }
+
+// OpKind classifies one recorded operation.
+type OpKind uint8
+
+const (
+	// OpRead is a point SELECT by primary key.
+	OpRead OpKind = iota
+	// OpReadForUpdate is a point SELECT ... FOR UPDATE (the read half of a
+	// read-modify-write pair).
+	OpReadForUpdate
+	// OpWrite is a point UPDATE by primary key.
+	OpWrite
+	// OpScan is a range SELECT with BETWEEN bounds.
+	OpScan
+	// OpInsert is a point INSERT.
+	OpInsert
+	// OpDelete is a point DELETE by primary key.
+	OpDelete
+)
+
+// String returns the kind's short name.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpReadForUpdate:
+		return "readfu"
+	case OpWrite:
+		return "write"
+	case OpScan:
+		return "scan"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// KV is one row observed by a scan.
+type KV struct {
+	K, V int64
+}
+
+// Op is one executed operation and its observed outcome.
+type Op struct {
+	Kind OpKind
+	// Key is the target key (scan lower bound for OpScan).
+	Key int64
+	// Key2 is the scan upper bound (inclusive); unused otherwise.
+	Key2 int64
+	// Val is the tagged value written by OpWrite and OpInsert.
+	Val int64
+	// Found and ReadVal record the outcome of OpRead/OpReadForUpdate.
+	Found   bool
+	ReadVal int64
+	// Rows is the scan result, sorted by key.
+	Rows []KV
+	// Affected is the row count reported for OpWrite/OpInsert/OpDelete.
+	Affected int
+	// Err records the statement error that ended the transaction, if any.
+	// The harness rolls back on every statement error, so an Err op is
+	// always the last op of an aborted transaction.
+	Err string
+}
+
+// TxnRec is the recorded history of one transaction.
+type TxnRec struct {
+	// Slot is the harness slot (pseudo-terminal) that ran the transaction.
+	Slot int
+	// ReadOnly reports whether the transaction was declared read-only.
+	ReadOnly bool
+	// Ops are the operations in execution order.
+	Ops []Op
+	// Info is the engine-reported identity and outcome: transaction id,
+	// snapshot timestamp, serialization timestamp, and commit flag.
+	Info txn.Info
+	// AbortErr is the error that ended the transaction ("" for a commit or
+	// a voluntary rollback).
+	AbortErr string
+}
+
+// Committed reports whether the transaction committed.
+func (t *TxnRec) Committed() bool { return t.Info.Committed }
+
+// History is the complete recorded execution of one harness run.
+type History struct {
+	// Personality is the dbdriver personality name the run targeted.
+	Personality string
+	// Mode is the concurrency-control mode of that personality.
+	Mode txn.Mode
+	// Seed is the generator seed.
+	Seed int64
+	// Txns holds every transaction that ran, in finish order. Txns[0] is
+	// always the populate transaction that seeded the base keys.
+	Txns []TxnRec
+	// BusyBegins counts begin attempts rejected with ErrBusy (Serial
+	// personality in nowait mode).
+	BusyBegins int
+}
+
+// CommittedTxns returns the committed transactions in finish order.
+func (h *History) CommittedTxns() []*TxnRec {
+	out := make([]*TxnRec, 0, len(h.Txns))
+	for i := range h.Txns {
+		if h.Txns[i].Committed() {
+			out = append(out, &h.Txns[i])
+		}
+	}
+	return out
+}
+
+// SerialOrder returns the committed transactions sorted into serialization
+// order: ascending serialization timestamp; at equal timestamps the writer
+// precedes read-only transactions (a read-only commit observes the clock
+// value of the last writer it may have read), and remaining ties break by
+// transaction id for determinism.
+func (h *History) SerialOrder() []*TxnRec {
+	txns := h.CommittedTxns()
+	sort.SliceStable(txns, func(i, j int) bool {
+		a, b := txns[i], txns[j]
+		if a.Info.SerialTS != b.Info.SerialTS {
+			return a.Info.SerialTS < b.Info.SerialTS
+		}
+		aw, bw := a.Info.Writes > 0, b.Info.Writes > 0
+		if aw != bw {
+			return aw // writer first
+		}
+		return a.Info.ID < b.Info.ID
+	})
+	return txns
+}
+
+// Fingerprint hashes the complete history (every transaction, operation, and
+// observed result) into one 64-bit value. Two runs with the same seed must
+// produce the same fingerprint under the deterministic harness.
+func (h *History) Fingerprint() uint64 {
+	fh := fnv.New64a()
+	fmt.Fprintf(fh, "%s/%d/busy=%d\n", h.Personality, h.Seed, h.BusyBegins)
+	for i := range h.Txns {
+		t := &h.Txns[i]
+		fmt.Fprintf(fh, "txn slot=%d ro=%v id=%d snap=%d ts=%d c=%v w=%d abort=%q\n",
+			t.Slot, t.ReadOnly, t.Info.ID, t.Info.Snapshot, t.Info.SerialTS,
+			t.Info.Committed, t.Info.Writes, t.AbortErr)
+		for j := range t.Ops {
+			op := &t.Ops[j]
+			fmt.Fprintf(fh, "  op %s k=%d k2=%d v=%d found=%v rv=%d aff=%d err=%q rows=%v\n",
+				op.Kind, op.Key, op.Key2, op.Val, op.Found, op.ReadVal,
+				op.Affected, op.Err, op.Rows)
+		}
+	}
+	return fh.Sum64()
+}
+
+// Stats summarizes a history for logging.
+func (h *History) Stats() string {
+	var committed, aborted, ops int
+	for i := range h.Txns {
+		ops += len(h.Txns[i].Ops)
+		if h.Txns[i].Committed() {
+			committed++
+		} else {
+			aborted++
+		}
+	}
+	return fmt.Sprintf("%s seed=%d: %d txns (%d committed, %d aborted), %d ops, %d busy begins",
+		h.Personality, h.Seed, len(h.Txns), committed, aborted, ops, h.BusyBegins)
+}

@@ -1,0 +1,167 @@
+package consistency
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Violation is one checker finding.
+type Violation struct {
+	// Class labels the anomaly ("replay-read", "G1a-aborted-read", ...).
+	Class string
+	// TxnID is the engine transaction id the finding is anchored to.
+	TxnID uint64
+	// OpIdx is the index of the offending op within that transaction (-1 for
+	// transaction-level findings).
+	OpIdx int
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+// Report collects checker findings.
+type Report struct {
+	Violations []Violation
+}
+
+// add records one violation.
+func (r *Report) add(class string, txnID uint64, opIdx int, format string, args ...any) {
+	r.Violations = append(r.Violations, Violation{
+		Class: class, TxnID: txnID, OpIdx: opIdx, Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// Empty reports whether no violations were found.
+func (r *Report) Empty() bool { return len(r.Violations) == 0 }
+
+// Count returns the number of violations of one class.
+func (r *Report) Count(class string) int {
+	n := 0
+	for i := range r.Violations {
+		if r.Violations[i].Class == class {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the report, truncated to the first few violations per class.
+func (r *Report) String() string {
+	if r.Empty() {
+		return "consistency: no violations"
+	}
+	const perClass = 3
+	shown := map[string]int{}
+	var b strings.Builder
+	fmt.Fprintf(&b, "consistency: %d violations:\n", len(r.Violations))
+	for i := range r.Violations {
+		v := &r.Violations[i]
+		if shown[v.Class] >= perClass {
+			continue
+		}
+		shown[v.Class]++
+		fmt.Fprintf(&b, "  [%s] txn %d op %d: %s\n", v.Class, v.TxnID, v.OpIdx, v.Detail)
+	}
+	for class, n := range shown {
+		if total := r.Count(class); total > n {
+			fmt.Fprintf(&b, "  [%s] ... and %d more\n", class, total-n)
+		}
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// CheckSerializable replays the committed transactions of a history in
+// serialization-timestamp order against a single-threaded key-value model
+// and requires every recorded observation - read values, row presence, scan
+// result sets, rows-affected counts - to reproduce exactly. This is the
+// differential oracle for the goserial and golock personalities: each claims
+// serializability, and the serialization timestamps recorded at commit
+// (commit timestamp for writers, clock-at-commit for read-only transactions)
+// name the equivalent serial order outright, so conformance reduces to
+// deterministic replay.
+func CheckSerializable(h *History) *Report {
+	r := &Report{}
+	model := map[int64]int64{}
+	for _, t := range h.SerialOrder() {
+		for i := range t.Ops {
+			op := &t.Ops[i]
+			if op.Err != "" {
+				// The harness rolls back on every statement error, so a
+				// committed transaction must not contain one.
+				r.add("replay-internal", t.Info.ID, i, "committed txn contains errored op %s: %s", op.Kind, op.Err)
+				continue
+			}
+			switch op.Kind {
+			case OpRead, OpReadForUpdate:
+				want, ok := model[op.Key]
+				if ok != op.Found || (ok && want != op.ReadVal) {
+					r.add("replay-read", t.Info.ID, i,
+						"read k=%d saw (found=%v v=%d), serial replay expects (found=%v v=%d)",
+						op.Key, op.Found, op.ReadVal, ok, want)
+				}
+			case OpWrite:
+				_, ok := model[op.Key]
+				want := 0
+				if ok {
+					want = 1
+					model[op.Key] = op.Val
+				}
+				if op.Affected != want {
+					r.add("replay-affected", t.Info.ID, i,
+						"update k=%d affected %d rows, replay expects %d", op.Key, op.Affected, want)
+				}
+			case OpInsert:
+				if _, ok := model[op.Key]; ok {
+					r.add("replay-insert", t.Info.ID, i,
+						"insert k=%d succeeded but replay has the key present", op.Key)
+				}
+				model[op.Key] = op.Val
+				if op.Affected != 1 {
+					r.add("replay-affected", t.Info.ID, i,
+						"insert k=%d affected %d rows, want 1", op.Key, op.Affected)
+				}
+			case OpDelete:
+				_, ok := model[op.Key]
+				want := 0
+				if ok {
+					want = 1
+					delete(model, op.Key)
+				}
+				if op.Affected != want {
+					r.add("replay-affected", t.Info.ID, i,
+						"delete k=%d affected %d rows, replay expects %d", op.Key, op.Affected, want)
+				}
+			case OpScan:
+				want := modelRange(model, op.Key, op.Key2)
+				if !kvEqual(want, op.Rows) {
+					r.add("replay-scan", t.Info.ID, i,
+						"scan [%d,%d] saw %v, replay expects %v", op.Key, op.Key2, op.Rows, want)
+				}
+			}
+		}
+	}
+	return r
+}
+
+// modelRange returns the model's rows in [lo, hi], sorted by key.
+func modelRange(model map[int64]int64, lo, hi int64) []KV {
+	out := []KV{}
+	for k := lo; k <= hi; k++ {
+		if v, ok := model[k]; ok {
+			out = append(out, KV{K: k, V: v})
+		}
+	}
+	return out
+}
+
+// kvEqual compares two sorted scan results.
+func kvEqual(a, b []KV) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,300 @@
+package consistency
+
+import "sort"
+
+// verRec is one committed version of a key, derived from the recorded
+// history: the final effect a committed transaction had on that key.
+type verRec struct {
+	ts      uint64 // commit (serialization) timestamp
+	txnID   uint64
+	val     int64
+	deleted bool
+	// claimed marks effects that went through the engine's write-claim
+	// (update/delete). First-updater-wins protects claimed writes; inserts
+	// are constraint-checked against live state instead.
+	claimed bool
+	snap    uint64 // writer's snapshot, for overlap checks
+}
+
+// keyWrites is the committed version timeline of one key, sorted by ts.
+type keyWrites []verRec
+
+// visibleAt returns the version visible to a snapshot: the latest version
+// with ts <= snap that is not a tombstone.
+func (kw keyWrites) visibleAt(snap uint64) (int64, bool) {
+	for i := len(kw) - 1; i >= 0; i-- {
+		if kw[i].ts <= snap {
+			if kw[i].deleted {
+				return 0, false
+			}
+			return kw[i].val, true
+		}
+	}
+	return 0, false
+}
+
+// ovEntry is an own-write overlay entry during per-transaction replay.
+type ovEntry struct {
+	val     int64
+	deleted bool
+}
+
+// siState is the precomputed index over a history that the SI checks share.
+type siState struct {
+	byID   map[uint64]*TxnRec
+	writes map[int64]keyWrites
+	// finalVal is, per committed txn and key, the last value the txn wrote
+	// to the key (used to distinguish G1b intermediate reads from other
+	// snapshot violations).
+	finalVal map[uint64]map[int64]int64
+}
+
+// buildSI indexes the history's committed effects.
+func buildSI(h *History) *siState {
+	st := &siState{
+		byID:     map[uint64]*TxnRec{},
+		writes:   map[int64]keyWrites{},
+		finalVal: map[uint64]map[int64]int64{},
+	}
+	for i := range h.Txns {
+		t := &h.Txns[i]
+		st.byID[t.Info.ID] = t
+		if !t.Committed() {
+			continue
+		}
+		// Final effect per key, in op order so later ops win.
+		type eff struct {
+			val     int64
+			deleted bool
+			claimed bool
+		}
+		effects := map[int64]eff{}
+		for j := range t.Ops {
+			op := &t.Ops[j]
+			if op.Err != "" {
+				continue
+			}
+			switch op.Kind {
+			case OpWrite:
+				if op.Affected > 0 {
+					effects[op.Key] = eff{val: op.Val, claimed: true}
+					st.noteFinal(t.Info.ID, op.Key, op.Val)
+				}
+			case OpInsert:
+				if op.Affected > 0 {
+					e := effects[op.Key]
+					effects[op.Key] = eff{val: op.Val, claimed: e.claimed}
+					st.noteFinal(t.Info.ID, op.Key, op.Val)
+				}
+			case OpDelete:
+				if op.Affected > 0 {
+					effects[op.Key] = eff{deleted: true, claimed: true}
+				}
+			}
+		}
+		for k, e := range effects {
+			st.writes[k] = append(st.writes[k], verRec{
+				ts: t.Info.SerialTS, txnID: t.Info.ID, val: e.val,
+				deleted: e.deleted, claimed: e.claimed, snap: t.Info.Snapshot,
+			})
+		}
+	}
+	for k := range st.writes {
+		kw := st.writes[k]
+		sort.Slice(kw, func(i, j int) bool { return kw[i].ts < kw[j].ts })
+		st.writes[k] = kw
+	}
+	return st
+}
+
+// noteFinal records the last value a committed txn wrote to a key.
+func (st *siState) noteFinal(txnID uint64, key, val int64) {
+	m := st.finalVal[txnID]
+	if m == nil {
+		m = map[int64]int64{}
+		st.finalVal[txnID] = m
+	}
+	m[key] = val
+}
+
+// CheckSnapshotIsolation verifies a gomvcc history against the snapshot
+// isolation contract:
+//
+//   - every read and scan of a committed transaction observes exactly the
+//     database state at its snapshot timestamp, overlaid with its own writes;
+//   - no read observes a value written by an aborted transaction (G1a) or a
+//     non-final value of a committed transaction (G1b);
+//   - no two overlapping committed transactions claim-write the same key
+//     (G0 dirty write / lost update - first-updater-wins must abort one);
+//   - an insert that succeeded over a snapshot-visible row is explained by a
+//     concurrent committed delete (inserts are checked against live state,
+//     not the snapshot, mirroring how SQL engines enforce unique
+//     constraints).
+//
+// Write skew is legal under SI and is deliberately not flagged here; the
+// bank workload asserts its presence separately.
+func CheckSnapshotIsolation(h *History) *Report {
+	r := &Report{}
+	st := buildSI(h)
+	for _, t := range h.CommittedTxns() {
+		checkSITxn(r, st, t)
+	}
+	checkLostUpdates(r, st)
+	return r
+}
+
+// checkSITxn replays one committed transaction at its snapshot.
+func checkSITxn(r *Report, st *siState, t *TxnRec) {
+	snap := t.Info.Snapshot
+	overlay := map[int64]ovEntry{}
+	lookup := func(k int64) (int64, bool) {
+		if e, ok := overlay[k]; ok {
+			if e.deleted {
+				return 0, false
+			}
+			return e.val, true
+		}
+		return st.writes[k].visibleAt(snap)
+	}
+	for i := range t.Ops {
+		op := &t.Ops[i]
+		if op.Err != "" {
+			r.add("si-internal", t.Info.ID, i, "committed txn contains errored op %s: %s", op.Kind, op.Err)
+			continue
+		}
+		switch op.Kind {
+		case OpRead, OpReadForUpdate:
+			want, ok := lookup(op.Key)
+			if ok == op.Found && (!ok || want == op.ReadVal) {
+				break
+			}
+			classifyBadRead(r, st, t, i, op, want, ok)
+		case OpWrite:
+			_, ok := lookup(op.Key)
+			want := 0
+			if ok {
+				want = 1
+				overlay[op.Key] = ovEntry{val: op.Val}
+			}
+			if op.Affected != want {
+				r.add("si-affected", t.Info.ID, i,
+					"update k=%d affected %d rows, snapshot expects %d", op.Key, op.Affected, want)
+			}
+		case OpDelete:
+			_, ok := lookup(op.Key)
+			want := 0
+			if ok {
+				want = 1
+				overlay[op.Key] = ovEntry{deleted: true}
+			}
+			if op.Affected != want {
+				r.add("si-affected", t.Info.ID, i,
+					"delete k=%d affected %d rows, snapshot expects %d", op.Key, op.Affected, want)
+			}
+		case OpInsert:
+			if _, visible := lookup(op.Key); visible {
+				// Inserts check uniqueness against live state, not the
+				// snapshot: a concurrent delete committed after our snapshot
+				// (but before we ran) legitimately frees the key.
+				if !explainedByDelete(st, op.Key, snap, t.Info.SerialTS) {
+					r.add("si-insert-dup", t.Info.ID, i,
+						"insert k=%d succeeded over a snapshot-visible row with no concurrent committed delete", op.Key)
+				}
+			}
+			overlay[op.Key] = ovEntry{val: op.Val}
+			if op.Affected != 1 {
+				r.add("si-affected", t.Info.ID, i, "insert k=%d affected %d rows, want 1", op.Key, op.Affected)
+			}
+		case OpScan:
+			want := siRange(st, overlay, snap, op.Key, op.Key2)
+			if !kvEqual(want, op.Rows) {
+				r.add("si-scan", t.Info.ID, i,
+					"scan [%d,%d] saw %v, snapshot expects %v", op.Key, op.Key2, op.Rows, want)
+			}
+		}
+	}
+}
+
+// classifyBadRead labels a read that diverged from its snapshot expectation,
+// using the value tag to identify the writer the read actually observed.
+func classifyBadRead(r *Report, st *siState, t *TxnRec, opIdx int, op *Op, want int64, wantOK bool) {
+	if !op.Found {
+		r.add("si-snapshot-read", t.Info.ID, opIdx,
+			"read k=%d missing, snapshot expects v=%d", op.Key, want)
+		return
+	}
+	w := TagWriter(op.ReadVal)
+	writer, known := st.byID[w]
+	switch {
+	case known && !writer.Committed() && w != t.Info.ID:
+		r.add("G1a-aborted-read", t.Info.ID, opIdx,
+			"read k=%d observed v=%d written by aborted txn %d", op.Key, op.ReadVal, w)
+	case known && writer.Committed() && st.finalVal[w] != nil &&
+		st.finalVal[w][op.Key] != 0 && st.finalVal[w][op.Key] != op.ReadVal:
+		r.add("G1b-intermediate-read", t.Info.ID, opIdx,
+			"read k=%d observed v=%d, an intermediate write of txn %d (final %d)",
+			op.Key, op.ReadVal, w, st.finalVal[w][op.Key])
+	case known && writer.Committed() && writer.Info.SerialTS > t.Info.Snapshot:
+		r.add("si-snapshot-read", t.Info.ID, opIdx,
+			"read k=%d observed v=%d committed at ts=%d, after snapshot %d",
+			op.Key, op.ReadVal, w, t.Info.Snapshot)
+	default:
+		r.add("si-snapshot-read", t.Info.ID, opIdx,
+			"read k=%d saw (found=%v v=%d), snapshot expects (found=%v v=%d)",
+			op.Key, op.Found, op.ReadVal, wantOK, want)
+	}
+}
+
+// explainedByDelete reports whether a committed delete of key landed in
+// (snap, ts), which legitimizes an insert over a snapshot-visible row.
+func explainedByDelete(st *siState, key int64, snap, ts uint64) bool {
+	for _, v := range st.writes[key] {
+		if v.deleted && v.ts > snap && v.ts < ts {
+			return true
+		}
+	}
+	return false
+}
+
+// siRange computes the expected scan result at a snapshot with overlay.
+func siRange(st *siState, overlay map[int64]ovEntry, snap uint64, lo, hi int64) []KV {
+	out := []KV{}
+	for k := lo; k <= hi; k++ {
+		if e, ok := overlay[k]; ok {
+			if !e.deleted {
+				out = append(out, KV{K: k, V: e.val})
+			}
+			continue
+		}
+		if v, ok := st.writes[k].visibleAt(snap); ok {
+			out = append(out, KV{K: k, V: v})
+		}
+	}
+	return out
+}
+
+// checkLostUpdates flags G0 dirty writes / lost updates: two committed
+// transactions whose lifetimes overlap both claim-wrote the same key. Under
+// first-updater-wins the later claimant must have aborted, so any such pair
+// is an engine bug. A claimed write after an earlier writer is legal only
+// when the claimant's snapshot already included that writer (snap >= ts).
+// Inserts appearing as the later effect are exempt: they are gated by live
+// uniqueness, not claims (see explainedByDelete).
+func checkLostUpdates(r *Report, st *siState) {
+	for key, kw := range st.writes {
+		for j := 1; j < len(kw); j++ {
+			later := &kw[j]
+			if !later.claimed {
+				continue
+			}
+			for i := 0; i < j; i++ {
+				prior := &kw[i]
+				if prior.ts > later.snap {
+					r.add("G0-lost-update", later.txnID, -1,
+						"k=%d: txn %d (snap=%d, ts=%d) claim-wrote over txn %d's write at ts=%d inside its lifetime",
+						key, later.txnID, later.snap, later.ts, prior.txnID, prior.ts)
+				}
+			}
+		}
+	}
+}

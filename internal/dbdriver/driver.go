@@ -145,6 +145,10 @@ func (db *DB) Personality() Personality { return db.p }
 // (vacuum, truncate-all) and statistics.
 func (db *DB) Engine() *sqldb.Engine { return db.eng }
 
+// TxnManager exposes the engine's transaction manager so test harnesses can
+// toggle non-blocking mode and invariant-mutation switches.
+func (db *DB) TxnManager() *txn.Manager { return db.eng.TxnManager() }
+
 // Close releases engine resources.
 func (db *DB) Close() { db.eng.Close() }
 
@@ -192,6 +196,11 @@ func (c *Conn) Rollback() error { return c.sess.Rollback() }
 
 // InTxn reports whether an explicit transaction is open.
 func (c *Conn) InTxn() bool { return c.sess.InTxn() }
+
+// TxnInfo returns identity and outcome metadata for the connection's current
+// transaction (or the last finished one). The consistency harness uses it to
+// map executed operations onto engine transaction ids and commit timestamps.
+func (c *Conn) TxnInfo() txn.Info { return c.sess.TxnInfo() }
 
 // Prepare compiles a statement for repeated execution on this connection.
 func (c *Conn) Prepare(sql string) (*Stmt, error) {

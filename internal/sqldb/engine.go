@@ -11,6 +11,7 @@ package sqldb
 import (
 	"errors"
 	"fmt"
+	"io"
 	"strings"
 	"sync"
 	"time"
@@ -43,6 +44,15 @@ type Config struct {
 	// current low-watermark. Zero disables the goroutine; Engine.Vacuum
 	// remains available for manual, deterministic reclamation.
 	VacuumInterval time.Duration
+	// WALSink, when non-nil, receives the WAL's flushed bytes (default
+	// discard). The consistency harness points it at a kill-injecting
+	// writer to emulate crashes at arbitrary sync boundaries.
+	WALSink io.Writer
+	// CommitPayload, when set together with a WAL policy, encodes each
+	// committing transaction into the framed record appended to the log
+	// (wal.AppendRecord), enabling crash-recovery replay checks. When nil
+	// the log records only write counts.
+	CommitPayload func(*txn.Txn) []byte
 }
 
 // Engine is one embedded database instance.
@@ -89,11 +99,18 @@ func Open(cfg Config) *Engine {
 		tables: map[string]*storage.Table{},
 		stmts:  map[string]*cachedStmt{},
 	}
-	if cfg.WALPolicy != wal.SyncNone || cfg.CommitDelay > 0 {
-		e.log = wal.New(wal.Options{Policy: cfg.WALPolicy, GroupInterval: cfg.GroupCommitInterval})
+	if cfg.WALPolicy != wal.SyncNone || cfg.CommitDelay > 0 || cfg.WALSink != nil {
+		e.log = wal.New(wal.Options{Policy: cfg.WALPolicy, GroupInterval: cfg.GroupCommitInterval, W: cfg.WALSink})
 		delay := cfg.CommitDelay
-		e.mgr.OnCommit = func(writes int) error {
-			if err := e.log.Append(writes); err != nil {
+		payload := cfg.CommitPayload
+		e.mgr.OnCommit = func(t *txn.Txn) error {
+			var err error
+			if payload != nil {
+				err = e.log.AppendRecord(payload(t))
+			} else {
+				err = e.log.Append(t.WriteCount())
+			}
+			if err != nil {
 				return err
 			}
 			if delay > 0 {
@@ -155,6 +172,11 @@ func (e *Engine) Close() {
 
 // WAL exposes the engine's log for statistics; may be nil.
 func (e *Engine) WAL() *wal.Log { return e.log }
+
+// TxnManager exposes the engine's transaction manager. The consistency
+// harness uses it for nowait scheduling and mutation switches; regular
+// clients should stay on the Session surface.
+func (e *Engine) TxnManager() *txn.Manager { return e.mgr }
 
 // StorageTable implements exec.Resolver.
 func (e *Engine) StorageTable(name string) (*storage.Table, error) {
@@ -288,6 +310,9 @@ var ErrNoTxn = errors.New("sqldb: no transaction in progress")
 type Session struct {
 	eng *Engine
 	tx  *txn.Txn
+	// last is the Info of the most recently finished transaction on this
+	// session (explicit or autocommit), for history-recording harnesses.
+	last txn.Info
 	// paramBuf is the reusable argument-conversion buffer. Sessions are
 	// single-goroutine (they carry transaction state), and no plan retains
 	// its params slice past Execute, so one buffer per session suffices.
@@ -311,7 +336,13 @@ func (s *Session) begin(readonly bool) error {
 	if s.tx != nil {
 		return errors.New("sqldb: transaction already in progress")
 	}
-	s.tx = s.eng.mgr.Begin(readonly)
+	// TryBegin so that a manager in nowait mode surfaces ErrBusy instead of
+	// queueing; outside nowait mode it is identical to Begin.
+	t, err := s.eng.mgr.TryBegin(readonly)
+	if err != nil {
+		return err
+	}
+	s.tx = t
 	return nil
 }
 
@@ -321,6 +352,7 @@ func (s *Session) Commit() error {
 		return ErrNoTxn
 	}
 	err := s.tx.Commit()
+	s.last = s.tx.Info()
 	s.tx = nil
 	return err
 }
@@ -331,8 +363,19 @@ func (s *Session) Rollback() error {
 		return ErrNoTxn
 	}
 	s.tx.Abort()
+	s.last = s.tx.Info()
 	s.tx = nil
 	return nil
+}
+
+// TxnInfo returns the identity of the session's open transaction, or of the
+// most recently finished one when none is open (its Committed and SerialTS
+// fields then carry the outcome).
+func (s *Session) TxnInfo() txn.Info {
+	if s.tx != nil {
+		return s.tx.Info()
+	}
+	return s.last
 }
 
 // Exec parses (with caching) and executes one SQL statement. Without an open
@@ -370,9 +413,12 @@ func (s *Session) Exec(sql string, args ...any) (*exec.Result, error) {
 	res, err := cs.plan.Execute(tx, params)
 	if err != nil {
 		tx.Abort()
+		s.last = tx.Info()
 		return nil, err
 	}
-	if err := tx.Commit(); err != nil {
+	err = tx.Commit()
+	s.last = tx.Info()
+	if err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -431,9 +477,12 @@ func (st *Stmt) Exec(args ...any) (*exec.Result, error) {
 	res, err := st.plan.Execute(tx, params)
 	if err != nil {
 		tx.Abort()
+		st.s.last = tx.Info()
 		return nil, err
 	}
-	if err := tx.Commit(); err != nil {
+	err = tx.Commit()
+	st.s.last = tx.Info()
+	if err != nil {
 		return nil, err
 	}
 	return res, nil

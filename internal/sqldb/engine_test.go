@@ -816,3 +816,34 @@ func TestForUpdateLimitClaimsOnlyReturnedRows(t *testing.T) {
 	}
 	s1.Commit()
 }
+
+// TestAutocommitTxnInfo is the regression test for autocommit outcome
+// reporting: Exec outside an explicit transaction used to leave the session's
+// last-transaction info untouched, so observers (the consistency harness
+// records serialization timestamps through it) saw a stale or zero Info.
+// Both the success and the failure path must publish the autocommit txn.
+func TestAutocommitTxnInfo(t *testing.T) {
+	for _, mode := range []txn.Mode{txn.Serial, txn.Locking, txn.MVCC} {
+		t.Run(mode.String(), func(t *testing.T) {
+			e := newEngine(t, mode)
+			s := e.Session()
+			setupPeople(t, s)
+			mustExec(t, s, "UPDATE people SET age = 31 WHERE id = 1")
+			info := s.TxnInfo()
+			if !info.Committed || info.ID == 0 || info.SerialTS == 0 {
+				t.Fatalf("successful autocommit not published: %+v", info)
+			}
+			prev := info.ID
+			if _, err := s.Exec("INSERT INTO people (id, name) VALUES (1, 'dup')"); err == nil {
+				t.Fatal("duplicate insert succeeded")
+			}
+			info = s.TxnInfo()
+			if info.ID == prev {
+				t.Fatalf("failed autocommit did not publish a new txn: %+v", info)
+			}
+			if info.Committed {
+				t.Fatalf("failed autocommit reported committed: %+v", info)
+			}
+		})
+	}
+}

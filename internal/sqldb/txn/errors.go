@@ -15,8 +15,12 @@ var ErrDeadlock = errors.New("txn: lock conflict (wait-die), transaction aborted
 // ErrTxnDone is returned when operating on a committed or aborted transaction.
 var ErrTxnDone = errors.New("txn: transaction already finished")
 
+// ErrBusy is returned by TryBegin in nowait mode when the Serial engine's
+// global lock is held incompatibly. The caller should retry later.
+var ErrBusy = errors.New("txn: engine busy, transaction not started")
+
 // IsRetryable reports whether err is a concurrency abort that the workload
 // driver may transparently retry.
 func IsRetryable(err error) bool {
-	return errors.Is(err, ErrWriteConflict) || errors.Is(err, ErrDeadlock)
+	return errors.Is(err, ErrWriteConflict) || errors.Is(err, ErrDeadlock) || errors.Is(err, ErrBusy)
 }

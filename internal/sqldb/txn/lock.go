@@ -116,7 +116,10 @@ func oldestConflictor(st *lockState, id uint64, mode lockMode) uint64 {
 
 // acquire takes the lock for txn id, blocking per wait-die. It records the
 // strongest mode held. It returns ErrDeadlock when wait-die kills the caller.
-func (m *lockManager) acquire(id uint64, k lockKey, mode lockMode) error {
+// With nowait set, conflicts abort the requester outright instead of queueing
+// the older transaction — no call ever blocks, which the deterministic
+// consistency harness relies on.
+func (m *lockManager) acquire(id uint64, k lockKey, mode lockMode, nowait bool) error {
 	s := m.shard(k)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -135,8 +138,8 @@ func (m *lockManager) acquire(id uint64, k lockKey, mode lockMode) error {
 			}
 			return nil
 		}
-		// Wait-die: only wait for younger transactions.
-		if oldest := oldestConflictor(st, id, mode); id > oldest {
+		// Wait-die: only wait for younger transactions (nowait: never wait).
+		if oldest := oldestConflictor(st, id, mode); nowait || id > oldest {
 			if len(st.holders) == 0 && st.waiters == 0 {
 				s.freeState(k, st)
 			}

@@ -62,11 +62,55 @@ type Manager struct {
 	locks    *lockManager  // Locking mode lock table
 	active   sync.Map      // txn id -> snapshot ts, for the GC horizon
 
+	// nowait, when set, makes every engine non-blocking: Serial TryBegin
+	// returns ErrBusy instead of queueing on the global lock and the
+	// Locking engine aborts conflicting requests outright instead of
+	// letting wait-die park the older transaction. The consistency harness
+	// uses it for deterministic single-goroutine interleaving. Set before
+	// concurrent use; it is not synchronized.
+	nowait bool
+
+	// mutation selectively disables one engine invariant (see Mutation).
+	// Test-only: the consistency harness flips it to prove its checkers
+	// detect real engine bugs. Set before concurrent use.
+	mutation Mutation
+
 	// OnCommit, when set, runs after a writing transaction's commit record
 	// is durable-ordered but before its versions become visible. The engine
-	// uses it to append to the WAL and emulate commit latency.
-	OnCommit func(writes int) error
+	// uses it to append to the WAL and emulate commit latency. The
+	// transaction is fully populated but not yet stamped; hooks may read
+	// its identity and write set but must not retain it.
+	OnCommit func(t *Txn) error
 }
+
+// Mutation selects one deliberately broken engine invariant. The zero value
+// leaves the engine correct. These switches exist solely so the consistency
+// harness can validate itself: flipping one must make the corresponding
+// checker fail, proving the harness detects the class of bug it claims to.
+type Mutation uint8
+
+const (
+	// MutateNone leaves every invariant intact.
+	MutateNone Mutation = iota
+	// MutateSkipFirstUpdaterWins makes MVCC write claims ignore versions
+	// committed after the claimant's snapshot, so concurrent writers to one
+	// row both commit and the first update is silently lost.
+	MutateSkipFirstUpdaterWins
+	// MutateSkipReadLocks makes the Locking engine skip shared locks on
+	// plain reads, admitting non-repeatable reads and broken replay order.
+	MutateSkipReadLocks
+	// MutateSharedSerialWriters admits Serial-mode writers under the shared
+	// side of the global lock, so "serial" transactions interleave.
+	MutateSharedSerialWriters
+)
+
+// SetNoWait switches the manager into non-blocking mode (see the nowait
+// field). Must be called before transactions run concurrently.
+func (m *Manager) SetNoWait(v bool) { m.nowait = v }
+
+// SetMutation installs a deliberate invariant break (harness self-validation
+// only). Must be called before transactions run concurrently.
+func (m *Manager) SetMutation(mu Mutation) { m.mutation = mu }
 
 // NewManager returns a Manager running the given mode.
 func NewManager(mode Mode) *Manager {
@@ -123,8 +167,19 @@ type Txn struct {
 	snap     uint64
 	readonly bool
 	done     bool
-	writes   []writeOp
-	held     map[lockKey]lockMode
+	// sharedGlobal records which side of the Serial global lock this
+	// transaction holds (mutations can put writers on the shared side).
+	sharedGlobal bool
+	// serial is the transaction's serialization timestamp, stamped at
+	// commit: the new commit timestamp for writers, the current clock value
+	// for read-only commits. Zero until committed.
+	serial uint64
+	// committed and nwrites preserve the outcome for Info after finish
+	// clears the write set.
+	committed bool
+	nwrites   int
+	writes    []writeOp
+	held      map[lockKey]lockMode
 	// claimed tracks rows already write-claimed under MVCC so repeated
 	// writes to one row within the txn skip the conflict check.
 	claimed map[*storage.Row]bool
@@ -140,7 +195,8 @@ func (m *Manager) Begin(readonly bool) *Txn {
 	}
 	switch m.mode {
 	case Serial:
-		if readonly {
+		t.sharedGlobal = readonly || m.mutation == MutateSharedSerialWriters
+		if t.sharedGlobal {
 			m.global.RLock()
 		} else {
 			m.global.Lock()
@@ -165,11 +221,109 @@ func (m *Manager) Begin(readonly bool) *Txn {
 	return t
 }
 
+// TryBegin starts a transaction like Begin, except that in nowait mode the
+// Serial engine attempts the global lock without queueing and returns ErrBusy
+// (retryable) when it is held incompatibly. The other engines never block in
+// Begin, so TryBegin is identical to Begin for them.
+func (m *Manager) TryBegin(readonly bool) (*Txn, error) {
+	if m.mode != Serial || !m.nowait {
+		return m.Begin(readonly), nil
+	}
+	t := &Txn{
+		mgr:      m,
+		id:       m.nextTxn.Add(1),
+		readonly: readonly,
+	}
+	t.sharedGlobal = readonly || m.mutation == MutateSharedSerialWriters
+	if t.sharedGlobal {
+		if !m.global.TryRLock() {
+			return nil, ErrBusy
+		}
+	} else {
+		if !m.global.TryLock() {
+			return nil, ErrBusy
+		}
+	}
+	t.snap = m.clock.Load()
+	return t, nil
+}
+
 // ID returns the transaction id.
 func (t *Txn) ID() uint64 { return t.id }
 
 // Snapshot returns the transaction's snapshot timestamp.
 func (t *Txn) Snapshot() uint64 { return t.snap }
+
+// Info is a transaction's identity and outcome, exposed for history-recording
+// harnesses and durability hooks.
+type Info struct {
+	// ID is the engine-assigned transaction id.
+	ID uint64
+	// Snapshot is the snapshot timestamp taken at begin.
+	Snapshot uint64
+	// SerialTS is the serialization timestamp stamped at commit: the commit
+	// timestamp for writers, the clock value observed at commit for
+	// read-only transactions. Zero while in flight or after an abort.
+	SerialTS uint64
+	// Committed reports whether Commit succeeded.
+	Committed bool
+	// Writes is the number of write-set entries (including MVCC claims).
+	Writes int
+}
+
+// Info returns the transaction's identity and (once finished) outcome. Valid
+// both in flight and after finish.
+func (t *Txn) Info() Info {
+	w := t.nwrites
+	if !t.done {
+		w = len(t.writes)
+	}
+	return Info{ID: t.id, Snapshot: t.snap, SerialTS: t.serial, Committed: t.committed, Writes: w}
+}
+
+// WriteKind classifies one WriteRec.
+type WriteKind uint8
+
+const (
+	// WriteInsert is a row insertion.
+	WriteInsert WriteKind = iota
+	// WriteUpdate is a row replacement.
+	WriteUpdate
+	// WriteDelete is a row removal.
+	WriteDelete
+)
+
+// WriteRec is one materialized write-set entry, exposed to durability hooks
+// (WAL payload encoders). Data is the new image for inserts and updates and
+// the deleted image for deletes; it aliases engine memory and must not be
+// mutated or retained past the hook.
+type WriteRec struct {
+	Table string
+	Kind  WriteKind
+	Data  []sqlval.Value
+}
+
+// WriteCount returns the number of write-set entries (including claims),
+// matching what OnCommit hooks historically received.
+func (t *Txn) WriteCount() int { return len(t.writes) }
+
+// WriteSet materializes the transaction's logical writes in program order,
+// skipping pure claims. Intended for OnCommit durability hooks; allocates.
+func (t *Txn) WriteSet() []WriteRec {
+	out := make([]WriteRec, 0, len(t.writes))
+	for i := range t.writes {
+		op := &t.writes[i]
+		switch op.kind {
+		case opInsert:
+			out = append(out, WriteRec{Table: op.table.Meta.Name, Kind: WriteInsert, Data: op.newV.Data})
+		case opUpdate:
+			out = append(out, WriteRec{Table: op.table.Meta.Name, Kind: WriteUpdate, Data: op.newV.Data})
+		case opDelete:
+			out = append(out, WriteRec{Table: op.table.Meta.Name, Kind: WriteDelete, Data: op.oldV.Data})
+		}
+	}
+	return out
+}
 
 // view returns the storage visibility view for this transaction.
 func (t *Txn) view() storage.View {
@@ -200,6 +354,9 @@ func (t *Txn) Read(tbl *storage.Table, id storage.RowID, forUpdate bool) ([]sqlv
 		if forUpdate {
 			mode = lockExclusive
 		}
+		if mode == lockShared && t.mgr.mutation == MutateSkipReadLocks {
+			break // deliberately broken: unprotected read
+		}
 		if err := t.lock(tbl, id, mode); err != nil {
 			return nil, err
 		}
@@ -224,7 +381,7 @@ func (t *Txn) lock(tbl *storage.Table, id storage.RowID, mode lockMode) error {
 	if held, ok := t.held[k]; ok && (held == lockExclusive || mode == lockShared) {
 		return nil
 	}
-	if err := t.mgr.locks.acquire(t.id, k, mode); err != nil {
+	if err := t.mgr.locks.acquire(t.id, k, mode, t.mgr.nowait); err != nil {
 		return err
 	}
 	if held, ok := t.held[k]; !ok || mode > held {
@@ -253,7 +410,7 @@ func (t *Txn) claim(tbl *storage.Table, id storage.RowID, row *storage.Row) erro
 		}
 		return nil // my own version is already exclusive
 	}
-	if v.Begin() > t.snap {
+	if v.Begin() > t.snap && t.mgr.mutation != MutateSkipFirstUpdaterWins {
 		return ErrWriteConflict // committed after my snapshot
 	}
 	switch {
@@ -417,7 +574,7 @@ func (t *Txn) Commit() error {
 	// versions become visible, outside the stamping critical section so
 	// that group commit can overlap many waiters.
 	if m.OnCommit != nil && len(t.writes) > 0 {
-		if err := m.OnCommit(len(t.writes)); err != nil {
+		if err := m.OnCommit(t); err != nil {
 			t.Abort()
 			return fmt.Errorf("txn: commit durability failed: %w", err)
 		}
@@ -462,7 +619,17 @@ func (t *Txn) Commit() error {
 		}
 		m.clock.Store(ts)
 		m.commitMu.Unlock()
+		t.serial = ts
+	} else {
+		// Read-only commit: serialize at the clock value observed now.
+		// Under the Serial and Locking engines every conflicting writer
+		// either committed before this load (its timestamp is <= the value)
+		// or is still excluded by a lock this transaction holds (and will
+		// stamp strictly later), so replaying the reads at this position is
+		// a valid serialization.
+		t.serial = m.clock.Load()
 	}
+	t.committed = true
 	t.finish()
 	return nil
 }
@@ -513,7 +680,7 @@ func (t *Txn) finish() {
 	m := t.mgr
 	switch m.mode {
 	case Serial:
-		if t.readonly {
+		if t.sharedGlobal {
 			m.global.RUnlock()
 		} else {
 			m.global.Unlock()
@@ -523,6 +690,7 @@ func (t *Txn) finish() {
 	case MVCC:
 		m.active.Delete(t.id)
 	}
+	t.nwrites = len(t.writes)
 	t.writes = nil
 	t.claimed = nil
 	t.done = true

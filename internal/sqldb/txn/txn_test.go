@@ -545,9 +545,9 @@ func TestVacuumReclaimsDeletedRows(t *testing.T) {
 func TestOnCommitHook(t *testing.T) {
 	m := NewManager(MVCC)
 	var calls, writes atomic.Int64
-	m.OnCommit = func(n int) error {
+	m.OnCommit = func(tx *Txn) error {
 		calls.Add(1)
-		writes.Add(int64(n))
+		writes.Add(int64(tx.WriteCount()))
 		return nil
 	}
 	tbl := newAccountsTable(t)

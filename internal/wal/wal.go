@@ -18,6 +18,9 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
 	"io"
 	"runtime"
 	"sync"
@@ -63,6 +66,15 @@ const recordHeaderSize = 16
 // flush cadence far past the configured interval.
 const spinThreshold = 2 * time.Millisecond
 
+// flushGen is one group-commit generation: everyone whose record entered the
+// buffer before a flush waits on done; err carries the sink write error of
+// that flush (set before done is closed), so a failed flush aborts every
+// commit it covered instead of falsely acknowledging durability.
+type flushGen struct {
+	done chan struct{}
+	err  error
+}
+
 // Log is a write-ahead log. A nil *Log is valid and performs no work, so
 // engines without durability emulation skip the whole path.
 type Log struct {
@@ -72,9 +84,13 @@ type Log struct {
 
 	mu        sync.Mutex
 	buf       []byte
-	flushCh   chan struct{}
+	gen       *flushGen
 	leader    bool      // a group leader is pacing the next flush
 	lastFlush time.Time // end of the previous flush, guarded by mu
+	// failErr is the first sink write error observed. Once set, the log is
+	// dead — every subsequent append fails immediately, emulating a crashed
+	// device: nothing commits after the crash point.
+	failErr error
 
 	stop    chan struct{}
 	closed  atomic.Bool
@@ -109,7 +125,7 @@ func New(opts Options) *Log {
 		policy:   opts.Policy,
 		interval: opts.GroupInterval,
 		w:        opts.W,
-		flushCh:  make(chan struct{}),
+		gen:      &flushGen{done: make(chan struct{})},
 		stop:     make(chan struct{}),
 	}
 	if l.policy == SyncAsync {
@@ -131,35 +147,96 @@ func (l *Log) Policy() SyncPolicy {
 }
 
 // Append encodes one commit record covering n row writes and waits according
-// to the sync policy. It is safe for concurrent use.
+// to the sync policy. It is safe for concurrent use. The returned error is
+// the durability verdict: non-nil means the record is not known durable and
+// the caller's commit must not be acknowledged.
 func (l *Log) Append(n int) error {
 	if l == nil {
 		return nil
 	}
-	seq := l.seq.Add(1)
 	var rec [recordHeaderSize]byte
-	binary.BigEndian.PutUint64(rec[0:8], seq)
 	binary.BigEndian.PutUint32(rec[8:12], uint32(n))
-	l.records.Add(1)
+	return l.append(rec[:], 0)
+}
 
+// recordMagic guards every payload frame so that replay can tell a torn or
+// corrupt tail from a valid record.
+const recordMagic = 0xB7
+
+// payloadHeaderSize is the encoded size of one payload frame header:
+// magic (1) + reserved (3) + sequence (8) + payload length (4) + FNV-32a (4).
+const payloadHeaderSize = 20
+
+// Record is one decoded payload frame.
+type Record struct {
+	// Seq is the append sequence number (1-based, consecutive).
+	Seq uint64
+	// Payload is the application bytes handed to AppendRecord.
+	Payload []byte
+}
+
+// AppendRecord writes one framed, checksummed payload record and waits for
+// durability per the sync policy, exactly like Append. Logs written with
+// AppendRecord can be replayed with ReadRecords; the two framings must not be
+// mixed in one log.
+func (l *Log) AppendRecord(payload []byte) error {
+	if l == nil {
+		return nil
+	}
+	frame := make([]byte, payloadHeaderSize+len(payload))
+	frame[0] = recordMagic
+	binary.BigEndian.PutUint32(frame[12:16], uint32(len(payload)))
+	h := fnv.New32a()
+	h.Write(payload)
+	binary.BigEndian.PutUint32(frame[16:20], h.Sum32())
+	copy(frame[payloadHeaderSize:], payload)
+	return l.append(frame, 4)
+}
+
+// append routes one encoded record through the configured sync policy.
+// seqOff is the header offset of the 8-byte sequence field, stamped under
+// l.mu so that buffer order and sequence order always agree (the checksum
+// covers only the payload, so late stamping is safe).
+func (l *Log) append(rec []byte, seqOff int) error {
 	if l.policy != SyncGroup {
 		if l.policy == SyncNone {
-			// Write through; nothing batches and nobody waits.
+			// Write through; nothing batches and nobody waits, but the
+			// write's verdict is the caller's durability verdict.
 			l.mu.Lock()
-			l.w.Write(rec[:]) // best-effort; the sink is an emulation target
+			err := l.failErr
+			if err == nil {
+				binary.BigEndian.PutUint64(rec[seqOff:seqOff+8], l.seq.Add(1))
+				err = writeAll(l.w, rec)
+				l.failErr = err
+			}
 			l.mu.Unlock()
-			l.bytes.Add(recordHeaderSize)
+			if err != nil {
+				return err
+			}
+			l.records.Add(1)
+			l.bytes.Add(uint64(len(rec)))
 			return nil
 		}
 		l.mu.Lock()
-		l.buf = append(l.buf, rec[:]...)
+		err := l.failErr
+		if err == nil {
+			binary.BigEndian.PutUint64(rec[seqOff:seqOff+8], l.seq.Add(1))
+			l.buf = append(l.buf, rec...)
+			l.records.Add(1)
+		}
 		l.mu.Unlock()
-		return nil // SyncAsync: the background flusher drains the buffer
+		return err // SyncAsync: the background flusher drains the buffer
 	}
 
 	l.mu.Lock()
-	l.buf = append(l.buf, rec[:]...)
-	ch := l.flushCh
+	if err := l.failErr; err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	binary.BigEndian.PutUint64(rec[seqOff:seqOff+8], l.seq.Add(1))
+	l.buf = append(l.buf, rec...)
+	l.records.Add(1)
+	gen := l.gen
 	lead := !l.leader
 	var deadline time.Time
 	if lead {
@@ -170,14 +247,24 @@ func (l *Log) Append(n int) error {
 
 	if !lead {
 		select {
-		case <-ch:
+		case <-gen.done:
+			return gen.err
 		case <-l.stop:
 		}
 		return nil
 	}
 	l.pace(deadline)
 	l.flush()
-	return nil
+	return gen.err
+}
+
+// writeAll drives w.Write to completion, converting short writes into errors.
+func writeAll(w io.Writer, p []byte) error {
+	n, err := w.Write(p)
+	if err == nil && n < len(p) {
+		err = io.ErrShortWrite
+	}
+	return err
 }
 
 // pace blocks the group leader until the deadline (or shutdown). Long waits
@@ -226,22 +313,36 @@ func (l *Log) flusher() {
 }
 
 // flush drains the buffer, stamps the flush time, and releases every waiter
-// that appended before the drain.
+// that appended before the drain, handing them the sink write's verdict: a
+// failed flush must abort the commits it covered, never acknowledge them.
 func (l *Log) flush() {
 	l.mu.Lock()
 	buf := l.buf
 	l.buf = nil
-	old := l.flushCh
-	l.flushCh = make(chan struct{})
+	old := l.gen
+	l.gen = &flushGen{done: make(chan struct{})}
 	l.lastFlush = time.Now()
 	l.leader = false
+	already := l.failErr
 	l.mu.Unlock()
 	if len(buf) > 0 {
-		l.w.Write(buf) // best-effort; the sink is an emulation target
-		l.bytes.Add(uint64(len(buf)))
-		l.flushes.Add(1)
+		err := already
+		if err == nil {
+			err = writeAll(l.w, buf)
+		}
+		if err != nil {
+			old.err = err
+			l.mu.Lock()
+			if l.failErr == nil {
+				l.failErr = err
+			}
+			l.mu.Unlock()
+		} else {
+			l.bytes.Add(uint64(len(buf)))
+			l.flushes.Add(1)
+		}
 	}
-	close(old)
+	close(old.done)
 }
 
 // Close stops background work after a final flush and releases any
@@ -280,4 +381,53 @@ func (l *Log) Bytes() uint64 {
 		return 0
 	}
 	return l.bytes.Load()
+}
+
+// ErrTorn reports that a log ended in a torn (incomplete or checksum-corrupt)
+// record, as a crash mid-write leaves behind. ReadRecords returns it together
+// with every complete record that precedes the tear.
+var ErrTorn = errors.New("wal: torn record at end of log")
+
+// ReadRecords decodes a log written with AppendRecord. It returns every
+// complete, checksum-valid record in append order. A torn tail — the normal
+// residue of a crash between or during sink writes — yields ErrTorn alongside
+// the intact prefix; any malformation that cannot be a simple tear (bad magic
+// with more data following, out-of-order sequence numbers) is a hard error,
+// because it means the prefix itself cannot be trusted.
+func ReadRecords(r io.Reader) ([]Record, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var recs []Record
+	off := 0
+	var lastSeq uint64
+	for off < len(data) {
+		if len(data)-off < payloadHeaderSize {
+			return recs, ErrTorn
+		}
+		hdr := data[off : off+payloadHeaderSize]
+		if hdr[0] != recordMagic {
+			return recs, fmt.Errorf("wal: bad record magic 0x%02x at offset %d", hdr[0], off)
+		}
+		seq := binary.BigEndian.Uint64(hdr[4:12])
+		plen := int(binary.BigEndian.Uint32(hdr[12:16]))
+		sum := binary.BigEndian.Uint32(hdr[16:20])
+		if len(data)-off-payloadHeaderSize < plen {
+			return recs, ErrTorn
+		}
+		payload := data[off+payloadHeaderSize : off+payloadHeaderSize+plen]
+		h := fnv.New32a()
+		h.Write(payload)
+		if h.Sum32() != sum {
+			return recs, ErrTorn
+		}
+		if seq != lastSeq+1 {
+			return recs, fmt.Errorf("wal: record sequence jump %d -> %d at offset %d", lastSeq, seq, off)
+		}
+		lastSeq = seq
+		recs = append(recs, Record{Seq: seq, Payload: payload})
+		off += payloadHeaderSize + plen
+	}
+	return recs, nil
 }

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"bytes"
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -108,3 +109,157 @@ func TestPolicyString(t *testing.T) {
 type writerFunc func(p []byte) (int, error)
 
 func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+// failAfter returns a writer that accepts n bytes, then fails every write
+// with errDevice.
+func failAfter(n int, buf *bytes.Buffer) writerFunc {
+	return func(p []byte) (int, error) {
+		if buf.Len()+len(p) > n {
+			take := n - buf.Len()
+			if take < 0 {
+				take = 0
+			}
+			buf.Write(p[:take])
+			return take, errDevice
+		}
+		buf.Write(p)
+		return len(p), nil
+	}
+}
+
+var errDevice = errors.New("wal test: device failure")
+
+// TestGroupCommitWriteErrorPropagates is the regression test for the
+// ack-on-failed-flush bug: flush() used to ignore the sink's write error and
+// close the generation channel anyway, acknowledging commits whose records
+// never reached the device. Every waiter of a failed flush must see the
+// error, and the log must stay failed afterwards.
+func TestGroupCommitWriteErrorPropagates(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	inner := failAfter(0, &buf) // device dead from the start
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return inner(p)
+	})
+	l := New(Options{Policy: SyncGroup, GroupInterval: 50 * time.Microsecond, W: w})
+	defer l.Close()
+
+	errs := make(chan error, 8)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- l.Append(1)
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err == nil {
+			t.Fatal("group-commit waiter acknowledged despite failed flush")
+		}
+	}
+	// The device failure is sticky: later appends fail immediately.
+	if err := l.Append(1); err == nil {
+		t.Fatal("append succeeded on a failed log")
+	}
+}
+
+// TestSyncNoneWriteErrorFailsAppend pins write-through semantics: a failed
+// or short write must surface on the very append that hit it, and the log
+// must refuse all further appends.
+func TestSyncNoneWriteErrorFailsAppend(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(Options{Policy: SyncNone, W: failAfter(recordHeaderSize+4, &buf)})
+	defer l.Close()
+	if err := l.Append(1); err != nil {
+		t.Fatalf("first append: %v", err)
+	}
+	if err := l.Append(1); err == nil {
+		t.Fatal("append with torn write acknowledged")
+	}
+	if err := l.Append(1); err == nil {
+		t.Fatal("append on failed log acknowledged")
+	}
+	if got := l.Records(); got != 1 {
+		t.Fatalf("records = %d, want 1 (failed appends must not count)", got)
+	}
+}
+
+// TestAppendRecordRoundTrip checks the framed payload path end to end:
+// records come back in order, sequence-stamped, with payloads intact.
+func TestAppendRecordRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(Options{Policy: SyncNone, W: &buf})
+	payloads := [][]byte{[]byte("alpha"), {}, []byte("gamma-longer-payload")}
+	for _, p := range payloads {
+		if err := l.AppendRecord(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	recs, err := ReadRecords(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(payloads) {
+		t.Fatalf("read %d records, want %d", len(recs), len(payloads))
+	}
+	for i, rec := range recs {
+		if rec.Seq != uint64(i+1) {
+			t.Fatalf("record %d: seq = %d", i, rec.Seq)
+		}
+		if !bytes.Equal(rec.Payload, payloads[i]) {
+			t.Fatalf("record %d: payload %q, want %q", i, rec.Payload, payloads[i])
+		}
+	}
+}
+
+// TestReadRecordsTornTail checks crash-recovery parsing: a log cut anywhere
+// inside the final record yields the complete prefix plus ErrTorn, never a
+// corrupted record.
+func TestReadRecordsTornTail(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(Options{Policy: SyncNone, W: &buf})
+	if err := l.AppendRecord([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendRecord([]byte("second-record")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	whole := buf.Bytes()
+	firstLen := payloadHeaderSize + len("first")
+	for cut := firstLen; cut < len(whole); cut++ {
+		recs, err := ReadRecords(bytes.NewReader(whole[:cut]))
+		if cut == firstLen {
+			if err != nil {
+				t.Fatalf("cut %d: clean boundary returned %v", cut, err)
+			}
+		} else if err != ErrTorn {
+			t.Fatalf("cut %d: err = %v, want ErrTorn", cut, err)
+		}
+		if len(recs) != 1 || !bytes.Equal(recs[0].Payload, []byte("first")) {
+			t.Fatalf("cut %d: surviving prefix = %v", cut, recs)
+		}
+	}
+}
+
+// TestReadRecordsRejectsCorruption checks that bit rot inside a record body
+// is caught by the checksum rather than silently replayed.
+func TestReadRecordsRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(Options{Policy: SyncNone, W: &buf})
+	if err := l.AppendRecord([]byte("payload-to-corrupt")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	img := append([]byte(nil), buf.Bytes()...)
+	img[payloadHeaderSize+3] ^= 0x40 // flip one payload bit
+	if _, err := ReadRecords(bytes.NewReader(img)); err == nil {
+		t.Fatal("corrupted record replayed without error")
+	}
+}

@@ -33,6 +33,12 @@ go test -race -short -count=1 ./internal/core/... ./internal/stats/... ./interna
 echo "==> observability smoke (/metrics exposition, SSE stream, error envelope)"
 go test -count=1 -run 'TestMetricsEndpoint|TestStreamEndpoint|TestStreamWhilePaused|TestErrorEnvelope' ./internal/api/
 
+echo "==> isolation conformance & crash recovery (-race, fixed seed)"
+# Deterministic differential-oracle harness for the three personalities plus
+# the WAL kill-point sweep. CONSISTENCY_SEED=<n> reseeds the run; add
+# -consistency.long for the ~10x soak shape.
+go test -race -count=1 ./internal/consistency/
+
 echo "==> go test -race storage stress (striped store + online vacuum)"
 go test -race -count=1 -run 'TestStorageStressConcurrent' ./internal/sqldb/txn/
 
