@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchlint [-rule name[,name]] [-list] [-pkgpath path] [patterns ...]
+//	benchlint [-rule name[,name]] [-list] [-format text|json] [-diff ref] [-pkgpath path] [patterns ...]
 //
 // Patterns are package directories relative to the working directory;
 // "dir/..." recurses (default "./..."). A pattern naming a single .go file
@@ -14,14 +14,29 @@
 //
 //	benchlint -pkgpath benchpress/internal/fixture internal/analysis/rules/testdata/errdiscard_bad.go
 //
+// -diff ref lints only the packages whose files changed since
+// merge-base(HEAD, ref), plus every package that transitively imports one
+// of them (interprocedural findings can surface in callers of changed
+// code). It replaces the pattern arguments and is the fast pre-push gate.
+//
+// Whatever selects the targets, interprocedural rules always see the full
+// program the loader pulled in, so facts flow in from dependencies that
+// are not themselves being reported on.
+//
 // Exit status: 0 clean, 1 findings, 2 usage or load/type errors.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"go/parser"
+	"go/token"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"benchpress/internal/analysis"
@@ -37,9 +52,15 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	ruleFlag := fs.String("rule", "", "comma-separated rule names to run (default: all)")
 	list := fs.Bool("list", false, "list available rules and exit")
+	format := fs.String("format", "text", "output format: text or json")
+	diffRef := fs.String("diff", "", "lint only packages changed since merge-base(HEAD, ref), plus reverse dependencies")
 	pkgpath := fs.String("pkgpath", "benchpress/internal/lintfixture",
 		"synthetic import path for single-file arguments (rules scope by path)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(stderr, "benchlint: unknown format %q (want text or json)\n", *format)
 		return 2
 	}
 	if *list {
@@ -78,42 +99,67 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 
-	patterns := fs.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
-	var pkgs []*analysis.Package
-	var dirPatterns []string
-	for _, pat := range patterns {
-		if strings.HasSuffix(pat, ".go") {
-			pkg, err := loader.LoadFile(pat, *pkgpath)
-			if err != nil {
-				fmt.Fprintln(stderr, "benchlint:", err)
-				return 2
-			}
-			pkgs = append(pkgs, pkg)
-			continue
+	// Targets are the packages findings are reported in; filePkgs are
+	// single-file synthetic packages the loader does not memoize, so they
+	// must be added to the program by hand.
+	var targets, filePkgs []*analysis.Package
+	var dirs []string
+
+	if *diffRef != "" {
+		if len(fs.Args()) > 0 {
+			fmt.Fprintln(stderr, "benchlint: -diff replaces package patterns; drop the arguments")
+			return 2
 		}
-		dirPatterns = append(dirPatterns, pat)
-	}
-	if len(dirPatterns) > 0 {
-		dirs, err := loader.Expand(dirPatterns, cwd)
+		dirs, err = changedPackageDirs(root, *diffRef, loader)
 		if err != nil {
 			fmt.Fprintln(stderr, "benchlint:", err)
 			return 2
 		}
-		for _, dir := range dirs {
-			pkg, err := loader.LoadDir(dir)
+		if len(dirs) == 0 {
+			if *format == "json" {
+				fmt.Fprintln(stdout, "[]")
+			}
+			return 0
+		}
+	} else {
+		patterns := fs.Args()
+		if len(patterns) == 0 {
+			patterns = []string{"./..."}
+		}
+		var dirPatterns []string
+		for _, pat := range patterns {
+			if strings.HasSuffix(pat, ".go") {
+				pkg, err := loader.LoadFile(pat, *pkgpath)
+				if err != nil {
+					fmt.Fprintln(stderr, "benchlint:", err)
+					return 2
+				}
+				filePkgs = append(filePkgs, pkg)
+				continue
+			}
+			dirPatterns = append(dirPatterns, pat)
+		}
+		if len(dirPatterns) > 0 {
+			dirs, err = loader.Expand(dirPatterns, cwd)
 			if err != nil {
 				fmt.Fprintln(stderr, "benchlint:", err)
 				return 2
 			}
-			pkgs = append(pkgs, pkg)
 		}
 	}
 
+	targets = append(targets, filePkgs...)
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchlint:", err)
+			return 2
+		}
+		targets = append(targets, pkg)
+	}
+
 	loadBroken := false
-	for _, pkg := range pkgs {
+	for _, pkg := range targets {
 		for _, terr := range pkg.TypeErrors {
 			fmt.Fprintf(stderr, "benchlint: %s: %v\n", pkg.Path, terr)
 			loadBroken = true
@@ -123,9 +169,19 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 
-	diags := analysis.Run(pkgs, active)
-	for _, d := range diags {
-		fmt.Fprintln(stdout, relativize(d, root))
+	program := append(loader.Loaded(), filePkgs...)
+	diags := analysis.RunProgram(analysis.NewProgram(program), targets, active)
+
+	switch *format {
+	case "json":
+		if err := writeJSON(stdout, diags, root); err != nil {
+			fmt.Fprintln(stderr, "benchlint:", err)
+			return 2
+		}
+	default:
+		for _, d := range diags {
+			fmt.Fprintln(stdout, relativize(d, root))
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "benchlint: %d finding(s)\n", len(diags))
@@ -134,12 +190,175 @@ func run(args []string, stdout, stderr *os.File) int {
 	return 0
 }
 
+// finding is the JSON shape of one diagnostic; paths are module-relative.
+type finding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+func writeJSON(stdout *os.File, diags []analysis.Diagnostic, root string) error {
+	out := make([]finding, 0, len(diags))
+	for _, d := range diags {
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			d.Pos.Filename = filepath.ToSlash(rel)
+		}
+		out = append(out, finding{
+			File:    d.Pos.Filename,
+			Line:    d.Pos.Line,
+			Col:     d.Pos.Column,
+			Rule:    d.Rule,
+			Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
 // relativize shortens absolute diagnostic paths to module-relative ones.
 func relativize(d analysis.Diagnostic, root string) string {
 	if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
 		d.Pos.Filename = rel
 	}
 	return d.String()
+}
+
+// changedPackageDirs resolves -diff: the absolute directories of packages
+// with .go files changed since merge-base(HEAD, ref) — tracked edits and
+// untracked additions — widened to every package that transitively imports
+// one of them.
+func changedPackageDirs(root, ref string, loader *analysis.Loader) ([]string, error) {
+	base, err := gitOutput(root, "merge-base", "HEAD", ref)
+	if err != nil {
+		return nil, fmt.Errorf("git merge-base HEAD %s: %w", ref, err)
+	}
+	changedOut, err := gitOutput(root, "diff", "--name-only", "--relative", strings.TrimSpace(base), "--", "*.go")
+	if err != nil {
+		return nil, fmt.Errorf("git diff: %w", err)
+	}
+	untrackedOut, err := gitOutput(root, "ls-files", "--others", "--exclude-standard", "--", "*.go")
+	if err != nil {
+		return nil, fmt.Errorf("git ls-files: %w", err)
+	}
+
+	changed := map[string]bool{}
+	for _, line := range strings.Split(changedOut+"\n"+untrackedOut, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		changed[filepath.Join(root, filepath.Dir(filepath.FromSlash(line)))] = true
+	}
+	if len(changed) == 0 {
+		return nil, nil
+	}
+
+	allDirs, err := loader.Expand([]string{"./..."}, root)
+	if err != nil {
+		return nil, err
+	}
+	importers, err := reverseImports(loader, allDirs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Seed with changed dirs that are real package dirs (deleted packages
+	// and non-package dirs drop out), then close over reverse imports.
+	pkgDirs := map[string]bool{}
+	for _, d := range allDirs {
+		pkgDirs[d] = true
+	}
+	var seeds []string
+	for d := range changed {
+		if pkgDirs[d] {
+			seeds = append(seeds, d)
+		}
+	}
+	return reverseClosure(importers, seeds), nil
+}
+
+// reverseImports parses import clauses of every package dir (non-test files
+// only) and returns the reverse edge map: dependency dir -> importer dirs.
+func reverseImports(loader *analysis.Loader, dirs []string) (map[string][]string, error) {
+	prefix := loader.ModulePath + "/"
+	importers := map[string][]string{}
+	fset := token.NewFileSet()
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		seen := map[string]bool{}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ImportsOnly)
+			if err != nil {
+				return nil, err
+			}
+			for _, imp := range f.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				var rel string
+				if path == loader.ModulePath {
+					rel = "."
+				} else if strings.HasPrefix(path, prefix) {
+					rel = strings.TrimPrefix(path, prefix)
+				} else {
+					continue
+				}
+				dep := filepath.Join(loader.ModuleRoot, filepath.FromSlash(rel))
+				if !seen[dep] {
+					seen[dep] = true
+					importers[dep] = append(importers[dep], dir)
+				}
+			}
+		}
+	}
+	return importers, nil
+}
+
+// reverseClosure walks the reverse import edges from the seed dirs and
+// returns every reachable dir (including the seeds), sorted.
+func reverseClosure(importers map[string][]string, seeds []string) []string {
+	out := map[string]bool{}
+	queue := append([]string(nil), seeds...)
+	for len(queue) > 0 {
+		d := queue[0]
+		queue = queue[1:]
+		if out[d] {
+			continue
+		}
+		out[d] = true
+		queue = append(queue, importers[d]...)
+	}
+	dirs := make([]string, 0, len(out))
+	for d := range out {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	return dirs
+}
+
+// gitOutput runs git in dir and returns its stdout.
+func gitOutput(dir string, args ...string) (string, error) {
+	cmd := exec.Command("git", append([]string{"-C", dir}, args...)...)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		msg := strings.TrimSpace(errb.String())
+		if msg == "" {
+			msg = err.Error()
+		}
+		return "", fmt.Errorf("%s", msg)
+	}
+	return out.String(), nil
 }
 
 // findModuleRoot walks upward from dir to the directory containing go.mod.

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -88,6 +90,153 @@ func TestUnknownRuleIsUsageError(t *testing.T) {
 		t.Fatalf("exit code = %d, want 2", code)
 	}
 	if !strings.Contains(readErr(), "unknown rule") {
+		t.Errorf("stderr missing diagnostic:\n%s", readErr())
+	}
+}
+
+// TestExitCodeContract pins the three-way contract in one place: 0 clean,
+// 1 findings, 2 load/type errors.
+func TestExitCodeContract(t *testing.T) {
+	broken := filepath.Join(t.TempDir(), "broken.go")
+	if err := os.WriteFile(broken, []byte("package p\n\nfunc f() { undefined() }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"clean", []string{"-pkgpath", "benchpress/internal/fixture", testdata("atomic_good.go")}, 0},
+		{"findings", []string{"-pkgpath", "benchpress/internal/fixture", testdata("atomic_bad.go")}, 1},
+		{"load error", []string{broken}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			stdout, _ := capture(t)
+			stderr, readErr := capture(t)
+			if code := run(tc.args, stdout, stderr); code != tc.want {
+				t.Fatalf("exit code = %d, want %d; stderr:\n%s", code, tc.want, readErr())
+			}
+		})
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	stdout, readOut := capture(t)
+	stderr, _ := capture(t)
+	code := run([]string{"-format", "json", "-pkgpath", "benchpress/internal/fixture", testdata("atomic_bad.go")}, stdout, stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	var findings []struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Rule    string `json:"rule"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(readOut()), &findings); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, readOut())
+	}
+	if len(findings) == 0 {
+		t.Fatal("JSON output has no findings")
+	}
+	f := findings[0]
+	if !strings.HasSuffix(f.File, "atomic_bad.go") || f.Line == 0 || f.Rule != "atomic-consistency" || f.Message == "" {
+		t.Errorf("unexpected finding: %+v", f)
+	}
+}
+
+func TestJSONCleanIsEmptyArray(t *testing.T) {
+	stdout, readOut := capture(t)
+	stderr, _ := capture(t)
+	code := run([]string{"-format", "json", "-pkgpath", "benchpress/internal/fixture", testdata("atomic_good.go")}, stdout, stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	if got := strings.TrimSpace(readOut()); got != "[]" {
+		t.Errorf("clean JSON output = %q, want []", got)
+	}
+}
+
+func TestUnknownFormatIsUsageError(t *testing.T) {
+	stdout, _ := capture(t)
+	stderr, readErr := capture(t)
+	if code := run([]string{"-format", "yaml"}, stdout, stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(readErr(), "unknown format") {
+		t.Errorf("stderr missing diagnostic:\n%s", readErr())
+	}
+}
+
+// git runs git in dir for the diff-mode test repo.
+func git(t *testing.T, dir string, args ...string) {
+	t.Helper()
+	cmd := exec.Command("git", append([]string{"-C", dir,
+		"-c", "user.name=test", "-c", "user.email=test@test"}, args...)...)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("git %v: %v\n%s", args, err, out)
+	}
+}
+
+// TestDiffModeLintsReverseDependencies builds a two-package git repo where
+// the finding lives in an UNCHANGED importer: editing only the imported
+// package must still surface the importer's finding through the reverse
+// dependency closure, and a clean tree must lint nothing.
+func TestDiffModeLintsReverseDependencies(t *testing.T) {
+	if _, err := exec.LookPath("git"); err != nil {
+		t.Skip("git not on PATH")
+	}
+	repo := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(repo, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module m\n\ngo 1.22\n")
+	write("internal/lib/lib.go", "package lib\n\nfunc F() {}\n")
+	write("internal/app/app.go", "package app\n\nimport \"m/internal/lib\"\n\nfunc Run() {\n\tgo lib.F()\n}\n")
+	git(t, repo, "init", "-q")
+	git(t, repo, "add", "-A")
+	git(t, repo, "commit", "-q", "-m", "seed")
+
+	t.Chdir(repo)
+
+	// Clean tree: nothing changed, nothing linted.
+	stdout, readOut := capture(t)
+	stderr, readErr := capture(t)
+	if code := run([]string{"-diff", "HEAD"}, stdout, stderr); code != 0 {
+		t.Fatalf("clean tree: exit code = %d, want 0; stderr:\n%s", code, readErr())
+	}
+	if out := readOut(); out != "" {
+		t.Errorf("clean tree produced output:\n%s", out)
+	}
+
+	// Touch only lib; the bare-goroutine finding is in app, which imports
+	// lib and must be pulled in by the reverse closure.
+	write("internal/lib/lib.go", "package lib\n\nfunc F() {}\n\nfunc G() {}\n")
+	stdout, readOut = capture(t)
+	stderr, _ = capture(t)
+	if code := run([]string{"-diff", "HEAD"}, stdout, stderr); code != 1 {
+		t.Fatalf("dirty tree: exit code = %d, want 1; output:\n%s", code, readOut())
+	}
+	if out := readOut(); !strings.Contains(out, "app.go") || !strings.Contains(out, "bare-goroutine") {
+		t.Errorf("reverse-dependency finding missing:\n%s", out)
+	}
+}
+
+func TestDiffModeRejectsPatterns(t *testing.T) {
+	stdout, _ := capture(t)
+	stderr, readErr := capture(t)
+	if code := run([]string{"-diff", "HEAD", "./..."}, stdout, stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(readErr(), "-diff replaces package patterns") {
 		t.Errorf("stderr missing diagnostic:\n%s", readErr())
 	}
 }

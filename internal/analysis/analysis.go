@@ -8,6 +8,15 @@
 // placed on the flagged line or on the line directly above it. The reason is
 // mandatory: a suppression without one is itself reported.
 //
+// Rules come in two shapes. A PackageRule sees one type-checked package at a
+// time — the right altitude for syntactic and single-package invariants. A
+// ProgramRule sees the whole loaded program at once: every package, a
+// CHA-style call graph (internal/analysis/callgraph), and a fact store
+// (internal/analysis/facts) through which rules export per-function summaries
+// and consume them at call sites in other packages. That is how the
+// transaction-hygiene, latch-order, and error-sink rules follow transactions,
+// locks, and errors across function and package boundaries.
+//
 // The engine exists because the benchmark harness's credibility rests on the
 // harness itself being correct under heavy concurrency — the domain rules in
 // the sibling rules package enforce the atomics, transaction-hygiene, and
@@ -20,6 +29,9 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+
+	"benchpress/internal/analysis/callgraph"
+	"benchpress/internal/analysis/facts"
 )
 
 // Diagnostic is one finding: a source position, the rule that fired, and a
@@ -35,15 +47,33 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Rule)
 }
 
-// Rule is one analysis pass. Implementations inspect a type-checked package
-// through the Pass and call Report for each finding.
+// Rule is the identity every analysis pass carries; concrete rules implement
+// PackageRule or ProgramRule (or both) on top of it.
 type Rule interface {
 	// Name is the identifier used in output and //lint:ignore directives.
 	Name() string
 	// Doc is a one-line description shown by benchlint -list.
 	Doc() string
+}
+
+// PackageRule is an analysis pass over one package. Implementations inspect
+// a type-checked package through the Pass and call Report for each finding.
+type PackageRule interface {
+	Rule
 	// Check runs the rule over pass.Pkg.
 	Check(pass *Pass)
+}
+
+// ProgramRule is an interprocedural analysis pass. It runs once per
+// invocation over the whole program — target packages plus every
+// module-internal dependency the loader pulled in — with the call graph and
+// fact store at hand. Diagnostics reported outside the target packages are
+// dropped, so a rule may freely traverse dependency bodies to compute facts
+// and report only where the user asked.
+type ProgramRule interface {
+	Rule
+	// CheckProgram runs the rule over pass.Prog.
+	CheckProgram(pass *ProgramPass)
 }
 
 // Pass carries one rule's view of one package.
@@ -96,23 +126,118 @@ func (p *Pass) Parents() map[ast.Node]ast.Node {
 	return p.parents
 }
 
-// Run executes every rule over every package, applies //lint:ignore
-// suppressions, and returns the surviving diagnostics sorted by position.
-// Malformed suppression directives are reported under the "lint-directive"
-// pseudo-rule, which cannot itself be suppressed.
+// Program is the whole-program view handed to interprocedural rules.
+type Program struct {
+	// Pkgs is every loaded module package: analysis targets plus their
+	// module-internal dependencies, in load order.
+	Pkgs []*Package
+	// ModulePath is the module all packages belong to.
+	ModulePath string
+	// Fset is the shared file set.
+	Fset *token.FileSet
+	// Graph is the CHA call graph over Pkgs.
+	Graph *callgraph.Graph
+	// Facts is the summary store rules export to and consume from.
+	Facts *facts.Store
+}
+
+// NewProgram builds the interprocedural view over the given packages: the
+// call graph is constructed eagerly, the fact store starts empty.
+func NewProgram(pkgs []*Package) *Program {
+	prog := &Program{Pkgs: pkgs, Facts: facts.NewStore()}
+	srcs := make([]callgraph.Source, 0, len(pkgs))
+	for _, p := range pkgs {
+		if prog.ModulePath == "" {
+			prog.ModulePath = p.ModulePath
+		}
+		if prog.Fset == nil {
+			prog.Fset = p.Fset
+		}
+		srcs = append(srcs, callgraph.Source{Path: p.Path, Files: p.Files, Info: p.Info, Pkg: p.Types})
+	}
+	prog.Graph = callgraph.Build(srcs)
+	return prog
+}
+
+// RelPath shortens a package import path to its module-relative form, the
+// same convention as Pass.RelPath.
+func (p *Program) RelPath(importPath string) string {
+	rel := strings.TrimPrefix(importPath, p.ModulePath)
+	return strings.TrimPrefix(rel, "/")
+}
+
+// ProgramPass carries one interprocedural rule's view of the program.
+type ProgramPass struct {
+	// Prog is the program under analysis.
+	Prog *Program
+
+	rule Rule
+	sink func(Diagnostic)
+}
+
+// Report records a finding at pos. Findings outside the invocation's target
+// packages are discarded by the engine.
+func (p *ProgramPass) Report(pos token.Pos, format string, args ...any) {
+	p.sink(Diagnostic{
+		Pos:     p.Prog.Fset.Position(pos),
+		Rule:    p.rule.Name(),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes every rule with pkgs as both the program and the reporting
+// targets, applies //lint:ignore suppressions, and returns the surviving
+// diagnostics sorted by position. Callers that loaded dependency packages
+// beyond the targets should use RunProgram so interprocedural rules see the
+// dependencies' function bodies.
 func Run(pkgs []*Package, rules []Rule) []Diagnostic {
+	return RunProgram(NewProgram(pkgs), pkgs, rules)
+}
+
+// RunProgram executes every rule over the program, reporting only into the
+// target packages. Package rules run once per target package; program rules
+// run once with the full program and their diagnostics are filtered to
+// target files. Malformed suppression directives in target packages are
+// reported under the "lint-directive" pseudo-rule, which cannot itself be
+// suppressed.
+func RunProgram(prog *Program, targets []*Package, rules []Rule) []Diagnostic {
 	var out []Diagnostic
-	for _, pkg := range pkgs {
-		supp, malformed := collectSuppressions(pkg)
+
+	// Suppressions and target files span the whole target set: a program
+	// rule may report into any target file, wherever its analysis started.
+	supp := suppressions{}
+	targetFiles := map[string]bool{}
+	for _, pkg := range targets {
+		pkgSupp, malformed := collectSuppressions(pkg)
 		out = append(out, malformed...)
-		for _, r := range rules {
-			pass := &Pass{Pkg: pkg, rule: r}
+		for file, lines := range pkgSupp {
+			supp[file] = lines
+		}
+		for _, f := range pkg.Files {
+			targetFiles[pkg.Fset.Position(f.Pos()).Filename] = true
+		}
+	}
+
+	for _, r := range rules {
+		if pr, ok := r.(PackageRule); ok {
+			for _, pkg := range targets {
+				pass := &Pass{Pkg: pkg, rule: r}
+				pass.sink = func(d Diagnostic) {
+					if !supp.covers(d.Pos, d.Rule) {
+						out = append(out, d)
+					}
+				}
+				pr.Check(pass)
+			}
+		}
+		if pr, ok := r.(ProgramRule); ok {
+			pass := &ProgramPass{Prog: prog, rule: r}
 			pass.sink = func(d Diagnostic) {
-				if !supp.covers(d.Pos, d.Rule) {
+				if targetFiles[d.Pos.Filename] && !supp.covers(d.Pos, d.Rule) {
 					out = append(out, d)
 				}
 			}
-			r.Check(pass)
+			pr.CheckProgram(pass)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -161,6 +161,72 @@ func missingReason() {}
 	}
 }
 
+// TestSuppressionMultipleRulesInOneDirective: one directive can silence
+// several rules; the first space ends the rule list, so a space after a
+// comma pushes the next name into the reason; a rule not in the list still
+// fires; and a directive does not reach past the adjacent line.
+func TestSuppressionMultipleRulesInOneDirective(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.test/m\n\ngo 1.22\n",
+		"p/p.go": `package p
+
+//lint:ignore flagger,blocker both rules share one reason
+func both() {}
+
+//lint:ignore flagger, blocker is reason text here, not a rule name
+func spaced() {}
+
+//lint:ignore blocker only blocker is named, flagger still fires
+func partial() {}
+
+//lint:ignore flagger,blocker a blank line breaks adjacency
+
+func tooFar() {}
+`,
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.Load("example.test/m/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, []Rule{funcRule{name: "flagger"}, funcRule{name: "blocker"}})
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Rule+":"+strings.TrimPrefix(strings.TrimSuffix(d.Message, " flagged"), "func "))
+	}
+	want := []string{"blocker:spaced", "flagger:partial", "blocker:tooFar", "flagger:tooFar"}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Fatalf("diagnostics:\n got %q\nwant %q", got, want)
+	}
+}
+
+// TestSuppressionBareDirectiveIsMalformed: a directive with no rule list at
+// all is reported under lint-directive and suppresses nothing.
+func TestSuppressionBareDirectiveIsMalformed(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.test/m\n\ngo 1.22\n",
+		"p/p.go": "package p\n\n//lint:ignore\nfunc f() {}\n",
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.Load("example.test/m/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, []Rule{funcRule{name: "flagger"}})
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want malformed directive + finding: %v", len(diags), diags)
+	}
+	if diags[0].Rule != "lint-directive" || diags[1].Rule != "flagger" {
+		t.Fatalf("unexpected rules: %s, %s", diags[0].Rule, diags[1].Rule)
+	}
+}
+
 func TestRunSortsDiagnosticsByPosition(t *testing.T) {
 	root := writeModule(t, map[string]string{
 		"go.mod": "module example.test/m\n\ngo 1.22\n",

@@ -1,0 +1,212 @@
+// Package callgraph builds a whole-program call graph over type-checked
+// packages, for the interprocedural rules in internal/analysis/rules.
+//
+// Resolution is CHA-style (class-hierarchy analysis): static calls and
+// concrete method calls resolve to exactly one callee; a call through an
+// interface method resolves to that method on every loaded concrete type
+// whose method set implements the interface. The graph is therefore an
+// over-approximation — every call edge that can happen at runtime is present,
+// plus possibly some that cannot — which is the right polarity for rules that
+// prove the absence of bad call chains (lock-order inversion, escaped
+// transactions, swallowed errors).
+//
+// Function literals are folded into their enclosing declaration: a call made
+// inside a closure is an edge out of the function that syntactically contains
+// the closure. Rules that need may-happen behavior (fact summaries) want
+// exactly this; rules that need linear in-function reasoning skip literal
+// bodies themselves.
+//
+// The package deliberately depends only on go/ast and go/types, not on the
+// analysis engine, so the engine can build a Program on top of it without an
+// import cycle.
+package callgraph
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// Source is one package's contribution to the graph.
+type Source struct {
+	// Path is the package's import path.
+	Path string
+	// Files are the package's parsed, type-checked sources.
+	Files []*ast.File
+	// Info is the go/types result for Files.
+	Info *types.Info
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+}
+
+// Node is one declared function or method with a body in the loaded sources.
+type Node struct {
+	// Func is the function's type-checker object.
+	Func *types.Func
+	// Decl is the function's declaration (Body is non-nil).
+	Decl *ast.FuncDecl
+	// Path is the import path of the defining package.
+	Path string
+	// Info is the type info of the defining package (for resolving
+	// expressions inside Decl).
+	Info *types.Info
+	// Out lists the node's call sites in source order, including calls made
+	// inside function literals declared in the body.
+	Out []Edge
+}
+
+// Edge is one call site and the callees it may reach.
+type Edge struct {
+	// Site is the call expression.
+	Site *ast.CallExpr
+	// Callees are the possible targets: one for static and concrete-method
+	// calls, every implementing method for interface dispatch. Targets
+	// without a body in the loaded sources still appear (stdlib calls,
+	// interface methods with no loaded implementation resolve to the
+	// interface method itself).
+	Callees []*types.Func
+}
+
+// Graph is the program call graph.
+type Graph struct {
+	nodes map[*types.Func]*Node
+	// methods indexes every loaded concrete method by name, for CHA
+	// interface dispatch.
+	methods map[string][]*types.Func
+	// resolved memoizes Resolve per call site.
+	resolved map[*ast.CallExpr][]*types.Func
+}
+
+// Build constructs the call graph over the given sources.
+func Build(sources []Source) *Graph {
+	g := &Graph{
+		nodes:    map[*types.Func]*Node{},
+		methods:  map[string][]*types.Func{},
+		resolved: map[*ast.CallExpr][]*types.Func{},
+	}
+	// Pass 1: collect nodes and the concrete-method index.
+	for _, src := range sources {
+		for _, f := range src.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := src.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.nodes[fn] = &Node{Func: fn, Decl: fd, Path: src.Path, Info: src.Info}
+				if fd.Recv != nil {
+					g.methods[fn.Name()] = append(g.methods[fn.Name()], fn)
+				}
+			}
+		}
+	}
+	// Pass 2: resolve call sites into edges.
+	for _, n := range g.nodes {
+		n.Out = g.collectEdges(n)
+	}
+	return g
+}
+
+// Node returns the graph node for fn, or nil when fn has no body in the
+// loaded sources.
+func (g *Graph) Node(fn *types.Func) *Node { return g.nodes[fn] }
+
+// Nodes returns every node, sorted by package path then position for
+// deterministic iteration.
+func (g *Graph) Nodes() []*Node {
+	out := make([]*Node, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Path != out[j].Path {
+			return out[i].Path < out[j].Path
+		}
+		return out[i].Decl.Pos() < out[j].Decl.Pos()
+	})
+	return out
+}
+
+// Resolve returns the possible callees of a call site anywhere in the loaded
+// sources, or nil for calls the graph cannot resolve (dynamic calls through
+// function values, conversions, built-ins).
+func (g *Graph) Resolve(call *ast.CallExpr) []*types.Func {
+	return g.resolved[call]
+}
+
+// collectEdges walks one declaration body (function literals included) and
+// resolves every call.
+func (g *Graph) collectEdges(n *Node) []Edge {
+	var out []Edge
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callees := g.resolveCall(n.Info, call)
+		if len(callees) > 0 {
+			g.resolved[call] = callees
+			out = append(out, Edge{Site: call, Callees: callees})
+		}
+		return true
+	})
+	return out
+}
+
+// resolveCall maps one call expression to its possible targets.
+func (g *Graph) resolveCall(info *types.Info, call *ast.CallExpr) []*types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return []*types.Func{fn}
+		}
+	case *ast.SelectorExpr:
+		sel := info.Selections[fun]
+		if sel == nil {
+			// Package-qualified call (pkg.F) or conversion.
+			if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+				return []*types.Func{fn}
+			}
+			return nil
+		}
+		if sel.Kind() != types.MethodVal {
+			return nil
+		}
+		fn, ok := sel.Obj().(*types.Func)
+		if !ok {
+			return nil
+		}
+		if iface, ok := sel.Recv().Underlying().(*types.Interface); ok {
+			return g.dispatch(iface, fn)
+		}
+		return []*types.Func{fn}
+	}
+	return nil
+}
+
+// dispatch resolves an interface method call to the matching method of every
+// loaded concrete type that implements the interface (CHA). The interface
+// method itself is always included so that callers can still see the call
+// when no implementation is loaded.
+func (g *Graph) dispatch(iface *types.Interface, decl *types.Func) []*types.Func {
+	out := []*types.Func{decl}
+	seen := map[*types.Func]bool{decl: true}
+	for _, impl := range g.methods[decl.Name()] {
+		recv := impl.Type().(*types.Signature).Recv()
+		if recv == nil {
+			continue
+		}
+		t := recv.Type()
+		if !types.Implements(t, iface) && !types.Implements(types.NewPointer(t), iface) {
+			continue
+		}
+		if !seen[impl] {
+			seen[impl] = true
+			out = append(out, impl)
+		}
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package callgraph_test
+
+import (
+	"go/ast"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"benchpress/internal/analysis"
+	"benchpress/internal/analysis/callgraph"
+)
+
+// buildGraph lays files out as a synthetic module, loads every package, and
+// builds the graph over all of them.
+func buildGraph(t *testing.T, files map[string]string, load ...string) (*callgraph.Graph, []*analysis.Package) {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module example.test/m\n\ngo 1.22\n"
+	for rel, content := range files {
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkgs []*analysis.Package
+	for _, path := range load {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pkg.TypeErrors) > 0 {
+			t.Fatalf("%s: type errors: %v", path, pkg.TypeErrors)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	all := loader.Loaded()
+	srcs := make([]callgraph.Source, len(all))
+	for i, p := range all {
+		srcs[i] = callgraph.Source{Path: p.Path, Files: p.Files, Info: p.Info, Pkg: p.Types}
+	}
+	return callgraph.Build(srcs), pkgs
+}
+
+// findNode locates a node by "pkgname.FuncName" or method "Type.Method".
+func findNode(t *testing.T, g *callgraph.Graph, name string) *callgraph.Node {
+	t.Helper()
+	for _, n := range g.Nodes() {
+		full := n.Func.Name()
+		if recv := n.Func.Type().(*types.Signature).Recv(); recv != nil {
+			rt := recv.Type()
+			if p, ok := rt.(*types.Pointer); ok {
+				rt = p.Elem()
+			}
+			if named, ok := rt.(*types.Named); ok {
+				full = named.Obj().Name() + "." + full
+			}
+		}
+		if full == name {
+			return n
+		}
+	}
+	t.Fatalf("node %q not found", name)
+	return nil
+}
+
+// calleeNames flattens a node's outgoing edges to callee names.
+func calleeNames(n *callgraph.Node) []string {
+	var out []string
+	for _, e := range n.Out {
+		for _, c := range e.Callees {
+			out = append(out, c.Name())
+		}
+	}
+	return out
+}
+
+func TestDirectAndCrossPackageCalls(t *testing.T) {
+	g, _ := buildGraph(t, map[string]string{
+		"lib/lib.go": "package lib\n\n// Helper is called across packages.\nfunc Helper() {}\n",
+		"app/app.go": `package app
+
+import "example.test/m/lib"
+
+func local() {}
+
+func Caller() {
+	local()
+	lib.Helper()
+}
+`,
+	}, "example.test/m/app")
+	names := strings.Join(calleeNames(findNode(t, g, "Caller")), ",")
+	if names != "local,Helper" {
+		t.Fatalf("Caller callees = %q, want local,Helper", names)
+	}
+}
+
+func TestMethodAndInterfaceDispatch(t *testing.T) {
+	g, _ := buildGraph(t, map[string]string{
+		"shapes/shapes.go": `package shapes
+
+// Closer is the dispatch interface.
+type Closer interface{ Close() error }
+
+// A and B both implement Closer.
+type A struct{}
+
+func (A) Close() error { return nil }
+
+type B struct{}
+
+func (*B) Close() error { return nil }
+
+// NotIt has the method name but not the full interface? It does implement
+// (single-method interface), so it is a legitimate CHA target too.
+type NotIt struct{}
+
+func (NotIt) Close() error { return nil }
+
+func Use(c Closer, a A) {
+	_ = c.Close()
+	_ = a.Close()
+}
+`,
+	}, "example.test/m/shapes")
+	n := findNode(t, g, "Use")
+	if len(n.Out) != 2 {
+		t.Fatalf("Use has %d edges, want 2", len(n.Out))
+	}
+	// Edge 0: interface dispatch — the interface method plus all three
+	// implementations.
+	if got := len(n.Out[0].Callees); got != 4 {
+		t.Fatalf("interface call resolved to %d callees, want 4 (decl + 3 impls)", got)
+	}
+	// Edge 1: concrete method call — exactly one callee.
+	if got := len(n.Out[1].Callees); got != 1 {
+		t.Fatalf("concrete call resolved to %d callees, want 1", got)
+	}
+}
+
+func TestFuncLitCallsFoldIntoEnclosingDecl(t *testing.T) {
+	g, _ := buildGraph(t, map[string]string{
+		"p/p.go": `package p
+
+func inner() {}
+
+func Outer() {
+	fn := func() { inner() }
+	fn()
+}
+`,
+	}, "example.test/m/p")
+	names := strings.Join(calleeNames(findNode(t, g, "Outer")), ",")
+	if !strings.Contains(names, "inner") {
+		t.Fatalf("Outer callees = %q, want to contain inner (closure folded)", names)
+	}
+}
+
+func TestResolveMemoizesCallSites(t *testing.T) {
+	g, pkgs := buildGraph(t, map[string]string{
+		"p/p.go": "package p\n\nfunc callee() {}\n\nfunc caller() { callee() }\n",
+	}, "example.test/m/p")
+	var call *ast.CallExpr
+	ast.Inspect(pkgs[0].Files[0], func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			call = c
+		}
+		return true
+	})
+	if call == nil {
+		t.Fatal("no call expression found")
+	}
+	callees := g.Resolve(call)
+	if len(callees) != 1 || callees[0].Name() != "callee" {
+		t.Fatalf("Resolve = %v, want [callee]", callees)
+	}
+}

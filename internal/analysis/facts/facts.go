@@ -1,0 +1,88 @@
+// Package facts is the summary store of the interprocedural analysis
+// engine. A fact is a per-object datum a rule computes once and consumes at
+// call sites anywhere else in the program — "this function settles the
+// transaction passed as its receiver", "this function may acquire the row
+// latch". Facts are keyed by the owning types.Object plus a rule-chosen name,
+// so independent rules share one store without colliding.
+//
+// The store also carries the fixpoint machinery summary computation needs:
+// Export reports whether it changed anything, so a rule can iterate its
+// summary pass over the call graph until no fact moves (facts must grow
+// monotonically for that loop to terminate).
+package facts
+
+import "go/types"
+
+// key identifies one fact: the object it describes and the rule-scoped name.
+type key struct {
+	obj  types.Object
+	name string
+}
+
+// Store holds exported facts for one program.
+type Store struct {
+	m map[key]any
+}
+
+// NewStore returns an empty fact store.
+func NewStore() *Store {
+	return &Store{m: map[key]any{}}
+}
+
+// Export records a fact about obj under name, replacing any previous value.
+// It reports whether the stored value changed, which summary fixpoints use as
+// their progress signal. Values are compared with ==, so fact types should be
+// comparable (bitsets as integers, small structs); incomparable values always
+// count as changed.
+func (s *Store) Export(obj types.Object, name string, v any) bool {
+	k := key{obj: obj, name: name}
+	old, ok := s.m[k]
+	s.m[k] = v
+	if !ok {
+		return true
+	}
+	return !comparableEqual(old, v)
+}
+
+// comparableEqual compares two fact values, treating incomparable types as
+// always unequal rather than panicking.
+func comparableEqual(a, b any) (eq bool) {
+	defer func() {
+		if recover() != nil {
+			eq = false
+		}
+	}()
+	return a == b
+}
+
+// Get returns the fact stored for obj under name.
+func (s *Store) Get(obj types.Object, name string) (any, bool) {
+	v, ok := s.m[key{obj: obj, name: name}]
+	return v, ok
+}
+
+// Bits returns an integer bitset fact, or zero when absent — the common shape
+// for per-parameter summaries ("settles parameter i" = bit i).
+func (s *Store) Bits(obj types.Object, name string) uint64 {
+	if v, ok := s.Get(obj, name); ok {
+		if b, ok := v.(uint64); ok {
+			return b
+		}
+	}
+	return 0
+}
+
+// ExportBits merges bits into an integer bitset fact and reports whether the
+// set grew.
+func (s *Store) ExportBits(obj types.Object, name string, bits uint64) bool {
+	merged := s.Bits(obj, name) | bits
+	if merged == s.Bits(obj, name) {
+		if _, ok := s.Get(obj, name); ok {
+			return false
+		}
+	}
+	return s.Export(obj, name, merged)
+}
+
+// Len returns the number of stored facts (diagnostics and tests).
+func (s *Store) Len() int { return len(s.m) }

@@ -1,0 +1,76 @@
+package facts_test
+
+import (
+	"go/token"
+	"go/types"
+	"testing"
+
+	"benchpress/internal/analysis/facts"
+)
+
+func obj(name string) types.Object {
+	return types.NewVar(token.NoPos, nil, name, types.Typ[types.Int])
+}
+
+func TestExportReportsChange(t *testing.T) {
+	s := facts.NewStore()
+	o := obj("f")
+	if !s.Export(o, "settles", uint64(1)) {
+		t.Fatal("first export must report a change")
+	}
+	if s.Export(o, "settles", uint64(1)) {
+		t.Fatal("re-export of identical value must report no change")
+	}
+	if !s.Export(o, "settles", uint64(3)) {
+		t.Fatal("export of a new value must report a change")
+	}
+}
+
+func TestFactsAreKeyedByObjectAndName(t *testing.T) {
+	s := facts.NewStore()
+	a, b := obj("a"), obj("b")
+	s.Export(a, "settles", uint64(1))
+	s.Export(a, "opens", uint64(2))
+	s.Export(b, "settles", uint64(4))
+	if got := s.Bits(a, "settles"); got != 1 {
+		t.Fatalf("a/settles = %d, want 1", got)
+	}
+	if got := s.Bits(a, "opens"); got != 2 {
+		t.Fatalf("a/opens = %d, want 2", got)
+	}
+	if got := s.Bits(b, "settles"); got != 4 {
+		t.Fatalf("b/settles = %d, want 4", got)
+	}
+	if got := s.Bits(b, "opens"); got != 0 {
+		t.Fatalf("b/opens = %d, want 0 (absent)", got)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+}
+
+func TestExportBitsMergesMonotonically(t *testing.T) {
+	s := facts.NewStore()
+	o := obj("f")
+	if !s.ExportBits(o, "acquires", 0b001) {
+		t.Fatal("first merge must grow")
+	}
+	if !s.ExportBits(o, "acquires", 0b100) {
+		t.Fatal("new bit must grow")
+	}
+	if s.ExportBits(o, "acquires", 0b101) {
+		t.Fatal("already-present bits must not grow")
+	}
+	if got := s.Bits(o, "acquires"); got != 0b101 {
+		t.Fatalf("acquires = %b, want 101", got)
+	}
+}
+
+func TestIncomparableValuesAlwaysChange(t *testing.T) {
+	s := facts.NewStore()
+	o := obj("f")
+	s.Export(o, "list", []int{1})
+	if !s.Export(o, "list", []int{1}) {
+		t.Fatal("incomparable values must count as changed")
+	}
+}

@@ -108,6 +108,23 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 // Load returns the package with the given module-internal import path.
 func (l *Loader) Load(path string) (*Package, error) { return l.load(path) }
 
+// Loaded returns every module-internal package the loader has type-checked
+// so far — explicit Load/LoadDir targets plus the dependencies they pulled
+// in — sorted by import path. Interprocedural analysis builds its Program
+// over this set so callee bodies outside the analysis targets are visible.
+func (l *Loader) Loaded() []*Package {
+	paths := make([]string, 0, len(l.pkgs))
+	for p := range l.pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, len(paths))
+	for i, p := range paths {
+		out[i] = l.pkgs[p]
+	}
+	return out
+}
+
 // LoadDir loads the package in dir, deriving its import path from the
 // directory's location under the module root.
 func (l *Loader) LoadDir(dir string) (*Package, error) {

@@ -18,6 +18,8 @@ func All() []analysis.Rule {
 		TxnHygiene{},
 		PreparedStmtLeak{},
 		ErrorDiscard{},
+		ErrorSink{},
+		LatchOrder{},
 		DialectBoundary{},
 		BareGoroutine{},
 		MixParity{},

@@ -2,9 +2,11 @@ package rules_test
 
 import (
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 	"testing"
 
@@ -25,6 +27,8 @@ var fixtureCases = []struct {
 	{rules.TxnHygiene{}, "txn_bad.go", "txn_good.go", "benchpress/internal/fixture"},
 	{rules.PreparedStmtLeak{}, "preparedleak_bad.go", "preparedleak_good.go", "benchpress/internal/fixture"},
 	{rules.ErrorDiscard{}, "errdiscard_bad.go", "errdiscard_good.go", "benchpress/internal/fixture"},
+	{rules.ErrorSink{}, "errsink_bad.go", "errsink_good.go", "benchpress/internal/fixture"},
+	{rules.LatchOrder{}, "latch_bad.go", "latch_good.go", "benchpress/internal/fixture"},
 	{rules.DialectBoundary{}, "boundary_bad.go", "boundary_good.go", "benchpress/internal/benchmarks/fixture"},
 	{rules.BareGoroutine{}, "goroutine_bad.go", "goroutine_good.go", "benchpress/internal/fixture"},
 	{rules.MixParity{}, "mixparity_bad.go", "mixparity_good.go", "benchpress/internal/benchmarks/fixture"},
@@ -55,6 +59,15 @@ func TestErrorDiscardScopedToInternalAndCmd(t *testing.T) {
 	diags := runFixtureNoWants(t, rules.ErrorDiscard{}, "errdiscard_bad.go", "benchpress/examples/fixture")
 	if len(diags) != 0 {
 		t.Errorf("error-discard fired outside internal/ and cmd/: %v", diags)
+	}
+}
+
+// TestErrorSinkScopedToInternalAndCmd: sink discards outside internal/ and
+// cmd/ (examples, tools) are deliberate and stay quiet.
+func TestErrorSinkScopedToInternalAndCmd(t *testing.T) {
+	diags := runFixtureNoWants(t, rules.ErrorSink{}, "errsink_bad.go", "benchpress/examples/fixture")
+	if len(diags) != 0 {
+		t.Errorf("error-sink fired outside internal/ and cmd/: %v", diags)
 	}
 }
 
@@ -149,8 +162,29 @@ func loadAndRun(t *testing.T, rule analysis.Rule, name, pkgPath string) (string,
 		t.Fatal(err)
 	}
 	tmp := t.TempDir()
+	writeStubs(t, tmp)
+	rel := strings.TrimPrefix(pkgPath, "benchpress/")
+	writeFile(t, tmp, filepath.Join(rel, "fixture.go"), string(data))
+
+	loader, err := analysis.NewLoader(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load(pkgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Fatalf("fixture %s does not type-check: %v", name, terr)
+	}
+	return string(data), analysis.Run([]*analysis.Package{pkg}, []analysis.Rule{rule})
+}
+
+// writeStubs lays down a synthetic "benchpress" module with stubs of the
+// packages fixtures import, so every fixture type-checks hermetically.
+func writeStubs(t *testing.T, tmp string) {
+	t.Helper()
 	writeFile(t, tmp, "go.mod", "module benchpress\n\ngo 1.22\n")
-	// Stub module packages so boundary fixtures type-check hermetically.
 	writeFile(t, tmp, "internal/sqldb/sqldb.go",
 		"// Package sqldb is a fixture stub.\npackage sqldb\n\n// Engine is a stub of the storage engine.\ntype Engine struct{}\n")
 	writeFile(t, tmp, "internal/sqldb/txn/txn.go",
@@ -180,21 +214,6 @@ type Manager struct{}
 // NewManager is a stub of the workload manager constructor.
 func NewManager(b, db any, phases []Phase, opts Options) *Manager { return &Manager{} }
 `)
-	rel := strings.TrimPrefix(pkgPath, "benchpress/")
-	writeFile(t, tmp, filepath.Join(rel, "fixture.go"), string(data))
-
-	loader, err := analysis.NewLoader(tmp)
-	if err != nil {
-		t.Fatal(err)
-	}
-	pkg, err := loader.Load(pkgPath)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, terr := range pkg.TypeErrors {
-		t.Fatalf("fixture %s does not type-check: %v", name, terr)
-	}
-	return string(data), analysis.Run([]*analysis.Package{pkg}, []analysis.Rule{rule})
 }
 
 func writeFile(t *testing.T, root, rel, content string) {
@@ -219,6 +238,136 @@ func parseWants(src string) map[int][]string {
 		}
 	}
 	return wants
+}
+
+// TestCrossPackageFixtures proves every rule's interprocedural behavior on a
+// two-package module: testdata/xpkg/<rule>/ holds module-relative .go files
+// spanning at least two packages, seeded with `// want` findings that only
+// fire (or only stay quiet) when facts flow across the package boundary.
+func TestCrossPackageFixtures(t *testing.T) {
+	for _, r := range rules.All() {
+		r := r
+		t.Run(r.Name(), func(t *testing.T) {
+			t.Parallel()
+			runXpkgFixture(t, r)
+		})
+	}
+}
+
+// runXpkgFixture copies testdata/xpkg/<rule>/ into a synthetic module,
+// type-checks and runs the one rule over every fixture package with the full
+// program in view, and matches diagnostics against per-file want comments.
+func runXpkgFixture(t *testing.T, rule analysis.Rule) {
+	t.Helper()
+	root := filepath.Join("testdata", "xpkg", rule.Name())
+	if _, err := os.Stat(root); err != nil {
+		t.Fatalf("rule %s has no cross-package fixture tree: %v", rule.Name(), err)
+	}
+
+	tmp := t.TempDir()
+	writeStubs(t, tmp)
+
+	// Copy the fixture tree, collecting want expectations keyed by
+	// module-relative path and the set of package directories it spans.
+	wants := map[string]map[int][]string{} // rel file -> line -> substrings
+	dirs := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		writeFile(t, tmp, rel, string(data))
+		if w := parseWants(string(data)); len(w) > 0 {
+			wants[rel] = w
+		}
+		dirs[pathDir(rel)] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) < 2 {
+		t.Fatalf("cross-package fixture for %s spans %d package(s), want >= 2", rule.Name(), len(dirs))
+	}
+
+	loader, err := analysis.NewLoader(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var targets []*analysis.Package
+	for _, dir := range sortedKeys(dirs) {
+		pkg, err := loader.Load("benchpress/" + dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, terr := range pkg.TypeErrors {
+			t.Fatalf("fixture package %s does not type-check: %v", dir, terr)
+		}
+		targets = append(targets, pkg)
+	}
+
+	prog := analysis.NewProgram(loader.Loaded())
+	diags := analysis.RunProgram(prog, targets, []analysis.Rule{rule})
+
+	matched := map[string]map[int]bool{}
+	for _, d := range diags {
+		rel, err := filepath.Rel(tmp, d.Pos.Filename)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel = filepath.ToSlash(rel)
+		ok := false
+		for _, w := range wants[rel][d.Pos.Line] {
+			if strings.Contains(d.Message, w) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", rel, d.Pos.Line, d.Message)
+			continue
+		}
+		if matched[rel] == nil {
+			matched[rel] = map[int]bool{}
+		}
+		matched[rel][d.Pos.Line] = true
+	}
+	total := 0
+	for rel, byLine := range wants {
+		for line := range byLine {
+			total++
+			if !matched[rel][line] {
+				t.Errorf("expected diagnostic at %s:%d (want %q), got none", rel, line, byLine[line])
+			}
+		}
+	}
+	if total == 0 {
+		t.Errorf("cross-package fixture for %s seeds no want expectations", rule.Name())
+	}
+}
+
+func pathDir(rel string) string {
+	if i := strings.LastIndex(rel, "/"); i >= 0 {
+		return rel[:i]
+	}
+	return "."
+}
+
+func sortedKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // Ensure fixture diagnostics render with positions (smoke test for the

@@ -1,0 +1,36 @@
+// Fixture: true positives for the error-sink rule — helpers that forward a
+// database-surface error get discarded with a bare statement, defer, or go.
+package fixture
+
+import "fmt"
+
+type db struct{}
+
+func (d *db) Exec(q string) error { return nil }
+func (d *db) Commit() error       { return nil }
+
+// closeAll forwards the commit error directly.
+func closeAll(d *db) error {
+	return d.Commit()
+}
+
+// flushAll forwards a wrapped exec error through a tainted local.
+func flushAll(d *db) error {
+	err := d.Exec("flush")
+	if err != nil {
+		return fmt.Errorf("flush: %w", err)
+	}
+	return nil
+}
+
+func bad(d *db) {
+	closeAll(d) // want "forwards a database error"
+}
+
+func badDefer(d *db) {
+	defer closeAll(d) // want "discarded by defer"
+}
+
+func badGo(d *db) {
+	go flushAll(d) // want "discarded by go statement"
+}

@@ -1,0 +1,33 @@
+// Fixture: true negatives for the error-sink rule — handled or explicitly
+// dropped helper errors, and discards of helpers that carry no sink error.
+package fixture
+
+import "errors"
+
+type db struct{}
+
+func (d *db) Exec(q string) error { return nil }
+func (d *db) Commit() error       { return nil }
+
+func closeAll(d *db) error {
+	return d.Commit()
+}
+
+func goodHandled(d *db) error {
+	if err := closeAll(d); err != nil {
+		return err
+	}
+	return nil
+}
+
+func goodExplicit(d *db) {
+	_ = closeAll(d)
+}
+
+// plain returns an error of its own making — no sink involved, discarding
+// it is another rule's business (or nobody's).
+func plain() error { return errors.New("benign") }
+
+func goodPlainDiscard() {
+	plain()
+}

@@ -1,0 +1,69 @@
+// Fixture: true positives for the latch-order rule — acquisitions against
+// the documented order (primary → secondary → segment → row), same-class
+// re-entry on singleton latches, and order-inverting calls and closures.
+package fixture
+
+import "sync"
+
+type Latched struct{ sync.RWMutex }
+
+type table struct {
+	primary   Latched
+	secondary Latched
+}
+
+type segment struct{ mu sync.Mutex }
+
+type Row struct{ mu sync.Mutex }
+
+func (r *Row) Lock()   { r.mu.Lock() }
+func (r *Row) Unlock() { r.mu.Unlock() }
+
+func badSegmentThenSecondary(t *table, seg *segment) {
+	seg.mu.Lock()
+	t.secondary.Lock() // want "inverts the documented latch order"
+	t.secondary.Unlock()
+	seg.mu.Unlock()
+}
+
+func badRowThenPrimary(t *table, r *Row) {
+	r.Lock()
+	t.primary.RLock() // want "inverts the documented latch order"
+	t.primary.RUnlock()
+	r.Unlock()
+}
+
+func badPrimaryTwice(t *table) {
+	t.primary.RLock()
+	t.primary.RLock() // want "already held"
+	t.primary.RUnlock()
+	t.primary.RUnlock()
+}
+
+func lockSegment(seg *segment) {
+	seg.mu.Lock()
+	seg.mu.Unlock()
+}
+
+func badCallUnderRow(seg *segment, r *Row) {
+	r.Lock()
+	lockSegment(seg) // want "may acquire the segment latch while the row latch is held"
+	r.Unlock()
+}
+
+func run(fn func()) { fn() }
+
+func badClosureUnderRow(seg *segment, r *Row) {
+	r.Lock()
+	run(func() { lockSegment(seg) }) // want "may acquire the segment latch while the row latch is held"
+	r.Unlock()
+}
+
+func badInsideClosure(t *table, r *Row) func() {
+	return func() {
+		r.Lock()
+		t.primary.Lock() // want "inverts the documented latch order"
+		t.primary.Unlock()
+		r.Unlock()
+	}
+}

@@ -1,0 +1,72 @@
+// Fixture: true negatives for the latch-order rule — the documented order,
+// sequential (released) acquisitions, deferred unlocks, ordinal same-class
+// nesting for secondaries and rows, and helpers called at a legal rank.
+package fixture
+
+import "sync"
+
+type Latched struct{ sync.RWMutex }
+
+type table struct {
+	primary   Latched
+	secondary Latched
+}
+
+type segment struct{ mu sync.Mutex }
+
+type Row struct{ mu sync.Mutex }
+
+func (r *Row) Lock()   { r.mu.Lock() }
+func (r *Row) Unlock() { r.mu.Unlock() }
+
+func goodFullOrder(t *table, seg *segment, r *Row) {
+	t.primary.Lock()
+	t.secondary.Lock()
+	seg.mu.Lock()
+	r.Lock()
+	r.Unlock()
+	seg.mu.Unlock()
+	t.secondary.Unlock()
+	t.primary.Unlock()
+}
+
+func goodDeferred(t *table) {
+	t.primary.RLock()
+	defer t.primary.RUnlock()
+	t.secondary.RLock()
+	t.secondary.RUnlock()
+}
+
+func goodSequential(t *table, seg *segment) {
+	seg.mu.Lock()
+	seg.mu.Unlock()
+	t.primary.Lock()
+	t.primary.Unlock()
+}
+
+// Rows nest in ordinal order by contract; same-class nesting is legal.
+func goodRowPair(r1, r2 *Row) {
+	r1.Lock()
+	r2.Lock()
+	r2.Unlock()
+	r1.Unlock()
+}
+
+func lockSegment2(seg *segment) {
+	seg.mu.Lock()
+	seg.mu.Unlock()
+}
+
+func goodCallUnderPrimary(t *table, seg *segment) {
+	t.primary.Lock()
+	lockSegment2(seg)
+	t.primary.Unlock()
+}
+
+func run2(fn func()) { fn() }
+
+func goodClosureUnderPrimary(t *table, seg *segment) {
+	t.primary.Lock()
+	run2(func() { lockSegment2(seg) })
+	t.primary.Unlock()
+}

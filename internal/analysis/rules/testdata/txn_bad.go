@@ -1,5 +1,6 @@
 // Fixture: true positives for the txn-hygiene rule — transactions opened
-// and never settled in the same function.
+// and never settled: on the connection itself, through a manager-returned
+// transaction value, and discarded outright.
 package fixture
 
 type conn struct{}
@@ -22,4 +23,31 @@ func leakyReadOnly(c *conn) error {
 		return err
 	}
 	return c.exec()
+}
+
+type mtxn struct{}
+
+func (t *mtxn) Commit() error { return nil }
+func (t *mtxn) Abort()        {}
+func (t *mtxn) exec() error   { return nil }
+
+type manager struct{}
+
+func (m *manager) TryBegin() (*mtxn, error) { return nil, nil }
+
+func leakyManager(m *manager) error {
+	t, err := m.TryBegin() // want "never committed or rolled back"
+	if err != nil {
+		return err
+	}
+	return t.exec()
+}
+
+func discards(m *manager) {
+	m.TryBegin() // want "immediately discarded"
+}
+
+func discardsBlank(m *manager) error {
+	_, err := m.TryBegin() // want "immediately discarded"
+	return err
 }

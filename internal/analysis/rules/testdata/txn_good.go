@@ -1,5 +1,6 @@
 // Fixture: true negatives for the txn-hygiene rule — settled transactions,
-// an exempt Begin wrapper, and a reasoned suppression.
+// an exempt Begin wrapper, settlement through a helper's exported fact, and
+// hand-offs the interprocedural rule tracks without suppressions.
 package fixture
 
 type session struct{}
@@ -28,10 +29,46 @@ func settled(c *tconn) error {
 	return c.Commit()
 }
 
+// finish settles whatever transaction its receiver carries; callers
+// discharge their obligation through its exported fact.
+func (c *tconn) finish(commit bool) error {
+	if commit {
+		return c.Commit()
+	}
+	return c.Rollback()
+}
+
+func helperSettled(c *tconn) error {
+	if err := c.Begin(); err != nil {
+		return err
+	}
+	return c.finish(true)
+}
+
+// handedOff returns the connection with its transaction open: the
+// obligation moves to the callers through the exported opens fact. Under
+// the v1 per-function rule this needed a //lint:ignore.
 func handedOff(c *tconn) (*tconn, error) {
-	//lint:ignore txn-hygiene the caller settles this transaction via settled()
 	if err := c.Begin(); err != nil {
 		return nil, err
 	}
 	return c, nil
+}
+
+type mtxn2 struct{}
+
+func (t *mtxn2) Commit() error { return nil }
+func (t *mtxn2) Abort()        {}
+
+type manager2 struct{}
+
+func (m *manager2) TryBegin() (*mtxn2, error) { return nil, nil }
+
+func managerSettled(m *manager2) error {
+	t, err := m.TryBegin()
+	if err != nil {
+		return err
+	}
+	defer t.Abort()
+	return nil
 }

@@ -1,0 +1,18 @@
+// Cross-package fixture, consumer side: the field is declared in lib, but
+// the mixed atomic/plain accesses happen here — the rule keys facts off the
+// field object, not the declaring file.
+package app
+
+import (
+	"sync/atomic"
+
+	"benchpress/internal/xatomic/lib"
+)
+
+func bump(c *lib.Counters) {
+	atomic.AddInt64(&c.N, 1)
+}
+
+func read(c *lib.Counters) int64 {
+	return c.N // want "accessed with sync/atomic elsewhere"
+}

@@ -1,0 +1,6 @@
+// Cross-package fixture, provider side: a plain counter struct whose field
+// identity crosses the package boundary.
+package lib
+
+// Counters is shared mutable state.
+type Counters struct{ N int64 }

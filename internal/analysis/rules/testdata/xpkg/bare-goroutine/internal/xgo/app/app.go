@@ -1,0 +1,22 @@
+// Cross-package fixture, consumer side: the launched function lives in lib.
+package app
+
+import (
+	"sync"
+
+	"benchpress/internal/xgo/lib"
+)
+
+func bad() {
+	go lib.Run() // want "unsupervised goroutine"
+}
+
+func good() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = lib.Run()
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,6 @@
+// Cross-package fixture, provider side: a worker entry point whose error
+// result evaporates if launched bare.
+package lib
+
+// Run processes work until its input is exhausted.
+func Run() error { return nil }

@@ -1,0 +1,8 @@
+// Cross-package fixture: a benchmark package reaching into the engine
+// internals it must not import.
+package xbound
+
+import "benchpress/internal/sqldb" // want "imports engine internals"
+
+// Engine leaks the embedded engine into a benchmark.
+type Engine = sqldb.Engine

@@ -1,0 +1,8 @@
+// Cross-package fixture: the same import is legal outside
+// internal/benchmarks/.
+package xboundok
+
+import "benchpress/internal/sqldb"
+
+// Engine is allowed here: this package is engine-side, not a benchmark.
+type Engine = sqldb.Engine

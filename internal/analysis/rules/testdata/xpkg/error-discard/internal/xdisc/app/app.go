@@ -1,0 +1,16 @@
+// Cross-package fixture, consumer side: the discarded methods live on a
+// type imported from lib.
+package app
+
+import "benchpress/internal/xdisc/lib"
+
+func bad(c *lib.Conn) {
+	defer c.Commit() // want "silently discarded by defer"
+}
+
+func good(c *lib.Conn) error {
+	if err := c.Exec("select 1"); err != nil {
+		return err
+	}
+	return c.Commit()
+}

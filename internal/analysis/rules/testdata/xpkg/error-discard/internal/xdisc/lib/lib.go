@@ -1,0 +1,12 @@
+// Cross-package fixture, provider side: a connection with error-returning
+// database-surface methods.
+package lib
+
+// Conn is a transactional connection.
+type Conn struct{}
+
+// Commit settles the current transaction.
+func (c *Conn) Commit() error { return nil }
+
+// Exec runs one statement.
+func (c *Conn) Exec(q string) error { return nil }

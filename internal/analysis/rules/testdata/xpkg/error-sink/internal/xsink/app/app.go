@@ -1,0 +1,21 @@
+// Cross-package fixture, consumer side: discarding Sync's error loses a
+// flush failure from the other package.
+package app
+
+import "benchpress/internal/xsink/wal"
+
+func bad(l *wal.Log) {
+	wal.Sync(l) // want "forwards a database error"
+}
+
+func badDefer(l *wal.Log) {
+	defer wal.Sync(l) // want "discarded by defer"
+}
+
+func good(l *wal.Log) error {
+	return wal.Sync(l)
+}
+
+func goodExplicit(l *wal.Log) {
+	_ = wal.Sync(l)
+}

@@ -1,0 +1,17 @@
+// Cross-package fixture, provider side: Sync forwards the log's Flush error
+// and therefore carries the errsink.wraps fact.
+package wal
+
+// Log is a write-ahead log.
+type Log struct{}
+
+// Flush forces buffered records to stable storage.
+func (l *Log) Flush() error { return nil }
+
+// Sync flushes the log, forwarding the flush error to the caller.
+func Sync(l *Log) error {
+	if err := l.Flush(); err != nil {
+		return err
+	}
+	return nil
+}

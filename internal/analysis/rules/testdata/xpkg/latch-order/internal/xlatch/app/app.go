@@ -1,0 +1,30 @@
+// Cross-package fixture, consumer side: latch-order violations that only a
+// call-graph fact can see — the acquisition happens in the other package.
+package app
+
+import "benchpress/internal/xlatch/store"
+
+// rowThenSegment calls across the package boundary while holding a row
+// latch; LockSegment's fact says it acquires the segment latch, which ranks
+// before rows in the documented order.
+func rowThenSegment(s *store.Store, r *store.Row) {
+	r.Lock()
+	s.LockSegment() // want "may acquire the segment latch while the row latch is held"
+	r.Unlock()
+}
+
+// segmentThenRow follows the documented order.
+func segmentThenRow(s *store.Store, r *store.Row) {
+	s.LockSegment()
+	r.Lock()
+	r.Unlock()
+}
+
+// closureUnderPrimary is legal: the closure's row latch ranks after the
+// primary latch UnderPrimary holds around it.
+func closureUnderPrimary(t *store.Table, r *store.Row) {
+	store.UnderPrimary(t, func() {
+		r.Lock()
+		r.Unlock()
+	})
+}

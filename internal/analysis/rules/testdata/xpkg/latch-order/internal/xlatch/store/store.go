@@ -1,0 +1,43 @@
+// Cross-package fixture, provider side: storage-shaped latch types (the
+// rule classifies by the Latched/segment/Row naming convention) and helpers
+// whose may-acquire facts cross the package boundary.
+package store
+
+import "sync"
+
+// Latched is a latch-carrying index tree, mirroring the storage layer.
+type Latched struct{ sync.RWMutex }
+
+// Table holds the primary index latch and one secondary.
+type Table struct {
+	primary Latched
+	aux     Latched
+}
+
+type segment struct{ mu sync.Mutex }
+
+// Row is a row with its own latch.
+type Row struct{ mu sync.Mutex }
+
+// Lock acquires the row latch.
+func (r *Row) Lock() { r.mu.Lock() }
+
+// Unlock releases the row latch.
+func (r *Row) Unlock() { r.mu.Unlock() }
+
+// Store owns a segment.
+type Store struct{ seg segment }
+
+// LockSegment briefly acquires the store's segment latch; its exported fact
+// says so.
+func (s *Store) LockSegment() {
+	s.seg.mu.Lock()
+	s.seg.mu.Unlock()
+}
+
+// UnderPrimary runs fn with the table's primary latch held.
+func UnderPrimary(t *Table, fn func()) {
+	t.primary.Lock()
+	fn()
+	t.primary.Unlock()
+}

@@ -1,0 +1,18 @@
+// Cross-package fixture, consumer side: the paired literals use a type from
+// another package; the weights still must stay parallel to the procedures.
+package xmix
+
+import "benchpress/internal/xmixlib"
+
+// Bench is a benchmark with a mismatched mix.
+type Bench struct{}
+
+// Procedures lists three transactions.
+func (b *Bench) Procedures() []xmixlib.Proc {
+	return []xmixlib.Proc{{Name: "new-order"}, {Name: "payment"}, {Name: "stock-level"}}
+}
+
+// DefaultMix has one weight too few.
+func (b *Bench) DefaultMix() []float64 {
+	return []float64{0.6, 0.4} // want "pair by index"
+}

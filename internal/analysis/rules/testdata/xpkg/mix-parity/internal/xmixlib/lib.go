@@ -1,0 +1,6 @@
+// Cross-package fixture, provider side: the procedure descriptor the
+// benchmark's slices are built from.
+package xmixlib
+
+// Proc names one transaction procedure.
+type Proc struct{ Name string }

@@ -1,0 +1,18 @@
+// Cross-package fixture, consumer side: the Phase type and NewManager both
+// resolve from internal/core; the bad literals are here.
+package app
+
+import (
+	"time"
+
+	"benchpress/internal/core"
+	"benchpress/internal/xphase/mk"
+)
+
+func launch() *core.Manager {
+	return core.NewManager(nil, nil, []core.Phase{
+		{Duration: 0, Rate: 100},              // want "needs a positive duration"
+		{Duration: time.Second, Rate: -1},     // want "negative rate"
+		{Duration: 5 * time.Second, Rate: 50}, // fine
+	}, mk.Options())
+}

@@ -1,0 +1,8 @@
+// Cross-package fixture, provider side: options helper so the manager call
+// spans two packages.
+package mk
+
+import "benchpress/internal/core"
+
+// Options returns the fixture's manager options.
+func Options() core.Options { return core.Options{Terminals: 1} }

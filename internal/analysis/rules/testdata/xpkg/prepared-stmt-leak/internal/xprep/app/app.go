@@ -1,0 +1,22 @@
+// Cross-package fixture, consumer side: the Prepare call resolves through
+// the driver package's types.
+package app
+
+import "benchpress/internal/xprep/driver"
+
+func leak(c *driver.Conn) error {
+	st, err := c.Prepare("select 1") // want "never closed"
+	if err != nil {
+		return err
+	}
+	return st.Exec()
+}
+
+func closed(c *driver.Conn) error {
+	st, err := c.Prepare("select 1")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = st.Close() }()
+	return st.Exec()
+}

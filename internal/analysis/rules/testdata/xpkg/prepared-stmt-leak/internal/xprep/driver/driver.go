@@ -1,0 +1,17 @@
+// Cross-package fixture, provider side: the prepared-statement surface.
+package driver
+
+// Stmt is a prepared statement pinned to a session.
+type Stmt struct{}
+
+// Close releases the statement.
+func (s *Stmt) Close() error { return nil }
+
+// Exec runs the statement.
+func (s *Stmt) Exec() error { return nil }
+
+// Conn prepares statements.
+type Conn struct{}
+
+// Prepare compiles q into a reusable statement.
+func (c *Conn) Prepare(q string) (*Stmt, error) { return &Stmt{}, nil }

@@ -1,0 +1,23 @@
+// Cross-package fixture, provider side: a guarded window struct inside the
+// internal/stats scope.
+package xwin
+
+import "sync"
+
+// Window accumulates totals under mu.
+type Window struct {
+	mu    sync.Mutex
+	total int64
+}
+
+// Add accumulates under the lock.
+func (w *Window) Add(n int64) {
+	w.mu.Lock()
+	w.total += n
+	w.mu.Unlock()
+}
+
+// Total reads the guarded field without the lock.
+func (w *Window) Total() int64 {
+	return w.total // want "outside the lock region"
+}

@@ -1,0 +1,14 @@
+// Cross-package fixture, consumer side: driving the window through its
+// locking API from a sibling package produces no findings.
+package xwinuse
+
+import "benchpress/internal/stats/xwin"
+
+// Sum folds values through a Window.
+func Sum(ns []int64) int64 {
+	var w xwin.Window
+	for _, n := range ns {
+		w.Add(n)
+	}
+	return w.Total()
+}

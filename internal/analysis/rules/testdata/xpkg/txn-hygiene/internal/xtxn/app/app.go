@@ -1,0 +1,47 @@
+// Cross-package fixture, consumer side: obligations settled through (and
+// inherited from) helpers in the conn package.
+package app
+
+import "benchpress/internal/xtxn/conn"
+
+// helperSettled discharges its Begin through conn.Finish in the other
+// package — no suppression needed under the interprocedural rule.
+func helperSettled(c *conn.Conn) error {
+	if err := c.Begin(); err != nil {
+		return err
+	}
+	if err := c.Exec("update t set v = v + 1"); err != nil {
+		return conn.Finish(c, false)
+	}
+	return conn.Finish(c, true)
+}
+
+// leak never settles and never hands the transaction anywhere.
+func leak(c *conn.Conn) error {
+	if err := c.Begin(); err != nil { // want "never committed or rolled back"
+		return err
+	}
+	return c.Exec("update t set v = v + 1")
+}
+
+// leakFromOpen inherits the obligation from conn.Open's opens fact and
+// drops it.
+func leakFromOpen() error {
+	c, err := conn.Open() // want "never committed or rolled back"
+	if err != nil {
+		return err
+	}
+	return c.Exec("insert into t values (1)")
+}
+
+// settledFromOpen inherits the same obligation and discharges it.
+func settledFromOpen() error {
+	c, err := conn.Open()
+	if err != nil {
+		return err
+	}
+	if err := c.Exec("insert into t values (1)"); err != nil {
+		return conn.Finish(c, false)
+	}
+	return conn.Finish(c, true)
+}

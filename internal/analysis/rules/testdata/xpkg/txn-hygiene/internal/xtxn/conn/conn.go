@@ -1,0 +1,38 @@
+// Cross-package fixture, provider side: a transactional connection, a
+// settling helper (exports a txn.settles fact), and a constructor that hands
+// back an open transaction (exports a txn.opens fact).
+package conn
+
+// Conn is a transactional connection.
+type Conn struct{ open bool }
+
+// Begin opens a transaction; the caller owns it.
+func (c *Conn) Begin() error { c.open = true; return nil }
+
+// Commit settles the open transaction.
+func (c *Conn) Commit() error { c.open = false; return nil }
+
+// Rollback settles the open transaction.
+func (c *Conn) Rollback() error { c.open = false; return nil }
+
+// Exec runs one statement inside the open transaction.
+func (c *Conn) Exec(q string) error { return nil }
+
+// Finish settles c's transaction either way: callers in other packages
+// discharge their Begin obligation through this helper's exported fact.
+func Finish(c *Conn, commit bool) error {
+	if commit {
+		return c.Commit()
+	}
+	return c.Rollback()
+}
+
+// Open returns a connection with an already-open transaction. The returned
+// value carries the obligation: callers must settle it.
+func Open() (*Conn, error) {
+	c := &Conn{}
+	if err := c.Begin(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

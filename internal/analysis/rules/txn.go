@@ -2,19 +2,43 @@ package rules
 
 import (
 	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
 
 	"benchpress/internal/analysis"
+	"benchpress/internal/analysis/callgraph"
 )
 
-// TxnHygiene enforces that a function which opens an explicit transaction
-// also settles it: any call to Begin/BeginReadOnly on a transactional
-// receiver (a type that also has Commit and Rollback methods) must be
-// matched by at least one Commit or Rollback call somewhere in the same
-// function, deferred calls included.
+// Fact names exported by TxnHygiene. Settles uses the unified parameter bit
+// layout ("calling this function settles the transaction rooted at parameter
+// i"); opens uses result indices ("result i of this function carries an open
+// transaction the caller must settle").
+const (
+	factTxnSettles = "txn.settles"
+	factTxnOpens   = "txn.opens"
+)
+
+// txnBeginNames are the methods that open a transaction; txnSettleNames the
+// ones that settle it. Abort is the storage layer's rollback spelling.
+var (
+	txnBeginNames  = map[string]bool{"Begin": true, "BeginReadOnly": true, "TryBegin": true}
+	txnSettleNames = map[string]bool{"Commit": true, "Rollback": true, "Abort": true}
+)
+
+// TxnHygiene enforces that every opened transaction is settled somewhere the
+// analysis can see: a function that calls Begin/BeginReadOnly/TryBegin — on a
+// transactional receiver (a type with Commit and Rollback or Abort) or
+// returning a transactional value — must either settle it locally, call a
+// helper whose exported fact says it settles the same root, or visibly hand
+// the transaction off (return it, store it into a struct, send it away).
 //
-// Functions that intentionally hand an open transaction to their caller
-// (connection-pool style) must carry a //lint:ignore txn-hygiene directive
-// explaining who settles it.
+// Hand-offs are not free passes: a function that returns an open transaction
+// exports an "opens" fact, so the obligation reappears at every call site and
+// follows the transaction across package boundaries. This is the
+// interprocedural upgrade of the v1 rule, which could only see one function
+// at a time and forced //lint:ignore directives onto every helper-settled
+// transaction.
 type TxnHygiene struct{}
 
 // Name implements analysis.Rule.
@@ -22,55 +46,360 @@ func (TxnHygiene) Name() string { return "txn-hygiene" }
 
 // Doc implements analysis.Rule.
 func (TxnHygiene) Doc() string {
-	return "every Begin() must reach a Commit or Rollback within the same function"
+	return "every opened transaction must reach a Commit/Rollback/Abort in this function, a settling callee, or the caller it escapes to"
 }
 
-// Check implements analysis.Rule.
-func (TxnHygiene) Check(pass *analysis.Pass) {
-	for _, f := range pass.Pkg.Files {
-		for _, decl := range f.Decls {
-			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
-				checkTxnFunc(pass, fd)
+// CheckProgram implements analysis.ProgramRule. Summaries are iterated to a
+// fixpoint first (facts grow monotonically), then every function is checked
+// against the final facts.
+func (TxnHygiene) CheckProgram(pass *analysis.ProgramPass) {
+	prog := pass.Prog
+	for {
+		changed := false
+		for _, n := range prog.Graph.Nodes() {
+			s := scanTxnFunc(prog, n)
+			if prog.Facts.ExportBits(n.Func, factTxnSettles, s.settleBits()) {
+				changed = true
+			}
+			if prog.Facts.ExportBits(n.Func, factTxnOpens, s.opens) {
+				changed = true
 			}
 		}
+		if !changed {
+			break
+		}
+	}
+	for _, n := range prog.Graph.Nodes() {
+		scanTxnFunc(prog, n).report(pass)
 	}
 }
 
-func checkTxnFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
-	// Thin wrappers that ARE the Begin operation (Conn.Begin forwarding to
-	// Session.Begin) are exempt: their caller owns the transaction.
-	if fd.Name.Name == "Begin" || fd.Name.Name == "BeginReadOnly" {
-		return
+// txnObligation is one transaction opened in a function: where, the call
+// that opened it, and the variable it is rooted at (nil when the open
+// transaction is discarded on the spot).
+type txnObligation struct {
+	pos  token.Pos
+	root types.Object
+	what string
+}
+
+// txnReturn records that a return statement hands result index idx the value
+// rooted at obj.
+type txnReturn struct {
+	idx int
+	obj types.Object
+}
+
+// txnScan is the per-function summary of one fixpoint iteration.
+type txnScan struct {
+	prog *analysis.Program
+	node *callgraph.Node
+	info *types.Info
+
+	params      []types.Object
+	settleRoots map[types.Object]bool
+	coarse      bool // a Commit/Rollback/Abort is called somewhere (v1 fallback)
+	escaped     map[types.Object]bool
+	opens       uint64
+	obligations []txnObligation
+}
+
+// scanTxnFunc walks one declaration (function literals included — a settle
+// inside a closure still settles) and computes its transaction summary under
+// the current facts.
+func scanTxnFunc(prog *analysis.Program, n *callgraph.Node) *txnScan {
+	s := &txnScan{
+		prog:        prog,
+		node:        n,
+		info:        n.Info,
+		params:      paramObjs(n.Info, n.Decl),
+		settleRoots: map[types.Object]bool{},
+		escaped:     map[types.Object]bool{},
 	}
-	info := pass.Pkg.Info
-	var begins []*ast.CallExpr
-	settled := false
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		switch calleeName(call) {
-		case "Begin", "BeginReadOnly":
-			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok {
-				return true
+	var returns []txnReturn
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.CallExpr:
+			s.visitCall(x)
+		case *ast.AssignStmt:
+			s.visitAssign(x)
+		case *ast.ValueSpec:
+			s.visitValueSpec(x)
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(x.X).(*ast.CallExpr); ok {
+				for range s.openedResults(call) {
+					s.obligations = append(s.obligations,
+						txnObligation{pos: call.Pos(), what: calleeName(call)})
+				}
 			}
-			recv := info.TypeOf(sel.X)
-			if hasMethod(recv, pass.Pkg.Types, "Commit") && hasMethod(recv, pass.Pkg.Types, "Rollback") {
-				begins = append(begins, call)
+		case *ast.ReturnStmt:
+			returns = append(returns, s.visitReturn(x)...)
+		case *ast.CompositeLit:
+			// Anything folded into a composite literal escapes linear sight.
+			for _, elt := range x.Elts {
+				ast.Inspect(elt, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						if o := s.info.Uses[id]; o != nil {
+							s.escaped[o] = true
+						}
+					}
+					return true
+				})
 			}
-		case "Commit", "Rollback":
-			settled = true
+		case *ast.SendStmt:
+			if o := identObj(s.info, x.Value); o != nil {
+				s.escaped[o] = true
+			}
 		}
 		return true
 	})
-	if settled {
+	// A return of an obligation root re-exports the obligation to callers.
+	roots := map[types.Object]bool{}
+	for _, ob := range s.obligations {
+		if ob.root != nil {
+			roots[ob.root] = true
+		}
+	}
+	for _, r := range returns {
+		if roots[r.obj] && r.idx < 64 {
+			s.opens |= 1 << r.idx
+		}
+	}
+	return s
+}
+
+// recvTransactional reports whether the method call's receiver is a
+// transactional type: it has Commit plus Rollback or Abort.
+func (s *txnScan) recvTransactional(sel *ast.SelectorExpr) bool {
+	return isTransactionalType(s.info.TypeOf(sel.X))
+}
+
+// isTransactionalType reports whether t looks like a transaction or a
+// connection owning one.
+func isTransactionalType(t types.Type) bool {
+	return hasMethod(t, nil, "Commit") &&
+		(hasMethod(t, nil, "Rollback") || hasMethod(t, nil, "Abort"))
+}
+
+// visitCall records settles (direct and via callee facts), receiver-style
+// begin obligations, and the hand-off of roots into dynamic calls.
+func (s *txnScan) visitCall(call *ast.CallExpr) {
+	name := calleeName(call)
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if txnSettleNames[name] {
+		s.coarse = true
+		if isSel {
+			if o := rootObj(s.info, sel.X); o != nil {
+				s.settleRoots[o] = true
+			}
+		}
+	}
+	if txnBeginNames[name] && isSel && s.recvTransactional(sel) {
+		s.obligations = append(s.obligations,
+			txnObligation{pos: call.Pos(), root: rootObj(s.info, sel.X), what: name})
+	}
+	resolved := s.prog.Graph.Resolve(call)
+	for _, callee := range resolved {
+		eachBit(s.prog.Facts.Bits(callee, factTxnSettles), func(bit int) {
+			if arg := argForBit(call, callee, bit); arg != nil {
+				if o := rootObj(s.info, arg); o != nil {
+					s.settleRoots[o] = true
+				}
+			}
+		})
+	}
+	if len(resolved) == 0 {
+		// Dynamic call (function value, conversion, builtin): a transaction
+		// passed into it is out of linear sight — hand-off, not a leak.
+		for _, a := range call.Args {
+			if o := identObj(s.info, a); o != nil {
+				s.escaped[o] = true
+			}
+		}
+	}
+}
+
+// openedResults returns the result indices of call that carry an open
+// transaction: a Begin-family call returning transactional values (unless
+// the receiver itself owns the transaction), plus every callee "opens" fact.
+func (s *txnScan) openedResults(call *ast.CallExpr) []int {
+	seen := map[int]bool{}
+	var idx []int
+	add := func(i int) {
+		if !seen[i] {
+			seen[i] = true
+			idx = append(idx, i)
+		}
+	}
+	name := calleeName(call)
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if txnBeginNames[name] && !(isSel && s.recvTransactional(sel)) {
+		if sig, ok := s.info.TypeOf(call.Fun).(*types.Signature); ok {
+			res := sig.Results()
+			for i := 0; i < res.Len(); i++ {
+				if isTransactionalType(res.At(i).Type()) {
+					add(i)
+				}
+			}
+		}
+	}
+	for _, callee := range s.prog.Graph.Resolve(call) {
+		eachBit(s.prog.Facts.Bits(callee, factTxnOpens), add)
+	}
+	sort.Ints(idx)
+	return idx
+}
+
+// visitAssign handles both sides of an assignment: storing a tracked root
+// into differently-rooted memory is an escape; a call on the right-hand side
+// that opens a transaction creates an obligation on the left-hand side.
+func (s *txnScan) visitAssign(a *ast.AssignStmt) {
+	if len(a.Lhs) == len(a.Rhs) {
+		for j, rhs := range a.Rhs {
+			o := identObj(s.info, rhs)
+			if o == nil {
+				continue
+			}
+			// Assigning to blank drops the value — that is not a hand-off,
+			// the obligation stays live.
+			if id, ok := ast.Unparen(a.Lhs[j]).(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+			if rootObj(s.info, a.Lhs[j]) != o {
+				s.escaped[o] = true
+			}
+		}
+	}
+	if len(a.Rhs) == 1 {
+		if call, ok := ast.Unparen(a.Rhs[0]).(*ast.CallExpr); ok {
+			for _, i := range s.openedResults(call) {
+				s.addLhsObligation(call, a.Lhs, i)
+			}
+		}
 		return
 	}
-	for _, call := range begins {
-		pass.Report(call.Pos(),
-			"transaction opened by %s is never committed or rolled back in %s",
-			calleeName(call), fd.Name.Name)
+	for j, rhs := range a.Rhs {
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+			for _, i := range s.openedResults(call) {
+				if i == 0 {
+					s.addLhsObligation(call, a.Lhs[j:j+1], 0)
+				}
+			}
+		}
+	}
+}
+
+// visitValueSpec handles `var t = mgr.Begin(...)` declarations.
+func (s *txnScan) visitValueSpec(spec *ast.ValueSpec) {
+	if len(spec.Values) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(spec.Values[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	for _, i := range s.openedResults(call) {
+		ob := txnObligation{pos: call.Pos(), what: calleeName(call)}
+		if i < len(spec.Names) && spec.Names[i].Name != "_" {
+			ob.root = s.info.Defs[spec.Names[i]]
+		}
+		s.obligations = append(s.obligations, ob)
+	}
+}
+
+// addLhsObligation attaches the obligation for result index i of call to the
+// assignment target. A blank target is an immediate discard; a field or
+// element target moves the transaction into memory (escape), which silences
+// the local obligation rather than creating an untrackable one.
+func (s *txnScan) addLhsObligation(call *ast.CallExpr, lhs []ast.Expr, i int) {
+	ob := txnObligation{pos: call.Pos(), what: calleeName(call)}
+	if i < len(lhs) {
+		target := ast.Unparen(lhs[i])
+		if id, ok := target.(*ast.Ident); ok {
+			if id.Name != "_" {
+				ob.root = rootObj(s.info, id)
+			}
+			s.obligations = append(s.obligations, ob)
+			return
+		}
+		// Stored straight into a struct field, map, or slice: out of scope
+		// for linear tracking.
+		return
+	}
+	s.obligations = append(s.obligations, ob)
+}
+
+// visitReturn records hand-offs through return statements: returned roots
+// (plain or folded into a composite literal) and forwarded callee opens.
+func (s *txnScan) visitReturn(r *ast.ReturnStmt) []txnReturn {
+	if len(r.Results) == 1 {
+		if call, ok := ast.Unparen(r.Results[0]).(*ast.CallExpr); ok {
+			// Forwarding a call's results re-exports its opens bits verbatim.
+			for _, i := range s.openedResults(call) {
+				if i < 64 {
+					s.opens |= 1 << i
+				}
+			}
+			return nil
+		}
+	}
+	var out []txnReturn
+	for j, e := range r.Results {
+		if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+			for _, i := range s.openedResults(call) {
+				if i == 0 && j < 64 {
+					s.opens |= 1 << j
+				}
+			}
+			continue
+		}
+		if o := identObj(s.info, e); o != nil {
+			s.escaped[o] = true
+			out = append(out, txnReturn{idx: j, obj: o})
+			continue
+		}
+		// A composite literal in a return carries every root folded into it.
+		ast.Inspect(e, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if o := s.info.Uses[id]; o != nil {
+					out = append(out, txnReturn{idx: j, obj: o})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// settleBits projects settled roots onto the function's own parameters for
+// export.
+func (s *txnScan) settleBits() uint64 {
+	var bits uint64
+	for i, o := range s.params {
+		if o != nil && i < 64 && s.settleRoots[o] {
+			bits |= 1 << i
+		}
+	}
+	return bits
+}
+
+// report flags every obligation that is neither settled nor handed off.
+// Functions that ARE the begin operation (Conn.Begin forwarding to
+// Session.Begin) are exempt: their caller owns the transaction.
+func (s *txnScan) report(pass *analysis.ProgramPass) {
+	if txnBeginNames[s.node.Decl.Name.Name] {
+		return
+	}
+	for _, ob := range s.obligations {
+		if ob.root == nil {
+			pass.Report(ob.pos, "transaction opened by %s is immediately discarded", ob.what)
+			continue
+		}
+		if s.coarse || s.settleRoots[ob.root] || s.escaped[ob.root] {
+			continue
+		}
+		pass.Report(ob.pos,
+			"transaction opened by %s is never committed or rolled back in %s and does not escape to a caller",
+			ob.what, s.node.Decl.Name.Name)
 	}
 }

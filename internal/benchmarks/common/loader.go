@@ -22,7 +22,6 @@ func NewLoader(db *dbdriver.DB, batch int) (*Loader, error) {
 		batch = 1000
 	}
 	l := &Loader{conn: db.Connect(), batch: batch}
-	//lint:ignore txn-hygiene the loader holds its batch transaction open across Exec calls by design; Close commits it
 	if err := l.conn.Begin(); err != nil {
 		return nil, err
 	}

@@ -293,10 +293,8 @@ func Run(cfg Config) (*History, error) {
 			readonly := rng.Intn(100) < 20
 			var err error
 			if readonly {
-				//lint:ignore txn-hygiene the stepper finishes this txn in a later step via finishTxn
 				err = s.conn.BeginReadOnly()
 			} else {
-				//lint:ignore txn-hygiene the stepper finishes this txn in a later step via finishTxn
 				err = s.conn.Begin()
 			}
 			if err != nil {
@@ -425,10 +423,8 @@ func (s *slotConn) runOneTxn(rng *rand.Rand, gen *generator, slot int, cfg Confi
 	readonly := rng.Intn(100) < 20
 	var err error
 	if readonly {
-		//lint:ignore txn-hygiene finishTxn commits or rolls back at the end of this function
 		err = s.conn.BeginReadOnly()
 	} else {
-		//lint:ignore txn-hygiene finishTxn commits or rolls back at the end of this function
 		err = s.conn.Begin()
 	}
 	if err != nil {

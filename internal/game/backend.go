@@ -2,6 +2,7 @@ package game
 
 import (
 	"context"
+	"sync/atomic"
 	"time"
 
 	"benchpress/internal/core"
@@ -18,6 +19,19 @@ type ManagerBackend struct {
 	// ResetDB truncates the database on game over ("this will cause
 	// BenchPress to halt the benchmark and reset the database"). Optional.
 	ResetDB bool
+
+	// runErr records the workload's terminal error when Run fails in the
+	// background; Done() only signals completion, it carries no error.
+	runErr atomic.Pointer[error]
+}
+
+// RunErr returns the error the background workload terminated with, or nil
+// while it is still running or after a clean stop.
+func (b *ManagerBackend) RunErr() error {
+	if p := b.runErr.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // LatencySummary implements LatencyReporter with the workload's cumulative
@@ -120,7 +134,12 @@ func LaunchWorkload(ctx context.Context, benchName, dbms string, scale float64, 
 		Terminals: terminals,
 	})
 	runCtx, cancel := context.WithCancel(ctx)
+	mb := &ManagerBackend{Manager: m, Cancel: cancel}
 	//lint:ignore bare-goroutine Manager.Run signals completion through Manager.Done(); Cancel is the shutdown path
-	go m.Run(runCtx)
-	return &ManagerBackend{Manager: m, Cancel: cancel}, nil
+	go func() {
+		if err := m.Run(runCtx); err != nil {
+			mb.runErr.Store(&err)
+		}
+	}()
+	return mb, nil
 }

@@ -21,11 +21,26 @@ if [ -n "$UNFORMATTED" ]; then
     exit 1
 fi
 
-echo "==> benchlint ./..."
-go run ./cmd/benchlint ./...
+echo "==> benchlint -diff vs merge base (fast gate)"
+# Lint only the packages changed since the merge base, plus their reverse
+# dependencies — quick feedback before the expensive gates. Override the
+# base with BENCHLINT_DIFF_BASE; the full tree is linted in the race gate.
+BASE=${BENCHLINT_DIFF_BASE:-origin/main}
+if ! git rev-parse -q --verify "$BASE" >/dev/null 2>&1; then
+    BASE=main
+fi
+if git rev-parse -q --verify "$BASE" >/dev/null 2>&1; then
+    go run ./cmd/benchlint -diff "$BASE"
+else
+    echo "benchlint: no base ref found; skipping diff gate"
+fi
 
 echo "==> go test ./..."
 go test ./...
+
+echo "==> benchlint ./... (full tree, incl. self-lint of internal/analysis)"
+go run ./cmd/benchlint ./...
+go run ./cmd/benchlint ./internal/analysis/...
 
 echo "==> go test -race (short) core/stats/sqldb/wal/api"
 go test -race -short -count=1 ./internal/core/... ./internal/stats/... ./internal/sqldb/... ./internal/wal/ ./internal/api/
