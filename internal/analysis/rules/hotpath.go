@@ -1,0 +1,263 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"benchpress/internal/analysis"
+	"benchpress/internal/analysis/callgraph"
+)
+
+// HotpathAlloc flags per-row allocation patterns in the executor's batch
+// machinery: appends that grow a slice declared without capacity, and
+// interface conversions that box a non-pointer value. The scope is
+// interprocedural — a function is "hot" when the CHA call graph reaches it
+// from one of exec's batch scan loops (a function in internal/sqldb/exec
+// that drives the storage batch APIs), because anything those loops call
+// runs once per row or once per batch, where a stray allocation multiplies
+// by the row rate.
+//
+// The rule is deliberately narrow about appends: only locals whose
+// declaration in the same function provides no capacity (var x []T, x :=
+// []T{}, two-argument make) are tracked, so append-to-parameter patterns —
+// the caller-presized reuse idiom the batch APIs are built on — stay quiet.
+type HotpathAlloc struct{}
+
+// Name implements analysis.Rule.
+func (HotpathAlloc) Name() string { return "hotpath-alloc" }
+
+// Doc implements analysis.Rule.
+func (HotpathAlloc) Doc() string {
+	return "append without presized capacity or boxing interface conversion reachable from exec's batch scan loops"
+}
+
+// batchAPIs are the storage batch entry points whose callers constitute
+// exec's batch loops. Matching is by callee name: the fixtures (and any
+// future storage refactor) keep working as long as the API names hold.
+var batchAPIs = map[string]bool{
+	"ScanBatch":            true,
+	"AppendPrimaryRange":   true,
+	"AppendSecondaryRange": true,
+}
+
+// execPkg is the module-relative package whose functions can root the hot
+// set.
+const execPkg = "internal/sqldb/exec"
+
+// CheckProgram implements analysis.ProgramRule.
+func (HotpathAlloc) CheckProgram(pass *analysis.ProgramPass) {
+	prog := pass.Prog
+
+	// Roots: exec functions that call a batch API anywhere in their body.
+	var queue []*callgraph.Node
+	rootOf := map[*types.Func]string{} // hot function -> root name, for messages
+	for _, n := range prog.Graph.Nodes() {
+		if prog.RelPath(n.Path) != execPkg {
+			continue
+		}
+		for _, e := range n.Out {
+			for _, c := range e.Callees {
+				if batchAPIs[c.Name()] {
+					if _, seen := rootOf[n.Func]; !seen {
+						rootOf[n.Func] = n.Func.Name()
+						queue = append(queue, n)
+					}
+				}
+			}
+		}
+	}
+
+	// Hot set: everything reachable from the roots, provenance-tagged with
+	// the first root that reached it.
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Out {
+			for _, c := range e.Callees {
+				if _, seen := rootOf[c]; seen {
+					continue
+				}
+				rootOf[c] = rootOf[n.Func]
+				if cn := prog.Graph.Node(c); cn != nil {
+					queue = append(queue, cn)
+				}
+			}
+		}
+	}
+
+	for _, n := range prog.Graph.Nodes() {
+		root, hot := rootOf[n.Func]
+		if !hot {
+			continue
+		}
+		checkHotFunc(pass, n, root)
+	}
+}
+
+// checkHotFunc reports the allocation patterns inside one hot function body.
+func checkHotFunc(pass *analysis.ProgramPass, n *callgraph.Node, root string) {
+	info := n.Info
+	uncapped := uncappedLocals(info, n.Decl)
+
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			// Explicit conversion T(x).
+			if len(call.Args) == 1 && boxes(info.TypeOf(call.Args[0]), tv.Type) {
+				pass.Report(call.Pos(),
+					"conversion boxes %s into %s on a batch hot path (reachable from %s)",
+					types.TypeString(info.TypeOf(call.Args[0]), types.RelativeTo(n.Func.Pkg())),
+					types.TypeString(tv.Type, types.RelativeTo(n.Func.Pkg())), root)
+			}
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+			if _, builtin := info.Uses[id].(*types.Builtin); !builtin {
+				return true
+			}
+			// Builtin append: flag growth of an uncapped local.
+			if len(call.Args) > 0 {
+				if obj := identObj(info, call.Args[0]); obj != nil && uncapped[obj] {
+					pass.Report(call.Pos(),
+						"append grows %s, declared without capacity, on a batch hot path (reachable from %s); presize it",
+						obj.Name(), root)
+				}
+			}
+			return true
+		}
+		// Ordinary call: arguments bound to interface parameters box their
+		// concrete values once per invocation.
+		sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+		if !ok {
+			return true
+		}
+		for i, arg := range call.Args {
+			pt := paramType(sig, i, call)
+			if pt == nil || !boxes(info.TypeOf(arg), pt) {
+				continue
+			}
+			pass.Report(arg.Pos(),
+				"argument boxes %s into %s on a batch hot path (reachable from %s)",
+				types.TypeString(info.TypeOf(arg), types.RelativeTo(n.Func.Pkg())),
+				types.TypeString(pt, types.RelativeTo(n.Func.Pkg())), root)
+		}
+		return true
+	})
+}
+
+// uncappedLocals collects the variables of fd declared without capacity:
+// `var x []T`, `x := []T{}`, `x := []T(nil)`, and two-argument make. Append
+// growth on these reallocates log-many times; the fix is a capacity hint or
+// a pooled buffer.
+func uncappedLocals(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	mark := func(name *ast.Ident, rhs ast.Expr) {
+		obj := info.Defs[name]
+		if obj == nil {
+			return
+		}
+		if _, ok := obj.Type().Underlying().(*types.Slice); !ok {
+			return
+		}
+		switch v := ast.Unparen(rhs).(type) {
+		case nil:
+			out[obj] = true // var x []T
+		case *ast.CompositeLit:
+			if len(v.Elts) == 0 {
+				out[obj] = true // x := []T{}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(v.Fun).(*ast.Ident); ok && id.Name == "make" && len(v.Args) == 2 {
+				if _, builtin := info.Uses[id].(*types.Builtin); builtin {
+					out[obj] = true // x := make([]T, n): cap == len
+				}
+			}
+			if tv, ok := info.Types[v.Fun]; ok && tv.IsType() && len(v.Args) == 1 {
+				if b, ok := info.Types[v.Args[0]]; ok && b.IsNil() {
+					out[obj] = true // x := []T(nil)
+				}
+			}
+		case *ast.Ident:
+			if b, ok := info.Types[v]; ok && b.IsNil() {
+				out[obj] = true // var x []T = nil
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(node ast.Node) bool {
+		switch s := node.(type) {
+		case *ast.DeclStmt:
+			gd, ok := s.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var rhs ast.Expr
+					if i < len(vs.Values) {
+						rhs = vs.Values[i]
+					}
+					mark(name, rhs)
+				}
+			}
+		case *ast.AssignStmt:
+			if len(s.Lhs) != len(s.Rhs) {
+				return true
+			}
+			for i, lhs := range s.Lhs {
+				if name, ok := lhs.(*ast.Ident); ok && info.Defs[name] != nil {
+					mark(name, s.Rhs[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// paramType returns the declared type of the parameter bound to argument i,
+// unwrapping the variadic element type. Nil when the call shape does not
+// bind it (or the argument is spread with ...).
+func paramType(sig *types.Signature, i int, call *ast.CallExpr) types.Type {
+	params := sig.Params()
+	if sig.Variadic() {
+		last := params.Len() - 1
+		if i >= last {
+			if call.Ellipsis.IsValid() {
+				return nil // spread: the slice is passed, nothing boxes here
+			}
+			return params.At(last).Type().(*types.Slice).Elem()
+		}
+		return params.At(i).Type()
+	}
+	if i < params.Len() {
+		return params.At(i).Type()
+	}
+	return nil
+}
+
+// boxes reports whether storing a value of type from into a location of
+// type to allocates: to is an interface and from is a concrete value type.
+// Pointer-shaped operands (pointers, maps, channels, functions) fit in the
+// interface word and stay allocation-free, as does nil.
+func boxes(from, to types.Type) bool {
+	if from == nil || to == nil {
+		return false
+	}
+	if _, ok := to.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	switch u := from.Underlying().(type) {
+	case *types.Basic:
+		return u.Kind() != types.UntypedNil
+	case *types.Struct, *types.Array, *types.Slice:
+		return true
+	}
+	return false
+}

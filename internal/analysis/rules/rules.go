@@ -25,6 +25,7 @@ func All() []analysis.Rule {
 		MixParity{},
 		PhaseOrder{},
 		StatsWindowLock{},
+		HotpathAlloc{},
 	}
 }
 

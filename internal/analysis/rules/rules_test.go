@@ -34,6 +34,7 @@ var fixtureCases = []struct {
 	{rules.MixParity{}, "mixparity_bad.go", "mixparity_good.go", "benchpress/internal/benchmarks/fixture"},
 	{rules.PhaseOrder{}, "phaseorder_bad.go", "phaseorder_good.go", "benchpress/internal/fixture"},
 	{rules.StatsWindowLock{}, "statswindow_bad.go", "statswindow_good.go", "benchpress/internal/stats/fixture"},
+	{rules.HotpathAlloc{}, "hotpathalloc_bad.go", "hotpathalloc_good.go", "benchpress/internal/sqldb/exec"},
 }
 
 func TestRuleFixtures(t *testing.T) {

@@ -1,0 +1,55 @@
+// Fixture: exec-style batch loops whose helpers allocate per row. Loaded
+// under benchpress/internal/sqldb/exec, so the scan functions below root the
+// hot set via their storage batch API calls.
+package exec
+
+// rowBatch stands in for the storage batch scratch.
+type rowBatch struct {
+	ids [64]int64
+	n   int
+}
+
+// table stands in for storage.Table: the method names are what make
+// scanLoop a batch-loop root.
+type table struct{}
+
+func (t *table) ScanBatch(g int, cursor int64, b *rowBatch) int64 { return -1 }
+
+func (t *table) AppendPrimaryRange(buf []int64, from, to int64) []int64 { return buf }
+
+// scanLoop is a batch-loop root: it drives ScanBatch and hands every row to
+// the per-row helpers.
+func scanLoop(t *table) []int64 {
+	var b rowBatch
+	var out []int64
+	for cursor := int64(0); cursor >= 0; {
+		cursor = t.ScanBatch(0, cursor, &b)
+		for i := 0; i < b.n; i++ {
+			out = append(out, emitRow(b.ids[i])) // want "append grows out"
+			sink(b.ids[i])                       // want "boxes int64"
+		}
+	}
+	return out
+}
+
+// rangeLoop is a second root via the range batch API.
+func rangeLoop(t *table) []int64 {
+	buf := make([]int64, 0, 64)
+	buf = t.AppendPrimaryRange(buf, 1, 100)
+	rows := []int64{}
+	for _, id := range buf {
+		rows = append(rows, emitRow(id)) // want "append grows rows"
+	}
+	return rows
+}
+
+// emitRow is hot because both loops call it: its uncapped growth fires even
+// though the declaration looks innocent in isolation.
+func emitRow(id int64) int64 {
+	vals := make([]int64, 0)
+	vals = append(vals, id) // want "append grows vals"
+	return vals[0]
+}
+
+// sink boxes its argument into an empty interface per call.
+func sink(v any) { _ = v }

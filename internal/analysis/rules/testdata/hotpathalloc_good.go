@@ -1,0 +1,54 @@
+// Fixture: the same batch-loop shapes written with the presized-buffer and
+// pointer-shaped idioms the rule exists to enforce — nothing may fire.
+package exec
+
+// rowBatch stands in for the storage batch scratch.
+type rowBatch struct {
+	ids [64]int64
+	n   int
+}
+
+type table struct{}
+
+func (t *table) ScanBatch(g int, cursor int64, b *rowBatch) int64 { return -1 }
+
+func (t *table) AppendPrimaryRange(buf []int64, from, to int64) []int64 { return buf }
+
+// scanLoop presizes its output and passes a pointer to the interface sink,
+// so neither allocation pattern appears.
+func scanLoop(t *table) []int64 {
+	var b rowBatch
+	out := make([]int64, 0, 256)
+	for cursor := int64(0); cursor >= 0; {
+		cursor = t.ScanBatch(0, cursor, &b)
+		for i := 0; i < b.n; i++ {
+			out = append(out, emitRow(&b.ids[i]))
+			sink(&b.ids[i]) // pointers fit the interface word: no box
+		}
+	}
+	return out
+}
+
+// growBuf appends into a caller-owned buffer — the reuse idiom the batch
+// APIs are built on. Appending to a parameter never fires.
+func growBuf(t *table, buf []int64) []int64 {
+	buf = t.AppendPrimaryRange(buf[:0], 1, 100)
+	buf = append(buf, 7)
+	return buf
+}
+
+// emitRow reads through the pointer; no uncapped local, no boxing.
+func emitRow(id *int64) int64 { return *id }
+
+// sink takes the already-pointer-shaped value.
+func sink(v any) { _ = v }
+
+// coldAccumulate is NOT reachable from any batch loop: its uncapped append
+// is fine, and must stay quiet.
+func coldAccumulate(n int) []int64 {
+	var out []int64
+	for i := 0; i < n; i++ {
+		out = append(out, int64(i))
+	}
+	return out
+}

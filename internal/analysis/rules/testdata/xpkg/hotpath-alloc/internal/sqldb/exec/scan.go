@@ -1,0 +1,29 @@
+// Cross-package hot-path fixture: the batch loop lives here, the per-row
+// allocation lives in the sibling rowutil package. The finding only fires if
+// reachability flows across the package boundary.
+package exec
+
+import "benchpress/internal/sqldb/rowutil"
+
+// rowBatch stands in for the storage batch scratch.
+type rowBatch struct {
+	ids [64]int64
+	n   int
+}
+
+type table struct{}
+
+func (t *table) ScanBatch(g int, cursor int64, b *rowBatch) int64 { return -1 }
+
+// scanLoop roots the hot set and crosses into rowutil for its per-row work.
+func scanLoop(t *table) int64 {
+	var b rowBatch
+	var total int64
+	for cursor := int64(0); cursor >= 0; {
+		cursor = t.ScanBatch(0, cursor, &b)
+		for i := 0; i < b.n; i++ {
+			total += rowutil.Project(b.ids[i])
+		}
+	}
+	return total
+}

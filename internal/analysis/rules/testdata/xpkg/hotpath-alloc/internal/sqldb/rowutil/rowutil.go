@@ -1,0 +1,25 @@
+// Package rowutil holds the per-row helpers the exec fixture calls from its
+// batch loop. The allocation defects live here, one package away from the
+// root, so the rule only finds them through cross-package reachability.
+package rowutil
+
+// Project is hot solely because exec.scanLoop calls it per row.
+func Project(id int64) int64 {
+	var out []int64
+	out = append(out, id) // want "append grows out"
+	record(id)            // want "boxes int64"
+	return out[0]
+}
+
+// record boxes its argument into an empty interface per call.
+func record(v any) { _ = v }
+
+// ColdSummary is never called from a batch loop: its uncapped append must
+// stay quiet.
+func ColdSummary(n int) []int64 {
+	var acc []int64
+	for i := 0; i < n; i++ {
+		acc = append(acc, int64(i))
+	}
+	return acc
+}

@@ -141,9 +141,9 @@ func (e *Engine) vacuumLoop() {
 	for {
 		select {
 		case <-ticker.C:
-			horizon := e.mgr.Horizon()
+			horizon, now := e.mgr.Horizon(), e.mgr.Clock()
 			for _, t := range e.Tables() {
-				t.VacuumSegment(cursor%t.Segments(), horizon)
+				t.VacuumSegment(cursor%t.Segments(), horizon, now)
 			}
 			cursor++
 		case <-e.vacStop:
@@ -205,10 +205,10 @@ func (e *Engine) Tables() []*storage.Table {
 
 // Vacuum reclaims dead rows across all tables, returning slots reclaimed.
 func (e *Engine) Vacuum() int {
-	horizon := e.mgr.Horizon()
+	horizon, now := e.mgr.Horizon(), e.mgr.Clock()
 	total := 0
 	for _, t := range e.Tables() {
-		total += t.Vacuum(horizon)
+		total += t.Vacuum(horizon, now)
 	}
 	return total
 }

@@ -101,6 +101,24 @@ type selectExec struct {
 	groupOrder []string
 	grouped    bool
 	rowCap     int // emit stops the scan at this many rows; -1 = unbounded
+	// arena is the output-row allocator: projected rows are carved out of
+	// BatchSize-row chunks, turning one allocation per row into one per
+	// chunk. The chunk tail survives pooling — carved rows escape into
+	// Result.Rows, but the unconsumed remainder is still exclusively ours,
+	// because every carve is capacity-capped and starts past the last one.
+	arena []sqlval.Value
+}
+
+// allocRow carves an n-value row out of the arena chunk. The three-index cap
+// makes the carved slice appear full to append, so callers can never grow it
+// into a neighboring row.
+func (se *selectExec) allocRow(n int) []sqlval.Value {
+	if len(se.arena)+n > cap(se.arena) {
+		se.arena = make([]sqlval.Value, 0, storage.BatchSize*n)
+	}
+	m := len(se.arena)
+	se.arena = se.arena[:m+n]
+	return se.arena[m : m+n : m+n]
 }
 
 func (p *selectPlan) getExec(params []sqlval.Value) *selectExec {
@@ -387,7 +405,7 @@ func (se *selectExec) emit() error {
 		}
 		return g.accumulate(p.aggs, env)
 	}
-	out := make([]sqlval.Value, len(p.projs))
+	out := se.allocRow(len(p.projs))
 	for i, pr := range p.projs {
 		v, err := pr.fn(env)
 		if err != nil {
@@ -398,6 +416,9 @@ func (se *selectExec) emit() error {
 	if p.distinct {
 		k := sqlval.EncodeKey(out)
 		if se.seen[k] {
+			// Rebate the carve: out never escaped, so the next row may
+			// reuse its arena space.
+			se.arena = se.arena[:len(se.arena)-len(out)]
 			return nil
 		}
 		se.seen[k] = true
@@ -577,14 +598,34 @@ func (p *selectPlan) scan(tx *txn.Txn, se *selectExec, li int) error {
 	lv := &p.levels[li]
 	matched := false
 	var scanErr error
-	process := func(e storage.IndexEntry, vk verifyKind) bool {
-		data, err := tx.Read(lv.tbl, e.ID, p.forUpdate)
-		if err != nil {
-			scanErr = err
-			return false
-		}
-		if data == nil {
-			return true
+	// Plain reads outside the Locking engine resolve visibility directly
+	// against the transaction's view — one liveness check per scan instead
+	// of a full Read (done-check, mode switch, claim test) per row.
+	view, fast := tx.FastReadView()
+	fast = fast && !p.forUpdate
+	process := func(e storage.IndexEntry, vk verifyKind, row *storage.Row) bool {
+		var data []sqlval.Value
+		if fast {
+			if row == nil {
+				var ok bool
+				if row, ok = lv.tbl.Row(e.ID); !ok {
+					return true
+				}
+			}
+			v := view.Visible(row)
+			if v == nil {
+				return true
+			}
+			data = v.Data
+		} else {
+			var err error
+			if data, err = tx.Read(lv.tbl, e.ID, p.forUpdate); err != nil {
+				scanErr = err
+				return false
+			}
+			if data == nil {
+				return true
+			}
 		}
 		if !entryMatches(lv, e, vk, data) {
 			// Stale index entry: the visible image no longer carries the
@@ -620,7 +661,7 @@ func (p *selectPlan) scan(tx *txn.Txn, se *selectExec, li int) error {
 		return true
 	}
 
-	if err := scanAccess(lv, env, &env.scratch[li], process); err != nil {
+	if err := scanAccess(lv, env, &env.scratch[li], fast, process); err != nil {
 		return err
 	}
 	if scanErr != nil {
@@ -674,7 +715,15 @@ func entryMatches(lv *scanLevel, e storage.IndexEntry, vk verifyKind, data []sql
 // to process (which returns false to stop). Probe keys and range bounds are
 // built in sc, this level's scratch, so repeated probes (inner join levels,
 // prepared-statement re-execution) allocate nothing.
-func scanAccess(lv *scanLevel, env *Env, sc *levelScratch, process func(e storage.IndexEntry, vk verifyKind) bool) error {
+//
+// Range scans are batch-oriented: the qualifying index entries are
+// materialized into sc.entries in one pass under the index latch, then
+// consumed latch-free. That holds the latch once per scan instead of once
+// per entry, and lets process acquire row locks (the slow path) without an
+// index latch held. Sequential scans on the fast read path pull rows
+// BatchSize at a time through sc.batch, so process receives the row pointer
+// directly and skips the per-row id decode and slot load of Table.Row.
+func scanAccess(lv *scanLevel, env *Env, sc *levelScratch, fast bool, process func(e storage.IndexEntry, vk verifyKind, row *storage.Row) bool) error {
 	switch lv.access.kind {
 	case accessPrimaryEq:
 		key, err := evalKeyInto(sc.key, lv.access.eq, env)
@@ -683,7 +732,7 @@ func scanAccess(lv *scanLevel, env *Env, sc *levelScratch, process func(e storag
 		}
 		sc.key = key
 		if id, ok := lv.tbl.PrimaryLookup(key); ok {
-			process(storage.IndexEntry{Key: key, ID: id}, verifyPrim)
+			process(storage.IndexEntry{Key: key, ID: id}, verifyPrim, nil)
 		}
 		return nil
 	case accessPrimary:
@@ -691,25 +740,56 @@ func scanAccess(lv *scanLevel, env *Env, sc *levelScratch, process func(e storag
 		if err != nil {
 			return err
 		}
-		lv.tbl.ScanPrimaryRange(from, to, lv.access.desc, func(e storage.IndexEntry) bool {
-			return process(e, verifyPrim)
-		})
+		sc.entries = lv.tbl.AppendPrimaryRange(sc.entries[:0], from, to, lv.access.desc)
+		for i := range sc.entries {
+			if !process(sc.entries[i], verifyPrim, nil) {
+				break
+			}
+		}
+		sc.releaseEntries()
 		return nil
 	case accessSecondary:
 		from, to, err := scanBounds(&lv.access, env, sc)
 		if err != nil {
 			return err
 		}
-		lv.tbl.ScanSecondaryRange(lv.access.ord, from, to, lv.access.desc, func(e storage.IndexEntry) bool {
-			return process(e, verifySec)
-		})
+		sc.entries = lv.tbl.AppendSecondaryRange(sc.entries[:0], lv.access.ord, from, to, lv.access.desc)
+		for i := range sc.entries {
+			if !process(sc.entries[i], verifySec, nil) {
+				break
+			}
+		}
+		sc.releaseEntries()
 		return nil
 	default:
-		// Sequential scan, one latch-free row-store segment at a time. The
-		// callback is hoisted out of the segment loop so it is allocated
-		// once per scan.
+		// Sequential scan, one latch-free row-store segment at a time.
+		if fast {
+			b := sc.batch
+			if b == nil {
+				b = new(storage.RowBatch)
+				sc.batch = b
+			}
+		batched:
+			for g, n := 0, lv.tbl.Segments(); g < n; g++ {
+				for cursor := int64(0); cursor >= 0; {
+					cursor = lv.tbl.ScanBatch(g, cursor, b)
+					for i := 0; i < b.N; i++ {
+						if !process(storage.IndexEntry{ID: b.IDs[i]}, verifyNone, b.Rows[i]) {
+							break batched
+						}
+					}
+				}
+			}
+			// Drop the row pointers so pooled executor state does not pin
+			// reclaimed rows between executions.
+			*b = storage.RowBatch{}
+			return nil
+		}
+		// Locking / FOR UPDATE path: per-row visit; process re-reads the
+		// row under the transaction's concurrency control. The callback is
+		// hoisted out of the segment loop so it is allocated once per scan.
 		visit := func(id storage.RowID, _ *storage.Row) bool {
-			return process(storage.IndexEntry{ID: id}, verifyNone)
+			return process(storage.IndexEntry{ID: id}, verifyNone, nil)
 		}
 		for g, n := 0, lv.tbl.Segments(); g < n; g++ {
 			if !lv.tbl.ScanSegment(g, visit) {
@@ -1046,7 +1126,7 @@ func collectMatches(scan *selectPlan, tx *txn.Txn, env *Env) ([]storage.RowID, [
 	var images [][]sqlval.Value
 	lv := &scan.levels[0]
 	var innerErr error
-	process := func(e storage.IndexEntry, vk verifyKind) bool {
+	process := func(e storage.IndexEntry, vk verifyKind, _ *storage.Row) bool {
 		data, err := tx.Read(lv.tbl, e.ID, true)
 		if err != nil {
 			innerErr = err
@@ -1075,7 +1155,7 @@ func collectMatches(scan *selectPlan, tx *txn.Txn, env *Env) ([]storage.RowID, [
 		images = append(images, data)
 		return true
 	}
-	if err := scanAccess(lv, env, &env.scratch[0], process); err != nil {
+	if err := scanAccess(lv, env, &env.scratch[0], false, process); err != nil {
 		return nil, nil, err
 	}
 	if innerErr != nil {

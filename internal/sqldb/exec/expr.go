@@ -15,6 +15,7 @@ import (
 
 	"benchpress/internal/sqldb/catalog"
 	"benchpress/internal/sqldb/parser"
+	"benchpress/internal/sqldb/storage"
 	"benchpress/internal/sqlval"
 )
 
@@ -40,6 +41,29 @@ type levelScratch struct {
 	key  []sqlval.Value
 	from []sqlval.Value
 	to   []sqlval.Value
+	// entries is the range-scan batch buffer: index entries are materialized
+	// here under the index latch, then consumed latch-free. Reused across
+	// probes and executions; releaseEntries drops key references afterwards.
+	entries []storage.IndexEntry
+	// batch is the sequential-scan row batch, allocated on first use.
+	batch *storage.RowBatch
+}
+
+// maxRetainedEntries bounds the entry scratch a pooled execution keeps; a
+// scan that materialized more than this hands the buffer back to the GC.
+const maxRetainedEntries = 1024
+
+// releaseEntries clears the consumed entry batch so pooled executor state
+// does not pin index key slices between executions.
+func (sc *levelScratch) releaseEntries() {
+	for i := range sc.entries {
+		sc.entries[i] = storage.IndexEntry{}
+	}
+	if cap(sc.entries) > maxRetainedEntries {
+		sc.entries = nil
+	} else {
+		sc.entries = sc.entries[:0]
+	}
 }
 
 // reset prepares a (possibly pooled) Env for one execution: Vals is sized

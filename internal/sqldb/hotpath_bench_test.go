@@ -123,9 +123,9 @@ func BenchmarkExecPointRead(b *testing.B) {
 
 // TestPreparedPointReadAllocSmoke is the allocation regression gate wired
 // into scripts/verify.sh: a prepared autocommitted point read must stay
-// within a small fixed allocation budget. The bound is deliberately loose
-// (actual is lower) so it only trips on structural regressions like a lost
-// pool or a per-row buffer creeping back in.
+// within a small fixed allocation budget. The bound leaves 2x headroom over
+// the measured 4 allocs/op so it only trips on structural regressions like a
+// lost pool or a per-row buffer creeping back in.
 func TestPreparedPointReadAllocSmoke(t *testing.T) {
 	e := Open(Config{Mode: txn.MVCC})
 	s := e.Session()
@@ -149,7 +149,7 @@ func TestPreparedPointReadAllocSmoke(t *testing.T) {
 		}
 		i++
 	})
-	const budget = 16
+	const budget = 8
 	if avg > budget {
 		t.Fatalf("prepared point read allocates %.1f objects/op, budget %d", avg, budget)
 	}

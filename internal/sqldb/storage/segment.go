@@ -120,6 +120,30 @@ func (t *Table) freeRow(id RowID, row *Row) {
 	seg.mu.Unlock()
 }
 
+// unlinkRow empties a slot lock-free, without recycling it: the local index
+// goes back to the allocator only via recycleLocals, once the epoch
+// low-watermark proves no reader can still resolve a stale reference to it.
+// The compare-and-swap keeps racing releases harmless, like freeRow.
+func (t *Table) unlinkRow(id RowID, row *Row) (int64, bool) {
+	g, local := rowAddr(id)
+	dir := *t.segs[g].dir.Load()
+	pi := local >> pageShift
+	if pi < 0 || pi >= int64(len(dir)) || !dir[pi][local&pageMask].CompareAndSwap(row, nil) {
+		return 0, false
+	}
+	t.segs[g].count.Add(-1)
+	return local, true
+}
+
+// recycleLocals returns a batch of unlinked slot indexes of one segment to
+// its free list in a single lock hold.
+func (t *Table) recycleLocals(g int64, locals []int64) {
+	seg := &t.segs[g]
+	seg.mu.Lock()
+	seg.free = append(seg.free, locals...)
+	seg.mu.Unlock()
+}
+
 // Row returns the row with the given id, if it exists. Latch-free.
 func (t *Table) Row(id RowID) (*Row, bool) {
 	if id <= 0 {

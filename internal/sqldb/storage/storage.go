@@ -217,8 +217,10 @@ type Table struct {
 	secondaries atomic.Pointer[[]secondaryIndex]
 
 	// vacMu serializes vacuum passes (manual and background) against each
-	// other; vacuum never blocks readers or writers.
+	// other; vacuum never blocks readers or writers. It also guards limbo,
+	// the retired-slot batches awaiting the epoch low-watermark.
 	vacMu sync.Mutex
+	limbo []limboBatch
 }
 
 // NewTable allocates physical storage for a catalog table.
@@ -605,22 +607,7 @@ type IndexEntry struct {
 // under the index latch and the callback runs after its release, so
 // callbacks may freely re-enter the table (reads, lock acquisition).
 func (t *Table) ScanPrimaryRange(from, to []sqlval.Value, desc bool, fn func(e IndexEntry) bool) {
-	if t.primary == nil {
-		return
-	}
-	entries := make([]IndexEntry, 0, 16)
-	collect := func(key []sqlval.Value, id int64) bool {
-		entries = append(entries, IndexEntry{Key: key, ID: id})
-		return true
-	}
-	t.primary.RLock()
-	if desc {
-		t.primary.DescendRange(to, from, collect)
-	} else {
-		t.primary.AscendRange(from, to, collect)
-	}
-	t.primary.RUnlock()
-	for _, e := range entries {
+	for _, e := range t.AppendPrimaryRange(make([]IndexEntry, 0, 16), from, to, desc) {
 		if !fn(e) {
 			return
 		}
@@ -676,20 +663,7 @@ func (t *Table) SecondaryIndexes() []*catalog.Index {
 // bound. The same materialize-then-callback discipline as ScanPrimaryRange
 // applies.
 func (t *Table) ScanSecondaryRange(ord int, from, to []sqlval.Value, desc bool, fn func(e IndexEntry) bool) {
-	sec := t.secondaryList()[ord]
-	entries := make([]IndexEntry, 0, 16)
-	collect := func(key []sqlval.Value, id int64) bool {
-		entries = append(entries, IndexEntry{Key: key, ID: id})
-		return true
-	}
-	sec.tree.RLock()
-	if desc {
-		sec.tree.DescendRange(to, from, collect)
-	} else {
-		sec.tree.AscendRange(from, to, collect)
-	}
-	sec.tree.RUnlock()
-	for _, e := range entries {
+	for _, e := range t.AppendSecondaryRange(make([]IndexEntry, 0, 16), ord, from, to, desc) {
 		if !fn(e) {
 			return
 		}
@@ -699,6 +673,11 @@ func (t *Table) ScanSecondaryRange(ord int, from, to []sqlval.Value, desc bool, 
 // Truncate drops all rows and index entries. Callers must ensure no
 // concurrent transactions touch the table (the engine takes care of this).
 func (t *Table) Truncate() {
+	// Drop retired slots with the segments they point into, and hold off a
+	// concurrent background vacuum pass for the duration.
+	t.vacMu.Lock()
+	defer t.vacMu.Unlock()
+	t.limbo = nil
 	if t.primary != nil {
 		t.primary.Lock()
 		t.primary.Tree = *btree.New()

@@ -1,66 +1,156 @@
 package storage
 
+// Version-chain reclamation is epoch-based. A vacuum pass unlinks dead rows
+// immediately — index entries deleted in one batched latch hold per index,
+// row slots emptied with a lock-free compare-and-swap — but does NOT hand
+// the slots back to the allocator. Instead the pass retires them to a limbo
+// batch stamped with the commit clock at unlink time ("now"). Every
+// transaction that was active at the unlink, and so could still resolve a
+// stale index entry or scan cursor to one of those slots, has a snapshot at
+// or below that stamp; once the transaction low-watermark (txn.Horizon)
+// advances strictly past it, nothing that could observe the old occupant is
+// alive, and a later pass recycles the whole batch onto the segment free
+// list in a single lock hold.
+//
+// Compared with the previous design — which classified every row under its
+// latch and paid one segment-mutex acquisition per freed slot — a pass now
+// takes no row latches at all (classification reads the atomic timestamps;
+// a committed-dead version can never be revived, so the verdict is stable),
+// one latch hold per index per pass, and one segment-mutex hold per reaped
+// batch. Readers never block either way: stale index entries and detached
+// chain tails are tolerated by the package's re-validation discipline, and
+// limbo deferral guarantees a slot is never recycled while a transaction
+// that saw its previous occupant's index entries is still running.
+
+// limboBatch is one vacuum pass's worth of unlinked slots from a single
+// segment, awaiting the epoch low-watermark. Guarded by Table.vacMu.
+type limboBatch struct {
+	retireTS uint64 // commit clock at unlink time
+	seg      int64
+	locals   []int64
+}
+
 // Vacuum removes committed-deleted rows whose delete timestamp is below
 // horizon, along with their index entries, and prunes version chains down to
-// the newest version visible at horizon. It returns the number of row slots
-// reclaimed. Vacuum runs online: it never blocks readers, and writers only
-// ever contend with it on individual row latches and index latches.
-func (t *Table) Vacuum(horizon uint64) int {
-	reclaimed := 0
+// the newest version visible at horizon. now is the current commit clock,
+// used to stamp retired slots (see Manager.Clock). It returns the number of
+// rows retired. Vacuum runs online: it never blocks readers, and writers
+// only ever contend with it on index latches.
+func (t *Table) Vacuum(horizon, now uint64) int {
+	retired := 0
 	for g := 0; g < NumSegments; g++ {
-		reclaimed += t.VacuumSegment(g, horizon)
+		retired += t.VacuumSegment(g, horizon, now)
 	}
-	return reclaimed
+	return retired
 }
 
 // VacuumSegment vacuums one row-store stripe, so a background vacuum can
-// spread its work over time. Passes serialize on vacMu; within the pass,
-// each row latch is held only long enough to classify the row or cut its
-// chain tail. A row whose newest version is committed-dead below horizon can
-// never change again (no engine revives a committed delete), so its index
-// entries are removed and its slot released after the latch is dropped.
-func (t *Table) VacuumSegment(g int, horizon uint64) int {
+// spread its work over time. Passes serialize on vacMu. A row whose newest
+// version is committed-dead below horizon can never change again (no engine
+// revives a committed delete), so the classification needs no row latch;
+// the row's index entries are removed, its slot emptied, and the slot
+// retired to limbo until the low-watermark passes now.
+func (t *Table) VacuumSegment(g int, horizon, now uint64) int {
 	t.vacMu.Lock()
 	defer t.vacMu.Unlock()
+
+	t.reapLimbo(horizon)
 
 	var deadIDs []RowID
 	var deadRows []*Row
 	t.ScanSegment(g, func(id RowID, row *Row) bool {
-		row.Lock()
 		v := row.Latest()
 		if v != nil && committed(v.Begin()) && committed(v.End()) &&
 			v.End() != Infinity && v.End() <= horizon {
-			// Entire row is dead to every possible reader.
+			// Entire row is dead to every possible reader, permanently.
 			deadIDs = append(deadIDs, id)
 			deadRows = append(deadRows, row)
-			row.Unlock()
 			return true
 		}
-		// Prune chain tail: keep versions needed by readers at horizon.
+		// Prune the chain tail: keep versions needed by readers at horizon.
+		// Only this pass writes next pointers (vacMu), and a reader that
+		// already loaded the cut point's next keeps a coherent detached
+		// tail, so no latch is needed.
 		for cur := row.Latest(); cur != nil; cur = cur.Next() {
 			if committed(cur.Begin()) && cur.Begin() <= horizon {
-				cur.SetNext(nil)
+				if cur.Next() != nil {
+					cur.SetNext(nil)
+				}
 				break
 			}
 		}
-		row.Unlock()
 		return true
 	})
+	if len(deadRows) == 0 {
+		return 0
+	}
 
-	for i, row := range deadRows {
-		id := deadIDs[i]
-		for img := row.Latest(); img != nil; img = img.Next() {
-			t.removeSecondaryEntries(id, img.Data)
-			if t.primary != nil {
+	// Unlink index entries in one latch hold per index. The primary entry
+	// is guarded (a concurrent re-insert of the key may own it now); the
+	// secondary keys carry the row id, so unconditional deletes are safe.
+	if t.primary != nil {
+		t.primary.Lock()
+		for i, row := range deadRows {
+			for img := row.Latest(); img != nil; img = img.Next() {
 				key := t.pkKey(img.Data)
-				t.primary.Lock()
-				if cur, ok := t.primary.Get(key); ok && cur == id {
+				if cur, ok := t.primary.Get(key); ok && cur == deadIDs[i] {
 					t.primary.Delete(key)
 				}
-				t.primary.Unlock()
 			}
 		}
-		t.freeRow(id, row)
+		t.primary.Unlock()
+	}
+	for _, sec := range t.secondaryList() {
+		sec.tree.Lock()
+		for i, row := range deadRows {
+			for img := row.Latest(); img != nil; img = img.Next() {
+				sec.tree.Delete(indexKey(sec.meta, img.Data, deadIDs[i]))
+			}
+		}
+		sec.tree.Unlock()
+	}
+
+	// Empty the slots lock-free and retire them. The compare-and-swap makes
+	// a racing release (rollback) harmless, exactly like freeRow; the slot
+	// cannot be recycled underneath us because it only reaches the free
+	// list when the batch is reaped.
+	locals := make([]int64, 0, len(deadRows))
+	for i, row := range deadRows {
+		if local, ok := t.unlinkRow(deadIDs[i], row); ok {
+			locals = append(locals, local)
+		}
+	}
+	if len(locals) > 0 {
+		t.limbo = append(t.limbo, limboBatch{retireTS: now, seg: int64(g), locals: locals})
 	}
 	return len(deadRows)
+}
+
+// reapLimbo recycles every limbo batch whose retirement stamp the
+// low-watermark has strictly passed. Callers hold vacMu.
+func (t *Table) reapLimbo(horizon uint64) {
+	if len(t.limbo) == 0 {
+		return
+	}
+	keep := t.limbo[:0]
+	for _, b := range t.limbo {
+		if b.retireTS < horizon {
+			t.recycleLocals(b.seg, b.locals)
+		} else {
+			keep = append(keep, b)
+		}
+	}
+	t.limbo = keep
+}
+
+// LimboSlots reports the number of retired slots awaiting the low-watermark,
+// for tests and introspection.
+func (t *Table) LimboSlots() int {
+	t.vacMu.Lock()
+	defer t.vacMu.Unlock()
+	n := 0
+	for _, b := range t.limbo {
+		n += len(b.locals)
+	}
+	return n
 }

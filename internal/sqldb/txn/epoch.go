@@ -1,0 +1,95 @@
+package txn
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Epoch registration for MVCC transactions. The engine's reclamation epochs
+// are commit timestamps: a transaction "enters an epoch" by publishing its
+// snapshot timestamp at begin and leaves it at finish, and the global epoch
+// low-watermark (Horizon) is the minimum published snapshot. Vacuum retires
+// unlinked rows stamped with the clock value at unlink time and frees them
+// once the low-watermark passes that stamp, so no transaction that could
+// still hold a stale reference is alive when the slot is recycled.
+//
+// Registration used to live in a sync.Map keyed by transaction id, which put
+// two interlocked map operations plus a delete on every MVCC begin/finish.
+// The epochTable replaces it with a fixed array of cache-padded slots: enter
+// is one CAS on an id-hashed slot (plus a short linear probe), exit is one
+// store, and the low-watermark scan is a bounded sweep of plain atomic
+// loads. A full table (more concurrent transactions than slots) falls back
+// to the old map so correctness never depends on the sizing.
+const (
+	epochSlots  = 128 // power of two; 8KB of padded slots
+	epochMask   = epochSlots - 1
+	epochProbes = 8
+)
+
+// epochSlot holds one registered snapshot timestamp. Zero means free: commit
+// timestamps start at 1, so a live registration is never zero. The pad keeps
+// neighboring slots off each other's cache lines, since distinct workers hit
+// distinct slots on every transaction.
+type epochSlot struct {
+	snap atomic.Uint64
+	_    [56]byte
+}
+
+// epochTable registers the snapshot timestamps of in-flight MVCC
+// transactions.
+type epochTable struct {
+	slots    [epochSlots]epochSlot
+	overflow sync.Map // txn id -> snapshot ts, when every probed slot is busy
+}
+
+// enter claims a slot for the transaction and publishes snap in it,
+// returning the slot index, or -1 when the registration spilled to the
+// overflow map.
+func (e *epochTable) enter(id, snap uint64) int32 {
+	h := (id * 0x9E3779B97F4A7C15) >> 57 // fibonacci hash to the slot space
+	for i := uint64(0); i < epochProbes; i++ {
+		idx := (h + i) & epochMask
+		if e.slots[idx].snap.CompareAndSwap(0, snap) {
+			return int32(idx)
+		}
+	}
+	e.overflow.Store(id, snap)
+	return -1
+}
+
+// update republishes the transaction's snapshot. The slot is already owned,
+// so a plain store suffices; Horizon may observe either value, and both are
+// safe because enter publishes a conservative (never higher) snapshot first.
+func (e *epochTable) update(slot int32, id, snap uint64) {
+	if slot >= 0 {
+		e.slots[slot].snap.Store(snap)
+		return
+	}
+	e.overflow.Store(id, snap)
+}
+
+// exit releases the transaction's registration.
+func (e *epochTable) exit(slot int32, id uint64) {
+	if slot >= 0 {
+		e.slots[slot].snap.Store(0)
+		return
+	}
+	e.overflow.Delete(id)
+}
+
+// min returns the smallest registered snapshot, or ceil if none is smaller.
+func (e *epochTable) min(ceil uint64) uint64 {
+	low := ceil
+	for i := range e.slots {
+		if s := e.slots[i].snap.Load(); s != 0 && s < low {
+			low = s
+		}
+	}
+	e.overflow.Range(func(_, v any) bool {
+		if ts := v.(uint64); ts < low {
+			low = ts
+		}
+		return true
+	})
+	return low
+}

@@ -180,7 +180,7 @@ func stressOneTable(t *testing.T, mode Mode) {
 		defer readers.Done()
 		g := 0
 		for !stop.Load() {
-			tbl.VacuumSegment(g%tbl.Segments(), m.Horizon())
+			tbl.VacuumSegment(g%tbl.Segments(), m.Horizon(), m.Clock())
 			g++
 		}
 	}()
@@ -266,7 +266,7 @@ func verifyStress(t *testing.T, m *Manager, tbl *storage.Table) {
 
 	// With no active transactions, a full vacuum must reclaim every dead
 	// churn slot.
-	tbl.Vacuum(m.Horizon() + 1)
+	tbl.Vacuum(m.Horizon()+1, m.Clock())
 	if got := tbl.RowCount(); got != stressAccounts {
 		t.Errorf("RowCount after vacuum = %d, want %d", got, stressAccounts)
 	}

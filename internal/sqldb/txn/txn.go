@@ -60,7 +60,7 @@ type Manager struct {
 	commitMu sync.Mutex    // serializes commit stamping
 	global   sync.RWMutex  // Serial mode database lock
 	locks    *lockManager  // Locking mode lock table
-	active   sync.Map      // txn id -> snapshot ts, for the GC horizon
+	epochs   epochTable    // in-flight MVCC snapshots, for the GC horizon
 
 	// nowait, when set, makes every engine non-blocking: Serial TryBegin
 	// returns ErrBusy instead of queueing on the global lock and the
@@ -129,15 +129,14 @@ func (m *Manager) Mode() Mode { return m.mode }
 // Horizon returns a timestamp at or below every active snapshot; versions
 // deleted before it are unreachable and may be vacuumed.
 func (m *Manager) Horizon() uint64 {
-	horizon := m.clock.Load()
-	m.active.Range(func(_, v any) bool {
-		if ts := v.(uint64); ts < horizon {
-			horizon = ts
-		}
-		return true
-	})
-	return horizon
+	return m.epochs.min(m.clock.Load())
 }
+
+// Clock returns the last assigned commit timestamp. Vacuum uses it as the
+// retirement stamp for unlinked rows: every transaction active at unlink
+// time has a snapshot at or below this value, so once Horizon passes it the
+// unlinked slots are unreachable and safe to recycle.
+func (m *Manager) Clock() uint64 { return m.clock.Load() }
 
 // opKind classifies a write-set entry.
 type opKind uint8
@@ -183,6 +182,9 @@ type Txn struct {
 	// claimed tracks rows already write-claimed under MVCC so repeated
 	// writes to one row within the txn skip the conflict check.
 	claimed map[*storage.Row]bool
+	// slot is the epoch-table slot holding this transaction's snapshot
+	// (MVCC only); -1 when the registration spilled to the overflow map.
+	slot int32
 }
 
 // Begin starts a transaction. The readonly hint lets the Serial engine admit
@@ -212,11 +214,11 @@ func (m *Manager) Begin(readonly bool) *Txn {
 		// the clock before our pre-registration value, so it can never
 		// exceed the snapshot we end up with. Without this, Horizon could
 		// advance past a transaction between its clock read and its
-		// appearance in the active map, letting vacuum prune versions the
+		// appearance in the epoch table, letting vacuum prune versions the
 		// new snapshot still needs.
-		m.active.Store(t.id, m.clock.Load())
+		t.slot = m.epochs.enter(t.id, m.clock.Load())
 		t.snap = m.clock.Load()
-		m.active.Store(t.id, t.snap)
+		m.epochs.update(t.slot, t.id, t.snap)
 	}
 	return t
 }
@@ -332,6 +334,19 @@ func (t *Txn) view() storage.View {
 		SnapTS:   t.snap,
 		Snapshot: t.mgr.mode == MVCC,
 	}
+}
+
+// FastReadView returns the transaction's visibility view when a plain
+// (non-FOR UPDATE) read requires no per-row concurrency-control work, i.e.
+// outside the Locking engine, which must acquire a shared lock per row.
+// Batched scans use it to resolve row visibility directly — one view
+// construction and liveness check per scan instead of per row — with
+// semantics identical to Read(tbl, id, false).
+func (t *Txn) FastReadView() (storage.View, bool) {
+	if t.done || t.mgr.mode == Locking {
+		return storage.View{}, false
+	}
+	return t.view(), true
 }
 
 // Read returns the row image visible to this transaction, or nil when the
@@ -688,7 +703,7 @@ func (t *Txn) finish() {
 	case Locking:
 		m.locks.release(t.id, t.held)
 	case MVCC:
-		m.active.Delete(t.id)
+		m.epochs.exit(t.slot, t.id)
 	}
 	t.nwrites = len(t.writes)
 	t.writes = nil

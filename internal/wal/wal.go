@@ -7,13 +7,27 @@
 // throughput/latency trade-off the BenchPress demo surfaces when a DBMS
 // "struggles at maintaining the rate".
 //
-// SyncGroup is leader-paced rather than ticker-driven: the first committer
-// after a flush becomes the group leader and flushes once the configured
-// interval has elapsed since the previous flush; everyone arriving meanwhile
-// waits for that flush. Timer-driven ticks cannot express sub-millisecond
-// cadences on coarse-grained schedulers (a 200µs ticker fires every ~1.1ms
-// on a typical Linux box), so the leader paces the sub-millisecond tail by
-// yielding the processor instead of sleeping.
+// SyncGroup is pipelined: commits accumulate in the current generation, and
+// sealing a generation immediately opens the next one, so the next batch
+// fills while the previous one is being written ("fsynced"). Generations
+// write in seal order - each generation's writer waits for its predecessor's
+// verdict before touching the sink - so the on-disk byte order always equals
+// the append sequence order even when flushes overlap with fills.
+//
+// Generations seal on the earlier of two triggers. (1) The configured
+// interval: an append that arrives past the deadline seals inline, and the
+// generation's first appender arms a backstop so a batch is never stranded —
+// the interval is the hard cap on batching delay, so a lone commit always
+// pays it, which is what makes a 1ms goserial feel different from a 200µs
+// gomvcc. (2) Straggler quiescence: once a generation holds two or more
+// records and no new append has arrived for a few tens of microseconds,
+// every committer that could join the batch is already parked in it —
+// benchmark terminals are closed-loop, so waiting out the rest of the
+// interval cannot grow the group, it only idles the machine. This is the
+// same "wait briefly for stragglers, then flush" heuristic production group
+// commit uses, and it replaces the previous design's leader spin loop
+// (~30% of a CPU yielding to beat the scheduler's ~1.1ms timer quantum)
+// with a bounded quiescence watch.
 package wal
 
 import (
@@ -60,19 +74,23 @@ func (p SyncPolicy) String() string {
 // sequence (8) + record count (4) + reserved (4).
 const recordHeaderSize = 16
 
-// spinThreshold is the remaining-wait below which the group leader paces by
-// yielding instead of sleeping: timer sleeps shorter than roughly two
-// milliseconds round up to the scheduler's granularity and would stretch the
-// flush cadence far past the configured interval.
-const spinThreshold = 2 * time.Millisecond
-
-// flushGen is one group-commit generation: everyone whose record entered the
-// buffer before a flush waits on done; err carries the sink write error of
-// that flush (set before done is closed), so a failed flush aborts every
-// commit it covered instead of falsely acknowledging durability.
+// flushGen is one group-commit generation. Everyone whose record entered the
+// buffer before the seal waits on done; err carries the sink write verdict
+// (set before done is closed), so a failed flush aborts every commit it
+// covered instead of falsely acknowledging durability. prev chains sealed
+// generations in seal order: a generation's writer waits for its
+// predecessor's done before writing, which keeps sink bytes in sequence
+// order while the successor generation fills concurrently.
 type flushGen struct {
-	done chan struct{}
-	err  error
+	prev     *flushGen     // predecessor in seal order; nil once completed
+	buf      []byte        // sealed bytes, owned by the writer after seal
+	sealed   chan struct{} // closed at seal time (under Log.mu)
+	grown    chan struct{} // closed when the second record arrives
+	done     chan struct{} // closed once err holds the write verdict
+	err      error
+	count    atomic.Uint32 // records in this generation
+	isSealed atomic.Bool   // mirror of sealed, for cheap spin-loop checks
+	paced    bool          // a backstop leader is pacing this generation
 }
 
 // Log is a write-ahead log. A nil *Log is valid and performs no work, so
@@ -82,11 +100,10 @@ type Log struct {
 	interval time.Duration
 	w        io.Writer
 
-	mu        sync.Mutex
-	buf       []byte
-	gen       *flushGen
-	leader    bool      // a group leader is pacing the next flush
-	lastFlush time.Time // end of the previous flush, guarded by mu
+	mu       sync.Mutex
+	buf      []byte
+	gen      *flushGen // open generation accumulating appends
+	lastSeal time.Time // seal time of the previous generation, guarded by mu
 	// failErr is the first sink write error observed. Once set, the log is
 	// dead — every subsequent append fails immediately, emulating a crashed
 	// device: nothing commits after the crash point.
@@ -125,7 +142,7 @@ func New(opts Options) *Log {
 		policy:   opts.Policy,
 		interval: opts.GroupInterval,
 		w:        opts.W,
-		gen:      &flushGen{done: make(chan struct{})},
+		gen:      newGen(nil),
 		stop:     make(chan struct{}),
 	}
 	if l.policy == SyncAsync {
@@ -137,6 +154,23 @@ func New(opts Options) *Log {
 	}
 	return l
 }
+
+func newGen(prev *flushGen) *flushGen {
+	return &flushGen{
+		prev:   prev,
+		sealed: make(chan struct{}),
+		grown:  make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// strugglerWait is the quiescence window for early seals: once a generation
+// has at least two records and no append has arrived for this long, the
+// batch is considered complete and flushes without waiting out the interval.
+// It only needs to exceed the inter-append gap of committers racing into the
+// same group (single-digit microseconds); the interval remains the upper
+// bound whenever traffic keeps trickling in.
+const strugglerWait = 20 * time.Microsecond
 
 // Policy returns the log's sync policy.
 func (l *Log) Policy() SyncPolicy {
@@ -236,26 +270,153 @@ func (l *Log) append(rec []byte, seqOff int) error {
 	binary.BigEndian.PutUint64(rec[seqOff:seqOff+8], l.seq.Add(1))
 	l.buf = append(l.buf, rec...)
 	l.records.Add(1)
-	gen := l.gen
-	lead := !l.leader
-	var deadline time.Time
+	g := l.gen
+	if g.count.Add(1) == 2 {
+		close(g.grown) // wake the backstop leader's straggler watch
+	}
+	deadline := l.lastSeal.Add(l.interval)
+	if !time.Now().Before(deadline) {
+		// This append crossed the flush deadline: seal inline and become
+		// the generation's writer, with no pacing at all.
+		l.sealLocked()
+		l.mu.Unlock()
+		l.complete(g)
+		return g.err
+	}
+	lead := !g.paced
 	if lead {
-		l.leader = true
-		deadline = l.lastFlush.Add(l.interval)
+		g.paced = true
 	}
 	l.mu.Unlock()
 
-	if !lead {
-		select {
-		case <-gen.done:
-			return gen.err
-		case <-l.stop:
-		}
-		return nil
+	if lead {
+		return l.lead(g, deadline)
 	}
-	l.pace(deadline)
-	l.flush()
-	return gen.err
+	select {
+	case <-g.done:
+		return g.err
+	case <-l.stop:
+	}
+	return nil
+}
+
+// leadSpinWindow bounds how much of the lone leader's interval wait runs as
+// a yield loop instead of a timer sleep. Timer sleeps below roughly two
+// milliseconds round up to the scheduler quantum — longer than every
+// configured group interval, which is exactly what a lone committer's
+// latency is made of — so the final stretch before the deadline is always
+// yielded through: a lone committer is typically the only runnable
+// goroutine in that regime, making the yields free. Intervals longer than
+// the window still sleep through their bulk and only spin the tail.
+const leadSpinWindow = 2 * time.Millisecond
+
+// lead runs the generation's backstop leader: its first appender, charged
+// with making sure the batch eventually seals. While the leader is alone it
+// waits out the interval — a lone commit owes the full flush cadence —
+// sleeping through all but the last leadSpinWindow of it and yielding the
+// rest, so the seal lands on the deadline instead of a timer quantum past
+// it. Once a second record arrives the leader switches to the straggler
+// watch: it yields the processor in a loop, and when no new record has
+// appeared for strugglerWait — every closed-loop committer is already
+// parked in the batch — or the deadline passes, it seals. The watch costs a
+// bounded few tens of microseconds per flush, and only when the leader
+// actually has company.
+func (l *Log) lead(g *flushGen, deadline time.Time) error {
+	if g.count.Load() < 2 && !g.isSealed.Load() {
+		if rem := time.Until(deadline); rem > leadSpinWindow {
+			t := time.NewTimer(rem - leadSpinWindow)
+			select {
+			case <-g.grown:
+				t.Stop()
+			case <-g.sealed:
+				t.Stop()
+			case <-t.C:
+			case <-l.stop:
+				t.Stop()
+			}
+		}
+		for g.count.Load() < 2 && !g.isSealed.Load() && !l.closed.Load() &&
+			time.Now().Before(deadline) {
+			runtime.Gosched()
+		}
+	}
+	last := g.count.Load()
+	quiet := time.Now()
+	for !g.isSealed.Load() && !l.closed.Load() {
+		now := time.Now()
+		if n := g.count.Load(); n != last {
+			last, quiet = n, now
+		} else if now.Sub(quiet) >= strugglerWait || !now.Before(deadline) {
+			break
+		}
+		runtime.Gosched()
+	}
+	if l.sealIfOpen(g) {
+		l.complete(g)
+		return g.err
+	}
+	select {
+	case <-g.done:
+		return g.err
+	case <-l.stop:
+	}
+	return nil
+}
+
+// sealLocked seals the open generation: it takes ownership of the buffered
+// bytes, opens a successor chained behind it, and stamps the seal time that
+// paces the next deadline. Callers hold l.mu and must call complete on the
+// sealed generation after unlocking.
+func (l *Log) sealLocked() {
+	g := l.gen
+	g.buf = l.buf
+	l.buf = nil
+	l.gen = newGen(g)
+	l.lastSeal = time.Now()
+	g.isSealed.Store(true)
+	close(g.sealed)
+}
+
+// sealIfOpen seals g if it is still the open generation and reports whether
+// the caller became its writer.
+func (l *Log) sealIfOpen(g *flushGen) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.gen != g {
+		return false
+	}
+	l.sealLocked()
+	return true
+}
+
+// complete writes a sealed generation's bytes and publishes the verdict.
+// It first waits for the predecessor generation so sink writes happen in
+// seal (= sequence) order; the open generation keeps filling meanwhile,
+// which is the commit pipeline. failErr is set before done is closed, so a
+// successor can never write past a dead device.
+func (l *Log) complete(g *flushGen) {
+	if g.prev != nil {
+		<-g.prev.done
+		g.prev = nil
+	}
+	l.mu.Lock()
+	err := l.failErr
+	l.mu.Unlock()
+	if err == nil && len(g.buf) > 0 {
+		if err = writeAll(l.w, g.buf); err != nil {
+			l.mu.Lock()
+			if l.failErr == nil {
+				l.failErr = err
+			}
+			l.mu.Unlock()
+		} else {
+			l.bytes.Add(uint64(len(g.buf)))
+			l.flushes.Add(1)
+		}
+	}
+	g.err = err
+	g.buf = nil
+	close(g.done)
 }
 
 // writeAll drives w.Write to completion, converting short writes into errors.
@@ -267,36 +428,6 @@ func writeAll(w io.Writer, p []byte) error {
 	return err
 }
 
-// pace blocks the group leader until the deadline (or shutdown). Long waits
-// use a timer shortened by spinThreshold; the sub-millisecond tail yields
-// the processor in a loop, which keeps the flush cadence honest on
-// schedulers whose shortest sleep is a millisecond while letting worker
-// goroutines run between yields.
-func (l *Log) pace(deadline time.Time) {
-	for {
-		rem := time.Until(deadline)
-		if rem <= 0 {
-			return
-		}
-		if rem > spinThreshold {
-			t := time.NewTimer(rem - spinThreshold)
-			select {
-			case <-t.C:
-			case <-l.stop:
-				t.Stop()
-				return
-			}
-			continue
-		}
-		select {
-		case <-l.stop:
-			return
-		default:
-		}
-		runtime.Gosched()
-	}
-}
-
 // flusher periodically drains the buffer (SyncAsync only).
 func (l *Log) flusher() {
 	ticker := time.NewTicker(l.interval)
@@ -304,45 +435,21 @@ func (l *Log) flusher() {
 	for {
 		select {
 		case <-ticker.C:
-			l.flush()
+			l.flushNow()
 		case <-l.stop:
-			l.flush()
+			l.flushNow()
 			return
 		}
 	}
 }
 
-// flush drains the buffer, stamps the flush time, and releases every waiter
-// that appended before the drain, handing them the sink write's verdict: a
-// failed flush must abort the commits it covered, never acknowledge them.
-func (l *Log) flush() {
+// flushNow seals the current generation and completes it synchronously.
+func (l *Log) flushNow() {
 	l.mu.Lock()
-	buf := l.buf
-	l.buf = nil
-	old := l.gen
-	l.gen = &flushGen{done: make(chan struct{})}
-	l.lastFlush = time.Now()
-	l.leader = false
-	already := l.failErr
+	g := l.gen
+	l.sealLocked()
 	l.mu.Unlock()
-	if len(buf) > 0 {
-		err := already
-		if err == nil {
-			err = writeAll(l.w, buf)
-		}
-		if err != nil {
-			old.err = err
-			l.mu.Lock()
-			if l.failErr == nil {
-				l.failErr = err
-			}
-			l.mu.Unlock()
-		} else {
-			l.bytes.Add(uint64(len(buf)))
-			l.flushes.Add(1)
-		}
-	}
-	close(old.done)
+	l.complete(g)
 }
 
 // Close stops background work after a final flush and releases any
@@ -356,7 +463,7 @@ func (l *Log) Close() {
 	}
 	close(l.stop)
 	l.stopped.Wait()
-	l.flush()
+	l.flushNow()
 }
 
 // Records returns the number of appended commit records.

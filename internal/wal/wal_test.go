@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -261,5 +262,56 @@ func TestReadRecordsRejectsCorruption(t *testing.T) {
 	img[payloadHeaderSize+3] ^= 0x40 // flip one payload bit
 	if _, err := ReadRecords(bytes.NewReader(img)); err == nil {
 		t.Fatal("corrupted record replayed without error")
+	}
+}
+
+// TestPipelinedCommitOrdering tortures the two-generations-in-flight path: a
+// deliberately slow sink guarantees that while one generation's bytes are
+// being written, appenders fill and seal the next. The replayed log must
+// contain every acknowledged record exactly once with strictly sequential
+// numbers — ReadRecords hard-errors on any sequence jump, so an out-of-order
+// or duplicated sink write cannot pass. The unguarded buffer also lets the
+// race detector verify that the generation chain alone serializes writers.
+func TestPipelinedCommitOrdering(t *testing.T) {
+	var buf bytes.Buffer
+	slow := writerFunc(func(p []byte) (int, error) {
+		time.Sleep(50 * time.Microsecond) // hold the pipe so generations stack up
+		return buf.Write(p)
+	})
+	l := New(Options{Policy: SyncGroup, GroupInterval: 50 * time.Microsecond, W: slow})
+
+	const workers, perWorker = 8, 50
+	var acked atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if err := l.AppendRecord([]byte{byte(i)}); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+				acked.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	l.Close()
+
+	recs, err := ReadRecords(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if int64(len(recs)) != acked.Load() {
+		t.Fatalf("replayed %d records, acknowledged %d", len(recs), acked.Load())
+	}
+	for i, rec := range recs {
+		if rec.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d: sink bytes out of seal order", i, rec.Seq)
+		}
+	}
+	if f := l.Flushes(); f < 2 || f >= uint64(len(recs)) {
+		t.Fatalf("flushes = %d for %d records: pipeline did not batch", f, len(recs))
 	}
 }

@@ -14,6 +14,13 @@
 #                       next to the pre-histogram baseline (commit fafef9a)
 #
 # Usage: scripts/bench.sh [hotpath.json] [storage.json] [obsv.json]
+#        scripts/bench.sh --compare <baseline.json> [current.json]
+#
+# The --compare mode prints per-benchmark deltas for tps, ns_op, and
+# allocs_op over the benchmarks the two records share, and exits nonzero
+# when any metric regresses by more than 5%. With current.json omitted it
+# reruns the engine macro benchmarks and compares the fresh numbers against
+# the baseline record.
 #
 # Environment knobs:
 #   BENCHTIME_MICRO  benchtime for the micro benchmarks (default 200000x)
@@ -26,30 +33,6 @@
 set -eu
 
 cd "$(dirname "$0")/.."
-OUT=${1:-BENCH_hotpath.json}
-STORAGE_OUT=${2:-BENCH_storage.json}
-OBSV_OUT=${3:-BENCH_obsv.json}
-
-echo "==> micro benchmarks (sqldb prepared paths, stats recording)"
-MICRO=$(go test -count=1 -run '^$' \
-    -bench 'BenchmarkPrepared|BenchmarkExecPointRead|BenchmarkStatsRecord' \
-    -benchmem -benchtime "${BENCHTIME_MICRO:-200000x}" \
-    ./internal/sqldb/ ./internal/stats/ | grep '^Benchmark')
-
-echo "==> macro benchmarks (YCSB engines, ablation)"
-MACRO=$(go test -count=1 -run '^$' \
-    -bench 'BenchmarkEngineYCSB_|BenchmarkAblation_Index' \
-    -benchmem -benchtime "${BENCHTIME_MACRO:-2x}" . | grep '^Benchmark')
-
-echo "==> storage scaling benchmarks (-cpu ${CPU_LIST:-1,2,4,8} worker sweep)"
-SCALE=$(go test -count=1 -run '^$' \
-    -bench 'BenchmarkEngineYCSBScale' \
-    -benchtime "${BENCHTIME_MACRO:-2x}" -cpu "${CPU_LIST:-1,2,4,8}" . |
-    grep '^Benchmark')
-
-echo "==> sustained-update p99 (vacuum ablation)"
-P99=$(go test -count=1 -run '^$' \
-    -bench 'BenchmarkSustainedUpdateP99' -benchtime 1x . | grep '^Benchmark')
 
 render() {
     printf '%s\n' "$1" | awk '
@@ -75,6 +58,108 @@ render() {
         print line "},";
     }' | sed '$ s/},$/}/'
 }
+
+# compare_records <baseline.json> <current.json> — per-benchmark deltas over
+# the intersection of names, exit 1 on any >5% regression. Parsing is
+# line-oriented (each benchmark entry in the BENCH_*.json records is one
+# object per line); when a name appears in both a "baseline" and a "current"
+# section of the same file, the later entry wins. The fixed-duration engine
+# benchmarks count a whole 500ms run in allocs_op, so when a row also
+# reports tps the gate compares allocs_op/tps — proportional to allocations
+# per transaction — instead of the raw per-run count.
+compare_records() {
+    awk -v base="$1" -v cur="$2" '
+    function load(file, tbl,    line, name) {
+        while ((getline line < file) > 0) {
+            if (match(line, /"name": "[^"]+"/) == 0) continue
+            name = substr(line, RSTART + 9, RLENGTH - 10)
+            if (file == cur && !(name in seen)) { seen[name] = 1; order[++n] = name }
+            if (match(line, /"tps": [0-9.]+/))       tbl[name, "tps"] = substr(line, RSTART + 7, RLENGTH - 7) + 0
+            if (match(line, /"ns_op": [0-9.]+/))     tbl[name, "ns_op"] = substr(line, RSTART + 9, RLENGTH - 9) + 0
+            if (match(line, /"allocs_op": [0-9.]+/)) tbl[name, "allocs_op"] = substr(line, RSTART + 13, RLENGTH - 13) + 0
+        }
+        close(file)
+    }
+    # dir: +1 when lower is better (ns_op, allocs), -1 when higher is (tps).
+    function row(name, metric, b, c, dir,    d, flag) {
+        compared++
+        if (b == 0) d = (c > 0) ? 100 : 0
+        else        d = (c - b) * 100.0 / b
+        flag = ""
+        if (dir * d > 5) { flag = "  REGRESSION"; fails++ }
+        printf "%-52s %-10s %14.6g %14.6g %+8.1f%%%s\n", name, metric, b, c, d, flag
+    }
+    BEGIN {
+        n = 0; fails = 0; compared = 0
+        load(cur, curtbl)
+        load(base, basetbl)
+        printf "%-52s %-10s %14s %14s %9s\n", "benchmark", "metric", "baseline", "current", "delta"
+        for (i = 1; i <= n; i++) {
+            name = order[i]
+            if (((name, "tps") in basetbl) && ((name, "tps") in curtbl))
+                row(name, "tps", basetbl[name, "tps"], curtbl[name, "tps"], -1)
+            if (((name, "ns_op") in basetbl) && ((name, "ns_op") in curtbl))
+                row(name, "ns_op", basetbl[name, "ns_op"], curtbl[name, "ns_op"], 1)
+            if (((name, "allocs_op") in basetbl) && ((name, "allocs_op") in curtbl)) {
+                if (((name, "tps") in basetbl) && ((name, "tps") in curtbl))
+                    row(name, "allocs/tx", basetbl[name, "allocs_op"] / basetbl[name, "tps"],
+                        curtbl[name, "allocs_op"] / curtbl[name, "tps"], 1)
+                else
+                    row(name, "allocs_op", basetbl[name, "allocs_op"], curtbl[name, "allocs_op"], 1)
+            }
+        }
+        if (compared == 0) { print "compare: no overlapping benchmarks between records" > "/dev/stderr"; exit 2 }
+        if (fails > 0) { printf "compare: %d metric(s) regressed beyond 5%%\n", fails > "/dev/stderr"; exit 1 }
+        printf "compare: %d metric(s) within the 5%% envelope\n", compared
+    }'
+}
+
+if [ "${1:-}" = "--compare" ]; then
+    BASELINE=${2:?usage: scripts/bench.sh --compare <baseline.json> [current.json]}
+    CURRENT=${3:-}
+    if [ -z "$CURRENT" ]; then
+        echo "==> fresh engine macro run for compare (EngineYCSB)"
+        FRESH=$(go test -count=1 -run '^$' \
+            -bench 'BenchmarkEngineYCSB_' \
+            -benchmem -benchtime "${BENCHTIME_MACRO:-2x}" . | grep '^Benchmark')
+        CURRENT=$(mktemp)
+        trap 'rm -f "$CURRENT"' EXIT
+        {
+            echo '{'
+            echo '  "current": ['
+            render "$FRESH"
+            echo '  ]'
+            echo '}'
+        } > "$CURRENT"
+    fi
+    compare_records "$BASELINE" "$CURRENT"
+    exit 0
+fi
+
+OUT=${1:-BENCH_hotpath.json}
+STORAGE_OUT=${2:-BENCH_storage.json}
+OBSV_OUT=${3:-BENCH_obsv.json}
+
+echo "==> micro benchmarks (sqldb prepared paths, stats recording)"
+MICRO=$(go test -count=1 -run '^$' \
+    -bench 'BenchmarkPrepared|BenchmarkExecPointRead|BenchmarkStatsRecord' \
+    -benchmem -benchtime "${BENCHTIME_MICRO:-200000x}" \
+    ./internal/sqldb/ ./internal/stats/ | grep '^Benchmark')
+
+echo "==> macro benchmarks (YCSB engines, ablation)"
+MACRO=$(go test -count=1 -run '^$' \
+    -bench 'BenchmarkEngineYCSB_|BenchmarkAblation_Index' \
+    -benchmem -benchtime "${BENCHTIME_MACRO:-2x}" . | grep '^Benchmark')
+
+echo "==> storage scaling benchmarks (-cpu ${CPU_LIST:-1,2,4,8} worker sweep)"
+SCALE=$(go test -count=1 -run '^$' \
+    -bench 'BenchmarkEngineYCSBScale' \
+    -benchtime "${BENCHTIME_MACRO:-2x}" -cpu "${CPU_LIST:-1,2,4,8}" . |
+    grep '^Benchmark')
+
+echo "==> sustained-update p99 (vacuum ablation)"
+P99=$(go test -count=1 -run '^$' \
+    -bench 'BenchmarkSustainedUpdateP99' -benchtime 1x . | grep '^Benchmark')
 
 {
     cat <<'EOF'

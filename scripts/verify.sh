@@ -42,6 +42,12 @@ echo "==> benchlint ./... (full tree, incl. self-lint of internal/analysis)"
 go run ./cmd/benchlint ./...
 go run ./cmd/benchlint ./internal/analysis/...
 
+echo "==> benchlint hotpath-alloc (batch hot-path allocation gate)"
+# Explicit pass of the interprocedural allocation rule over the tree the
+# batch loops live in, so a hot-path alloc regression names itself here
+# instead of hiding in the full-tree run above.
+go run ./cmd/benchlint -rule hotpath-alloc ./internal/...
+
 echo "==> go test -race (short) core/stats/sqldb/wal/api"
 go test -race -short -count=1 ./internal/core/... ./internal/stats/... ./internal/sqldb/... ./internal/wal/ ./internal/api/
 
@@ -59,5 +65,11 @@ go test -race -count=1 -run 'TestStorageStressConcurrent' ./internal/sqldb/txn/
 
 echo "==> allocation smoke (prepared point read)"
 go test -count=1 -run 'TestPreparedPointReadAllocSmoke' -v ./internal/sqldb/ | grep -E 'allocs/op|PASS|FAIL'
+
+echo "==> bench record compare (BENCH_obsv.json -> BENCH_speed.json)"
+# Deterministic file-vs-file regression gate over the checked-in records:
+# the raw-speed record must not regress tps, ns/op, or throughput-normalized
+# allocations by more than 5% against the observability-era numbers.
+scripts/bench.sh --compare BENCH_obsv.json BENCH_speed.json
 
 echo "verify: all gates passed"
