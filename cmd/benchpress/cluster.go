@@ -1,0 +1,152 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"benchpress/internal/api"
+	"benchpress/internal/cluster"
+	"benchpress/internal/core"
+	"benchpress/internal/dbdriver"
+	"benchpress/internal/monitor"
+)
+
+// Cluster modes: instead of one process generating all load, a coordinator
+// process owns the control plane (REST API, merged stats, rate/mixture
+// fan-out) and N worker processes generate load — against their own embedded
+// engines, or against one shared engine served by an --engine-server process
+// (-db remote:<addr>). This is the scale-out shape from the OLTP-Bench
+// lineage: the client tier scales horizontally while the control surface and
+// the feedback stream stay single.
+
+// runCoordinator serves the control wire on wireAddr and the REST API
+// (including /api/v1/cluster) on httpAddr until the context ends.
+func runCoordinator(ctx context.Context, wireAddr, httpAddr string) {
+	if httpAddr == "" {
+		fatal(fmt.Errorf("--coordinator requires -http for the control API"))
+	}
+	ln, err := net.Listen("tcp", wireAddr)
+	if err != nil {
+		fatal(err)
+	}
+	co := cluster.NewCoordinator(ln, cluster.CoordinatorOptions{})
+	defer co.Close()
+
+	mon := monitor.New(time.Second)
+	mon.Start()
+	defer mon.Stop()
+	srv := api.NewServer(mon)
+	srv.EnableCluster(co, ln.Addr().String())
+
+	hsrv := &http.Server{Addr: httpAddr, Handler: srv.Handler()}
+	//lint:ignore bare-goroutine Shutdown below is the lifecycle bound for ListenAndServe
+	go func() {
+		if err := hsrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "benchpress: coordinator http:", err)
+		}
+	}()
+	fmt.Printf("== coordinator: control wire %s, API http://%s\n", ln.Addr(), httpAddr)
+	fmt.Println("   workers register via POST /api/v1/cluster/workers; merged feed at /api/v1/cluster/stream")
+
+	<-ctx.Done()
+	shctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = hsrv.Shutdown(shctx)
+}
+
+// runEngineServer loads the benchmark into a fresh embedded engine and serves
+// engine sessions on addr until the context ends. Workers pointed at it with
+// -db remote:<addr> skip their own load phase. commitDelay > 0 adds fixed
+// per-commit latency on top of the personality's own WAL policy, emulating a
+// DBMS whose commits pay a durability or replication round trip — the regime
+// where a single closed-loop load generator saturates long before the engine
+// does and scale-out clients are required.
+func runEngineServer(ctx context.Context, addr, benchName, dbName string, scale float64, commitDelay time.Duration) {
+	b, err := core.NewBenchmark(benchName, scale)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := dbdriver.Lookup(dbName)
+	if err != nil {
+		fatal(err)
+	}
+	if commitDelay > 0 {
+		p.CommitDelay = commitDelay
+	}
+	db := dbdriver.OpenWith(p)
+	defer db.Close()
+	fmt.Printf("== engine server: loading %s into %s...\n", benchName, dbName)
+	if err := core.Prepare(b, db, time.Now().UnixNano()%100000+1); err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	es := cluster.ServeEngine(ln, db)
+	defer es.Close()
+	fmt.Printf("   serving engine sessions on %s (workers: -db remote:%s)\n", ln.Addr(), ln.Addr())
+	<-ctx.Done()
+}
+
+// runWorkerMode runs one worker agent: build the workload (embedded or
+// remote engine), register with the coordinator, and stream stats until the
+// run completes.
+func runWorkerMode(ctx context.Context, coord, benchName, dbName string, scale float64, terminals int, seconds float64) {
+	b, err := core.NewBenchmark(benchName, scale)
+	if err != nil {
+		fatal(err)
+	}
+	var db *dbdriver.DB
+	if remoteAddr, ok := strings.CutPrefix(dbName, "remote:"); ok {
+		dialer, err := cluster.DialRemoteEngine(remoteAddr)
+		if err != nil {
+			fatal(err)
+		}
+		// The engine-server process loaded the data; this worker only runs
+		// the execute phase.
+		db = dbdriver.OpenRemote(dialer)
+	} else {
+		db, err = dbdriver.Open(dbName)
+		if err != nil {
+			fatal(err)
+		}
+		if err := core.Prepare(b, db, time.Now().UnixNano()%100000+1); err != nil {
+			fatal(err)
+		}
+	}
+	defer db.Close()
+
+	name := fmt.Sprintf("%s-%d", benchName, os.Getpid())
+	opts := cluster.WorkerOptions{Name: name, Benchmark: benchName, DB: dbName}
+	if strings.HasPrefix(coord, "http://") || strings.HasPrefix(coord, "https://") {
+		reg, err := cluster.RegisterWorker(ctx, strings.TrimSuffix(coord, "/"), cluster.RegisterRequest{
+			Name: name, Benchmark: benchName, DB: dbName,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		opts.Addr = reg.WireAddr
+		opts.WorkerID = reg.WorkerID
+	} else {
+		opts.Addr = coord // direct control-wire address; registers via Hello
+	}
+
+	dur := time.Duration(seconds * float64(time.Second))
+	m := core.NewManager(b, db, []core.Phase{{Duration: dur}}, core.Options{
+		Terminals: terminals,
+		Name:      name,
+	})
+	fmt.Printf("== worker %s: %s on %s for %v, coordinator %s\n", name, benchName, dbName, dur, opts.Addr)
+	if err := cluster.RunWorker(ctx, m, opts); err != nil {
+		fatal(err)
+	}
+	c := m.Collector()
+	fmt.Printf("   done: committed=%d aborted=%d errors=%d %s\n",
+		c.Committed(), c.Aborted(), c.Errors(), c.GlobalSummary())
+}

@@ -43,11 +43,28 @@ func main() {
 		autopilot  = flag.Bool("autopilot", false, "let the autopilot play")
 		httpAddr   = flag.String("http", "", "serve the browser UI and control API on this address")
 		gravity    = flag.Float64("gravity", 0, "gravity in tps/sec (default base/2)")
+		coordAddr  = flag.String("coordinator", "", "run as cluster coordinator; control-wire listen address (requires -http)")
+		workerOf   = flag.String("worker", "", "run as worker agent; coordinator HTTP base URL or control-wire address")
+		engineAddr = flag.String("engine-server", "", "serve the embedded engine to remote workers on this address")
+		commitLat  = flag.Duration("commit-delay", 0, "engine-server only: extra per-commit latency emulating durable/replicated commits")
 	)
 	flag.Parse()
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
+
+	// Cluster modes replace the single-process game loop entirely.
+	switch {
+	case *coordAddr != "":
+		runCoordinator(ctx, *coordAddr, *httpAddr)
+		return
+	case *engineAddr != "":
+		runEngineServer(ctx, *engineAddr, *benchName, *dbName, *scale, *commitLat)
+		return
+	case *workerOf != "":
+		runWorkerMode(ctx, *workerOf, *benchName, *dbName, *scale, *terminals, *seconds)
+		return
+	}
 
 	// Build the course.
 	var course *game.Course

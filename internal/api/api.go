@@ -19,6 +19,10 @@
 //	POST   /api/v1/workloads/{name}/resume    resume arrivals
 //	GET    /metrics                           Prometheus text exposition
 //
+// In coordinator mode the server additionally exposes the cluster resource
+// (worker registration, merged status/stream, aggregate rate/mixture fan-out)
+// under /api/v1/cluster — see cluster.go for the endpoint table.
+//
 // The original flat routes (/status, /rate, ...) remain as deprecated thin
 // aliases; they answer with a Deprecation header pointing at the v1 resource.
 // All errors share one envelope: {"error":{"code":"...","message":"..."}}.
@@ -35,6 +39,7 @@ import (
 	"sync"
 	"time"
 
+	"benchpress/internal/cluster"
 	"benchpress/internal/core"
 	"benchpress/internal/monitor"
 	"benchpress/internal/stats"
@@ -48,6 +53,11 @@ type Server struct {
 	mu        sync.RWMutex
 	workloads map[string]*core.Manager
 	monitor   *monitor.Monitor
+	// cluster/clusterWire are set in coordinator mode (see EnableCluster):
+	// the coordinator merging worker stats and the control-wire address
+	// advertised to registering workers.
+	cluster     *cluster.Coordinator
+	clusterWire string
 	// StartWorkload, when set, handles POST /api/v1/workloads: it prepares
 	// and launches an additional workload and returns its manager.
 	StartWorkload func(req StartRequest) (*core.Manager, error)
@@ -250,6 +260,20 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/v1/workloads/{name}/resume", s.v1Resume)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 
+	// Cluster coordination (answers 404 unless EnableCluster was called).
+	mux.HandleFunc("POST /api/v1/cluster/workers", s.v1ClusterRegister)
+	mux.HandleFunc("GET /api/v1/cluster", s.v1ClusterStatus)
+	mux.HandleFunc("GET /api/v1/cluster/workers", s.v1ClusterWorkers)
+	mux.HandleFunc("DELETE /api/v1/cluster/workers/{id}", s.v1ClusterEvict)
+	mux.HandleFunc("GET /api/v1/cluster/rate", s.v1ClusterGetRate)
+	mux.HandleFunc("POST /api/v1/cluster/rate", s.v1ClusterSetRate)
+	mux.HandleFunc("GET /api/v1/cluster/mixture", s.v1ClusterGetMixture)
+	mux.HandleFunc("POST /api/v1/cluster/mixture", s.v1ClusterSetMixture)
+	mux.HandleFunc("POST /api/v1/cluster/pause", s.v1ClusterPause)
+	mux.HandleFunc("POST /api/v1/cluster/resume", s.v1ClusterResume)
+	mux.HandleFunc("GET /api/v1/cluster/windows", s.v1ClusterWindows)
+	mux.HandleFunc("GET /api/v1/cluster/stream", s.v1ClusterStream)
+
 	// Method-less fallbacks: Go 1.22's ServeMux would answer a wrong-method
 	// request with a text/plain 405; registering the bare path keeps the
 	// JSON envelope and an explicit Allow header.
@@ -262,6 +286,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/v1/workloads/{name}/pause", allowOnly("POST"))
 	mux.HandleFunc("/api/v1/workloads/{name}/resume", allowOnly("POST"))
 	mux.HandleFunc("/metrics", allowOnly("GET"))
+	mux.HandleFunc("/api/v1/cluster", allowOnly("GET"))
+	mux.HandleFunc("/api/v1/cluster/workers", allowOnly("GET, POST"))
+	mux.HandleFunc("/api/v1/cluster/workers/{id}", allowOnly("DELETE"))
+	mux.HandleFunc("/api/v1/cluster/rate", allowOnly("GET, POST"))
+	mux.HandleFunc("/api/v1/cluster/mixture", allowOnly("GET, POST"))
+	mux.HandleFunc("/api/v1/cluster/pause", allowOnly("POST"))
+	mux.HandleFunc("/api/v1/cluster/resume", allowOnly("POST"))
+	mux.HandleFunc("/api/v1/cluster/windows", allowOnly("GET"))
+	mux.HandleFunc("/api/v1/cluster/stream", allowOnly("GET"))
 
 	// Deprecated flat aliases kept for existing clients (the TUI's polling
 	// page and recorded scripts). They carry a Deprecation header naming

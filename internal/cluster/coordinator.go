@@ -1,0 +1,774 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"benchpress/internal/stats"
+)
+
+// CoordinatorOptions sets the cluster cadences. Zero values take defaults.
+type CoordinatorOptions struct {
+	// Window is the merged-feed window duration (default 1s).
+	Window time.Duration
+	// Flush is the deadline workers coalesce stat updates under (default
+	// 250ms — four updates per 1s window keeps the merged feed fresh while
+	// batching hundreds of transactions per frame).
+	Flush time.Duration
+	// Heartbeat is the worker heartbeat interval (default 500ms). A worker
+	// silent for 3 heartbeats is evicted and its rate share rebalanced.
+	Heartbeat time.Duration
+}
+
+func (o *CoordinatorOptions) fill() {
+	if o.Window <= 0 {
+		o.Window = time.Second
+	}
+	if o.Flush <= 0 {
+		o.Flush = 250 * time.Millisecond
+	}
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = 500 * time.Millisecond
+	}
+}
+
+// typeCum is one transaction type's cluster-cumulative state.
+type typeCum struct {
+	hist stats.HistSnapshot
+}
+
+// windowAccum collects the deltas that landed during the current merged
+// window. It is reset at each rotation.
+type windowAccum struct {
+	committed    int64
+	aborted      int64
+	errors       int64
+	retries      int64
+	sumLatencyUS int64
+	perType      []int64
+	typeHist     []stats.HistSnapshot
+	hist         stats.HistSnapshot
+}
+
+func newWindowAccum(ntypes int) windowAccum {
+	return windowAccum{
+		perType:  make([]int64, ntypes),
+		typeHist: make([]stats.HistSnapshot, ntypes),
+	}
+}
+
+// workerState is the coordinator's view of one registered worker.
+type workerState struct {
+	id        uint64
+	name      string
+	benchmark string
+	db        string
+
+	// conn/bw are nil while the worker is detached (registered over HTTP but
+	// not yet connected, or between reconnects). wmu serializes Assign writes
+	// against each other; the read loop never writes.
+	conn net.Conn
+	bw   *bufio.Writer
+	wmu  sync.Mutex
+
+	lastSeen   time.Time // any frame
+	lastUpdate time.Time // last StatsUpdate specifically
+	lastSeq    uint64
+	lastWindow int64
+
+	committed int64
+	aborted   int64
+	errors    int64
+	retries   int64
+
+	evicted bool
+}
+
+// WorkerStatus is one worker's externally visible state.
+type WorkerStatus struct {
+	ID        uint64 `json:"id"`
+	Name      string `json:"name"`
+	Benchmark string `json:"benchmark"`
+	DB        string `json:"db"`
+	Connected bool   `json:"connected"`
+	// Stale marks a connected worker whose stats feed has missed at least
+	// two flush deadlines; its numbers are still merged (they are cumulative
+	// deltas, nothing is lost) but its share of "now" is outdated.
+	Stale      bool    `json:"stale"`
+	LastSeenMS int64   `json:"last_seen_ms"`
+	RateShare  float64 `json:"rate_share"`
+	Committed  int64   `json:"committed"`
+	Aborted    int64   `json:"aborted"`
+	Errors     int64   `json:"errors"`
+	Retries    int64   `json:"retries"`
+}
+
+// ClusterStatus is the coordinator's externally visible state.
+type ClusterStatus struct {
+	Benchmark  string         `json:"benchmark"`
+	Types      []string       `json:"types,omitempty"`
+	TargetRate float64        `json:"target_rate"`
+	Paused     bool           `json:"paused"`
+	Mix        []float64      `json:"mix,omitempty"`
+	Workers    []WorkerStatus `json:"workers"`
+	Committed  int64          `json:"committed"`
+	Aborted    int64          `json:"aborted"`
+	Errors     int64          `json:"errors"`
+	Retries    int64          `json:"retries"`
+	// DriftEvents counts heartbeat cross-checks where a worker's cumulative
+	// counters fell behind the delta-accumulated view (always zero unless the
+	// lossless-delta invariant broke).
+	DriftEvents int64                `json:"drift_events"`
+	Latency     stats.LatencySummary `json:"-"`
+}
+
+// Coordinator owns the cluster: it accepts worker control connections,
+// merges their sharded stat streams into one cluster-wide window feed, and
+// fans dynamic-control changes back out as rate-share assignments. Merging
+// is strictly non-blocking — windows rotate on the coordinator's clock and a
+// slow or dead worker only goes stale, it never stalls the feed.
+type Coordinator struct {
+	opts   CoordinatorOptions
+	ln     net.Listener
+	start  time.Time
+	wg     sync.WaitGroup
+	closed atomic.Bool
+	stopCh chan struct{}
+
+	mu         sync.Mutex
+	nextID     uint64
+	gen        uint64
+	targetRate float64
+	paused     bool
+	mix        []float64
+	benchmark  string
+	types      []string
+	workers    map[uint64]*workerState
+
+	totCommitted int64
+	totAborted   int64
+	totErrors    int64
+	totRetries   int64
+	sumLatencyUS int64
+	driftEvents  int64
+	typeCums     []typeCum
+	globalHist   stats.HistSnapshot
+
+	cur     windowAccum
+	history []stats.Window
+
+	subs    map[int]chan struct{}
+	nextSub int
+}
+
+// NewCoordinator starts a coordinator serving the worker control wire on ln.
+func NewCoordinator(ln net.Listener, opts CoordinatorOptions) *Coordinator {
+	opts.fill()
+	c := &Coordinator{
+		opts:    opts,
+		ln:      ln,
+		start:   time.Now(),
+		stopCh:  make(chan struct{}),
+		workers: map[uint64]*workerState{},
+		subs:    map[int]chan struct{}{},
+	}
+	c.wg.Add(2)
+	go func() {
+		defer c.wg.Done()
+		c.acceptLoop()
+	}()
+	go func() {
+		defer c.wg.Done()
+		c.maintainLoop()
+	}()
+	return c
+}
+
+// Addr returns the control-wire listener address workers dial.
+func (c *Coordinator) Addr() net.Addr { return c.ln.Addr() }
+
+// Start returns when the coordinator's window clock started.
+func (c *Coordinator) Start() time.Time { return c.start }
+
+// WindowDuration returns the merged feed's window length.
+func (c *Coordinator) WindowDuration() time.Duration { return c.opts.Window }
+
+// Close stops the coordinator: the listener closes, connected workers are
+// disconnected, and background loops drain.
+func (c *Coordinator) Close() {
+	if !c.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(c.stopCh)
+	_ = c.ln.Close()
+	c.mu.Lock()
+	for _, w := range c.workers {
+		if w.conn != nil {
+			_ = w.conn.Close()
+		}
+	}
+	c.mu.Unlock()
+	c.wg.Wait()
+}
+
+// Register pre-registers a worker (the HTTP registration path). The returned
+// id is presented in the worker's control-wire Hello. Registration fixes
+// identity only; the benchmark type list arrives with the Hello.
+func (c *Coordinator) Register(name, benchmark, db string) (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.benchmark != "" && benchmark != c.benchmark {
+		return 0, fmt.Errorf("cluster: benchmark %q does not match cluster benchmark %q", benchmark, c.benchmark)
+	}
+	c.nextID++
+	id := c.nextID
+	if name == "" {
+		name = fmt.Sprintf("worker-%d", id)
+	}
+	c.workers[id] = &workerState{id: id, name: name, benchmark: benchmark, db: db, lastSeen: time.Now()}
+	return id, nil
+}
+
+func (c *Coordinator) acceptLoop() {
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.serveWorker(conn)
+		}()
+	}
+}
+
+// serveWorker drives one worker control connection: Hello/Welcome handshake,
+// initial Assign, then an inbound loop of stats/heartbeat frames. Outbound
+// Assign frames are written by control methods under the worker's write
+// mutex; this loop only reads.
+func (c *Coordinator) serveWorker(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 16<<10)
+
+	typ, payload, err := ReadFrame(br)
+	if err != nil || typ != FrameHello {
+		return
+	}
+	hello, err := decodeHello(payload)
+	if err != nil || hello.Proto != ProtoVersion {
+		return
+	}
+	w, err := c.attach(hello, conn, bw)
+	if err != nil {
+		return
+	}
+	defer c.detach(w, conn)
+
+	welcome := Welcome{
+		WorkerID:    w.id,
+		WindowUS:    c.opts.Window.Microseconds(),
+		FlushUS:     c.opts.Flush.Microseconds(),
+		HeartbeatUS: c.opts.Heartbeat.Microseconds(),
+	}
+	w.wmu.Lock()
+	err = WriteFrame(bw, FrameWelcome, welcome.encode())
+	if err == nil {
+		err = bw.Flush()
+	}
+	w.wmu.Unlock()
+	if err != nil {
+		return
+	}
+	// The initial assignment carries the worker's current rate share so a
+	// reconnecting worker resynchronizes immediately.
+	c.broadcastAssign()
+
+	for {
+		typ, payload, err := ReadFrame(br)
+		if err != nil {
+			return // disconnect; detach rebalances
+		}
+		now := time.Now()
+		switch typ {
+		case FrameStats:
+			u, err := decodeStatsUpdate(payload)
+			if err != nil {
+				return
+			}
+			c.applyStats(w, u, now)
+		case FrameHeartbeat:
+			hb, err := decodeHeartbeat(payload)
+			if err != nil {
+				return
+			}
+			c.applyHeartbeat(w, hb, now)
+		case FrameBye:
+			return
+		default:
+			return
+		}
+	}
+}
+
+// attach binds a control connection to its worker registration. A Hello with
+// id 0 registers on the spot (the TCP-only path tests use); a nonzero id must
+// match an existing registration and replaces any previous connection (the
+// reconnect path). The first attach fixes the cluster's benchmark type list;
+// later workers must present the same list or they are rejected — per-type
+// deltas are indexed, so a mismatched list would corrupt the merge.
+func (c *Coordinator) attach(h Hello, conn net.Conn, bw *bufio.Writer) (*workerState, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var w *workerState
+	if h.WorkerID == 0 {
+		c.nextID++
+		name := h.Name
+		if name == "" {
+			name = fmt.Sprintf("worker-%d", c.nextID)
+		}
+		w = &workerState{id: c.nextID, name: name, benchmark: h.Benchmark, db: h.DB}
+		c.workers[w.id] = w
+	} else {
+		var ok bool
+		w, ok = c.workers[h.WorkerID]
+		if !ok {
+			return nil, fmt.Errorf("cluster: unknown worker id %d", h.WorkerID)
+		}
+		if old := w.conn; old != nil && old != conn {
+			_ = old.Close()
+		}
+	}
+	if c.types == nil {
+		c.types = append([]string(nil), h.Types...)
+		c.benchmark = h.Benchmark
+		c.typeCums = make([]typeCum, len(c.types))
+		c.cur = newWindowAccum(len(c.types))
+	} else if !sameStrings(c.types, h.Types) {
+		return nil, fmt.Errorf("cluster: worker %d type list does not match cluster", w.id)
+	}
+	now := time.Now()
+	// conn/bw flips take the write mutex too: broadcastAssign reads them
+	// under wmu alone after snapshotting targets, so registry-lock coverage
+	// is not enough.
+	w.wmu.Lock()
+	w.conn = conn
+	w.bw = bw
+	w.wmu.Unlock()
+	w.lastSeen = now
+	w.lastUpdate = now
+	w.evicted = false
+	return w, nil
+}
+
+// detach drops a worker's connection (peer loss or Bye) and rebalances rate
+// shares across the remaining connected workers — a killed worker's share is
+// redistributed immediately, not at the next heartbeat sweep. The session's
+// own conn is compared first: a reconnect may already have replaced it, and
+// the stale session's teardown must not sever the replacement.
+func (c *Coordinator) detach(w *workerState, conn net.Conn) {
+	c.mu.Lock()
+	w.wmu.Lock()
+	if w.conn == conn {
+		_ = w.conn.Close()
+		w.conn = nil
+		w.bw = nil
+	}
+	w.wmu.Unlock()
+	c.mu.Unlock()
+	c.broadcastAssign()
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// applyStats folds one worker's cumulative-delta update into the cluster
+// totals and the current window accumulator. Duplicate or reordered updates
+// (possible across a reconnect replay) are rejected by sequence number, which
+// preserves the exactness of the merged counters.
+func (c *Coordinator) applyStats(w *workerState, u StatsUpdate, now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w.lastSeen = now
+	if u.Seq <= w.lastSeq {
+		return
+	}
+	w.lastSeq = u.Seq
+	w.lastUpdate = now
+	w.lastWindow = u.Window
+
+	w.committed += u.Committed
+	w.aborted += u.Aborted
+	w.errors += u.Errors
+	w.retries += u.Retries
+
+	c.totCommitted += u.Committed
+	c.totAborted += u.Aborted
+	c.totErrors += u.Errors
+	c.totRetries += u.Retries
+	c.sumLatencyUS += u.SumLatencyUS
+
+	c.cur.committed += u.Committed
+	c.cur.aborted += u.Aborted
+	c.cur.errors += u.Errors
+	c.cur.retries += u.Retries
+	c.cur.sumLatencyUS += u.SumLatencyUS
+
+	for _, t := range u.Types {
+		if t.Index < 0 || t.Index >= len(c.typeCums) {
+			continue // corrupt index; drop the delta rather than the worker
+		}
+		delta := stats.HistSnapshot{Counts: t.Buckets, SumUS: t.SumUS, MaxUS: t.MaxUS}
+		c.typeCums[t.Index].hist.Merge(delta)
+		c.globalHist.Merge(delta)
+		if t.Index < len(c.cur.perType) {
+			c.cur.perType[t.Index] += t.Count
+			// Window-scoped digests deliberately omit MaxUS: the delta's max
+			// is cumulative over the worker's life, so the window max falls
+			// back to the highest occupied bucket (one-bucket resolution).
+			wdelta := stats.HistSnapshot{Counts: t.Buckets, SumUS: t.SumUS}
+			c.cur.typeHist[t.Index].Merge(wdelta)
+			c.cur.hist.Merge(wdelta)
+		}
+	}
+}
+
+// applyHeartbeat records liveness and cross-checks the delta-accumulated
+// totals against the worker's own cumulative counters.
+func (c *Coordinator) applyHeartbeat(w *workerState, hb Heartbeat, now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w.lastSeen = now
+	// Heartbeats race ahead of in-flight stat flushes, so the worker's own
+	// counters may exceed the accumulated view; they must never be behind it.
+	// Being behind means lost or double-applied deltas — counted rather than
+	// patched over, so tests and operators can see the invariant break.
+	if hb.Committed < w.committed || hb.Aborted < w.aborted {
+		c.driftEvents++
+	}
+}
+
+// maintainLoop owns the coordinator's clock: window rotation on the window
+// cadence and heartbeat-based eviction on the heartbeat cadence.
+func (c *Coordinator) maintainLoop() {
+	rotate := time.NewTicker(c.opts.Window)
+	defer rotate.Stop()
+	sweep := time.NewTicker(c.opts.Heartbeat)
+	defer sweep.Stop()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case <-rotate.C:
+			c.rotate()
+			c.notifySubscribers()
+		case <-sweep.C:
+			c.sweepDead()
+		}
+	}
+}
+
+// rotate finalizes the current merged window. It runs on the coordinator's
+// ticker regardless of worker progress: a stalled worker's missing deltas
+// simply land in a later window when they arrive.
+func (c *Coordinator) rotate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	idx := len(c.history)
+	win := stats.Window{
+		Index:        idx,
+		Start:        time.Duration(idx) * c.opts.Window,
+		Committed:    c.cur.committed,
+		Aborted:      c.cur.aborted,
+		Errors:       c.cur.errors,
+		Retries:      c.cur.retries,
+		SumLatencyUS: c.cur.sumLatencyUS,
+		PerType:      append([]int64(nil), c.cur.perType...),
+		Lat:          c.cur.hist.Summary(),
+	}
+	win.TypeLat = make([]stats.LatencySummary, len(c.cur.typeHist))
+	for i := range c.cur.typeHist {
+		win.TypeLat[i] = c.cur.typeHist[i].Summary()
+	}
+	c.history = append(c.history, win)
+	c.cur = newWindowAccum(len(c.types))
+}
+
+// sweepDead evicts workers silent for 3 heartbeat intervals and rebalances.
+func (c *Coordinator) sweepDead() {
+	cutoff := time.Now().Add(-3 * c.opts.Heartbeat)
+	var dropped bool
+	c.mu.Lock()
+	for _, w := range c.workers {
+		if w.conn != nil && w.lastSeen.Before(cutoff) {
+			_ = w.conn.Close() // read loop unwinds and detaches
+			w.evicted = true
+			dropped = true
+		}
+	}
+	c.mu.Unlock()
+	if dropped {
+		c.broadcastAssign()
+	}
+}
+
+// EvictWorker forcibly disconnects a worker (the API's DELETE). Its stats
+// stay merged; its rate share is rebalanced to the survivors.
+func (c *Coordinator) EvictWorker(id uint64) bool {
+	c.mu.Lock()
+	w, ok := c.workers[id]
+	if ok && w.conn != nil {
+		_ = w.conn.Close()
+		w.evicted = true
+	}
+	c.mu.Unlock()
+	return ok
+}
+
+// SetRate sets the aggregate cluster rate (0 = unlimited) and fans per-worker
+// shares out.
+func (c *Coordinator) SetRate(tps float64) {
+	c.mu.Lock()
+	if tps < 0 {
+		tps = 0
+	}
+	c.targetRate = tps
+	c.mu.Unlock()
+	c.broadcastAssign()
+}
+
+// TargetRate returns the aggregate cluster rate target.
+func (c *Coordinator) TargetRate() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.targetRate
+}
+
+// SetMix sets the cluster-wide transaction mixture (nil = benchmark default).
+func (c *Coordinator) SetMix(weights []float64) {
+	c.mu.Lock()
+	c.mix = append([]float64(nil), weights...)
+	c.mu.Unlock()
+	c.broadcastAssign()
+}
+
+// Mix returns the cluster-wide mixture (nil = benchmark default).
+func (c *Coordinator) Mix() []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]float64(nil), c.mix...)
+}
+
+// SetPaused pauses or resumes arrivals cluster-wide.
+func (c *Coordinator) SetPaused(paused bool) {
+	c.mu.Lock()
+	c.paused = paused
+	c.mu.Unlock()
+	c.broadcastAssign()
+}
+
+// Paused reports the cluster pause gate.
+func (c *Coordinator) Paused() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.paused
+}
+
+// broadcastAssign recomputes per-worker rate shares and pushes the current
+// assignment to every connected worker under a fresh generation number.
+func (c *Coordinator) broadcastAssign() {
+	c.mu.Lock()
+	c.gen++
+	live := 0
+	for _, w := range c.workers {
+		if w.conn != nil {
+			live++
+		}
+	}
+	share := 0.0
+	if c.targetRate > 0 && live > 0 {
+		share = c.targetRate / float64(live)
+	}
+	a := Assign{Gen: c.gen, Rate: share, Paused: c.paused, Mix: append([]float64(nil), c.mix...)}
+	targets := make([]*workerState, 0, live)
+	for _, w := range c.workers {
+		if w.conn != nil {
+			targets = append(targets, w)
+		}
+	}
+	c.mu.Unlock()
+
+	payload := a.encode()
+	for _, w := range targets {
+		w.wmu.Lock()
+		if w.bw != nil {
+			// A write failure also surfaces on the worker's read loop, which
+			// owns detach-and-rebalance; nothing to do with it here.
+			if err := WriteFrame(w.bw, FrameAssign, payload); err == nil {
+				_ = w.bw.Flush()
+			}
+		}
+		w.wmu.Unlock()
+	}
+}
+
+// RateShare returns the share a single worker currently receives.
+func (c *Coordinator) RateShare() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	live := 0
+	for _, w := range c.workers {
+		if w.conn != nil {
+			live++
+		}
+	}
+	if c.targetRate <= 0 || live == 0 {
+		return 0
+	}
+	return c.targetRate / float64(live)
+}
+
+// Types returns the cluster's fixed transaction type list (nil until the
+// first worker attaches).
+func (c *Coordinator) Types() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.types...)
+}
+
+// Status returns the cluster's externally visible state.
+func (c *Coordinator) Status() ClusterStatus {
+	now := time.Now()
+	staleCutoff := now.Add(-2 * c.opts.Flush)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	live := 0
+	for _, w := range c.workers {
+		if w.conn != nil {
+			live++
+		}
+	}
+	share := 0.0
+	if c.targetRate > 0 && live > 0 {
+		share = c.targetRate / float64(live)
+	}
+	st := ClusterStatus{
+		Benchmark:   c.benchmark,
+		Types:       append([]string(nil), c.types...),
+		TargetRate:  c.targetRate,
+		Paused:      c.paused,
+		Mix:         append([]float64(nil), c.mix...),
+		Committed:   c.totCommitted,
+		Aborted:     c.totAborted,
+		Errors:      c.totErrors,
+		Retries:     c.totRetries,
+		DriftEvents: c.driftEvents,
+		Latency:     c.globalHist.Summary(),
+	}
+	ids := make([]uint64, 0, len(c.workers))
+	for id := range c.workers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		w := c.workers[id]
+		ws := WorkerStatus{
+			ID:         w.id,
+			Name:       w.name,
+			Benchmark:  w.benchmark,
+			DB:         w.db,
+			Connected:  w.conn != nil,
+			Stale:      w.conn != nil && w.lastUpdate.Before(staleCutoff),
+			LastSeenMS: now.Sub(w.lastSeen).Milliseconds(),
+			Committed:  w.committed,
+			Aborted:    w.aborted,
+			Errors:     w.errors,
+			Retries:    w.retries,
+		}
+		if ws.Connected {
+			ws.RateShare = share
+		}
+		st.Workers = append(st.Workers, ws)
+	}
+	return st
+}
+
+// GlobalSummary returns the cluster-cumulative latency digest.
+func (c *Coordinator) GlobalSummary() stats.LatencySummary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.globalHist.Summary()
+}
+
+// GlobalHistSnapshot returns a copy of the cluster-cumulative merged
+// histogram.
+func (c *Coordinator) GlobalHistSnapshot() stats.HistSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.globalHist.Clone()
+}
+
+// Committed returns the exact cluster-cumulative committed count.
+func (c *Coordinator) Committed() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.totCommitted
+}
+
+// WindowsSince returns finalized merged windows from index from on.
+func (c *Coordinator) WindowsSince(from int) []stats.Window {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(c.history) {
+		return nil
+	}
+	return append([]stats.Window(nil), c.history[from:]...)
+}
+
+// Subscribe registers for a signal after each window rotation (same contract
+// as stats.Collector.Subscribe: coalesced, non-blocking).
+func (c *Coordinator) Subscribe() (<-chan struct{}, func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.nextSub
+	c.nextSub++
+	ch := make(chan struct{}, 1)
+	c.subs[id] = ch
+	return ch, func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		delete(c.subs, id)
+	}
+}
+
+func (c *Coordinator) notifySubscribers() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, ch := range c.subs {
+		select {
+		case ch <- struct{}{}:
+		default: // subscriber already has a pending signal
+		}
+	}
+}

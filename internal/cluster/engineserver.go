@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"benchpress/internal/dbdriver"
+	"benchpress/internal/sqldb/exec"
+)
+
+// EngineServer exposes one embedded engine instance over the binary session
+// wire, so any number of worker processes can drive a single DBMS — the
+// deployment shape real OLTP-Bench clusters have. Each accepted connection
+// is one engine session with its own transaction state; the server prepares
+// nothing itself (the operator loads the benchmark before serving).
+type EngineServer struct {
+	db *dbdriver.DB
+	ln net.Listener
+
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+	sessions atomic.Int64
+}
+
+// ServeEngine starts serving db's sessions on ln. It returns immediately;
+// Close stops the accept loop and waits for in-flight sessions to unwind.
+func ServeEngine(ln net.Listener, db *dbdriver.DB) *EngineServer {
+	s := &EngineServer{db: db, ln: ln}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.acceptLoop()
+	}()
+	return s
+}
+
+// Addr returns the listener address.
+func (s *EngineServer) Addr() net.Addr { return s.ln.Addr() }
+
+// Sessions returns the number of currently open sessions.
+func (s *EngineServer) Sessions() int64 { return s.sessions.Load() }
+
+// Close stops accepting and waits for session goroutines. Session
+// connections unwind on their next read after the peer closes; the engine
+// itself is owned by the caller and stays open.
+func (s *EngineServer) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	// Listener close doubles as the shutdown signal for the accept loop; a
+	// close error past shutdown carries no information worth surfacing.
+	_ = s.ln.Close()
+	s.wg.Wait()
+}
+
+func (s *EngineServer) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveSession(conn)
+		}()
+	}
+}
+
+// serveSession drives one engine session: handshake, then a strict
+// request/response loop until the peer disconnects. Any protocol violation
+// tears the connection down — a confused client must not keep a half-driven
+// transaction pinned.
+func (s *EngineServer) serveSession(conn net.Conn) {
+	s.sessions.Add(1)
+	defer s.sessions.Add(-1)
+	defer func() { _ = conn.Close() }()
+
+	sess := s.db.Connect()
+	// Session teardown past a broken peer: the rollback verdict has nobody
+	// left to report to.
+	defer func() { _ = sess.Close() }()
+
+	br := bufio.NewReaderSize(conn, 32<<10)
+	bw := bufio.NewWriterSize(conn, 32<<10)
+
+	// Handshake.
+	typ, payload, err := ReadFrame(br)
+	if err != nil || typ != FrameEngineHello {
+		return
+	}
+	d := dec{b: payload}
+	if proto := d.uvarint(); d.finish() != nil || proto != ProtoVersion {
+		return
+	}
+	p := s.db.Personality()
+	welcome := engineWelcome{Name: p.Name, Dialect: p.Dialect}
+	if err := WriteFrame(bw, FrameEngineWelcome, welcome.encode()); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+
+	for {
+		typ, payload, err := ReadFrame(br)
+		if err != nil {
+			return // disconnect (clean EOF between frames is the normal exit)
+		}
+		if err := s.handleFrame(bw, sess, typ, payload); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// handleFrame executes one request and writes (not flushes) the response.
+// The returned error is transport/protocol-fatal; engine errors travel back
+// as FrameEngineErr and keep the session alive.
+func (s *EngineServer) handleFrame(w io.Writer, sess *dbdriver.Conn, typ byte, payload []byte) error {
+	switch typ {
+	case FrameEngineExec:
+		req, err := decodeEngineExec(payload)
+		if err != nil {
+			return frameError(typ, err)
+		}
+		args := make([]any, len(req.Args))
+		for i, v := range req.Args {
+			args[i] = v
+		}
+		var (
+			r       *exec.Result
+			execErr error
+		)
+		if req.Query {
+			r, execErr = sess.Query(req.SQL, args...)
+		} else {
+			r, execErr = sess.Exec(req.SQL, args...)
+		}
+		if execErr != nil {
+			return writeEngineErr(w, execErr)
+		}
+		return WriteFrame(w, FrameEngineResult, encodeEngineResult(r))
+	case FrameEngineBegin:
+		d := dec{b: payload}
+		readonly := d.boolVal()
+		if err := d.finish(); err != nil {
+			return frameError(typ, err)
+		}
+		var err error
+		if readonly {
+			err = sess.BeginReadOnly()
+		} else {
+			err = sess.Begin()
+		}
+		return writeVerdict(w, err)
+	case FrameEngineCommit:
+		return writeVerdict(w, sess.Commit())
+	case FrameEngineAbort:
+		return writeVerdict(w, sess.Rollback())
+	case FrameBye:
+		return io.EOF
+	default:
+		return fmt.Errorf("cluster: unexpected engine frame 0x%02x", typ)
+	}
+}
+
+func writeVerdict(w io.Writer, err error) error {
+	if err != nil {
+		return writeEngineErr(w, err)
+	}
+	return WriteFrame(w, FrameEngineOK, nil)
+}
+
+func writeEngineErr(w io.Writer, err error) error {
+	m := engineErr{Class: classifyError(err), Message: err.Error()}
+	return WriteFrame(w, FrameEngineErr, m.encode())
+}

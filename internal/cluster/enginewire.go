@@ -1,0 +1,218 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"benchpress/internal/sqldb/exec"
+	"benchpress/internal/sqldb/txn"
+	"benchpress/internal/sqlval"
+)
+
+// The remote-engine session protocol: one TCP connection is one engine
+// session, driven strictly request/response. A worker terminal holds one
+// connection, so its transactions serialize naturally and the server needs
+// no per-connection statement routing. Retryable-abort classification
+// survives the wire via an error class byte, which is what lets the workload
+// manager's retry loop work unchanged against a remote engine.
+
+// Error classes carried by FrameEngineErr.
+const (
+	errClassGeneric       byte = 0
+	errClassWriteConflict byte = 1
+	errClassDeadlock      byte = 2
+	errClassBusy          byte = 3
+)
+
+// classifyError maps an engine error onto its wire class.
+func classifyError(err error) byte {
+	switch {
+	case errors.Is(err, txn.ErrWriteConflict):
+		return errClassWriteConflict
+	case errors.Is(err, txn.ErrDeadlock):
+		return errClassDeadlock
+	case errors.Is(err, txn.ErrBusy):
+		return errClassBusy
+	default:
+		return errClassGeneric
+	}
+}
+
+// declassifyError reconstructs a client-side error whose identity satisfies
+// dbdriver.IsRetryable exactly as the in-process sentinel would.
+func declassifyError(class byte, msg string) error {
+	switch class {
+	case errClassWriteConflict:
+		return fmt.Errorf("cluster: remote: %s: %w", msg, txn.ErrWriteConflict)
+	case errClassDeadlock:
+		return fmt.Errorf("cluster: remote: %s: %w", msg, txn.ErrDeadlock)
+	case errClassBusy:
+		return fmt.Errorf("cluster: remote: %s: %w", msg, txn.ErrBusy)
+	default:
+		return fmt.Errorf("cluster: remote: %s", msg)
+	}
+}
+
+// Value kind tags on the wire.
+const (
+	wireNull   byte = 0
+	wireInt    byte = 1
+	wireFloat  byte = 2
+	wireString byte = 3
+	wireBool   byte = 4
+	wireTime   byte = 5
+)
+
+func appendValue(e *enc, v sqlval.Value) {
+	switch v.Kind() {
+	case sqlval.KindInt:
+		e.byteVal(wireInt)
+		e.varint(v.Int())
+	case sqlval.KindFloat:
+		e.byteVal(wireFloat)
+		e.float64Val(v.Float())
+	case sqlval.KindString:
+		e.byteVal(wireString)
+		e.str(v.Str())
+	case sqlval.KindBool:
+		e.byteVal(wireBool)
+		e.boolVal(v.Bool())
+	case sqlval.KindTime:
+		e.byteVal(wireTime)
+		e.varint(v.Time().UnixNano())
+	default:
+		// NULL, and any internal sentinel that should never leave the
+		// engine, both travel as NULL.
+		e.byteVal(wireNull)
+	}
+}
+
+func decodeValue(d *dec) sqlval.Value {
+	switch d.byteVal() {
+	case wireNull:
+		return sqlval.Null()
+	case wireInt:
+		return sqlval.NewInt(d.varint())
+	case wireFloat:
+		return sqlval.NewFloat(d.float64Val())
+	case wireString:
+		return sqlval.NewString(d.str())
+	case wireBool:
+		return sqlval.NewBool(d.boolVal())
+	case wireTime:
+		return sqlval.NewTime(time.Unix(0, d.varint()))
+	default:
+		d.fail()
+		return sqlval.Null()
+	}
+}
+
+// engineExec is the FrameEngineExec payload: query selects result-set
+// semantics (Session.Query vs Session.Exec — bare SELECTs differ in
+// autocommit read-only handling).
+type engineExec struct {
+	Query bool
+	SQL   string
+	Args  []sqlval.Value
+}
+
+func (m engineExec) encode() []byte {
+	var e enc
+	e.boolVal(m.Query)
+	e.str(m.SQL)
+	e.uvarint(uint64(len(m.Args)))
+	for _, v := range m.Args {
+		appendValue(&e, v)
+	}
+	return e.b
+}
+
+func decodeEngineExec(p []byte) (engineExec, error) {
+	d := dec{b: p}
+	m := engineExec{Query: d.boolVal(), SQL: d.str()}
+	n := d.count(1)
+	for i := 0; i < n && d.err == nil; i++ {
+		m.Args = append(m.Args, decodeValue(&d))
+	}
+	return m, d.finish()
+}
+
+// engineResult is the FrameEngineResult payload, mirroring exec.Result.
+type engineResult struct {
+	Columns      []string
+	Rows         [][]sqlval.Value
+	RowsAffected int64
+	LastInsertID int64
+}
+
+func encodeEngineResult(r *exec.Result) []byte {
+	var e enc
+	e.strs(r.Columns)
+	e.uvarint(uint64(len(r.Rows)))
+	for _, row := range r.Rows {
+		e.uvarint(uint64(len(row)))
+		for _, v := range row {
+			appendValue(&e, v)
+		}
+	}
+	e.varint(int64(r.RowsAffected))
+	e.varint(r.LastInsertID)
+	return e.b
+}
+
+func decodeEngineResult(p []byte) (*exec.Result, error) {
+	d := dec{b: p}
+	res := &exec.Result{Columns: d.strs()}
+	nrows := d.count(1)
+	for i := 0; i < nrows && d.err == nil; i++ {
+		ncols := d.count(1)
+		row := make([]sqlval.Value, 0, ncols)
+		for j := 0; j < ncols && d.err == nil; j++ {
+			row = append(row, decodeValue(&d))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.RowsAffected = int(d.varint())
+	res.LastInsertID = d.varint()
+	return res, d.finish()
+}
+
+// engineErr is the FrameEngineErr payload.
+type engineErr struct {
+	Class   byte
+	Message string
+}
+
+func (m engineErr) encode() []byte {
+	var e enc
+	e.byteVal(m.Class)
+	e.str(m.Message)
+	return e.b
+}
+
+func decodeEngineErr(p []byte) (engineErr, error) {
+	d := dec{b: p}
+	m := engineErr{Class: d.byteVal(), Message: d.str()}
+	return m, d.finish()
+}
+
+// engineWelcome is the FrameEngineWelcome payload: enough personality for the
+// client to resolve dialect-specific statements.
+type engineWelcome struct {
+	Name    string
+	Dialect string
+}
+
+func (m engineWelcome) encode() []byte {
+	var e enc
+	e.str(m.Name)
+	e.str(m.Dialect)
+	return e.b
+}
+
+func decodeEngineWelcome(p []byte) (engineWelcome, error) {
+	d := dec{b: p}
+	m := engineWelcome{Name: d.str(), Dialect: d.str()}
+	return m, d.finish()
+}

@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// TestHeartbeatEviction covers the silent-death path: a worker that attaches
+// and then goes mute (no heartbeats, no stats — as after SIGKILL with the
+// socket held open by a NAT box) must be evicted after 3 heartbeat
+// intervals. Internal test: it speaks the raw wire to stay mute, which the
+// worker agent API deliberately cannot do.
+func TestHeartbeatEviction(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := NewCoordinator(ln, CoordinatorOptions{
+		Window:    200 * time.Millisecond,
+		Flush:     50 * time.Millisecond,
+		Heartbeat: 100 * time.Millisecond,
+	})
+	defer co.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	hello := Hello{Proto: ProtoVersion, Name: "mute", Benchmark: "ycsb", DB: "gomvcc", Types: []string{"A"}}
+	if err := WriteFrame(conn, FrameHello, hello.encode()); err != nil {
+		t.Fatal(err)
+	}
+
+	poll := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			if cond() {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %s", what)
+	}
+	poll("mute worker attached", func() bool {
+		st := co.Status()
+		return len(st.Workers) == 1 && st.Workers[0].Connected
+	})
+	// Now say nothing. 3 heartbeat intervals at 100ms: evicted well within 2s.
+	poll("mute worker evicted", func() bool {
+		st := co.Status()
+		return len(st.Workers) == 1 && !st.Workers[0].Connected
+	})
+}

@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+
+	"benchpress/internal/sqlval"
+)
+
+// decodeAny routes a frame through the same typed decoders the coordinator,
+// worker, and engine server use, so the fuzzer exercises every payload
+// parser behind every frame type.
+func decodeAny(typ byte, payload []byte) {
+	switch typ {
+	case FrameHello:
+		_, _ = decodeHello(payload)
+	case FrameWelcome:
+		_, _ = decodeWelcome(payload)
+	case FrameAssign:
+		_, _ = decodeAssign(payload)
+	case FrameStats:
+		_, _ = decodeStatsUpdate(payload)
+	case FrameHeartbeat:
+		_, _ = decodeHeartbeat(payload)
+	case FrameBye:
+		_, _ = decodeBye(payload)
+	case FrameEngineExec:
+		_, _ = decodeEngineExec(payload)
+	case FrameEngineResult:
+		_, _ = decodeEngineResult(payload)
+	case FrameEngineErr:
+		_, _ = decodeEngineErr(payload)
+	case FrameEngineWelcome:
+		_, _ = decodeEngineWelcome(payload)
+	default:
+		// Unknown types carry no payload contract; nothing to decode.
+	}
+}
+
+// seedFrames builds one valid instance of every frame type, giving the
+// fuzzer a structurally correct corpus to mutate from.
+func seedFrames() [][]byte {
+	buckets := make([]int64, 256)
+	buckets[10] = 3
+	buckets[200] = 1
+	frames := [][]byte{
+		AppendFrame(nil, FrameHello, Hello{Proto: ProtoVersion, WorkerID: 1, Name: "w", Benchmark: "ycsb", DB: "gomvcc", Types: []string{"A", "B"}}.encode()),
+		AppendFrame(nil, FrameWelcome, Welcome{WorkerID: 1, WindowUS: 1000000, FlushUS: 250000, HeartbeatUS: 500000}.encode()),
+		AppendFrame(nil, FrameAssign, Assign{Gen: 3, Rate: 99.5, Paused: false, Mix: []float64{1, 2}}.encode()),
+		AppendFrame(nil, FrameStats, StatsUpdate{Seq: 1, Committed: 4, Types: []TypeDelta{{Index: 1, Count: 4, SumUS: 100, MaxUS: 60, Buckets: buckets}}}.encode()),
+		AppendFrame(nil, FrameHeartbeat, Heartbeat{Committed: 4}.encode()),
+		AppendFrame(nil, FrameBye, Bye{Reason: "bye"}.encode()),
+		AppendFrame(nil, FrameEngineExec, engineExec{Query: true, SQL: "SELECT 1", Args: []sqlval.Value{sqlval.NewInt(1), sqlval.Null()}}.encode()),
+		AppendFrame(nil, FrameEngineErr, engineErr{Class: errClassDeadlock, Message: "deadlock"}.encode()),
+		AppendFrame(nil, FrameEngineWelcome, engineWelcome{Name: "gomvcc", Dialect: "postgres"}.encode()),
+	}
+	return frames
+}
+
+// FuzzReadFrame is the wire-robustness gate: arbitrary bytes — including
+// mutations of every valid frame type — must never panic the frame reader or
+// any payload decoder, no matter how they are truncated or corrupted.
+func FuzzReadFrame(f *testing.F) {
+	var stream []byte
+	for _, fr := range seedFrames() {
+		f.Add(fr)
+		// Truncation seeds: a frame cut mid-payload and cut mid-header.
+		if len(fr) > 7 {
+			f.Add(fr[:len(fr)-3])
+			f.Add(fr[:2])
+		}
+		stream = append(stream, fr...)
+	}
+	f.Add(stream)                                     // several frames back to back
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x04, 0x00}) // absurd length prefix
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		// Drain the whole input as a frame stream, decoding each payload the
+		// way the real read loops do. Bounded by input length: every
+		// iteration either consumes bytes or errors out.
+		for {
+			typ, payload, err := ReadFrame(r)
+			if err != nil {
+				return
+			}
+			decodeAny(typ, payload)
+		}
+	})
+}

@@ -1,0 +1,234 @@
+package cluster
+
+import (
+	"benchpress/internal/stats"
+)
+
+// Hello is the worker's first frame on the control wire: identity plus the
+// benchmark metadata the coordinator needs to merge stats (the type list
+// fixes per-type indexes for every later delta). WorkerID is zero on first
+// contact; a reconnecting worker presents its assigned id to resume its
+// registration instead of creating a new one.
+type Hello struct {
+	Proto     uint64
+	WorkerID  uint64
+	Name      string
+	Benchmark string
+	DB        string
+	Types     []string
+}
+
+func (h Hello) encode() []byte {
+	var e enc
+	e.uvarint(h.Proto)
+	e.uvarint(h.WorkerID)
+	e.str(h.Name)
+	e.str(h.Benchmark)
+	e.str(h.DB)
+	e.strs(h.Types)
+	return e.b
+}
+
+func decodeHello(p []byte) (Hello, error) {
+	d := dec{b: p}
+	h := Hello{
+		Proto:     d.uvarint(),
+		WorkerID:  d.uvarint(),
+		Name:      d.str(),
+		Benchmark: d.str(),
+		DB:        d.str(),
+		Types:     d.strs(),
+	}
+	return h, d.finish()
+}
+
+// Welcome answers a Hello: the worker's assigned id and the cadences the
+// coordinator wants it to run at (stat flush deadline, heartbeat interval,
+// window duration), all in microseconds.
+type Welcome struct {
+	WorkerID    uint64
+	WindowUS    int64
+	FlushUS     int64
+	HeartbeatUS int64
+}
+
+func (w Welcome) encode() []byte {
+	var e enc
+	e.uvarint(w.WorkerID)
+	e.varint(w.WindowUS)
+	e.varint(w.FlushUS)
+	e.varint(w.HeartbeatUS)
+	return e.b
+}
+
+func decodeWelcome(p []byte) (Welcome, error) {
+	d := dec{b: p}
+	w := Welcome{
+		WorkerID:    d.uvarint(),
+		WindowUS:    d.varint(),
+		FlushUS:     d.varint(),
+		HeartbeatUS: d.varint(),
+	}
+	return w, d.finish()
+}
+
+// Assign fans the cluster's dynamic controls out to one worker: its rate
+// share (0 = unlimited), the mixture weights (nil = benchmark default), and
+// the pause gate. Gen is a monotonic assignment generation; a worker ignores
+// frames older than the newest it has applied, so reordering across a
+// reconnect cannot roll controls back.
+type Assign struct {
+	Gen    uint64
+	Rate   float64
+	Paused bool
+	Mix    []float64
+}
+
+func (a Assign) encode() []byte {
+	var e enc
+	e.uvarint(a.Gen)
+	e.float64Val(a.Rate)
+	e.boolVal(a.Paused)
+	e.float64s(a.Mix)
+	return e.b
+}
+
+func decodeAssign(p []byte) (Assign, error) {
+	d := dec{b: p}
+	a := Assign{
+		Gen:    d.uvarint(),
+		Rate:   d.float64Val(),
+		Paused: d.boolVal(),
+		Mix:    d.float64sVal(),
+	}
+	return a, d.finish()
+}
+
+// TypeDelta is one transaction type's share of a stats update: committed
+// count and latency-sum deltas since the previous flush, the cumulative
+// maximum (maxima do not delta), and the histogram bucket-count deltas.
+type TypeDelta struct {
+	Index   int
+	Count   int64
+	SumUS   int64
+	MaxUS   int64
+	Buckets []int64
+}
+
+// StatsUpdate is one batched, coalesced stat flush: every counter movement
+// on the worker since the previous update, attributed cumulatively. Deltas
+// are lossless — the coordinator's running totals equal the worker's exactly
+// once the update lands, which is what makes the merged committed count an
+// exact sum rather than an estimate. Window is the worker's latest completed
+// window ordinal, carried for staleness accounting.
+type StatsUpdate struct {
+	Seq          uint64
+	Window       int64
+	Committed    int64
+	Aborted      int64
+	Errors       int64
+	Retries      int64
+	SumLatencyUS int64
+	Types        []TypeDelta
+}
+
+func (u StatsUpdate) encode() []byte {
+	var e enc
+	e.uvarint(u.Seq)
+	e.varint(u.Window)
+	e.varint(u.Committed)
+	e.varint(u.Aborted)
+	e.varint(u.Errors)
+	e.varint(u.Retries)
+	e.varint(u.SumLatencyUS)
+	e.uvarint(uint64(len(u.Types)))
+	for _, t := range u.Types {
+		e.uvarint(uint64(t.Index))
+		e.varint(t.Count)
+		e.varint(t.SumUS)
+		e.varint(t.MaxUS)
+		appendSparseBuckets(&e, t.Buckets)
+	}
+	return e.b
+}
+
+// maxTypes bounds the per-update type count; no benchmark has more than a
+// few dozen procedures, so anything past this is a corrupt frame.
+const maxTypes = 1 << 10
+
+func decodeStatsUpdate(p []byte) (StatsUpdate, error) {
+	d := dec{b: p}
+	u := StatsUpdate{
+		Seq:          d.uvarint(),
+		Window:       d.varint(),
+		Committed:    d.varint(),
+		Aborted:      d.varint(),
+		Errors:       d.varint(),
+		Retries:      d.varint(),
+		SumLatencyUS: d.varint(),
+	}
+	n := d.count(4)
+	if n > maxTypes {
+		d.fail()
+	}
+	for i := 0; i < n && d.err == nil; i++ {
+		t := TypeDelta{
+			Index: int(d.uvarint()),
+			Count: d.varint(),
+			SumUS: d.varint(),
+			MaxUS: d.varint(),
+		}
+		t.Buckets = decodeSparseBuckets(&d, 0, stats.NumBuckets)
+		if t.Index >= maxTypes {
+			d.fail()
+			break
+		}
+		u.Types = append(u.Types, t)
+	}
+	return u, d.finish()
+}
+
+// Heartbeat carries liveness plus the worker's cumulative outcome totals, so
+// the coordinator can cross-check its delta-accumulated view and surface
+// drift (there should never be any) instead of silently diverging.
+type Heartbeat struct {
+	Committed int64
+	Aborted   int64
+	Errors    int64
+	Retries   int64
+}
+
+func (h Heartbeat) encode() []byte {
+	var e enc
+	e.varint(h.Committed)
+	e.varint(h.Aborted)
+	e.varint(h.Errors)
+	e.varint(h.Retries)
+	return e.b
+}
+
+func decodeHeartbeat(p []byte) (Heartbeat, error) {
+	d := dec{b: p}
+	h := Heartbeat{
+		Committed: d.varint(),
+		Aborted:   d.varint(),
+		Errors:    d.varint(),
+		Retries:   d.varint(),
+	}
+	return h, d.finish()
+}
+
+// Bye announces a graceful shutdown with a human-readable reason.
+type Bye struct{ Reason string }
+
+func (b Bye) encode() []byte {
+	var e enc
+	e.str(b.Reason)
+	return e.b
+}
+
+func decodeBye(p []byte) (Bye, error) {
+	d := dec{b: p}
+	b := Bye{Reason: d.str()}
+	return b, d.finish()
+}

@@ -1,0 +1,252 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"benchpress/internal/dbdriver"
+	"benchpress/internal/sqldb/exec"
+	"benchpress/internal/sqlval"
+)
+
+// RemoteDialer connects dbdriver Conns to an EngineServer. It implements
+// dbdriver.Dialer: Dial opens one TCP connection (= one engine session) per
+// worker terminal. The first successful handshake caches the remote
+// personality so the benchmark's dialect-specific statement resolution works
+// against remote engines exactly as embedded ones.
+type RemoteDialer struct {
+	addr        string
+	personality dbdriver.Personality
+	// spare holds the probe session until the first Dial claims it, so
+	// probing costs no extra engine session.
+	spare *remoteSession
+}
+
+// DialRemoteEngine probes the engine server at addr (host:port) and returns
+// a dialer wrapping it. The probe handshake both validates the protocol and
+// learns the remote personality.
+func DialRemoteEngine(addr string) (*RemoteDialer, error) {
+	d := &RemoteDialer{addr: addr}
+	probe, err := d.dialSession()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: probe engine server %s: %w", addr, err)
+	}
+	d.personality = dbdriver.Personality{
+		Name:        "remote:" + probe.welcome.Name,
+		Description: "remote engine at " + addr,
+		Dialect:     probe.welcome.Dialect,
+	}
+	d.spare = probe
+	return d, nil
+}
+
+// Personality implements dbdriver.Dialer.
+func (d *RemoteDialer) Personality() dbdriver.Personality { return d.personality }
+
+// Close implements dbdriver.Dialer. The dialer holds no pooled resources;
+// individual sessions close with their Conns.
+func (d *RemoteDialer) Close() {
+	if d.spare != nil {
+		_ = d.spare.Close()
+		d.spare = nil
+	}
+}
+
+// Dial implements dbdriver.Dialer.
+func (d *RemoteDialer) Dial() (dbdriver.SessionBackend, error) {
+	if s := d.spare; s != nil {
+		d.spare = nil
+		return s, nil
+	}
+	return d.dialSession()
+}
+
+func (d *RemoteDialer) dialSession() (*remoteSession, error) {
+	conn, err := net.DialTimeout("tcp", d.addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		// Per-statement round trips are latency-bound; Nagle would add a
+		// full delayed-ACK cycle to every one.
+		_ = tc.SetNoDelay(true)
+	}
+	s := &remoteSession{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 32<<10),
+		bw:   bufio.NewWriterSize(conn, 32<<10),
+	}
+	var e enc
+	e.uvarint(ProtoVersion)
+	if err := WriteFrame(s.bw, FrameEngineHello, e.b); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	if err := s.bw.Flush(); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	typ, payload, err := ReadFrame(s.br)
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	if typ != FrameEngineWelcome {
+		_ = conn.Close()
+		return nil, fmt.Errorf("cluster: engine handshake: unexpected frame 0x%02x", typ)
+	}
+	w, err := decodeEngineWelcome(payload)
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	s.welcome = w
+	return s, nil
+}
+
+// remoteSession is one engine session over the wire. It implements
+// dbdriver.SessionBackend. Not safe for concurrent use — exactly like an
+// embedded session, each worker terminal owns one.
+type remoteSession struct {
+	conn    net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	welcome engineWelcome
+	inTxn   bool
+	broken  error // sticky transport failure; engine errors do not set it
+}
+
+// roundTrip writes one request frame and reads the response frame.
+func (s *remoteSession) roundTrip(typ byte, payload []byte) (byte, []byte, error) {
+	if s.broken != nil {
+		return 0, nil, s.broken
+	}
+	if err := WriteFrame(s.bw, typ, payload); err != nil {
+		return 0, nil, s.fail(err)
+	}
+	if err := s.bw.Flush(); err != nil {
+		return 0, nil, s.fail(err)
+	}
+	rt, rp, err := ReadFrame(s.br)
+	if err != nil {
+		return 0, nil, s.fail(err)
+	}
+	return rt, rp, nil
+}
+
+func (s *remoteSession) fail(err error) error {
+	if s.broken == nil {
+		s.broken = fmt.Errorf("cluster: engine connection lost: %w", err)
+		_ = s.conn.Close()
+	}
+	// A transport loss mid-transaction means the commit verdict is unknown;
+	// the session stays broken so the terminal's Conn surfaces errors until
+	// the manager replaces it (or the run ends).
+	s.inTxn = false
+	return s.broken
+}
+
+func (s *remoteSession) exec(query bool, sql string, args []any) (*exec.Result, error) {
+	vals := make([]sqlval.Value, len(args))
+	for i, a := range args {
+		v, err := sqlval.FromGo(a)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: argument %d: %w", i+1, err)
+		}
+		vals[i] = v
+	}
+	req := engineExec{Query: query, SQL: sql, Args: vals}
+	typ, payload, err := s.roundTrip(FrameEngineExec, req.encode())
+	if err != nil {
+		return nil, err
+	}
+	switch typ {
+	case FrameEngineResult:
+		return decodeEngineResult(payload)
+	case FrameEngineErr:
+		m, derr := decodeEngineErr(payload)
+		if derr != nil {
+			return nil, s.fail(derr)
+		}
+		return nil, declassifyError(m.Class, m.Message)
+	default:
+		return nil, s.fail(fmt.Errorf("cluster: unexpected response frame 0x%02x", typ))
+	}
+}
+
+// verdict interprets an OK/Err response to a transaction-control request.
+func (s *remoteSession) verdict(typ byte, payload []byte) error {
+	switch typ {
+	case FrameEngineOK:
+		return nil
+	case FrameEngineErr:
+		m, derr := decodeEngineErr(payload)
+		if derr != nil {
+			return s.fail(derr)
+		}
+		return declassifyError(m.Class, m.Message)
+	default:
+		return s.fail(fmt.Errorf("cluster: unexpected response frame 0x%02x", typ))
+	}
+}
+
+// Exec implements dbdriver.SessionBackend.
+func (s *remoteSession) Exec(sql string, args []any) (*exec.Result, error) {
+	return s.exec(false, sql, args)
+}
+
+// Query implements dbdriver.SessionBackend.
+func (s *remoteSession) Query(sql string, args []any) (*exec.Result, error) {
+	return s.exec(true, sql, args)
+}
+
+// Begin implements dbdriver.SessionBackend.
+func (s *remoteSession) Begin(readonly bool) error {
+	var e enc
+	e.boolVal(readonly)
+	typ, payload, err := s.roundTrip(FrameEngineBegin, e.b)
+	if err != nil {
+		return err
+	}
+	if err := s.verdict(typ, payload); err != nil {
+		return err
+	}
+	s.inTxn = true
+	return nil
+}
+
+// Commit implements dbdriver.SessionBackend.
+func (s *remoteSession) Commit() error {
+	typ, payload, err := s.roundTrip(FrameEngineCommit, nil)
+	if err != nil {
+		return err
+	}
+	s.inTxn = false
+	return s.verdict(typ, payload)
+}
+
+// Rollback implements dbdriver.SessionBackend.
+func (s *remoteSession) Rollback() error {
+	typ, payload, err := s.roundTrip(FrameEngineAbort, nil)
+	if err != nil {
+		return err
+	}
+	s.inTxn = false
+	return s.verdict(typ, payload)
+}
+
+// InTxn implements dbdriver.SessionBackend.
+func (s *remoteSession) InTxn() bool { return s.inTxn }
+
+// Close implements dbdriver.SessionBackend.
+func (s *remoteSession) Close() error {
+	if s.broken != nil {
+		return nil // connection already torn down
+	}
+	// Best-effort goodbye; the server also unwinds cleanly on bare EOF.
+	_ = WriteFrame(s.bw, FrameBye, Bye{Reason: "session close"}.encode())
+	_ = s.bw.Flush()
+	return s.conn.Close()
+}

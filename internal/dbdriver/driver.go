@@ -110,10 +110,43 @@ func init() {
 	})
 }
 
+// SessionBackend is the minimal session surface a Conn drives when the
+// engine lives in another process: statement execution plus transaction
+// control. benchpress/internal/cluster implements it over the binary engine
+// wire; the embedded engine keeps its direct *sqldb.Session path and never
+// pays the indirection.
+type SessionBackend interface {
+	// Exec executes one statement (autocommitted outside a transaction).
+	Exec(sql string, args []any) (*exec.Result, error)
+	// Query executes one statement expected to return rows.
+	Query(sql string, args []any) (*exec.Result, error)
+	// Begin starts an explicit transaction, read-only when asked.
+	Begin(readonly bool) error
+	// Commit commits the open transaction.
+	Commit() error
+	// Rollback aborts the open transaction.
+	Rollback() error
+	// InTxn reports whether an explicit transaction is open.
+	InTxn() bool
+	// Close releases the session.
+	Close() error
+}
+
+// Dialer opens sessions on a remote engine process.
+type Dialer interface {
+	// Dial opens one new session.
+	Dial() (SessionBackend, error)
+	// Personality describes the remote engine (name, dialect).
+	Personality() Personality
+	// Close releases the dialer's resources.
+	Close()
+}
+
 // DB is one open database instance.
 type DB struct {
-	p   Personality
-	eng *sqldb.Engine
+	p      Personality
+	eng    *sqldb.Engine
+	remote Dialer
 }
 
 // Open creates a fresh database instance of the named personality.
@@ -138,72 +171,194 @@ func OpenWith(p Personality) *DB {
 	return &DB{p: p, eng: eng}
 }
 
+// OpenRemote wraps a remote engine process behind the DB/Conn surface: every
+// Connect dials one session over d. Engine() and TxnManager() return nil for
+// remote instances — maintenance and harness hooks only exist in-process.
+func OpenRemote(d Dialer) *DB {
+	return &DB{p: d.Personality(), remote: d}
+}
+
+// Remote reports whether this instance drives an engine in another process.
+func (db *DB) Remote() bool { return db.remote != nil }
+
 // Personality returns the instance's configuration.
 func (db *DB) Personality() Personality { return db.p }
 
 // Engine exposes the underlying engine for maintenance operations
-// (vacuum, truncate-all) and statistics.
+// (vacuum, truncate-all) and statistics. It is nil for remote instances.
 func (db *DB) Engine() *sqldb.Engine { return db.eng }
 
 // TxnManager exposes the engine's transaction manager so test harnesses can
-// toggle non-blocking mode and invariant-mutation switches.
-func (db *DB) TxnManager() *txn.Manager { return db.eng.TxnManager() }
+// toggle non-blocking mode and invariant-mutation switches. It is nil for
+// remote instances.
+func (db *DB) TxnManager() *txn.Manager {
+	if db.eng == nil {
+		return nil
+	}
+	return db.eng.TxnManager()
+}
 
 // Close releases engine resources.
-func (db *DB) Close() { db.eng.Close() }
+func (db *DB) Close() {
+	if db.remote != nil {
+		db.remote.Close()
+		return
+	}
+	db.eng.Close()
+}
 
 // Connect opens a new connection. Connections are not safe for concurrent
-// use; open one per worker thread, as OLTP-Bench does with JDBC.
+// use; open one per worker thread, as OLTP-Bench does with JDBC. For remote
+// instances a dial failure is deferred: the connection is returned broken
+// and every operation reports the dial error, so per-transaction error
+// accounting (not a launch-time crash) absorbs an engine that is briefly
+// unreachable.
 func (db *DB) Connect() *Conn {
+	if db.remote != nil {
+		sess, err := db.remote.Dial()
+		return &Conn{db: db, rem: sess, remErr: err}
+	}
 	return &Conn{db: db, sess: db.eng.Session()}
 }
 
-// Conn is one connection (the JDBC Connection analog).
+// Conn is one connection (the JDBC Connection analog). Exactly one of sess
+// (embedded) or rem (remote) is set.
 type Conn struct {
-	db   *DB
-	sess *sqldb.Session
+	db     *DB
+	sess   *sqldb.Session
+	rem    SessionBackend
+	remErr error
 }
 
 // DB returns the owning database.
 func (c *Conn) DB() *DB { return c.db }
 
+// remote returns the remote session, surfacing a deferred dial failure.
+func (c *Conn) remote() (SessionBackend, error) {
+	if c.rem == nil {
+		return nil, c.remErr
+	}
+	return c.rem, nil
+}
+
 // Exec executes a statement, autocommitted unless a transaction is open.
 func (c *Conn) Exec(sql string, args ...any) (*exec.Result, error) {
-	return c.sess.Exec(sql, args...)
+	if c.sess != nil {
+		return c.sess.Exec(sql, args...)
+	}
+	rem, err := c.remote()
+	if err != nil {
+		return nil, err
+	}
+	return rem.Exec(sql, args)
 }
 
 // Query executes a statement expected to return rows.
 func (c *Conn) Query(sql string, args ...any) (*exec.Result, error) {
-	return c.sess.Query(sql, args...)
+	if c.sess != nil {
+		return c.sess.Query(sql, args...)
+	}
+	rem, err := c.remote()
+	if err != nil {
+		return nil, err
+	}
+	return rem.Query(sql, args)
 }
 
 // QueryRow executes and returns the first row (nil if none).
 func (c *Conn) QueryRow(sql string, args ...any) ([]sqlval.Value, error) {
-	return c.sess.QueryRow(sql, args...)
+	if c.sess != nil {
+		return c.sess.QueryRow(sql, args...)
+	}
+	res, err := c.Query(sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Rows) == 0 {
+		return nil, nil
+	}
+	return res.Rows[0], nil
 }
 
 // Begin starts an explicit transaction.
-func (c *Conn) Begin() error { return c.sess.Begin() }
+func (c *Conn) Begin() error {
+	if c.sess != nil {
+		return c.sess.Begin()
+	}
+	rem, err := c.remote()
+	if err != nil {
+		return err
+	}
+	return rem.Begin(false)
+}
 
 // BeginReadOnly starts an explicit transaction declared read-only.
-func (c *Conn) BeginReadOnly() error { return c.sess.BeginReadOnly() }
+func (c *Conn) BeginReadOnly() error {
+	if c.sess != nil {
+		return c.sess.BeginReadOnly()
+	}
+	rem, err := c.remote()
+	if err != nil {
+		return err
+	}
+	return rem.Begin(true)
+}
 
 // Commit commits the open transaction.
-func (c *Conn) Commit() error { return c.sess.Commit() }
+func (c *Conn) Commit() error {
+	if c.sess != nil {
+		return c.sess.Commit()
+	}
+	rem, err := c.remote()
+	if err != nil {
+		return err
+	}
+	return rem.Commit()
+}
 
 // Rollback aborts the open transaction.
-func (c *Conn) Rollback() error { return c.sess.Rollback() }
+func (c *Conn) Rollback() error {
+	if c.sess != nil {
+		return c.sess.Rollback()
+	}
+	rem, err := c.remote()
+	if err != nil {
+		return err
+	}
+	return rem.Rollback()
+}
 
 // InTxn reports whether an explicit transaction is open.
-func (c *Conn) InTxn() bool { return c.sess.InTxn() }
+func (c *Conn) InTxn() bool {
+	if c.sess != nil {
+		return c.sess.InTxn()
+	}
+	return c.rem != nil && c.rem.InTxn()
+}
 
 // TxnInfo returns identity and outcome metadata for the connection's current
 // transaction (or the last finished one). The consistency harness uses it to
 // map executed operations onto engine transaction ids and commit timestamps.
-func (c *Conn) TxnInfo() txn.Info { return c.sess.TxnInfo() }
+// Remote connections report a zero Info — the harness only drives embedded
+// engines.
+func (c *Conn) TxnInfo() txn.Info {
+	if c.sess != nil {
+		return c.sess.TxnInfo()
+	}
+	return txn.Info{}
+}
 
 // Prepare compiles a statement for repeated execution on this connection.
+// On a remote connection preparation is client-side only: the statement
+// re-ships its SQL per execution and the server's statement cache does the
+// compile-once work.
 func (c *Conn) Prepare(sql string) (*Stmt, error) {
+	if c.sess == nil {
+		if _, err := c.remote(); err != nil {
+			return nil, err
+		}
+		return &Stmt{conn: c, sql: sql}, nil
+	}
 	st, err := c.sess.Prepare(sql)
 	if err != nil {
 		return nil, err
@@ -215,28 +370,42 @@ func (c *Conn) Prepare(sql string) (*Stmt, error) {
 // the rollback error if that abort fails so callers can surface an engine
 // fault instead of losing it.
 func (c *Conn) Close() error {
-	if c.sess.InTxn() {
-		return c.sess.Rollback()
+	if c.sess != nil {
+		if c.sess.InTxn() {
+			return c.sess.Rollback()
+		}
+		return nil
+	}
+	if c.rem != nil {
+		return c.rem.Close()
 	}
 	return nil
 }
 
-// Stmt is a prepared statement (the JDBC PreparedStatement analog).
+// Stmt is a prepared statement (the JDBC PreparedStatement analog). For
+// remote connections it is a client-side handle that re-ships its SQL.
 type Stmt struct {
-	st *sqldb.Stmt
+	st   *sqldb.Stmt
+	conn *Conn
+	sql  string
 }
 
 // Exec runs the prepared statement.
-func (s *Stmt) Exec(args ...any) (*exec.Result, error) { return s.st.Exec(args...) }
+func (s *Stmt) Exec(args ...any) (*exec.Result, error) {
+	if s.st == nil && s.conn != nil {
+		return s.conn.Exec(s.sql, args...)
+	}
+	return s.st.Exec(args...)
+}
 
 // Query runs the prepared statement, returning rows.
-func (s *Stmt) Query(args ...any) (*exec.Result, error) { return s.st.Exec(args...) }
+func (s *Stmt) Query(args ...any) (*exec.Result, error) { return s.Exec(args...) }
 
 // Close releases the prepared statement. The engine's statement cache owns
 // the compiled plan, so closing only severs the session reference, but
 // holders of long-lived statements should still release them
 // deterministically; use after Close is a programming error and panics.
-func (s *Stmt) Close() { s.st = nil }
+func (s *Stmt) Close() { s.st = nil; s.conn = nil }
 
 // IsRetryable reports whether an error is a concurrency abort that the
 // caller should retry with a fresh transaction.

@@ -186,6 +186,41 @@ func percentileOf(counts []int64, n int64, p float64) time.Duration {
 	return 0
 }
 
+// Merge folds other into hs in place: bucket counts and latency sums add,
+// the maximum takes the larger value. The receiver's Counts slice is grown
+// when other covers higher buckets than hs has allocated (merging snapshots
+// taken with different scratch sizes, or into a zero-value accumulator), so
+// a zero HistSnapshot is a valid merge target. Both snapshots must use the
+// package's fixed log-bucket scheme; because bucket boundaries are shared,
+// the merge is exact — percentiles of a merged snapshot equal percentiles of
+// the union population to within one bucket's resolution. This is what makes
+// cluster-wide percentile aggregation possible: workers ship bucket deltas,
+// never pre-digested percentiles.
+func (hs *HistSnapshot) Merge(other HistSnapshot) {
+	if len(other.Counts) > len(hs.Counts) {
+		grown := make([]int64, len(other.Counts))
+		copy(grown, hs.Counts)
+		hs.Counts = grown
+	}
+	for i, c := range other.Counts {
+		hs.Counts[i] += c
+	}
+	hs.SumUS += other.SumUS
+	if other.MaxUS > hs.MaxUS {
+		hs.MaxUS = other.MaxUS
+	}
+}
+
+// Clone returns a deep copy of the snapshot (the Counts backing array is not
+// shared).
+func (hs HistSnapshot) Clone() HistSnapshot {
+	return HistSnapshot{
+		Counts: append([]int64(nil), hs.Counts...),
+		SumUS:  hs.SumUS,
+		MaxUS:  hs.MaxUS,
+	}
+}
+
 // Histogram reconstructs a live Histogram from a snapshot (fresh, not
 // shared), preserving the Global()/TypeHistogram() accessor contracts now
 // that recording happens in per-worker shards.

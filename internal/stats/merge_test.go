@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// recordInto buckets one observation into a snapshot the same way the live
+// histogram would.
+func recordInto(hs *HistSnapshot, us int64) {
+	if hs.Counts == nil {
+		hs.Counts = make([]int64, NumBuckets)
+	}
+	hs.Counts[bucketFor(us)]++
+	hs.SumUS += us
+	if us > hs.MaxUS {
+		hs.MaxUS = us
+	}
+}
+
+// TestMergePercentilesMatchWholePopulation is the property the cluster merge
+// rests on: because every snapshot shares the fixed log-bucket scheme,
+// merging per-worker snapshots yields byte-identical bucket counts to
+// recording the whole population into one snapshot — so merged percentiles
+// equal whole-population percentiles exactly (and a fortiori within one
+// bucket, the scheme's resolution).
+func TestMergePercentilesMatchWholePopulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		nParts := 2 + rng.Intn(6)
+		parts := make([]HistSnapshot, nParts)
+		var whole HistSnapshot
+		n := 500 + rng.Intn(3000)
+		for i := 0; i < n; i++ {
+			// Log-uniform latencies from 1us to ~100s, the histogram's
+			// working range.
+			us := int64(1) << uint(rng.Intn(27))
+			us += rng.Int63n(us)
+			recordInto(&whole, us)
+			recordInto(&parts[rng.Intn(nParts)], us)
+		}
+		var merged HistSnapshot
+		for _, p := range parts {
+			merged.Merge(p)
+		}
+		ws, ms := whole.Summary(), merged.Summary()
+		if ws != ms {
+			t.Fatalf("trial %d: merged summary %+v != whole-population summary %+v", trial, ms, ws)
+		}
+		for i := range whole.Counts {
+			if whole.Counts[i] != merged.Counts[i] {
+				t.Fatalf("trial %d: bucket %d: merged %d != whole %d", trial, i, merged.Counts[i], whole.Counts[i])
+			}
+		}
+	}
+}
+
+func TestMergeEmptySnapshots(t *testing.T) {
+	var a, b HistSnapshot
+	a.Merge(b)
+	if s := a.Summary(); s.Count != 0 || s.P95 != 0 || s.Max != 0 {
+		t.Fatalf("empty merge produced non-zero summary: %+v", s)
+	}
+
+	var populated HistSnapshot
+	recordInto(&populated, 1000)
+	recordInto(&populated, 2000)
+	before := populated.Summary()
+	populated.Merge(HistSnapshot{}) // nil Counts: must be a no-op
+	if after := populated.Summary(); after != before {
+		t.Fatalf("merging an empty snapshot changed the summary: %+v -> %+v", before, after)
+	}
+
+	var zero HistSnapshot
+	zero.Merge(populated) // zero-value target must grow and take the content
+	if got := zero.Summary(); got != before {
+		t.Fatalf("merge into zero-value target: got %+v, want %+v", got, before)
+	}
+}
+
+// TestMergeMismatchedLengths covers snapshots whose Counts slices differ in
+// length (sparse wire decodes allocate only up to the highest occupied
+// bucket): the shorter side must grow, never truncate or panic.
+func TestMergeMismatchedLengths(t *testing.T) {
+	short := HistSnapshot{Counts: []int64{0, 3, 1}, SumUS: 5, MaxUS: 2}
+	long := HistSnapshot{Counts: make([]int64, NumBuckets), SumUS: 40000, MaxUS: 20000}
+	long.Counts[bucketFor(20000)] = 2
+
+	a := short.Clone()
+	a.Merge(long)
+	if len(a.Counts) != NumBuckets {
+		t.Fatalf("short target did not grow: len=%d", len(a.Counts))
+	}
+	b := long.Clone()
+	b.Merge(short)
+	if len(b.Counts) != NumBuckets {
+		t.Fatalf("long target changed length: len=%d", len(b.Counts))
+	}
+	// Merge is commutative on content.
+	sa, sb := a.Summary(), b.Summary()
+	if sa != sb {
+		t.Fatalf("merge not commutative: %+v vs %+v", sa, sb)
+	}
+	if sa.Count != 6 || sa.Max != 20000*time.Microsecond {
+		t.Fatalf("unexpected merged summary: %+v", sa)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	var a HistSnapshot
+	recordInto(&a, 500)
+	c := a.Clone()
+	c.Counts[bucketFor(500)] = 99
+	c.SumUS = 1
+	if a.Counts[bucketFor(500)] != 1 || a.SumUS != 500 {
+		t.Fatalf("clone shares state with original: %+v", a)
+	}
+}

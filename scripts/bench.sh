@@ -14,13 +14,16 @@
 #                       next to the pre-histogram baseline (commit fafef9a)
 #
 # Usage: scripts/bench.sh [hotpath.json] [storage.json] [obsv.json]
-#        scripts/bench.sh --compare <baseline.json> [current.json]
+#        scripts/bench.sh --compare <baseline.json> [current.json] [--allow-missing]
 #
 # The --compare mode prints per-benchmark deltas for tps, ns_op, and
 # allocs_op over the benchmarks the two records share, and exits nonzero
-# when any metric regresses by more than 5%. With current.json omitted it
-# reruns the engine macro benchmarks and compares the fresh numbers against
-# the baseline record.
+# when any metric regresses by more than 5%. A benchmark recorded in the
+# baseline but absent from the current run also fails the gate (silently
+# dropping a benchmark is how regressions hide); pass --allow-missing to
+# downgrade that to a warning when the omission is intentional. With
+# current.json omitted it reruns the engine macro benchmarks and compares
+# the fresh numbers against the baseline record.
 #
 # Environment knobs:
 #   BENCHTIME_MICRO  benchtime for the micro benchmarks (default 200000x)
@@ -29,7 +32,9 @@
 #                    testing package reuses the sub-benchmark discovery run
 #                    for the first -cpu column, which executes at the wrong
 #                    GOMAXPROCS.
-#   CPU_LIST         -cpu sweep for the scaling benchmarks (default 1,2,4,8)
+#   CPU_LIST         -cpu sweep for the scaling benchmarks (default
+#                    1,2,4,8,16; the 16-wide column probes lock contention
+#                    well past the physical core count)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -59,21 +64,26 @@ render() {
     }' | sed '$ s/},$/}/'
 }
 
-# compare_records <baseline.json> <current.json> — per-benchmark deltas over
-# the intersection of names, exit 1 on any >5% regression. Parsing is
-# line-oriented (each benchmark entry in the BENCH_*.json records is one
-# object per line); when a name appears in both a "baseline" and a "current"
-# section of the same file, the later entry wins. The fixed-duration engine
-# benchmarks count a whole 500ms run in allocs_op, so when a row also
-# reports tps the gate compares allocs_op/tps — proportional to allocations
-# per transaction — instead of the raw per-run count.
+# compare_records <baseline.json> <current.json> [allow_missing] —
+# per-benchmark deltas over the intersection of names, exit 1 on any >5%
+# regression. A benchmark present in the baseline but absent from the current
+# run fails the gate too — a silently dropped benchmark is how regressions
+# hide — unless allow_missing=1 (the --allow-missing flag), which downgrades
+# it to a warning. Parsing is line-oriented (each benchmark entry in the
+# BENCH_*.json records is one object per line); when a name appears in both a
+# "baseline" and a "current" section of the same file, the later entry wins.
+# The fixed-duration engine benchmarks count a whole 500ms run in allocs_op,
+# so when a row also reports tps the gate compares allocs_op/tps —
+# proportional to allocations per transaction — instead of the raw per-run
+# count.
 compare_records() {
-    awk -v base="$1" -v cur="$2" '
+    awk -v base="$1" -v cur="$2" -v allow_missing="${3:-0}" '
     function load(file, tbl,    line, name) {
         while ((getline line < file) > 0) {
             if (match(line, /"name": "[^"]+"/) == 0) continue
             name = substr(line, RSTART + 9, RLENGTH - 10)
             if (file == cur && !(name in seen)) { seen[name] = 1; order[++n] = name }
+            if (file == base && !(name in bseen)) { bseen[name] = 1; border[++bn] = name }
             if (match(line, /"tps": [0-9.]+/))       tbl[name, "tps"] = substr(line, RSTART + 7, RLENGTH - 7) + 0
             if (match(line, /"ns_op": [0-9.]+/))     tbl[name, "ns_op"] = substr(line, RSTART + 9, RLENGTH - 9) + 0
             if (match(line, /"allocs_op": [0-9.]+/)) tbl[name, "allocs_op"] = substr(line, RSTART + 13, RLENGTH - 13) + 0
@@ -90,10 +100,17 @@ compare_records() {
         printf "%-52s %-10s %14.6g %14.6g %+8.1f%%%s\n", name, metric, b, c, d, flag
     }
     BEGIN {
-        n = 0; fails = 0; compared = 0
+        n = 0; bn = 0; fails = 0; compared = 0; missing = 0
         load(cur, curtbl)
         load(base, basetbl)
         printf "%-52s %-10s %14s %14s %9s\n", "benchmark", "metric", "baseline", "current", "delta"
+        for (i = 1; i <= bn; i++) {
+            name = border[i]
+            if (name in seen) continue
+            missing++
+            printf "%-52s %-10s %14s %14s %9s  %s\n", name, "-", "present", "absent", "-",
+                (allow_missing ? "MISSING (allowed)" : "MISSING")
+        }
         for (i = 1; i <= n; i++) {
             name = order[i]
             if (((name, "tps") in basetbl) && ((name, "tps") in curtbl))
@@ -109,14 +126,39 @@ compare_records() {
             }
         }
         if (compared == 0) { print "compare: no overlapping benchmarks between records" > "/dev/stderr"; exit 2 }
+        if (missing > 0 && !allow_missing) {
+            printf "compare: %d baseline benchmark(s) missing from the current run (use --allow-missing to waive)\n",
+                missing > "/dev/stderr"
+            exit 1
+        }
         if (fails > 0) { printf "compare: %d metric(s) regressed beyond 5%%\n", fails > "/dev/stderr"; exit 1 }
+        if (missing > 0) printf "compare: %d baseline benchmark(s) missing from the current run (allowed)\n", missing
         printf "compare: %d metric(s) within the 5%% envelope\n", compared
     }'
 }
 
 if [ "${1:-}" = "--compare" ]; then
-    BASELINE=${2:?usage: scripts/bench.sh --compare <baseline.json> [current.json]}
-    CURRENT=${3:-}
+    shift
+    ALLOW_MISSING=0
+    BASELINE=""
+    CURRENT=""
+    for arg in "$@"; do
+        case "$arg" in
+        --allow-missing) ALLOW_MISSING=1 ;;
+        *)
+            if [ -z "$BASELINE" ]; then BASELINE=$arg
+            elif [ -z "$CURRENT" ]; then CURRENT=$arg
+            else
+                echo "usage: scripts/bench.sh --compare <baseline.json> [current.json] [--allow-missing]" >&2
+                exit 2
+            fi
+            ;;
+        esac
+    done
+    if [ -z "$BASELINE" ]; then
+        echo "usage: scripts/bench.sh --compare <baseline.json> [current.json] [--allow-missing]" >&2
+        exit 2
+    fi
     if [ -z "$CURRENT" ]; then
         echo "==> fresh engine macro run for compare (EngineYCSB)"
         FRESH=$(go test -count=1 -run '^$' \
@@ -132,7 +174,7 @@ if [ "${1:-}" = "--compare" ]; then
             echo '}'
         } > "$CURRENT"
     fi
-    compare_records "$BASELINE" "$CURRENT"
+    compare_records "$BASELINE" "$CURRENT" "$ALLOW_MISSING"
     exit 0
 fi
 
@@ -151,10 +193,10 @@ MACRO=$(go test -count=1 -run '^$' \
     -bench 'BenchmarkEngineYCSB_|BenchmarkAblation_Index' \
     -benchmem -benchtime "${BENCHTIME_MACRO:-2x}" . | grep '^Benchmark')
 
-echo "==> storage scaling benchmarks (-cpu ${CPU_LIST:-1,2,4,8} worker sweep)"
+echo "==> storage scaling benchmarks (-cpu ${CPU_LIST:-1,2,4,8,16} worker sweep)"
 SCALE=$(go test -count=1 -run '^$' \
     -bench 'BenchmarkEngineYCSBScale' \
-    -benchtime "${BENCHTIME_MACRO:-2x}" -cpu "${CPU_LIST:-1,2,4,8}" . |
+    -benchtime "${BENCHTIME_MACRO:-2x}" -cpu "${CPU_LIST:-1,2,4,8,16}" . |
     grep '^Benchmark')
 
 echo "==> sustained-update p99 (vacuum ablation)"

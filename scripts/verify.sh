@@ -48,8 +48,15 @@ echo "==> benchlint hotpath-alloc (batch hot-path allocation gate)"
 # instead of hiding in the full-tree run above.
 go run ./cmd/benchlint -rule hotpath-alloc ./internal/...
 
-echo "==> go test -race (short) core/stats/sqldb/wal/api"
-go test -race -short -count=1 ./internal/core/... ./internal/stats/... ./internal/sqldb/... ./internal/wal/ ./internal/api/
+echo "==> go test -race (short) core/stats/sqldb/wal/api/cluster"
+go test -race -short -count=1 ./internal/core/... ./internal/stats/... ./internal/sqldb/... ./internal/wal/ ./internal/api/ ./internal/cluster/
+
+echo "==> cluster merge gate (-race): coordinator + 2 in-process workers"
+# Short YCSB burst through the coordinator/worker wire: merged committed
+# count must equal the sum of the per-worker totals exactly, and merged
+# percentiles must land within 10% of a single-collector oracle built by
+# merging the workers' own histograms in-process.
+go test -race -count=1 -run 'TestClusterGateMergedExactness' ./internal/cluster/
 
 echo "==> observability smoke (/metrics exposition, SSE stream, error envelope)"
 go test -count=1 -run 'TestMetricsEndpoint|TestStreamEndpoint|TestStreamWhilePaused|TestErrorEnvelope' ./internal/api/
