@@ -47,14 +47,18 @@ func main() {
 		workerOf   = flag.String("worker", "", "run as worker agent; coordinator HTTP base URL or control-wire address")
 		engineAddr = flag.String("engine-server", "", "serve the embedded engine to remote workers on this address")
 		commitLat  = flag.Duration("commit-delay", 0, "engine-server only: extra per-commit latency emulating durable/replicated commits")
+		serveMode  = flag.Bool("serve", false, "API-only server: workloads start, capture, and synthesize via /api/v1 (requires -http)")
 	)
 	flag.Parse()
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
-	// Cluster modes replace the single-process game loop entirely.
+	// Serve and cluster modes replace the single-process game loop entirely.
 	switch {
+	case *serveMode:
+		runServe(ctx, *httpAddr)
+		return
 	case *coordAddr != "":
 		runCoordinator(ctx, *coordAddr, *httpAddr)
 		return

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"benchpress/internal/api"
+	"benchpress/internal/benchmarks/synthetic"
+	"benchpress/internal/core"
+	"benchpress/internal/dbdriver"
+	"benchpress/internal/monitor"
+	"benchpress/internal/synth"
+)
+
+// Serve-mode defaults for workloads started over the API without explicit
+// settings.
+const (
+	serveDefaultScale     = 0.2
+	serveDefaultTerminals = 8
+	serveDefaultDuration  = 60 * time.Second
+)
+
+// runServe is the API-only mode: no game, no initial workload — every
+// workload is started, captured, synthesized, and stopped through
+// /api/v1. This is the REST surface the capture → synthesize → replay
+// round trip drives end to end.
+func runServe(ctx context.Context, addr string) {
+	if addr == "" {
+		fatal(fmt.Errorf("-serve requires -http addr"))
+	}
+	mon := monitor.New(time.Second)
+	mon.Start()
+	defer mon.Stop()
+	srv := api.NewServer(mon)
+	srv.StartWorkload = startWorkloadFunc(ctx, srv)
+
+	server := &http.Server{Addr: addr, Handler: srv.Handler()}
+	//lint:ignore bare-goroutine Shutdown below is the completion path; ListenAndServe only returns on close
+	go func() {
+		if err := server.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "benchpress: http:", err)
+		}
+	}()
+	fmt.Printf("== BenchPress API server on http://%s/api/v1 (POST /api/v1/workloads to begin)\n", addr)
+	<-ctx.Done()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	_ = server.Shutdown(shutCtx) // exiting anyway; managers stop with the context
+}
+
+// startWorkloadFunc builds the POST /api/v1/workloads handler's launcher:
+// prepare a benchmark (or a synthetic replay of a stored profile), start
+// its manager, and hand it back to the API for registration.
+func startWorkloadFunc(ctx context.Context, srv *api.Server) func(api.StartRequest) (*core.Manager, error) {
+	return func(req api.StartRequest) (*core.Manager, error) {
+		if req.Benchmark == "" {
+			return nil, fmt.Errorf("benchmark required")
+		}
+		scale := req.Scale
+		if scale <= 0 {
+			scale = serveDefaultScale
+		}
+		terminals := req.Terminals
+		if terminals <= 0 {
+			terminals = serveDefaultTerminals
+		}
+		dur := serveDefaultDuration
+		if req.DurationSec > 0 {
+			dur = time.Duration(req.DurationSec * float64(time.Second))
+		}
+		dbms := req.DBMS
+		if dbms == "" {
+			dbms = "gomvcc"
+		}
+
+		var (
+			bench   core.Benchmark
+			arrival *core.ArrivalSpec
+			err     error
+		)
+		if strings.EqualFold(req.Benchmark, "synthetic") && req.ResolvedProfile != nil {
+			// Replay a stored profile: the profile fixes the source schema
+			// and scale, and the synthesizer derives the open-loop arrival
+			// spec from the capture plus the request's dials.
+			var sb *synthetic.Benchmark
+			sb, err = synthetic.FromProfile(req.ResolvedProfile)
+			if err != nil {
+				return nil, err
+			}
+			var syn *synth.Synthesizer
+			syn, err = synth.NewSynthesizer(req.ResolvedProfile, req.Amplify)
+			if err != nil {
+				return nil, err
+			}
+			syn.Process = req.Process
+			syn.Skew = req.Skew
+			spec := syn.Spec()
+			arrival = &spec
+			bench = sb
+			scale = req.ResolvedProfile.Scale
+		} else {
+			bench, err = core.NewBenchmark(req.Benchmark, scale)
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		db, err := dbdriver.Open(dbms)
+		if err != nil {
+			return nil, err
+		}
+		if err := core.Prepare(bench, db, time.Now().UnixNano()%100000+1); err != nil {
+			db.Close()
+			return nil, err
+		}
+		name := req.Name
+		if name == "" {
+			name = bench.Name()
+		}
+		m := core.NewManager(bench, db, []core.Phase{{Duration: dur, Rate: req.Rate}},
+			core.Options{Name: name, Terminals: terminals})
+		if req.Mix != nil {
+			m.SetMix(req.Mix)
+		}
+		if arrival != nil {
+			if err := m.SetArrival(*arrival); err != nil {
+				db.Close()
+				return nil, err
+			}
+		}
+		srv.RecordScale(name, scale)
+		//lint:ignore bare-goroutine Manager.Run signals completion through Manager.Done(); DELETE /workloads/{name} is the shutdown path
+		go func() {
+			if err := m.Run(ctx); err != nil && err != context.Canceled {
+				fmt.Fprintf(os.Stderr, "benchpress: workload %s: %v\n", name, err)
+			}
+			db.Close()
+		}()
+		return m, nil
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"benchpress/internal/core"
 	"benchpress/internal/monitor"
 	"benchpress/internal/stats"
+	"benchpress/internal/synth"
 )
 
 // maxBodyBytes bounds every request body the API decodes.
@@ -61,15 +62,41 @@ type Server struct {
 	// StartWorkload, when set, handles POST /api/v1/workloads: it prepares
 	// and launches an additional workload and returns its manager.
 	StartWorkload func(req StartRequest) (*core.Manager, error)
+
+	// Workload-synthesis state: running captures by workload key, stored
+	// profiles by id, and the scale factors recorded for capture metadata
+	// (the manager itself does not retain the scale it was prepared at).
+	synthMu    sync.Mutex
+	captures   map[string]*synth.Capture
+	profiles   map[string]*synth.Profile
+	profileSeq int
+	scales     map[string]float64
 }
 
 // NewServer wraps the given workloads (more may be added at runtime).
 func NewServer(mon *monitor.Monitor, managers ...*core.Manager) *Server {
-	s := &Server{workloads: map[string]*core.Manager{}, monitor: mon}
+	s := &Server{
+		workloads: map[string]*core.Manager{},
+		monitor:   mon,
+		captures:  map[string]*synth.Capture{},
+		profiles:  map[string]*synth.Profile{},
+		scales:    map[string]float64{},
+	}
 	for _, m := range managers {
 		s.Add(m)
 	}
 	return s
+}
+
+// RecordScale notes a workload's scale factor so a later capture can stamp
+// it into the profile.
+func (s *Server) RecordScale(name string, scale float64) {
+	if scale <= 0 {
+		return
+	}
+	s.synthMu.Lock()
+	defer s.synthMu.Unlock()
+	s.scales[strings.ToLower(name)] = scale
 }
 
 // Add registers a running workload with the API.
@@ -151,6 +178,10 @@ type StatusResponse struct {
 	TypeStats  []TypeStat         `json:"types"`
 	ElapsedSec float64            `json:"elapsed_sec"`
 	Resources  *ResourcesResponse `json:"resources,omitempty"`
+	// Arrival is the installed arrival process (Process "closed" when the
+	// legacy rate limiter governs); Capturing reports an attached capture.
+	Arrival   *ArrivalState `json:"arrival,omitempty"`
+	Capturing bool          `json:"capturing"`
 }
 
 // TypeStat is per-transaction-type feedback, cumulative over the run.
@@ -174,7 +205,10 @@ type ResourcesResponse struct {
 	HostStats    bool    `json:"host_stats"`
 }
 
-// StartRequest is the POST /api/v1/workloads payload.
+// StartRequest is the POST /api/v1/workloads payload. For
+// benchmark "synthetic", Profile names a stored workload profile and the
+// synthesis dials (Amplify, Process, Skew) shape the replay's open-loop
+// arrival spec.
 type StartRequest struct {
 	Name        string    `json:"name"` // workload label (defaults to benchmark)
 	Benchmark   string    `json:"benchmark"`
@@ -184,6 +218,16 @@ type StartRequest struct {
 	DurationSec float64   `json:"duration_sec"`
 	Rate        float64   `json:"rate"`
 	Mix         []float64 `json:"mix"`
+	// Profile is the stored profile id to synthesize from (benchmark
+	// "synthetic" only); Amplify is the x-N-users dial (default 1), Process
+	// overrides the arrival process kind, Skew sets the hot-key dial.
+	Profile string  `json:"profile,omitempty"`
+	Amplify float64 `json:"amplify,omitempty"`
+	Process string  `json:"process,omitempty"`
+	Skew    float64 `json:"skew,omitempty"`
+	// ResolvedProfile is filled by the server before StartWorkload runs: the
+	// stored profile the id referred to.
+	ResolvedProfile *synth.Profile `json:"-"`
 }
 
 // snapshotToResponse builds the status payload for one manager.
@@ -212,7 +256,10 @@ func (s *Server) snapshotToResponse(m *core.Manager) StatusResponse {
 		Retries:    st.Snapshot.Retries,
 		Postponed:  st.Postponed,
 		ElapsedSec: st.Snapshot.Elapsed.Seconds(),
+		Capturing:  st.Capturing,
 	}
+	ar := arrivalStateOf("", st.Arrival, st.EffectiveRate)
+	resp.Arrival = &ar
 	for i, name := range st.Snapshot.TypeNames {
 		tl := st.Snapshot.TypeLat[i]
 		resp.TypeStats = append(resp.TypeStats, TypeStat{
@@ -240,96 +287,6 @@ func (s *Server) snapshotToResponse(m *core.Manager) StatusResponse {
 }
 
 func msOf(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
-
-// Handler returns the HTTP mux implementing the API.
-func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-
-	// Versioned resource routes.
-	mux.HandleFunc("GET /api/v1/workloads", s.v1ListWorkloads)
-	mux.HandleFunc("POST /api/v1/workloads", s.v1CreateWorkload)
-	mux.HandleFunc("GET /api/v1/workloads/{name}", s.v1Status)
-	mux.HandleFunc("DELETE /api/v1/workloads/{name}", s.v1DeleteWorkload)
-	mux.HandleFunc("GET /api/v1/workloads/{name}/windows", s.v1Windows)
-	mux.HandleFunc("GET /api/v1/workloads/{name}/stream", s.v1Stream)
-	mux.HandleFunc("GET /api/v1/workloads/{name}/rate", s.v1GetRate)
-	mux.HandleFunc("POST /api/v1/workloads/{name}/rate", s.v1SetRate)
-	mux.HandleFunc("GET /api/v1/workloads/{name}/mixture", s.v1GetMixture)
-	mux.HandleFunc("POST /api/v1/workloads/{name}/mixture", s.v1SetMixture)
-	mux.HandleFunc("POST /api/v1/workloads/{name}/pause", s.v1Pause)
-	mux.HandleFunc("POST /api/v1/workloads/{name}/resume", s.v1Resume)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-
-	// Cluster coordination (answers 404 unless EnableCluster was called).
-	mux.HandleFunc("POST /api/v1/cluster/workers", s.v1ClusterRegister)
-	mux.HandleFunc("GET /api/v1/cluster", s.v1ClusterStatus)
-	mux.HandleFunc("GET /api/v1/cluster/workers", s.v1ClusterWorkers)
-	mux.HandleFunc("DELETE /api/v1/cluster/workers/{id}", s.v1ClusterEvict)
-	mux.HandleFunc("GET /api/v1/cluster/rate", s.v1ClusterGetRate)
-	mux.HandleFunc("POST /api/v1/cluster/rate", s.v1ClusterSetRate)
-	mux.HandleFunc("GET /api/v1/cluster/mixture", s.v1ClusterGetMixture)
-	mux.HandleFunc("POST /api/v1/cluster/mixture", s.v1ClusterSetMixture)
-	mux.HandleFunc("POST /api/v1/cluster/pause", s.v1ClusterPause)
-	mux.HandleFunc("POST /api/v1/cluster/resume", s.v1ClusterResume)
-	mux.HandleFunc("GET /api/v1/cluster/windows", s.v1ClusterWindows)
-	mux.HandleFunc("GET /api/v1/cluster/stream", s.v1ClusterStream)
-
-	// Method-less fallbacks: Go 1.22's ServeMux would answer a wrong-method
-	// request with a text/plain 405; registering the bare path keeps the
-	// JSON envelope and an explicit Allow header.
-	mux.HandleFunc("/api/v1/workloads", allowOnly("GET, POST"))
-	mux.HandleFunc("/api/v1/workloads/{name}", allowOnly("GET, DELETE"))
-	mux.HandleFunc("/api/v1/workloads/{name}/windows", allowOnly("GET"))
-	mux.HandleFunc("/api/v1/workloads/{name}/stream", allowOnly("GET"))
-	mux.HandleFunc("/api/v1/workloads/{name}/rate", allowOnly("GET, POST"))
-	mux.HandleFunc("/api/v1/workloads/{name}/mixture", allowOnly("GET, POST"))
-	mux.HandleFunc("/api/v1/workloads/{name}/pause", allowOnly("POST"))
-	mux.HandleFunc("/api/v1/workloads/{name}/resume", allowOnly("POST"))
-	mux.HandleFunc("/metrics", allowOnly("GET"))
-	mux.HandleFunc("/api/v1/cluster", allowOnly("GET"))
-	mux.HandleFunc("/api/v1/cluster/workers", allowOnly("GET, POST"))
-	mux.HandleFunc("/api/v1/cluster/workers/{id}", allowOnly("DELETE"))
-	mux.HandleFunc("/api/v1/cluster/rate", allowOnly("GET, POST"))
-	mux.HandleFunc("/api/v1/cluster/mixture", allowOnly("GET, POST"))
-	mux.HandleFunc("/api/v1/cluster/pause", allowOnly("POST"))
-	mux.HandleFunc("/api/v1/cluster/resume", allowOnly("POST"))
-	mux.HandleFunc("/api/v1/cluster/windows", allowOnly("GET"))
-	mux.HandleFunc("/api/v1/cluster/stream", allowOnly("GET"))
-
-	// Deprecated flat aliases kept for existing clients (the TUI's polling
-	// page and recorded scripts). They carry a Deprecation header naming
-	// the successor resource.
-	alias := func(pattern, successor string, h http.HandlerFunc) {
-		mux.HandleFunc(pattern, deprecated(successor, h))
-		if i := strings.IndexByte(pattern, ' '); i >= 0 {
-			mux.HandleFunc(pattern[i+1:], allowOnly(pattern[:i]))
-		}
-	}
-	alias("GET /status", "/api/v1/workloads/{name}", s.handleStatus)
-	alias("GET /workloads", "/api/v1/workloads", s.handleWorkloads)
-	alias("GET /windows", "/api/v1/workloads/{name}/windows", s.handleWindows)
-	alias("POST /rate", "/api/v1/workloads/{name}/rate", s.handleRate)
-	alias("POST /mixture", "/api/v1/workloads/{name}/mixture", s.handleMixture)
-	alias("POST /pause", "/api/v1/workloads/{name}/pause", s.handlePause)
-	alias("POST /resume", "/api/v1/workloads/{name}/resume", s.handleResume)
-	alias("POST /benchmark", "/api/v1/workloads", s.handleStartBenchmark)
-
-	// Everything else is a JSON 404 rather than the mux's text/plain one.
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		writeErr(w, http.StatusNotFound, "not_found",
-			fmt.Errorf("api: no such resource %s", r.URL.Path))
-	})
-	return mux
-}
-
-// deprecated marks a legacy flat route with standard deprecation headers.
-func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Deprecation", "true")
-		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
-		h(w, r)
-	}
-}
 
 // allowOnly answers any unmatched method on a known path with a JSON 405.
 func allowOnly(methods string) http.HandlerFunc {
@@ -422,12 +379,21 @@ func (s *Server) v1CreateWorkload(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
+	if req.Profile != "" {
+		p, err := s.profileByID(req.Profile)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, "not_found", err)
+			return
+		}
+		req.ResolvedProfile = p
+	}
 	m, err := s.StartWorkload(req)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "bad_request", err)
 		return
 	}
 	s.Add(m)
+	s.RecordScale(m.Name(), req.Scale)
 	w.Header().Set("Location", "/api/v1/workloads/"+strings.ToLower(m.Name()))
 	writeJSON(w, http.StatusCreated, s.snapshotToResponse(m))
 }
@@ -453,6 +419,13 @@ func (s *Server) v1DeleteWorkload(w http.ResponseWriter, r *http.Request) {
 	}
 	m.Stop()
 	s.Remove(m.Name())
+	// Drop any synthesis state tied to the workload; an unfinished capture
+	// dies with it (its profile was never materialized).
+	key := strings.ToLower(m.Name())
+	s.synthMu.Lock()
+	delete(s.captures, key)
+	delete(s.scales, key)
+	s.synthMu.Unlock()
 	writeJSON(w, http.StatusOK, DeleteResponse{Name: m.Name(), Deleted: true})
 }
 

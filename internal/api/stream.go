@@ -17,6 +17,10 @@ type StreamFrame struct {
 	WindowPoint
 	Errors int64        `json:"errors"`
 	Types  []TypeWindow `json:"types,omitempty"`
+	// Arrival carries the live arrival-process state on single-workload
+	// streams, so a mid-run POST .../arrival is visible in the next frame
+	// (absent on merged cluster streams).
+	Arrival *ArrivalState `json:"arrival,omitempty"`
 }
 
 // TypeWindow is a per-transaction-type digest within one window.
@@ -77,7 +81,10 @@ func (s *Server) v1Stream(w http.ResponseWriter, r *http.Request) {
 		wins := c.WindowsSince(next) // forces rotation: frames even while paused
 		for _, win := range wins {
 			fmt.Fprintf(w, "id: %d\nevent: window\ndata: ", win.Index)
-			enc.Encode(streamFrame(m.Name(), c.Types(), win, dur)) // Encode appends the \n
+			frame := streamFrame(m.Name(), c.Types(), win, dur)
+			ar := arrivalStateOf("", m.Arrival(), m.EffectiveRate())
+			frame.Arrival = &ar
+			enc.Encode(frame) // Encode appends the \n
 			fmt.Fprint(w, "\n")
 			next = win.Index + 1
 		}

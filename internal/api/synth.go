@@ -1,0 +1,336 @@
+package api
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"benchpress/internal/core"
+	"benchpress/internal/synth"
+)
+
+// defaultSampleEvery is the parameter-sampling stride a capture starts with
+// when the request does not choose one: 1-in-8 attempts carry their
+// statement arguments into the profile's parameter distributions.
+const defaultSampleEvery = 8
+
+// sourced is implemented by benchmarks that wrap another one (the synthetic
+// benchmark); a capture of such a workload records the real source.
+type sourced interface {
+	Source() (string, float64)
+}
+
+// captureSource resolves the benchmark name and scale a capture should
+// stamp into its profile.
+func (s *Server) captureSource(m *core.Manager) (string, float64) {
+	if src, ok := m.Benchmark().(sourced); ok {
+		return src.Source()
+	}
+	s.synthMu.Lock()
+	scale := s.scales[strings.ToLower(m.Name())]
+	s.synthMu.Unlock()
+	if scale <= 0 {
+		scale = 1
+	}
+	return m.Benchmark().Name(), scale
+}
+
+// ---- capture resource ----
+
+// captureRequest is the optional POST .../capture payload.
+type captureRequest struct {
+	// SampleEvery is the parameter-sampling stride: every Nth attempt's
+	// statement arguments feed the profile's parameter distributions
+	// (default 8; 1 samples every attempt).
+	SampleEvery int `json:"sample_every"`
+}
+
+// CaptureResponse is the capture status payload.
+type CaptureResponse struct {
+	Workload string `json:"workload"`
+	synth.CaptureStatus
+}
+
+func (s *Server) v1GetCapture(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.pathWorkload(w, r)
+	if !ok {
+		return
+	}
+	s.synthMu.Lock()
+	c := s.captures[strings.ToLower(m.Name())]
+	s.synthMu.Unlock()
+	if c == nil {
+		writeErr(w, http.StatusNotFound, "not_found",
+			fmt.Errorf("api: workload %q is not capturing", m.Name()))
+		return
+	}
+	writeJSON(w, http.StatusOK, CaptureResponse{Workload: m.Name(), CaptureStatus: c.Status()})
+}
+
+func (s *Server) v1StartCapture(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.pathWorkload(w, r)
+	if !ok {
+		return
+	}
+	req := captureRequest{SampleEvery: defaultSampleEvery}
+	if r.ContentLength != 0 {
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+	}
+	if req.SampleEvery < 1 {
+		req.SampleEvery = 1
+	}
+	bench, scale := s.captureSource(m)
+	key := strings.ToLower(m.Name())
+	s.synthMu.Lock()
+	if s.captures[key] != nil {
+		s.synthMu.Unlock()
+		writeErr(w, http.StatusConflict, "conflict",
+			fmt.Errorf("api: workload %q is already capturing", m.Name()))
+		return
+	}
+	c := synth.NewCapture(bench, m.Status().DBMS, scale)
+	s.captures[key] = c
+	s.synthMu.Unlock()
+	m.SetCapture(c, req.SampleEvery)
+	w.Header().Set("Location", "/api/v1/workloads/"+key+"/capture")
+	writeJSON(w, http.StatusCreated, CaptureResponse{Workload: m.Name(), CaptureStatus: c.Status()})
+}
+
+func (s *Server) v1FinishCapture(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.pathWorkload(w, r)
+	if !ok {
+		return
+	}
+	key := strings.ToLower(m.Name())
+	s.synthMu.Lock()
+	c := s.captures[key]
+	delete(s.captures, key)
+	s.synthMu.Unlock()
+	if c == nil {
+		writeErr(w, http.StatusNotFound, "not_found",
+			fmt.Errorf("api: workload %q is not capturing", m.Name()))
+		return
+	}
+	// Detach before finalizing so the totals stop moving.
+	m.SetCapture(nil, 0)
+	if r.URL.Query().Get("discard") == "true" {
+		writeJSON(w, http.StatusOK, map[string]any{"workload": m.Name(), "discarded": true})
+		return
+	}
+	s.synthMu.Lock()
+	s.profileSeq++
+	id := fmt.Sprintf("p%d", s.profileSeq)
+	s.synthMu.Unlock()
+	p, err := c.Finish(id)
+	if err != nil {
+		writeErr(w, http.StatusConflict, "conflict",
+			fmt.Errorf("api: capture not usable as a profile: %w", err))
+		return
+	}
+	p.Name = m.Name()
+	s.synthMu.Lock()
+	s.profiles[id] = p
+	s.synthMu.Unlock()
+	w.Header().Set("Location", "/api/v1/profiles/"+id)
+	writeJSON(w, http.StatusCreated, p)
+}
+
+// ---- profile registry ----
+
+// ProfileSummary is one row of the GET /api/v1/profiles listing.
+type ProfileSummary struct {
+	ID          string  `json:"id"`
+	Name        string  `json:"name,omitempty"`
+	Benchmark   string  `json:"benchmark"`
+	Scale       float64 `json:"scale"`
+	DBMS        string  `json:"dbms,omitempty"`
+	Rate        float64 `json:"rate"`
+	DurationSec float64 `json:"duration_sec"`
+	Attempts    int64   `json:"attempts"`
+	Types       int     `json:"types"`
+	CreatedUnix int64   `json:"created_unix,omitempty"`
+}
+
+// ProfileList is the GET /api/v1/profiles payload.
+type ProfileList struct {
+	Profiles []ProfileSummary `json:"profiles"`
+}
+
+func summaryOf(p *synth.Profile) ProfileSummary {
+	return ProfileSummary{
+		ID:          p.ID,
+		Name:        p.Name,
+		Benchmark:   p.Benchmark,
+		Scale:       p.Scale,
+		DBMS:        p.DBMS,
+		Rate:        p.Rate,
+		DurationSec: p.DurationSec,
+		Attempts:    p.TotalAttempts(),
+		Types:       len(p.Types),
+		CreatedUnix: p.CreatedUnix,
+	}
+}
+
+func (s *Server) v1ListProfiles(w http.ResponseWriter, r *http.Request) {
+	s.synthMu.Lock()
+	out := ProfileList{Profiles: []ProfileSummary{}}
+	for _, p := range s.profiles {
+		out.Profiles = append(out.Profiles, summaryOf(p))
+	}
+	s.synthMu.Unlock()
+	sort.Slice(out.Profiles, func(i, j int) bool { return out.Profiles[i].ID < out.Profiles[j].ID })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) v1UploadProfile(w http.ResponseWriter, r *http.Request) {
+	var p synth.Profile
+	if !decodeJSON(w, r, &p) {
+		return
+	}
+	if err := p.Validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_request", err)
+		return
+	}
+	if p.CreatedUnix == 0 {
+		p.CreatedUnix = time.Now().Unix()
+	}
+	s.synthMu.Lock()
+	s.profileSeq++
+	p.ID = fmt.Sprintf("p%d", s.profileSeq)
+	s.profiles[p.ID] = &p
+	s.synthMu.Unlock()
+	w.Header().Set("Location", "/api/v1/profiles/"+p.ID)
+	writeJSON(w, http.StatusCreated, &p)
+}
+
+// profileByID resolves a stored profile.
+func (s *Server) profileByID(id string) (*synth.Profile, error) {
+	s.synthMu.Lock()
+	defer s.synthMu.Unlock()
+	p, ok := s.profiles[id]
+	if !ok {
+		return nil, fmt.Errorf("api: unknown profile %q", id)
+	}
+	return p, nil
+}
+
+func (s *Server) v1GetProfile(w http.ResponseWriter, r *http.Request) {
+	p, err := s.profileByID(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "not_found", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, p)
+}
+
+func (s *Server) v1DeleteProfile(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.synthMu.Lock()
+	_, ok := s.profiles[id]
+	delete(s.profiles, id)
+	s.synthMu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "not_found",
+			fmt.Errorf("api: unknown profile %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "deleted": true})
+}
+
+// ---- arrival resource ----
+
+// ArrivalState is the GET/POST .../arrival payload: the installed arrival
+// process plus the instantaneous effective rate it currently yields.
+type ArrivalState struct {
+	Workload       string  `json:"workload,omitempty"`
+	Process        string  `json:"process"`
+	BaseRate       float64 `json:"base_rate"`
+	Multiplier     float64 `json:"multiplier"`
+	Shape          string  `json:"shape"`
+	ShapePeriodSec float64 `json:"shape_period_sec,omitempty"`
+	ShapeAmplitude float64 `json:"shape_amplitude,omitempty"`
+	BurstOnMS      float64 `json:"burst_on_ms,omitempty"`
+	BurstOffMS     float64 `json:"burst_off_ms,omitempty"`
+	BurstFactor    float64 `json:"burst_factor,omitempty"`
+	Skew           float64 `json:"skew"`
+	EffectiveRate  float64 `json:"effective_rate"`
+}
+
+func arrivalStateOf(workload string, sp core.ArrivalSpec, effective float64) ArrivalState {
+	return ArrivalState{
+		Workload:       workload,
+		Process:        sp.Process,
+		BaseRate:       sp.BaseRate,
+		Multiplier:     sp.Multiplier,
+		Shape:          sp.Shape,
+		ShapePeriodSec: sp.ShapePeriod.Seconds(),
+		ShapeAmplitude: sp.ShapeAmplitude,
+		BurstOnMS:      float64(sp.BurstOn) / float64(time.Millisecond),
+		BurstOffMS:     float64(sp.BurstOff) / float64(time.Millisecond),
+		BurstFactor:    sp.BurstFactor,
+		Skew:           sp.Skew,
+		EffectiveRate:  effective,
+	}
+}
+
+// arrivalRequest is the POST .../arrival payload; zero-valued fields keep
+// their defaults (BaseRate inherits the installed spec's base, or the
+// closed-loop rate target, so a client can dial the multiplier or skew
+// without restating the rate).
+type arrivalRequest struct {
+	Process        string  `json:"process"`
+	BaseRate       float64 `json:"base_rate"`
+	Multiplier     float64 `json:"multiplier"`
+	Shape          string  `json:"shape"`
+	ShapePeriodSec float64 `json:"shape_period_sec"`
+	ShapeAmplitude float64 `json:"shape_amplitude"`
+	BurstOnMS      float64 `json:"burst_on_ms"`
+	BurstOffMS     float64 `json:"burst_off_ms"`
+	BurstFactor    float64 `json:"burst_factor"`
+	Skew           float64 `json:"skew"`
+}
+
+func (s *Server) v1GetArrival(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.pathWorkload(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, arrivalStateOf(m.Name(), m.Arrival(), m.EffectiveRate()))
+}
+
+func (s *Server) v1SetArrival(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.pathWorkload(w, r)
+	if !ok {
+		return
+	}
+	var req arrivalRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	spec := core.ArrivalSpec{
+		Process:        req.Process,
+		BaseRate:       req.BaseRate,
+		Multiplier:     req.Multiplier,
+		Shape:          req.Shape,
+		ShapePeriod:    time.Duration(req.ShapePeriodSec * float64(time.Second)),
+		ShapeAmplitude: req.ShapeAmplitude,
+		BurstOn:        time.Duration(req.BurstOnMS * float64(time.Millisecond)),
+		BurstOff:       time.Duration(req.BurstOffMS * float64(time.Millisecond)),
+		BurstFactor:    req.BurstFactor,
+		Skew:           req.Skew,
+	}
+	if spec.BaseRate == 0 {
+		// Inherit the current base: the installed spec's, or the closed-loop
+		// rate target when none is installed.
+		spec.BaseRate = m.Arrival().BaseRate
+	}
+	if err := m.SetArrival(spec); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_request", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, arrivalStateOf(m.Name(), m.Arrival(), m.EffectiveRate()))
+}

@@ -1,0 +1,302 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"benchpress/internal/core"
+	"benchpress/internal/dbdriver"
+	"benchpress/internal/synth"
+)
+
+// startSynthServer is startTestServer but also returning the Server, so
+// synthesis tests can wire StartWorkload and inspect stored profiles.
+func startSynthServer(t *testing.T) (*httptest.Server, *Server, *core.Manager, context.CancelFunc) {
+	t.Helper()
+	db, err := dbdriver.Open("gomvcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(db.Close)
+	b := &apiBench{}
+	if err := core.Prepare(b, db, 1); err != nil {
+		t.Fatal(err)
+	}
+	m := core.NewManager(b, db, []core.Phase{{Duration: time.Hour, Rate: 300}}, core.Options{Terminals: 2, Name: "w1"})
+	ctx, cancel := context.WithCancel(context.Background())
+	go m.Run(ctx)
+	srv := NewServer(nil, m)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, srv, m, cancel
+}
+
+func TestV1CaptureLifecycle(t *testing.T) {
+	ts, _, m, cancel := startSynthServer(t)
+	defer cancel()
+	base := ts.URL + "/api/v1/workloads/w1/capture"
+
+	// No capture yet.
+	resp, data := doReq(t, "GET", base, "", nil)
+	if resp.StatusCode != 404 {
+		t.Fatalf("GET before start: %d %s", resp.StatusCode, data)
+	}
+
+	// Start capturing (empty body → default sampling stride).
+	resp, data = doReq(t, "POST", base, "", nil)
+	if resp.StatusCode != 201 {
+		t.Fatalf("POST: %d %s", resp.StatusCode, data)
+	}
+	if !m.Capturing() {
+		t.Fatal("manager not capturing after POST")
+	}
+
+	// Double start conflicts.
+	resp, data = doReq(t, "POST", base, "", nil)
+	if resp.StatusCode != 409 || decodeEnvelope(t, data) != "conflict" {
+		t.Fatalf("second POST: %d %s", resp.StatusCode, data)
+	}
+
+	// Let the capture see some traffic, then check live status.
+	time.Sleep(800 * time.Millisecond)
+	var st CaptureResponse
+	getJSON(t, base, &st)
+	if st.Workload != "w1" || st.Benchmark != "apibench" || st.Entries == 0 {
+		t.Fatalf("capture status: %+v", st)
+	}
+
+	// Finish into a stored profile.
+	resp, data = doReq(t, "DELETE", base, "", nil)
+	if resp.StatusCode != 201 {
+		t.Fatalf("DELETE: %d %s", resp.StatusCode, data)
+	}
+	var p synth.Profile
+	if err := json.Unmarshal(data, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.ID != "p1" || p.Benchmark != "apibench" || p.Rate <= 0 || len(p.Types) == 0 {
+		t.Fatalf("profile: %+v", p)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/api/v1/profiles/p1" {
+		t.Fatalf("location: %q", loc)
+	}
+	if m.Capturing() {
+		t.Fatal("manager still capturing after DELETE")
+	}
+
+	// Capture is gone; the profile is listed and retrievable.
+	resp, _ = doReq(t, "GET", base, "", nil)
+	if resp.StatusCode != 404 {
+		t.Fatalf("GET after finish: %d", resp.StatusCode)
+	}
+	var list ProfileList
+	getJSON(t, ts.URL+"/api/v1/profiles", &list)
+	if len(list.Profiles) != 1 || list.Profiles[0].ID != "p1" || list.Profiles[0].Attempts == 0 {
+		t.Fatalf("profile list: %+v", list)
+	}
+	var full synth.Profile
+	getJSON(t, ts.URL+"/api/v1/profiles/p1", &full)
+	if full.ID != "p1" || len(full.InterArrivalUS) == 0 {
+		t.Fatalf("stored profile: %+v", full)
+	}
+
+	// Delete the profile.
+	resp, _ = doReq(t, "DELETE", ts.URL+"/api/v1/profiles/p1", "", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("DELETE profile: %d", resp.StatusCode)
+	}
+	resp, data = doReq(t, "GET", ts.URL+"/api/v1/profiles/p1", "", nil)
+	if resp.StatusCode != 404 || decodeEnvelope(t, data) != "not_found" {
+		t.Fatalf("GET deleted profile: %d %s", resp.StatusCode, data)
+	}
+}
+
+func TestV1CaptureDiscard(t *testing.T) {
+	ts, _, m, cancel := startSynthServer(t)
+	defer cancel()
+	base := ts.URL + "/api/v1/workloads/w1/capture"
+	if resp, data := doReq(t, "POST", base, "", nil); resp.StatusCode != 201 {
+		t.Fatalf("POST: %d %s", resp.StatusCode, data)
+	}
+	resp, data := doReq(t, "DELETE", base+"?discard=true", "", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("DELETE discard: %d %s", resp.StatusCode, data)
+	}
+	if m.Capturing() {
+		t.Fatal("still capturing after discard")
+	}
+	var list ProfileList
+	getJSON(t, ts.URL+"/api/v1/profiles", &list)
+	if len(list.Profiles) != 0 {
+		t.Fatalf("discard stored a profile: %+v", list)
+	}
+}
+
+func TestV1ProfileUpload(t *testing.T) {
+	ts, _, _, cancel := startSynthServer(t)
+	defer cancel()
+
+	// The shipped example profile must upload cleanly.
+	data, err := os.ReadFile("../../configs/profile_example.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := doReq(t, "POST", ts.URL+"/api/v1/profiles", "application/json", data)
+	if resp.StatusCode != 201 {
+		t.Fatalf("upload: %d %s", resp.StatusCode, body)
+	}
+	var p synth.Profile
+	if err := json.Unmarshal(body, &p); err != nil {
+		t.Fatal(err)
+	}
+	// The server assigns its own id, ignoring the one in the file.
+	if p.ID != "p1" || p.Benchmark != "ycsb" {
+		t.Fatalf("uploaded profile: %+v", p)
+	}
+
+	// An invalid profile is rejected with the envelope.
+	resp, body = doReq(t, "POST", ts.URL+"/api/v1/profiles", "application/json",
+		[]byte(`{"benchmark":"ycsb","rate":0,"types":[]}`))
+	if resp.StatusCode != 400 || decodeEnvelope(t, body) != "bad_request" {
+		t.Fatalf("invalid upload: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestV1ArrivalResource(t *testing.T) {
+	ts, _, m, cancel := startSynthServer(t)
+	defer cancel()
+	base := ts.URL + "/api/v1/workloads/w1/arrival"
+
+	// Closed loop by default, reporting the rate target as the base.
+	var st ArrivalState
+	getJSON(t, base, &st)
+	if st.Process != "closed" || st.BaseRate != 300 || st.EffectiveRate != 300 {
+		t.Fatalf("default arrival: %+v", st)
+	}
+
+	// Install a Poisson process with amplification.
+	code := postJSON(t, base, map[string]any{
+		"process": "poisson", "base_rate": 100.0, "multiplier": 2.0}, &st)
+	if code != 200 {
+		t.Fatalf("POST: %d", code)
+	}
+	if st.Process != "poisson" || st.BaseRate != 100 || st.Multiplier != 2 || st.EffectiveRate != 200 {
+		t.Fatalf("installed arrival: %+v", st)
+	}
+	if got := m.Arrival(); got.Process != core.ProcessPoisson {
+		t.Fatalf("manager arrival: %+v", got)
+	}
+
+	// Re-dialing the multiplier inherits the base rate.
+	code = postJSON(t, base, map[string]any{"process": "poisson", "multiplier": 5.0}, &st)
+	if code != 200 || st.BaseRate != 100 || st.EffectiveRate != 500 {
+		t.Fatalf("inherited base: %d %+v", code, st)
+	}
+
+	// Status and stream-visible state reflect the process.
+	var full StatusResponse
+	getJSON(t, ts.URL+"/api/v1/workloads/w1", &full)
+	if full.Arrival == nil || full.Arrival.Process != "poisson" || full.Arrival.EffectiveRate != 500 {
+		t.Fatalf("status arrival: %+v", full.Arrival)
+	}
+
+	// apiBench has no skew dial: a skewed spec is rejected and the previous
+	// spec stays installed.
+	resp, data := doReq(t, "POST", base, "application/json",
+		[]byte(`{"process":"poisson","base_rate":50,"skew":0.5}`))
+	if resp.StatusCode != 400 || decodeEnvelope(t, data) != "bad_request" {
+		t.Fatalf("skew on non-skewable: %d %s", resp.StatusCode, data)
+	}
+	// Unknown process kind is rejected too.
+	resp, data = doReq(t, "POST", base, "application/json",
+		[]byte(`{"process":"warp","base_rate":50}`))
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad process: %d %s", resp.StatusCode, data)
+	}
+
+	// A closed spec uninstalls the process.
+	code = postJSON(t, base, map[string]any{"process": "closed"}, &st)
+	if code != 200 || st.Process != "closed" {
+		t.Fatalf("uninstall: %d %+v", code, st)
+	}
+}
+
+func TestV1CreateWorkloadWithProfile(t *testing.T) {
+	ts, srv, m, cancel := startSynthServer(t)
+	defer cancel()
+
+	var got StartRequest
+	srv.StartWorkload = func(req StartRequest) (*core.Manager, error) {
+		got = req
+		return m, nil // reuse the running manager; the hook is what's under test
+	}
+
+	// Unknown profile id → 404 before the hook runs.
+	resp, data := doReq(t, "POST", ts.URL+"/api/v1/workloads", "application/json",
+		[]byte(`{"benchmark":"synthetic","profile":"nope"}`))
+	if resp.StatusCode != 404 || decodeEnvelope(t, data) != "not_found" {
+		t.Fatalf("unknown profile: %d %s", resp.StatusCode, data)
+	}
+
+	// Upload a profile, then start a synthetic workload from it.
+	example, err := os.ReadFile("../../configs/profile_example.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, data := doReq(t, "POST", ts.URL+"/api/v1/profiles", "application/json", example); resp.StatusCode != 201 {
+		t.Fatalf("upload: %d %s", resp.StatusCode, data)
+	}
+	resp, data = doReq(t, "POST", ts.URL+"/api/v1/workloads", "application/json",
+		[]byte(`{"benchmark":"synthetic","profile":"p1","amplify":10,"process":"poisson"}`))
+	if resp.StatusCode != 201 {
+		t.Fatalf("create: %d %s", resp.StatusCode, data)
+	}
+	if got.ResolvedProfile == nil || got.ResolvedProfile.Benchmark != "ycsb" {
+		t.Fatalf("hook request: %+v", got)
+	}
+	if got.Amplify != 10 || got.Process != "poisson" {
+		t.Fatalf("dials not threaded: %+v", got)
+	}
+}
+
+func TestStreamCarriesArrival(t *testing.T) {
+	ts, _, _, cancel := startSynthServer(t)
+	defer cancel()
+
+	// Dial a burst process, then expect the next frames to carry it.
+	var st ArrivalState
+	if code := postJSON(t, ts.URL+"/api/v1/workloads/w1/arrival", map[string]any{
+		"process": "burst", "base_rate": 200.0}, &st); code != 200 {
+		t.Fatalf("POST arrival: %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/api/v1/workloads/w1/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	frames := readFrames(t, resp.Body, 2, 10*time.Second)
+	seen := false
+	for _, f := range frames {
+		if f.event != "window" {
+			continue
+		}
+		var sf StreamFrame
+		if err := json.Unmarshal([]byte(f.data), &sf); err != nil {
+			t.Fatalf("frame %q: %v", f.data, err)
+		}
+		if sf.Arrival == nil {
+			t.Fatalf("frame without arrival: %s", f.data)
+		}
+		if sf.Arrival.Process == "burst" && sf.Arrival.BaseRate == 200 {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatal("no frame carried the burst arrival spec")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	_ "benchpress/internal/benchmarks/seats"
 	_ "benchpress/internal/benchmarks/sibench"
 	_ "benchpress/internal/benchmarks/smallbank"
+	_ "benchpress/internal/benchmarks/synthetic"
 	_ "benchpress/internal/benchmarks/tatp"
 	_ "benchpress/internal/benchmarks/tpcc"
 	_ "benchpress/internal/benchmarks/twitter"

@@ -26,6 +26,7 @@ var smokeTable = []struct {
 	{"seats", 6},
 	{"sibench", 2},
 	{"smallbank", 6},
+	{"synthetic", 6},
 	{"tatp", 7},
 	{"tpcc", 5},
 	{"twitter", 5},

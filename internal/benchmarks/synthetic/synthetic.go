@@ -1,0 +1,189 @@
+// Package synthetic is the 16th benchmark of the suite: a workload whose
+// generator is a captured profile instead of a fixed mix. It wraps the
+// profile's source benchmark (schema, loader, and transaction control code
+// come from the real port) and replays the captured mixture under the
+// synthesizer's arrival processes, with a live hot-key skew dial that
+// re-parameterizes a fraction of transactions from a small hot seed pool.
+//
+// Instantiated through the registry ("synthetic") it replays an embedded
+// sample profile over YCSB; the REST path builds it from a stored capture
+// via FromProfile (POST /api/v1/workloads with {"benchmark": "synthetic",
+// "profile": "<id>"}).
+package synthetic
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"benchpress/internal/core"
+	"benchpress/internal/dbdriver"
+	"benchpress/internal/synth"
+)
+
+// hotSeedPool is the number of distinct hot parameter streams the skew dial
+// collapses transactions onto: small enough that re-parameterized
+// transactions collide on the same keys, large enough to exercise more than
+// one row.
+const hotSeedPool = 8
+
+// Benchmark replays a captured profile through its source benchmark.
+type Benchmark struct {
+	src     core.Benchmark
+	profile *synth.Profile
+	mix     []float64
+	// skewMilli is the hot-key dial in thousandths ([0,1000]), written by
+	// SetSkew from the control API while workers run.
+	skewMilli atomic.Int64
+}
+
+// FromProfile builds the synthetic benchmark for a profile: the profile's
+// source benchmark is instantiated at the captured scale and the captured
+// proportions become the default mixture.
+func FromProfile(p *synth.Profile) (*Benchmark, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Benchmark == "synthetic" {
+		return nil, fmt.Errorf("synthetic: profile %q is itself synthetic; capture records the real source", p.ID)
+	}
+	src, err := core.NewBenchmark(p.Benchmark, p.Scale)
+	if err != nil {
+		return nil, fmt.Errorf("synthetic: source benchmark: %w", err)
+	}
+	syn, err := synth.NewSynthesizer(p, 1)
+	if err != nil {
+		return nil, err
+	}
+	mix, err := syn.MixFor(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Benchmark{src: src, profile: p, mix: mix}, nil
+}
+
+// Name implements core.Benchmark.
+func (b *Benchmark) Name() string { return "synthetic" }
+
+// Source identifies the wrapped benchmark and scale (capture unwraps it so
+// a profile of a synthetic run still names the real source).
+func (b *Benchmark) Source() (string, float64) { return b.profile.Benchmark, b.profile.Scale }
+
+// Profile returns the profile this benchmark replays.
+func (b *Benchmark) Profile() *synth.Profile { return b.profile }
+
+// DefaultMix implements core.Benchmark: the captured proportions, parallel
+// to the source benchmark's procedure order.
+func (b *Benchmark) DefaultMix() []float64 { return append([]float64(nil), b.mix...) }
+
+// CreateSchema implements core.Benchmark by delegation.
+func (b *Benchmark) CreateSchema(conn *dbdriver.Conn) error { return b.src.CreateSchema(conn) }
+
+// Load implements core.Benchmark by delegation.
+func (b *Benchmark) Load(db *dbdriver.DB, rng *rand.Rand) error { return b.src.Load(db, rng) }
+
+// SetSkew implements core.Skewable: the fraction of transactions in [0,1]
+// whose parameters are regenerated from the hot seed pool.
+func (b *Benchmark) SetSkew(skew float64) {
+	if skew < 0 {
+		skew = 0
+	}
+	if skew > 1 {
+		skew = 1
+	}
+	b.skewMilli.Store(int64(skew * 1000))
+}
+
+// Skew returns the current hot-key dial setting.
+func (b *Benchmark) Skew() float64 { return float64(b.skewMilli.Load()) / 1000 }
+
+// Procedures implements core.Benchmark: the source procedures, each wrapped
+// with the skew dial. A skewed execution swaps the worker's RNG for one
+// seeded from the hot pool, so the procedure regenerates one of a handful
+// of parameter tuples — hot keys on any benchmark, without knowing its
+// schema.
+func (b *Benchmark) Procedures() []core.Procedure {
+	src := b.src.Procedures()
+	out := make([]core.Procedure, len(src))
+	for i, p := range src {
+		fn := p.Fn
+		p.Fn = func(conn *dbdriver.Conn, rng *rand.Rand) error {
+			if s := b.skewMilli.Load(); s > 0 && rng.Int63n(1000) < s {
+				hot := rand.New(rand.NewSource(7907 + rng.Int63n(hotSeedPool)))
+				return fn(conn, hot)
+			}
+			return fn(conn, rng)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// errBenchmark surfaces a construction failure at schema time, since the
+// registry factory signature cannot return an error.
+type errBenchmark struct{ err error }
+
+func (e errBenchmark) Name() string                               { return "synthetic" }
+func (e errBenchmark) Procedures() []core.Procedure               { return nil }
+func (e errBenchmark) DefaultMix() []float64                      { return nil }
+func (e errBenchmark) CreateSchema(conn *dbdriver.Conn) error     { return e.err }
+func (e errBenchmark) Load(db *dbdriver.DB, rng *rand.Rand) error { return e.err }
+
+// DefaultProfile is the embedded sample profile the registry path replays:
+// a Poisson-arrival YCSB capture at the requested scale with the YCSB
+// default proportions — so `-bench synthetic` works out of the box and the
+// suite smoke test covers the wrapper.
+func DefaultProfile(scale float64) *synth.Profile {
+	names := []string{"Read", "Insert", "Scan", "Update", "Delete", "ReadModifyWrite"}
+	weights := []float64{50, 5, 5, 30, 5, 5}
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	p := &synth.Profile{
+		ID:          "default",
+		Name:        "embedded ycsb sample",
+		Benchmark:   "ycsb",
+		Scale:       scale,
+		DurationSec: 60,
+		Rate:        100,
+	}
+	for i, n := range names {
+		p.Types = append(p.Types, synth.TypeProfile{
+			Name:       n,
+			Attempts:   int64(60 * 100 * weights[i] / total),
+			Proportion: weights[i] / total,
+		})
+	}
+	// A deterministic exponential inter-arrival sample at the profile rate
+	// (mean gap 10ms), i.e. a canned Poisson CDF.
+	rng := rand.New(rand.NewSource(1))
+	gaps := make([]int64, 1024)
+	for i := range gaps {
+		gaps[i] = int64(rng.ExpFloat64() * 10000)
+	}
+	sortGaps(gaps)
+	p.InterArrivalUS = gaps
+	p.InterArrivalCV = 1
+	return p
+}
+
+// sortGaps is an insertion-free sort.Slice wrapper kept tiny for the init
+// path.
+func sortGaps(g []int64) {
+	for i := 1; i < len(g); i++ {
+		for j := i; j > 0 && g[j] < g[j-1]; j-- {
+			g[j], g[j-1] = g[j-1], g[j]
+		}
+	}
+}
+
+func init() {
+	core.RegisterBenchmark("synthetic", func(scale float64) core.Benchmark {
+		b, err := FromProfile(DefaultProfile(scale))
+		if err != nil {
+			return errBenchmark{err}
+		}
+		return b
+	})
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Arrival process kinds. The zero value ("", alias "closed") keeps the
+// manager's original closed-loop pacing: SetRate + the uniform/exponential
+// toggle. The open-loop kinds generate arrivals from an explicit process
+// whose instantaneous rate is a deterministic function of elapsed time, so
+// a synthesized workload can express Poisson traffic, on/off bursts, and
+// diurnal shapes that closed-loop workers cannot.
+const (
+	// ProcessClosed is the legacy closed-loop pacing (SetRate governs).
+	ProcessClosed = "closed"
+	// ProcessUniform spaces arrivals evenly at the effective rate.
+	ProcessUniform = "uniform"
+	// ProcessPoisson draws exponential inter-arrival gaps (open-loop
+	// Poisson process) at the effective rate.
+	ProcessPoisson = "poisson"
+	// ProcessBurst alternates BurstOn windows at BurstFactor times the
+	// effective rate with BurstOff windows of silence.
+	ProcessBurst = "burst"
+)
+
+// Arrival shapes modulating the effective rate over time.
+const (
+	// ShapeFlat applies no modulation.
+	ShapeFlat = "flat"
+	// ShapeDiurnal multiplies the rate by 1 + Amplitude*sin(2πt/Period),
+	// floored at zero — a compressed day/night load curve.
+	ShapeDiurnal = "diurnal"
+)
+
+// ArrivalSpec is the live arrival-process control surface: everything the
+// synthesizer dials on a running workload. All fields combine
+// multiplicatively into the effective rate; see RateAt.
+type ArrivalSpec struct {
+	// Process selects the arrival process kind (Process* constants).
+	Process string
+	// BaseRate is the pre-amplification arrival rate in arrivals/second
+	// (typically a captured profile's observed rate).
+	BaseRate float64
+	// Multiplier amplifies BaseRate ("×N users"); 0 defaults to 1.
+	Multiplier float64
+	// Shape modulates the rate over time (Shape* constants; "" = flat).
+	Shape string
+	// ShapePeriod is the diurnal period (default 60s).
+	ShapePeriod time.Duration
+	// ShapeAmplitude is the diurnal swing in [0,1].
+	ShapeAmplitude float64
+	// BurstOn/BurstOff set the burst duty cycle (defaults 1s/3s).
+	BurstOn  time.Duration
+	BurstOff time.Duration
+	// BurstFactor multiplies the rate inside a burst window; 0 derives the
+	// mean-preserving factor (BurstOn+BurstOff)/BurstOn, so the sustained
+	// rate still averages BaseRate*Multiplier.
+	BurstFactor float64
+	// Skew is the hot-key dial in [0,1]: the fraction of transactions a
+	// Skewable benchmark re-parameterizes from a small hot seed pool.
+	Skew float64
+}
+
+// Skewable is implemented by benchmarks whose parameter generation honors
+// the hot-key skew dial (the synthetic benchmark wraps any source benchmark
+// this way). SetSkew must be safe to call concurrently with running
+// procedures.
+type Skewable interface {
+	SetSkew(skew float64)
+}
+
+// Normalize validates the spec and fills defaulted fields in place.
+func (sp *ArrivalSpec) Normalize() error {
+	switch sp.Process {
+	case "", ProcessClosed:
+		sp.Process = ProcessClosed
+	case ProcessUniform, ProcessPoisson, ProcessBurst:
+		if sp.BaseRate <= 0 || math.IsInf(sp.BaseRate, 0) || math.IsNaN(sp.BaseRate) {
+			return fmt.Errorf("core: arrival base rate must be positive, got %v", sp.BaseRate)
+		}
+	default:
+		return fmt.Errorf("core: unknown arrival process %q (want closed|uniform|poisson|burst)", sp.Process)
+	}
+	if sp.Multiplier < 0 || math.IsInf(sp.Multiplier, 0) || math.IsNaN(sp.Multiplier) {
+		return fmt.Errorf("core: arrival multiplier must be non-negative, got %v", sp.Multiplier)
+	}
+	if sp.Multiplier == 0 {
+		sp.Multiplier = 1
+	}
+	switch sp.Shape {
+	case "", ShapeFlat:
+		sp.Shape = ShapeFlat
+	case ShapeDiurnal:
+		if sp.ShapeAmplitude < 0 || sp.ShapeAmplitude > 1 {
+			return fmt.Errorf("core: shape amplitude must be in [0,1], got %v", sp.ShapeAmplitude)
+		}
+		if sp.ShapePeriod <= 0 {
+			sp.ShapePeriod = time.Minute
+		}
+	default:
+		return fmt.Errorf("core: unknown arrival shape %q (want flat|diurnal)", sp.Shape)
+	}
+	if sp.Skew < 0 || sp.Skew > 1 || math.IsNaN(sp.Skew) {
+		return fmt.Errorf("core: skew must be in [0,1], got %v", sp.Skew)
+	}
+	if sp.Process == ProcessBurst {
+		if sp.BurstOn <= 0 {
+			sp.BurstOn = time.Second
+		}
+		if sp.BurstOff <= 0 {
+			sp.BurstOff = 3 * time.Second
+		}
+		if sp.BurstFactor == 0 {
+			sp.BurstFactor = float64(sp.BurstOn+sp.BurstOff) / float64(sp.BurstOn)
+		}
+		if sp.BurstFactor < 1 {
+			return fmt.Errorf("core: burst factor must be >= 1, got %v", sp.BurstFactor)
+		}
+	}
+	return nil
+}
+
+// RateAt returns the effective arrival rate after elapsed run time:
+// BaseRate × Multiplier, modulated by the diurnal shape, and — for the
+// burst process — zero inside off windows and BurstFactor-scaled inside on
+// windows. Deterministic, so the producer, the status surface, and tests
+// all agree on the instantaneous target.
+func (sp *ArrivalSpec) RateAt(elapsed time.Duration) float64 {
+	if sp.Process == ProcessClosed {
+		return 0
+	}
+	r := sp.BaseRate * sp.Multiplier
+	if sp.Shape == ShapeDiurnal {
+		r *= 1 + sp.ShapeAmplitude*math.Sin(2*math.Pi*elapsed.Seconds()/sp.ShapePeriod.Seconds())
+		if r < 0 {
+			r = 0
+		}
+	}
+	if sp.Process == ProcessBurst {
+		cycle := sp.BurstOn + sp.BurstOff
+		if elapsed%cycle >= sp.BurstOn {
+			return 0
+		}
+		r *= sp.BurstFactor
+	}
+	return r
+}
+
+// open reports whether the spec selects an open-loop process.
+func (sp *ArrivalSpec) open() bool { return sp.Process != ProcessClosed }
+
+// SetArrival installs (or, with a closed/zero spec, removes) the open-loop
+// arrival process at runtime. The spec is validated and defaulted via
+// Normalize; the skew dial is forwarded to the benchmark when it implements
+// Skewable. While an open-loop spec is installed it overrides SetRate and
+// the uniform/exponential toggle.
+func (m *Manager) SetArrival(spec ArrivalSpec) error {
+	if err := spec.Normalize(); err != nil {
+		return err
+	}
+	if sk, ok := m.bench.(Skewable); ok {
+		sk.SetSkew(spec.Skew)
+	} else if spec.Skew > 0 {
+		return fmt.Errorf("core: benchmark %s does not support the hot-key skew dial", m.bench.Name())
+	}
+	if spec.open() {
+		m.arrival.Store(&spec)
+	} else {
+		m.arrival.Store(nil)
+	}
+	return nil
+}
+
+// Arrival returns the installed arrival spec; a closed-loop manager reports
+// Process "closed" with the current SetRate target as BaseRate.
+func (m *Manager) Arrival() ArrivalSpec {
+	if sp := m.arrival.Load(); sp != nil {
+		return *sp
+	}
+	return ArrivalSpec{Process: ProcessClosed, BaseRate: m.Rate(), Multiplier: 1, Shape: ShapeFlat}
+}
+
+// EffectiveRate returns the instantaneous arrival-rate target: the
+// open-loop process evaluated at the current elapsed time, or the
+// closed-loop SetRate value.
+func (m *Manager) EffectiveRate() float64 {
+	if sp := m.arrival.Load(); sp != nil {
+		return sp.RateAt(m.elapsed())
+	}
+	return m.Rate()
+}
+
+// elapsed returns time since Run started (zero before the run). It reads
+// the atomic mirror of the start time, so API goroutines may call it
+// concurrently with Run starting up.
+func (m *Manager) elapsed() time.Duration {
+	ns := m.startNS.Load()
+	if ns == 0 {
+		return 0
+	}
+	return time.Since(time.Unix(0, ns))
+}
+
+// paced reports whether workers must pull paced arrivals from the queue
+// (either a closed-loop rate limit or an open-loop process is active).
+func (m *Manager) paced() bool {
+	return m.arrival.Load() != nil || m.Rate() > 0
+}

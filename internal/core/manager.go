@@ -72,11 +72,19 @@ type Manager struct {
 	mix         atomic.Pointer[mixTable]
 	pauseGate   atomic.Pointer[chan struct{}]
 	phaseIdx    atomic.Int32
+	// arrival, when non-nil, is an installed open-loop arrival process that
+	// overrides the closed-loop rate controls (see arrival.go).
+	arrival atomic.Pointer[ArrivalSpec]
+	// capture, when non-nil, receives every attempt (workload capture mode).
+	capture atomic.Pointer[captureBox]
 
 	requested atomic.Int64
 	postponed atomic.Int64
 
-	start   time.Time
+	start time.Time
+	// startNS mirrors start for readers outside the run's goroutines (the
+	// API's status/arrival handlers); 0 until Run begins.
+	startNS atomic.Int64
 	started atomic.Bool
 	done    chan struct{}
 
@@ -254,6 +262,50 @@ func (m *Manager) waitIfPaused(ctx context.Context) {
 // PhaseIndex returns the running phase ordinal (-1 before start).
 func (m *Manager) PhaseIndex() int { return int(m.phaseIdx.Load()) }
 
+// AttemptObserver receives one notification per transaction attempt while
+// capture mode is on. The entry carries the attempt's timing and outcome;
+// args holds the raw arguments of the attempt's first statement on sampled
+// attempts and is nil otherwise (args must not be retained or mutated).
+// Implementations must be safe for concurrent calls from all workers.
+type AttemptObserver interface {
+	ObserveAttempt(e trace.Entry, args []any)
+}
+
+// captureBox pairs the observer with its parameter-sampling cadence.
+type captureBox struct {
+	obs AttemptObserver
+	// every samples statement parameters on one attempt in every `every`
+	// (1 = all attempts); timing/outcome is observed on every attempt.
+	every int64
+	n     atomic.Int64
+}
+
+// sampled reports whether this attempt's parameters should be captured.
+func (b *captureBox) sampled() bool {
+	if b.every <= 1 {
+		return true
+	}
+	return b.n.Add(1)%b.every == 0
+}
+
+// SetCapture turns capture mode on: every attempt is reported to obs, with
+// statement parameters sampled on one attempt in sampleEvery (min 1). A nil
+// obs turns capture off. Capture can be toggled at any point of a run; the
+// non-capturing hot path pays one atomic load per attempt.
+func (m *Manager) SetCapture(obs AttemptObserver, sampleEvery int) {
+	if obs == nil {
+		m.capture.Store(nil)
+		return
+	}
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	m.capture.Store(&captureBox{obs: obs, every: int64(sampleEvery)})
+}
+
+// Capturing reports whether capture mode is on.
+func (m *Manager) Capturing() bool { return m.capture.Load() != nil }
+
 // Stop ends the run early and gracefully: the phase runner skips its
 // remaining phases, workers drain, and Run returns nil. Safe to call from
 // any goroutine, multiple times, before or after Run. This is the lifecycle
@@ -307,6 +359,7 @@ func (m *Manager) Run(ctx context.Context) error {
 	}
 	defer close(m.done)
 	m.start = time.Now()
+	m.startNS.Store(m.start.UnixNano())
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -380,10 +433,22 @@ func (m *Manager) produce(ctx context.Context) {
 		if ctx.Err() != nil {
 			return
 		}
-		rate := m.Rate()
+		// An installed open-loop process overrides the closed-loop controls:
+		// its instantaneous rate is a deterministic function of elapsed run
+		// time (Poisson/uniform/burst × diurnal shape × amplification).
+		var rate float64
+		var poisson bool
+		if sp := m.arrival.Load(); sp != nil {
+			rate = sp.RateAt(time.Since(m.start))
+			poisson = sp.Process == ProcessPoisson
+		} else {
+			rate = m.Rate()
+			poisson = m.exponential.Load()
+		}
 		if rate <= 0 || m.Paused() {
 			// Unlimited phases bypass the queue entirely (workers run
-			// open-loop); while paused, no arrivals are generated.
+			// closed-loop at full speed); while paused — or inside a burst
+			// process's off window — no arrivals are generated.
 			if !sleep(time.Millisecond) {
 				return
 			}
@@ -391,7 +456,7 @@ func (m *Manager) produce(ctx context.Context) {
 			continue
 		}
 		var gap time.Duration
-		if m.exponential.Load() {
+		if poisson {
 			gap = time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
 		} else {
 			gap = time.Duration(float64(time.Second) / rate)
@@ -440,7 +505,7 @@ func (m *Manager) work(ctx context.Context, id int) {
 			return
 		}
 		m.waitIfPaused(ctx)
-		if m.Rate() > 0 {
+		if m.paced() {
 			timer.Reset(50 * time.Millisecond)
 			select {
 			case <-m.queue:
@@ -472,9 +537,22 @@ func (m *Manager) work(ctx context.Context, id int) {
 }
 
 // execute runs one transaction with retry-on-conflict, recording statistics
-// (through the worker's shard handle) and trace entries.
+// (through the worker's shard handle), trace entries, and — in capture
+// mode — the attempt observation with sampled statement parameters.
 func (m *Manager) execute(conn *dbdriver.Conn, rng *rand.Rand, rec stats.Recorder, typeIdx, workerID int) {
 	proc := &m.procs[typeIdx]
+	box := m.capture.Load()
+	var argVals []any
+	if box != nil && box.sampled() {
+		// Capture the first statement's arguments as this attempt's
+		// parameter sample; the copy outlives the procedure's scratch.
+		conn.SetArgObserver(func(sql string, args []any) {
+			if argVals == nil && len(args) > 0 {
+				argVals = append([]any(nil), args...)
+			}
+		})
+		defer conn.SetArgObserver(nil)
+	}
 	start := time.Now()
 	var status stats.Status
 	for attempt := 0; ; attempt++ {
@@ -502,7 +580,7 @@ func (m *Manager) execute(conn *dbdriver.Conn, rng *rand.Rand, rec stats.Recorde
 	}
 	latency := time.Since(start)
 	rec.Record(typeIdx, status, latency)
-	if m.opts.Trace != nil {
+	if m.opts.Trace != nil || box != nil {
 		st := "ok"
 		switch status {
 		case stats.StatusAborted:
@@ -510,14 +588,23 @@ func (m *Manager) execute(conn *dbdriver.Conn, rng *rand.Rand, rec stats.Recorde
 		case stats.StatusError:
 			st = "error"
 		}
-		m.opts.Trace.Add(trace.Entry{
+		e := trace.Entry{
 			StartUS:   start.Sub(m.start).Microseconds(),
 			LatencyUS: latency.Microseconds(),
 			Type:      proc.Name,
 			Phase:     m.PhaseIndex(),
 			Status:    st,
 			Worker:    workerID,
-		})
+		}
+		if argVals != nil {
+			e.Params = trace.FormatParams(argVals)
+		}
+		if m.opts.Trace != nil {
+			m.opts.Trace.Add(e)
+		}
+		if box != nil {
+			box.obs.ObserveAttempt(e, argVals)
+		}
 	}
 }
 
@@ -553,24 +640,33 @@ type Status struct {
 	Paused    bool
 	Stopped   bool
 	Postponed int64
-	Snapshot  stats.Snapshot
+	// Arrival is the installed arrival process (Process "closed" when the
+	// manager runs its legacy closed-loop pacing) and EffectiveRate its
+	// instantaneous target.
+	Arrival       ArrivalSpec
+	EffectiveRate float64
+	Capturing     bool
+	Snapshot      stats.Snapshot
 }
 
 // Status reports the manager's instantaneous state.
 func (m *Manager) Status() Status {
 	rate := m.Rate()
 	return Status{
-		Name:      m.opts.Name,
-		Benchmark: m.bench.Name(),
-		DBMS:      m.db.Personality().Name,
-		Phase:     m.PhaseIndex(),
-		Rate:      rate,
-		Unlimited: rate <= 0,
-		Mix:       m.Mix(),
-		Paused:    m.Paused(),
-		Stopped:   m.Stopping(),
-		Postponed: m.Postponed(),
-		Snapshot:  m.collector.Snapshot(),
+		Name:          m.opts.Name,
+		Benchmark:     m.bench.Name(),
+		DBMS:          m.db.Personality().Name,
+		Phase:         m.PhaseIndex(),
+		Rate:          rate,
+		Unlimited:     rate <= 0 && m.arrival.Load() == nil,
+		Mix:           m.Mix(),
+		Paused:        m.Paused(),
+		Stopped:       m.Stopping(),
+		Postponed:     m.Postponed(),
+		Arrival:       m.Arrival(),
+		EffectiveRate: m.EffectiveRate(),
+		Capturing:     m.Capturing(),
+		Snapshot:      m.collector.Snapshot(),
 	}
 }
 

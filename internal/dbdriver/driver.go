@@ -228,10 +228,20 @@ type Conn struct {
 	sess   *sqldb.Session
 	rem    SessionBackend
 	remErr error
+	// argObs, when set, receives the SQL and arguments of every Exec/Query
+	// issued through this connection (capture mode's parameter sampler).
+	// Statements executed through a prepared Stmt handle bypass it. Conn is
+	// single-goroutine by contract, so a plain field suffices.
+	argObs func(sql string, args []any)
 }
 
 // DB returns the owning database.
 func (c *Conn) DB() *DB { return c.db }
+
+// SetArgObserver installs (or, with nil, removes) a statement-argument
+// observer. The workload manager's capture mode uses it to sample the
+// parameter distributions of executed transactions.
+func (c *Conn) SetArgObserver(f func(sql string, args []any)) { c.argObs = f }
 
 // remote returns the remote session, surfacing a deferred dial failure.
 func (c *Conn) remote() (SessionBackend, error) {
@@ -243,6 +253,9 @@ func (c *Conn) remote() (SessionBackend, error) {
 
 // Exec executes a statement, autocommitted unless a transaction is open.
 func (c *Conn) Exec(sql string, args ...any) (*exec.Result, error) {
+	if c.argObs != nil {
+		c.argObs(sql, args)
+	}
 	if c.sess != nil {
 		return c.sess.Exec(sql, args...)
 	}
@@ -255,6 +268,9 @@ func (c *Conn) Exec(sql string, args ...any) (*exec.Result, error) {
 
 // Query executes a statement expected to return rows.
 func (c *Conn) Query(sql string, args ...any) (*exec.Result, error) {
+	if c.argObs != nil {
+		c.argObs(sql, args)
+	}
 	if c.sess != nil {
 		return c.sess.Query(sql, args...)
 	}
@@ -268,6 +284,9 @@ func (c *Conn) Query(sql string, args ...any) (*exec.Result, error) {
 // QueryRow executes and returns the first row (nil if none).
 func (c *Conn) QueryRow(sql string, args ...any) ([]sqlval.Value, error) {
 	if c.sess != nil {
+		if c.argObs != nil {
+			c.argObs(sql, args)
+		}
 		return c.sess.QueryRow(sql, args...)
 	}
 	res, err := c.Query(sql, args...)

@@ -104,6 +104,11 @@ func Table1(opts Options, engines ...string) ([]Table1Row, error) {
 	sort.Strings(names)
 	var rows []Table1Row
 	for _, bench := range names {
+		// Table 1 is the paper's fixed 15-benchmark inventory; registered
+		// extras (the profile-driven synthetic benchmark) are not part of it.
+		if _, ok := BenchmarkClass[bench]; !ok {
+			continue
+		}
 		for _, engine := range engines {
 			m, err := runWorkload(bench, engine,
 				[]core.Phase{{Duration: opts.Duration, Rate: 0}}, opts)

@@ -1,0 +1,259 @@
+package synth
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"benchpress/internal/trace"
+)
+
+// arrivalCap bounds the raw arrival timestamps kept for the inter-arrival
+// CDF; attempts past the cap still count toward the mixture and rate.
+const arrivalCap = 1 << 16
+
+// profileSampleCap bounds the inter-arrival sample persisted in a profile.
+const profileSampleCap = 8192
+
+// valueTrackCap bounds the distinct values tracked per argument position;
+// once full, only already-seen values keep counting (top-K stays exact for
+// values that entered early, which hot keys do by definition).
+const valueTrackCap = 256
+
+// topValues is how many frequent values a ParamStat retains.
+const topValues = 8
+
+// Capture accumulates a running workload's attempts into a Profile. It
+// implements core.AttemptObserver (the manager calls ObserveAttempt from
+// every worker) without importing core — attach it with
+// Manager.SetCapture(c, sampleEvery).
+type Capture struct {
+	benchmark string
+	dbms      string
+	scale     float64
+
+	mu       sync.Mutex
+	started  time.Time
+	types    map[string]*typeAcc
+	order    []string
+	arrivals []int64 // StartUS of the first arrivalCap attempts
+	seen     int64
+	sampled  int64
+}
+
+// typeAcc accumulates one transaction type.
+type typeAcc struct {
+	attempts  int64
+	committed int64
+	sumLatUS  int64
+	params    []*paramAcc
+}
+
+// paramAcc accumulates one argument position.
+type paramAcc struct {
+	count    int64
+	numCount int64
+	sum      float64
+	min, max float64
+	values   map[string]int64
+	overflow bool
+}
+
+// NewCapture starts an empty capture for a workload of the given source
+// benchmark, target DBMS, and scale (the metadata a replay needs).
+func NewCapture(benchmark, dbms string, scale float64) *Capture {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &Capture{
+		benchmark: benchmark,
+		dbms:      dbms,
+		scale:     scale,
+		started:   time.Now(),
+		types:     map[string]*typeAcc{},
+	}
+}
+
+// ObserveAttempt records one attempt; args is non-nil only on attempts the
+// manager sampled for parameters. Safe for concurrent workers.
+func (c *Capture) ObserveAttempt(e trace.Entry, args []any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seen++
+	if len(c.arrivals) < arrivalCap {
+		c.arrivals = append(c.arrivals, e.StartUS)
+	}
+	acc := c.types[e.Type]
+	if acc == nil {
+		acc = &typeAcc{}
+		c.types[e.Type] = acc
+		c.order = append(c.order, e.Type)
+	}
+	acc.attempts++
+	if e.Status == "ok" {
+		acc.committed++
+		acc.sumLatUS += e.LatencyUS
+	}
+	if args == nil {
+		return
+	}
+	c.sampled++
+	for pos, a := range args {
+		for pos >= len(acc.params) {
+			acc.params = append(acc.params, &paramAcc{values: map[string]int64{}})
+		}
+		acc.params[pos].observe(a)
+	}
+}
+
+// observe folds one argument value into the position accumulator.
+func (p *paramAcc) observe(a any) {
+	p.count++
+	var num float64
+	numeric := true
+	var key string
+	switch v := a.(type) {
+	case int:
+		num, key = float64(v), strconv.Itoa(v)
+	case int64:
+		num, key = float64(v), strconv.FormatInt(v, 10)
+	case float64:
+		num, key = v, strconv.FormatFloat(v, 'g', -1, 64)
+	case string:
+		numeric = false
+		key = v
+		if len(key) > 32 {
+			key = key[:32]
+		}
+	default:
+		numeric = false
+		key = trace.FormatParams([]any{a})
+	}
+	if numeric {
+		if p.numCount == 0 || num < p.min {
+			p.min = num
+		}
+		if p.numCount == 0 || num > p.max {
+			p.max = num
+		}
+		p.numCount++
+		p.sum += num
+	}
+	if n, ok := p.values[key]; ok {
+		p.values[key] = n + 1
+	} else if len(p.values) < valueTrackCap {
+		p.values[key] = 1
+	} else {
+		p.overflow = true
+	}
+}
+
+// CaptureStatus is the live state of a capture, for the status route.
+type CaptureStatus struct {
+	Benchmark  string   `json:"benchmark"`
+	Entries    int64    `json:"entries"`
+	Sampled    int64    `json:"sampled"`
+	ElapsedSec float64  `json:"elapsed_sec"`
+	Types      []string `json:"types"`
+}
+
+// Status reports the capture's progress.
+func (c *Capture) Status() CaptureStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CaptureStatus{
+		Benchmark:  c.benchmark,
+		Entries:    c.seen,
+		Sampled:    c.sampled,
+		ElapsedSec: time.Since(c.started).Seconds(),
+		Types:      append([]string(nil), c.order...),
+	}
+}
+
+// Finish freezes the capture into a profile. The capture must have seen at
+// least two attempts; detach it from the manager first (SetCapture(nil))
+// so the totals stop moving.
+func (c *Capture) Finish(id string) (*Profile, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dur := time.Since(c.started).Seconds()
+	p := &Profile{
+		ID:          id,
+		Benchmark:   c.benchmark,
+		DBMS:        c.dbms,
+		Scale:       c.scale,
+		DurationSec: dur,
+		CreatedUnix: time.Now().Unix(),
+	}
+	if dur > 0 {
+		p.Rate = float64(c.seen) / dur
+	}
+	for _, name := range c.order {
+		acc := c.types[name]
+		tp := TypeProfile{
+			Name:      name,
+			Attempts:  acc.attempts,
+			Committed: acc.committed,
+		}
+		if c.seen > 0 {
+			tp.Proportion = float64(acc.attempts) / float64(c.seen)
+		}
+		if acc.committed > 0 {
+			tp.MeanLatencyUS = float64(acc.sumLatUS) / float64(acc.committed)
+		}
+		for pos, pa := range acc.params {
+			tp.Params = append(tp.Params, pa.stat(pos))
+		}
+		p.Types = append(p.Types, tp)
+	}
+	// Inter-arrival CDF: sort the captured start offsets and difference
+	// them. The capture keeps the run's first arrivalCap attempts, so the
+	// gaps are true consecutive inter-arrivals for that prefix.
+	if len(c.arrivals) >= 2 {
+		starts := append([]int64(nil), c.arrivals...)
+		sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+		gaps := make([]int64, 0, len(starts)-1)
+		for i := 1; i < len(starts); i++ {
+			gaps = append(gaps, starts[i]-starts[i-1])
+		}
+		sort.Slice(gaps, func(i, j int) bool { return gaps[i] < gaps[j] })
+		p.InterArrivalCV = cv(gaps)
+		p.InterArrivalUS = decimate(gaps, profileSampleCap)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// stat freezes a paramAcc into its serializable summary.
+func (p *paramAcc) stat(pos int) ParamStat {
+	st := ParamStat{
+		Pos:          pos,
+		Count:        p.count,
+		NumericCount: p.numCount,
+		Distinct:     len(p.values),
+	}
+	if p.numCount > 0 {
+		st.Min, st.Max, st.Mean = p.min, p.max, p.sum/float64(p.numCount)
+	}
+	type kv struct {
+		k string
+		n int64
+	}
+	ranked := make([]kv, 0, len(p.values))
+	for k, n := range p.values {
+		ranked = append(ranked, kv{k, n})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].n != ranked[j].n {
+			return ranked[i].n > ranked[j].n
+		}
+		return ranked[i].k < ranked[j].k
+	})
+	for i := 0; i < len(ranked) && i < topValues; i++ {
+		st.Top = append(st.Top, ValueCount{Value: ranked[i].k, Count: ranked[i].n})
+	}
+	return st
+}

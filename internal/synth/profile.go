@@ -1,0 +1,214 @@
+// Package synth implements trace-driven workload synthesis: a capture mode
+// that records a running workload's per-type arrival process and parameter
+// distributions into a serializable workload profile, and a synthesizer
+// that replays scaled and reshaped variants of that profile (Poisson and
+// burst arrival processes, diurnal rate shapes, hot-key skew dialing, and
+// "×N users" amplification). It is the Lauca/Redbench-style scenario axis
+// on top of the testbed's dynamic workload control: the workload itself is
+// derived from a measured run instead of a hand-written static mix.
+package synth
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// ValueCount is one frequent parameter value with its observed count.
+type ValueCount struct {
+	Value string `json:"value"`
+	Count int64  `json:"count"`
+}
+
+// ParamStat summarizes one statement-argument position of one transaction
+// type across the sampled attempts: numeric moments when the position held
+// numbers, plus the most frequent values (the hot-key evidence the skew
+// dial amplifies).
+type ParamStat struct {
+	// Pos is the zero-based argument position.
+	Pos int `json:"pos"`
+	// Count is the number of sampled observations of this position.
+	Count int64 `json:"count"`
+	// NumericCount of them parsed as numbers; Min/Max/Mean cover those.
+	NumericCount int64   `json:"numeric_count,omitempty"`
+	Min          float64 `json:"min,omitempty"`
+	Max          float64 `json:"max,omitempty"`
+	Mean         float64 `json:"mean,omitempty"`
+	// Distinct counts distinct observed values (saturating at the tracking
+	// cap); Top lists the most frequent ones.
+	Distinct int          `json:"distinct"`
+	Top      []ValueCount `json:"top,omitempty"`
+}
+
+// TypeProfile is the captured record of one transaction type.
+type TypeProfile struct {
+	Name string `json:"name"`
+	// Attempts and Committed count the type's captured executions.
+	Attempts  int64 `json:"attempts"`
+	Committed int64 `json:"committed"`
+	// Proportion is Attempts over the profile total (the mixture weight).
+	Proportion float64 `json:"proportion"`
+	// MeanLatencyUS is the mean committed latency in microseconds.
+	MeanLatencyUS float64 `json:"mean_latency_us"`
+	// Params holds per-argument-position distributions from sampled
+	// attempts.
+	Params []ParamStat `json:"params,omitempty"`
+}
+
+// Profile is a serializable workload profile: everything the synthesizer
+// needs to replay a scaled variant of a captured run.
+type Profile struct {
+	// ID is the profile's registry key (assigned when stored).
+	ID string `json:"id"`
+	// Name is an optional human label.
+	Name string `json:"name,omitempty"`
+	// Benchmark and Scale identify the source workload whose procedures the
+	// synthetic benchmark replays; DBMS records the capture target.
+	Benchmark string  `json:"benchmark"`
+	Scale     float64 `json:"scale"`
+	DBMS      string  `json:"dbms,omitempty"`
+	// DurationSec is the captured wall-clock span.
+	DurationSec float64 `json:"duration_sec"`
+	// Rate is the observed aggregate arrival rate (attempts/second).
+	Rate float64 `json:"rate"`
+	// Types lists per-transaction-type records, first-seen order.
+	Types []TypeProfile `json:"types"`
+	// InterArrivalUS is a sorted sample of aggregate inter-arrival gaps in
+	// microseconds (an empirical CDF; decimated to a bounded quantile
+	// sketch when the capture saw more arrivals than the cap).
+	InterArrivalUS []int64 `json:"inter_arrival_us,omitempty"`
+	// InterArrivalCV is the coefficient of variation of the gaps: ~0 for
+	// metronomic arrivals, ~1 for Poisson, >1 for bursty traffic.
+	InterArrivalCV float64 `json:"inter_arrival_cv"`
+	// CreatedUnix is the capture end time (seconds since epoch).
+	CreatedUnix int64 `json:"created_unix,omitempty"`
+}
+
+// TotalAttempts sums the per-type attempt counts.
+func (p *Profile) TotalAttempts() int64 {
+	var n int64
+	for _, t := range p.Types {
+		n += t.Attempts
+	}
+	return n
+}
+
+// Mix returns the captured mixture proportions, parallel to Types.
+func (p *Profile) Mix() []float64 {
+	out := make([]float64, len(p.Types))
+	for i, t := range p.Types {
+		out[i] = t.Proportion
+	}
+	return out
+}
+
+// Validate checks the invariants a stored or uploaded profile must hold.
+func (p *Profile) Validate() error {
+	if p.Benchmark == "" {
+		return fmt.Errorf("synth: profile has no source benchmark")
+	}
+	if len(p.Types) == 0 {
+		return fmt.Errorf("synth: profile has no transaction types")
+	}
+	if p.Rate <= 0 || math.IsInf(p.Rate, 0) || math.IsNaN(p.Rate) {
+		return fmt.Errorf("synth: profile rate must be positive, got %v", p.Rate)
+	}
+	for i := 1; i < len(p.InterArrivalUS); i++ {
+		if p.InterArrivalUS[i] < p.InterArrivalUS[i-1] {
+			return fmt.Errorf("synth: inter-arrival sample not sorted at %d", i)
+		}
+	}
+	return nil
+}
+
+// WriteTo serializes the profile as indented JSON.
+func (p *Profile) WriteTo(w io.Writer) (int64, error) {
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	data = append(data, '\n')
+	n, err := w.Write(data)
+	return int64(n), err
+}
+
+// ReadProfile parses and validates a serialized profile.
+func ReadProfile(r io.Reader) (*Profile, error) {
+	var p Profile
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("synth: decode profile: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// KSDistance computes the two-sample Kolmogorov–Smirnov statistic (the
+// supremum distance between empirical CDFs) of two sorted samples. The
+// conformance tests hold a synthesized replay to a KS tolerance against its
+// source profile.
+func KSDistance(a, b []int64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 1
+	}
+	var d float64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		// Advance every duplicate of the smaller value (both sides on a tie)
+		// before measuring, so equal samples contribute zero distance.
+		x, y := a[i], b[j]
+		if x <= y {
+			for i < len(a) && a[i] == x {
+				i++
+			}
+		}
+		if y <= x {
+			for j < len(b) && b[j] == y {
+				j++
+			}
+		}
+		if diff := math.Abs(float64(i)/float64(len(a)) - float64(j)/float64(len(b))); diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// cv returns the coefficient of variation (stddev/mean) of a sample.
+func cv(sample []int64) float64 {
+	if len(sample) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range sample {
+		sum += float64(v)
+	}
+	mean := sum / float64(len(sample))
+	if mean == 0 {
+		return 0
+	}
+	var ss float64
+	for _, v := range sample {
+		d := float64(v) - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(sample))) / mean
+}
+
+// decimate reduces a sorted sample to at most max entries while preserving
+// its quantile structure (every k-th order statistic plus the extremes).
+func decimate(sorted []int64, max int) []int64 {
+	if len(sorted) <= max || max < 2 {
+		return sorted
+	}
+	out := make([]int64, 0, max)
+	step := float64(len(sorted)-1) / float64(max-1)
+	for i := 0; i < max; i++ {
+		out = append(out, sorted[int(float64(i)*step+0.5)])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

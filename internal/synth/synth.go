@@ -1,0 +1,146 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"benchpress/internal/core"
+)
+
+// Synthesizer replays scaled variants of a captured profile: it derives the
+// live arrival spec a manager runs under, the mixture for the source
+// benchmark's procedure order, and offline arrival schedules for
+// conformance checking.
+type Synthesizer struct {
+	// Profile is the source workload profile.
+	Profile *Profile
+	// Amplify is the "×N users" dial (default 1).
+	Amplify float64
+	// Process overrides the arrival process kind; "" picks Poisson when the
+	// captured gaps look exponential-or-burstier (CV >= 0.5) and uniform
+	// otherwise, mirroring how the trace actually arrived.
+	Process string
+	// Skew is the hot-key dial in [0,1], forwarded into the arrival spec.
+	Skew float64
+}
+
+// NewSynthesizer builds a synthesizer over a validated profile.
+func NewSynthesizer(p *Profile, amplify float64) (*Synthesizer, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if amplify <= 0 {
+		amplify = 1
+	}
+	return &Synthesizer{Profile: p, Amplify: amplify}, nil
+}
+
+// TargetRate is the synthesized aggregate arrival rate.
+func (s *Synthesizer) TargetRate() float64 { return s.Profile.Rate * s.amplify() }
+
+func (s *Synthesizer) amplify() float64 {
+	if s.Amplify <= 0 {
+		return 1
+	}
+	return s.Amplify
+}
+
+// process resolves the arrival process kind.
+func (s *Synthesizer) process() string {
+	if s.Process != "" {
+		return s.Process
+	}
+	if s.Profile.InterArrivalCV >= 0.5 {
+		return core.ProcessPoisson
+	}
+	return core.ProcessUniform
+}
+
+// Spec derives the live arrival spec: the profile's observed rate as the
+// base, the amplification as the multiplier, and the resolved process.
+func (s *Synthesizer) Spec() core.ArrivalSpec {
+	return core.ArrivalSpec{
+		Process:    s.process(),
+		BaseRate:   s.Profile.Rate,
+		Multiplier: s.amplify(),
+		Skew:       s.Skew,
+	}
+}
+
+// MixFor maps the profile's captured proportions onto a benchmark's
+// procedure order by transaction-type name. Procedures the capture never
+// saw get weight zero; profile types the benchmark lacks are an error.
+func (s *Synthesizer) MixFor(b core.Benchmark) ([]float64, error) {
+	procs := b.Procedures()
+	idx := make(map[string]int, len(procs))
+	for i, p := range procs {
+		idx[p.Name] = i
+	}
+	mix := make([]float64, len(procs))
+	matched := 0
+	for _, t := range s.Profile.Types {
+		i, ok := idx[t.Name]
+		if !ok {
+			return nil, fmt.Errorf("synth: profile type %q not among %s procedures", t.Name, b.Name())
+		}
+		mix[i] = t.Proportion
+		matched++
+	}
+	if matched == 0 {
+		return nil, fmt.Errorf("synth: profile shares no transaction types with %s", b.Name())
+	}
+	return mix, nil
+}
+
+// Schedule draws n synthetic inter-arrival gaps (microseconds) by
+// inverse-transform sampling the profile's empirical inter-arrival CDF,
+// compressed by the amplification factor — ×N users means gaps N times
+// tighter. The draw is deterministic per seed; the conformance tests hold
+// the result to a KS tolerance against the source sample.
+func (s *Synthesizer) Schedule(n int, seed int64) []int64 {
+	src := s.Profile.InterArrivalUS
+	out := make([]int64, 0, n)
+	rng := rand.New(rand.NewSource(seed))
+	amp := s.amplify()
+	if len(src) == 0 {
+		// No captured CDF (tiny capture): fall back to exponential gaps at
+		// the profile rate.
+		mean := 1e6 / (s.Profile.Rate * amp)
+		for i := 0; i < n; i++ {
+			out = append(out, int64(rng.ExpFloat64()*mean))
+		}
+		return out
+	}
+	for i := 0; i < n; i++ {
+		// Continuous inverse CDF: pick a point uniformly along the sorted
+		// sample and interpolate between neighbors.
+		u := rng.Float64() * float64(len(src)-1)
+		lo := int(u)
+		frac := u - float64(lo)
+		gap := float64(src[lo])
+		if lo+1 < len(src) {
+			gap += frac * float64(src[lo+1]-src[lo])
+		}
+		out = append(out, int64(gap/amp))
+	}
+	return out
+}
+
+// SortedSchedule is Schedule with the gaps sorted ascending, ready for KS
+// comparison.
+func (s *Synthesizer) SortedSchedule(n int, seed int64) []int64 {
+	gaps := s.Schedule(n, seed)
+	sort.Slice(gaps, func(i, j int) bool { return gaps[i] < gaps[j] })
+	return gaps
+}
+
+// ScaleGaps multiplies a sorted gap sample by k (used to undo amplification
+// before comparing a synthesized schedule against its source CDF).
+func ScaleGaps(gaps []int64, k float64) []int64 {
+	out := make([]int64, len(gaps))
+	for i, g := range gaps {
+		out[i] = int64(float64(g) * k)
+	}
+	return out
+}

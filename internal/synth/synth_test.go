@@ -1,0 +1,259 @@
+package synth
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"benchpress/internal/trace"
+)
+
+// buildCapture feeds a deterministic Poisson-ish stream of attempts into a
+// Capture: three types at 60/30/10, exponential gaps with mean 2ms.
+func buildCapture(t *testing.T, n int) *Capture {
+	t.Helper()
+	c := NewCapture("ycsb", "gomvcc", 2)
+	rng := rand.New(rand.NewSource(42))
+	types := []string{"Read", "Update", "Insert"}
+	weights := []float64{0.6, 0.3, 0.1}
+	var clock int64
+	for i := 0; i < n; i++ {
+		clock += int64(rng.ExpFloat64() * 2000) // mean 2ms in us
+		r := rng.Float64()
+		ty := types[0]
+		switch {
+		case r >= weights[0]+weights[1]:
+			ty = types[2]
+		case r >= weights[0]:
+			ty = types[1]
+		}
+		e := trace.Entry{StartUS: clock, LatencyUS: 100 + rng.Int63n(400), Type: ty, Status: "ok"}
+		var args []any
+		if i%5 == 0 {
+			args = []any{rng.Intn(100), "payload"}
+		}
+		c.ObserveAttempt(e, args)
+	}
+	return c
+}
+
+func TestCaptureFinishProfile(t *testing.T) {
+	c := buildCapture(t, 5000)
+	st := c.Status()
+	if st.Entries != 5000 || st.Sampled != 1000 || len(st.Types) != 3 {
+		t.Fatalf("status = %+v", st)
+	}
+	p, err := c.Finish("p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ID != "p1" || p.Benchmark != "ycsb" || p.Scale != 2 || p.DBMS != "gomvcc" {
+		t.Fatalf("profile identity = %+v", p)
+	}
+	if p.TotalAttempts() != 5000 {
+		t.Fatalf("total attempts = %d", p.TotalAttempts())
+	}
+	// Captured proportions within ±5 points of the generating mixture.
+	want := map[string]float64{"Read": 0.6, "Update": 0.3, "Insert": 0.1}
+	for _, tp := range p.Types {
+		if math.Abs(tp.Proportion-want[tp.Name]) > 0.05 {
+			t.Errorf("type %s proportion %.3f, want ~%.2f", tp.Name, tp.Proportion, want[tp.Name])
+		}
+		if tp.MeanLatencyUS < 100 || tp.MeanLatencyUS > 500 {
+			t.Errorf("type %s mean latency %.0f", tp.Name, tp.MeanLatencyUS)
+		}
+		if len(tp.Params) != 2 {
+			t.Fatalf("type %s params = %d positions", tp.Name, len(tp.Params))
+		}
+		// Position 0 was numeric in [0,100); position 1 a constant string.
+		if tp.Params[0].NumericCount == 0 || tp.Params[0].Min < 0 || tp.Params[0].Max >= 100 {
+			t.Errorf("numeric stats = %+v", tp.Params[0])
+		}
+		if tp.Params[1].Distinct != 1 || tp.Params[1].Top[0].Value != "payload" {
+			t.Errorf("string stats = %+v", tp.Params[1])
+		}
+	}
+	// The captured gaps were exponential with mean 2ms → CV near 1.
+	if p.InterArrivalCV < 0.8 || p.InterArrivalCV > 1.2 {
+		t.Errorf("inter-arrival CV = %.2f, want ~1", p.InterArrivalCV)
+	}
+	if len(p.InterArrivalUS) < 1000 {
+		t.Errorf("inter-arrival sample = %d gaps", len(p.InterArrivalUS))
+	}
+}
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	c := buildCapture(t, 2000)
+	p, err := c.Finish("p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != p.ID || back.Rate != p.Rate || len(back.Types) != len(p.Types) ||
+		len(back.InterArrivalUS) != len(p.InterArrivalUS) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, p)
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	for _, p := range []*Profile{
+		{Rate: 10, Types: []TypeProfile{{Name: "A"}}},                                                   // no benchmark
+		{Benchmark: "ycsb", Rate: 10},                                                                   // no types
+		{Benchmark: "ycsb", Types: []TypeProfile{{Name: "A"}}},                                          // no rate
+		{Benchmark: "ycsb", Rate: 10, Types: []TypeProfile{{Name: "A"}}, InterArrivalUS: []int64{5, 3}}, // unsorted
+	} {
+		if err := p.Validate(); err == nil {
+			t.Errorf("profile %+v validated", p)
+		}
+	}
+}
+
+// TestScheduleConformance is the statistical acceptance check: a schedule
+// synthesized from a captured profile must reproduce the source
+// inter-arrival CDF within a KS tolerance at a fixed seed, and
+// amplification must compress the gaps by exactly the dial.
+func TestScheduleConformance(t *testing.T) {
+	c := buildCapture(t, 20000)
+	p, err := c.Finish("p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSynthesizer(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps := s.SortedSchedule(8000, 7)
+	if d := KSDistance(gaps, p.InterArrivalUS); d > 0.05 {
+		t.Fatalf("KS distance %0.3f vs source CDF, want <= 0.05", d)
+	}
+
+	// ×10 amplification: gaps 10× tighter; rescaling by 10 restores the CDF.
+	s10, err := NewSynthesizer(p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s10.TargetRate(); math.Abs(got-10*p.Rate) > 1e-9 {
+		t.Fatalf("target rate %v, want %v", got, 10*p.Rate)
+	}
+	amp := s10.SortedSchedule(8000, 7)
+	if d := KSDistance(ScaleGaps(amp, 10), p.InterArrivalUS); d > 0.05 {
+		t.Fatalf("amplified KS distance %0.3f after rescale", d)
+	}
+	var mean, mean10 float64
+	for i := range gaps {
+		mean += float64(gaps[i])
+	}
+	for i := range amp {
+		mean10 += float64(amp[i])
+	}
+	ratio := mean / mean10
+	if ratio < 9 || ratio > 11 {
+		t.Fatalf("amplification ratio %.2f, want ~10", ratio)
+	}
+}
+
+func TestSynthesizerSpec(t *testing.T) {
+	c := buildCapture(t, 5000)
+	p, err := c.Finish("p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSynthesizer(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Skew = 0.4
+	spec := s.Spec()
+	// Exponential-gapped capture (CV ~1) auto-selects Poisson.
+	if spec.Process != "poisson" {
+		t.Fatalf("process = %q", spec.Process)
+	}
+	if spec.BaseRate != p.Rate || spec.Multiplier != 3 || spec.Skew != 0.4 {
+		t.Fatalf("spec = %+v", spec)
+	}
+	// A metronomic profile auto-selects uniform.
+	s.Profile.InterArrivalCV = 0.01
+	s.Process = ""
+	if got := s.Spec().Process; got != "uniform" {
+		t.Fatalf("low-CV process = %q", got)
+	}
+	// Explicit override wins.
+	s.Process = "burst"
+	if got := s.Spec().Process; got != "burst" {
+		t.Fatalf("override process = %q", got)
+	}
+}
+
+func TestScheduleExponentialFallback(t *testing.T) {
+	p := &Profile{ID: "x", Benchmark: "ycsb", Rate: 500,
+		Types: []TypeProfile{{Name: "Read", Attempts: 1, Proportion: 1}}}
+	s, err := NewSynthesizer(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps := s.Schedule(4000, 3)
+	var sum float64
+	for _, g := range gaps {
+		sum += float64(g)
+	}
+	mean := sum / float64(len(gaps))
+	// Exponential at 500/s → mean gap 2000us.
+	if mean < 1800 || mean > 2200 {
+		t.Fatalf("fallback mean gap %.0f us, want ~2000", mean)
+	}
+}
+
+func TestKSDistance(t *testing.T) {
+	a := []int64{1, 2, 3, 4, 5}
+	if d := KSDistance(a, a); d != 0 {
+		t.Fatalf("self distance %v", d)
+	}
+	b := []int64{101, 102, 103, 104, 105}
+	if d := KSDistance(a, b); d != 1 {
+		t.Fatalf("disjoint distance %v", d)
+	}
+	if d := KSDistance(nil, a); d != 1 {
+		t.Fatalf("empty distance %v", d)
+	}
+}
+
+func TestDecimate(t *testing.T) {
+	src := make([]int64, 10000)
+	for i := range src {
+		src[i] = int64(i)
+	}
+	out := decimate(src, 512)
+	if len(out) != 512 {
+		t.Fatalf("len = %d", len(out))
+	}
+	if !sort.SliceIsSorted(out, func(i, j int) bool { return out[i] < out[j] }) {
+		t.Fatal("not sorted")
+	}
+	if out[0] != 0 || out[len(out)-1] != 9999 {
+		t.Fatalf("extremes = %d..%d", out[0], out[len(out)-1])
+	}
+	// Quantiles survive decimation.
+	if d := KSDistance(out, src); d > 0.01 {
+		t.Fatalf("decimation KS %v", d)
+	}
+	short := []int64{1, 2, 3}
+	if got := decimate(short, 512); len(got) != 3 {
+		t.Fatalf("short sample decimated to %d", len(got))
+	}
+}
+
+func TestCaptureTooSmall(t *testing.T) {
+	c := NewCapture("ycsb", "gomvcc", 1)
+	if _, err := c.Finish("p1"); err == nil {
+		t.Fatal("empty capture produced a profile")
+	}
+}

@@ -29,6 +29,53 @@ type Entry struct {
 	Status string
 	// Worker is the worker ordinal.
 	Worker int
+	// Params is an optional sampled parameter digest (see FormatParams):
+	// the arguments of the attempt's first statement, rendered as one
+	// whitespace-free field. Empty on unsampled attempts; written as an
+	// optional seventh column so old traces stay readable.
+	Params string
+}
+
+// maxParamDigest caps the rendered parameter digest so a pathological
+// string argument cannot bloat the trace line.
+const maxParamDigest = 96
+
+// FormatParams renders statement arguments as a compact single-field digest:
+// values joined by ',', whitespace replaced, truncated at maxParamDigest
+// bytes. The digest is what capture mode persists per sampled attempt.
+func FormatParams(args []any) string {
+	if len(args) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, a := range args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		var s string
+		switch v := a.(type) {
+		case string:
+			s = v
+		case int:
+			s = strconv.Itoa(v)
+		case int64:
+			s = strconv.FormatInt(v, 10)
+		case float64:
+			s = strconv.FormatFloat(v, 'g', -1, 64)
+		default:
+			s = fmt.Sprint(v)
+		}
+		for _, r := range s {
+			if r == ' ' || r == '\t' || r == '\n' || r == '\r' {
+				r = '_'
+			}
+			b.WriteRune(r)
+			if b.Len() >= maxParamDigest {
+				return b.String()
+			}
+		}
+	}
+	return b.String()
 }
 
 // Writer appends trace entries to an io.Writer, safely from many workers.
@@ -44,13 +91,20 @@ func NewWriter(w io.Writer) *Writer {
 	return &Writer{bw: bufio.NewWriterSize(w, 1<<16), out: w}
 }
 
-// Add appends one entry.
+// Add appends one entry. Entries with a parameter digest carry it as a
+// seventh column; the digest itself is whitespace-free by construction.
 func (w *Writer) Add(e Entry) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.n++
-	_, err := fmt.Fprintf(w.bw, "%d %d %s %d %s %d\n",
-		e.StartUS, e.LatencyUS, e.Type, e.Phase, e.Status, e.Worker)
+	var err error
+	if e.Params == "" {
+		_, err = fmt.Fprintf(w.bw, "%d %d %s %d %s %d\n",
+			e.StartUS, e.LatencyUS, e.Type, e.Phase, e.Status, e.Worker)
+	} else {
+		_, err = fmt.Fprintf(w.bw, "%d %d %s %d %s %d %s\n",
+			e.StartUS, e.LatencyUS, e.Type, e.Phase, e.Status, e.Worker, e.Params)
+	}
 	return err
 }
 
@@ -81,8 +135,8 @@ func Read(r io.Reader) ([]Entry, error) {
 			continue
 		}
 		f := strings.Fields(text)
-		if len(f) != 6 {
-			return nil, fmt.Errorf("trace: line %d: want 6 fields, got %d", line, len(f))
+		if len(f) != 6 && len(f) != 7 {
+			return nil, fmt.Errorf("trace: line %d: want 6 or 7 fields, got %d", line, len(f))
 		}
 		start, err1 := strconv.ParseInt(f[0], 10, 64)
 		lat, err2 := strconv.ParseInt(f[1], 10, 64)
@@ -91,10 +145,14 @@ func Read(r io.Reader) ([]Entry, error) {
 		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
 			return nil, fmt.Errorf("trace: line %d: malformed", line)
 		}
-		out = append(out, Entry{
+		e := Entry{
 			StartUS: start, LatencyUS: lat, Type: f[2],
 			Phase: phase, Status: f[4], Worker: worker,
-		})
+		}
+		if len(f) == 7 {
+			e.Params = f[6]
+		}
+		out = append(out, e)
 	}
 	return out, sc.Err()
 }

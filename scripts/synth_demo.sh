@@ -1,0 +1,131 @@
+#!/usr/bin/env sh
+# synth_demo.sh — trace-driven workload synthesis demo, REST only (the
+# acceptance demo for the capture → profile → scaled replay loop):
+#
+#   phase 1  start a TPC-C run through POST /api/v1/workloads, attach a
+#            capture with POST .../capture, let it record, finish it with
+#            DELETE .../capture into a stored profile
+#   phase 2  launch the `synthetic` benchmark from that profile at
+#            AMPLIFY x amplification with a Poisson arrival process and
+#            assert (a) per-type mix proportions within +-MIX_TOL of the
+#            captured profile and (b) sustained rate within RATE_TOL of
+#            AMPLIFY x the captured rate
+#   phase 3  re-dial the arrival process mid-run via POST .../arrival
+#            (burst shape) and assert the change shows up in the SSE
+#            window stream
+#
+# Every control action is an HTTP request against the -serve API; nothing
+# touches the process after it starts.
+#
+# Environment knobs:
+#   BENCH     captured benchmark (default tpcc)
+#   SCALE     benchmark scale factor (default 0.05)
+#   CAP_RATE  closed-loop rate of the captured run, tps (default 50)
+#   CAPDUR    capture length in seconds (default 8)
+#   AMPLIFY   x-N-users dial for the replay (default 10)
+#   MEASURE   replay measurement window in seconds (default 8)
+#   MIX_TOL   per-type proportion tolerance (default 0.05)
+#   RATE_TOL  relative rate tolerance (default 0.25: Poisson noise plus
+#             single-CPU scheduling jitter over a short window)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCH=${BENCH:-tpcc}
+SCALE=${SCALE:-0.05}
+CAP_RATE=${CAP_RATE:-50}
+CAPDUR=${CAPDUR:-8}
+AMPLIFY=${AMPLIFY:-10}
+MEASURE=${MEASURE:-8}
+MIX_TOL=${MIX_TOL:-0.05}
+RATE_TOL=${RATE_TOL:-0.25}
+
+HTTP=127.0.0.1:8093
+API="http://$HTTP/api/v1"
+
+command -v jq >/dev/null || { echo "synth_demo: jq required" >&2; exit 2; }
+
+TMP=$(mktemp -d)
+BIN="$TMP/benchpress"
+PIDS=""
+cleanup() {
+    # shellcheck disable=SC2086
+    [ -n "$PIDS" ] && kill $PIDS 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+fail() { echo "synth_demo: FAIL: $*" >&2; exit 1; }
+
+post() { # post <path> <json>
+    curl -fsS -X POST -H 'Content-Type: application/json' -d "$2" "$API$1"
+}
+
+echo "==> building benchpress"
+go build -o "$BIN" ./cmd/benchpress
+
+echo "==> starting API server on http://$HTTP"
+"$BIN" -serve -http "$HTTP" >"$TMP/serve.log" 2>&1 &
+PIDS="$PIDS $!"
+i=0
+until curl -fsS "$API/workloads" >/dev/null 2>&1; do
+    i=$((i + 1)); [ "$i" -gt 50 ] && fail "API server did not come up (see $TMP/serve.log)"
+    sleep 0.2
+done
+
+echo "==> phase 1: capture a $BENCH run (scale $SCALE, $CAP_RATE tps, ${CAPDUR}s)"
+post /workloads "{\"benchmark\":\"$BENCH\",\"name\":\"cap\",\"scale\":$SCALE,\"rate\":$CAP_RATE,\"terminals\":4,\"duration_sec\":300}" >/dev/null
+post /workloads/cap/capture '{}' >/dev/null
+sleep "$CAPDUR"
+curl -fsS -X DELETE "$API/workloads/cap/capture" >"$TMP/profile.json"
+PID=$(jq -r .id "$TMP/profile.json")
+PRATE=$(jq -r .rate "$TMP/profile.json")
+PTYPES=$(jq -r '.types | length' "$TMP/profile.json")
+[ "$PID" != "null" ] || fail "capture did not produce a profile: $(cat "$TMP/profile.json")"
+curl -fsS -X DELETE "$API/workloads/cap" >/dev/null
+echo "    profile $PID: $PTYPES types, captured rate $PRATE tps"
+# The captured rate must reflect the closed-loop target it ran under.
+jq -e ".rate > $CAP_RATE * 0.7 and .rate < $CAP_RATE * 1.2" "$TMP/profile.json" >/dev/null ||
+    fail "captured rate $PRATE far from the $CAP_RATE tps target"
+
+echo "==> phase 2: synthetic replay at ${AMPLIFY}x, Poisson arrivals"
+post /workloads "{\"benchmark\":\"synthetic\",\"profile\":\"$PID\",\"name\":\"syn\",\"amplify\":$AMPLIFY,\"process\":\"poisson\",\"terminals\":16,\"duration_sec\":300}" >/dev/null
+# SSE capture across the whole replay, for the phase-3 assertion.
+curl -sN "$API/workloads/syn/stream" >"$TMP/sse.log" 2>/dev/null &
+PIDS="$PIDS $!"
+sleep 2    # settle past the ramp before the measurement window
+c0=$(curl -fsS "$API/workloads/syn" | jq .committed)
+sleep "$MEASURE"
+curl -fsS "$API/workloads/syn" >"$TMP/syn.json"
+c1=$(jq .committed "$TMP/syn.json")
+tps=$(awk "BEGIN{printf \"%.1f\", ($c1 - $c0) / $MEASURE}")
+target=$(awk "BEGIN{printf \"%.1f\", $PRATE * $AMPLIFY}")
+echo "    sustained $tps tps over ${MEASURE}s (target $target = ${AMPLIFY}x $PRATE)"
+awk "BEGIN{exit !($tps >= $target * (1 - $RATE_TOL) && $tps <= $target * (1 + $RATE_TOL))}" ||
+    fail "replay rate $tps outside +-${RATE_TOL} of $target"
+
+# Mix conformance: replay per-type proportions vs the profile's, +-MIX_TOL.
+jq -s --argjson tol "$MIX_TOL" '
+    (.[0].types | map({key: .name, value: .proportion}) | from_entries) as $want
+    | (.[1].types | map(.count) | add) as $total
+    | [.[1].types[] | {name, got: (.count / $total), want: $want[.name]}]
+    | map(select(.want != null and ((.got - .want) | fabs) > $tol))
+' "$TMP/profile.json" "$TMP/syn.json" >"$TMP/mixdiff.json"
+if [ "$(jq length "$TMP/mixdiff.json")" != "0" ]; then
+    jq . "$TMP/mixdiff.json" >&2
+    fail "replay mix proportions drift beyond +-$MIX_TOL of the profile"
+fi
+echo "    mix proportions within +-$MIX_TOL of the captured profile"
+
+echo "==> phase 3: mid-run arrival re-dial via POST .../arrival"
+post /workloads/syn/arrival '{"process":"burst","burst_on_ms":200,"burst_off_ms":800}' >"$TMP/arrival.json"
+jq -e '.process == "burst"' "$TMP/arrival.json" >/dev/null || fail "arrival POST did not install burst"
+sleep 3
+grep -q '"process":"burst"' "$TMP/sse.log" ||
+    fail "SSE stream never carried the burst arrival spec"
+windows=$(grep -c '^event: window' "$TMP/sse.log" || true)
+echo "    burst spec visible in the SSE stream ($windows window frames)"
+
+curl -fsS -X DELETE "$API/workloads/syn" >/dev/null
+echo "synth_demo: PASS (capture -> profile $PID -> ${AMPLIFY}x Poisson replay, mix +-$MIX_TOL, rate ~${AMPLIFY}x, live burst re-dial in SSE)"

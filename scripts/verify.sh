@@ -61,6 +61,14 @@ go test -race -count=1 -run 'TestClusterGateMergedExactness' ./internal/cluster/
 echo "==> observability smoke (/metrics exposition, SSE stream, error envelope)"
 go test -count=1 -run 'TestMetricsEndpoint|TestStreamEndpoint|TestStreamWhilePaused|TestErrorEnvelope' ./internal/api/
 
+echo "==> synthesis round trip (-race): capture -> profile -> scaled open-loop replay"
+# Seeded end-to-end synthesis gate: capture a live YCSB run into a profile,
+# amplify it x2 through the synthesizer, replay open loop, and require the
+# replay's rate and per-type mixture to conform (rate +-20%, mix +-0.05).
+# The API-level capture/profile/arrival resources race under the short pass
+# above; this drives the whole loop through internal/synth.
+go test -race -count=1 -run 'TestSynthRoundTrip|TestScheduleConformance' ./internal/benchmarks/synthetic/ ./internal/synth/
+
 echo "==> isolation conformance & crash recovery (-race, fixed seed)"
 # Deterministic differential-oracle harness for the three personalities plus
 # the WAL kill-point sweep. CONSISTENCY_SEED=<n> reseeds the run; add
