@@ -78,7 +78,10 @@ func runEngineServer(ctx context.Context, addr, benchName, dbName string, scale 
 	if commitDelay > 0 {
 		p.CommitDelay = commitDelay
 	}
-	db := dbdriver.OpenWith(p)
+	db, err := dbdriver.OpenWith(p)
+	if err != nil {
+		fatal(err)
+	}
 	defer db.Close()
 	fmt.Printf("== engine server: loading %s into %s...\n", benchName, dbName)
 	if err := core.Prepare(b, db, time.Now().UnixNano()%100000+1); err != nil {

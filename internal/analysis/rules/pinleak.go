@@ -1,0 +1,396 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"benchpress/internal/analysis"
+	"benchpress/internal/analysis/callgraph"
+)
+
+// Fact names exported by PinLeak. Settles uses the unified parameter bit
+// layout ("calling this function unpins the frame rooted at parameter i");
+// opens uses result indices ("result i of this function carries a pinned
+// frame the caller must unpin").
+const (
+	factPinSettles = "pin.settles"
+	factPinOpens   = "pin.opens"
+)
+
+// pinBeginNames are the methods that pin a frame; pinSettleNames the ones
+// that release it. Unlike transactions, the settle method takes the pinned
+// frame as its first argument rather than being invoked on it.
+var (
+	pinBeginNames  = map[string]bool{"Pin": true, "PinNew": true}
+	pinSettleNames = map[string]bool{"Unpin": true}
+)
+
+// PinLeak enforces that every buffer-pool frame pinned by Pin/PinNew on a
+// pool-like receiver (a type with Unpin and Pin or PinNew) is released
+// somewhere the analysis can see: the pinning function must either pass the
+// frame to Unpin locally, call a helper whose exported fact says it unpins
+// the same root, or visibly hand the frame off (return it, store it into a
+// struct, send it away).
+//
+// A leaked pin is worse than a leaked transaction: a pinned frame can never
+// be evicted, so one leak per request eventually wedges the pool and every
+// Pin blocks with "all frames pinned". Hand-offs are not free passes: a
+// function that returns a pinned frame exports an "opens" fact, so the
+// obligation reappears at every call site and follows the frame across
+// package boundaries.
+type PinLeak struct{}
+
+// Name implements analysis.Rule.
+func (PinLeak) Name() string { return "pin-leak" }
+
+// Doc implements analysis.Rule.
+func (PinLeak) Doc() string {
+	return "every frame pinned by Pin/PinNew must reach an Unpin in this function, an unpinning callee, or the caller it escapes to"
+}
+
+// CheckProgram implements analysis.ProgramRule. Summaries are iterated to a
+// fixpoint first (facts grow monotonically), then every function is checked
+// against the final facts.
+func (PinLeak) CheckProgram(pass *analysis.ProgramPass) {
+	prog := pass.Prog
+	for {
+		changed := false
+		for _, n := range prog.Graph.Nodes() {
+			s := scanPinFunc(prog, n)
+			if prog.Facts.ExportBits(n.Func, factPinSettles, s.settleBits()) {
+				changed = true
+			}
+			if prog.Facts.ExportBits(n.Func, factPinOpens, s.opens) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for _, n := range prog.Graph.Nodes() {
+		scanPinFunc(prog, n).report(pass)
+	}
+}
+
+// pinObligation is one frame pinned in a function: where, the call that
+// pinned it, and the variable it is rooted at (nil when the pinned frame is
+// discarded on the spot).
+type pinObligation struct {
+	pos  token.Pos
+	root types.Object
+	what string
+}
+
+// pinReturn records that a return statement hands result index idx the value
+// rooted at obj.
+type pinReturn struct {
+	idx int
+	obj types.Object
+}
+
+// pinScan is the per-function summary of one fixpoint iteration.
+type pinScan struct {
+	prog *analysis.Program
+	node *callgraph.Node
+	info *types.Info
+
+	params      []types.Object
+	settleRoots map[types.Object]bool
+	coarse      bool // an Unpin is called somewhere (same-root fallback)
+	escaped     map[types.Object]bool
+	opens       uint64
+	obligations []pinObligation
+}
+
+// scanPinFunc walks one declaration (function literals included — an Unpin
+// inside a deferred closure still releases) and computes its pin summary
+// under the current facts.
+func scanPinFunc(prog *analysis.Program, n *callgraph.Node) *pinScan {
+	s := &pinScan{
+		prog:        prog,
+		node:        n,
+		info:        n.Info,
+		params:      paramObjs(n.Info, n.Decl),
+		settleRoots: map[types.Object]bool{},
+		escaped:     map[types.Object]bool{},
+	}
+	var returns []pinReturn
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.CallExpr:
+			s.visitCall(x)
+		case *ast.AssignStmt:
+			s.visitAssign(x)
+		case *ast.ValueSpec:
+			s.visitValueSpec(x)
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(x.X).(*ast.CallExpr); ok {
+				for range s.pinnedResults(call) {
+					s.obligations = append(s.obligations,
+						pinObligation{pos: call.Pos(), what: calleeName(call)})
+				}
+			}
+		case *ast.ReturnStmt:
+			returns = append(returns, s.visitReturn(x)...)
+		case *ast.CompositeLit:
+			// Anything folded into a composite literal escapes linear sight.
+			for _, elt := range x.Elts {
+				ast.Inspect(elt, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						if o := s.info.Uses[id]; o != nil {
+							s.escaped[o] = true
+						}
+					}
+					return true
+				})
+			}
+		case *ast.SendStmt:
+			if o := identObj(s.info, x.Value); o != nil {
+				s.escaped[o] = true
+			}
+		}
+		return true
+	})
+	// A return of an obligation root re-exports the obligation to callers.
+	roots := map[types.Object]bool{}
+	for _, ob := range s.obligations {
+		if ob.root != nil {
+			roots[ob.root] = true
+		}
+	}
+	for _, r := range returns {
+		if roots[r.obj] && r.idx < 64 {
+			s.opens |= 1 << r.idx
+		}
+	}
+	return s
+}
+
+// isPoolType reports whether t looks like a buffer pool: it can Unpin and it
+// can Pin or PinNew.
+func isPoolType(t types.Type) bool {
+	return hasMethod(t, nil, "Unpin") &&
+		(hasMethod(t, nil, "Pin") || hasMethod(t, nil, "PinNew"))
+}
+
+// visitCall records unpins (direct and via callee facts), and the hand-off
+// of roots into dynamic calls. Unpin takes the frame as an argument, so the
+// settled roots come from the argument list, not the receiver.
+func (s *pinScan) visitCall(call *ast.CallExpr) {
+	name := calleeName(call)
+	if pinSettleNames[name] {
+		s.coarse = true
+		for _, a := range call.Args {
+			if o := rootObj(s.info, a); o != nil {
+				s.settleRoots[o] = true
+			}
+		}
+	}
+	resolved := s.prog.Graph.Resolve(call)
+	for _, callee := range resolved {
+		eachBit(s.prog.Facts.Bits(callee, factPinSettles), func(bit int) {
+			if arg := argForBit(call, callee, bit); arg != nil {
+				if o := rootObj(s.info, arg); o != nil {
+					s.settleRoots[o] = true
+				}
+			}
+		})
+	}
+	if len(resolved) == 0 {
+		// Dynamic call (function value, conversion, builtin): a frame passed
+		// into it is out of linear sight — hand-off, not a leak.
+		for _, a := range call.Args {
+			if o := identObj(s.info, a); o != nil {
+				s.escaped[o] = true
+			}
+		}
+	}
+}
+
+// pinnedResults returns the result indices of call that carry a pinned
+// frame: every non-error result of a Pin-family call on a pool-like
+// receiver, plus every callee "opens" fact.
+func (s *pinScan) pinnedResults(call *ast.CallExpr) []int {
+	seen := map[int]bool{}
+	var idx []int
+	add := func(i int) {
+		if !seen[i] {
+			seen[i] = true
+			idx = append(idx, i)
+		}
+	}
+	name := calleeName(call)
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if pinBeginNames[name] && isSel && isPoolType(s.info.TypeOf(sel.X)) {
+		if sig, ok := s.info.TypeOf(call.Fun).(*types.Signature); ok {
+			res := sig.Results()
+			for i := 0; i < res.Len(); i++ {
+				if !types.Identical(res.At(i).Type(), errorType) {
+					add(i)
+				}
+			}
+		}
+	}
+	for _, callee := range s.prog.Graph.Resolve(call) {
+		eachBit(s.prog.Facts.Bits(callee, factPinOpens), add)
+	}
+	sort.Ints(idx)
+	return idx
+}
+
+// visitAssign handles both sides of an assignment: storing a tracked root
+// into differently-rooted memory is an escape; a call on the right-hand side
+// that pins a frame creates an obligation on the left-hand side.
+func (s *pinScan) visitAssign(a *ast.AssignStmt) {
+	if len(a.Lhs) == len(a.Rhs) {
+		for j, rhs := range a.Rhs {
+			o := identObj(s.info, rhs)
+			if o == nil {
+				continue
+			}
+			// Assigning to blank drops the value — that is not a hand-off,
+			// the obligation stays live.
+			if id, ok := ast.Unparen(a.Lhs[j]).(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+			if rootObj(s.info, a.Lhs[j]) != o {
+				s.escaped[o] = true
+			}
+		}
+	}
+	if len(a.Rhs) == 1 {
+		if call, ok := ast.Unparen(a.Rhs[0]).(*ast.CallExpr); ok {
+			for _, i := range s.pinnedResults(call) {
+				s.addLhsObligation(call, a.Lhs, i)
+			}
+		}
+		return
+	}
+	for j, rhs := range a.Rhs {
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+			for _, i := range s.pinnedResults(call) {
+				if i == 0 {
+					s.addLhsObligation(call, a.Lhs[j:j+1], 0)
+				}
+			}
+		}
+	}
+}
+
+// visitValueSpec handles `var f = pool.Pin(id)` declarations.
+func (s *pinScan) visitValueSpec(spec *ast.ValueSpec) {
+	if len(spec.Values) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(spec.Values[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	for _, i := range s.pinnedResults(call) {
+		ob := pinObligation{pos: call.Pos(), what: calleeName(call)}
+		if i < len(spec.Names) && spec.Names[i].Name != "_" {
+			ob.root = s.info.Defs[spec.Names[i]]
+		}
+		s.obligations = append(s.obligations, ob)
+	}
+}
+
+// addLhsObligation attaches the obligation for result index i of call to the
+// assignment target. A blank target is an immediate discard; a field or
+// element target moves the frame into memory (escape), which silences the
+// local obligation rather than creating an untrackable one.
+func (s *pinScan) addLhsObligation(call *ast.CallExpr, lhs []ast.Expr, i int) {
+	ob := pinObligation{pos: call.Pos(), what: calleeName(call)}
+	if i < len(lhs) {
+		target := ast.Unparen(lhs[i])
+		if id, ok := target.(*ast.Ident); ok {
+			if id.Name != "_" {
+				ob.root = rootObj(s.info, id)
+			}
+			s.obligations = append(s.obligations, ob)
+			return
+		}
+		// Stored straight into a struct field, map, or slice: out of scope
+		// for linear tracking.
+		return
+	}
+	s.obligations = append(s.obligations, ob)
+}
+
+// visitReturn records hand-offs through return statements: returned roots
+// (plain or folded into a composite literal) and forwarded callee opens.
+func (s *pinScan) visitReturn(r *ast.ReturnStmt) []pinReturn {
+	if len(r.Results) == 1 {
+		if call, ok := ast.Unparen(r.Results[0]).(*ast.CallExpr); ok {
+			// Forwarding a call's results re-exports its opens bits verbatim.
+			for _, i := range s.pinnedResults(call) {
+				if i < 64 {
+					s.opens |= 1 << i
+				}
+			}
+			return nil
+		}
+	}
+	var out []pinReturn
+	for j, e := range r.Results {
+		if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+			for _, i := range s.pinnedResults(call) {
+				if i == 0 && j < 64 {
+					s.opens |= 1 << j
+				}
+			}
+			continue
+		}
+		if o := identObj(s.info, e); o != nil {
+			s.escaped[o] = true
+			out = append(out, pinReturn{idx: j, obj: o})
+			continue
+		}
+		// A composite literal in a return carries every root folded into it.
+		ast.Inspect(e, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if o := s.info.Uses[id]; o != nil {
+					out = append(out, pinReturn{idx: j, obj: o})
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// settleBits projects settled roots onto the function's own parameters for
+// export.
+func (s *pinScan) settleBits() uint64 {
+	var bits uint64
+	for i, o := range s.params {
+		if o != nil && i < 64 && s.settleRoots[o] {
+			bits |= 1 << i
+		}
+	}
+	return bits
+}
+
+// report flags every obligation that is neither unpinned nor handed off.
+// Functions that ARE the pin operation (a wrapper Pin forwarding to the
+// pool's Pin) are exempt: their caller owns the pin.
+func (s *pinScan) report(pass *analysis.ProgramPass) {
+	if pinBeginNames[s.node.Decl.Name.Name] {
+		return
+	}
+	for _, ob := range s.obligations {
+		if ob.root == nil {
+			pass.Report(ob.pos, "frame pinned by %s is immediately discarded", ob.what)
+			continue
+		}
+		if s.coarse || s.settleRoots[ob.root] || s.escaped[ob.root] {
+			continue
+		}
+		pass.Report(ob.pos,
+			"frame pinned by %s is never unpinned in %s and does not escape to a caller",
+			ob.what, s.node.Decl.Name.Name)
+	}
+}

@@ -16,6 +16,7 @@ func All() []analysis.Rule {
 	return []analysis.Rule{
 		AtomicConsistency{},
 		TxnHygiene{},
+		PinLeak{},
 		PreparedStmtLeak{},
 		ErrorDiscard{},
 		ErrorSink{},

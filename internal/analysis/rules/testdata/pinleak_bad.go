@@ -1,0 +1,39 @@
+// Fixture: true positives for the pin-leak rule — frames pinned and never
+// unpinned: held to the end of the function, pinned fresh, and discarded
+// outright.
+package fixture
+
+type pframe struct{}
+
+func (f *pframe) touch() error { return nil }
+
+type ppool struct{}
+
+func (p *ppool) Pin(id uint32) (*pframe, error)    { return nil, nil }
+func (p *ppool) PinNew(id uint32) (*pframe, error) { return nil, nil }
+func (p *ppool) Unpin(f *pframe, dirty bool)       {}
+
+func leakyPin(p *ppool) error {
+	f, err := p.Pin(7) // want "never unpinned"
+	if err != nil {
+		return err
+	}
+	return f.touch()
+}
+
+func leakyPinNew(p *ppool) error {
+	f, err := p.PinNew(8) // want "never unpinned"
+	if err != nil {
+		return err
+	}
+	return f.touch()
+}
+
+func discards(p *ppool) {
+	p.Pin(9) // want "immediately discarded"
+}
+
+func discardsBlank(p *ppool) error {
+	_, err := p.Pin(10) // want "immediately discarded"
+	return err
+}

@@ -1,0 +1,59 @@
+// Fixture: true negatives for the pin-leak rule — unpinned frames, release
+// through a helper's exported fact, an exempt Pin wrapper, and a hand-off of
+// a still-pinned frame to the caller.
+package fixture
+
+type gframe struct{}
+
+func (f *gframe) touch() error { return nil }
+
+type gpool struct{}
+
+func (p *gpool) Pin(id uint32) (*gframe, error)    { return nil, nil }
+func (p *gpool) PinNew(id uint32) (*gframe, error) { return nil, nil }
+func (p *gpool) Unpin(f *gframe, dirty bool)       {}
+
+func unpinned(p *gpool) error {
+	f, err := p.Pin(1)
+	if err != nil {
+		return err
+	}
+	defer p.Unpin(f, false)
+	return f.touch()
+}
+
+// release unpins whatever frame it is given; callers discharge their pin
+// obligation through its exported fact.
+func release(p *gpool, f *gframe) { p.Unpin(f, true) }
+
+func helperUnpinned(p *gpool) error {
+	f, err := p.PinNew(2)
+	if err != nil {
+		return err
+	}
+	if err := f.touch(); err != nil {
+		release(p, f)
+		return err
+	}
+	release(p, f)
+	return nil
+}
+
+// pinnedHandOff returns the frame still pinned: the obligation moves to the
+// callers through the exported opens fact. Under a per-function rule this
+// would need a //lint:ignore.
+func pinnedHandOff(p *gpool) (*gframe, error) {
+	f, err := p.Pin(3)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+type wrapped struct{ p gpool }
+
+// Pin is a thin wrapper over the pool: its caller owns the pin.
+func (w *wrapped) Pin(id uint32) (*gframe, error) { return w.p.Pin(id) }
+
+// Unpin forwards the release to the pool.
+func (w *wrapped) Unpin(f *gframe, dirty bool) { w.p.Unpin(f, dirty) }

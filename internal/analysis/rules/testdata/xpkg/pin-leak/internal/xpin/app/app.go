@@ -1,0 +1,48 @@
+// Cross-package fixture, consumer side: pin obligations settled through
+// (and inherited from) helpers in the pool package.
+package app
+
+import "benchpress/internal/xpin/pool"
+
+// helperReleased discharges its Pin through pool.Release in the other
+// package — no suppression needed under the interprocedural rule.
+func helperReleased(p *pool.Pool) error {
+	f, err := p.Pin(1)
+	if err != nil {
+		return err
+	}
+	_ = f.Data()
+	pool.Release(p, f)
+	return nil
+}
+
+// leak never unpins and never hands the frame anywhere.
+func leak(p *pool.Pool) ([]byte, error) {
+	f, err := p.Pin(2) // want "never unpinned"
+	if err != nil {
+		return nil, err
+	}
+	return f.Data(), nil
+}
+
+// leakFromMeta inherits the obligation from pool.Meta's opens fact and
+// drops it.
+func leakFromMeta(p *pool.Pool) error {
+	f, err := pool.Meta(p) // want "never unpinned"
+	if err != nil {
+		return err
+	}
+	_ = f.Data()
+	return nil
+}
+
+// releasedFromMeta inherits the same obligation and discharges it.
+func releasedFromMeta(p *pool.Pool) error {
+	f, err := pool.Meta(p)
+	if err != nil {
+		return err
+	}
+	defer p.Unpin(f, false)
+	_ = f.Data()
+	return nil
+}

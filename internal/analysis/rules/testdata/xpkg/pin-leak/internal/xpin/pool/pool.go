@@ -1,0 +1,32 @@
+// Cross-package fixture, provider side: a buffer pool, an unpinning helper
+// (exports a pin.settles fact), and a pinning helper that hands back a
+// still-pinned frame (exports a pin.opens fact).
+package pool
+
+// Frame is one pinned buffer-pool page.
+type Frame struct{ pins int }
+
+// Data exposes the frame bytes.
+func (f *Frame) Data() []byte { return nil }
+
+// Pool is a fixed-size buffer pool.
+type Pool struct{}
+
+// Pin pins a page into a frame; the caller owns the pin.
+func (p *Pool) Pin(id uint32) (*Frame, error) { return &Frame{pins: 1}, nil }
+
+// PinNew pins a fresh zeroed page; the caller owns the pin.
+func (p *Pool) PinNew(id uint32) (*Frame, error) { return &Frame{pins: 1}, nil }
+
+// Unpin releases one pin.
+func (p *Pool) Unpin(f *Frame, dirty bool) { f.pins-- }
+
+// Release unpins f: callers in other packages discharge their Pin
+// obligation through this helper's exported fact.
+func Release(p *Pool, f *Frame) { p.Unpin(f, false) }
+
+// Meta returns the metadata page still pinned. The returned frame carries
+// the obligation: callers must unpin it.
+func Meta(p *Pool) (*Frame, error) {
+	return p.Pin(0)
+}

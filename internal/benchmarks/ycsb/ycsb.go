@@ -111,6 +111,29 @@ func (b *Benchmark) Load(db *dbdriver.DB, rng *rand.Rand) error {
 	return l.Close()
 }
 
+// Resume implements core.Resumer: when Prepare keeps a recovered dataset
+// instead of reloading, re-seed the insert-key allocator past the highest
+// surviving key so fresh inserts do not collide with rows inserted by the
+// previous run.
+func (b *Benchmark) Resume(db *dbdriver.DB) (err error) {
+	conn := db.Connect()
+	defer func() {
+		if cerr := conn.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	row, err := conn.QueryRow("SELECT ycsb_key FROM usertable ORDER BY ycsb_key DESC LIMIT 1")
+	if err != nil {
+		return err
+	}
+	if row != nil {
+		if max := row[0].Int(); max > b.nextKey.Load() {
+			b.nextKey.Store(max)
+		}
+	}
+	return nil
+}
+
 // key draws a Zipf-hot existing key.
 func (b *Benchmark) key(rng *rand.Rand) int64 {
 	return b.chooser.Next(rng)

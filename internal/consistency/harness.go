@@ -35,6 +35,11 @@ type Config struct {
 	// Mutation installs a deliberate engine invariant break so the harness
 	// can prove its checkers detect the corresponding bug class.
 	Mutation txn.Mutation
+	// Open, when set, supplies the database instance instead of opening one
+	// from Personality — the disk crash sweep uses it to run the conformance
+	// workload against an engine recovered from a torn disk image. The run
+	// still closes the instance when it finishes.
+	Open func() (*dbdriver.DB, error)
 }
 
 // withDefaults fills zero fields with the standard conformance shape.
@@ -97,6 +102,14 @@ func openSlot(db *dbdriver.DB) (*slotConn, error) {
 // off and WAL emulation off, so the engine runs no goroutines of its own and
 // the deterministic stepper owns every scheduling decision.
 func openDB(cfg Config) (*dbdriver.DB, error) {
+	if cfg.Open != nil {
+		db, err := cfg.Open()
+		if err != nil {
+			return nil, err
+		}
+		db.TxnManager().SetMutation(cfg.Mutation)
+		return db, nil
+	}
 	p, err := dbdriver.Lookup(cfg.Personality)
 	if err != nil {
 		return nil, err
@@ -105,7 +118,10 @@ func openDB(cfg Config) (*dbdriver.DB, error) {
 	p.WALPolicy = wal.SyncNone
 	p.GroupCommitInterval = 0
 	p.CommitDelay = 0
-	db := dbdriver.OpenWith(p)
+	db, err := dbdriver.OpenWith(p)
+	if err != nil {
+		return nil, err
+	}
 	db.TxnManager().SetMutation(cfg.Mutation)
 	return db, nil
 }

@@ -92,7 +92,23 @@ func BenchmarkNames() []string {
 	return out
 }
 
+// Resumer is an optional Benchmark extension. Benchmarks whose procedures
+// carry allocator state derived from the loaded dataset (a next-insert key,
+// a row-count-based chooser) implement Resume to re-derive that state when
+// Prepare keeps a recovered dataset instead of reloading it.
+type Resumer interface {
+	Resume(db *dbdriver.DB) error
+}
+
 // Prepare creates the schema and loads the data for a benchmark on db.
+//
+// A disk-backed engine can come up holding a recovered image. When tables
+// already exist Prepare keeps the schema instead of re-creating it, and when
+// they also hold rows it keeps the dataset instead of reloading — reopening
+// a -data-dir resumes where the last run left off. The recovered schema must
+// belong to the same benchmark; a mismatch surfaces as a missing-table error
+// from the workload. Remote instances always create and load: the schema
+// lives in the server process and Prepare cannot inspect it.
 func Prepare(b Benchmark, db *dbdriver.DB, seed int64) (err error) {
 	conn := db.Connect()
 	defer func() {
@@ -100,6 +116,22 @@ func Prepare(b Benchmark, db *dbdriver.DB, seed int64) (err error) {
 			err = fmt.Errorf("core: close schema connection: %w", cerr)
 		}
 	}()
+	if eng := db.Engine(); eng != nil && len(eng.Tables()) > 0 {
+		if eng.RowCount() > 0 {
+			if r, ok := b.(Resumer); ok {
+				if err := r.Resume(db); err != nil {
+					return fmt.Errorf("core: resume %s: %w", b.Name(), err)
+				}
+			}
+			return nil
+		}
+		// Recovered (or truncated) schema with no surviving rows: reload
+		// the dataset into the existing tables.
+		if err := b.Load(db, rand.New(rand.NewSource(seed))); err != nil {
+			return fmt.Errorf("core: load %s: %w", b.Name(), err)
+		}
+		return nil
+	}
 	if err := b.CreateSchema(conn); err != nil {
 		return fmt.Errorf("core: create schema for %s: %w", b.Name(), err)
 	}

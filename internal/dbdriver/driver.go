@@ -37,6 +37,13 @@ type Personality struct {
 	// VacuumInterval paces the engine's online background vacuum (zero
 	// disables it).
 	VacuumInterval time.Duration
+	// DataDir, when non-empty, makes the instance disk-resident: committed
+	// rows live in a slotted-page heap behind a buffer pool with ARIES-style
+	// recovery (sqldb.OpenDisk). Empty keeps the all-RAM fast path.
+	DataDir string
+	// BufferPoolPages caps the buffer pool's 4 KiB frames in disk mode
+	// (zero uses the engine default).
+	BufferPoolPages int
 }
 
 var (
@@ -155,19 +162,38 @@ func Open(name string) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return OpenWith(p), nil
+	return OpenWith(p)
 }
 
-// OpenWith creates a database instance from an explicit personality.
-func OpenWith(p Personality) *DB {
-	eng := sqldb.Open(sqldb.Config{
+// OpenWith creates a database instance from an explicit personality. A
+// personality with a DataDir opens disk-resident, which can fail (device or
+// recovery errors); the all-RAM path never does.
+func OpenWith(p Personality) (*DB, error) {
+	cfg := sqldb.Config{
 		Name:                p.Name,
 		Mode:                p.Mode,
 		WALPolicy:           p.WALPolicy,
 		GroupCommitInterval: p.GroupCommitInterval,
 		CommitDelay:         p.CommitDelay,
 		VacuumInterval:      p.VacuumInterval,
-	})
+	}
+	if p.DataDir == "" {
+		return &DB{p: p, eng: sqldb.Open(cfg)}, nil
+	}
+	cfg.DataDir = p.DataDir
+	cfg.BufferPoolPages = p.BufferPoolPages
+	eng, err := sqldb.OpenDisk(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{p: p, eng: eng}, nil
+}
+
+// Wrap adopts an already-open engine under the DB/Conn surface. The
+// crash-torture harness uses it to run the conformance workload against an
+// engine it recovered by hand from a surviving disk image; Close closes the
+// adopted engine.
+func Wrap(p Personality, eng *sqldb.Engine) *DB {
 	return &DB{p: p, eng: eng}
 }
 

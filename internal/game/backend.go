@@ -64,7 +64,9 @@ func (b *ManagerBackend) Halt() {
 		b.Cancel()
 	}
 	if b.ResetDB {
-		b.Manager.DB().Engine().TruncateAll()
+		// Halt is best-effort teardown with no error channel; a failed disk
+		// truncate is re-derived from the WAL on the next open.
+		_ = b.Manager.DB().Engine().TruncateAll()
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"benchpress/internal/sqldb/exec"
 	"benchpress/internal/sqldb/parser"
 	"benchpress/internal/sqldb/storage"
+	"benchpress/internal/sqldb/storage/heap"
 	"benchpress/internal/sqldb/txn"
 	"benchpress/internal/sqlval"
 	"benchpress/internal/wal"
@@ -53,14 +54,35 @@ type Config struct {
 	// (wal.AppendRecord), enabling crash-recovery replay checks. When nil
 	// the log records only write counts.
 	CommitPayload func(*txn.Txn) []byte
+
+	// DataDir, when non-empty, makes the engine disk-resident (OpenDisk):
+	// committed rows live in a slotted-page heap file (DataDir/heap.db)
+	// behind a buffer pool, with ARIES-style physical logging in
+	// DataDir/wal.log and full recovery on reopen.
+	DataDir string
+	// BufferPoolPages caps the buffer pool's frame count in disk mode
+	// (default 64 frames = 256 KiB of 4 KiB pages).
+	BufferPoolPages int
+	// CheckpointEvery logs a fuzzy checkpoint every N disk commits
+	// (default 256; negative disables).
+	CheckpointEvery int
+	// DiskDevice overrides the heap device in disk mode; the crash-torture
+	// harness injects a tearing in-memory device here. When set, DiskWAL
+	// seeds recovery with the surviving log image and WALSink receives the
+	// new epoch's log bytes.
+	DiskDevice heap.Device
+	// DiskWAL is the surviving WAL image recovered against when DiskDevice
+	// is injected. Ignored in DataDir mode (the file is read instead).
+	DiskWAL []byte
 }
 
 // Engine is one embedded database instance.
 type Engine struct {
-	cfg Config
-	cat *catalog.Catalog
-	mgr *txn.Manager
-	log *wal.Log
+	cfg  Config
+	cat  *catalog.Catalog
+	mgr  *txn.Manager
+	log  *wal.Log
+	disk *diskStore // non-nil for disk-resident engines (OpenDisk)
 
 	mu     sync.RWMutex
 	tables map[string]*storage.Table
@@ -167,6 +189,9 @@ func (e *Engine) Close() {
 			e.vacWG.Wait()
 		}
 		e.log.Close()
+		if e.disk != nil {
+			e.disk.close()
+		}
 	})
 }
 
@@ -214,11 +239,20 @@ func (e *Engine) Vacuum() int {
 }
 
 // TruncateAll empties every table (the game's "reset the database" action).
-// Callers must quiesce the workload first.
-func (e *Engine) TruncateAll() {
+// Callers must quiesce the workload first. On a disk-backed engine the first
+// failure to log a truncate is returned; the in-memory tables are emptied
+// regardless, and recovery re-derives the disk image from the WAL.
+func (e *Engine) TruncateAll() error {
+	var first error
 	for _, t := range e.Tables() {
 		t.Truncate()
+		if e.disk != nil {
+			if err := e.disk.onTruncate(t.Meta.Name); err != nil && first == nil {
+				first = err
+			}
+		}
 	}
+	return first
 }
 
 // RowCount sums live row slots over all tables.
@@ -554,6 +588,16 @@ func (e *Engine) execDDL(ast parser.Statement) (*exec.Result, error) {
 		e.mu.Lock()
 		e.tables[strings.ToLower(d.Name)] = tbl
 		e.mu.Unlock()
+		if e.disk != nil {
+			if err := e.disk.onCreateTable(meta); err != nil {
+				// Unwind: the table is not durable, so it must not exist.
+				e.cat.DropTable(d.Name)
+				e.mu.Lock()
+				delete(e.tables, strings.ToLower(d.Name))
+				e.mu.Unlock()
+				return nil, err
+			}
+		}
 		return &exec.Result{}, nil
 	case *parser.CreateIndex:
 		tbl, err := e.StorageTable(d.Table)
@@ -568,6 +612,11 @@ func (e *Engine) execDDL(ast parser.Statement) (*exec.Result, error) {
 			return nil, err
 		}
 		tbl.AddIndex(idx)
+		if e.disk != nil {
+			if err := e.disk.onSchemaChange(e.cat, d.Table); err != nil {
+				return nil, err
+			}
+		}
 		return &exec.Result{}, nil
 	case *parser.DropTable:
 		if !e.cat.HasTable(d.Name) {
@@ -582,6 +631,11 @@ func (e *Engine) execDDL(ast parser.Statement) (*exec.Result, error) {
 		e.mu.Lock()
 		delete(e.tables, strings.ToLower(d.Name))
 		e.mu.Unlock()
+		if e.disk != nil {
+			if err := e.disk.onDropTable(d.Name); err != nil {
+				return nil, err
+			}
+		}
 		return &exec.Result{}, nil
 	case *parser.TruncateTable:
 		tbl, err := e.StorageTable(d.Name)
@@ -589,6 +643,11 @@ func (e *Engine) execDDL(ast parser.Statement) (*exec.Result, error) {
 			return nil, err
 		}
 		tbl.Truncate()
+		if e.disk != nil {
+			if err := e.disk.onTruncate(d.Name); err != nil {
+				return nil, err
+			}
+		}
 		return &exec.Result{}, nil
 	default:
 		return nil, fmt.Errorf("sqldb: unsupported DDL %T", ast)

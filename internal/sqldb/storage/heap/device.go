@@ -1,0 +1,179 @@
+package heap
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// ErrPageMissing reports a read of a page the device has never stored. The
+// pool and recovery treat it as "format fresh", distinct from corruption.
+var ErrPageMissing = errors.New("heap: page not on device")
+
+// Device is the page-granular persistence surface under the buffer pool.
+// Implementations must allow concurrent calls; the crash-torture harness
+// wraps one with a byte-budget kill switch to tear writes mid-page.
+type Device interface {
+	// ReadPage fills buf (PageSize bytes) with page id, or ErrPageMissing.
+	ReadPage(id uint32, buf []byte) error
+	// WritePage stores buf (PageSize bytes) as page id, extending the
+	// device as needed.
+	WritePage(id uint32, buf []byte) error
+	// Pages returns the number of pages the device holds (highest id + 1).
+	Pages() (uint32, error)
+	// Sync flushes device buffers to stable storage.
+	Sync() error
+	// Close releases the device.
+	Close() error
+}
+
+// FileDevice stores pages in one flat file at PageSize-aligned offsets.
+type FileDevice struct {
+	f *os.File
+}
+
+// OpenFileDevice opens (creating if absent) a heap file.
+func OpenFileDevice(path string) (*FileDevice, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	if st.Size()%PageSize != 0 {
+		// A torn tail page from a crash mid-extend: pad to a page boundary
+		// so the partial page reads back (and fails Verify) instead of
+		// shearing every later page's offset.
+		if err := f.Truncate((st.Size()/PageSize + 1) * PageSize); err != nil {
+			_ = f.Close()
+			return nil, err
+		}
+	}
+	return &FileDevice{f: f}, nil
+}
+
+// ReadPage implements Device.
+func (d *FileDevice) ReadPage(id uint32, buf []byte) error {
+	if len(buf) != PageSize {
+		return fmt.Errorf("heap: read buffer is %d bytes", len(buf))
+	}
+	n, err := d.f.ReadAt(buf, int64(id)*PageSize)
+	if err != nil && n == 0 {
+		return fmt.Errorf("%w: page %d: %v", ErrPageMissing, id, err)
+	}
+	if n < PageSize {
+		// Partial tail page (crash mid-extend); zero-fill so Verify sees a
+		// deterministically torn image.
+		for i := n; i < PageSize; i++ {
+			buf[i] = 0
+		}
+	}
+	return nil
+}
+
+// WritePage implements Device.
+func (d *FileDevice) WritePage(id uint32, buf []byte) error {
+	if len(buf) != PageSize {
+		return fmt.Errorf("heap: write buffer is %d bytes", len(buf))
+	}
+	_, err := d.f.WriteAt(buf, int64(id)*PageSize)
+	return err
+}
+
+// Pages implements Device.
+func (d *FileDevice) Pages() (uint32, error) {
+	st, err := d.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return uint32(st.Size() / PageSize), nil
+}
+
+// Sync implements Device.
+func (d *FileDevice) Sync() error { return d.f.Sync() }
+
+// Close implements Device.
+func (d *FileDevice) Close() error { return d.f.Close() }
+
+// MemDevice is an in-memory Device. The crash harness uses it as the
+// surviving "disk image": a kill-injecting wrapper tears writes into it, and
+// recovery then reopens the same MemDevice unwrapped.
+type MemDevice struct {
+	mu    sync.Mutex
+	pages [][]byte
+}
+
+// NewMemDevice returns an empty in-memory device.
+func NewMemDevice() *MemDevice { return &MemDevice{} }
+
+// ReadPage implements Device.
+func (d *MemDevice) ReadPage(id uint32, buf []byte) error {
+	if len(buf) != PageSize {
+		return fmt.Errorf("heap: read buffer is %d bytes", len(buf))
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int(id) >= len(d.pages) || d.pages[id] == nil {
+		return fmt.Errorf("%w: page %d", ErrPageMissing, id)
+	}
+	copy(buf, d.pages[id])
+	return nil
+}
+
+// WritePage implements Device.
+func (d *MemDevice) WritePage(id uint32, buf []byte) error {
+	return d.WritePartial(id, buf, PageSize)
+}
+
+// WritePartial stores only the first n bytes of buf into page id, leaving
+// the rest of the page as it was (zeroes for a fresh page) — the shape of a
+// torn write. The kill-injecting wrapper is its only intended caller.
+func (d *MemDevice) WritePartial(id uint32, buf []byte, n int) error {
+	if len(buf) != PageSize {
+		return fmt.Errorf("heap: write buffer is %d bytes", len(buf))
+	}
+	if n < 0 || n > PageSize {
+		return fmt.Errorf("heap: partial write of %d bytes", n)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for int(id) >= len(d.pages) {
+		d.pages = append(d.pages, nil)
+	}
+	if d.pages[id] == nil {
+		d.pages[id] = make([]byte, PageSize)
+	}
+	copy(d.pages[id][:n], buf[:n])
+	return nil
+}
+
+// Pages implements Device.
+func (d *MemDevice) Pages() (uint32, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return uint32(len(d.pages)), nil
+}
+
+// Sync implements Device.
+func (d *MemDevice) Sync() error { return nil }
+
+// Close implements Device.
+func (d *MemDevice) Close() error { return nil }
+
+// Image returns a deep copy of the device contents, for the determinism
+// checks of the crash sweep (bit-identical images per seed and budget).
+func (d *MemDevice) Image() [][]byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([][]byte, len(d.pages))
+	for i, p := range d.pages {
+		if p != nil {
+			out[i] = append([]byte(nil), p...)
+		}
+	}
+	return out
+}

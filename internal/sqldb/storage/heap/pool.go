@@ -1,0 +1,259 @@
+package heap
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"benchpress/internal/wal"
+)
+
+// ErrNoFrames is returned when every frame is pinned and a new page cannot
+// be brought in. It indicates a pin leak or a pool sized below the
+// transaction's working set.
+var ErrNoFrames = errors.New("heap: all buffer-pool frames pinned")
+
+// Frame is one buffer-pool slot holding a page image. Callers access Data
+// only between Pin and Unpin; the pin count keeps the frame resident, and
+// the dirty flag handed to Unpin schedules the page for write-back.
+type Frame struct {
+	id     uint32
+	data   []byte
+	pins   int
+	dirty  bool
+	ref    bool   // clock reference bit
+	recLSN uint64 // LSN when the frame first became dirty (checkpoint DPT)
+}
+
+// ID returns the page id the frame holds.
+func (f *Frame) ID() uint32 { return f.id }
+
+// Data returns the frame's page bytes. Valid only while pinned.
+func (f *Frame) Data() []byte { return f.data }
+
+// Page returns the frame's bytes as a Page view. Valid only while pinned.
+func (f *Frame) Page() Page { return AsPage(f.data) }
+
+// PoolOptions configures a Pool.
+type PoolOptions struct {
+	// Pages is the frame count (the buffer-pool budget). Minimum 1.
+	Pages int
+	// Device backs the pool.
+	Device Device
+	// FlushWAL enforces write-ahead logging: it is called with a dirty
+	// page's LSN immediately before the page is written to the device and
+	// must ensure the log is durable through that LSN (or fail, which
+	// aborts the eviction). Nil skips the check.
+	FlushWAL func(lsn uint64) error
+}
+
+// PoolStats is a snapshot of pool counters.
+type PoolStats struct {
+	Hits, Misses, Evictions, Flushes uint64
+	Pinned, Dirty                    int
+}
+
+// Pool is a buffer pool: a fixed set of page frames over a Device with
+// pin/unpin discipline, dirty tracking, and clock-LRU eviction. All methods
+// are safe for concurrent use; one mutex serializes metadata (page fetches
+// and write-backs happen under it too — the pool optimizes for correctness
+// and deterministic replay, not for overlapping device IO).
+type Pool struct {
+	mu     sync.Mutex
+	dev    Device
+	flush  func(uint64) error
+	frames []*Frame
+	table  map[uint32]*Frame
+	hand   int
+
+	hits, misses, evictions, flushes uint64
+}
+
+// NewPool builds a pool with o.Pages frames.
+func NewPool(o PoolOptions) *Pool {
+	if o.Pages < 1 {
+		o.Pages = 1
+	}
+	return &Pool{
+		dev:    o.Device,
+		flush:  o.FlushWAL,
+		frames: make([]*Frame, 0, o.Pages),
+		table:  make(map[uint32]*Frame, o.Pages),
+	}
+}
+
+// Pin fetches page id into a frame, pinning it. The page must exist on the
+// device (or still be resident); a torn on-device image surfaces the Verify
+// error. Use PinNew for pages being created.
+func (p *Pool) Pin(id uint32) (*Frame, error) { return p.pin(id, false) }
+
+// PinNew pins a frame holding a freshly formatted page id, without reading
+// the device. The caller is creating the page; its first Unpin(dirty=true)
+// schedules the initial write-back.
+func (p *Pool) PinNew(id uint32) (*Frame, error) { return p.pin(id, true) }
+
+func (p *Pool) pin(id uint32, fresh bool) (*Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f, ok := p.table[id]; ok {
+		f.pins++
+		f.ref = true
+		p.hits++
+		return f, nil
+	}
+	p.misses++
+	f, err := p.victimLocked()
+	if err != nil {
+		return nil, err
+	}
+	if fresh {
+		Format(f.data, id)
+	} else if err := p.dev.ReadPage(id, f.data); err != nil {
+		p.releaseVictimLocked(f)
+		return nil, err
+	} else if err := Verify(f.data); err != nil {
+		p.releaseVictimLocked(f)
+		return nil, fmt.Errorf("heap: page %d: %w", id, err)
+	}
+	f.id = id
+	f.pins = 1
+	f.ref = true
+	f.dirty = false
+	f.recLSN = 0
+	p.table[id] = f
+	return f, nil
+}
+
+// victimLocked returns an empty frame: a never-used one while the pool is
+// below budget, else a clock-LRU victim (unpinned, reference bit clear),
+// flushing it first when dirty. The victim is removed from the page table
+// before its contents are replaced.
+func (p *Pool) victimLocked() (*Frame, error) {
+	if len(p.frames) < cap(p.frames) {
+		f := &Frame{data: make([]byte, PageSize)}
+		p.frames = append(p.frames, f)
+		return f, nil
+	}
+	// Two full sweeps: the first clears reference bits, the second takes
+	// the first unpinned frame. 2n+1 checks bound the walk when every
+	// frame is referenced but some are unpinned.
+	for i := 0; i < 2*len(p.frames)+1; i++ {
+		f := p.frames[p.hand]
+		p.hand = (p.hand + 1) % len(p.frames)
+		if f.pins > 0 {
+			continue
+		}
+		if f.ref {
+			f.ref = false
+			continue
+		}
+		if f.dirty {
+			if err := p.flushFrameLocked(f); err != nil {
+				return nil, err
+			}
+		}
+		delete(p.table, f.id)
+		p.evictions++
+		return f, nil
+	}
+	return nil, ErrNoFrames
+}
+
+// releaseVictimLocked returns a victim whose load failed to the pool as an
+// empty, immediately reusable frame.
+func (p *Pool) releaseVictimLocked(f *Frame) {
+	f.id = 0
+	f.pins = 0
+	f.dirty = false
+	f.ref = false
+	Format(f.data, 0)
+	// Leave it out of the table; the clock will hand it out again.
+}
+
+// flushFrameLocked writes one dirty frame back: WAL first (write-ahead
+// check against the page LSN), then seal and device write.
+func (p *Pool) flushFrameLocked(f *Frame) error {
+	if p.flush != nil {
+		if err := p.flush(AsPage(f.data).LSN()); err != nil {
+			return fmt.Errorf("heap: WAL-before-data flush for page %d: %w", f.id, err)
+		}
+	}
+	Seal(f.data)
+	if err := p.dev.WritePage(f.id, f.data); err != nil {
+		return err
+	}
+	f.dirty = false
+	f.recLSN = 0
+	p.flushes++
+	return nil
+}
+
+// Unpin releases one pin. dirty marks the frame as modified since its last
+// write-back; the first dirtying records the page LSN as the frame's recLSN
+// (the checkpoint dirty-page-table entry). Unpinning an unpinned frame
+// panics: it is a balance bug the pin-leak lint exists to prevent.
+func (p *Pool) Unpin(f *Frame, dirty bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f.pins <= 0 {
+		panic(fmt.Sprintf("heap: unpin of unpinned page %d", f.id))
+	}
+	f.pins--
+	if dirty && !f.dirty {
+		f.dirty = true
+		f.recLSN = AsPage(f.data).LSN()
+	}
+}
+
+// FlushAll writes every dirty frame back and syncs the device (clean
+// shutdown and the forced flush after recovery).
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// Deterministic order: ascending page id.
+	dirty := make([]*Frame, 0, len(p.frames))
+	for _, f := range p.frames {
+		if f.dirty {
+			dirty = append(dirty, f)
+		}
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i].id < dirty[j].id })
+	for _, f := range dirty {
+		if err := p.flushFrameLocked(f); err != nil {
+			return err
+		}
+	}
+	return p.dev.Sync()
+}
+
+// DirtyPages snapshots the dirty page table for a fuzzy checkpoint, sorted
+// by page id so the encoded record is deterministic.
+func (p *Pool) DirtyPages() []wal.DirtyPage {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]wal.DirtyPage, 0, len(p.frames))
+	for _, f := range p.frames {
+		if f.dirty {
+			out = append(out, wal.DirtyPage{PageID: f.id, RecLSN: f.recLSN})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PageID < out[j].PageID })
+	return out
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := PoolStats{Hits: p.hits, Misses: p.misses, Evictions: p.evictions, Flushes: p.flushes}
+	for _, f := range p.frames {
+		if f.pins > 0 {
+			s.Pinned++
+		}
+		if f.dirty {
+			s.Dirty++
+		}
+	}
+	return s
+}

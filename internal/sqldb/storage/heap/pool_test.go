@@ -1,0 +1,331 @@
+package heap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// checkedDevice asserts write-ahead logging on every page write: a page may
+// only reach the device once the WAL is durable through its LSN.
+type checkedDevice struct {
+	*MemDevice
+	walDurable *atomic.Uint64
+	violations atomic.Int32
+}
+
+func (d *checkedDevice) WritePage(id uint32, buf []byte) error {
+	if lsn := AsPage(buf).LSN(); lsn > d.walDurable.Load() {
+		d.violations.Add(1)
+	}
+	if err := Verify(buf); err != nil {
+		d.violations.Add(1) // unsealed page reached the device
+	}
+	return d.MemDevice.WritePage(id, buf)
+}
+
+// TestPoolPropertyConcurrent drives the pool with randomized concurrent
+// pin/write/unpin load well past the frame budget and checks the core
+// invariants: pinned pages are never evicted or relocated, pin/unpin counts
+// balance, and dirty pages hit the WAL before the device (run with -race).
+func TestPoolPropertyConcurrent(t *testing.T) {
+	const (
+		frames  = 4
+		pages   = 64
+		workers = 4
+		iters   = 2000
+	)
+	var walDurable atomic.Uint64
+	dev := &checkedDevice{MemDevice: NewMemDevice(), walDurable: &walDurable}
+	pool := NewPool(PoolOptions{
+		Pages:  frames,
+		Device: dev,
+		FlushWAL: func(lsn uint64) error {
+			for {
+				cur := walDurable.Load()
+				if lsn <= cur || walDurable.CompareAndSwap(cur, lsn) {
+					return nil
+				}
+			}
+		},
+	})
+
+	var (
+		nextLSN  atomic.Uint64
+		versions [pages]atomic.Uint64
+		pageMu   [pages]sync.Mutex // content writers need external coordination
+		created  [pages]atomic.Bool
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < iters; i++ {
+				id := uint32(rng.Intn(pages))
+				pageMu[id].Lock()
+				var (
+					f   *Frame
+					err error
+				)
+				creating := created[id].CompareAndSwap(false, true)
+				if creating {
+					f, err = pool.PinNew(id)
+				} else {
+					f, err = pool.Pin(id)
+				}
+				if err != nil {
+					pageMu[id].Unlock()
+					t.Errorf("pin page %d: %v", id, err)
+					return
+				}
+				// Pinned means resident and stable: the frame must keep
+				// holding our page across the whole critical section.
+				if f.ID() != id {
+					t.Errorf("pinned frame relocated: holds %d, want %d", f.ID(), id)
+				}
+				pg := f.Page()
+				if rec, ok := pg.Slot(0); ok {
+					gotID := binary.BigEndian.Uint32(rec)
+					gotVer := binary.BigEndian.Uint64(rec[4:])
+					if gotID != id || gotVer != versions[id].Load() {
+						t.Errorf("page %d content: id=%d ver=%d, want ver=%d",
+							id, gotID, gotVer, versions[id].Load())
+					}
+				} else if versions[id].Load() != 0 {
+					t.Errorf("page %d lost its record at version %d", id, versions[id].Load())
+				}
+				// Creation must be a dirty unpin: a clean eviction would drop
+				// the only copy of a page the device has never seen.
+				dirty := creating || rng.Intn(2) == 0
+				if dirty {
+					ver := versions[id].Add(1)
+					var rec [12]byte
+					binary.BigEndian.PutUint32(rec[:], id)
+					binary.BigEndian.PutUint64(rec[4:], ver)
+					if err := pg.Put(0, rec[:]); err != nil {
+						t.Errorf("put page %d: %v", id, err)
+					}
+					pg.SetLSN(nextLSN.Add(1))
+				}
+				if f.ID() != id {
+					t.Errorf("frame stolen while pinned: holds %d, want %d", f.ID(), id)
+				}
+				pool.Unpin(f, dirty)
+				pageMu[id].Unlock()
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+
+	if n := dev.violations.Load(); n != 0 {
+		t.Fatalf("%d WAL-before-data violations (dirty page hit the device before its log records)", n)
+	}
+	st := pool.Stats()
+	if st.Pinned != 0 {
+		t.Fatalf("pin/unpin imbalance: %d frames still pinned after all workers unpinned", st.Pinned)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions with %d pages over %d frames — the test exerted no pressure", pages, frames)
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if st := pool.Stats(); st.Dirty != 0 {
+		t.Fatalf("%d dirty frames after FlushAll", st.Dirty)
+	}
+	// Every created page's durable image holds its final version.
+	for id := 0; id < pages; id++ {
+		if !created[id].Load() {
+			continue
+		}
+		buf := make([]byte, PageSize)
+		if err := dev.ReadPage(uint32(id), buf); err != nil {
+			t.Fatalf("read back page %d: %v", id, err)
+		}
+		if err := Verify(buf); err != nil {
+			t.Fatalf("page %d: %v", id, err)
+		}
+		want := versions[id].Load()
+		rec, ok := AsPage(buf).Slot(0)
+		if want == 0 {
+			continue // page was created but never dirtied
+		}
+		if !ok || binary.BigEndian.Uint64(rec[4:]) != want {
+			t.Fatalf("page %d durable version != %d", id, want)
+		}
+	}
+}
+
+func TestPoolPinnedNeverEvicted(t *testing.T) {
+	dev := NewMemDevice()
+	pool := NewPool(PoolOptions{Pages: 2, Device: dev})
+	f1, err := pool.PinNew(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f1.Page().Put(0, []byte("pinned")); err != nil {
+		t.Fatal(err)
+	}
+	// Churn many pages through the one remaining frame.
+	for id := uint32(10); id < 30; id++ {
+		f, err := pool.PinNew(id)
+		if err != nil {
+			t.Fatalf("page %d: %v", id, err)
+		}
+		pool.Unpin(f, true)
+	}
+	if st := pool.Stats(); st.Evictions == 0 {
+		t.Fatal("churn caused no evictions")
+	}
+	if f1.ID() != 1 {
+		t.Fatalf("pinned frame now holds page %d", f1.ID())
+	}
+	if rec, ok := f1.Page().Slot(0); !ok || string(rec) != "pinned" {
+		t.Fatal("pinned frame contents clobbered")
+	}
+	pool.Unpin(f1, true)
+}
+
+func TestPoolAllPinned(t *testing.T) {
+	pool := NewPool(PoolOptions{Pages: 2, Device: NewMemDevice()})
+	f1, _ := pool.PinNew(1)
+	f2, _ := pool.PinNew(2)
+	if _, err := pool.PinNew(3); !errors.Is(err, ErrNoFrames) {
+		t.Fatalf("pin over budget: %v", err)
+	}
+	pool.Unpin(f2, false)
+	if _, err := pool.PinNew(3); err != nil {
+		t.Fatalf("pin after release: %v", err)
+	}
+	pool.Unpin(f1, false)
+}
+
+func TestPoolUnpinImbalancePanics(t *testing.T) {
+	pool := NewPool(PoolOptions{Pages: 1, Device: NewMemDevice()})
+	f, err := pool.PinNew(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Unpin(f, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unbalanced Unpin did not panic")
+		}
+	}()
+	pool.Unpin(f, false)
+}
+
+// TestPoolFlushFailureAbortsEviction: when the WAL cannot be made durable,
+// the dirty page must stay resident rather than reach the device.
+func TestPoolFlushFailureAbortsEviction(t *testing.T) {
+	dev := NewMemDevice()
+	walErr := fmt.Errorf("log device dead")
+	pool := NewPool(PoolOptions{
+		Pages:    1,
+		Device:   dev,
+		FlushWAL: func(uint64) error { return walErr },
+	})
+	f, err := pool.PinNew(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Page().Put(0, []byte("unflushable")); err != nil {
+		t.Fatal(err)
+	}
+	f.Page().SetLSN(7)
+	pool.Unpin(f, true)
+
+	if _, err := pool.Pin(2); err == nil || !strings.Contains(err.Error(), "log device dead") {
+		t.Fatalf("eviction with dead WAL: %v", err)
+	}
+	if n, _ := dev.Pages(); n != 0 {
+		t.Fatal("dirty page reached the device without a durable log")
+	}
+	// The page is still resident and intact.
+	f, err = pool.Pin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec, ok := f.Page().Slot(0); !ok || !bytes.Equal(rec, []byte("unflushable")) {
+		t.Fatal("dirty page lost after failed eviction")
+	}
+	pool.Unpin(f, false)
+	if err := pool.FlushAll(); err == nil {
+		t.Fatal("FlushAll succeeded with a dead WAL")
+	}
+}
+
+func TestPoolDirtyPageTable(t *testing.T) {
+	pool := NewPool(PoolOptions{Pages: 4, Device: NewMemDevice()})
+	for _, id := range []uint32{5, 3} {
+		f, err := pool.PinNew(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Page().SetLSN(uint64(100 + id))
+		pool.Unpin(f, true)
+	}
+	dpt := pool.DirtyPages()
+	if len(dpt) != 2 || dpt[0].PageID != 3 || dpt[1].PageID != 5 {
+		t.Fatalf("DPT = %+v", dpt)
+	}
+	if dpt[0].RecLSN != 103 || dpt[1].RecLSN != 105 {
+		t.Fatalf("DPT recLSNs = %+v", dpt)
+	}
+}
+
+func TestFileDeviceRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/heap.db"
+	dev, err := OpenFileDevice(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	for id := uint32(0); id < 3; id++ {
+		p := Format(buf, id)
+		if err := p.Put(0, []byte{byte(id)}); err != nil {
+			t.Fatal(err)
+		}
+		Seal(buf)
+		if err := dev.WritePage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dev.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dev, err = OpenFileDevice(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	if n, _ := dev.Pages(); n != 3 {
+		t.Fatalf("Pages() = %d", n)
+	}
+	for id := uint32(0); id < 3; id++ {
+		if err := dev.ReadPage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(buf); err != nil {
+			t.Fatalf("page %d: %v", id, err)
+		}
+		if rec, ok := AsPage(buf).Slot(0); !ok || rec[0] != byte(id) {
+			t.Fatalf("page %d contents wrong", id)
+		}
+	}
+	if err := dev.ReadPage(9, buf); !errors.Is(err, ErrPageMissing) {
+		t.Fatalf("read past end: %v", err)
+	}
+}

@@ -126,6 +126,21 @@ func NewManager(mode Mode) *Manager {
 // Mode returns the manager's concurrency-control mode.
 func (m *Manager) Mode() Mode { return m.mode }
 
+// AdvanceTxnID raises the transaction id source so no future transaction is
+// assigned an id at or below floor. Disk recovery calls it with the log's
+// txn-id high-water mark: a restarted engine reusing an id that already has a
+// commit record on disk would make a new loser transaction's updates replay
+// as committed. Ids double as wait-die ages, so this also keeps post-restart
+// transactions younger than every pre-crash one.
+func (m *Manager) AdvanceTxnID(floor uint64) {
+	for {
+		cur := m.nextTxn.Load()
+		if cur >= floor || m.nextTxn.CompareAndSwap(cur, floor) {
+			return
+		}
+	}
+}
+
 // Horizon returns a timestamp at or below every active snapshot; versions
 // deleted before it are unreachable and may be vacuumed.
 func (m *Manager) Horizon() uint64 {
@@ -297,12 +312,16 @@ const (
 
 // WriteRec is one materialized write-set entry, exposed to durability hooks
 // (WAL payload encoders). Data is the new image for inserts and updates and
-// the deleted image for deletes; it aliases engine memory and must not be
-// mutated or retained past the hook.
+// the deleted image for deletes; Old is the replaced image for updates (nil
+// for inserts and deletes). Both alias engine memory and must not be mutated
+// or retained past the hook. RowID identifies the row so disk-resident
+// engines can address its heap slot.
 type WriteRec struct {
 	Table string
 	Kind  WriteKind
+	RowID storage.RowID
 	Data  []sqlval.Value
+	Old   []sqlval.Value
 }
 
 // WriteCount returns the number of write-set entries (including claims),
@@ -317,11 +336,11 @@ func (t *Txn) WriteSet() []WriteRec {
 		op := &t.writes[i]
 		switch op.kind {
 		case opInsert:
-			out = append(out, WriteRec{Table: op.table.Meta.Name, Kind: WriteInsert, Data: op.newV.Data})
+			out = append(out, WriteRec{Table: op.table.Meta.Name, Kind: WriteInsert, RowID: op.rowID, Data: op.newV.Data})
 		case opUpdate:
-			out = append(out, WriteRec{Table: op.table.Meta.Name, Kind: WriteUpdate, Data: op.newV.Data})
+			out = append(out, WriteRec{Table: op.table.Meta.Name, Kind: WriteUpdate, RowID: op.rowID, Data: op.newV.Data, Old: op.oldV.Data})
 		case opDelete:
-			out = append(out, WriteRec{Table: op.table.Meta.Name, Kind: WriteDelete, Data: op.oldV.Data})
+			out = append(out, WriteRec{Table: op.table.Meta.Name, Kind: WriteDelete, RowID: op.rowID, Data: op.oldV.Data})
 		}
 	}
 	return out

@@ -91,6 +91,7 @@ type flushGen struct {
 	count    atomic.Uint32 // records in this generation
 	isSealed atomic.Bool   // mirror of sealed, for cheap spin-loop checks
 	paced    bool          // a backstop leader is pacing this generation
+	maxSeq   uint64        // highest sequence stamped before the seal
 }
 
 // Log is a write-ahead log. A nil *Log is valid and performs no work, so
@@ -114,6 +115,7 @@ type Log struct {
 	stopped sync.WaitGroup
 
 	seq     atomic.Uint64
+	durable atomic.Uint64 // highest sequence number known written to the sink
 	records atomic.Uint64
 	flushes atomic.Uint64
 	bytes   atomic.Uint64
@@ -128,6 +130,11 @@ type Options struct {
 	GroupInterval time.Duration
 	// W receives flushed bytes; nil discards them.
 	W io.Writer
+	// StartSeq seeds the sequence counter so a log reopened after recovery
+	// continues numbering where the surviving prefix left off (ReadRecords
+	// requires consecutive sequence numbers across the whole file). Zero
+	// starts a fresh log at sequence 1.
+	StartSeq uint64
 }
 
 // New starts a log with the given options.
@@ -145,6 +152,8 @@ func New(opts Options) *Log {
 		gen:      newGen(nil),
 		stop:     make(chan struct{}),
 	}
+	l.seq.Store(opts.StartSeq)
+	l.durable.Store(opts.StartSeq)
 	if l.policy == SyncAsync {
 		l.stopped.Add(1)
 		go func() {
@@ -201,6 +210,11 @@ const recordMagic = 0xB7
 // magic (1) + reserved (3) + sequence (8) + payload length (4) + FNV-32a (4).
 const payloadHeaderSize = 20
 
+// PayloadHeaderSize is the frame-header size of AppendRecord framing. The
+// crash harness uses it to locate payload bytes inside a captured sink image
+// when picking kill points that tear specific record kinds.
+const PayloadHeaderSize = payloadHeaderSize
+
 // Record is one decoded payload frame.
 type Record struct {
 	// Seq is the append sequence number (1-based, consecutive).
@@ -227,6 +241,87 @@ func (l *Log) AppendRecord(payload []byte) error {
 	return l.append(frame, 4)
 }
 
+// AppendRecordAsync writes one framed record like AppendRecord but never
+// waits for a flush: under SyncGroup and SyncAsync the bytes join the open
+// generation's buffer and ride whichever flush seals it. It returns the
+// record's sequence number (its LSN). The caller buys durability later by
+// awaiting a subsequent AppendRecord — sink bytes are written in sequence
+// order, so a durable successor implies every predecessor reached the sink.
+// The disk engine uses this to log a transaction's slot-image updates
+// without paying one group-commit wait per record; the commit record's
+// AppendRecord verdict then covers the whole batch.
+func (l *Log) AppendRecordAsync(payload []byte) (uint64, error) {
+	if l == nil {
+		return 0, nil
+	}
+	frame := make([]byte, payloadHeaderSize+len(payload))
+	frame[0] = recordMagic
+	binary.BigEndian.PutUint32(frame[12:16], uint32(len(payload)))
+	h := fnv.New32a()
+	h.Write(payload)
+	binary.BigEndian.PutUint32(frame[16:20], h.Sum32())
+	copy(frame[payloadHeaderSize:], payload)
+
+	l.mu.Lock()
+	if err := l.failErr; err != nil {
+		l.mu.Unlock()
+		return 0, err
+	}
+	seq := l.seq.Add(1)
+	binary.BigEndian.PutUint64(frame[4:12], seq)
+	if l.policy == SyncNone {
+		// Write through, as AppendRecord would: the verdict is synchronous.
+		err := writeAll(l.w, frame)
+		l.failErr = err
+		if err == nil {
+			l.durable.Store(seq)
+		}
+		l.mu.Unlock()
+		if err != nil {
+			return 0, err
+		}
+	} else {
+		l.buf = append(l.buf, frame...)
+		l.mu.Unlock()
+	}
+	l.records.Add(1)
+	if l.policy == SyncNone {
+		l.bytes.Add(uint64(len(frame)))
+	}
+	return seq, nil
+}
+
+// Flush forces buffered records to the sink and returns the write verdict,
+// regardless of policy. The disk engine uses it as a durability barrier for
+// rare out-of-band records (DDL catalog writes, WAL-before-data fallbacks);
+// commits keep riding the group pipeline.
+func (l *Log) Flush() error {
+	if l == nil {
+		return nil
+	}
+	if l.policy == SyncNone {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		return l.failErr // SyncNone writes through: nothing is buffered
+	}
+	l.mu.Lock()
+	g := l.gen
+	l.sealLocked()
+	l.mu.Unlock()
+	l.complete(g)
+	return g.err
+}
+
+// DurableLSN returns the highest sequence number known written to the sink.
+// The buffer pool's WAL-before-data check compares a dirty page's LSN
+// against it before the page may be evicted.
+func (l *Log) DurableLSN() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.durable.Load()
+}
+
 // append routes one encoded record through the configured sync policy.
 // seqOff is the header offset of the 8-byte sequence field, stamped under
 // l.mu so that buffer order and sequence order always agree (the checksum
@@ -239,9 +334,13 @@ func (l *Log) append(rec []byte, seqOff int) error {
 			l.mu.Lock()
 			err := l.failErr
 			if err == nil {
-				binary.BigEndian.PutUint64(rec[seqOff:seqOff+8], l.seq.Add(1))
+				seq := l.seq.Add(1)
+				binary.BigEndian.PutUint64(rec[seqOff:seqOff+8], seq)
 				err = writeAll(l.w, rec)
 				l.failErr = err
+				if err == nil {
+					l.durable.Store(seq)
+				}
 			}
 			l.mu.Unlock()
 			if err != nil {
@@ -370,6 +469,7 @@ func (l *Log) lead(g *flushGen, deadline time.Time) error {
 func (l *Log) sealLocked() {
 	g := l.gen
 	g.buf = l.buf
+	g.maxSeq = l.seq.Load()
 	l.buf = nil
 	l.gen = newGen(g)
 	l.lastSeal = time.Now()
@@ -413,6 +513,11 @@ func (l *Log) complete(g *flushGen) {
 			l.bytes.Add(uint64(len(g.buf)))
 			l.flushes.Add(1)
 		}
+	}
+	if err == nil {
+		// Generations complete in seal order, so maxSeq is nondecreasing
+		// here; every record at or below it has reached the sink.
+		l.durable.Store(g.maxSeq)
 	}
 	g.err = err
 	g.buf = nil
@@ -506,35 +611,44 @@ func ReadRecords(r io.Reader) ([]Record, error) {
 	if err != nil {
 		return nil, err
 	}
+	recs, _, err := ScanRecords(data)
+	return recs, err
+}
+
+// ScanRecords is ReadRecords over in-memory bytes; it additionally returns
+// the byte length of the clean prefix — everything before the first tear.
+// Recovery truncates the log file to that length before reopening it for
+// appends, so a later replay never runs into mid-file torn garbage.
+func ScanRecords(data []byte) ([]Record, int, error) {
 	var recs []Record
 	off := 0
 	var lastSeq uint64
 	for off < len(data) {
 		if len(data)-off < payloadHeaderSize {
-			return recs, ErrTorn
+			return recs, off, ErrTorn
 		}
 		hdr := data[off : off+payloadHeaderSize]
 		if hdr[0] != recordMagic {
-			return recs, fmt.Errorf("wal: bad record magic 0x%02x at offset %d", hdr[0], off)
+			return recs, off, fmt.Errorf("wal: bad record magic 0x%02x at offset %d", hdr[0], off)
 		}
 		seq := binary.BigEndian.Uint64(hdr[4:12])
 		plen := int(binary.BigEndian.Uint32(hdr[12:16]))
 		sum := binary.BigEndian.Uint32(hdr[16:20])
 		if len(data)-off-payloadHeaderSize < plen {
-			return recs, ErrTorn
+			return recs, off, ErrTorn
 		}
 		payload := data[off+payloadHeaderSize : off+payloadHeaderSize+plen]
 		h := fnv.New32a()
 		h.Write(payload)
 		if h.Sum32() != sum {
-			return recs, ErrTorn
+			return recs, off, ErrTorn
 		}
 		if seq != lastSeq+1 {
-			return recs, fmt.Errorf("wal: record sequence jump %d -> %d at offset %d", lastSeq, seq, off)
+			return recs, off, fmt.Errorf("wal: record sequence jump %d -> %d at offset %d", lastSeq, seq, off)
 		}
 		lastSeq = seq
 		recs = append(recs, Record{Seq: seq, Payload: payload})
 		off += payloadHeaderSize + plen
 	}
-	return recs, nil
+	return recs, off, nil
 }

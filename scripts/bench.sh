@@ -12,8 +12,12 @@
 #                       YCSB rows and the stats recording micros with the
 #                       per-shard window histograms wired into the hot path,
 #                       next to the pre-histogram baseline (commit fafef9a)
+#   BENCH_disk.json     disk-residency record: the all-RAM golock YCSB row
+#                       next to the disk-resident buffer-pool sweep
+#                       (32/64/256 frames) with hit rates and the
+#                       dataset-to-pool ratio
 #
-# Usage: scripts/bench.sh [hotpath.json] [storage.json] [obsv.json]
+# Usage: scripts/bench.sh [hotpath.json] [storage.json] [obsv.json] [synth.json] [disk.json]
 #        scripts/bench.sh --compare <baseline.json> [current.json] [--allow-missing]
 #
 # The --compare mode prints per-benchmark deltas for tps, ns_op, and
@@ -35,6 +39,9 @@
 #   CPU_LIST         -cpu sweep for the scaling benchmarks (default
 #                    1,2,4,8,16; the 16-wide column probes lock contention
 #                    well past the physical core count)
+#   COMPARE_BENCH    -bench regex for the fresh run in --compare mode
+#                    (default BenchmarkEngineYCSB_; the disk gate passes
+#                    BenchmarkEngineYCSBDisk_)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -43,7 +50,7 @@ render() {
     printf '%s\n' "$1" | awk '
     {
         name=$1; ns=""; tps=""; bytes=""; allocs="";
-        workers=""; earlyp99=""; latep99="";
+        workers=""; earlyp99=""; latep99=""; hitpct=""; ratio="";
         for (i = 2; i <= NF; i++) {
             if ($i == "ns/op") ns = $(i-1);
             else if ($i == "tps") tps = $(i-1);
@@ -52,12 +59,16 @@ render() {
             else if ($i == "workers") workers = $(i-1);
             else if ($i == "early-p99-us") earlyp99 = $(i-1);
             else if ($i == "late-p99-us") latep99 = $(i-1);
+            else if ($i == "hit-pct") hitpct = $(i-1);
+            else if ($i == "data-pool-ratio") ratio = $(i-1);
         }
         line = sprintf("    {\"name\": \"%s\", \"ns_op\": %s", name, ns);
         if (tps != "")      line = line sprintf(", \"tps\": %s", tps);
         if (workers != "")  line = line sprintf(", \"workers\": %s", workers);
         if (earlyp99 != "") line = line sprintf(", \"early_p99_us\": %s", earlyp99);
         if (latep99 != "")  line = line sprintf(", \"late_p99_us\": %s", latep99);
+        if (hitpct != "")   line = line sprintf(", \"hit_pct\": %s", hitpct);
+        if (ratio != "")    line = line sprintf(", \"data_pool_ratio\": %s", ratio);
         if (bytes != "")    line = line sprintf(", \"b_op\": %s", bytes);
         if (allocs != "")   line = line sprintf(", \"allocs_op\": %s", allocs);
         print line "},";
@@ -160,9 +171,9 @@ if [ "${1:-}" = "--compare" ]; then
         exit 2
     fi
     if [ -z "$CURRENT" ]; then
-        echo "==> fresh engine macro run for compare (EngineYCSB)"
+        echo "==> fresh engine macro run for compare (${COMPARE_BENCH:-BenchmarkEngineYCSB_})"
         FRESH=$(go test -count=1 -run '^$' \
-            -bench 'BenchmarkEngineYCSB_' \
+            -bench "${COMPARE_BENCH:-BenchmarkEngineYCSB_}" \
             -benchmem -benchtime "${BENCHTIME_MACRO:-2x}" . | grep '^Benchmark')
         CURRENT=$(mktemp)
         trap 'rm -f "$CURRENT"' EXIT
@@ -182,6 +193,7 @@ OUT=${1:-BENCH_hotpath.json}
 STORAGE_OUT=${2:-BENCH_storage.json}
 OBSV_OUT=${3:-BENCH_obsv.json}
 SYNTH_OUT=${4:-BENCH_synth.json}
+DISK_OUT=${5:-BENCH_disk.json}
 
 echo "==> micro benchmarks (sqldb prepared paths, stats recording)"
 MICRO=$(go test -count=1 -run '^$' \
@@ -288,6 +300,36 @@ EOF
 } > "$OBSV_OUT"
 
 echo "wrote $OBSV_OUT"
+
+echo "==> disk-resident YCSB (buffer-pool sweep)"
+# The golock personality again, disk-resident with a deliberately small
+# buffer pool: the 32-frame row is the dataset-larger-than-RAM gate (the
+# benchmark itself fails unless data >= 2x the pool), and the 32/64/256
+# sweep is the hit-rate curve. The RAM rows ride along so the record reads
+# as "what does disk residency cost at each pool budget".
+DISK=$(go test -count=1 -run '^$' \
+    -bench 'BenchmarkEngineYCSBDisk' \
+    -benchmem -benchtime "${BENCHTIME_MACRO:-2x}" . | grep '^Benchmark')
+
+{
+    cat <<'EOF'
+{
+  "note": "Disk-residency record: 'ram' is the all-RAM golock YCSB row from the same bench.sh run; 'disk' re-registers golock with -data-dir semantics (4KiB slotted-page heap + ARIES WAL behind a clock-LRU buffer pool) at 32/64/256 frames. hit_pct is the buffer-pool hit rate, data_pool_ratio the final heap size over the pool budget (the pool32 row asserts >= 2x: a genuinely larger-than-RAM run). The verify.sh gate compares fresh disk rows against this file.",
+  "ram": [
+EOF
+    render "$(printf '%s\n' "$MACRO" | grep 'EngineYCSB_golock')"
+    cat <<'EOF'
+  ],
+  "disk": [
+EOF
+    render "$DISK"
+    cat <<'EOF'
+  ]
+}
+EOF
+} > "$DISK_OUT"
+
+echo "wrote $DISK_OUT"
 
 echo "==> open-loop scheduler overhead (worker execute hot path)"
 # Closed-loop vs open-loop worker execute: the paired benchmarks run the

@@ -75,6 +75,17 @@ echo "==> isolation conformance & crash recovery (-race, fixed seed)"
 # -consistency.long for the ~10x soak shape.
 go test -race -count=1 ./internal/consistency/
 
+echo "==> disk full-recovery torture (-race): kill sweep over WAL + page writes"
+# The disk-backed engine's durability gate: one byte budget meters WAL
+# appends and heap page flushes together, and the sweep kills the stream at
+# >= 15 points — evenly spaced, mid-WAL-frame, mid-page-flush, and
+# mid-checkpoint tears. Every kill must recover to an image honoring
+# acked <= winners <= acked+uncertain byte-exactly, with every device page
+# passing Verify and the recovered engine passing the conformance oracle.
+# Named explicitly (it also runs in the package pass above) so a durability
+# regression names itself here.
+go test -race -count=1 -run 'TestDiskCrash' ./internal/consistency/
+
 echo "==> go test -race storage stress (striped store + online vacuum)"
 go test -race -count=1 -run 'TestStorageStressConcurrent' ./internal/sqldb/txn/
 
@@ -86,5 +97,14 @@ echo "==> bench record compare (BENCH_obsv.json -> BENCH_speed.json)"
 # the raw-speed record must not regress tps, ns/op, or throughput-normalized
 # allocations by more than 5% against the observability-era numbers.
 scripts/bench.sh --compare BENCH_obsv.json BENCH_speed.json
+
+echo "==> bench record compare (BENCH_disk.json: disk-resident YCSB, fresh run)"
+# Fresh disk-resident rows against the checked-in disk-residency record:
+# guards the buffer-pool/eviction/recovery path's throughput (and its
+# dataset>=2x-pool invariant, asserted inside the benchmark itself).
+# 4x benchtime averages four 500ms runs per row, keeping run-to-run noise
+# well inside the 5% envelope. The record's all-RAM golock row is contextual
+# (it is gated via BENCH_speed.json above), hence --allow-missing.
+COMPARE_BENCH='BenchmarkEngineYCSBDisk' BENCHTIME_MACRO=4x scripts/bench.sh --compare BENCH_disk.json --allow-missing
 
 echo "verify: all gates passed"
